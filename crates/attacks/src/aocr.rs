@@ -1,0 +1,302 @@
+//! Address-Oblivious Code Reuse (paper §2.3).
+//!
+//! The full pipeline of the AOCR paper's attacks, oblivious to the code
+//! layout but dependent on the *data* layout:
+//!
+//! * **(A) profile pointer locations on the stack** — Malicious Thread
+//!   Blocking leaks the handler frame; the attacker reads the function
+//!   pointer at the offset profiled from their local copy, and/or
+//!   identifies heap pointers by value-range clustering;
+//! * **(B) leak heap data to reach the data section** — dereference a
+//!   heap pointer from the cluster and scan the object for a pointer
+//!   into the data section;
+//! * **(C) corrupt function default parameters** — compute the address
+//!   of the `default_param` global from the leaked data pointer using
+//!   the (statically known) global layout, overwrite it, and mount a
+//!   whole-function reuse call of the dispatcher.
+//!
+//! R²C counters each step: stack-slot randomization moves the function
+//! pointer; BTDPs poison the heap-pointer cluster (dereferencing one
+//! trips a guard page); global shuffling breaks the data-section
+//! delta (§7.2.2–7.2.3).
+
+use rand::Rng;
+
+use r2c_vm::image::Region;
+use r2c_vm::{Image, Vm};
+
+use crate::knowledge::{probe_words, AttackerKnowledge};
+use crate::outcome::Outcome;
+use crate::victim::{privileged_fired_with_magic, MAGIC_ARG};
+
+/// AOCR's heap-cluster heuristic: among the clusters of high (≥ 2^32)
+/// values, discard anything near the leaked stack pointer (those are
+/// stack addresses — the attacker knows `rsp` from the leak itself) and
+/// singletons, then take the largest remaining cluster. In the AOCR
+/// paper's measurements the heap cluster is "typically the third
+/// largest" overall; with the stack and text clusters excluded it is
+/// the largest remaining one.
+fn pick_heap_cluster(
+    clusters: &[r2c_core::analysis::Cluster],
+    rsp: u64,
+) -> Option<&r2c_core::analysis::Cluster> {
+    clusters.iter().find(|c| {
+        c.min >= (1u64 << 32)
+            && c.members.len() >= 2
+            && c.members.iter().all(|&m| m.abs_diff(rsp) > (1 << 24))
+    })
+}
+
+/// Mounts the full AOCR attack against a run victim.
+pub fn aocr_attack(
+    vm: &mut Vm,
+    image: &Image,
+    k: &AttackerKnowledge,
+    rng: &mut impl Rng,
+) -> Outcome {
+    let (rsp, words) = probe_words(vm);
+
+    // --- Step A: find a heap pointer via value-range clustering. ----
+    let clusters = r2c_core::analysis::cluster_values(&words, 1 << 32);
+    let Some(hc) = pick_heap_cluster(&clusters, rsp) else {
+        return Outcome::Failed("no heap-pointer cluster");
+    };
+    let heap_ptr = hc.members[rng.gen_range(0..hc.members.len())];
+
+    // --- Step B: leak the heap object, look for a data-section
+    // pointer. Dereferencing a BTDP faults right here. ---------------
+    let obj = match vm.attacker_read(heap_ptr, 64) {
+        Ok(b) => b,
+        Err(f) => return Outcome::from_fault(f),
+    };
+    let obj_words: Vec<u64> = obj
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    // Data pointers are low (below 2^32 in our layout) but not tiny;
+    // AOCR distinguishes them from text by their distance to leaked
+    // code values.
+    let text_hint = words
+        .iter()
+        .copied()
+        .find(|&w| image.layout.region_of(w) == Some(Region::Text))
+        .unwrap_or(0x40_0000);
+    let data_ptr = obj_words
+        .iter()
+        .copied()
+        .find(|&w| (0x10_0000..0x1_0000_0000).contains(&w) && w.abs_diff(text_hint) > (1 << 26));
+    let Some(banner_ptr) = data_ptr else {
+        return Outcome::Failed("no data-section pointer in leaked object");
+    };
+
+    // --- Step C: corrupt the default parameter and reuse the
+    // dispatcher. -----------------------------------------------------
+    let default_addr = banner_ptr.wrapping_add_signed(k.default_rel_banner);
+    if let Err(f) = vm.attacker_write_u64(default_addr, MAGIC_ARG as u64) {
+        return Outcome::from_fault(f);
+    }
+    // Whole-function reuse target: derive `dispatch` from the function
+    // pointer harvested at the profiled stack offset.
+    let Some(fp_off) = k.fp_slot_off else {
+        return Outcome::Failed("no profiled function-pointer offset");
+    };
+    let idx = (fp_off / 8) as usize;
+    if idx >= words.len() {
+        return Outcome::Failed("function-pointer offset outside leak");
+    }
+    let fp = words[idx];
+    let dispatch = fp.wrapping_add_signed(k.dispatch_rel_priv);
+    let out = vm.hijack(dispatch);
+    match out.status {
+        r2c_vm::ExitStatus::Exited(_) if privileged_fired_with_magic(vm) => Outcome::Success,
+        r2c_vm::ExitStatus::Exited(_) => Outcome::Failed("dispatcher ran with benign parameter"),
+        r2c_vm::ExitStatus::Faulted(f) => Outcome::from_fault(f),
+        r2c_vm::ExitStatus::Probed => Outcome::Failed("victim paused unexpectedly"),
+    }
+}
+
+/// AOCR whole-function reuse via the harvested pointer *itself*
+/// (argument-controlled): the attacker calls the leaked function
+/// pointer directly with the malicious argument. This is the variant
+/// that defeats code-pointer hiding — a trampoline pointer reveals no
+/// addresses, but it can still be **called** (§2.2: "CPH function
+/// pointers can be called using whole-function reuse").
+pub fn aocr_direct_fp(vm: &mut Vm, _image: &Image, k: &AttackerKnowledge) -> Outcome {
+    let (_rsp, words) = probe_words(vm);
+    let Some(fp_off) = k.fp_slot_off else {
+        return Outcome::Failed("no profiled function-pointer offset");
+    };
+    let idx = (fp_off / 8) as usize;
+    if idx >= words.len() {
+        return Outcome::Failed("function-pointer offset outside leak");
+    }
+    let fp = words[idx];
+    let out = vm.call(fp, &[MAGIC_ARG as u64]);
+    match out.status {
+        r2c_vm::ExitStatus::Exited(_) if privileged_fired_with_magic(vm) => Outcome::Success,
+        r2c_vm::ExitStatus::Exited(_) => Outcome::Failed("reused the wrong function"),
+        r2c_vm::ExitStatus::Faulted(f) => Outcome::from_fault(f),
+        r2c_vm::ExitStatus::Probed => Outcome::Failed("victim paused unexpectedly"),
+    }
+}
+
+/// The heap-pointer harvesting step alone (for the §7.2.3 measurement
+/// of BTDP dilution): picks a random member of the heap cluster and
+/// dereferences it. Returns whether the pick was benign, plus the
+/// cluster size.
+pub fn harvest_heap_pointer(vm: &mut Vm, rng: &mut impl Rng) -> (Outcome, usize) {
+    let (rsp, words) = probe_words(vm);
+    let clusters = r2c_core::analysis::cluster_values(&words, 1 << 32);
+    let Some(hc) = pick_heap_cluster(&clusters, rsp) else {
+        return (Outcome::Failed("no heap cluster"), 0);
+    };
+    let size = hc.members.len();
+    let pick = hc.members[rng.gen_range(0..size)];
+    match vm.attacker_read(pick, 8) {
+        Ok(_) => (Outcome::Success, size),
+        Err(f) => (Outcome::from_fault(f), size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Tally;
+    use crate::victim::{build_victim, run_victim};
+    use r2c_core::R2cConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn aocr_succeeds_on_unprotected() {
+        let cfg = R2cConfig::baseline(0);
+        let k = AttackerKnowledge::profile(&cfg, 77);
+        let mut rng = SmallRng::seed_from_u64(5);
+        // The cluster pick may select h2 (the second heap object) whose
+        // bytes hold no data pointer; AOCR simply retries — nothing
+        // punishes a wrong benign pick on an unprotected target.
+        let mut ok = false;
+        let mut log = Vec::new();
+        for seed in 1..=12 {
+            let v = build_victim(cfg.with_seed(seed));
+            let mut vm = run_victim(&v.image);
+            let out = aocr_attack(&mut vm, &v.image, &k, &mut rng);
+            if out.is_success() {
+                ok = true;
+                break;
+            }
+            log.push(out);
+        }
+        assert!(
+            ok,
+            "AOCR must succeed against the unprotected victim: {log:?}"
+        );
+    }
+
+    #[test]
+    fn aocr_defeated_by_full_r2c() {
+        let cfg = R2cConfig::full(0);
+        let k = AttackerKnowledge::profile(&cfg, 77);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut tally = Tally::default();
+        for seed in 0..16 {
+            let v = build_victim(cfg.with_seed(seed));
+            let mut vm = run_victim(&v.image);
+            tally.add(&aocr_attack(&mut vm, &v.image, &k, &mut rng));
+        }
+        assert_eq!(tally.success, 0, "AOCR must not survive full R²C: {tally}");
+    }
+
+    #[test]
+    fn btdp_poisons_heap_harvest() {
+        // With BTDPs enabled, a fraction of harvest attempts must trip
+        // guard pages, and the empirical rate should be in the
+        // ballpark of B / (H + B).
+        let cfg = R2cConfig::full(0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut detected = 0;
+        let mut total = 0;
+        for seed in 0..24 {
+            let v = build_victim(cfg.with_seed(seed));
+            let mut vm = run_victim(&v.image);
+            let (out, size) = harvest_heap_pointer(&mut vm, &mut rng);
+            assert!(size > 0);
+            total += 1;
+            if out.is_detected() {
+                detected += 1;
+            }
+        }
+        assert!(
+            detected > 0,
+            "BTDPs must punish some picks ({detected}/{total})"
+        );
+    }
+
+    #[test]
+    fn direct_fp_reuse_defeats_code_pointer_hiding() {
+        // §2.2: CPH pointers reveal no addresses but can still be
+        // called. The Readactor-like model (CPH + code diversification,
+        // no data diversification) falls to the direct variant.
+        use r2c_codegen::DiversifyConfig;
+        let cfg = R2cConfig {
+            diversify: DiversifyConfig {
+                func_shuffle: true,
+                nop_insertion: Some((1, 9)),
+                xom: true,
+                cph: true,
+                booby_trap_funcs: 16,
+                ..DiversifyConfig::none()
+            },
+            seed: 0,
+        };
+        let k = AttackerKnowledge::profile(&cfg, 42);
+        let mut ok = 0;
+        for seed in 0..6 {
+            let v = build_victim(cfg.with_seed(seed));
+            let mut vm = run_victim(&v.image);
+            if aocr_direct_fp(&mut vm, &v.image, &k).is_success() {
+                ok += 1;
+            }
+        }
+        assert_eq!(
+            ok, 6,
+            "CPH must not stop argument-controlled whole-function reuse"
+        );
+    }
+
+    #[test]
+    fn direct_fp_reuse_mostly_fails_under_full_r2c() {
+        // Stack-slot randomization is probabilistic: the profiled slot
+        // offset can coincide across variants by chance (frames have
+        // finitely many slots), so the guarantee is a sharply reduced
+        // success rate with crash/detection risk on misses — not an
+        // absolute zero (§7.2.2).
+        let cfg = R2cConfig::full(0);
+        let k = AttackerKnowledge::profile(&cfg, 42);
+        let mut ok = 0;
+        let n = 16;
+        for seed in 0..n {
+            let v = build_victim(cfg.with_seed(seed));
+            let mut vm = run_victim(&v.image);
+            if aocr_direct_fp(&mut vm, &v.image, &k).is_success() {
+                ok += 1;
+            }
+        }
+        assert!(
+            ok <= n / 4,
+            "stack-slot randomization should usually hide the pointer ({ok}/{n})"
+        );
+    }
+
+    #[test]
+    fn unprotected_harvest_never_detected() {
+        let cfg = R2cConfig::baseline(0);
+        let mut rng = SmallRng::seed_from_u64(8);
+        for seed in 0..8 {
+            let v = build_victim(cfg.with_seed(seed));
+            let mut vm = run_victim(&v.image);
+            let (out, _) = harvest_heap_pointer(&mut vm, &mut rng);
+            assert!(!out.is_detected(), "no BTDPs, no detections");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Blind ROP against a crash-restarting worker (paper §4.1, §7.3).
+//!
+//! Some servers (nginx, Apache, OpenSSH) restart crashed workers
+//! without re-randomizing the binary image, so an attacker can probe
+//! addresses one by one, treating each crash as information. We model
+//! the worker as a fresh [`Vm`] per probe *on the same image* — same
+//! layout every restart.
+//!
+//! The attacker scans for the `privileged` function by hijacking
+//! candidate addresses with the magic argument and watching for the
+//! marker output. Against R²C, booby-trap functions are scattered
+//! through the text section, so the scan trips a trap long before it
+//! finds the target; a reactive defender re-randomizes or blocks the
+//! attacker at the first detection.
+
+use r2c_vm::image::Region;
+use r2c_vm::{Image, MachineKind, Vm, VmConfig};
+
+use crate::knowledge::probe_words;
+use crate::outcome::Outcome;
+use crate::victim::{privileged_fired_with_magic, run_victim, MAGIC_ARG};
+
+/// Result of a Blind-ROP campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlindRopResult {
+    /// How the campaign ended.
+    pub outcome: BlindOutcome,
+    /// Probes issued (worker restarts consumed).
+    pub probes: u32,
+}
+
+/// Terminal states of the campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlindOutcome {
+    /// Found and invoked `privileged(MAGIC_ARG)` undetected.
+    Success,
+    /// A booby trap / guard page fired: the defender reacts, campaign
+    /// over.
+    Detected,
+    /// Probe budget exhausted without success.
+    Exhausted,
+}
+
+/// Runs a Blind-ROP scan with at most `max_probes` worker restarts.
+pub fn blind_rop(image: &Image, max_probes: u32) -> BlindRopResult {
+    // One initial leak gives a starting point inside the text section
+    // (any code pointer from the stack).
+    let vm = run_victim(image);
+    let (_rsp, words) = probe_words(&vm);
+    let start = words
+        .iter()
+        .copied()
+        .find(|&w| image.layout.region_of(w) == Some(Region::Text))
+        .unwrap_or(image.layout.text_base);
+    drop(vm);
+
+    // Scan outward from the leak at 16-byte granularity (function
+    // entries are 16-aligned), alternating directions.
+    let mut probes = 0;
+    let mut step: i64 = 0;
+    while probes < max_probes {
+        let candidate = (start & !15).wrapping_add_signed(16 * step);
+        step = if step >= 0 { -(step + 1) } else { -step };
+        if candidate < image.layout.text_base || candidate >= image.layout.text_end {
+            continue;
+        }
+        probes += 1;
+        // Fresh worker (restart), same image: no re-randomization. A
+        // small budget models the watchdog killing hung workers.
+        let mut worker = Vm::new(
+            image,
+            VmConfig {
+                machine: MachineKind::EpycRome.config(),
+                insn_budget: 200_000,
+                break_on_probe: false,
+            },
+        );
+        let out = worker.call(candidate, &[MAGIC_ARG as u64]);
+        match out.status {
+            r2c_vm::ExitStatus::Exited(_) if privileged_fired_with_magic(&worker) => {
+                return BlindRopResult {
+                    outcome: BlindOutcome::Success,
+                    probes,
+                };
+            }
+            r2c_vm::ExitStatus::Faulted(f) if f.is_detection() => {
+                return BlindRopResult {
+                    outcome: BlindOutcome::Detected,
+                    probes,
+                };
+            }
+            // Ordinary crash or silent run: the worker restarts and the
+            // attacker continues.
+            _ => {}
+        }
+    }
+    BlindRopResult {
+        outcome: BlindOutcome::Exhausted,
+        probes,
+    }
+}
+
+/// Convenience conversion for tallying.
+pub fn as_outcome(r: &BlindRopResult) -> Outcome {
+    match r.outcome {
+        BlindOutcome::Success => Outcome::Success,
+        BlindOutcome::Detected => Outcome::Detected,
+        BlindOutcome::Exhausted => Outcome::Failed("probe budget exhausted"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::build_victim;
+    use r2c_core::R2cConfig;
+
+    #[test]
+    fn blind_rop_succeeds_on_unprotected() {
+        let v = build_victim(R2cConfig::baseline(21));
+        let r = blind_rop(&v.image, 4000);
+        assert_eq!(r.outcome, BlindOutcome::Success, "{r:?}");
+        assert!(r.probes > 0);
+    }
+
+    #[test]
+    fn blind_rop_detected_quickly_under_r2c() {
+        // The scan sweeps the text section; booby traps vastly
+        // outnumber useful targets, so almost every campaign is
+        // detected, and early. (A lucky scan can still stumble on the
+        // target first — booby traps are probabilistic, §7.2.1 — so we
+        // assert on the aggregate.)
+        let mut detected_probe_counts = Vec::new();
+        let runs = 8;
+        for seed in 0..runs {
+            let v = build_victim(R2cConfig::full(seed));
+            let r = blind_rop(&v.image, 4000);
+            if r.outcome == BlindOutcome::Detected {
+                detected_probe_counts.push(r.probes);
+            }
+        }
+        assert!(
+            detected_probe_counts.len() as u32 >= runs as u32 - 1,
+            "almost all campaigns must be detected ({}/{runs})",
+            detected_probe_counts.len()
+        );
+        let avg: f64 = detected_probe_counts.iter().map(|&p| p as f64).sum::<f64>()
+            / detected_probe_counts.len() as f64;
+        assert!(
+            avg < 600.0,
+            "detection should come early (avg {avg} probes)"
+        );
+    }
+}

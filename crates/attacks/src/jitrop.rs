@@ -1,0 +1,194 @@
+//! JIT-ROP: just-in-time gadget discovery (paper §2.1).
+//!
+//! * **Direct** JIT-ROP reads the text section through a leaked code
+//!   pointer and disassembles gadgets on the fly. Execute-only memory
+//!   stops the read itself.
+//! * **Indirect** JIT-ROP cannot read code; it harvests code pointers
+//!   from readable memory (the stack) and infers gadget locations from
+//!   them. BTRAs poison the harvest: the attacker must pick among
+//!   `R + 1` identical-looking candidates, and booby traps punish the
+//!   wrong picks.
+
+use rand::Rng;
+
+use r2c_vm::image::Region;
+use r2c_vm::{Image, Insn, Vm};
+
+use crate::knowledge::{probe_words, ret_gadget_addr, AttackerKnowledge};
+use crate::outcome::Outcome;
+
+/// Direct JIT-ROP: leak a code pointer from the stack, then read and
+/// disassemble the surrounding code page to find a `ret` gadget.
+pub fn direct_jitrop(vm: &mut Vm, image: &Image) -> Outcome {
+    let (_rsp, words) = probe_words(vm);
+    // Any text-region value serves as the initial code pointer.
+    let Some(&code_ptr) = words
+        .iter()
+        .find(|&&w| image.layout.region_of(w) == Some(Region::Text))
+    else {
+        return Outcome::Failed("no code pointer on the stack");
+    };
+    // Read a window of code around the pointer (this is the step XoM
+    // forbids).
+    let page = code_ptr & !0xfff;
+    let mut addr = page;
+    let mut found = None;
+    while addr < page + 0x1000 {
+        match vm.attacker_disassemble(addr) {
+            Ok(insn) => {
+                if matches!(insn, Insn::Ret) {
+                    found = Some(addr);
+                    break;
+                }
+                addr += insn.len();
+            }
+            Err(f) => {
+                // Either an unmapped hole, a permission fault (XoM), or
+                // a non-instruction boundary; a permission fault kills
+                // the process.
+                if let r2c_vm::Fault::Protection { .. } = f {
+                    return Outcome::from_fault(f);
+                }
+                addr += 1;
+            }
+        }
+    }
+    match found {
+        Some(g) => {
+            // Disassembled gadget addresses are exact: hijack succeeds.
+            let out = vm.hijack(g);
+            match out.status {
+                r2c_vm::ExitStatus::Exited(_) => Outcome::Success,
+                r2c_vm::ExitStatus::Faulted(f) => Outcome::from_fault(f),
+                r2c_vm::ExitStatus::Probed => Outcome::Failed("victim paused unexpectedly"),
+            }
+        }
+        None => Outcome::Failed("no gadget found in window"),
+    }
+}
+
+/// Indirect JIT-ROP: harvest text-range values from the stack leak,
+/// pick one as a return address, and infer a gadget from it using
+/// static knowledge.
+///
+/// Against BTRAs the candidate set contains the booby-trapped
+/// addresses, which are indistinguishable from the genuine return
+/// address (properties (A)–(C) of §4.1); `rng` models the forced
+/// random choice.
+pub fn indirect_jitrop(
+    vm: &mut Vm,
+    image: &Image,
+    k: &AttackerKnowledge,
+    rng: &mut impl Rng,
+) -> Outcome {
+    let (_rsp, words) = probe_words(vm);
+    let candidates: Vec<u64> = words
+        .iter()
+        .copied()
+        .filter(|&w| image.layout.region_of(w) == Some(Region::Text))
+        .collect();
+    if candidates.is_empty() {
+        return Outcome::Failed("no code pointers harvested");
+    }
+    let pick = candidates[rng.gen_range(0..candidates.len())];
+    // Treat the pick as the handler return address and infer the gadget.
+    let main_base = pick.wrapping_add_signed(-k.ra_to_main);
+    let gadget = main_base
+        .wrapping_add_signed(k.helper_rel_main)
+        .wrapping_add_signed(k.gadget_rel_helper);
+    if gadget == ret_gadget_addr(image, "helper") {
+        let out = vm.hijack(gadget);
+        return match out.status {
+            r2c_vm::ExitStatus::Exited(_) => Outcome::Success,
+            r2c_vm::ExitStatus::Faulted(f) => Outcome::from_fault(f),
+            r2c_vm::ExitStatus::Probed => Outcome::Failed("victim paused unexpectedly"),
+        };
+    }
+    let out = vm.hijack(gadget);
+    match out.status {
+        r2c_vm::ExitStatus::Faulted(f) => Outcome::from_fault(f),
+        r2c_vm::ExitStatus::Exited(_) => Outcome::Failed("wrong gadget"),
+        r2c_vm::ExitStatus::Probed => Outcome::Failed("victim paused unexpectedly"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::{build_victim, run_victim};
+    use r2c_core::{DiversifyConfig, R2cConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn direct_jitrop_succeeds_without_xom() {
+        let cfg = R2cConfig::baseline(0); // baseline maps text R|X
+        let v = build_victim(cfg.with_seed(2));
+        let mut vm = run_victim(&v.image);
+        assert_eq!(direct_jitrop(&mut vm, &v.image), Outcome::Success);
+    }
+
+    #[test]
+    fn direct_jitrop_crashes_against_xom() {
+        // Function shuffling alone plus XoM (a Readactor-style setup).
+        let cfg = R2cConfig {
+            diversify: DiversifyConfig {
+                func_shuffle: true,
+                xom: true,
+                booby_trap_funcs: 8,
+                ..DiversifyConfig::none()
+            },
+            seed: 3,
+        };
+        let v = build_victim(cfg);
+        let mut vm = run_victim(&v.image);
+        let out = direct_jitrop(&mut vm, &v.image);
+        assert!(
+            matches!(out, Outcome::Crashed(_)),
+            "XoM must stop the code read: {out:?}"
+        );
+    }
+
+    #[test]
+    fn indirect_jitrop_succeeds_on_unprotected() {
+        let cfg = R2cConfig::baseline(0);
+        let k = AttackerKnowledge::profile(&cfg, 50);
+        let v = build_victim(cfg.with_seed(4));
+        let mut vm = run_victim(&v.image);
+        // On an unprotected stack, almost all text-range values are
+        // genuine return addresses of the same call chain; the pick may
+        // still hit the helper-call RA vs handler-call RA. Give the
+        // attacker a few tries (each on a fresh victim) — without
+        // BTRAs nothing punishes retries.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ok = false;
+        for _ in 0..8 {
+            if indirect_jitrop(&mut vm, &v.image, &k, &mut rng).is_success() {
+                ok = true;
+                break;
+            }
+            vm = run_victim(&v.image);
+        }
+        assert!(ok, "indirect JIT-ROP should work unprotected");
+    }
+
+    #[test]
+    fn indirect_jitrop_mostly_fails_under_full_r2c() {
+        let cfg = R2cConfig::full(0);
+        let k = AttackerKnowledge::profile(&cfg, 50);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut successes = 0;
+        let mut detected = 0;
+        for seed in 0..12 {
+            let v = build_victim(cfg.with_seed(seed));
+            let mut vm = run_victim(&v.image);
+            match indirect_jitrop(&mut vm, &v.image, &k, &mut rng) {
+                Outcome::Success => successes += 1,
+                Outcome::Detected => detected += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(successes, 0, "indirect JIT-ROP must not survive full R²C");
+        assert!(detected > 0, "booby traps should catch some attempts");
+    }
+}

@@ -1,0 +1,196 @@
+//! The attacker's static knowledge of the target binary.
+//!
+//! The paper's threat model lets the attacker know the *program* — they
+//! can run and inspect their own copy — but not the victim's ASLR bases
+//! or diversification seed. We model this faithfully: the attacker
+//! builds a **local variant** of the same program with the same
+//! configuration but their own seed, runs it, and extracts the offsets
+//! and deltas their attack needs (stack-profile offsets, code deltas,
+//! global-layout deltas). Against an undiversified target those
+//! transfer exactly; against an R²C target each diversification breaks
+//! the corresponding transfer.
+
+use r2c_core::R2cConfig;
+use r2c_vm::{Image, Insn, VAddr};
+
+use crate::victim::{build_victim, run_victim, ANCHOR};
+
+/// Offsets and deltas profiled from the attacker's local copy.
+#[derive(Clone, Debug)]
+pub struct AttackerKnowledge {
+    /// Byte offset from the probe-time `rsp` to the slot holding the
+    /// handler's return address.
+    pub ra_slot_off: Option<u64>,
+    /// Byte offset from probe `rsp` to the slot holding the
+    /// `privileged` function pointer.
+    pub fp_slot_off: Option<u64>,
+    /// Byte offset from probe `rsp` to the anchor local.
+    pub anchor_slot_off: Option<u64>,
+    /// `handler`'s return-address value minus `main`'s entry (lets the
+    /// attacker turn a leaked return address into a code base).
+    pub ra_to_main: i64,
+    /// `privileged` entry minus `main` entry.
+    pub priv_rel_main: i64,
+    /// `dispatch` entry minus `main` entry.
+    pub dispatch_rel_main: i64,
+    /// `dispatch` entry minus `privileged` entry (to derive the reuse
+    /// target from a harvested `privileged` pointer).
+    pub dispatch_rel_priv: i64,
+    /// Gadget address (the `ret` of `helper`) minus `helper` entry.
+    pub gadget_rel_helper: i64,
+    /// `helper` entry minus `main` entry.
+    pub helper_rel_main: i64,
+    /// `default_param` address minus `banner` address (data-section
+    /// delta for attack C).
+    pub default_rel_banner: i64,
+    /// Low 12 bits of the gadget address (PIROP's page-offset
+    /// knowledge; sub-page bits survive page-granular ASLR).
+    pub gadget_low12: u16,
+    /// `ret`-gadget addresses relative to `main`, one per gadget
+    /// function (helper, privileged, dispatch, handler) — the material
+    /// for a multi-gadget ROP chain.
+    pub ret_gadgets_rel_main: Vec<i64>,
+}
+
+/// Return-address value of the (single) `call handler` site: the
+/// address of the instruction after that call.
+pub fn handler_call_ra(image: &Image) -> VAddr {
+    let handler = image.func_addr("handler");
+    for (i, insn) in image.insns.iter().enumerate() {
+        if let Insn::Call { target } = insn {
+            if *target == handler {
+                return image.insn_addrs[i] + insn.len();
+            }
+        }
+    }
+    panic!("no call to handler found");
+}
+
+/// Address of the `ret` instruction of the named function — our
+/// structural "gadget" (a free-branch instruction at a
+/// variant-dependent offset).
+pub fn ret_gadget_addr(image: &Image, func: &str) -> VAddr {
+    let sym = image.symbol(func).expect("function symbol");
+    for (i, insn) in image.insns.iter().enumerate() {
+        let a = image.insn_addrs[i];
+        if a >= sym.addr && a < sym.addr + sym.size && matches!(insn, Insn::Ret) {
+            return a;
+        }
+    }
+    panic!("no ret in {func}");
+}
+
+/// Words of the first probe snapshot.
+pub fn probe_words(vm: &r2c_vm::Vm) -> (VAddr, Vec<u64>) {
+    let snap = &vm.probes[0];
+    let words = snap
+        .bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    (snap.rsp, words)
+}
+
+impl AttackerKnowledge {
+    /// Profiles a local variant built with `cfg` reseeded to
+    /// `attacker_seed` (the attacker's own build of the same program).
+    pub fn profile(cfg: &R2cConfig, attacker_seed: u64) -> AttackerKnowledge {
+        let local = build_victim(cfg.with_seed(attacker_seed));
+        let vm = run_victim(&local.image);
+        let image = &local.image;
+        let (_rsp, words) = probe_words(&vm);
+
+        // Ground truth on the attacker's own copy: they know their own
+        // layout precisely.
+        let ra_value = handler_call_ra(image);
+        // Under code-pointer hiding the value stored by `funcref` is the
+        // trampoline, which is what appears on the stack; deltas between
+        // *visible* pointers must likewise be trampoline-to-trampoline
+        // (the trampoline table is laid out in function order, so those
+        // deltas are exactly as stable as entry deltas).
+        let visible = |name: &str| {
+            image
+                .symbol(&format!("__tramp_{name}"))
+                .map(|s| s.addr)
+                .unwrap_or_else(|| image.func_addr(name))
+        };
+        let priv_addr = visible("privileged");
+        let main_addr = image.func_addr("main");
+        let dispatch_addr = image.func_addr("dispatch");
+        let helper_addr = image.func_addr("helper");
+        let gadget = ret_gadget_addr(image, "helper");
+        let banner = image.func_addr("banner");
+        let default_param = image.func_addr("default_param");
+
+        let find = |v: u64| words.iter().position(|&w| w == v).map(|i| 8 * i as u64);
+        AttackerKnowledge {
+            ra_slot_off: find(ra_value),
+            fp_slot_off: find(priv_addr),
+            anchor_slot_off: find(ANCHOR as u64),
+            ra_to_main: ra_value as i64 - main_addr as i64,
+            priv_rel_main: priv_addr as i64 - main_addr as i64,
+            dispatch_rel_main: dispatch_addr as i64 - main_addr as i64,
+            dispatch_rel_priv: visible("dispatch") as i64 - priv_addr as i64,
+            gadget_rel_helper: gadget as i64 - helper_addr as i64,
+            helper_rel_main: helper_addr as i64 - main_addr as i64,
+            default_rel_banner: default_param as i64 - banner as i64,
+            gadget_low12: (gadget & 0xfff) as u16,
+            ret_gadgets_rel_main: GADGET_FUNCS
+                .iter()
+                .map(|f| ret_gadget_addr(image, f) as i64 - main_addr as i64)
+                .collect(),
+        }
+    }
+}
+
+/// The functions whose `ret` instructions serve as chain gadgets.
+pub const GADGET_FUNCS: [&str; 4] = ["helper", "privileged", "dispatch", "handler"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_core::R2cConfig;
+
+    #[test]
+    fn baseline_profile_finds_everything() {
+        let k = AttackerKnowledge::profile(&R2cConfig::baseline(0), 1234);
+        assert!(
+            k.ra_slot_off.is_some(),
+            "return address locatable on unprotected stack"
+        );
+        assert!(k.fp_slot_off.is_some(), "function pointer locatable");
+        assert!(k.anchor_slot_off.is_some(), "anchor locatable");
+        assert_ne!(k.default_rel_banner, 0);
+    }
+
+    #[test]
+    fn baseline_offsets_transfer_between_variants() {
+        // Without diversification the profiled offsets are the same in
+        // any other variant — the software monoculture.
+        let a = AttackerKnowledge::profile(&R2cConfig::baseline(0), 1);
+        let b = AttackerKnowledge::profile(&R2cConfig::baseline(0), 2);
+        assert_eq!(a.ra_slot_off, b.ra_slot_off);
+        assert_eq!(a.fp_slot_off, b.fp_slot_off);
+        assert_eq!(a.ra_to_main, b.ra_to_main);
+        assert_eq!(a.default_rel_banner, b.default_rel_banner);
+        assert_eq!(a.gadget_rel_helper, b.gadget_rel_helper);
+    }
+
+    #[test]
+    fn full_r2c_offsets_do_not_transfer() {
+        let mut ra_differs = false;
+        let mut data_differs = false;
+        let mut code_differs = false;
+        let base = AttackerKnowledge::profile(&R2cConfig::full(0), 100);
+        for seed in 101..106 {
+            let k = AttackerKnowledge::profile(&R2cConfig::full(0), seed);
+            ra_differs |= k.ra_slot_off != base.ra_slot_off;
+            data_differs |= k.default_rel_banner != base.default_rel_banner;
+            code_differs |= k.gadget_rel_helper != base.gadget_rel_helper
+                || k.priv_rel_main != base.priv_rel_main;
+        }
+        assert!(ra_differs, "BTRAs must move the return-address slot");
+        assert!(data_differs, "global shuffling must change data deltas");
+        assert!(code_differs, "code randomization must change code deltas");
+    }
+}

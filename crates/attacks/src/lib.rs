@@ -1,0 +1,42 @@
+//! # r2c-attacks — the attacker toolkit
+//!
+//! End-to-end implementations of the code-reuse attacks the paper
+//! defends against, run against real program images inside the VM:
+//!
+//! * [`aocr`] — Address-Oblivious Code Reuse: stack profiling via
+//!   Malicious Thread Blocking, heap-pointer harvesting by value-range
+//!   clustering, data-section discovery, default-parameter corruption,
+//!   and whole-function reuse (paper §2.3, attacks A/B/C).
+//! * [`rop`] — classic ROP: leak a return address, infer the containing
+//!   function and gadget addresses from static knowledge of the binary.
+//! * [`jitrop`] — JIT-ROP: direct code disclosure (defeated by
+//!   execute-only memory) and indirect disclosure through harvested
+//!   code pointers (§2.1).
+//! * [`blindrop`] — Blind ROP against a crash-restarting worker that
+//!   never re-randomizes (§4.1/§7.3).
+//! * [`pirop`] — Position-Independent ROP via partial pointer
+//!   corruption (§7.2.5).
+//!
+//! All attacks follow the paper's threat model (§3): the attacker has
+//! arbitrary read/write (permission-checked — guard pages still fault),
+//! can deterministically leak the stack of a blocked thread, knows the
+//! program binary (modelled by profiling an *attacker-local variant* of
+//! the same program, see [`knowledge`]), but does not know the victim's
+//! ASLR bases or diversification seed.
+//!
+//! Every attack returns an [`Outcome`]: success, crash, or — the
+//! reactive part — *detection* by a booby trap or BTDP guard page.
+
+pub mod aocr;
+pub mod blindrop;
+pub mod jitrop;
+pub mod knowledge;
+pub mod outcome;
+pub mod pirop;
+pub mod rop;
+pub mod victim;
+pub mod zeroing;
+
+pub use knowledge::AttackerKnowledge;
+pub use outcome::Outcome;
+pub use victim::{build_victim, victim_module, VictimBuild, MAGIC_ARG, PRIV_MARKER};

@@ -1,0 +1,146 @@
+//! Attack outcome taxonomy.
+
+use r2c_vm::Fault;
+
+/// How an attack attempt ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The attacker achieved the goal (e.g. called the privileged
+    /// function with a controlled argument) without being detected.
+    Success,
+    /// The attack was *detected*: a booby trap fired or a BTDP guard
+    /// page was touched. A reactive defender terminates/re-randomizes
+    /// the process at this point (paper §4.2).
+    Detected,
+    /// The process crashed without a detection event (e.g. wild read of
+    /// unmapped memory). Noisy, but not attributable by the reactive
+    /// component.
+    Crashed(Fault),
+    /// The attack ran to completion but did not achieve the goal (e.g.
+    /// corrupted the wrong global; called the wrong function).
+    Failed(&'static str),
+}
+
+impl Outcome {
+    /// True for [`Outcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Success)
+    }
+
+    /// True when the defender learned about the attempt.
+    pub fn is_detected(&self) -> bool {
+        matches!(self, Outcome::Detected)
+    }
+
+    /// Folds a fault into the taxonomy, promoting detection faults.
+    pub fn from_fault(f: Fault) -> Outcome {
+        if f.is_detection() {
+            Outcome::Detected
+        } else {
+            Outcome::Crashed(f)
+        }
+    }
+}
+
+/// Aggregated Monte-Carlo statistics over repeated attack attempts
+/// against independently diversified variants.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tally {
+    /// Attempts that succeeded undetected.
+    pub success: u32,
+    /// Attempts flagged by a booby trap / guard page.
+    pub detected: u32,
+    /// Attempts that crashed undetected.
+    pub crashed: u32,
+    /// Attempts that fizzled without crash or detection.
+    pub failed: u32,
+}
+
+impl Tally {
+    /// Adds one outcome.
+    pub fn add(&mut self, o: &Outcome) {
+        match o {
+            Outcome::Success => self.success += 1,
+            Outcome::Detected => self.detected += 1,
+            Outcome::Crashed(_) => self.crashed += 1,
+            Outcome::Failed(_) => self.failed += 1,
+        }
+    }
+
+    /// Total attempts recorded.
+    pub fn total(&self) -> u32 {
+        self.success + self.detected + self.crashed + self.failed
+    }
+
+    /// Empirical success rate.
+    pub fn success_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.success as f64 / self.total() as f64
+        }
+    }
+
+    /// Empirical detection rate.
+    pub fn detection_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.total() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Tally {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "success {}/{} ({:.1}%), detected {} ({:.1}%), crashed {}, failed {}",
+            self.success,
+            self.total(),
+            100.0 * self.success_rate(),
+            self.detected,
+            100.0 * self.detection_rate(),
+            self.crashed,
+            self.failed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_vm::Perms;
+
+    #[test]
+    fn fault_promotion() {
+        assert_eq!(
+            Outcome::from_fault(Fault::BoobyTrap { addr: 1 }),
+            Outcome::Detected
+        );
+        assert_eq!(
+            Outcome::from_fault(Fault::Protection {
+                addr: 1,
+                perms: Perms::NONE,
+                write: false
+            }),
+            Outcome::Detected
+        );
+        assert!(matches!(
+            Outcome::from_fault(Fault::Unmapped { addr: 1 }),
+            Outcome::Crashed(_)
+        ));
+    }
+
+    #[test]
+    fn tally_rates() {
+        let mut t = Tally::default();
+        t.add(&Outcome::Success);
+        t.add(&Outcome::Detected);
+        t.add(&Outcome::Detected);
+        t.add(&Outcome::Failed("x"));
+        assert_eq!(t.total(), 4);
+        assert!((t.success_rate() - 0.25).abs() < 1e-12);
+        assert!((t.detection_rate() - 0.5).abs() < 1e-12);
+    }
+}

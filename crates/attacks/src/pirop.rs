@@ -1,0 +1,131 @@
+//! Position-Independent ROP (PIROP) via partial pointer corruption
+//! (paper §7.2.5).
+//!
+//! PIROP never reads a full pointer: it overwrites only the low bytes
+//! of a code pointer already present in memory, relying on the fact
+//! that page-granular ASLR leaves sub-page offsets of every instruction
+//! invariant across loads. The attacker learns those low bits from
+//! their own copy of the binary.
+//!
+//! R²C impedes PIROP twice over: function shuffling and sub-function
+//! randomization (NOPs, prolog traps, BTRA windows) change sub-page
+//! offsets per *variant*, so the statically known low bits are wrong;
+//! and the corrupted pointer must be the genuine return address in the
+//! first place, which BTRAs hide among decoys.
+
+use r2c_vm::{Image, Vm};
+
+use crate::knowledge::{handler_call_ra, ret_gadget_addr, AttackerKnowledge};
+use crate::outcome::Outcome;
+
+/// Result of the low-bits prediction step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PiropPrediction {
+    /// Low 12 bits the attacker writes.
+    pub predicted_low12: u16,
+    /// Ground-truth low 12 bits of the gadget in the victim variant.
+    pub actual_low12: u16,
+}
+
+/// Checks whether the attacker's sub-page knowledge transfers to the
+/// victim variant.
+pub fn predict_low_bits(image: &Image, k: &AttackerKnowledge) -> PiropPrediction {
+    let actual = (ret_gadget_addr(image, "helper") & 0xfff) as u16;
+    PiropPrediction {
+        predicted_low12: k.gadget_low12,
+        actual_low12: actual,
+    }
+}
+
+/// Mounts the PIROP attack: overwrite the low 12 bits of the handler's
+/// saved return address with the predicted gadget offset, then let the
+/// frame return.
+///
+/// For the corruption target we use ground truth (the genuine return
+/// address slot): this *over-approximates* the attacker, who under
+/// BTRAs would first have to find the slot among the decoys. Even with
+/// that head start, sub-function randomization defeats the low-bit
+/// prediction.
+pub fn pirop_attack(vm: &mut Vm, image: &Image, k: &AttackerKnowledge) -> Outcome {
+    let snap = vm.probes[0].clone();
+    let (rsp, bytes) = (snap.rsp, snap.bytes);
+    let ra_value = handler_call_ra(image);
+    let words: Vec<u64> = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let Some(slot) = words.iter().position(|&w| w == ra_value) else {
+        return Outcome::Failed("return address not in leak window");
+    };
+    let slot_addr = rsp + 8 * slot as u64;
+    // Partial overwrite: keep the high 52 bits, replace the low 12.
+    let corrupted = (ra_value & !0xfff) | k.gadget_low12 as u64;
+    if let Err(f) = vm.attacker_write_u64(slot_addr, corrupted) {
+        return Outcome::from_fault(f);
+    }
+    // The gadget must share the page with the return address for a
+    // 12-bit overwrite to reach it.
+    let out = vm.hijack(corrupted);
+    let true_gadget = ret_gadget_addr(image, "helper");
+    match out.status {
+        r2c_vm::ExitStatus::Exited(_) if corrupted == true_gadget => Outcome::Success,
+        r2c_vm::ExitStatus::Exited(_) => Outcome::Failed("landed on the wrong instruction"),
+        r2c_vm::ExitStatus::Faulted(f) => Outcome::from_fault(f),
+        r2c_vm::ExitStatus::Probed => Outcome::Failed("victim paused unexpectedly"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::{build_victim, run_victim};
+    use r2c_core::R2cConfig;
+
+    #[test]
+    fn low_bits_transfer_without_diversification() {
+        let cfg = R2cConfig::baseline(0);
+        let k = AttackerKnowledge::profile(&cfg, 31);
+        for seed in 1..=4 {
+            let v = build_victim(cfg.with_seed(seed));
+            let p = predict_low_bits(&v.image, &k);
+            assert_eq!(
+                p.predicted_low12, p.actual_low12,
+                "sub-page offsets must survive plain ASLR"
+            );
+        }
+    }
+
+    #[test]
+    fn low_bits_break_under_full_r2c() {
+        let cfg = R2cConfig::full(0);
+        let k = AttackerKnowledge::profile(&cfg, 31);
+        let mut hits = 0;
+        let n = 12;
+        for seed in 0..n {
+            let v = build_victim(cfg.with_seed(seed));
+            let p = predict_low_bits(&v.image, &k);
+            if p.predicted_low12 == p.actual_low12 {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits <= 1,
+            "sub-function randomization must break low-bit knowledge ({hits}/{n})"
+        );
+    }
+
+    #[test]
+    fn pirop_fails_under_full_r2c() {
+        let cfg = R2cConfig::full(0);
+        let k = AttackerKnowledge::profile(&cfg, 31);
+        let mut successes = 0;
+        for seed in 0..8 {
+            let v = build_victim(cfg.with_seed(seed));
+            let mut vm = run_victim(&v.image);
+            if pirop_attack(&mut vm, &v.image, &k).is_success() {
+                successes += 1;
+            }
+        }
+        assert_eq!(successes, 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Classic (indirect-disclosure) ROP.
+//!
+//! The attacker leaks the handler's return address from the stack at
+//! the profiled offset, converts it into the code base using static
+//! knowledge of the binary, and computes the gadget addresses a chain
+//! needs. Against an undiversified target with plain ASLR this works
+//! deterministically; R²C breaks every step (BTRAs hide the return
+//! address; NOP insertion breaks the return-address → function-base
+//! step; prolog traps and shuffling break the function-base → gadget
+//! step).
+
+use r2c_vm::{Image, Vm};
+
+use crate::knowledge::{probe_words, ret_gadget_addr, AttackerKnowledge, GADGET_FUNCS};
+use crate::outcome::Outcome;
+
+/// Mounts the attack against a run victim.
+///
+/// `chain_len` is the number of gadget addresses the chain needs; the
+/// attacker derives each from the same leaked return address (the
+/// paper's §7.2.1 analysis: needing `n` correct return addresses drops
+/// the success probability to `(1/(R+1))^n` — here a single wrong leak
+/// already sinks the chain).
+pub fn classic_rop(vm: &mut Vm, image: &Image, k: &AttackerKnowledge, chain_len: u32) -> Outcome {
+    let Some(ra_off) = k.ra_slot_off else {
+        return Outcome::Failed("no profiled return-address offset");
+    };
+    let (rsp, words) = probe_words(vm);
+    let idx = (ra_off / 8) as usize;
+    if idx >= words.len() {
+        return Outcome::Failed("profiled offset outside leak");
+    }
+    let leaked_ra = words[idx];
+    let _ = rsp;
+    // Static-knowledge inference: leaked RA → main base → per-function
+    // ret gadgets (rotating through the available gadget functions).
+    let main_base = leaked_ra.wrapping_add_signed(-k.ra_to_main);
+    let gadgets: Vec<u64> = (0..chain_len as usize)
+        .map(|i| {
+            main_base.wrapping_add_signed(k.ret_gadgets_rel_main[i % k.ret_gadgets_rel_main.len()])
+        })
+        .collect();
+
+    // Ground truth for scoring the *goal* (the chain is also actually
+    // executed below — wrong addresses crash or trap on their own).
+    let truth: Vec<u64> = (0..chain_len as usize)
+        .map(|i| ret_gadget_addr(image, GADGET_FUNCS[i % GADGET_FUNCS.len()]))
+        .collect();
+    let all_correct = gadgets == truth;
+
+    // Execute the chain for real: each gadget's ret pops the next.
+    let out = vm.hijack_chain(&gadgets);
+    match out.status {
+        r2c_vm::ExitStatus::Exited(_) if all_correct => Outcome::Success,
+        r2c_vm::ExitStatus::Exited(_) => Outcome::Failed("chain ran astray"),
+        r2c_vm::ExitStatus::Faulted(f) => Outcome::from_fault(f),
+        r2c_vm::ExitStatus::Probed => Outcome::Failed("victim paused unexpectedly"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::{build_victim, run_victim};
+    use r2c_core::R2cConfig;
+
+    #[test]
+    fn rop_succeeds_on_unprotected() {
+        let cfg = R2cConfig::baseline(0);
+        let k = AttackerKnowledge::profile(&cfg, 999);
+        let v = build_victim(cfg.with_seed(1));
+        let mut vm = run_victim(&v.image);
+        assert_eq!(classic_rop(&mut vm, &v.image, &k, 4), Outcome::Success);
+    }
+
+    #[test]
+    fn rop_fails_on_full_r2c() {
+        let cfg = R2cConfig::full(0);
+        let k = AttackerKnowledge::profile(&cfg, 999);
+        let mut successes = 0;
+        for seed in 1..=8 {
+            let v = build_victim(cfg.with_seed(seed));
+            let mut vm = run_victim(&v.image);
+            if classic_rop(&mut vm, &v.image, &k, 4).is_success() {
+                successes += 1;
+            }
+        }
+        assert_eq!(successes, 0, "classic ROP must not survive full R²C");
+    }
+}

@@ -1,0 +1,239 @@
+//! The victim program all attacks target.
+//!
+//! A miniature "server" with exactly the ingredients the AOCR paper
+//! exploits (paper §2.3, Figure 1):
+//!
+//! * a request handler whose stack frame contains **heap pointers**, a
+//!   **function pointer**, a recognizable **anchor value** and, of
+//!   course, its **return address**;
+//! * a heap object holding a **pointer into the data section** (the
+//!   stepping stone of AOCR attack B);
+//! * a global **default parameter** that a dispatcher passes to a
+//!   privileged function (the corruption target of AOCR attack C);
+//! * a **Malicious-Thread-Blocking point** (`probe`) inside the handler
+//!   where the attacker can observe the blocked thread's stack.
+//!
+//! The attack goal is to have `privileged` run with the attacker's
+//! argument [`MAGIC_ARG`]; it prints [`PRIV_MARKER`] followed by its
+//! argument, so success is visible in the program output.
+
+use r2c_core::{R2cCompiler, R2cConfig, VariantInfo};
+use r2c_ir::{BinOp, ExternFn, GlobalInit, Module, ModuleBuilder};
+use r2c_vm::{Image, MachineKind, Vm, VmConfig};
+
+/// Argument the attacker tries to smuggle into `privileged`.
+pub const MAGIC_ARG: i64 = 0x1337;
+/// Marker `privileged` prints before its argument.
+pub const PRIV_MARKER: i64 = 777_000_777;
+/// Benign default parameter value.
+pub const BENIGN_PARAM: i64 = 1111;
+/// Anchor constant the handler stores in a local (the `0xaaaa` of the
+/// paper's Figure 2: a value the attacker recognizes and could use to
+/// locate the return address relative to it).
+pub const ANCHOR: i64 = 0xAAAA;
+
+/// Builds the victim IR module.
+pub fn victim_module() -> Module {
+    let mut mb = ModuleBuilder::new("victim");
+    // A few globals; @banner is the one the heap object points to, and
+    // @default_param the corruption target. Filler globals give the
+    // shuffle something to shuffle.
+    let banner = mb.global("banner", GlobalInit::Words(vec![0x42, 0x42]), 8);
+    let filler1 = mb.global("filler1", GlobalInit::Zero(48), 8);
+    let default_param = mb.global("default_param", GlobalInit::Words(vec![BENIGN_PARAM]), 8);
+    let filler2 = mb.global("filler2", GlobalInit::Zero(24), 8);
+    let counter = mb.global("request_count", GlobalInit::Zero(8), 8);
+    let _ = (filler1, filler2);
+
+    let privileged = mb.declare_function("privileged", 1);
+    let helper = mb.declare_function("helper", 1);
+    let dispatch = mb.declare_function("dispatch", 0);
+    let handler = mb.declare_function("handler", 1);
+
+    {
+        let mut f = mb.function("privileged", 1);
+        let p = f.param(0);
+        let m = f.iconst(PRIV_MARKER);
+        f.call_extern(ExternFn::PrintI64, &[m]);
+        f.call_extern(ExternFn::PrintI64, &[p]);
+        f.ret(Some(p));
+        f.finish();
+    }
+    {
+        let mut f = mb.function("helper", 1);
+        let p = f.param(0);
+        let c = f.iconst(3);
+        let r = f.bin(BinOp::Mul, p, c);
+        let one = f.iconst(1);
+        let r2 = f.bin(BinOp::Add, r, one);
+        f.ret(Some(r2));
+        f.finish();
+    }
+    {
+        // The whole-function-reuse target of AOCR attack C: passes the
+        // (corruptible) global default parameter to `privileged`.
+        let mut f = mb.function("dispatch", 0);
+        let g = f.global_addr(default_param);
+        let p = f.load(g, 0);
+        let r = f.call(privileged, &[p]);
+        f.ret(Some(r));
+        f.finish();
+    }
+    {
+        let mut f = mb.function("handler", 1);
+        let req = f.param(0);
+        let locals = f.alloca(96, 8);
+        // Two heap objects; their pointers live in the frame.
+        let sz1 = f.iconst(128);
+        let h1 = f.call_extern(ExternFn::Malloc, &[sz1]);
+        let sz2 = f.iconst(64);
+        let h2 = f.call_extern(ExternFn::Malloc, &[sz2]);
+        f.store(locals, 0, h1);
+        f.store(locals, 8, h2);
+        // The heap object references a global — the data-section
+        // stepping stone (attack B).
+        let gb = f.global_addr(banner);
+        f.store(h1, 16, gb);
+        f.store(h1, 24, req);
+        // A function pointer in the frame (attack A's harvest).
+        let fp = f.func_addr(privileged);
+        f.store(locals, 16, fp);
+        // The anchor local.
+        let anchor = f.iconst(ANCHOR);
+        f.store(locals, 24, anchor);
+        // Some work, creating and tearing down a deeper frame.
+        let w = f.call(helper, &[req]);
+        f.store(locals, 32, w);
+        // Count the request in a global.
+        let gc = f.global_addr(counter);
+        let c0 = f.load(gc, 0);
+        let one = f.iconst(1);
+        let c1 = f.bin(BinOp::Add, c0, one);
+        f.store(gc, 0, c1);
+        // The thread "blocks" here; the attacker observes the stack.
+        f.call_extern(ExternFn::Probe, &[]);
+        let v = f.load(h1, 24);
+        let a = f.load(locals, 24);
+        let r = f.bin(BinOp::Add, v, a);
+        // h1/h2 intentionally stay allocated (live heap objects).
+        f.ret(Some(r));
+        f.finish();
+    }
+    {
+        let mut f = mb.function("main", 0);
+        let acc_slot = f.alloca(8, 8);
+        let zero = f.iconst(0);
+        f.store(acc_slot, 0, zero);
+        let body = f.new_block("body");
+        let done = f.new_block("done");
+        let i_slot = f.alloca(8, 8);
+        f.store(i_slot, 0, zero);
+        f.br(body);
+        f.switch_to(body);
+        let i = f.load(i_slot, 0);
+        let r = f.call(handler, &[i]);
+        let acc = f.load(acc_slot, 0);
+        let acc2 = f.bin(BinOp::Add, acc, r);
+        f.store(acc_slot, 0, acc2);
+        let one = f.iconst(1);
+        let i2 = f.bin(BinOp::Add, i, one);
+        f.store(i_slot, 0, i2);
+        let lim = f.iconst(4);
+        let again = f.cmp(r2c_ir::CmpOp::Lt, i2, lim);
+        f.cond_br(again, body, done);
+        f.switch_to(done);
+        let fin = f.load(acc_slot, 0);
+        f.ret(Some(fin));
+        f.finish();
+    }
+    let _ = (dispatch, handler);
+    mb.finish()
+}
+
+/// A built victim: the image plus build info.
+pub struct VictimBuild {
+    /// The linked victim image.
+    pub image: Image,
+    /// Static variant information.
+    pub info: VariantInfo,
+}
+
+/// Builds the victim with the given configuration.
+pub fn build_victim(cfg: R2cConfig) -> VictimBuild {
+    let m = victim_module();
+    let (image, info) = R2cCompiler::new(cfg)
+        .build_with_info(&m)
+        .expect("victim must compile");
+    VictimBuild { image, info }
+}
+
+/// Runs the victim to completion (populating stack probes and heap
+/// state) and returns the VM, ready for attack steps.
+pub fn run_victim(image: &Image) -> Vm {
+    let mut vm = Vm::new(image, VmConfig::new(MachineKind::EpycRome.config()));
+    let out = vm.run();
+    assert!(
+        out.status.is_exit(),
+        "victim must run cleanly: {:?}",
+        out.status
+    );
+    assert!(!vm.probes.is_empty(), "victim must have probed its stack");
+    vm
+}
+
+/// True if the program output shows `privileged(MAGIC_ARG)` executed.
+pub fn privileged_fired_with_magic(vm: &Vm) -> bool {
+    vm.output.windows(2).any(|w| w == [PRIV_MARKER, MAGIC_ARG])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_core::R2cConfig;
+    use r2c_ir::interpret;
+
+    #[test]
+    fn victim_is_valid_and_runs() {
+        let m = victim_module();
+        r2c_ir::verify_module(&m).unwrap();
+        let expected = interpret(&m, "main", 10_000_000).unwrap();
+        for cfg in [R2cConfig::baseline(1), R2cConfig::full(1)] {
+            let v = build_victim(cfg);
+            let vm = run_victim(&v.image);
+            assert_eq!(vm.output, expected.output);
+            assert!(!privileged_fired_with_magic(&vm));
+        }
+    }
+
+    #[test]
+    fn probe_snapshot_contains_frame_values() {
+        // In the baseline build, the leak must expose the anchor, a
+        // heap pointer, the function pointer and the return address —
+        // the Figure 2a situation.
+        let v = build_victim(R2cConfig::baseline(3));
+        let vm = run_victim(&v.image);
+        let snap = &vm.probes[0];
+        let words: Vec<u64> = snap
+            .bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert!(words.contains(&(ANCHOR as u64)), "anchor visible");
+        let priv_addr = v.image.func_addr("privileged");
+        assert!(words.contains(&priv_addr), "function pointer visible");
+        let heapish = words.iter().any(|&w| {
+            w >= v.image.layout.heap_base && w < v.image.layout.heap_base + v.image.layout.heap_size
+        });
+        assert!(heapish, "heap pointer visible");
+    }
+
+    #[test]
+    fn dispatch_uses_default_param() {
+        let v = build_victim(R2cConfig::baseline(5));
+        let mut vm = run_victim(&v.image);
+        let out = vm.call(v.image.func_addr("dispatch"), &[]);
+        assert!(out.status.is_exit());
+        let n = vm.output.len();
+        assert_eq!(&vm.output[n - 2..], &[PRIV_MARKER, BENIGN_PARAM]);
+    }
+}

@@ -1,0 +1,264 @@
+//! The return-address zeroing side channel of paper §7.3, and the two
+//! mitigations the paper proposes against the remaining attack
+//! surface: load-time re-randomization and BTRA consistency checking.
+//!
+//! > "an attacker could use the corruption of potential return
+//! > addresses as a side channel. For example, by overwriting selected
+//! > return address candidates with zero and observing whether the
+//! > process crashes, the attacker could learn the location of the
+//! > real return address."
+//!
+//! The attack uses Malicious Thread Blocking *live*: each probe holds a
+//! fresh worker (same image — a restarting pool) at the blocking point,
+//! zeroes one return-address candidate in the held frame, releases the
+//! thread, and watches what happens:
+//!
+//! * the worker finishes cleanly → the candidate was a BTRA (never
+//!   dereferenced);
+//! * the worker crashes → the candidate was the real return address;
+//! * a booby trap fires → with consistency checking enabled, the
+//!   corruption itself was caught before it taught the attacker
+//!   anything.
+
+use r2c_core::{R2cCompiler, R2cConfig};
+use r2c_ir::Module;
+use r2c_vm::image::Region;
+use r2c_vm::{ExitStatus, Image, MachineKind, Vm, VmConfig};
+
+/// Result of a zeroing campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZeroingResult {
+    /// The attacker identified the return-address slot after this many
+    /// corruption probes, undetected.
+    FoundRa {
+        /// Probes spent.
+        probes: u32,
+    },
+    /// A booby trap / guard page fired first (defender reacts).
+    Detected {
+        /// Probes spent before detection.
+        probes: u32,
+    },
+    /// All candidates exhausted without a crash (attack failed).
+    Exhausted,
+}
+
+fn probe_vm(image: &Image) -> Vm {
+    let cfg = VmConfig {
+        machine: MachineKind::EpycRome.config(),
+        insn_budget: 50_000_000,
+        break_on_probe: true,
+    };
+    Vm::new(image, cfg)
+}
+
+/// Runs the zeroing side channel against a (crash-restarting,
+/// non-re-randomizing) worker pool running `image`.
+pub fn zeroing_attack(image: &Image) -> ZeroingResult {
+    // First, hold one worker to enumerate candidates.
+    let mut scout = probe_vm(image);
+    let out = scout.run();
+    if out.status != ExitStatus::Probed {
+        return ZeroingResult::Exhausted;
+    }
+    let snap = scout.probes[0].clone();
+    let words: Vec<u64> = snap
+        .bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let candidates: Vec<usize> = words
+        .iter()
+        .enumerate()
+        .filter(|(_, &w)| image.layout.region_of(w) == Some(Region::Text))
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut probes = 0;
+    for &slot in &candidates {
+        probes += 1;
+        // Fresh worker from the restarting pool, held at the block.
+        let mut worker = probe_vm(image);
+        if worker.run().status != ExitStatus::Probed {
+            continue;
+        }
+        let addr = worker.probes[0].rsp + 8 * slot as u64;
+        if worker.attacker_write_u64(addr, 0).is_err() {
+            continue;
+        }
+        // Release the thread and observe.
+        match worker.resume().status {
+            ExitStatus::Exited(_) => {
+                // Survived: the candidate was a decoy; next probe.
+            }
+            ExitStatus::Faulted(f) if f.is_detection() => {
+                return ZeroingResult::Detected { probes };
+            }
+            ExitStatus::Faulted(_) => {
+                // Crash without detection: the zeroed slot was load-
+                // bearing — the real return address.
+                return ZeroingResult::FoundRa { probes };
+            }
+            ExitStatus::Probed => {
+                // Paused again (later probe in the same run); treat as
+                // survival.
+            }
+        }
+    }
+    ZeroingResult::Exhausted
+}
+
+/// Blind-ROP (§4.1) against a worker pool with **load-time
+/// re-randomization** (the §7.3 mitigation): every restart gets a
+/// freshly diversified image, so information from one crash is useless
+/// against the next worker.
+pub fn blind_rop_rerandomizing(
+    module: &Module,
+    cfg: R2cConfig,
+    max_probes: u32,
+) -> crate::blindrop::BlindRopResult {
+    use crate::blindrop::{BlindOutcome, BlindRopResult};
+    use crate::victim::{privileged_fired_with_magic, MAGIC_ARG};
+
+    // The attacker leaks a code pointer from worker 0 and scans from it
+    // — but every subsequent worker has a different layout.
+    let first = R2cCompiler::new(cfg.with_seed(1_000_000))
+        .build(module)
+        .unwrap();
+    let mut vm = crate::victim::run_victim(&first);
+    let (_rsp, words) = crate::knowledge::probe_words(&mut vm);
+    let start = words
+        .iter()
+        .copied()
+        .find(|&w| first.layout.region_of(w) == Some(Region::Text))
+        .unwrap_or(first.layout.text_base);
+
+    let mut probes = 0;
+    let mut step: i64 = 0;
+    while probes < max_probes {
+        let candidate = (start & !15).wrapping_add_signed(16 * step);
+        step = if step >= 0 { -(step + 1) } else { -step };
+        probes += 1;
+        // Restart = rebuild with a fresh seed: load-time
+        // re-randomization.
+        let image = R2cCompiler::new(cfg.with_seed(1_000_000 + probes as u64))
+            .build(module)
+            .unwrap();
+        let mut worker = Vm::new(
+            &image,
+            VmConfig {
+                machine: MachineKind::EpycRome.config(),
+                insn_budget: 200_000,
+                break_on_probe: false,
+            },
+        );
+        let out = worker.call(candidate, &[MAGIC_ARG as u64]);
+        match out.status {
+            ExitStatus::Exited(_) if privileged_fired_with_magic(&worker) => {
+                return BlindRopResult {
+                    outcome: BlindOutcome::Success,
+                    probes,
+                };
+            }
+            ExitStatus::Faulted(f) if f.is_detection() => {
+                return BlindRopResult {
+                    outcome: BlindOutcome::Detected,
+                    probes,
+                };
+            }
+            _ => {}
+        }
+    }
+    BlindRopResult {
+        outcome: BlindOutcome::Exhausted,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::victim_module;
+    use r2c_core::DiversifyConfig;
+
+    fn build(cfg: R2cConfig) -> Image {
+        R2cCompiler::new(cfg).build(&victim_module()).unwrap()
+    }
+
+    #[test]
+    fn zeroing_side_channel_finds_ra_without_consistency_checks() {
+        // §7.3: without the mitigation, the campaign eventually zeroes
+        // the true RA and observes the crash. (Individual probes that
+        // hit BTDP-adjacent state may detect first on some seeds, so
+        // check the aggregate.)
+        let mut found = 0;
+        let n = 6;
+        for seed in 0..n {
+            let image = build(R2cConfig::full(seed));
+            if matches!(zeroing_attack(&image), ZeroingResult::FoundRa { .. }) {
+                found += 1;
+            }
+        }
+        assert!(
+            found >= n / 2,
+            "zeroing should usually locate the RA ({found}/{n})"
+        );
+    }
+
+    #[test]
+    fn consistency_checks_detect_zeroing() {
+        let mut detected = 0;
+        let mut found = 0;
+        let n = 8;
+        for seed in 0..n {
+            let cfg = R2cConfig {
+                diversify: DiversifyConfig::hardened(3),
+                seed,
+            };
+            let image = build(cfg);
+            match zeroing_attack(&image) {
+                ZeroingResult::Detected { .. } => detected += 1,
+                ZeroingResult::FoundRa { .. } => found += 1,
+                ZeroingResult::Exhausted => {}
+            }
+        }
+        assert!(
+            detected > found,
+            "consistency checking should usually catch the corruption \
+             (detected {detected}, found {found} of {n})"
+        );
+    }
+
+    #[test]
+    fn hardened_config_still_correct() {
+        // The consistency-check instrumentation must not break programs.
+        let module = victim_module();
+        let expected = r2c_ir::interpret(&module, "main", 10_000_000).unwrap();
+        for seed in 0..4 {
+            let cfg = R2cConfig {
+                diversify: DiversifyConfig::hardened(2),
+                seed,
+            };
+            let image = R2cCompiler::new(cfg).build(&module).unwrap();
+            let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));
+            let out = vm.run();
+            assert_eq!(out.status, ExitStatus::Exited(expected.ret), "seed {seed}");
+            assert!(
+                vm.detections().is_empty(),
+                "seed {seed}: benign run trapped"
+            );
+        }
+    }
+
+    #[test]
+    fn rerandomization_defeats_blind_rop() {
+        use crate::blindrop::BlindOutcome;
+        let module = victim_module();
+        let r = blind_rop_rerandomizing(&module, R2cConfig::full(0), 150);
+        assert_ne!(
+            r.outcome,
+            BlindOutcome::Success,
+            "re-randomized workers must not fall to a positional scan: {r:?}"
+        );
+    }
+}

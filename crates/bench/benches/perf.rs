@@ -1,0 +1,135 @@
+//! Criterion benchmarks mirroring the paper's evaluation structure.
+//!
+//! One group per table/figure. These run the same code paths as the
+//! `report_*` binaries at reduced scale, so `cargo bench` both
+//! exercises the whole pipeline and provides host-side regression
+//! tracking. The actual paper tables (which are about *simulated*
+//! cycles, not host time) are produced by the report binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use r2c_core::{Component, R2cCompiler, R2cConfig};
+use r2c_vm::{MachineKind, Vm, VmConfig};
+use r2c_workloads::{spec_workloads, webserver_module, Scale, ServerKind};
+
+fn run_image(image: &r2c_vm::Image, machine: MachineKind) -> f64 {
+    let mut vm = Vm::new(image, VmConfig::new(machine.config()));
+    let out = vm.run();
+    assert!(out.status.is_exit());
+    out.stats.cycles_f64()
+}
+
+/// Table 1: executing representative workloads under each isolated
+/// component configuration.
+fn bench_table1_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_components");
+    g.sample_size(10);
+    let workloads = spec_workloads(Scale::Test);
+    let subset = ["omnetpp", "xalancbmk", "lbm"];
+    for w in workloads.iter().filter(|w| subset.contains(&w.name)) {
+        let configs: Vec<(&str, R2cConfig)> = vec![
+            ("baseline", R2cConfig::baseline(1)),
+            ("push", R2cConfig::component(Component::Push, 1)),
+            ("avx", R2cConfig::component(Component::Avx, 1)),
+            ("btdp", R2cConfig::component(Component::Btdp, 1)),
+        ];
+        for (cname, cfg) in configs {
+            let image = R2cCompiler::new(cfg).build(&w.module).unwrap();
+            g.bench_with_input(BenchmarkId::new(w.name, cname), &image, |b, image| {
+                b.iter(|| run_image(image, MachineKind::EpycRome))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 6: full R²C on every workload (EPYC Rome model).
+fn bench_fig6_full(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_full_r2c");
+    g.sample_size(10);
+    for w in spec_workloads(Scale::Test) {
+        let base = R2cCompiler::new(R2cConfig::baseline(1))
+            .build(&w.module)
+            .unwrap();
+        let full = R2cCompiler::new(R2cConfig::full(1))
+            .build(&w.module)
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new(w.name, "baseline"), &base, |b, img| {
+            b.iter(|| run_image(img, MachineKind::EpycRome))
+        });
+        g.bench_with_input(BenchmarkId::new(w.name, "full_r2c"), &full, |b, img| {
+            b.iter(|| run_image(img, MachineKind::EpycRome))
+        });
+    }
+    g.finish();
+}
+
+/// §6.2.4: web-server request processing.
+fn bench_webserver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("webserver");
+    g.sample_size(10);
+    for kind in [ServerKind::Nginx, ServerKind::Apache] {
+        let module = webserver_module(kind, 200);
+        for (cname, cfg) in [
+            ("baseline", R2cConfig::baseline(1)),
+            ("full_r2c", R2cConfig::full(1)),
+        ] {
+            let image = R2cCompiler::new(cfg).build(&module).unwrap();
+            g.bench_with_input(BenchmarkId::new(kind.name(), cname), &image, |b, image| {
+                b.iter(|| run_image(image, MachineKind::I9_9900K))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// §6.3: compiler throughput with full diversification.
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_scalability");
+    g.sample_size(10);
+    for w in spec_workloads(Scale::Test)
+        .into_iter()
+        .filter(|w| w.name == "xalancbmk")
+    {
+        g.bench_function("full_r2c_compile_xalancbmk", |b| {
+            b.iter(|| {
+                R2cCompiler::new(R2cConfig::full(1))
+                    .build(&w.module)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §7.2: one AOCR attempt against a diversified victim (dominated by
+/// victim build + run; tracks the security-evaluation pipeline).
+fn bench_attack(c: &mut Criterion) {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut g = c.benchmark_group("security_eval");
+    g.sample_size(10);
+    let cfg = R2cConfig::full(0);
+    let k = r2c_attacks::AttackerKnowledge::profile(&cfg, 1);
+    g.bench_function("aocr_vs_full_r2c", |b| {
+        let mut seed = 0u64;
+        let mut rng = SmallRng::seed_from_u64(9);
+        b.iter(|| {
+            seed += 1;
+            let v = r2c_attacks::victim::build_victim(cfg.with_seed(seed));
+            let mut vm = r2c_attacks::victim::run_victim(&v.image);
+            r2c_attacks::aocr::aocr_attack(&mut vm, &v.image, &k, &mut rng)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_components,
+    bench_fig6_full,
+    bench_webserver,
+    bench_compile,
+    bench_attack
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates **Figure 6**: the performance impact of full R²C
+//! protection per benchmark on the four evaluation machines.
+//!
+//! Paper shape (§6.2.4): geometric means between 6.6% and 8.5%, with
+//! the Xeon highest at 8.5%; omnetpp worst-case 21% on the Xeon;
+//! call-heavy benchmarks (omnetpp, xalancbmk, nab) hurt most;
+//! compute-bound ones (lbm, xz, imagick, x264) barely move.
+
+use r2c_bench::{geomean, median_cycles, pct, TablePrinter};
+use r2c_core::R2cConfig;
+use r2c_vm::MachineKind;
+use r2c_workloads::{spec_workloads, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--large") {
+        Scale::Large
+    } else {
+        Scale::Bench
+    };
+    let runs = 3;
+    let workloads = spec_workloads(scale);
+    println!(
+        "Figure 6: full R2C performance impact per benchmark (median of {runs} seeds per cell)\n"
+    );
+    let t = TablePrinter::new(&[11, 9, 9, 9, 9]);
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(MachineKind::ALL.iter().map(|m| m.name().to_string()));
+    t.row(&header);
+    t.sep();
+
+    let mut per_machine: Vec<Vec<f64>> = vec![Vec::new(); MachineKind::ALL.len()];
+    for w in &workloads {
+        let mut row = vec![w.name.to_string()];
+        for (mi, &machine) in MachineKind::ALL.iter().enumerate() {
+            let base = median_cycles(&w.module, R2cConfig::baseline(0), machine, runs, 30);
+            let prot = median_cycles(&w.module, R2cConfig::full(0), machine, runs, 40);
+            let ratio = prot / base;
+            per_machine[mi].push(ratio);
+            row.push(pct(ratio));
+        }
+        t.row(&row);
+    }
+    t.sep();
+    let mut geo_row = vec!["geomean".to_string()];
+    for ratios in &per_machine {
+        geo_row.push(pct(geomean(ratios)));
+    }
+    t.row(&geo_row);
+    println!("\npaper: geometric mean 6.6%-8.5% across machines (Xeon highest);");
+    println!("omnetpp up to 21% on Xeon; lbm/xz/x264/imagick near baseline.");
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Table 1**: maximum and geometric-mean overhead of
+//! R²C's isolated components across the SPEC-like workloads, plus the
+//! §6.2.1 offset-invariant-addressing measurement.
+//!
+//! Paper values (EPYC Rome, §6.2.1–6.2.3):
+//!
+//! | component | max | geomean |
+//! |---|---|---|
+//! | Push | 1.21 | 1.06 |
+//! | AVX | 1.10 | 1.04 |
+//! | BTDP | 1.05 | 1.02 |
+//! | Prolog | 1.06 | 1.02 |
+//! | Layout | 1.02 | 1.00 |
+//! | (OIA alone: geomean +0.79%, max +3.61%) |
+
+use r2c_bench::{geomean, median_cycles, TablePrinter};
+use r2c_core::{Component, R2cConfig};
+use r2c_vm::MachineKind;
+use r2c_workloads::{spec_workloads, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--large") {
+        Scale::Large
+    } else {
+        Scale::Bench
+    };
+    let runs = 3;
+    let machine = MachineKind::EpycRome; // the paper's component-analysis machine
+    let workloads = spec_workloads(scale);
+
+    println!(
+        "Table 1: component overheads (machine: {}, {} workloads, median of {} seeds)\n",
+        machine.name(),
+        workloads.len(),
+        runs
+    );
+    let t = TablePrinter::new(&[10, 8, 8, 14]);
+    t.row(&[
+        "component".into(),
+        "max".into(),
+        "geomean".into(),
+        "paper (max/geo)".into(),
+    ]);
+    t.sep();
+
+    let baselines: Vec<f64> = workloads
+        .iter()
+        .map(|w| median_cycles(&w.module, R2cConfig::baseline(0), machine, runs, 10))
+        .collect();
+
+    let paper = [
+        (Component::Push, "1.21 / 1.06"),
+        (Component::Avx, "1.10 / 1.04"),
+        (Component::Btdp, "1.05 / 1.02"),
+        (Component::Prolog, "1.06 / 1.02"),
+        (Component::Layout, "1.02 / 1.00"),
+        (Component::Oia, "1.04 / 1.008"),
+    ];
+    for (component, paper_val) in paper {
+        let mut ratios = Vec::new();
+        for (w, base) in workloads.iter().zip(&baselines) {
+            let cfg = R2cConfig::component(component, 0);
+            let prot = median_cycles(&w.module, cfg, machine, runs, 20);
+            ratios.push(prot / base);
+        }
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        t.row(&[
+            component.name().into(),
+            format!("{max:.2}"),
+            format!("{:.2}", geomean(&ratios)),
+            paper_val.into(),
+        ]);
+    }
+    println!("\n(OIA row corresponds to §6.2.1: offset-invariant addressing alone,");
+    println!(" paper: geomean +0.79%, max +3.61%.)");
+}

@@ -1,0 +1,177 @@
+//! # r2c-bench — the benchmark harness regenerating every table and figure
+//!
+//! The paper's evaluation artifacts and the binaries that regenerate
+//! them (all built by this crate; run with `cargo run --release -p
+//! r2c-bench --bin <name>`):
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Table 1 (component overheads, incl. the §6.2.1 OIA row) | `report_table1` |
+//! | Table 2 (dynamic call frequencies) | `report_table2` |
+//! | Table 3 (defense comparison) | `report_table3` |
+//! | Figure 6 (full R²C overhead, 4 machines) | `report_fig6` |
+//! | §6.2.4 (web-server throughput) | `report_webserver` |
+//! | §6.2.5 (memory overhead) | `report_memory` |
+//! | §7.2 (security: attack matrix + probabilities) | `report_security` |
+//! | §6.3 (scalability) | `report_scale` |
+//!
+//! Methodology follows the paper (§6.2): per measurement the program is
+//! *recompiled with a fresh seed* (the location of return addresses and
+//! the distribution of BTDPs is random per build) and the median across
+//! runs is reported; the baseline is the same compiler with R²C
+//! disabled. Overheads are ratios of simulated cycle counts under the
+//! respective machine cost model.
+
+use r2c_core::{R2cCompiler, R2cConfig};
+use r2c_ir::Module;
+use r2c_vm::{ExecStats, ExitStatus, MachineKind, Vm, VmConfig};
+
+/// One measured run of a module under a configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Simulated cycles.
+    pub cycles: f64,
+    /// Full execution statistics.
+    pub stats: ExecStats,
+}
+
+/// Builds (with `seed`) and runs `module`, returning the measurement.
+///
+/// # Panics
+///
+/// Panics if the program fails to compile or crashes — a measurement on
+/// a crashed run would be meaningless.
+pub fn measure_once(
+    module: &Module,
+    cfg: R2cConfig,
+    machine: MachineKind,
+    seed: u64,
+) -> Measurement {
+    let image = R2cCompiler::new(cfg.with_seed(seed))
+        .build(module)
+        .expect("compile failed");
+    let mut vm = Vm::new(&image, VmConfig::new(machine.config()));
+    let out = vm.run();
+    assert!(
+        matches!(out.status, ExitStatus::Exited(_)),
+        "benchmark run crashed: {:?}",
+        out.status
+    );
+    Measurement {
+        cycles: out.stats.cycles_f64(),
+        stats: out.stats,
+    }
+}
+
+/// Median cycles over `runs` executions, each recompiled with a fresh
+/// seed derived from `seed_base` (the paper's per-execution reseeding).
+pub fn median_cycles(
+    module: &Module,
+    cfg: R2cConfig,
+    machine: MachineKind,
+    runs: u32,
+    seed_base: u64,
+) -> f64 {
+    let mut cycles: Vec<f64> = (0..runs)
+        .map(|i| measure_once(module, cfg, machine, seed_base + 1 + i as u64).cycles)
+        .collect();
+    cycles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    median_of_sorted(&cycles)
+}
+
+fn median_of_sorted(v: &[f64]) -> f64 {
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Overhead of `cfg` relative to the baseline configuration on the
+/// same machine (1.00 = no overhead).
+pub fn overhead(
+    module: &Module,
+    cfg: R2cConfig,
+    machine: MachineKind,
+    runs: u32,
+    seed_base: u64,
+) -> f64 {
+    let base = median_cycles(module, R2cConfig::baseline(0), machine, runs, seed_base);
+    let prot = median_cycles(module, cfg, machine, runs, seed_base ^ 0x5eed);
+    prot / base
+}
+
+/// Geometric mean.
+pub fn geomean(xs: &[f64]) -> f64 {
+    let s: f64 = xs.iter().map(|x| x.ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Formats a ratio as the paper's percentage overhead.
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// Simple fixed-width table printer for the report binaries.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Creates a printer with the given column widths.
+    pub fn new(widths: &[usize]) -> TablePrinter {
+        TablePrinter {
+            widths: widths.to_vec(),
+        }
+    }
+
+    /// Prints one row.
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = self.widths.get(i).copied().unwrap_or(12);
+            line.push_str(&format!("{cell:<w$}  "));
+        }
+        println!("{}", line.trim_end());
+    }
+
+    /// Prints a separator.
+    pub fn sep(&self) {
+        let total: usize = self.widths.iter().map(|w| w + 2).sum();
+        println!("{}", "-".repeat(total));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_workloads::{spec_workloads, Scale};
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.06]) - 1.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(1.066), "+6.6%");
+        assert_eq!(pct(0.97), "-3.0%");
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_seed() {
+        let w = &spec_workloads(Scale::Test)[3]; // lbm: small
+        let a = measure_once(&w.module, R2cConfig::full(0), MachineKind::EpycRome, 7);
+        let b = measure_once(&w.module, R2cConfig::full(0), MachineKind::EpycRome, 7);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn protected_costs_more_than_baseline() {
+        let w = &spec_workloads(Scale::Test)[4]; // omnetpp: call-heavy
+        let r = overhead(&w.module, R2cConfig::full(0), MachineKind::EpycRome, 3, 1);
+        assert!(r > 1.0, "overhead ratio {r}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Code-generation and diversification configuration.
+//!
+//! The knobs here correspond one-to-one to the R²C techniques of the
+//! paper: booby-trapped return addresses (push or AVX2 setup, §5.1),
+//! booby-trapped data pointers (§5.2), NOP insertion at call sites and
+//! trap insertion in prologs (§4.3), stack-slot and register-allocation
+//! randomization, and offset-invariant addressing (§5.1.1). All
+//! randomness is drawn from a seed, so a (module, config, seed) triple
+//! deterministically identifies one program variant — one "build" of the
+//! diversified binary.
+
+/// How the BTRA window is written to the stack.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BtraMode {
+    /// One push per address (Figure 3; up to `total + 2` pushes).
+    Push,
+    /// Batched 256-bit stores from a call-site-specific array in the
+    /// data section (Figure 4; the optimized sequence of §5.1.2).
+    Avx2,
+}
+
+/// BTRA (booby-trapped return address) parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BtraConfig {
+    /// Setup sequence.
+    pub mode: BtraMode,
+    /// Total BTRAs per call site (paper default: 10); split randomly
+    /// between pre-offset (before/above the return address) and
+    /// post-offset (after/below).
+    pub total: u8,
+    /// If true (pathological; for the §5.1.2 experiment only), omit the
+    /// `vzeroupper` after the AVX2 setup.
+    pub omit_vzeroupper: bool,
+}
+
+impl Default for BtraConfig {
+    fn default() -> Self {
+        BtraConfig {
+            mode: BtraMode::Avx2,
+            total: 10,
+            omit_vzeroupper: false,
+        }
+    }
+}
+
+/// BTDP (booby-trapped data pointer) parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BtdpConfig {
+    /// Maximum BTDPs written per function (uniform 0..=max, paper
+    /// default 5, §6.2.2).
+    pub max_per_fn: u8,
+    /// Number of page-sized chunks the startup constructor allocates.
+    pub pool_pages: u16,
+    /// Number of chunks kept (the rest are freed); kept chunks become
+    /// guard pages.
+    pub kept_pages: u16,
+    /// Number of decoy BTDPs placed in the data section (never written
+    /// to the stack — the Figure 5 hardening).
+    pub data_decoys: u8,
+    /// If true (naive variant of Figure 5, for the hardening test), the
+    /// BTDP array lives directly in the data section instead of on the
+    /// heap.
+    pub naive_data_array: bool,
+    /// Index of the global holding the pointer to the BTDP array (or
+    /// the array itself in the naive variant). Set by the R²C compiler
+    /// front end after it creates the global and the startup
+    /// constructor; 0 with `array_len == 0` disables instrumentation.
+    pub ptr_global: u32,
+    /// Number of entries in the BTDP array. 0 disables per-function
+    /// BTDP stores (there is nothing to read yet).
+    pub array_len: u32,
+}
+
+impl Default for BtdpConfig {
+    fn default() -> Self {
+        BtdpConfig {
+            max_per_fn: 5,
+            pool_pages: 64,
+            kept_pages: 16,
+            data_decoys: 4,
+            naive_data_array: false,
+            ptr_global: 0,
+            array_len: 0,
+        }
+    }
+}
+
+/// Full diversification configuration.
+///
+/// `DiversifyConfig::none()` is the baseline compiler ("same compiler
+/// version and flags but with R²C disabled", §6.2); `full()` enables
+/// everything, matching the Figure 6 configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiversifyConfig {
+    /// Booby-trapped return addresses.
+    pub btra: Option<BtraConfig>,
+    /// Booby-trapped data pointers.
+    pub btdp: Option<BtdpConfig>,
+    /// NOP insertion at call sites: `Some((min, max))` inserts a uniform
+    /// number of NOPs (of random 1–9 byte lengths) before each call.
+    pub nop_insertion: Option<(u8, u8)>,
+    /// Trap insertion in function prologs: uniform `min..=max` traps,
+    /// jumped over by regular control flow.
+    pub prolog_traps: Option<(u8, u8)>,
+    /// Permute stack slots and insert random padding slots.
+    pub stack_slot_rand: bool,
+    /// Randomize the register-allocation preference order per function.
+    pub regalloc_rand: bool,
+    /// Shuffle function order in the text section (with booby-trap
+    /// functions interspersed).
+    pub func_shuffle: bool,
+    /// Shuffle global-variable order and insert random padding.
+    pub global_shuffle: bool,
+    /// Offset-invariant addressing (caller-prepared frame pointer for
+    /// stack arguments). Implied by `btra`; can be enabled alone to
+    /// measure its isolated cost (§6.2.1).
+    pub offset_invariant_addressing: bool,
+    /// Number of booby-trap functions distributed through the text
+    /// section (targets for BTRAs).
+    pub booby_trap_funcs: u16,
+    /// Map the text section execute-only.
+    pub xom: bool,
+    /// Code-pointer hiding (§2.2, Readactor-style): materialized
+    /// function pointers (and function-pointer global initializers)
+    /// resolve to per-function trampolines in execute-only memory
+    /// instead of the function entries, so a leaked pointer reveals
+    /// nothing about the code layout. Direct calls stay direct. AOCR's
+    /// observation — that trampoline pointers can still be *called*
+    /// for whole-function reuse — is what R²C's data diversification
+    /// addresses instead.
+    pub cph: bool,
+    /// Number of BTRA slots re-verified after each return (0 = off).
+    ///
+    /// The paper's §7.3 hardening proposal against corruption-based
+    /// side channels: "R²C could also deter the corruption of BTRAs by
+    /// checking a random subset of BTRAs for consistency after the
+    /// return". A mismatch executes a trap — the zeroing probe becomes
+    /// a detection instead of free information.
+    pub btra_consistency_checks: u8,
+}
+
+impl DiversifyConfig {
+    /// Baseline: no diversification, conventional R/X text.
+    pub fn none() -> DiversifyConfig {
+        DiversifyConfig::default()
+    }
+
+    /// Full R²C protection (the Figure 6 configuration).
+    pub fn full() -> DiversifyConfig {
+        DiversifyConfig {
+            btra: Some(BtraConfig::default()),
+            btdp: Some(BtdpConfig::default()),
+            nop_insertion: Some((1, 9)),
+            prolog_traps: Some((1, 5)),
+            stack_slot_rand: true,
+            regalloc_rand: true,
+            func_shuffle: true,
+            global_shuffle: true,
+            offset_invariant_addressing: true,
+            booby_trap_funcs: 64,
+            xom: true,
+            cph: false,
+            btra_consistency_checks: 0,
+        }
+    }
+
+    /// Full protection plus the §7.3 hardening: `checks` BTRA slots are
+    /// re-verified after every return.
+    pub fn hardened(checks: u8) -> DiversifyConfig {
+        DiversifyConfig {
+            btra_consistency_checks: checks,
+            ..DiversifyConfig::full()
+        }
+    }
+
+    /// True if any call-site BTRA instrumentation is active.
+    pub fn uses_btra(&self) -> bool {
+        self.btra.is_some()
+    }
+
+    /// True if stack arguments must go through the caller-prepared
+    /// frame pointer.
+    pub fn uses_oia(&self) -> bool {
+        self.offset_invariant_addressing || self.btra.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_empty() {
+        let c = DiversifyConfig::none();
+        assert!(c.btra.is_none() && c.btdp.is_none() && !c.xom);
+        assert!(!c.uses_oia());
+    }
+
+    #[test]
+    fn full_enables_everything() {
+        let c = DiversifyConfig::full();
+        assert!(c.btra.is_some());
+        assert!(c.btdp.is_some());
+        assert!(c.func_shuffle && c.global_shuffle && c.xom);
+        assert!(c.uses_oia());
+    }
+
+    #[test]
+    fn btra_alone_implies_oia() {
+        let c = DiversifyConfig {
+            btra: Some(BtraConfig::default()),
+            ..DiversifyConfig::none()
+        };
+        assert!(c.uses_oia());
+    }
+}

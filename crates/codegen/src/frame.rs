@@ -1,0 +1,287 @@
+//! Stack-frame layout.
+//!
+//! Layout (offsets from the post-prologue stack pointer, growing up):
+//!
+//! ```text
+//! rsp + size .. (higher addresses: saved regs, post-offset BTRAs, RA)
+//! +-------------------------------+
+//! | locals area (shuffled):       |  spill slots, allocas, BTDP slots,
+//! |                               |  incoming-arg spill, argbase slot,
+//! |                               |  random padding
+//! +-------------------------------+
+//! | argstage (6 slots)            |  staging area for register args
+//! +-------------------------------+
+//! | outgoing stack args           |  [rsp + 0 ..)
+//! +-------------------------------+  <- rsp after prologue
+//! ```
+//!
+//! With stack-slot randomization enabled, the locals area is permuted
+//! and padded (the paper's stack-slot randomization, which both hides
+//! relative positions of stack objects and mixes BTDP slots among
+//! benign pointers, §4.2/§5.2).
+
+use rand::Rng;
+
+/// What to allocate in the locals area.
+#[derive(Clone, Debug)]
+pub struct FrameRequest {
+    /// Spill slot count (8 bytes each).
+    pub spill_slots: u32,
+    /// Alloca sizes and alignments, in value order.
+    pub allocas: Vec<(u32, u32)>,
+    /// Number of BTDP slots (8 bytes each).
+    pub btdp_slots: u32,
+    /// Number of incoming register arguments to spill (≤ 6).
+    pub incoming_args: u32,
+    /// Whether a slot for the caller-provided argument-base pointer is
+    /// needed (offset-invariant addressing with stack parameters).
+    pub argbase_slot: bool,
+    /// Outgoing stack-argument bytes (max over call sites).
+    pub out_args_bytes: u32,
+    /// Randomize slot order and insert padding.
+    pub randomize: bool,
+}
+
+/// Computed frame layout. All offsets are from the post-prologue `rsp`.
+#[derive(Clone, Debug)]
+pub struct FrameLayout {
+    /// Offset of the argument staging area.
+    pub argstage_off: u32,
+    /// Offsets of spill slots (indexed by slot id).
+    pub spill_off: Vec<u32>,
+    /// Offsets of allocas (same order as the request).
+    pub alloca_off: Vec<u32>,
+    /// Offsets of BTDP slots.
+    pub btdp_off: Vec<u32>,
+    /// Offsets of incoming-argument spill slots (indexed by arg number).
+    pub incoming_off: Vec<u32>,
+    /// Offset of the argument-base save slot (if requested).
+    pub argbase_off: Option<u32>,
+    /// Total frame size in bytes (the prologue's `sub rsp, size`).
+    pub size: u32,
+}
+
+enum Item {
+    Spill(u32),
+    Alloca(u32, u32, u32),
+    Btdp(u32),
+    Incoming(u32),
+    ArgBase,
+    Pad(u32),
+}
+
+impl FrameLayout {
+    /// Computes a layout for `req`.
+    ///
+    /// `align_residue` is the value `size % 16` must equal so that the
+    /// post-prologue `rsp` is 16-byte aligned (it depends on the number
+    /// of saved registers and the BTRA post-offset; the caller computes
+    /// it). `rng` drives slot permutation and padding when
+    /// `req.randomize` is set.
+    pub fn compute(req: &FrameRequest, align_residue: u32, rng: &mut impl Rng) -> FrameLayout {
+        let mut items: Vec<Item> = Vec::new();
+        for i in 0..req.spill_slots {
+            items.push(Item::Spill(i));
+        }
+        for (i, &(size, align)) in req.allocas.iter().enumerate() {
+            items.push(Item::Alloca(i as u32, size, align));
+        }
+        for i in 0..req.btdp_slots {
+            items.push(Item::Btdp(i));
+        }
+        for i in 0..req.incoming_args {
+            items.push(Item::Incoming(i));
+        }
+        if req.argbase_slot {
+            items.push(Item::ArgBase);
+        }
+        if req.randomize {
+            // Fisher-Yates permutation of the locals area, plus 0–3
+            // random 8/16-byte paddings.
+            for i in (1..items.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                items.swap(i, j);
+            }
+            let pads = rng.gen_range(0..=3);
+            for _ in 0..pads {
+                let pos = rng.gen_range(0..=items.len());
+                let bytes = if rng.gen_bool(0.5) { 8 } else { 16 };
+                items.insert(pos, Item::Pad(bytes));
+            }
+        }
+
+        let out = req.out_args_bytes.next_multiple_of(8);
+        let argstage_off = out;
+        let mut cursor = out + 6 * 8;
+        let mut layout = FrameLayout {
+            argstage_off,
+            spill_off: vec![0; req.spill_slots as usize],
+            alloca_off: vec![0; req.allocas.len()],
+            btdp_off: vec![0; req.btdp_slots as usize],
+            incoming_off: vec![0; req.incoming_args as usize],
+            argbase_off: None,
+            size: 0,
+        };
+        for item in &items {
+            match item {
+                Item::Spill(i) => {
+                    layout.spill_off[*i as usize] = cursor;
+                    cursor += 8;
+                }
+                Item::Alloca(i, size, align) => {
+                    let align = (*align).max(8);
+                    cursor = cursor.next_multiple_of(align);
+                    layout.alloca_off[*i as usize] = cursor;
+                    cursor += size.next_multiple_of(8).max(8);
+                }
+                Item::Btdp(i) => {
+                    layout.btdp_off[*i as usize] = cursor;
+                    cursor += 8;
+                }
+                Item::Incoming(i) => {
+                    layout.incoming_off[*i as usize] = cursor;
+                    cursor += 8;
+                }
+                Item::ArgBase => {
+                    layout.argbase_off = Some(cursor);
+                    cursor += 8;
+                }
+                Item::Pad(bytes) => cursor += bytes,
+            }
+        }
+        // Pad the total so `size % 16 == align_residue`.
+        let mut size = cursor;
+        while size % 16 != align_residue % 16 {
+            size += 8;
+        }
+        layout.size = size;
+        layout
+    }
+
+    /// True if two layouts place at least one category of slot at a
+    /// different offset (used by diversification tests).
+    pub fn differs_from(&self, other: &FrameLayout) -> bool {
+        self.spill_off != other.spill_off
+            || self.alloca_off != other.alloca_off
+            || self.btdp_off != other.btdp_off
+            || self.size != other.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn req() -> FrameRequest {
+        FrameRequest {
+            spill_slots: 4,
+            allocas: vec![(24, 8), (64, 16)],
+            btdp_slots: 2,
+            incoming_args: 3,
+            argbase_slot: true,
+            out_args_bytes: 16,
+            randomize: false,
+        }
+    }
+
+    fn all_ranges(l: &FrameLayout, r: &FrameRequest) -> Vec<(u32, u32)> {
+        let mut v = Vec::new();
+        for &o in &l.spill_off {
+            v.push((o, 8));
+        }
+        for (i, &o) in l.alloca_off.iter().enumerate() {
+            v.push((o, r.allocas[i].0.next_multiple_of(8)));
+        }
+        for &o in &l.btdp_off {
+            v.push((o, 8));
+        }
+        for &o in &l.incoming_off {
+            v.push((o, 8));
+        }
+        if let Some(o) = l.argbase_off {
+            v.push((o, 8));
+        }
+        v
+    }
+
+    #[test]
+    fn no_overlaps_and_within_frame() {
+        let r = req();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for residue in [0u32, 8] {
+            let l = FrameLayout::compute(&r, residue, &mut rng);
+            assert_eq!(l.size % 16, residue);
+            let mut ranges = all_ranges(&l, &r);
+            ranges.sort();
+            for w in ranges.windows(2) {
+                assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {w:?}");
+            }
+            for (o, len) in &ranges {
+                assert!(o + len <= l.size);
+                assert!(*o >= l.argstage_off + 48, "local below argstage");
+            }
+        }
+    }
+
+    #[test]
+    fn alloca_alignment_respected() {
+        let r = req();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let l = FrameLayout::compute(&r, 8, &mut rng);
+        assert_eq!(l.alloca_off[1] % 16, 0);
+    }
+
+    #[test]
+    fn randomization_changes_layout() {
+        let mut r = req();
+        r.randomize = true;
+        let mut a = None;
+        let mut differs = false;
+        for seed in 0..8 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let l = FrameLayout::compute(&r, 8, &mut rng);
+            if let Some(prev) = &a {
+                if l.differs_from(prev) {
+                    differs = true;
+                }
+            } else {
+                a = Some(l);
+            }
+        }
+        assert!(differs, "randomized layouts never differed");
+    }
+
+    #[test]
+    fn randomized_layout_still_sound() {
+        let mut r = req();
+        r.randomize = true;
+        for seed in 0..32 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let l = FrameLayout::compute(&r, 0, &mut rng);
+            let mut ranges = all_ranges(&l, &r);
+            ranges.sort();
+            for w in ranges.windows(2) {
+                assert!(w[0].0 + w[0].1 <= w[1].0, "seed {seed} overlap: {w:?}");
+            }
+            assert_eq!(l.size % 16, 0);
+        }
+    }
+
+    #[test]
+    fn empty_frame() {
+        let r = FrameRequest {
+            spill_slots: 0,
+            allocas: vec![],
+            btdp_slots: 0,
+            incoming_args: 0,
+            argbase_slot: false,
+            out_args_bytes: 0,
+            randomize: false,
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let l = FrameLayout::compute(&r, 8, &mut rng);
+        assert_eq!(l.size % 16, 8);
+    }
+}

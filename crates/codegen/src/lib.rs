@@ -1,0 +1,55 @@
+//! # r2c-codegen — IR → machine-code backend with diversification hooks
+//!
+//! Lowers [`r2c_ir`] modules to [`r2c_vm`] images through a conventional
+//! backend pipeline — liveness analysis, linear-scan register
+//! allocation, frame layout, call lowering, linking — with the extension
+//! points R²C needs built in:
+//!
+//! * call-site emission supports booby-trapped return-address windows
+//!   (push and AVX2 setup sequences) and NOP insertion;
+//! * prologue emission supports the BTRA post-offset, jumped-over trap
+//!   runs, and BTDP stores;
+//! * frame layout supports slot permutation and padding;
+//! * register allocation supports randomized preference orders;
+//! * the linker supports function shuffling with interspersed
+//!   booby-trap functions, global shuffling with padding, ASLR slides
+//!   and execute-only text.
+//!
+//! The highest-level entry point is [`build`], which compiles and links
+//! in one step:
+//!
+//! ```
+//! use r2c_codegen::{build, CompileOptions, DiversifyConfig};
+//! use r2c_vm::{MachineKind, Vm, VmConfig};
+//!
+//! let src = "func @main(0) {\nentry:\n  %0 = const 42\n  ret %0\n}\n";
+//! let module = r2c_ir::parse_module(src).unwrap();
+//! let image = build(&module, &CompileOptions::new(DiversifyConfig::full(), 7)).unwrap();
+//! let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));
+//! assert_eq!(vm.run().status, r2c_vm::ExitStatus::Exited(42));
+//! ```
+
+pub mod config;
+pub mod frame;
+pub mod link;
+pub mod lower;
+pub mod program;
+pub mod regalloc;
+
+pub use config::{BtdpConfig, BtraConfig, BtraMode, DiversifyConfig};
+pub use link::{link, LinkOptions};
+pub use lower::{compile, mix_seed, CompileError, CompileOptions, BOOBY_TRAP_RUN, NATIVE_ORDER};
+pub use program::{CompiledFunc, DataObject, FuncKind, Program, Reloc, RelocKind};
+pub use regalloc::{allocate, Allocation, Loc};
+
+use r2c_ir::Module;
+use r2c_vm::Image;
+
+/// Compiles and links in one step.
+pub fn build(m: &Module, opts: &CompileOptions) -> Result<Image, CompileError> {
+    let prog = compile(m, opts)?;
+    Ok(link(
+        &prog,
+        &LinkOptions::from_config(&opts.diversify, opts.seed),
+    ))
+}

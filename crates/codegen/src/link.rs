@@ -1,0 +1,402 @@
+//! Linking and loading: section layout, ASLR, function and global
+//! shuffling, booby-trap generation, relocation patching, and unwind
+//! table construction.
+//!
+//! Our pipeline links and loads in one step, so embedding absolute
+//! addresses in instructions is equivalent to the paper's GOT-based
+//! address loads for PIC builds — in both cases the concrete addresses
+//! live in attacker-readable locations, which is safe because an
+//! attacker cannot tell the return address apart from the BTRAs (§5.1).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use r2c_vm::mem::PAGE_SIZE;
+use r2c_vm::unwind::{UnwindEntry, UnwindTable};
+use r2c_vm::{Image, Insn, SectionLayout, Symbol, SymbolKind, VAddr};
+
+use crate::lower::{mix_seed, BOOBY_TRAP_RUN};
+use crate::program::{FuncKind, Program, RelocKind};
+
+/// Link-time options (the layout-diversification half of the config).
+#[derive(Clone, Copy, Debug)]
+pub struct LinkOptions {
+    /// Seed for ASLR slides and shuffles.
+    pub seed: u64,
+    /// Shuffle function order (with booby traps interspersed).
+    pub func_shuffle: bool,
+    /// Shuffle global order and insert random padding.
+    pub global_shuffle: bool,
+    /// Map text execute-only.
+    pub xom: bool,
+    /// Generate code-pointer-hiding trampolines.
+    pub cph: bool,
+    /// Heap reservation in bytes.
+    pub heap_size: u64,
+    /// Stack reservation in bytes.
+    pub stack_size: u64,
+}
+
+impl LinkOptions {
+    /// Options matching a [`DiversifyConfig`](crate::DiversifyConfig).
+    pub fn from_config(cfg: &crate::DiversifyConfig, seed: u64) -> LinkOptions {
+        LinkOptions {
+            seed,
+            func_shuffle: cfg.func_shuffle,
+            global_shuffle: cfg.global_shuffle,
+            xom: cfg.xom,
+            cph: cfg.cph,
+            heap_size: 256 * 1024 * 1024,
+            stack_size: 256 * 1024,
+        }
+    }
+}
+
+enum TextItem {
+    Func(usize),
+    BoobyTrap(u32),
+}
+
+/// Links a program into a loadable image.
+pub fn link(p: &Program, o: &LinkOptions) -> Image {
+    let mut rng = SmallRng::seed_from_u64(mix_seed(o.seed, 0x11A4));
+
+    // ASLR slides (page-granular, 16 bits of entropy per section, like
+    // a load-time ASLR base choice).
+    let text_base: VAddr = 0x0040_0000 + PAGE_SIZE * rng.gen_range(0..0x4000);
+    let data_slide: VAddr = PAGE_SIZE * rng.gen_range(0..0x4000);
+    let heap_base: VAddr = 0x10_0000_0000 + PAGE_SIZE * rng.gen_range(0..0x10000);
+    let stack_top: VAddr = 0x7fff_f000_0000 - PAGE_SIZE * rng.gen_range(0..0x4000);
+
+    // Booby-trap function bodies: a run of trap bytes, then a return.
+    // BTRAs may point at any byte of the run, so their values carry the
+    // same "arbitrary low bits" as genuine return addresses.
+    let bt_insns: Vec<Insn> = std::iter::repeat(Insn::Trap)
+        .take(BOOBY_TRAP_RUN as usize)
+        .chain([Insn::Ret])
+        .collect();
+
+    // Text order.
+    let mut items: Vec<TextItem> = (0..p.funcs.len()).map(TextItem::Func).collect();
+    items.extend((0..p.booby_trap_funcs).map(TextItem::BoobyTrap));
+    if o.func_shuffle {
+        for i in (1..items.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    // Lay out the text section.
+    let mut insns: Vec<Insn> = Vec::new();
+    let mut insn_addrs: Vec<VAddr> = Vec::new();
+    let mut cursor = text_base;
+    let mut func_entry: Vec<VAddr> = vec![0; p.funcs.len()];
+    let mut func_size: Vec<u64> = vec![0; p.funcs.len()];
+    // First instruction index (into the concatenated stream) per
+    // program function, for resolving `Insn`/`RetAddr` relocs.
+    let mut func_insn_base: Vec<usize> = vec![0; p.funcs.len()];
+    let mut bt_entry: Vec<VAddr> = vec![0; p.booby_trap_funcs as usize];
+    for item in &items {
+        match item {
+            TextItem::Func(fi) => {
+                // Functions are 16-byte aligned like typical compiler
+                // output; return addresses and BTRAs are not.
+                cursor = cursor.next_multiple_of(16);
+                func_entry[*fi] = cursor;
+                func_insn_base[*fi] = insns.len();
+                for insn in &p.funcs[*fi].insns {
+                    insns.push(*insn);
+                    insn_addrs.push(cursor);
+                    cursor += insn.len();
+                }
+                func_size[*fi] = cursor - func_entry[*fi];
+            }
+            TextItem::BoobyTrap(bi) => {
+                // Deliberately *not* aligned: booby traps must be
+                // indistinguishable from arbitrary code positions.
+                bt_entry[*bi as usize] = cursor;
+                for insn in &bt_insns {
+                    insns.push(*insn);
+                    insn_addrs.push(cursor);
+                    cursor += insn.len();
+                }
+            }
+        }
+    }
+    // Code-pointer-hiding trampoline table: one `jmp <entry>` per
+    // function, in (execute-only) text. Address-taken relocations
+    // resolve to these instead of the entries.
+    let mut tramp_addr: Vec<VAddr> = vec![0; p.funcs.len()];
+    if o.cph {
+        cursor = cursor.next_multiple_of(16);
+        for fi in 0..p.funcs.len() {
+            tramp_addr[fi] = cursor;
+            let j = Insn::Jmp {
+                target: func_entry[fi],
+            };
+            insns.push(j);
+            insn_addrs.push(cursor);
+            cursor += j.len();
+        }
+    }
+    let text_end = (cursor).next_multiple_of(PAGE_SIZE);
+
+    // Lay out the data section.
+    let data_base = (text_end + 0x1000_0000 + data_slide).next_multiple_of(PAGE_SIZE);
+    let mut order: Vec<usize> = (0..p.data.len()).collect();
+    if o.global_shuffle {
+        // Only shuffle the programmer-visible globals *and* synthetic
+        // objects together — everything moves.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+    }
+    let mut data_addr: Vec<VAddr> = vec![0; p.data.len()];
+    let mut dcursor = data_base;
+    for &di in &order {
+        let obj = &p.data[di];
+        if o.global_shuffle {
+            // Random inter-object padding (Readactor++-style global
+            // padding, §4).
+            dcursor += 8 * rng.gen_range(0..=4);
+        }
+        dcursor = dcursor.next_multiple_of(obj.align.max(8) as u64);
+        data_addr[di] = dcursor;
+        dcursor += obj.bytes.len().max(8) as u64;
+    }
+    let data_end = (dcursor + 64).next_multiple_of(PAGE_SIZE);
+
+    // Resolve a relocation kind to an absolute address. (Lengths are
+    // precomputed so the closure does not borrow `insns`, which is
+    // patched below.)
+    let insn_lens: Vec<u64> = insns.iter().map(|i| i.len()).collect();
+    let resolve = |kind: &RelocKind| -> VAddr {
+        match kind {
+            RelocKind::Insn { func, insn } => insn_addrs[func_insn_base[*func] + insn],
+            RelocKind::RetAddr { func, insn } => {
+                let gi = func_insn_base[*func] + insn;
+                insn_addrs[gi] + insn_lens[gi]
+            }
+            RelocKind::Func(fi) => func_entry[*fi],
+            RelocKind::BoobyTrap { index, offset } => bt_entry[*index as usize] + *offset as u64,
+            RelocKind::Data { index, addend } => data_addr[*index].wrapping_add_signed(*addend),
+        }
+    };
+
+    // Patch instruction relocations. With CPH, *materialized* function
+    // addresses (MovAbs / pushes / data slots) point at trampolines;
+    // direct call/jump targets stay direct.
+    for (fi, f) in p.funcs.iter().enumerate() {
+        for r in &f.relocs {
+            let gi = func_insn_base[fi] + r.at;
+            let addr = match r.kind {
+                RelocKind::Func(target)
+                    if o.cph && !matches!(insns[gi], Insn::Call { .. } | Insn::Jmp { .. }) =>
+                {
+                    tramp_addr[target]
+                }
+                ref k => resolve(k),
+            };
+            patch(&mut insns[gi], addr);
+        }
+    }
+
+    // Build data initialization (with relocated slots patched);
+    // function-pointer initializers also go through the CPH table.
+    let mut data_init = Vec::with_capacity(p.data.len());
+    for (di, obj) in p.data.iter().enumerate() {
+        let mut bytes = obj.bytes.clone();
+        for r in &obj.relocs {
+            let addr = match r.kind {
+                RelocKind::Func(target) if o.cph => tramp_addr[target],
+                ref k => resolve(k),
+            };
+            bytes[r.offset..r.offset + 8].copy_from_slice(&addr.to_le_bytes());
+        }
+        data_init.push((data_addr[di], bytes));
+    }
+
+    // Unwind table from the per-function depth runs.
+    let mut unwind = UnwindTable::new();
+    for (fi, f) in p.funcs.iter().enumerate() {
+        let base = func_insn_base[fi];
+        let end_addr = func_entry[fi] + func_size[fi];
+        for (k, point) in f.unwind.iter().enumerate() {
+            let start = if point.from >= f.insns.len() {
+                continue;
+            } else {
+                insn_addrs[base + point.from]
+            };
+            let end = match f.unwind.get(k + 1) {
+                Some(next) if next.from < f.insns.len() => insn_addrs[base + next.from],
+                _ => end_addr,
+            };
+            if start < end {
+                unwind.push(UnwindEntry {
+                    start,
+                    end,
+                    ra_offset: point.depth,
+                    caller_sp_offset: point.depth + 8,
+                });
+            }
+        }
+    }
+    unwind.finish().expect("unwind entries must not overlap");
+
+    // Symbols.
+    let mut symbols = Vec::new();
+    for (fi, f) in p.funcs.iter().enumerate() {
+        symbols.push(Symbol {
+            name: f.name.clone(),
+            addr: func_entry[fi],
+            size: func_size[fi],
+            kind: match f.kind {
+                FuncKind::BoobyTrap => SymbolKind::BoobyTrap,
+                _ => SymbolKind::Function,
+            },
+        });
+    }
+    if o.cph {
+        for (fi, f) in p.funcs.iter().enumerate() {
+            symbols.push(Symbol {
+                name: format!("__tramp_{}", f.name),
+                addr: tramp_addr[fi],
+                size: Insn::Jmp { target: 0 }.len(),
+                kind: SymbolKind::Function,
+            });
+        }
+    }
+    for (bi, &addr) in bt_entry.iter().enumerate() {
+        symbols.push(Symbol {
+            name: format!("__bt_{bi}"),
+            addr,
+            size: BOOBY_TRAP_RUN as u64 + 1,
+            kind: SymbolKind::BoobyTrap,
+        });
+    }
+    for (di, obj) in p.data.iter().enumerate() {
+        symbols.push(Symbol {
+            name: obj.name.clone(),
+            addr: data_addr[di],
+            size: obj.bytes.len() as u64,
+            kind: SymbolKind::Global,
+        });
+    }
+
+    Image {
+        insns,
+        insn_addrs,
+        layout: SectionLayout {
+            text_base,
+            text_end,
+            data_base,
+            data_end,
+            heap_base,
+            heap_size: o.heap_size,
+            stack_top,
+            stack_size: o.stack_size,
+        },
+        entry: func_entry[p.entry],
+        constructors: p.ctors.iter().map(|&c| func_entry[c]).collect(),
+        data_init,
+        xom: o.xom,
+        symbols,
+        natives: p.natives.clone(),
+        unwind,
+    }
+}
+
+/// Writes a resolved address into an instruction's patchable field.
+fn patch(insn: &mut Insn, addr: VAddr) {
+    match insn {
+        Insn::MovAbs { imm, .. } | Insn::PushImm { imm } => *imm = addr,
+        Insn::Call { target } | Insn::Jmp { target } | Insn::Jcc { target, .. } => *target = addr,
+        Insn::LoadAbs { addr: a, .. } | Insn::VLoadAbs { addr: a, .. } => *a = addr,
+        other => panic!("relocation against non-patchable instruction {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiversifyConfig;
+    use crate::lower::{compile, CompileOptions};
+    use r2c_ir::parse_module;
+
+    const SRC: &str = r#"
+func @add(2) {
+entry:
+  %0 = param 0
+  %1 = param 1
+  %2 = add %0, %1
+  ret %2
+}
+func @main(0) {
+entry:
+  %0 = const 40
+  %1 = const 2
+  %2 = call @add(%0, %1)
+  ret %2
+}
+"#;
+
+    fn build(cfg: DiversifyConfig, seed: u64) -> Image {
+        let m = parse_module(SRC).unwrap();
+        let prog = compile(&m, &CompileOptions::new(cfg, seed)).unwrap();
+        link(&prog, &LinkOptions::from_config(&cfg, seed))
+    }
+
+    #[test]
+    fn baseline_image_is_valid() {
+        let img = build(DiversifyConfig::none(), 1);
+        img.validate().unwrap();
+        assert!(img.symbol("main").is_some());
+        assert!(img.symbol("add").is_some());
+    }
+
+    #[test]
+    fn full_image_is_valid_across_seeds() {
+        for seed in 0..8 {
+            let img = build(DiversifyConfig::full(), seed);
+            img.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn aslr_moves_sections() {
+        let a = build(DiversifyConfig::none(), 1);
+        let b = build(DiversifyConfig::none(), 2);
+        assert_ne!(a.layout.text_base, b.layout.text_base);
+        assert_ne!(a.layout.data_base, b.layout.data_base);
+    }
+
+    #[test]
+    fn function_shuffle_changes_relative_order() {
+        let mut orders = std::collections::HashSet::new();
+        for seed in 0..8 {
+            let img = build(DiversifyConfig::full(), seed);
+            let main = img.func_addr("main");
+            let add = img.func_addr("add");
+            orders.insert(main < add);
+        }
+        assert_eq!(orders.len(), 2, "shuffle never changed function order");
+    }
+
+    #[test]
+    fn booby_traps_present_under_full_config() {
+        let img = build(DiversifyConfig::full(), 3);
+        let bts = img
+            .symbols
+            .iter()
+            .filter(|s| s.kind == SymbolKind::BoobyTrap)
+            .count();
+        assert_eq!(bts, DiversifyConfig::full().booby_trap_funcs as usize);
+    }
+
+    #[test]
+    fn unwind_table_nonempty() {
+        let img = build(DiversifyConfig::full(), 4);
+        assert!(!img.unwind.is_empty());
+    }
+}

@@ -1,0 +1,1250 @@
+//! Lowering from IR to machine code.
+//!
+//! This is where most of R²C lives mechanically:
+//!
+//! * **Call sites** optionally receive NOP insertion and a booby-trapped
+//!   return-address window, set up either with pushes (Figure 3) or with
+//!   AVX2 batched stores from a call-site-specific array in the data
+//!   section (Figure 4). The window is written *in full before the
+//!   call*, and the `call` overwrites the already-present return-address
+//!   slot, so the stack content never changes afterwards — closing the
+//!   race window of §5.1.
+//! * **Prologues** optionally receive the callee-side BTRA post-offset,
+//!   jumped-over trap instructions, and BTDP stores into randomized
+//!   stack slots.
+//! * **Stack arguments** go through offset-invariant addressing (§5.1.1)
+//!   when BTRAs are active: the caller prepares the frame pointer before
+//!   the varying pre-offset, and the callee reads arguments relative to
+//!   it instead of to `rsp`.
+//!
+//! The emitted code tracks the stack-depth delta per instruction, from
+//! which the linker derives `.eh_frame`-style unwind rows (§7.2.4).
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use r2c_ir::{
+    BinOp, CmpOp, ExternFn, FuncId, Function, GlobalInit, Inst, Module, Term, Val, VerifyError,
+};
+use r2c_vm::insn::AluOp;
+use r2c_vm::{Cond, Gpr, Insn, MemRef, NativeKind, Ymm};
+
+use crate::config::{BtraMode, DiversifyConfig};
+use crate::frame::{FrameLayout, FrameRequest};
+use crate::program::{
+    CompiledFunc, DataObject, DataReloc, FuncKind, Program, Reloc, RelocKind, UnwindPoint,
+};
+use crate::regalloc::{allocate, Allocation, Loc};
+
+/// Number of trap bytes at the start of every booby-trap function; a
+/// BTRA may point at any of them (so BTRA values are not function-entry
+/// aligned, keeping them indistinguishable from return addresses).
+pub const BOOBY_TRAP_RUN: u8 = 16;
+
+/// Options for [`compile`].
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Diversification configuration.
+    pub diversify: DiversifyConfig,
+    /// Master seed; every random decision derives from it.
+    pub seed: u64,
+    /// Name of the entry function.
+    pub entry: String,
+    /// Names of constructor functions (run before entry, in order).
+    pub ctors: Vec<String>,
+}
+
+impl CompileOptions {
+    /// Options with the given config and seed, `main` entry and no
+    /// constructors.
+    pub fn new(diversify: DiversifyConfig, seed: u64) -> CompileOptions {
+        CompileOptions {
+            diversify,
+            seed,
+            entry: "main".into(),
+            ctors: Vec::new(),
+        }
+    }
+}
+
+/// Compilation failure.
+#[derive(Debug)]
+pub enum CompileError {
+    /// IR verification failed.
+    Verify(VerifyError),
+    /// The entry (or a constructor) function does not exist.
+    NoSuchFunction(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Verify(e) => write!(f, "IR verification failed: {e}"),
+            CompileError::NoSuchFunction(n) => write!(f, "no such function {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The fixed native-function table order.
+pub const NATIVE_ORDER: [NativeKind; 7] = [
+    NativeKind::Malloc,
+    NativeKind::Free,
+    NativeKind::Memalign,
+    NativeKind::Mprotect,
+    NativeKind::PrintI64,
+    NativeKind::PutChar,
+    NativeKind::StackProbe,
+];
+
+fn native_index(ext: ExternFn) -> u16 {
+    match ext {
+        ExternFn::Malloc => 0,
+        ExternFn::Free => 1,
+        ExternFn::Memalign => 2,
+        ExternFn::Mprotect => 3,
+        ExternFn::PrintI64 => 4,
+        ExternFn::PutChar => 5,
+        ExternFn::Probe => 6,
+    }
+}
+
+/// splitmix64-style seed derivation.
+pub fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-function diversification decisions, fixed before lowering so
+/// that callers can consult their callees' choices (the caller/callee
+/// cooperation of §5.1).
+#[derive(Clone, Copy, Debug)]
+struct FnMeta {
+    /// R²C instrumentation applies.
+    protected: bool,
+    /// BTRA post-offset in slots (callee's choice).
+    post: u32,
+    /// Prolog trap count.
+    traps: u32,
+}
+
+/// Compiles a module to an unlinked [`Program`].
+pub fn compile(m: &Module, opts: &CompileOptions) -> Result<Program, CompileError> {
+    r2c_ir::verify_module(m).map_err(CompileError::Verify)?;
+    let entry = m
+        .func_by_name(&opts.entry)
+        .ok_or_else(|| CompileError::NoSuchFunction(opts.entry.clone()))?;
+    let mut ctors = Vec::new();
+    for c in &opts.ctors {
+        ctors.push(
+            m.func_by_name(c)
+                .ok_or_else(|| CompileError::NoSuchFunction(c.clone()))?
+                .0 as usize,
+        );
+    }
+
+    let cfg = &opts.diversify;
+    let metas = decide_metas(m, cfg, opts.seed);
+
+    // Lower IR globals to data objects.
+    let mut data: Vec<DataObject> = m
+        .globals
+        .iter()
+        .map(|g| {
+            let (bytes, relocs) = match &g.init {
+                GlobalInit::Zero(n) => (vec![0u8; *n as usize], vec![]),
+                GlobalInit::Words(w) => {
+                    let mut b = Vec::with_capacity(w.len() * 8);
+                    for x in w {
+                        b.extend_from_slice(&x.to_le_bytes());
+                    }
+                    (b, vec![])
+                }
+                GlobalInit::FuncPtr(f) => (
+                    vec![0u8; 8],
+                    vec![DataReloc {
+                        offset: 0,
+                        kind: RelocKind::Func(f.0 as usize),
+                    }],
+                ),
+            };
+            DataObject {
+                name: g.name.clone(),
+                bytes,
+                align: g.align.max(8),
+                relocs,
+                synthetic: false,
+            }
+        })
+        .collect();
+
+    let mut funcs = Vec::with_capacity(m.funcs.len());
+    for (fidx, f) in m.funcs.iter().enumerate() {
+        let kind = if ctors.contains(&fidx) {
+            FuncKind::Constructor
+        } else {
+            FuncKind::Normal
+        };
+        let lowered = FnLowerer::new(m, cfg, opts.seed, &metas, fidx, &mut data).lower(f, kind);
+        funcs.push(lowered);
+    }
+
+    Ok(Program {
+        funcs,
+        data,
+        entry: entry.0 as usize,
+        ctors,
+        natives: NATIVE_ORDER.to_vec(),
+        booby_trap_funcs: if cfg.uses_btra() {
+            cfg.booby_trap_funcs.max(1) as u32
+        } else {
+            0
+        },
+    })
+}
+
+/// Decides per-function metadata, including the demotion of functions
+/// that must keep the plain calling convention (§7.4.2): a function with
+/// stack parameters that is called from unprotected code cannot use
+/// offset-invariant addressing, so R²C is disabled for it.
+fn decide_metas(m: &Module, cfg: &DiversifyConfig, seed: u64) -> Vec<FnMeta> {
+    let total = cfg.btra.map(|b| b.total as u32).unwrap_or(0);
+    let mut protected: Vec<bool> = m.funcs.iter().map(|f| !f.no_instrument).collect();
+    if cfg.uses_oia() {
+        // Fixpoint demotion: stack-parameter functions directly called
+        // from unprotected code revert to the plain convention. An
+        // unprotected function making indirect calls demotes every
+        // address-taken stack-parameter function.
+        loop {
+            let mut changed = false;
+            for (ci, f) in m.funcs.iter().enumerate() {
+                if protected[ci] {
+                    continue;
+                }
+                let demote = |callee: FuncId, protected: &mut Vec<bool>| {
+                    let g = &m.funcs[callee.0 as usize];
+                    if g.params > 6 && protected[callee.0 as usize] {
+                        protected[callee.0 as usize] = false;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                for (_b, (_res, inst)) in f.insts() {
+                    match inst {
+                        Inst::Call { callee, .. } => {
+                            changed |= demote(*callee, &mut protected);
+                        }
+                        Inst::CallInd { .. } => {
+                            // Conservative: demote all address-taken
+                            // stack-parameter functions.
+                            for (_b2, (_r2, i2)) in m.funcs.iter().flat_map(|f2| f2.insts()) {
+                                if let Inst::FuncAddr(t) = i2 {
+                                    changed |= demote(*t, &mut protected);
+                                }
+                            }
+                            let _ = ci;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    m.funcs
+        .iter()
+        .enumerate()
+        .map(|(i, _f)| {
+            let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 0xF00D + i as u64));
+            let prot = protected[i];
+            let post = if prot && cfg.btra.is_some() {
+                2 * rng.gen_range(0..=total / 2)
+            } else {
+                0
+            };
+            let traps = match (prot, cfg.prolog_traps) {
+                (true, Some((lo, hi))) => rng.gen_range(lo..=hi) as u32,
+                _ => 0,
+            };
+            FnMeta {
+                protected: prot,
+                post,
+                traps,
+            }
+        })
+        .collect()
+}
+
+/// Cond mapping from IR comparisons.
+fn cond_of(op: CmpOp) -> Cond {
+    match op {
+        CmpOp::Eq => Cond::Eq,
+        CmpOp::Ne => Cond::Ne,
+        CmpOp::Lt => Cond::Lt,
+        CmpOp::Le => Cond::Le,
+        CmpOp::Gt => Cond::Gt,
+        CmpOp::Ge => Cond::Ge,
+    }
+}
+
+fn alu_of(op: BinOp) -> Option<AluOp> {
+    Some(match op {
+        BinOp::Add => AluOp::Add,
+        BinOp::Sub => AluOp::Sub,
+        BinOp::Mul => AluOp::Imul,
+        BinOp::And => AluOp::And,
+        BinOp::Or => AluOp::Or,
+        BinOp::Xor => AluOp::Xor,
+        BinOp::Shl => AluOp::Shl,
+        BinOp::Shr => AluOp::Shr,
+        BinOp::Sar => AluOp::Sar,
+        BinOp::Div | BinOp::Rem => return None,
+    })
+}
+
+struct FnLowerer<'a> {
+    cfg: &'a DiversifyConfig,
+    metas: &'a [FnMeta],
+    fidx: usize,
+    rng: SmallRng,
+    data: &'a mut Vec<DataObject>,
+
+    insns: Vec<Insn>,
+    relocs: Vec<Reloc>,
+    unwind: Vec<UnwindPoint>,
+    depth: i64,
+    stable_depth: i64,
+
+    alloc: Allocation,
+    frame: FrameLayout,
+    alloca_index: HashMap<u32, usize>, // value id -> alloca slot index
+    saves: Vec<Gpr>,
+    block_first: Vec<usize>,
+    pending_branches: Vec<(usize, u32)>, // (insn idx, block id)
+    btra_sites: u32,
+    btdp_count: u32,
+}
+
+impl<'a> FnLowerer<'a> {
+    fn new(
+        _m: &'a Module,
+        cfg: &'a DiversifyConfig,
+        seed: u64,
+        metas: &'a [FnMeta],
+        fidx: usize,
+        data: &'a mut Vec<DataObject>,
+    ) -> FnLowerer<'a> {
+        FnLowerer {
+            cfg,
+            metas,
+            fidx,
+            rng: SmallRng::seed_from_u64(mix_seed(seed, 0xBEEF + fidx as u64)),
+            data,
+            insns: Vec::new(),
+            relocs: Vec::new(),
+            unwind: vec![UnwindPoint { from: 0, depth: 0 }],
+            depth: 0,
+            stable_depth: 0,
+            alloc: Allocation {
+                locs: vec![],
+                used_callee_saved: vec![],
+                num_slots: 0,
+            },
+            frame: FrameLayout {
+                argstage_off: 0,
+                spill_off: vec![],
+                alloca_off: vec![],
+                btdp_off: vec![],
+                incoming_off: vec![],
+                argbase_off: None,
+                size: 0,
+            },
+            alloca_index: HashMap::new(),
+            saves: vec![],
+            block_first: vec![],
+            pending_branches: vec![],
+            btra_sites: 0,
+            btdp_count: 0,
+        }
+    }
+
+    fn meta(&self) -> FnMeta {
+        self.metas[self.fidx]
+    }
+
+    /// Emits an instruction, maintaining the unwind depth.
+    fn emit(&mut self, insn: Insn) -> usize {
+        let idx = self.insns.len();
+        let delta = match insn {
+            Insn::Push { .. } | Insn::PushImm { .. } => 8,
+            Insn::Pop { .. } => -8,
+            Insn::AluImm {
+                op: AluOp::Sub,
+                dst: Gpr::Rsp,
+                imm,
+            } => imm as i64,
+            Insn::AluImm {
+                op: AluOp::Add,
+                dst: Gpr::Rsp,
+                imm,
+            } => -(imm as i64),
+            _ => 0,
+        };
+        self.insns.push(insn);
+        if delta != 0 {
+            self.depth += delta;
+            self.unwind.push(UnwindPoint {
+                from: idx + 1,
+                depth: self.depth,
+            });
+        }
+        idx
+    }
+
+    /// Restores the tracked depth (used after an epilogue that does not
+    /// fall through).
+    fn reset_depth(&mut self, depth: i64) {
+        if self.depth != depth {
+            self.depth = depth;
+            self.unwind.push(UnwindPoint {
+                from: self.insns.len(),
+                depth,
+            });
+        }
+    }
+
+    /// Register holding value `v` for reading; loads spills into
+    /// `scratch`.
+    fn operand(&mut self, v: Val, scratch: Gpr) -> Gpr {
+        match self.alloc.loc(v) {
+            Loc::Reg(r) => r,
+            Loc::Slot(s) => {
+                let off = self.frame.spill_off[s as usize] as i32;
+                self.emit(Insn::Load {
+                    dst: scratch,
+                    mem: MemRef::base_disp(Gpr::Rsp, off),
+                });
+                scratch
+            }
+        }
+    }
+
+    /// Writes `src` into value `v`'s location.
+    fn write_val(&mut self, v: Val, src: Gpr) {
+        match self.alloc.loc(v) {
+            Loc::Reg(r) => {
+                if r != src {
+                    self.emit(Insn::MovReg { dst: r, src });
+                }
+            }
+            Loc::Slot(s) => {
+                let off = self.frame.spill_off[s as usize] as i32;
+                self.emit(Insn::Store {
+                    mem: MemRef::base_disp(Gpr::Rsp, off),
+                    src,
+                });
+            }
+        }
+    }
+
+    fn lower(mut self, f: &'a Function, kind: FuncKind) -> CompiledFunc {
+        let meta = self.meta();
+        let regalloc_seed = if meta.protected && self.cfg.regalloc_rand {
+            Some(self.rng.gen())
+        } else {
+            None
+        };
+        self.alloc = allocate(f, regalloc_seed);
+        self.saves = self.alloc.used_callee_saved.clone();
+
+        // Collect allocas in value order.
+        let mut allocas = Vec::new();
+        for (_b, (res, inst)) in f.insts() {
+            if let Inst::Alloca { size, align } = inst {
+                self.alloca_index
+                    .insert(res.expect("alloca has a result").0, allocas.len());
+                allocas.push((*size, *align));
+            }
+        }
+        // Outgoing stack-argument area.
+        let mut out_args: u32 = 0;
+        for (_b, (_res, inst)) in f.insts() {
+            let n = match inst {
+                Inst::Call { args, .. } | Inst::CallInd { args, .. } => args.len(),
+                _ => 0,
+            };
+            out_args = out_args.max(8 * n.saturating_sub(6) as u32);
+        }
+        // BTDPs: skipped for functions without stack allocations (§5.2).
+        let has_stack = !allocas.is_empty() || self.alloc.num_slots > 0;
+        self.btdp_count = match (meta.protected, self.cfg.btdp, has_stack) {
+            (true, Some(b), true) if b.array_len > 0 => self.rng.gen_range(0..=b.max_per_fn) as u32,
+            _ => 0,
+        };
+        let stack_params = f.params.saturating_sub(6);
+        let argbase = stack_params > 0 && meta.protected && self.cfg.uses_oia();
+        let req = FrameRequest {
+            spill_slots: self.alloc.num_slots,
+            allocas: allocas.clone(),
+            btdp_slots: self.btdp_count,
+            incoming_args: f.params.min(6),
+            argbase_slot: argbase,
+            out_args_bytes: out_args,
+            randomize: meta.protected && self.cfg.stack_slot_rand,
+        };
+        // size % 16 must equal residue so the post-prologue rsp is
+        // 16-aligned: entry rsp ≡ 8, then -8*post, -8*saves, -size.
+        let residue =
+            ((8i64 - 8 * meta.post as i64 - 8 * self.saves.len() as i64).rem_euclid(16)) as u32;
+        self.frame = FrameLayout::compute(&req, residue, &mut self.rng);
+
+        self.emit_prologue(f, meta, argbase);
+        self.stable_depth = self.depth;
+
+        // Body.
+        self.block_first = vec![usize::MAX; f.blocks.len()];
+        for (bi, block) in f.blocks.iter().enumerate() {
+            self.block_first[bi] = self.insns.len();
+            for (res, inst) in &block.insts {
+                self.lower_inst(f, *res, inst, meta);
+            }
+            self.lower_term(f, &block.term, meta);
+        }
+
+        // Fix intra-function branches.
+        for (at, bb) in std::mem::take(&mut self.pending_branches) {
+            let target = self.block_first[bb as usize];
+            debug_assert_ne!(target, usize::MAX);
+            self.relocs.push(Reloc {
+                at,
+                kind: RelocKind::Insn {
+                    func: self.fidx,
+                    insn: target,
+                },
+            });
+        }
+
+        CompiledFunc {
+            name: f.name.clone(),
+            insns: self.insns,
+            relocs: self.relocs,
+            unwind: self.unwind,
+            kind,
+            btra_sites: self.btra_sites,
+            btdp_stores: self.btdp_count,
+        }
+    }
+
+    fn emit_prologue(&mut self, f: &Function, meta: FnMeta, argbase: bool) {
+        // BTRA post-offset: protect the BTRAs below the return address
+        // from the callee's own stack writes (step 4 of Figure 3).
+        if meta.post > 0 {
+            self.emit(Insn::AluImm {
+                op: AluOp::Sub,
+                dst: Gpr::Rsp,
+                imm: 8 * meta.post as i32,
+            });
+        }
+        // Prolog traps, jumped over by regular control flow (§4.3).
+        if meta.traps > 0 {
+            let jmp = self.emit(Insn::Jmp { target: 0 });
+            for _ in 0..meta.traps {
+                self.emit(Insn::Trap);
+            }
+            let after = self.insns.len();
+            self.relocs.push(Reloc {
+                at: jmp,
+                kind: RelocKind::Insn {
+                    func: self.fidx,
+                    insn: after,
+                },
+            });
+            // `after` will be the next emitted instruction; ensure one
+            // exists (there is always at least the Ret path below).
+        }
+        for &r in &self.saves.clone() {
+            self.emit(Insn::Push { src: r });
+        }
+        if self.frame.size > 0 {
+            self.emit(Insn::AluImm {
+                op: AluOp::Sub,
+                dst: Gpr::Rsp,
+                imm: self.frame.size as i32,
+            });
+        }
+        if argbase {
+            let off = self.frame.argbase_off.expect("argbase slot") as i32;
+            self.emit(Insn::Store {
+                mem: MemRef::base_disp(Gpr::Rsp, off),
+                src: Gpr::Rbp,
+            });
+        }
+        // Spill incoming register arguments.
+        for i in 0..f.params.min(6) {
+            let off = self.frame.incoming_off[i as usize] as i32;
+            self.emit(Insn::Store {
+                mem: MemRef::base_disp(Gpr::Rsp, off),
+                src: Gpr::ARGS[i as usize],
+            });
+        }
+        // BTDP stores (§5.2): read pointers from the (heap-hosted) BTDP
+        // array and plant them in randomized stack slots.
+        if self.btdp_count > 0 {
+            let b = self.cfg.btdp.expect("btdp config");
+            if b.naive_data_array {
+                // Naive variant of Figure 5: array directly in .data.
+                let at = self.emit(Insn::MovAbs {
+                    dst: Gpr::R10,
+                    imm: 0,
+                });
+                self.relocs.push(Reloc {
+                    at,
+                    kind: RelocKind::Data {
+                        index: b.ptr_global as usize,
+                        addend: 0,
+                    },
+                });
+            } else {
+                let at = self.emit(Insn::LoadAbs {
+                    dst: Gpr::R10,
+                    addr: 0,
+                });
+                self.relocs.push(Reloc {
+                    at,
+                    kind: RelocKind::Data {
+                        index: b.ptr_global as usize,
+                        addend: 0,
+                    },
+                });
+            }
+            for k in 0..self.btdp_count {
+                let idx = self.rng.gen_range(0..b.array_len);
+                self.emit(Insn::Load {
+                    dst: Gpr::R11,
+                    mem: MemRef::base_disp(Gpr::R10, (8 * idx) as i32),
+                });
+                let off = self.frame.btdp_off[k as usize] as i32;
+                self.emit(Insn::Store {
+                    mem: MemRef::base_disp(Gpr::Rsp, off),
+                    src: Gpr::R11,
+                });
+            }
+        }
+    }
+
+    fn emit_epilogue(&mut self, meta: FnMeta) {
+        if self.frame.size > 0 {
+            self.emit(Insn::AluImm {
+                op: AluOp::Add,
+                dst: Gpr::Rsp,
+                imm: self.frame.size as i32,
+            });
+        }
+        for &r in self.saves.clone().iter().rev() {
+            self.emit(Insn::Pop { dst: r });
+        }
+        // Revert the post-offset to expose the true return address
+        // (step 5 of Figure 3).
+        if meta.post > 0 {
+            self.emit(Insn::AluImm {
+                op: AluOp::Add,
+                dst: Gpr::Rsp,
+                imm: 8 * meta.post as i32,
+            });
+        }
+        debug_assert_eq!(self.depth, 0, "epilogue must fully unwind the frame");
+        self.emit(Insn::Ret);
+    }
+
+    fn lower_term(&mut self, _f: &Function, term: &Term, meta: FnMeta) {
+        match term {
+            Term::Br(b) => {
+                let at = self.emit(Insn::Jmp { target: 0 });
+                self.pending_branches.push((at, b.0));
+            }
+            Term::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = self.operand(*cond, Gpr::R10);
+                self.emit(Insn::Test { a: c });
+                let jcc = self.emit(Insn::Jcc {
+                    cond: Cond::Ne,
+                    target: 0,
+                });
+                self.pending_branches.push((jcc, then_bb.0));
+                let jmp = self.emit(Insn::Jmp { target: 0 });
+                self.pending_branches.push((jmp, else_bb.0));
+            }
+            Term::Ret(v) => {
+                if let Some(v) = v {
+                    let src = self.operand(*v, Gpr::Rax);
+                    if src != Gpr::Rax {
+                        self.emit(Insn::MovReg { dst: Gpr::Rax, src });
+                    }
+                }
+                let saved = self.depth;
+                self.emit_epilogue(meta);
+                self.reset_depth(saved);
+            }
+        }
+    }
+
+    fn lower_inst(&mut self, f: &Function, res: Option<Val>, inst: &Inst, meta: FnMeta) {
+        match inst {
+            Inst::Const(c) => {
+                let dst = res.unwrap();
+                match self.alloc.loc(dst) {
+                    Loc::Reg(r) => {
+                        self.emit(Insn::MovImm {
+                            dst: r,
+                            imm: *c as u64,
+                        });
+                    }
+                    Loc::Slot(_) => {
+                        self.emit(Insn::MovImm {
+                            dst: Gpr::R10,
+                            imm: *c as u64,
+                        });
+                        self.write_val(dst, Gpr::R10);
+                    }
+                }
+            }
+            Inst::Param(n) => {
+                let dst = res.unwrap();
+                if *n < 6 {
+                    let off = self.frame.incoming_off[*n as usize] as i32;
+                    self.emit(Insn::Load {
+                        dst: Gpr::R10,
+                        mem: MemRef::base_disp(Gpr::Rsp, off),
+                    });
+                    self.write_val(dst, Gpr::R10);
+                } else {
+                    let k = (*n - 6) as i32;
+                    if meta.protected && self.cfg.uses_oia() {
+                        // Offset-invariant addressing: the caller left
+                        // the argument base in rbp; the prologue saved
+                        // it to a frame slot.
+                        let ab = self.frame.argbase_off.expect("argbase") as i32;
+                        self.emit(Insn::Load {
+                            dst: Gpr::R10,
+                            mem: MemRef::base_disp(Gpr::Rsp, ab),
+                        });
+                        self.emit(Insn::Load {
+                            dst: Gpr::R10,
+                            mem: MemRef::base_disp(Gpr::R10, 8 * k),
+                        });
+                    } else {
+                        // Plain System V: static distance to the stack
+                        // argument (post is 0 for unprotected code).
+                        let static_off = self.stable_depth_static() + 8 + 8 * k as i64;
+                        self.emit(Insn::Load {
+                            dst: Gpr::R10,
+                            mem: MemRef::base_disp(Gpr::Rsp, static_off as i32),
+                        });
+                    }
+                    self.write_val(dst, Gpr::R10);
+                }
+            }
+            Inst::Alloca { .. } => {
+                let dst = res.unwrap();
+                let slot = self.alloca_index[&dst.0];
+                let off = self.frame.alloca_off[slot] as i32;
+                self.emit(Insn::Lea {
+                    dst: Gpr::R10,
+                    mem: MemRef::base_disp(Gpr::Rsp, off),
+                });
+                self.write_val(dst, Gpr::R10);
+            }
+            Inst::Load { ptr, off } => {
+                let dst = res.unwrap();
+                let p = self.operand(*ptr, Gpr::R10);
+                self.emit(Insn::Load {
+                    dst: Gpr::R10,
+                    mem: MemRef::base_disp(p, *off),
+                });
+                self.write_val(dst, Gpr::R10);
+            }
+            Inst::Store { ptr, off, val } => {
+                let v = self.operand(*val, Gpr::R11);
+                let p = self.operand(*ptr, Gpr::R10);
+                self.emit(Insn::Store {
+                    mem: MemRef::base_disp(p, *off),
+                    src: v,
+                });
+            }
+            Inst::Bin { op, a, b } => {
+                let dst = res.unwrap();
+                let bs = self.operand(*b, Gpr::R11);
+                let as_ = self.operand(*a, Gpr::R10);
+                if as_ != Gpr::R10 {
+                    self.emit(Insn::MovReg {
+                        dst: Gpr::R10,
+                        src: as_,
+                    });
+                }
+                match alu_of(*op) {
+                    Some(alu) => {
+                        self.emit(Insn::AluReg {
+                            op: alu,
+                            dst: Gpr::R10,
+                            src: bs,
+                        });
+                    }
+                    None => {
+                        let i = match op {
+                            BinOp::Div => Insn::Div {
+                                dst: Gpr::R10,
+                                src: bs,
+                            },
+                            BinOp::Rem => Insn::Rem {
+                                dst: Gpr::R10,
+                                src: bs,
+                            },
+                            _ => unreachable!(),
+                        };
+                        self.emit(i);
+                    }
+                }
+                self.write_val(dst, Gpr::R10);
+            }
+            Inst::Cmp { op, a, b } => {
+                let dst = res.unwrap();
+                let bs = self.operand(*b, Gpr::R11);
+                let as_ = self.operand(*a, Gpr::R10);
+                self.emit(Insn::CmpReg { a: as_, b: bs });
+                self.emit(Insn::SetCc {
+                    cond: cond_of(*op),
+                    dst: Gpr::R10,
+                });
+                self.write_val(dst, Gpr::R10);
+            }
+            Inst::GlobalAddr(g) => {
+                let dst = res.unwrap();
+                let at = self.emit(Insn::MovAbs {
+                    dst: Gpr::R10,
+                    imm: 0,
+                });
+                self.relocs.push(Reloc {
+                    at,
+                    kind: RelocKind::Data {
+                        index: g.0 as usize,
+                        addend: 0,
+                    },
+                });
+                self.write_val(dst, Gpr::R10);
+            }
+            Inst::FuncAddr(fi) => {
+                let dst = res.unwrap();
+                let at = self.emit(Insn::MovAbs {
+                    dst: Gpr::R10,
+                    imm: 0,
+                });
+                self.relocs.push(Reloc {
+                    at,
+                    kind: RelocKind::Func(fi.0 as usize),
+                });
+                self.write_val(dst, Gpr::R10);
+            }
+            Inst::PtrAdd {
+                base,
+                idx,
+                scale,
+                disp,
+            } => {
+                let dst = res.unwrap();
+                match idx {
+                    Some(i) => {
+                        let is = self.operand(*i, Gpr::R11);
+                        let bs = self.operand(*base, Gpr::R10);
+                        self.emit(Insn::Lea {
+                            dst: Gpr::R10,
+                            mem: MemRef::full(bs, is, *scale, *disp),
+                        });
+                    }
+                    None => {
+                        let bs = self.operand(*base, Gpr::R10);
+                        self.emit(Insn::Lea {
+                            dst: Gpr::R10,
+                            mem: MemRef::base_disp(bs, *disp),
+                        });
+                    }
+                }
+                self.write_val(dst, Gpr::R10);
+            }
+            Inst::Call { callee, args } => {
+                self.lower_call(f, meta, Callee::Direct(*callee), args, res);
+            }
+            Inst::CallInd { ptr, args } => {
+                self.lower_call(f, meta, Callee::Indirect(*ptr), args, res);
+            }
+            Inst::CallExtern { ext, args } => {
+                self.lower_call(f, meta, Callee::Native(*ext), args, res);
+            }
+        }
+    }
+
+    /// Distance from post-prologue rsp to the return-address slot when
+    /// no BTRA post-offset applies (plain-convention stack-arg access).
+    fn stable_depth_static(&self) -> i64 {
+        self.frame.size as i64 + 8 * self.saves.len() as i64 + 8 * self.meta().post as i64
+    }
+
+    fn lower_call(
+        &mut self,
+        _f: &Function,
+        meta: FnMeta,
+        callee: Callee,
+        args: &[Val],
+        res: Option<Val>,
+    ) {
+        let nreg = args.len().min(6);
+        let nstack = args.len().saturating_sub(6);
+        // Outgoing stack arguments into the reserved area at [rsp+0..).
+        for i in 6..args.len() {
+            let s = self.operand(args[i], Gpr::R10);
+            self.emit(Insn::Store {
+                mem: MemRef::base_disp(Gpr::Rsp, (8 * (i - 6)) as i32),
+                src: s,
+            });
+        }
+        // Stage register arguments through the argstage area so that
+        // argument-register contents never feed each other.
+        let stage = self.frame.argstage_off as i32;
+        for (i, arg) in args.iter().take(nreg).enumerate() {
+            let s = self.operand(*arg, Gpr::R10);
+            self.emit(Insn::Store {
+                mem: MemRef::base_disp(Gpr::Rsp, stage + 8 * i as i32),
+                src: s,
+            });
+        }
+        // Indirect target into r11 *before* the argument registers are
+        // loaded (the target value may itself live in an argument
+        // register); neither the loads below nor the window setup
+        // clobber r11.
+        if let Callee::Indirect(p) = callee {
+            let s = self.operand(p, Gpr::R11);
+            if s != Gpr::R11 {
+                self.emit(Insn::MovReg {
+                    dst: Gpr::R11,
+                    src: s,
+                });
+            }
+        }
+        for i in 0..nreg {
+            self.emit(Insn::Load {
+                dst: Gpr::ARGS[i],
+                mem: MemRef::base_disp(Gpr::Rsp, stage + 8 * i as i32),
+            });
+        }
+
+        // NOP insertion at the call site (§4.3): shifts the return
+        // address relative to the calling function's start.
+        if meta.protected {
+            if let Some((lo, hi)) = self.cfg.nop_insertion {
+                let n = self.rng.gen_range(lo..=hi);
+                for _ in 0..n {
+                    let len = self.rng.gen_range(1..=8) as u8;
+                    self.emit(Insn::Nop { len });
+                }
+            }
+        }
+
+        // Callee post-offset (direct calls know it; indirect calls and
+        // natives use the default — mismatches overwrite BTRAs below the
+        // return address, which the design tolerates, §5.1).
+        let callee_protected = match callee {
+            Callee::Direct(fi) => self.metas[fi.0 as usize].protected,
+            Callee::Indirect(_) => true,
+            // Worst-case configuration of §6.2: BTRAs also for call
+            // sites calling unprotected (libc-like) code.
+            Callee::Native(_) => true,
+        };
+        let window = if meta.protected && callee_protected {
+            self.cfg.btra
+        } else {
+            None
+        };
+
+        // Offset-invariant addressing: frame pointer prepared before
+        // the varying pre-offset (§5.1.1). The setup moves from the
+        // callee prologue to *every* call site of OIA-compiled code —
+        // whether the callee reads stack arguments is the callee's
+        // business — which is what makes the technique's isolated cost
+        // measurable (§6.2.1: "the missed opportunities of the
+        // frame-pointer omission optimization").
+        let callee_uses_oia = match callee {
+            Callee::Direct(fi) => self.metas[fi.0 as usize].protected && self.cfg.uses_oia(),
+            Callee::Indirect(_) => self.cfg.uses_oia(),
+            Callee::Native(_) => false,
+        };
+        let _ = nstack;
+        if callee_uses_oia {
+            self.emit(Insn::MovReg {
+                dst: Gpr::Rbp,
+                src: Gpr::Rsp,
+            });
+        }
+
+        let win = match window {
+            Some(b) => {
+                self.btra_sites += 1;
+                let callee_post = match callee {
+                    Callee::Direct(fi) => self.metas[fi.0 as usize].post,
+                    _ => 2 * ((b.total as u32 / 2) / 2),
+                };
+                self.emit_window(b, callee_post)
+            }
+            None => WindowInfo {
+                pre: 0,
+                ra_fixups: vec![],
+                data_ra_fixup: None,
+                pre_slots: vec![],
+            },
+        };
+        let (pre, ra_fixups, data_ra_fixup) = (win.pre, win.ra_fixups, win.data_ra_fixup);
+
+        // The call itself.
+        let call_idx = match callee {
+            Callee::Direct(fi) => {
+                let at = self.emit(Insn::Call { target: 0 });
+                self.relocs.push(Reloc {
+                    at,
+                    kind: RelocKind::Func(fi.0 as usize),
+                });
+                at
+            }
+            Callee::Indirect(_) => self.emit(Insn::CallInd { target: Gpr::R11 }),
+            Callee::Native(ext) => self.emit(Insn::CallNative {
+                native: native_index(ext),
+            }),
+        };
+        // Resolve the return-address entries of the window now that the
+        // call instruction index is known.
+        for at in ra_fixups {
+            self.relocs.push(Reloc {
+                at,
+                kind: RelocKind::RetAddr {
+                    func: self.fidx,
+                    insn: call_idx,
+                },
+            });
+        }
+        if let Some((data_idx, offset)) = data_ra_fixup {
+            self.data[data_idx].relocs.push(DataReloc {
+                offset,
+                kind: RelocKind::RetAddr {
+                    func: self.fidx,
+                    insn: call_idx,
+                },
+            });
+        }
+        // Revert the pre-offset (step 7 of Figure 3).
+        if pre > 0 {
+            self.emit(Insn::AluImm {
+                op: AluOp::Add,
+                dst: Gpr::Rsp,
+                imm: 8 * pre as i32,
+            });
+        }
+        // §7.3 hardening: re-verify a random subset of the pre-offset
+        // BTRAs after the return; corruption executes a trap.
+        let checks = self
+            .cfg
+            .btra_consistency_checks
+            .min(win.pre_slots.len() as u8);
+        if checks > 0 && window.is_some() {
+            let mut slots: Vec<u32> = (1..=pre).collect();
+            for i in (1..slots.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                slots.swap(i, j);
+            }
+            for &j in slots.iter().take(checks as usize) {
+                let kind = win.pre_slots[(j - 1) as usize];
+                let at = self.emit(Insn::MovAbs {
+                    dst: Gpr::R10,
+                    imm: 0,
+                });
+                self.relocs.push(Reloc { at, kind });
+                self.emit(Insn::Load {
+                    dst: Gpr::R11,
+                    mem: MemRef::base_disp(Gpr::Rsp, -(8 * j as i32)),
+                });
+                self.emit(Insn::CmpReg {
+                    a: Gpr::R10,
+                    b: Gpr::R11,
+                });
+                let jcc = self.emit(Insn::Jcc {
+                    cond: Cond::Eq,
+                    target: 0,
+                });
+                self.emit(Insn::Trap);
+                let after = self.insns.len();
+                self.relocs.push(Reloc {
+                    at: jcc,
+                    kind: RelocKind::Insn {
+                        func: self.fidx,
+                        insn: after,
+                    },
+                });
+            }
+        }
+        // Result.
+        if let Some(dst) = res {
+            self.write_val(dst, Gpr::Rax);
+        }
+    }
+
+    /// Emits the BTRA window setup. Returns the window description:
+    /// the pre-offset slot count for teardown, the indices of
+    /// `PushImm` instructions that must receive the return-address
+    /// relocation, (for AVX2 mode) the data object slot holding the
+    /// return address, and the relocation kinds of the pre-offset
+    /// BTRA slots (top-down) for post-return consistency checking.
+    fn emit_window(&mut self, b: crate::config::BtraConfig, callee_post: u32) -> WindowInfo {
+        let total = b.total as u32;
+        let post = callee_post.min(total);
+        let mut pre = total - post;
+        if pre % 2 == 1 {
+            // Keep the stack 16-byte aligned (§5.1): an extra BTRA.
+            pre += 1;
+        }
+        let bt_count = self.cfg.booby_trap_funcs.max(1) as u32;
+        let bt = |rng: &mut SmallRng| RelocKind::BoobyTrap {
+            index: rng.gen_range(0..bt_count),
+            offset: rng.gen_range(0..BOOBY_TRAP_RUN),
+        };
+        match b.mode {
+            BtraMode::Push => {
+                // Figure 3: push pre BTRAs, the return address, then the
+                // post BTRAs; finally position rsp over the RA slot.
+                let mut ra_fixups = Vec::new();
+                let mut pre_slots = Vec::new();
+                for _ in 0..pre {
+                    let kind = bt(&mut self.rng);
+                    pre_slots.push(kind);
+                    let at = self.emit(Insn::PushImm { imm: 0 });
+                    self.relocs.push(Reloc { at, kind });
+                }
+                let at = self.emit(Insn::PushImm { imm: 0 });
+                ra_fixups.push(at);
+                for _ in 0..post {
+                    let kind = bt(&mut self.rng);
+                    let at = self.emit(Insn::PushImm { imm: 0 });
+                    self.relocs.push(Reloc { at, kind });
+                }
+                self.emit(Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: Gpr::Rsp,
+                    imm: (8 * (post + 1)) as i32,
+                });
+                WindowInfo {
+                    pre,
+                    ra_fixups,
+                    data_ra_fixup: None,
+                    pre_slots,
+                }
+            }
+            BtraMode::Avx2 => {
+                // Figure 4: batched vector stores from a call-site
+                // specific array. Array layout bottom→top:
+                // [pad BTRAs][post BTRAs][RA][pre BTRAs].
+                let w = pre + 1 + post;
+                let wp = w.next_multiple_of(4);
+                let pad = wp - w;
+                let ra_slot = (pad + post) as usize;
+                let mut obj = DataObject {
+                    name: format!("__r2c_btra_{}_{}", self.fidx, self.btra_sites),
+                    bytes: vec![0u8; (wp * 8) as usize],
+                    align: 32,
+                    relocs: Vec::new(),
+                    synthetic: true,
+                };
+                for slot in 0..wp as usize {
+                    if slot == ra_slot {
+                        continue; // filled by the RetAddr fixup
+                    }
+                    let kind = bt(&mut self.rng);
+                    obj.relocs.push(DataReloc {
+                        offset: slot * 8,
+                        kind,
+                    });
+                }
+                let mut slot_kinds: Vec<Option<RelocKind>> = vec![None; wp as usize];
+                for r in &obj.relocs {
+                    slot_kinds[r.offset / 8] = Some(r.kind);
+                }
+                // Slot j from the top of the window maps to array
+                // index wp - j.
+                let pre_slots: Vec<RelocKind> = (1..=pre)
+                    .map(|j| slot_kinds[(wp - j) as usize].expect("pre slot is a BTRA"))
+                    .collect();
+                let data_idx = self.data.len();
+                self.data.push(obj);
+                let scratch = Ymm(15);
+                for k in 0..(wp / 4) {
+                    let at = self.emit(Insn::VLoadAbs {
+                        dst: scratch,
+                        addr: 0,
+                    });
+                    self.relocs.push(Reloc {
+                        at,
+                        kind: RelocKind::Data {
+                            index: data_idx,
+                            addend: (32 * k) as i64,
+                        },
+                    });
+                    self.emit(Insn::VStore {
+                        mem: MemRef::base_disp(Gpr::Rsp, -((8 * wp) as i32) + (32 * k) as i32),
+                        src: scratch,
+                        aligned: false,
+                    });
+                }
+                if !b.omit_vzeroupper {
+                    self.emit(Insn::VZeroUpper);
+                }
+                if pre > 0 {
+                    self.emit(Insn::AluImm {
+                        op: AluOp::Sub,
+                        dst: Gpr::Rsp,
+                        imm: (8 * pre) as i32,
+                    });
+                }
+                WindowInfo {
+                    pre,
+                    ra_fixups: vec![],
+                    data_ra_fixup: Some((data_idx, ra_slot * 8)),
+                    pre_slots,
+                }
+            }
+        }
+    }
+}
+
+/// Description of an emitted BTRA window (see `emit_window`).
+struct WindowInfo {
+    /// Pre-offset slot count (BTRAs above the return address).
+    pre: u32,
+    /// Indices of `PushImm` instructions awaiting the RA relocation.
+    ra_fixups: Vec<usize>,
+    /// AVX2 data object + byte offset of the RA slot, if any.
+    data_ra_fixup: Option<(usize, usize)>,
+    /// Relocation kinds of the pre-offset slots, top-down.
+    pre_slots: Vec<RelocKind>,
+}
+
+#[derive(Clone, Copy)]
+enum Callee {
+    Direct(FuncId),
+    Indirect(Val),
+    Native(ExternFn),
+}

@@ -1,0 +1,188 @@
+//! Pre-link program representation: compiled functions with symbolic
+//! relocations, plus data objects.
+
+use r2c_vm::{Insn, NativeKind};
+
+/// What a relocation resolves to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RelocKind {
+    /// Absolute address of instruction `insn` of function `func`
+    /// (used for intra-function branches and for return-address entries
+    /// in AVX2 BTRA arrays).
+    Insn {
+        /// Index into [`Program::funcs`].
+        func: usize,
+        /// Instruction index within that function.
+        insn: usize,
+    },
+    /// Entry address of a function.
+    Func(usize),
+    /// An address inside booby-trap function `index`'s trap run
+    /// (generated at link time and shuffled into the text section).
+    /// `offset` selects a byte within the run so that BTRA values are
+    /// not function-entry aligned.
+    BoobyTrap {
+        /// Which booby-trap function.
+        index: u32,
+        /// Byte offset into its trap run.
+        offset: u8,
+    },
+    /// The return address of the call instruction `insn` of function
+    /// `func` (i.e. the address of the byte after it). Used for the
+    /// genuine return-address entry of a BTRA window.
+    RetAddr {
+        /// Index into [`Program::funcs`].
+        func: usize,
+        /// Instruction index of the call within that function.
+        insn: usize,
+    },
+    /// Address of a data object plus a byte addend.
+    Data {
+        /// Index into [`Program::data`].
+        index: usize,
+        /// Byte offset added to the object's base address.
+        addend: i64,
+    },
+}
+
+/// A relocation against an emitted instruction: the linker patches the
+/// instruction's immediate/target field with the resolved address.
+#[derive(Clone, Copy, Debug)]
+pub struct Reloc {
+    /// Index of the instruction to patch.
+    pub at: usize,
+    /// What to resolve.
+    pub kind: RelocKind,
+}
+
+/// A relocation inside a data object's initializer (a 64-bit slot).
+#[derive(Clone, Copy, Debug)]
+pub struct DataReloc {
+    /// Byte offset of the 8-byte slot within the object.
+    pub offset: usize,
+    /// What to resolve.
+    pub kind: RelocKind,
+}
+
+/// An unwind directive recorded during emission: starting at
+/// instruction `from`, the callee-relative stack depth is `depth` bytes
+/// (distance from `rsp` up to this function's return-address slot).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnwindPoint {
+    /// First instruction index at which `depth` holds.
+    pub from: usize,
+    /// Bytes between `rsp` and the return-address slot.
+    pub depth: i64,
+}
+
+/// Function classification in the text section.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FuncKind {
+    /// Ordinary compiled function.
+    Normal,
+    /// R²C booby-trap function.
+    BoobyTrap,
+    /// Generated constructor (runs before `main`).
+    Constructor,
+}
+
+/// One compiled function before linking.
+#[derive(Clone, Debug)]
+pub struct CompiledFunc {
+    /// Function name.
+    pub name: String,
+    /// Emitted instructions (targets of relocated instructions hold 0
+    /// until link).
+    pub insns: Vec<Insn>,
+    /// Relocations into `insns`.
+    pub relocs: Vec<Reloc>,
+    /// Unwind directives (monotonically increasing `from`).
+    pub unwind: Vec<UnwindPoint>,
+    /// Kind of function.
+    pub kind: FuncKind,
+    /// Static number of call sites instrumented with BTRAs (for
+    /// reports).
+    pub btra_sites: u32,
+    /// Static number of BTDP stores inserted (for reports).
+    pub btdp_stores: u32,
+}
+
+impl CompiledFunc {
+    /// Total encoded size of the function in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.insns.iter().map(|i| i.len()).sum()
+    }
+}
+
+/// A data object (global variable, GOT-like table, or BTRA address
+/// array) before linking.
+#[derive(Clone, Debug)]
+pub struct DataObject {
+    /// Object name (unique).
+    pub name: String,
+    /// Initial bytes (length = object size).
+    pub bytes: Vec<u8>,
+    /// Alignment in bytes.
+    pub align: u32,
+    /// Relocated 64-bit slots within the object.
+    pub relocs: Vec<DataReloc>,
+    /// True if the object was created by R²C itself (BTRA arrays, BTDP
+    /// array pointer, decoys); used by layout analysis.
+    pub synthetic: bool,
+}
+
+/// A compiled-but-unlinked program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Compiled functions, in IR order (constructors appended).
+    pub funcs: Vec<CompiledFunc>,
+    /// Data objects, in IR order (synthetic objects appended).
+    pub data: Vec<DataObject>,
+    /// Index of the entry function in `funcs`.
+    pub entry: usize,
+    /// Indices of constructor functions, run in order before entry.
+    pub ctors: Vec<usize>,
+    /// Native-function table (referenced by `Insn::CallNative`).
+    pub natives: Vec<NativeKind>,
+    /// Number of booby-trap functions the linker must generate.
+    pub booby_trap_funcs: u32,
+}
+
+impl Program {
+    /// Looks up a function index by name.
+    pub fn func_index(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+
+    /// Total text bytes over all compiled functions (excluding
+    /// generated booby traps).
+    pub fn text_bytes(&self) -> u64 {
+        self.funcs.iter().map(|f| f.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_vm::Gpr;
+
+    #[test]
+    fn byte_size_sums_lengths() {
+        let f = CompiledFunc {
+            name: "f".into(),
+            insns: vec![
+                Insn::Ret,
+                Insn::MovImm {
+                    dst: Gpr::Rax,
+                    imm: 1,
+                },
+            ],
+            relocs: vec![],
+            unwind: vec![],
+            kind: FuncKind::Normal,
+            btra_sites: 0,
+            btdp_stores: 0,
+        };
+        assert_eq!(f.byte_size(), 1 + 5);
+    }
+}

@@ -1,0 +1,454 @@
+//! Liveness analysis and linear-scan register allocation.
+//!
+//! Values live across call sites get callee-saved registers (or spill
+//! slots), so no caller-side save/restore code is needed. The register
+//! preference order can be randomized per function — R²C's
+//! register-allocation randomization (§4.3/§6.2.3), which perturbs the
+//! byte encodings and register-operand patterns of otherwise identical
+//! code.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use r2c_ir::{Function, Inst, Term, Val};
+use r2c_vm::Gpr;
+
+/// Where a value lives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Loc {
+    /// In a register for its whole lifetime.
+    Reg(Gpr),
+    /// In a numbered spill slot (frame layout assigns the offset).
+    Slot(u32),
+}
+
+/// Allocation result for one function.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Location per value id.
+    pub locs: Vec<Loc>,
+    /// Callee-saved registers handed out (prologue must save them).
+    pub used_callee_saved: Vec<Gpr>,
+    /// Number of spill slots used.
+    pub num_slots: u32,
+}
+
+impl Allocation {
+    /// Location of a value.
+    pub fn loc(&self, v: Val) -> Loc {
+        self.locs[v.0 as usize]
+    }
+}
+
+/// Registers handed to values that do not live across calls.
+pub const CALLER_POOL: [Gpr; 7] = [
+    Gpr::Rax,
+    Gpr::Rcx,
+    Gpr::Rdx,
+    Gpr::Rsi,
+    Gpr::Rdi,
+    Gpr::R8,
+    Gpr::R9,
+];
+
+/// Registers handed to values that live across calls.
+pub const CALLEE_POOL: [Gpr; 5] = [Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15];
+
+/// Scratch registers reserved for the emitter (operand staging, BTRA
+/// setup); never allocated.
+pub const SCRATCH: [Gpr; 2] = [Gpr::R10, Gpr::R11];
+
+fn uses_of(inst: &Inst, out: &mut Vec<Val>) {
+    match inst {
+        Inst::Const(_)
+        | Inst::Param(_)
+        | Inst::Alloca { .. }
+        | Inst::GlobalAddr(_)
+        | Inst::FuncAddr(_) => {}
+        Inst::Load { ptr, .. } => out.push(*ptr),
+        Inst::Store { ptr, val, .. } => {
+            out.push(*ptr);
+            out.push(*val);
+        }
+        Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+            out.push(*a);
+            out.push(*b);
+        }
+        Inst::PtrAdd { base, idx, .. } => {
+            out.push(*base);
+            if let Some(i) = idx {
+                out.push(*i);
+            }
+        }
+        Inst::Call { args, .. } => out.extend(args.iter().copied()),
+        Inst::CallInd { ptr, args } => {
+            out.push(*ptr);
+            out.extend(args.iter().copied());
+        }
+        Inst::CallExtern { args, .. } => out.extend(args.iter().copied()),
+    }
+}
+
+fn is_call(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Call { .. } | Inst::CallInd { .. } | Inst::CallExtern { .. }
+    )
+}
+
+/// Live interval of a value, as conservative `[start, end]` positions.
+#[derive(Clone, Copy, Debug)]
+struct Interval {
+    val: Val,
+    start: u32,
+    end: u32,
+    crosses_call: bool,
+}
+
+/// Computes a conservative allocation for `f`.
+///
+/// `rand_seed` of `Some(seed)` randomizes the register preference order
+/// (register-allocation randomization); `None` uses the fixed default
+/// order, giving a deterministic baseline.
+pub fn allocate(f: &Function, rand_seed: Option<u64>) -> Allocation {
+    let nvals = f.num_vals as usize;
+    // Position numbering: blocks in layout order; each instruction and
+    // each terminator takes one position.
+    let mut block_start = Vec::with_capacity(f.blocks.len());
+    let mut block_end = Vec::with_capacity(f.blocks.len());
+    let mut pos = 0u32;
+    for b in &f.blocks {
+        block_start.push(pos);
+        pos += b.insts.len() as u32 + 1; // +1 for the terminator
+        block_end.push(pos - 1);
+    }
+
+    // Per-block gen/kill.
+    let nb = f.blocks.len();
+    let mut gen: Vec<Vec<bool>> = vec![vec![false; nvals]; nb];
+    let mut kill: Vec<Vec<bool>> = vec![vec![false; nvals]; nb];
+    let mut tmp = Vec::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (res, inst) in &b.insts {
+            tmp.clear();
+            uses_of(inst, &mut tmp);
+            for u in &tmp {
+                if !kill[bi][u.0 as usize] {
+                    gen[bi][u.0 as usize] = true;
+                }
+            }
+            if let Some(r) = res {
+                kill[bi][r.0 as usize] = true;
+            }
+        }
+        match &b.term {
+            Term::CondBr { cond, .. } => {
+                if !kill[bi][cond.0 as usize] {
+                    gen[bi][cond.0 as usize] = true;
+                }
+            }
+            Term::Ret(Some(v)) => {
+                if !kill[bi][v.0 as usize] {
+                    gen[bi][v.0 as usize] = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    let succs: Vec<Vec<usize>> = f
+        .blocks
+        .iter()
+        .map(|b| match &b.term {
+            Term::Br(t) => vec![t.0 as usize],
+            Term::CondBr {
+                then_bb, else_bb, ..
+            } => vec![then_bb.0 as usize, else_bb.0 as usize],
+            Term::Ret(_) => vec![],
+        })
+        .collect();
+
+    // Iterative dataflow: live_in = gen ∪ (live_out \ kill).
+    let mut live_in: Vec<Vec<bool>> = vec![vec![false; nvals]; nb];
+    let mut live_out: Vec<Vec<bool>> = vec![vec![false; nvals]; nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..nb).rev() {
+            for v in 0..nvals {
+                let mut out = false;
+                for &s in &succs[bi] {
+                    if live_in[s][v] {
+                        out = true;
+                        break;
+                    }
+                }
+                if out != live_out[bi][v] {
+                    live_out[bi][v] = out;
+                    changed = true;
+                }
+                let inn = gen[bi][v] || (out && !kill[bi][v]);
+                if inn != live_in[bi][v] {
+                    live_in[bi][v] = inn;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Build intervals and record call positions.
+    let mut start = vec![u32::MAX; nvals];
+    let mut end = vec![0u32; nvals];
+    let mut call_positions = Vec::new();
+    let touch = |v: Val, p: u32, start: &mut Vec<u32>, end: &mut Vec<u32>| {
+        let i = v.0 as usize;
+        start[i] = start[i].min(p);
+        end[i] = end[i].max(p);
+    };
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let mut p = block_start[bi];
+        for (res, inst) in &b.insts {
+            if is_call(inst) {
+                call_positions.push(p);
+            }
+            tmp.clear();
+            uses_of(inst, &mut tmp);
+            for u in &tmp {
+                touch(*u, p, &mut start, &mut end);
+            }
+            if let Some(r) = res {
+                touch(*r, p, &mut start, &mut end);
+            }
+            p += 1;
+        }
+        match &b.term {
+            Term::CondBr { cond, .. } => touch(*cond, p, &mut start, &mut end),
+            Term::Ret(Some(v)) => touch(*v, p, &mut start, &mut end),
+            _ => {}
+        }
+        for v in 0..nvals {
+            if live_in[bi][v] {
+                touch(Val(v as u32), block_start[bi], &mut start, &mut end);
+            }
+            if live_out[bi][v] {
+                touch(Val(v as u32), block_end[bi], &mut start, &mut end);
+            }
+        }
+    }
+
+    let mut intervals: Vec<Interval> = (0..nvals)
+        .filter(|&v| start[v] != u32::MAX)
+        .map(|v| {
+            let crosses = call_positions.iter().any(|&p| start[v] < p && p < end[v]);
+            Interval {
+                val: Val(v as u32),
+                start: start[v],
+                end: end[v],
+                crosses_call: crosses,
+            }
+        })
+        .collect();
+    intervals.sort_by_key(|iv| (iv.start, iv.end));
+
+    // Register preference orders (optionally shuffled).
+    let mut caller: Vec<Gpr> = CALLER_POOL.to_vec();
+    let mut callee: Vec<Gpr> = CALLEE_POOL.to_vec();
+    if let Some(seed) = rand_seed {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        caller.shuffle(&mut rng);
+        callee.shuffle(&mut rng);
+    }
+
+    // Linear scan.
+    let mut locs = vec![Loc::Slot(u32::MAX); nvals];
+    let mut active: Vec<(u32, Gpr)> = Vec::new(); // (end, reg)
+    let mut free_caller = caller.clone();
+    let mut free_callee = callee.clone();
+    let mut used_callee_saved = Vec::new();
+    let mut num_slots = 0u32;
+    for iv in &intervals {
+        // Expire.
+        active.retain(|&(e, r)| {
+            if e < iv.start {
+                if CALLEE_POOL.contains(&r) {
+                    free_callee.push(r);
+                } else {
+                    free_caller.push(r);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        let reg = if iv.crosses_call {
+            free_callee.pop()
+        } else {
+            free_caller.pop().or_else(|| free_callee.pop())
+        };
+        match reg {
+            Some(r) => {
+                if CALLEE_POOL.contains(&r) && !used_callee_saved.contains(&r) {
+                    used_callee_saved.push(r);
+                }
+                locs[iv.val.0 as usize] = Loc::Reg(r);
+                active.push((iv.end, r));
+            }
+            None => {
+                locs[iv.val.0 as usize] = Loc::Slot(num_slots);
+                num_slots += 1;
+            }
+        }
+    }
+    // Dead values (never touched) still need a defined location for the
+    // emitter to write their (unused) results to.
+    for (v, loc) in locs.iter_mut().enumerate() {
+        if *loc == Loc::Slot(u32::MAX) {
+            if start[v] == u32::MAX {
+                *loc = Loc::Slot(num_slots);
+                num_slots += 1;
+            } else {
+                unreachable!("live value without a location");
+            }
+        }
+    }
+    used_callee_saved.sort();
+    Allocation {
+        locs,
+        used_callee_saved,
+        num_slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_ir::{BinOp, CmpOp, ExternFn, ModuleBuilder};
+
+    fn alloc_of(build: impl FnOnce(&mut ModuleBuilder)) -> (r2c_ir::Module, Allocation) {
+        let mut mb = ModuleBuilder::new("t");
+        build(&mut mb);
+        let m = mb.finish();
+        r2c_ir::verify_module(&m).unwrap();
+        let a = allocate(m.funcs.last().unwrap(), None);
+        (m, a)
+    }
+
+    #[test]
+    fn straight_line_gets_registers() {
+        let (_m, a) = alloc_of(|mb| {
+            let mut f = mb.function("main", 0);
+            let x = f.iconst(1);
+            let y = f.iconst(2);
+            let z = f.bin(BinOp::Add, x, y);
+            f.ret(Some(z));
+            f.finish();
+        });
+        for l in &a.locs {
+            assert!(
+                matches!(l, Loc::Reg(_)),
+                "small function must not spill: {a:?}"
+            );
+        }
+        assert!(a.used_callee_saved.is_empty());
+    }
+
+    #[test]
+    fn value_across_call_gets_callee_saved() {
+        let (_m, a) = alloc_of(|mb| {
+            let callee = mb.declare_function("callee", 0);
+            let mut c = mb.function("callee", 0);
+            c.ret(None);
+            c.finish();
+            let mut f = mb.function("main", 0);
+            let x = f.iconst(5); // live across the call
+            let _r = f.call(callee, &[]);
+            let y = f.bin(BinOp::Add, x, x);
+            f.ret(Some(y));
+            f.finish();
+        });
+        // Value 0 (x) crosses the call.
+        match a.locs[0] {
+            Loc::Reg(r) => assert!(CALLEE_POOL.contains(&r), "x in caller-saved {r}"),
+            Loc::Slot(_) => {}
+        }
+        if let Loc::Reg(r) = a.locs[0] {
+            assert!(a.used_callee_saved.contains(&r));
+        }
+    }
+
+    #[test]
+    fn high_pressure_spills() {
+        let (_m, a) = alloc_of(|mb| {
+            let mut f = mb.function("main", 0);
+            let vals: Vec<_> = (0..20).map(|i| f.iconst(i)).collect();
+            // Keep all 20 alive until the end.
+            let mut acc = vals[0];
+            for v in &vals[1..] {
+                acc = f.bin(BinOp::Add, acc, *v);
+            }
+            // Reuse the originals so their intervals stretch.
+            let mut acc2 = vals[0];
+            for v in &vals[1..] {
+                acc2 = f.bin(BinOp::Xor, acc2, *v);
+            }
+            let r = f.bin(BinOp::Add, acc, acc2);
+            f.ret(Some(r));
+            f.finish();
+        });
+        assert!(a.num_slots > 0, "20 simultaneously live values must spill");
+    }
+
+    #[test]
+    fn loop_value_lives_across_backedge() {
+        let (_m, a) = alloc_of(|mb| {
+            let mut f = mb.function("main", 0);
+            let slot = f.alloca(8, 8);
+            let zero = f.iconst(0);
+            f.store(slot, 0, zero);
+            let body = f.new_block("body");
+            let exit = f.new_block("exit");
+            f.br(body);
+            f.switch_to(body);
+            let cur = f.load(slot, 0);
+            let one = f.iconst(1);
+            let nxt = f.bin(BinOp::Add, cur, one);
+            f.store(slot, 0, nxt);
+            let lim = f.iconst(10);
+            let done = f.cmp(CmpOp::Ge, nxt, lim);
+            f.cond_br(done, exit, body);
+            f.switch_to(exit);
+            let v = f.load(slot, 0);
+            f.ret(Some(v));
+            f.finish();
+        });
+        // `slot` (value 0) is used in entry, body and is live around the
+        // loop; it must have a single consistent location.
+        assert!(matches!(a.locs[0], Loc::Reg(_) | Loc::Slot(_)));
+    }
+
+    #[test]
+    fn randomized_order_changes_assignment() {
+        let build = |mb: &mut ModuleBuilder| {
+            let mut f = mb.function("main", 0);
+            let x = f.iconst(1);
+            let y = f.iconst(2);
+            let z = f.bin(BinOp::Add, x, y);
+            f.call_extern(ExternFn::PrintI64, &[z]);
+            f.ret(Some(z));
+            f.finish();
+        };
+        let mut mb1 = ModuleBuilder::new("a");
+        build(&mut mb1);
+        let m1 = mb1.finish();
+        let base = allocate(&m1.funcs[0], None);
+        // At least one of many seeds must give a different assignment.
+        let mut differs = false;
+        for seed in 0..16 {
+            let r = allocate(&m1.funcs[0], Some(seed));
+            if r.locs != base.locs {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "randomization never changed the assignment");
+    }
+}

@@ -1,0 +1,218 @@
+//! Security analysis helpers: AOCR-style pointer clustering and the
+//! closed-form probability estimates of paper §7.2.
+
+use r2c_vm::image::Region;
+use r2c_vm::SectionLayout;
+
+/// A cluster of nearby 64-bit values, as produced by AOCR's statistical
+/// value-range analysis (§2.3/§4.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cluster {
+    /// Smallest member.
+    pub min: u64,
+    /// Largest member.
+    pub max: u64,
+    /// All members (with duplicates), sorted.
+    pub members: Vec<u64>,
+}
+
+impl Cluster {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the cluster has no members (never produced by
+    /// [`cluster_values`]).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Groups pointer-looking values into clusters by address proximity.
+///
+/// The AOCR paper observes that, in a 64-bit address space, the values
+/// found on the stack fall into a small number of clusters (text
+/// pointers, data pointers, heap pointers, stack pointers), because the
+/// sections are gigabytes apart. Two values belong to the same cluster
+/// when they are within `gap` of each other (default `1 << 32`).
+///
+/// Returned clusters are sorted by descending size — the AOCR heuristic
+/// identifies heap pointers as "typically the third largest cluster".
+pub fn cluster_values(words: &[u64], gap: u64) -> Vec<Cluster> {
+    // Discard values that cannot be userspace pointers.
+    let mut vals: Vec<u64> = words
+        .iter()
+        .copied()
+        .filter(|&v| (0x1_0000..0x8000_0000_0000).contains(&v))
+        .collect();
+    vals.sort_unstable();
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for v in vals {
+        match clusters.last_mut() {
+            Some(c) if v - c.max <= gap => {
+                c.max = v;
+                c.members.push(v);
+            }
+            _ => clusters.push(Cluster {
+                min: v,
+                max: v,
+                members: vec![v],
+            }),
+        }
+    }
+    clusters.sort_by(|a, b| b.members.len().cmp(&a.members.len()));
+    clusters
+}
+
+/// Ground-truth classification of a cluster against the real layout
+/// (evaluation only; the attacker does not have `layout`).
+pub fn dominant_region(layout: &SectionLayout, c: &Cluster) -> Option<Region> {
+    let mut counts = [0usize; 4];
+    for &v in &c.members {
+        if let Some(r) = layout.region_of(v) {
+            counts[r as usize] += 1;
+        }
+    }
+    let best = (0..4).max_by_key(|&i| counts[i])?;
+    if counts[best] == 0 {
+        return None;
+    }
+    Some(match best {
+        0 => Region::Text,
+        1 => Region::Data,
+        2 => Region::Heap,
+        _ => Region::Stack,
+    })
+}
+
+/// Shannon entropy (in bits) of an empirical distribution of discrete
+/// observations — e.g. the return-address slot position across
+/// diversified variants. An attacker needs ~`2^H` guesses to cover the
+/// distribution; undiversified builds have H = 0.
+pub fn shannon_entropy<T: std::hash::Hash + Eq>(samples: &[T]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut counts: std::collections::HashMap<&T, usize> = std::collections::HashMap::new();
+    for s in samples {
+        *counts.entry(s).or_default() += 1;
+    }
+    let n = samples.len() as f64;
+    -counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Probability of guessing the true return address among `r` BTRAs:
+/// `1 / (r + 1)` (§7.2.1).
+pub fn p_guess_return_address(r: u32) -> f64 {
+    1.0 / (r as f64 + 1.0)
+}
+
+/// Probability of locating all `n` return addresses needed for a ROP
+/// chain: `(1 / (r + 1))^n` (§7.2.1). With ten BTRAs and four return
+/// addresses this is ≈ 0.00007, the paper's example.
+pub fn p_locate_chain(r: u32, n: u32) -> f64 {
+    p_guess_return_address(r).powi(n as i32)
+}
+
+/// Probability of randomly picking a benign heap pointer among `h`
+/// benign pointers and `b` BTDPs: `h / (h + b)` (§7.2.3).
+pub fn p_pick_benign_heap_pointer(h: u64, b: u64) -> f64 {
+    if h + b == 0 {
+        return 0.0;
+    }
+    h as f64 / (h + b) as f64
+}
+
+/// Expected number of BTDPs in a leak of `frames` stack frames when
+/// each function plants `0..=max_per_fn` uniformly (§7.2.3:
+/// `B = E(X) * S`).
+pub fn expected_btdps_in_leak(max_per_fn: u8, frames: u32) -> f64 {
+    (max_per_fn as f64 / 2.0) * frames as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustering_separates_regions() {
+        // Text-ish, heap-ish and stack-ish values.
+        let words = vec![
+            0x40_1000,
+            0x40_2000,
+            0x40_3000,
+            0x10_0000_1000,
+            0x10_0000_2000,
+            0x7fff_f000_0000,
+            0x7fff_f000_0100,
+            0x7fff_f000_0200,
+            0x7fff_f000_0300,
+            0, // non-pointer noise
+            42,
+        ];
+        let clusters = cluster_values(&words, 1 << 32);
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[0].len(), 4, "stack cluster is biggest");
+        assert!(clusters.iter().any(|c| c.min == 0x40_1000 && c.len() == 3));
+    }
+
+    #[test]
+    fn duplicate_values_counted() {
+        let words = vec![0x10_0000_0000; 5];
+        let clusters = cluster_values(&words, 1 << 32);
+        assert_eq!(clusters[0].len(), 5);
+    }
+
+    #[test]
+    fn paper_probability_example() {
+        // §7.2.1: ten BTRAs, four return addresses → ≈ 0.00007.
+        let p = p_locate_chain(10, 4);
+        assert!((p - 0.00007).abs() < 0.00001, "{p}");
+        assert!((p_guess_return_address(10) - 1.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn btdp_dilution() {
+        assert!((p_pick_benign_heap_pointer(10, 10) - 0.5).abs() < 1e-12);
+        assert_eq!(p_pick_benign_heap_pointer(0, 0), 0.0);
+        // §7.2.3: E(B) = max/2 per frame.
+        assert!((expected_btdps_in_leak(5, 8) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_uniform_and_constant() {
+        assert_eq!(shannon_entropy::<u32>(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[7, 7, 7, 7]), 0.0);
+        let uniform: Vec<u32> = (0..8).collect();
+        assert!((shannon_entropy(&uniform) - 3.0).abs() < 1e-12);
+        let half = [1, 1, 2, 2];
+        assert!((shannon_entropy(&half) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_region_ground_truth() {
+        let layout = SectionLayout {
+            text_base: 0x40_0000,
+            text_end: 0x50_0000,
+            data_base: 0x6000_0000,
+            data_end: 0x6010_0000,
+            heap_base: 0x10_0000_0000,
+            heap_size: 1 << 28,
+            stack_top: 0x7fff_ffff_0000,
+            stack_size: 1 << 20,
+        };
+        let c = Cluster {
+            min: 0x10_0000_1000,
+            max: 0x10_0000_9000,
+            members: vec![0x10_0000_1000, 0x10_0000_9000],
+        };
+        assert_eq!(dominant_region(&layout, &c), Some(Region::Heap));
+    }
+}

@@ -1,0 +1,201 @@
+//! The R²C compiler facade.
+
+use r2c_codegen::{link, mix_seed, CompileError, CompileOptions, FuncKind, LinkOptions, Program};
+use r2c_ir::Module;
+use r2c_vm::Image;
+
+use crate::config::R2cConfig;
+use crate::runtime::{inject_btdp_runtime, BtdpRuntime};
+
+/// Static information about one built variant, for reports and tests.
+#[derive(Clone, Debug, Default)]
+pub struct VariantInfo {
+    /// Total text bytes of the compiled functions (before booby traps).
+    pub text_bytes: u64,
+    /// Number of call sites instrumented with BTRA windows.
+    pub btra_sites: u32,
+    /// Number of BTDP stack stores across all functions.
+    pub btdp_stores: u32,
+    /// Number of booby-trap functions interspersed in the text.
+    pub booby_traps: u32,
+    /// Number of BTDP array entries (0 when BTDPs are disabled).
+    pub btdp_array_len: u32,
+    /// Details of the injected BTDP runtime, if any.
+    pub btdp_runtime: Option<BtdpRuntime>,
+}
+
+/// Compiles IR modules into R²C-protected images.
+///
+/// The compiler is deterministic: the same `(module, config)` always
+/// produces the same image; changing only the seed produces a fresh
+/// diversified variant.
+#[derive(Clone, Debug)]
+pub struct R2cCompiler {
+    config: R2cConfig,
+}
+
+impl R2cCompiler {
+    /// Creates a compiler with the given configuration.
+    pub fn new(config: R2cConfig) -> R2cCompiler {
+        R2cCompiler { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &R2cConfig {
+        &self.config
+    }
+
+    /// Compiles and links `module` into an image.
+    pub fn build(&self, module: &Module) -> Result<Image, CompileError> {
+        self.build_with_info(module).map(|(image, _)| image)
+    }
+
+    /// Compiles and links, also returning static variant information.
+    pub fn build_with_info(&self, module: &Module) -> Result<(Image, VariantInfo), CompileError> {
+        let (program, opts, rt) = self.compile_program(module)?;
+        let image = link(
+            &program,
+            &LinkOptions::from_config(&opts.diversify, opts.seed),
+        );
+        let mut info = VariantInfo {
+            text_bytes: program.text_bytes(),
+            booby_traps: program.booby_trap_funcs,
+            btdp_array_len: rt.as_ref().map(|r| r.array_len).unwrap_or(0),
+            btdp_runtime: rt,
+            ..VariantInfo::default()
+        };
+        for f in &program.funcs {
+            if f.kind == FuncKind::Normal {
+                info.btra_sites += f.btra_sites;
+                info.btdp_stores += f.btdp_stores;
+            }
+        }
+        Ok((image, info))
+    }
+
+    /// Compiles to the pre-link [`Program`] (exposed so tests and the
+    /// security analysis can inspect relocations, e.g. to verify the
+    /// BTRA properties of §4.1).
+    pub fn compile_program(
+        &self,
+        module: &Module,
+    ) -> Result<(Program, CompileOptions, Option<BtdpRuntime>), CompileError> {
+        let mut m = module.clone();
+        let mut diversify = self.config.diversify;
+        let mut ctors = Vec::new();
+        let mut runtime = None;
+        if let Some(mut b) = diversify.btdp {
+            let rt = inject_btdp_runtime(&mut m, &b, mix_seed(self.config.seed, 0xD07));
+            b.ptr_global = rt.ptr_global.0;
+            b.array_len = rt.array_len;
+            diversify.btdp = Some(b);
+            ctors.push(rt.ctor_name.clone());
+            runtime = Some(rt);
+        }
+        let opts = CompileOptions {
+            diversify,
+            seed: self.config.seed,
+            entry: "main".into(),
+            ctors,
+        };
+        let program = r2c_codegen::compile(&m, &opts)?;
+        Ok((program, opts, runtime))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::R2cConfig;
+    use r2c_ir::parse_module;
+    use r2c_vm::{ExitStatus, MachineKind, Vm, VmConfig};
+
+    const SRC: &str = r#"
+func @work(1) {
+entry:
+  %0 = param 0
+  %1 = alloca 16 align 8
+  store %1 + 0, %0
+  %2 = load %1 + 0
+  %3 = add %2, %2
+  ret %3
+}
+func @main(0) {
+entry:
+  %0 = const 21
+  %1 = call @work(%0)
+  %2 = extern print(%1)
+  ret %1
+}
+"#;
+
+    #[test]
+    fn full_build_runs_and_prints() {
+        let m = parse_module(SRC).unwrap();
+        let (image, info) = R2cCompiler::new(R2cConfig::full(5))
+            .build_with_info(&m)
+            .unwrap();
+        let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));
+        let out = vm.run();
+        assert_eq!(out.status, ExitStatus::Exited(42));
+        assert_eq!(vm.output, vec![42]);
+        assert!(info.btra_sites >= 2, "print + work call sites: {info:?}");
+        assert!(info.booby_traps > 0);
+        assert!(info.btdp_array_len > 0);
+    }
+
+    #[test]
+    fn baseline_has_no_instrumentation() {
+        let m = parse_module(SRC).unwrap();
+        let (_, info) = R2cCompiler::new(R2cConfig::baseline(5))
+            .build_with_info(&m)
+            .unwrap();
+        assert_eq!(info.btra_sites, 0);
+        assert_eq!(info.btdp_stores, 0);
+        assert_eq!(info.booby_traps, 0);
+    }
+
+    #[test]
+    fn btdp_constructor_creates_guard_pages() {
+        let m = parse_module(SRC).unwrap();
+        let (image, info) = R2cCompiler::new(R2cConfig::full(9))
+            .build_with_info(&m)
+            .unwrap();
+        let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));
+        let out = vm.run();
+        assert!(out.status.is_exit());
+        // The kept pages must now be guard pages: the published BTDP
+        // array entries all point into permission-less pages.
+        let ptr_addr = image.func_addr("__r2c_btdp_ptr");
+        let arr = vm.mem.peek_u64(ptr_addr);
+        assert!(arr >= image.layout.heap_base, "array must live on the heap");
+        let len = info.btdp_array_len as u64;
+        for k in 0..len {
+            let btdp = vm.mem.peek_u64(arr + 8 * k);
+            let perms = vm.perms_at(btdp).expect("BTDP target mapped");
+            assert_eq!(perms, r2c_vm::Perms::NONE, "BTDP {k} not a guard page");
+        }
+    }
+
+    #[test]
+    fn variants_differ_across_seeds() {
+        let m = parse_module(SRC).unwrap();
+        let a = R2cCompiler::new(R2cConfig::full(1)).build(&m).unwrap();
+        let b = R2cCompiler::new(R2cConfig::full(2)).build(&m).unwrap();
+        assert_ne!(a.func_addr("main"), b.func_addr("main"));
+        assert_ne!(
+            a.func_addr("work") - a.layout.text_base,
+            b.func_addr("work") - b.layout.text_base,
+            "intra-section layout must differ, not just the ASLR base"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let m = parse_module(SRC).unwrap();
+        let a = R2cCompiler::new(R2cConfig::full(33)).build(&m).unwrap();
+        let b = R2cCompiler::new(R2cConfig::full(33)).build(&m).unwrap();
+        assert_eq!(a.insn_addrs, b.insn_addrs);
+        assert_eq!(a.entry, b.entry);
+    }
+}

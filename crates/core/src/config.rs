@@ -1,0 +1,169 @@
+//! R²C configuration presets matching the paper's evaluation
+//! configurations.
+
+use r2c_codegen::{BtdpConfig, BtraConfig, BtraMode, DiversifyConfig};
+
+/// One isolated R²C component, as measured in Table 1 / §6.2.1–6.2.3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Component {
+    /// BTRAs with the push setup sequence (plus the 1–9 NOPs of the
+    /// §6.2.1 configuration).
+    Push,
+    /// BTRAs with the AVX2 setup sequence (same NOP configuration).
+    Avx,
+    /// Booby-trapped data pointers only (0–5 per function).
+    Btdp,
+    /// Prolog trap insertion only (1–5 traps).
+    Prolog,
+    /// Layout randomization only: stack-slot shuffling, global-variable
+    /// shuffling, register-allocation randomization.
+    Layout,
+    /// Offset-invariant addressing only (the §6.2.1 OIA measurement).
+    Oia,
+}
+
+impl Component {
+    /// All components in Table 1 row order.
+    pub const TABLE1: [Component; 5] = [
+        Component::Push,
+        Component::Avx,
+        Component::Btdp,
+        Component::Prolog,
+        Component::Layout,
+    ];
+
+    /// Display name matching Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Push => "Push",
+            Component::Avx => "AVX",
+            Component::Btdp => "BTDP",
+            Component::Prolog => "Prolog",
+            Component::Layout => "Layout",
+            Component::Oia => "OIA",
+        }
+    }
+}
+
+/// Full R²C configuration: diversification settings plus the master
+/// seed identifying one build variant.
+#[derive(Clone, Copy, Debug)]
+pub struct R2cConfig {
+    /// Diversification settings handed to the backend. The BTDP
+    /// `ptr_global`/`array_len` fields are filled in by
+    /// [`R2cCompiler`](crate::R2cCompiler) after it injects the runtime.
+    pub diversify: DiversifyConfig,
+    /// Master seed. Recompiling with a different seed yields a
+    /// different program variant (the paper recompiles SPEC with a
+    /// fresh seed per benchmark execution, §6.2).
+    pub seed: u64,
+}
+
+impl R2cConfig {
+    /// The baseline: same compiler, R²C disabled (§6.2).
+    pub fn baseline(seed: u64) -> R2cConfig {
+        R2cConfig {
+            diversify: DiversifyConfig::none(),
+            seed,
+        }
+    }
+
+    /// Full protection (the Figure 6 configuration).
+    pub fn full(seed: u64) -> R2cConfig {
+        R2cConfig {
+            diversify: DiversifyConfig::full(),
+            seed,
+        }
+    }
+
+    /// Full protection but with the push BTRA setup instead of AVX2.
+    pub fn full_push(seed: u64) -> R2cConfig {
+        let mut c = R2cConfig::full(seed);
+        c.diversify.btra = Some(BtraConfig {
+            mode: BtraMode::Push,
+            ..BtraConfig::default()
+        });
+        c
+    }
+
+    /// An isolated component (Table 1 rows; "we disabled other
+    /// diversification measures", §6.2.1).
+    pub fn component(c: Component, seed: u64) -> R2cConfig {
+        let none = DiversifyConfig::none();
+        let diversify = match c {
+            Component::Push => DiversifyConfig {
+                btra: Some(BtraConfig {
+                    mode: BtraMode::Push,
+                    total: 10,
+                    omit_vzeroupper: false,
+                }),
+                nop_insertion: Some((1, 9)),
+                booby_trap_funcs: 64,
+                ..none
+            },
+            Component::Avx => DiversifyConfig {
+                btra: Some(BtraConfig {
+                    mode: BtraMode::Avx2,
+                    total: 10,
+                    omit_vzeroupper: false,
+                }),
+                nop_insertion: Some((1, 9)),
+                booby_trap_funcs: 64,
+                ..none
+            },
+            Component::Btdp => DiversifyConfig {
+                btdp: Some(BtdpConfig::default()),
+                ..none
+            },
+            Component::Prolog => DiversifyConfig {
+                prolog_traps: Some((1, 5)),
+                ..none
+            },
+            Component::Layout => DiversifyConfig {
+                stack_slot_rand: true,
+                global_shuffle: true,
+                regalloc_rand: true,
+                ..none
+            },
+            Component::Oia => DiversifyConfig {
+                offset_invariant_addressing: true,
+                ..none
+            },
+        };
+        R2cConfig { diversify, seed }
+    }
+
+    /// Same configuration, different variant seed.
+    pub fn with_seed(mut self, seed: u64) -> R2cConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_isolated() {
+        let push = R2cConfig::component(Component::Push, 1).diversify;
+        assert!(push.btra.is_some() && push.btdp.is_none() && !push.func_shuffle);
+        let btdp = R2cConfig::component(Component::Btdp, 1).diversify;
+        assert!(btdp.btra.is_none() && btdp.btdp.is_some());
+        let layout = R2cConfig::component(Component::Layout, 1).diversify;
+        assert!(layout.stack_slot_rand && layout.global_shuffle && layout.regalloc_rand);
+        assert!(layout.btra.is_none() && layout.btdp.is_none());
+    }
+
+    #[test]
+    fn table1_order() {
+        let names: Vec<_> = Component::TABLE1.iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["Push", "AVX", "BTDP", "Prolog", "Layout"]);
+    }
+
+    #[test]
+    fn full_push_uses_push_mode() {
+        let c = R2cConfig::full_push(3);
+        assert_eq!(c.diversify.btra.unwrap().mode, BtraMode::Push);
+    }
+}

@@ -1,0 +1,62 @@
+//! # r2c-core — Reactive and Reflective Camouflage
+//!
+//! The primary contribution of the paper, assembled from the substrate
+//! crates: a compiler front end ([`R2cCompiler`]) that takes an IR
+//! module and produces a diversified, booby-trapped program image.
+//!
+//! R²C combines (paper §4):
+//!
+//! * **Booby-trapped return addresses (BTRAs)** — every call site
+//!   surrounds its return address with addresses of booby-trap
+//!   functions, randomizing the return address's position within the
+//!   frame and camouflaging it among identical-looking values.
+//! * **Booby-trapped data pointers (BTDPs)** — a startup constructor
+//!   scatters guard pages across the heap; functions plant pointers
+//!   into them among the benign heap pointers on the stack, poisoning
+//!   AOCR's value-range analysis.
+//! * **Code randomization** — function shuffling with interspersed
+//!   booby-trap functions, NOP insertion at call sites, trap insertion
+//!   in prologs, register-allocation randomization — breaking the
+//!   return-address → function-address → gadget inference chain.
+//! * **Data randomization** — global-variable shuffling with padding,
+//!   stack-slot randomization.
+//!
+//! The [`analysis`] module provides the closed-form security estimates
+//! of §7.2 and the pointer-cluster analysis AOCR's profiling stage uses,
+//! so that the measured attack outcomes can be checked against theory.
+//!
+//! ## Example
+//!
+//! ```
+//! use r2c_core::{R2cCompiler, R2cConfig};
+//! use r2c_vm::{MachineKind, Vm, VmConfig};
+//!
+//! let src = r#"
+//! func @main(0) {
+//! entry:
+//!   %0 = const 1234
+//!   %1 = extern print(%0)
+//!   ret %0
+//! }
+//! "#;
+//! let module = r2c_ir::parse_module(src).unwrap();
+//! let image = R2cCompiler::new(R2cConfig::full(99)).build(&module).unwrap();
+//! let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));
+//! let out = vm.run();
+//! assert!(out.status.is_exit());
+//! assert_eq!(vm.output, vec![1234]);
+//! ```
+
+pub mod analysis;
+pub mod compiler;
+pub mod config;
+pub mod runtime;
+pub mod stats;
+
+pub use compiler::{R2cCompiler, VariantInfo};
+pub use config::{Component, R2cConfig};
+
+// Re-export the names downstream users need most, so that `r2c-core`
+// works as the single entry point the README advertises.
+pub use r2c_codegen::{BtdpConfig, BtraConfig, BtraMode, CompileError, DiversifyConfig};
+pub use r2c_vm::{ExitStatus, Image, MachineKind, Vm, VmConfig};

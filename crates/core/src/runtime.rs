@@ -1,0 +1,235 @@
+//! Generation of the BTDP startup runtime (paper §5.2).
+//!
+//! Heap memory cannot be arranged at compile time, so R²C registers a
+//! constructor that runs before `main`:
+//!
+//! 1. allocate `pool_pages` page-aligned, page-sized heap chunks;
+//! 2. free all but a randomly chosen subset of `kept_pages`, leaving the
+//!    kept chunks scattered across the heap;
+//! 3. store pointers to random offsets inside the kept chunks into the
+//!    BTDP array (heap-allocated in the hardened design of Figure 5;
+//!    directly in the data section in the naive variant);
+//! 4. write a few *decoy* BTDPs into data-section globals — these never
+//!    appear on the stack, so comparing data-section pointers with
+//!    stack pointers no longer identifies BTDPs;
+//! 5. revoke all permissions on the kept pages, turning them into guard
+//!    pages, and publish the array pointer in the data section.
+//!
+//! All random choices (which chunks to keep, which offsets to use) are
+//! made at compile time from the build seed and baked into the
+//! generated code as constants, exactly like the paper's compile-time
+//! parameters.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use r2c_codegen::BtdpConfig;
+use r2c_ir::{ExternFn, GlobalId, GlobalInit, Module, ModuleBuilder, Val};
+
+/// Name of the constructor function the runtime injects.
+pub const CTOR_NAME: &str = "__r2c_btdp_ctor";
+/// Name of the data-section global holding the BTDP array pointer (or
+/// the array itself in the naive variant).
+pub const PTR_GLOBAL: &str = "__r2c_btdp_ptr";
+
+/// What the injection created.
+#[derive(Clone, Debug)]
+pub struct BtdpRuntime {
+    /// The global holding the array pointer (hardened) or the array
+    /// itself (naive).
+    pub ptr_global: GlobalId,
+    /// Decoy globals written with BTDPs that never reach the stack.
+    pub decoy_globals: Vec<GlobalId>,
+    /// Number of entries in the BTDP array.
+    pub array_len: u32,
+    /// Name of the generated constructor.
+    pub ctor_name: String,
+}
+
+/// Injects the BTDP globals and constructor into `module`.
+///
+/// Returns the handles the backend configuration needs. The constructor
+/// is marked `no_instrument`: it runs before the BTDP array exists, so
+/// it must not be instrumented itself.
+pub fn inject_btdp_runtime(module: &mut Module, cfg: &BtdpConfig, seed: u64) -> BtdpRuntime {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pool = cfg.pool_pages.max(1) as u32;
+    let kept_n = cfg.kept_pages.clamp(1, cfg.pool_pages) as u32;
+    // Four BTDPs per kept guard page gives the array enough variety.
+    let array_len = kept_n * 4;
+
+    // Choose the kept subset and per-entry (chunk, offset) pairs now,
+    // at compile time.
+    let mut indices: Vec<u32> = (0..pool).collect();
+    indices.shuffle(&mut rng);
+    let kept: Vec<u32> = indices[..kept_n as usize].to_vec();
+    let freed: Vec<u32> = indices[kept_n as usize..].to_vec();
+    let mut used_offsets: Vec<(u32, u32)> = Vec::new();
+    let fresh_pair = |rng: &mut SmallRng, kept: &[u32], used: &mut Vec<(u32, u32)>| loop {
+        let chunk = kept[rng.gen_range(0..kept.len())];
+        let off = 8 * rng.gen_range(0..512u32);
+        if !used.contains(&(chunk, off)) {
+            used.push((chunk, off));
+            return (chunk, off);
+        }
+    };
+    let entries: Vec<(u32, u32)> = (0..array_len)
+        .map(|_| fresh_pair(&mut rng, &kept, &mut used_offsets))
+        .collect();
+    let decoys: Vec<(u32, u32)> = (0..cfg.data_decoys as u32)
+        .map(|_| fresh_pair(&mut rng, &kept, &mut used_offsets))
+        .collect();
+
+    let mut mb = ModuleBuilder::from_module(std::mem::take(module));
+    let ptr_global = if cfg.naive_data_array {
+        mb.global(PTR_GLOBAL, GlobalInit::Zero(8 * array_len), 8)
+    } else {
+        mb.global(PTR_GLOBAL, GlobalInit::Zero(8), 8)
+    };
+    let decoy_globals: Vec<GlobalId> = (0..cfg.data_decoys)
+        .map(|d| mb.global(&format!("__r2c_btdp_decoy_{d}"), GlobalInit::Zero(8), 8))
+        .collect();
+
+    let mut f = mb.function(CTOR_NAME, 0);
+    f.no_instrument();
+    let chunks = f.alloca(8 * pool, 8);
+    // 1. Allocate page chunks.
+    let page_a = f.iconst(4096);
+    let page_b = f.iconst(4096);
+    let mut chunk_ptr: Vec<Val> = Vec::with_capacity(pool as usize);
+    for i in 0..pool {
+        let p = f.call_extern(ExternFn::Memalign, &[page_a, page_b]);
+        f.store(chunks, (8 * i) as i32, p);
+        chunk_ptr.push(p);
+    }
+    // 2. Free everything not kept; the kept chunks stay out of
+    //    circulation (malloc never hands out live allocations).
+    for &i in &freed {
+        let p = f.load(chunks, (8 * i) as i32);
+        f.call_extern(ExternFn::Free, &[p]);
+    }
+    // 3. The BTDP array.
+    let arr = if cfg.naive_data_array {
+        f.global_addr(ptr_global)
+    } else {
+        let sz = f.iconst(8 * array_len as i64);
+        f.call_extern(ExternFn::Malloc, &[sz])
+    };
+    for (k, &(chunk, off)) in entries.iter().enumerate() {
+        let base = f.load(chunks, (8 * chunk) as i32);
+        let v = f.ptr_add(base, None, 1, off as i32);
+        f.store(arr, (8 * k) as i32, v);
+    }
+    // 4. Decoys into the data section (never written to any stack).
+    for (d, &(chunk, off)) in decoys.iter().enumerate() {
+        let base = f.load(chunks, (8 * chunk) as i32);
+        let v = f.ptr_add(base, None, 1, off as i32);
+        let g = f.global_addr(decoy_globals[d]);
+        f.store(g, 0, v);
+    }
+    // 5. Revoke permissions on the kept pages and publish the array.
+    let len4096 = f.iconst(4096);
+    let none = f.iconst(0);
+    for &i in &kept {
+        let base = f.load(chunks, (8 * i) as i32);
+        f.call_extern(ExternFn::Mprotect, &[base, len4096, none]);
+    }
+    if !cfg.naive_data_array {
+        let g = f.global_addr(ptr_global);
+        f.store(g, 0, arr);
+    }
+    f.ret(None);
+    f.finish();
+
+    *module = mb.finish();
+    BtdpRuntime {
+        ptr_global,
+        decoy_globals,
+        array_len,
+        ctor_name: CTOR_NAME.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_ir::{parse_module, verify_module};
+
+    fn base_module() -> Module {
+        parse_module("func @main(0) {\nentry:\n  %0 = const 0\n  ret %0\n}\n").unwrap()
+    }
+
+    #[test]
+    fn injection_produces_valid_module() {
+        let mut m = base_module();
+        let rt = inject_btdp_runtime(&mut m, &BtdpConfig::default(), 42);
+        verify_module(&m).unwrap();
+        assert!(m.func_by_name(CTOR_NAME).is_some());
+        assert!(m.global_by_name(PTR_GLOBAL).is_some());
+        assert_eq!(rt.array_len, BtdpConfig::default().kept_pages as u32 * 4);
+        assert_eq!(
+            rt.decoy_globals.len(),
+            BtdpConfig::default().data_decoys as usize
+        );
+        let ctor = m.func(m.func_by_name(CTOR_NAME).unwrap());
+        assert!(
+            ctor.no_instrument,
+            "the constructor must not instrument itself"
+        );
+    }
+
+    #[test]
+    fn decoys_disjoint_from_array_entries() {
+        // Re-run the compile-time choice logic and check pair
+        // disjointness by examining the generated constructor: each
+        // (chunk, offset) pair appears exactly once.
+        let mut m = base_module();
+        inject_btdp_runtime(&mut m, &BtdpConfig::default(), 7);
+        let ctor = m.func(m.func_by_name(CTOR_NAME).unwrap());
+        // Count ptradd instructions: array entries + decoys; all pairs
+        // distinct means their (load offset, disp) pairs are distinct.
+        let mut pairs = Vec::new();
+        let blocks = &ctor.blocks;
+        for b in blocks {
+            for w in b.insts.windows(2) {
+                if let (
+                    (_, r2c_ir::Inst::Load { off, .. }),
+                    (_, r2c_ir::Inst::PtrAdd { disp, .. }),
+                ) = (&w[0], &w[1])
+                {
+                    pairs.push((*off, *disp));
+                }
+            }
+        }
+        let total = pairs.len();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs.len(), total, "duplicate (chunk, offset) pair");
+    }
+
+    #[test]
+    fn naive_variant_skips_heap_array() {
+        let mut m = base_module();
+        let cfg = BtdpConfig {
+            naive_data_array: true,
+            ..BtdpConfig::default()
+        };
+        let rt = inject_btdp_runtime(&mut m, &cfg, 1);
+        let g = m.global(rt.ptr_global);
+        assert_eq!(g.init, GlobalInit::Zero(8 * rt.array_len));
+    }
+
+    #[test]
+    fn different_seeds_choose_different_pages() {
+        let texts: Vec<String> = [1u64, 2]
+            .iter()
+            .map(|&s| {
+                let mut m = base_module();
+                inject_btdp_runtime(&mut m, &BtdpConfig::default(), s);
+                r2c_ir::print_module(&m)
+            })
+            .collect();
+        assert_ne!(texts[0], texts[1]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Small statistics toolkit for the Monte-Carlo security measurements
+//! and the performance reports: summary statistics, geometric means,
+//! and Wilson score intervals for the measured attack probabilities,
+//! so "0 successes in N trials" can be reported as a bound rather than
+//! as a bare zero.
+
+/// Summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median.
+    pub median: f64,
+}
+
+/// Computes summary statistics.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "empty sample");
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    Summary {
+        n,
+        mean,
+        stddev: var.sqrt(),
+        min: sorted[0],
+        max: sorted[n - 1],
+        median,
+    }
+}
+
+/// Geometric mean (all inputs must be positive).
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let s: f64 = xs.iter().map(|x| x.ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Wilson score interval for a binomial proportion at ~95% confidence
+/// (z = 1.96). Returns `(low, high)`.
+///
+/// Used to report measured attack-success probabilities: observing 0
+/// successes in 40 trials bounds the true rate below ≈ 8.8% rather
+/// than proving it zero — matching the paper's probabilistic security
+/// framing (§7.2.1).
+pub fn wilson_interval(successes: u32, trials: u32) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96f64;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Expected number of Bernoulli trials until first success (1/p), the
+/// "probes until the attacker gets lucky" metric.
+pub fn expected_trials_to_success(p: f64) -> f64 {
+    if p <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn geometric_mean_matches_known() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_zero_successes() {
+        // 0/40 successes: true rate bounded below ~0.088.
+        let (lo, hi) = wilson_interval(0, 40);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.05 && hi < 0.10, "{hi}");
+    }
+
+    #[test]
+    fn wilson_half() {
+        let (lo, hi) = wilson_interval(50, 100);
+        assert!(lo < 0.5 && hi > 0.5);
+        assert!(hi - lo < 0.2);
+    }
+
+    #[test]
+    fn wilson_degenerate() {
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+        let (_, hi) = wilson_interval(10, 10);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn expected_trials() {
+        assert_eq!(expected_trials_to_success(0.5), 2.0);
+        assert_eq!(expected_trials_to_success(0.0), f64::INFINITY);
+        // The paper's example: P = (1/11)^4 ⇒ ~14641 expected attempts.
+        let p = crate::analysis::p_locate_chain(10, 4);
+        assert!((expected_trials_to_success(p) - 14641.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,410 @@
+//! Fluent construction of IR modules and functions.
+//!
+//! ```
+//! use r2c_ir::{ModuleBuilder, BinOp, ExternFn};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let mut f = mb.function("main", 0);
+//! let a = f.iconst(40);
+//! let b = f.iconst(2);
+//! let s = f.bin(BinOp::Add, a, b);
+//! f.call_extern(ExternFn::PrintI64, &[s]);
+//! f.ret(Some(s));
+//! f.finish();
+//! let module = mb.finish();
+//! assert!(r2c_ir::verify_module(&module).is_ok());
+//! ```
+
+use crate::repr::{
+    BinOp, Block, BlockId, CmpOp, ExternFn, FuncId, Function, Global, GlobalId, GlobalInit, Inst,
+    Module, Term, Val,
+};
+
+/// Builds a [`Module`] incrementally.
+pub struct ModuleBuilder {
+    module: Module,
+    /// Names pre-declared via [`declare_function`], so that mutually
+    /// recursive functions can reference each other before definition.
+    ///
+    /// [`declare_function`]: ModuleBuilder::declare_function
+    declared: Vec<(String, u32)>,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty module.
+    pub fn new(name: &str) -> ModuleBuilder {
+        ModuleBuilder {
+            module: Module {
+                name: name.to_string(),
+                ..Module::default()
+            },
+            declared: Vec::new(),
+        }
+    }
+
+    /// Wraps an existing module so that more globals and functions can
+    /// be appended (used by the R²C front end to inject its runtime).
+    pub fn from_module(module: Module) -> ModuleBuilder {
+        ModuleBuilder {
+            module,
+            declared: Vec::new(),
+        }
+    }
+
+    /// Adds a global variable; returns its id.
+    pub fn global(&mut self, name: &str, init: GlobalInit, align: u32) -> GlobalId {
+        debug_assert!(align.is_power_of_two());
+        let id = GlobalId(self.module.globals.len() as u32);
+        self.module.globals.push(Global {
+            name: name.to_string(),
+            init,
+            align,
+        });
+        id
+    }
+
+    /// Pre-declares a function signature so it can be called before its
+    /// body is defined. The body must later be supplied via
+    /// [`function`] with the same name.
+    ///
+    /// [`function`]: ModuleBuilder::function
+    pub fn declare_function(&mut self, name: &str, params: u32) -> FuncId {
+        if let Some(id) = self.lookup(name) {
+            return id;
+        }
+        let id = FuncId(self.module.funcs.len() as u32);
+        self.module.funcs.push(Function {
+            name: name.to_string(),
+            params,
+            blocks: Vec::new(),
+            num_vals: 0,
+            no_instrument: false,
+        });
+        self.declared.push((name.to_string(), params));
+        id
+    }
+
+    fn lookup(&self, name: &str) -> Option<FuncId> {
+        self.module.func_by_name(name)
+    }
+
+    /// Starts building a function body. If the name was pre-declared the
+    /// existing id is reused.
+    pub fn function(&mut self, name: &str, params: u32) -> FunctionBuilder<'_> {
+        let id = self.declare_function(name, params);
+        FunctionBuilder::new(self, id)
+    }
+
+    /// Finalizes and returns the module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a declared function was never given a body.
+    pub fn finish(self) -> Module {
+        for f in &self.module.funcs {
+            assert!(
+                !f.blocks.is_empty(),
+                "function {:?} declared but never defined",
+                f.name
+            );
+        }
+        self.module
+    }
+
+    /// Access to the module built so far (for tests).
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+}
+
+/// Builds one function's body.
+///
+/// Blocks are created with [`new_block`] and selected with
+/// [`switch_to`]; instructions append to the current block. Every block
+/// must be sealed with exactly one terminator ([`ret`], [`br`],
+/// [`cond_br`]).
+///
+/// [`new_block`]: FunctionBuilder::new_block
+/// [`switch_to`]: FunctionBuilder::switch_to
+/// [`ret`]: FunctionBuilder::ret
+/// [`br`]: FunctionBuilder::br
+/// [`cond_br`]: FunctionBuilder::cond_br
+pub struct FunctionBuilder<'m> {
+    mb: &'m mut ModuleBuilder,
+    id: FuncId,
+    blocks: Vec<Block>,
+    current: usize,
+    next_val: u32,
+    terminated: Vec<bool>,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    fn new(mb: &'m mut ModuleBuilder, id: FuncId) -> FunctionBuilder<'m> {
+        FunctionBuilder {
+            mb,
+            id,
+            blocks: vec![Block {
+                name: "entry".into(),
+                insts: Vec::new(),
+                term: Term::Ret(None),
+            }],
+            current: 0,
+            next_val: 0,
+            terminated: vec![false],
+        }
+    }
+
+    /// The id of the function being built.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// Creates a new (empty, unterminated) block.
+    pub fn new_block(&mut self, name: &str) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            name: name.to_string(),
+            insts: Vec::new(),
+            term: Term::Ret(None),
+        });
+        self.terminated.push(false);
+        id
+    }
+
+    /// Makes `bb` the block new instructions append to.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        assert!((bb.0 as usize) < self.blocks.len());
+        self.current = bb.0 as usize;
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        BlockId(self.current as u32)
+    }
+
+    fn push(&mut self, inst: Inst) -> Val {
+        assert!(
+            !self.terminated[self.current],
+            "appending to a terminated block"
+        );
+        let val = if inst.has_result() {
+            let v = Val(self.next_val);
+            self.next_val += 1;
+            Some(v)
+        } else {
+            None
+        };
+        self.blocks[self.current].insts.push((val, inst));
+        val.unwrap_or(Val(u32::MAX))
+    }
+
+    /// Emits a constant.
+    pub fn iconst(&mut self, v: i64) -> Val {
+        self.push(Inst::Const(v))
+    }
+
+    /// Reads parameter `n`.
+    pub fn param(&mut self, n: u32) -> Val {
+        self.push(Inst::Param(n))
+    }
+
+    /// Reserves a stack slot.
+    pub fn alloca(&mut self, size: u32, align: u32) -> Val {
+        self.push(Inst::Alloca { size, align })
+    }
+
+    /// 64-bit load from `ptr + off`.
+    pub fn load(&mut self, ptr: Val, off: i32) -> Val {
+        self.push(Inst::Load { ptr, off })
+    }
+
+    /// 64-bit store to `ptr + off`.
+    pub fn store(&mut self, ptr: Val, off: i32, val: Val) {
+        self.push(Inst::Store { ptr, off, val });
+    }
+
+    /// Binary operation.
+    pub fn bin(&mut self, op: BinOp, a: Val, b: Val) -> Val {
+        self.push(Inst::Bin { op, a, b })
+    }
+
+    /// Comparison (0/1 result).
+    pub fn cmp(&mut self, op: CmpOp, a: Val, b: Val) -> Val {
+        self.push(Inst::Cmp { op, a, b })
+    }
+
+    /// Address of a global.
+    pub fn global_addr(&mut self, g: GlobalId) -> Val {
+        self.push(Inst::GlobalAddr(g))
+    }
+
+    /// Address of a function.
+    pub fn func_addr(&mut self, f: FuncId) -> Val {
+        self.push(Inst::FuncAddr(f))
+    }
+
+    /// Pointer arithmetic.
+    pub fn ptr_add(&mut self, base: Val, idx: Option<Val>, scale: u8, disp: i32) -> Val {
+        self.push(Inst::PtrAdd {
+            base,
+            idx,
+            scale,
+            disp,
+        })
+    }
+
+    /// Direct call.
+    pub fn call(&mut self, callee: FuncId, args: &[Val]) -> Val {
+        self.push(Inst::Call {
+            callee,
+            args: args.to_vec(),
+        })
+    }
+
+    /// Indirect call.
+    pub fn call_ind(&mut self, ptr: Val, args: &[Val]) -> Val {
+        self.push(Inst::CallInd {
+            ptr,
+            args: args.to_vec(),
+        })
+    }
+
+    /// Extern (runtime) call.
+    pub fn call_extern(&mut self, ext: ExternFn, args: &[Val]) -> Val {
+        assert_eq!(args.len(), ext.arity(), "wrong arity for {}", ext.name());
+        self.push(Inst::CallExtern {
+            ext,
+            args: args.to_vec(),
+        })
+    }
+
+    fn terminate(&mut self, term: Term) {
+        assert!(!self.terminated[self.current], "block already terminated");
+        self.blocks[self.current].term = term;
+        self.terminated[self.current] = true;
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, val: Option<Val>) {
+        self.terminate(Term::Ret(val));
+    }
+
+    /// Terminates the current block with an unconditional branch.
+    pub fn br(&mut self, bb: BlockId) {
+        self.terminate(Term::Br(bb));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: Val, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Term::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Marks this function as exempt from R²C instrumentation.
+    pub fn no_instrument(&mut self) {
+        self.mb.module.funcs[self.id.0 as usize].no_instrument = true;
+    }
+
+    /// Installs the built body into the module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block lacks a terminator.
+    pub fn finish(self) {
+        for (i, t) in self.terminated.iter().enumerate() {
+            assert!(
+                *t,
+                "block {} ({:?}) lacks a terminator",
+                i, self.blocks[i].name
+            );
+        }
+        let f = &mut self.mb.module.funcs[self.id.0 as usize];
+        f.blocks = self.blocks;
+        f.num_vals = self.next_val;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn straight_line_function() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let a = f.iconst(1);
+        let b = f.iconst(2);
+        let c = f.bin(BinOp::Add, a, b);
+        f.ret(Some(c));
+        f.finish();
+        let m = mb.finish();
+        assert!(verify_module(&m).is_ok());
+        assert_eq!(m.funcs[0].num_vals, 3);
+    }
+
+    #[test]
+    fn loops_and_blocks() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let slot = f.alloca(8, 8);
+        let zero = f.iconst(0);
+        f.store(slot, 0, zero);
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        f.br(body);
+        f.switch_to(body);
+        let cur = f.load(slot, 0);
+        let one = f.iconst(1);
+        let next = f.bin(BinOp::Add, cur, one);
+        f.store(slot, 0, next);
+        let lim = f.iconst(10);
+        let done = f.cmp(CmpOp::Ge, next, lim);
+        f.cond_br(done, exit, body);
+        f.switch_to(exit);
+        let fin = f.load(slot, 0);
+        f.ret(Some(fin));
+        f.finish();
+        assert!(verify_module(&mb.finish()).is_ok());
+    }
+
+    #[test]
+    fn mutual_recursion_via_declare() {
+        let mut mb = ModuleBuilder::new("t");
+        let g_id = mb.declare_function("g", 1);
+        let mut f = mb.function("f", 1);
+        let p = f.param(0);
+        let r = f.call(g_id, &[p]);
+        f.ret(Some(r));
+        f.finish();
+        let mut g = mb.function("g", 1);
+        let p = g.param(0);
+        g.ret(Some(p));
+        g.finish();
+        let m = mb.finish();
+        assert!(verify_module(&m).is_ok());
+        assert_eq!(m.funcs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a terminator")]
+    fn missing_terminator_panics() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let b = f.new_block("dangling");
+        f.ret(None);
+        let _ = b;
+        f.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "declared but never defined")]
+    fn undefined_declaration_panics() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.declare_function("ghost", 0);
+        mb.finish();
+    }
+}

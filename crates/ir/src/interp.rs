@@ -1,0 +1,572 @@
+//! Reference interpreter for IR modules.
+//!
+//! The interpreter executes a module directly, with its own simple
+//! memory model (globals, a stack for allocas, a bump-allocated heap).
+//! Pointer *values* differ from the compiled program's, but arithmetic
+//! and control flow are identical, so a program that prints only
+//! integers (never raw pointers) must produce exactly the same output
+//! interpreted and compiled. This differential check is how the
+//! reproduction establishes that R²C's diversifications are
+//! semantics-preserving — the analogue of the paper running browser
+//! test suites on R²C-compiled WebKit (§6.3).
+
+use std::collections::HashMap;
+
+use crate::repr::{BinOp, CmpOp, ExternFn, FuncId, Inst, Module, Term};
+
+/// Interpreter errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InterpError {
+    /// Division or remainder by zero.
+    DivideByZero,
+    /// Memory access outside any live region.
+    BadAccess(u64),
+    /// Call through a pointer that is not a function address.
+    BadCallTarget(u64),
+    /// Execution exceeded the fuel budget.
+    OutOfFuel,
+    /// Call depth exceeded the recursion limit.
+    StackOverflow,
+    /// Heap exhausted.
+    OutOfMemory,
+    /// The named function does not exist.
+    NoSuchFunction(String),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::DivideByZero => f.write_str("division by zero"),
+            InterpError::BadAccess(a) => write!(f, "bad memory access at {a:#x}"),
+            InterpError::BadCallTarget(a) => write!(f, "bad call target {a:#x}"),
+            InterpError::OutOfFuel => f.write_str("out of fuel"),
+            InterpError::StackOverflow => f.write_str("interpreter stack overflow"),
+            InterpError::OutOfMemory => f.write_str("interpreter heap exhausted"),
+            InterpError::NoSuchFunction(n) => write!(f, "no such function {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Result of interpreting a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterpResult {
+    /// Value returned by the entry function.
+    pub ret: i64,
+    /// Values printed via the `print`/`putchar` externs.
+    pub output: Vec<i64>,
+    /// Dynamically executed IR instructions.
+    pub executed: u64,
+    /// Number of direct/indirect calls executed.
+    pub calls: u64,
+}
+
+const GLOBAL_BASE: u64 = 0x10_0000;
+const STACK_BASE: u64 = 0x20_0000_0000;
+const STACK_SIZE: u64 = 16 * 1024 * 1024;
+const HEAP_BASE: u64 = 0x40_0000_0000;
+const HEAP_SIZE: u64 = 256 * 1024 * 1024;
+/// Function ids are encoded as fake code addresses in this range so that
+/// `funcref` + `callind` work in the interpreter.
+const CODE_BASE: u64 = 0x80_0000_0000;
+
+struct Interp<'m> {
+    m: &'m Module,
+    globals: Vec<u8>,
+    global_off: HashMap<u32, u64>,
+    stack: Vec<u8>,
+    sp: u64, // offset into `stack`
+    heap: Vec<u8>,
+    hp: u64, // bump pointer offset
+    output: Vec<i64>,
+    executed: u64,
+    calls: u64,
+    fuel: u64,
+    depth: u32,
+}
+
+impl<'m> Interp<'m> {
+    fn new(m: &'m Module, fuel: u64) -> Interp<'m> {
+        let mut globals = Vec::new();
+        let mut global_off = HashMap::new();
+        for (i, g) in m.globals.iter().enumerate() {
+            let align = g.align.max(8) as u64;
+            let off = (globals.len() as u64).next_multiple_of(align);
+            globals.resize(off as usize, 0);
+            global_off.insert(i as u32, off);
+            match &g.init {
+                crate::repr::GlobalInit::Zero(n) => globals.resize(globals.len() + *n as usize, 0),
+                crate::repr::GlobalInit::Words(w) => {
+                    for x in w {
+                        globals.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
+                crate::repr::GlobalInit::FuncPtr(f) => {
+                    globals.extend_from_slice(&(CODE_BASE + f.0 as u64).to_le_bytes());
+                }
+            }
+        }
+        Interp {
+            m,
+            globals,
+            global_off,
+            stack: vec![0; STACK_SIZE as usize],
+            sp: 0,
+            heap: Vec::new(),
+            hp: 0,
+            output: Vec::new(),
+            executed: 0,
+            calls: 0,
+            fuel,
+            depth: 0,
+        }
+    }
+
+    fn load(&self, addr: u64) -> Result<u64, InterpError> {
+        let bytes = self.mem_slice(addr)?;
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    fn mem_slice(&self, addr: u64) -> Result<[u8; 8], InterpError> {
+        let (buf, off) = self.route(addr)?;
+        let off = off as usize;
+        if off + 8 > buf.len() {
+            return Err(InterpError::BadAccess(addr));
+        }
+        Ok(buf[off..off + 8].try_into().unwrap())
+    }
+
+    fn route(&self, addr: u64) -> Result<(&[u8], u64), InterpError> {
+        if addr >= HEAP_BASE && addr < HEAP_BASE + HEAP_SIZE {
+            Ok((&self.heap, addr - HEAP_BASE))
+        } else if addr >= STACK_BASE && addr < STACK_BASE + STACK_SIZE {
+            Ok((&self.stack, addr - STACK_BASE))
+        } else if addr >= GLOBAL_BASE && addr < GLOBAL_BASE + self.globals.len() as u64 {
+            Ok((&self.globals, addr - GLOBAL_BASE))
+        } else {
+            Err(InterpError::BadAccess(addr))
+        }
+    }
+
+    fn store(&mut self, addr: u64, val: u64) -> Result<(), InterpError> {
+        let (buf, off) = if addr >= HEAP_BASE && addr < HEAP_BASE + HEAP_SIZE {
+            (&mut self.heap, addr - HEAP_BASE)
+        } else if addr >= STACK_BASE && addr < STACK_BASE + STACK_SIZE {
+            (&mut self.stack, addr - STACK_BASE)
+        } else if addr >= GLOBAL_BASE && addr < GLOBAL_BASE + self.globals.len() as u64 {
+            (&mut self.globals, addr - GLOBAL_BASE)
+        } else {
+            return Err(InterpError::BadAccess(addr));
+        };
+        let off = off as usize;
+        if off + 8 > buf.len() {
+            return Err(InterpError::BadAccess(addr));
+        }
+        buf[off..off + 8].copy_from_slice(&val.to_le_bytes());
+        Ok(())
+    }
+
+    fn call(&mut self, f: FuncId, args: &[u64]) -> Result<u64, InterpError> {
+        if self.depth >= 4000 {
+            return Err(InterpError::StackOverflow);
+        }
+        self.depth += 1;
+        let func = &self.m.funcs[f.0 as usize];
+        let frame_base = self.sp;
+        let mut vals: Vec<u64> = vec![0; func.num_vals as usize];
+        let mut bb = 0usize;
+        let ret = 'outer: loop {
+            let block = &func.blocks[bb];
+            for (res, inst) in &block.insts {
+                if self.executed >= self.fuel {
+                    self.depth -= 1;
+                    return Err(InterpError::OutOfFuel);
+                }
+                self.executed += 1;
+                let out: u64 = match inst {
+                    Inst::Const(c) => *c as u64,
+                    Inst::Param(n) => args.get(*n as usize).copied().unwrap_or(0),
+                    Inst::Alloca { size, align } => {
+                        let align = (*align).max(8) as u64;
+                        let off = self.sp.next_multiple_of(align);
+                        let new_sp = off + *size as u64;
+                        if new_sp > STACK_SIZE {
+                            self.depth -= 1;
+                            return Err(InterpError::StackOverflow);
+                        }
+                        // Zero the slot (fresh stack memory in the VM is
+                        // also zero).
+                        self.stack[off as usize..new_sp as usize].fill(0);
+                        self.sp = new_sp;
+                        STACK_BASE + off
+                    }
+                    Inst::Load { ptr, off } => {
+                        let a = vals[ptr.0 as usize].wrapping_add_signed(*off as i64);
+                        match self.load(a) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                self.depth -= 1;
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Inst::Store { ptr, off, val } => {
+                        let a = vals[ptr.0 as usize].wrapping_add_signed(*off as i64);
+                        let v = vals[val.0 as usize];
+                        if let Err(e) = self.store(a, v) {
+                            self.depth -= 1;
+                            return Err(e);
+                        }
+                        continue;
+                    }
+                    Inst::Bin { op, a, b } => {
+                        let (x, y) = (vals[a.0 as usize], vals[b.0 as usize]);
+                        match bin(*op, x, y) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                self.depth -= 1;
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Inst::Cmp { op, a, b } => {
+                        let (x, y) = (vals[a.0 as usize] as i64, vals[b.0 as usize] as i64);
+                        let r = match op {
+                            CmpOp::Eq => x == y,
+                            CmpOp::Ne => x != y,
+                            CmpOp::Lt => x < y,
+                            CmpOp::Le => x <= y,
+                            CmpOp::Gt => x > y,
+                            CmpOp::Ge => x >= y,
+                        };
+                        r as u64
+                    }
+                    Inst::GlobalAddr(g) => GLOBAL_BASE + self.global_off[&g.0],
+                    Inst::FuncAddr(f) => CODE_BASE + f.0 as u64,
+                    Inst::PtrAdd {
+                        base,
+                        idx,
+                        scale,
+                        disp,
+                    } => {
+                        let mut a = vals[base.0 as usize];
+                        if let Some(i) = idx {
+                            a = a.wrapping_add(vals[i.0 as usize].wrapping_mul(*scale as u64));
+                        }
+                        a.wrapping_add_signed(*disp as i64)
+                    }
+                    Inst::Call {
+                        callee,
+                        args: call_args,
+                    } => {
+                        self.calls += 1;
+                        let argv: Vec<u64> = call_args.iter().map(|a| vals[a.0 as usize]).collect();
+                        match self.call(*callee, &argv) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                self.depth -= 1;
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Inst::CallInd {
+                        ptr,
+                        args: call_args,
+                    } => {
+                        self.calls += 1;
+                        let target = vals[ptr.0 as usize];
+                        if target < CODE_BASE || target >= CODE_BASE + self.m.funcs.len() as u64 {
+                            self.depth -= 1;
+                            return Err(InterpError::BadCallTarget(target));
+                        }
+                        let fid = FuncId((target - CODE_BASE) as u32);
+                        let argv: Vec<u64> = call_args.iter().map(|a| vals[a.0 as usize]).collect();
+                        match self.call(fid, &argv) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                self.depth -= 1;
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Inst::CallExtern {
+                        ext,
+                        args: call_args,
+                    } => {
+                        let argv: Vec<u64> = call_args.iter().map(|a| vals[a.0 as usize]).collect();
+                        match self.call_extern(*ext, &argv) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                self.depth -= 1;
+                                return Err(e);
+                            }
+                        }
+                    }
+                };
+                if let Some(r) = res {
+                    vals[r.0 as usize] = out;
+                }
+            }
+            self.executed += 1;
+            match &block.term {
+                Term::Br(b) => bb = b.0 as usize,
+                Term::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    bb = if vals[cond.0 as usize] != 0 {
+                        then_bb.0
+                    } else {
+                        else_bb.0
+                    } as usize;
+                }
+                Term::Ret(v) => {
+                    break 'outer v.map(|v| vals[v.0 as usize]).unwrap_or(0);
+                }
+            }
+        };
+        self.sp = frame_base;
+        self.depth -= 1;
+        Ok(ret)
+    }
+
+    fn call_extern(&mut self, ext: ExternFn, args: &[u64]) -> Result<u64, InterpError> {
+        Ok(match ext {
+            ExternFn::Malloc => self.bump_alloc(args[0], 16)?,
+            ExternFn::Free => 0,
+            ExternFn::Memalign => self.bump_alloc(args[1], args[0].max(16))?,
+            ExternFn::Mprotect => 0,
+            ExternFn::PrintI64 => {
+                self.output.push(args[0] as i64);
+                0
+            }
+            ExternFn::PutChar => {
+                self.output.push((args[0] & 0xff) as i64);
+                0
+            }
+            ExternFn::Probe => 0,
+        })
+    }
+
+    fn bump_alloc(&mut self, size: u64, align: u64) -> Result<u64, InterpError> {
+        let off = self.hp.next_multiple_of(align.max(16));
+        let new_hp = off + size.max(1);
+        if new_hp > HEAP_SIZE {
+            return Err(InterpError::OutOfMemory);
+        }
+        if new_hp as usize > self.heap.len() {
+            self.heap.resize(new_hp as usize, 0);
+        }
+        self.hp = new_hp;
+        Ok(HEAP_BASE + off)
+    }
+}
+
+fn bin(op: BinOp, x: u64, y: u64) -> Result<u64, InterpError> {
+    Ok(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return Err(InterpError::DivideByZero);
+            }
+            (x as i64).wrapping_div(y as i64) as u64
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return Err(InterpError::DivideByZero);
+            }
+            (x as i64).wrapping_rem(y as i64) as u64
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+        BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+        BinOp::Sar => ((x as i64).wrapping_shr(y as u32 & 63)) as u64,
+    })
+}
+
+/// Interprets `entry` (by name) with no arguments.
+///
+/// `fuel` bounds the number of executed IR instructions.
+pub fn interpret(m: &Module, entry: &str, fuel: u64) -> Result<InterpResult, InterpError> {
+    let id = m
+        .func_by_name(entry)
+        .ok_or_else(|| InterpError::NoSuchFunction(entry.to_string()))?;
+    let mut interp = Interp::new(m, fuel);
+    let ret = interp.call(id, &[])?;
+    Ok(InterpResult {
+        ret: ret as i64,
+        output: interp.output,
+        executed: interp.executed,
+        calls: interp.calls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn run(src: &str) -> InterpResult {
+        let m = parse_module(src).unwrap();
+        crate::verify::verify_module(&m).unwrap();
+        interpret(&m, "main", 10_000_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let r = run("func @main(0) {\nentry:\n  %0 = const 6\n  %1 = const 7\n  %2 = mul %0, %1\n  ret %2\n}\n");
+        assert_eq!(r.ret, 42);
+    }
+
+    #[test]
+    fn loop_sum() {
+        let src = r#"
+func @main(0) {
+entry:
+  %0 = alloca 16 align 8
+  %1 = const 0
+  store %0 + 0, %1
+  store %0 + 8, %1
+  br loop
+loop:
+  %2 = load %0 + 0
+  %3 = const 1
+  %4 = add %2, %3
+  store %0 + 0, %4
+  %5 = load %0 + 8
+  %6 = add %5, %4
+  store %0 + 8, %6
+  %7 = const 100
+  %8 = cmp lt %4, %7
+  condbr %8, loop, exit
+exit:
+  %9 = load %0 + 8
+  ret %9
+}
+"#;
+        assert_eq!(run(src).ret, 5050);
+    }
+
+    #[test]
+    fn call_and_output() {
+        let src = r#"
+func @double(1) {
+entry:
+  %0 = param 0
+  %1 = add %0, %0
+  ret %1
+}
+func @main(0) {
+entry:
+  %0 = const 21
+  %1 = call @double(%0)
+  %2 = extern print(%1)
+  ret %1
+}
+"#;
+        let r = run(src);
+        assert_eq!(r.ret, 42);
+        assert_eq!(r.output, vec![42]);
+        assert_eq!(r.calls, 1);
+    }
+
+    #[test]
+    fn indirect_call_through_global() {
+        let src = r#"
+global @fp funcptr @target align 8
+func @target(1) {
+entry:
+  %0 = param 0
+  %1 = const 1
+  %2 = add %0, %1
+  ret %2
+}
+func @main(0) {
+entry:
+  %0 = addrof @fp
+  %1 = load %0 + 0
+  %2 = const 9
+  %3 = callind %1(%2)
+  ret %3
+}
+"#;
+        assert_eq!(run(src).ret, 10);
+    }
+
+    #[test]
+    fn heap_roundtrip() {
+        let src = r#"
+func @main(0) {
+entry:
+  %0 = const 64
+  %1 = extern malloc(%0)
+  %2 = const 1234
+  store %1 + 16, %2
+  %3 = load %1 + 16
+  ret %3
+}
+"#;
+        assert_eq!(run(src).ret, 1234);
+    }
+
+    #[test]
+    fn divide_by_zero_reported() {
+        let src = "func @main(0) {\nentry:\n  %0 = const 1\n  %1 = const 0\n  %2 = div %0, %1\n  ret %2\n}\n";
+        let m = parse_module(src).unwrap();
+        assert_eq!(interpret(&m, "main", 1000), Err(InterpError::DivideByZero));
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let src = "func @main(0) {\nentry:\n  br entry\n}\n";
+        let m = parse_module(src).unwrap();
+        assert_eq!(interpret(&m, "main", 100), Err(InterpError::OutOfFuel));
+    }
+
+    #[test]
+    fn recursion_and_stack_reuse() {
+        let src = r#"
+func @fib(1) {
+entry:
+  %0 = param 0
+  %1 = const 2
+  %2 = cmp lt %0, %1
+  condbr %2, base, rec
+base:
+  ret %0
+rec:
+  %3 = const 1
+  %4 = sub %0, %3
+  %5 = call @fib(%4)
+  %6 = const 2
+  %7 = sub %0, %6
+  %8 = call @fib(%7)
+  %9 = add %5, %8
+  ret %9
+}
+func @main(0) {
+entry:
+  %0 = const 15
+  %1 = call @fib(%0)
+  ret %1
+}
+"#;
+        assert_eq!(run(src).ret, 610);
+    }
+
+    #[test]
+    fn wild_access_reported() {
+        let src = "func @main(0) {\nentry:\n  %0 = const 4096\n  %1 = load %0 + 0\n  ret %1\n}\n";
+        let m = parse_module(src).unwrap();
+        assert!(matches!(
+            interpret(&m, "main", 1000),
+            Err(InterpError::BadAccess(_))
+        ));
+    }
+}

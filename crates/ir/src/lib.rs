@@ -1,0 +1,34 @@
+//! # r2c-ir — the compiler intermediate representation
+//!
+//! A small, SSA-flavoured IR (values are defined once; mutable state
+//! lives in `alloca`ed stack slots, as in `-O0` LLVM output) that the
+//! R²C code generator lowers to machine code. The crate provides:
+//!
+//! * the IR data structures ([`Module`], [`Function`], [`Block`],
+//!   [`Inst`]),
+//! * a [`builder`] API for constructing functions programmatically
+//!   (used by the workload generators),
+//! * a textual format with a [`parser`] and [`printer`] (round-trip
+//!   tested), convenient for examples and tests,
+//! * a [`verify`] pass checking structural invariants, and
+//! * a reference [`interp`]reter used for differential testing: every
+//!   program must produce the same output under the interpreter and
+//!   under every compiled + diversified configuration.
+
+pub mod builder;
+pub mod interp;
+pub mod parser;
+pub mod printer;
+pub mod verify;
+
+mod repr;
+
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use interp::{interpret, InterpError, InterpResult};
+pub use parser::{parse_module, ParseError};
+pub use printer::print_module;
+pub use repr::{
+    BinOp, Block, BlockId, CmpOp, ExternFn, FuncId, Function, Global, GlobalId, GlobalInit, Inst,
+    Module, Term, Val,
+};
+pub use verify::{verify_module, VerifyError};

@@ -1,0 +1,775 @@
+//! Parser for the textual IR format.
+//!
+//! Grammar (line-oriented; `#` starts a comment):
+//!
+//! ```text
+//! module  := 'module' STRING  decl*
+//! decl    := global | func
+//! global  := 'global' '@'NAME init 'align' INT
+//! init    := 'zero' INT | 'words' '[' INT,* ']' | 'funcptr' '@'NAME
+//! func    := 'func' '@'NAME '(' INT ')' ['noinstrument'] '{' block* '}'
+//! block   := LABEL ':' line*
+//! line    := ['%'N '='] inst | term
+//! inst    := 'const' INT | 'param' INT | 'alloca' INT 'align' INT
+//!          | 'load' VAL '+' INT | 'store' VAL '+' INT ',' VAL
+//!          | BINOP VAL ',' VAL | 'cmp' CC VAL ',' VAL
+//!          | 'addrof' '@'NAME | 'funcref' '@'NAME
+//!          | 'ptradd' VAL ['+' VAL '*' SCALE] '+' INT
+//!          | 'call' '@'NAME '(' VAL,* ')' | 'callind' VAL '(' VAL,* ')'
+//!          | 'extern' NAME '(' VAL,* ')'
+//! term    := 'br' LABEL | 'condbr' VAL ',' LABEL ',' LABEL
+//!          | 'ret' [VAL]
+//! ```
+//!
+//! Labels may carry a printed suffix `.N`; it is ignored on input, so
+//! printer output parses back unchanged (round-trip tested).
+
+use std::collections::HashMap;
+
+use crate::repr::{
+    BinOp, Block, BlockId, CmpOp, ExternFn, FuncId, Function, Global, GlobalInit, Inst, Module,
+    Term, Val,
+};
+
+/// A parse failure with its (1-based) line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Parses the textual IR format into a [`Module`].
+///
+/// The result is *not* automatically verified; callers typically follow
+/// with [`crate::verify::verify_module`].
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let mut p = Parser::new(src);
+    p.parse()
+}
+
+struct PendingFixup {
+    func: usize,
+    block: usize,
+    inst: Option<usize>,
+    name: String,
+    line: usize,
+    /// True if the fixup is a `funcref`/`call` target, false for a
+    /// funcptr global initializer.
+    kind: FixupKind,
+}
+
+enum FixupKind {
+    CallTarget,
+    FuncRef,
+    GlobalInit(usize),
+}
+
+struct Parser<'s> {
+    lines: Vec<(usize, &'s str)>,
+    pos: usize,
+    module: Module,
+    fixups: Vec<PendingFixup>,
+}
+
+impl<'s> Parser<'s> {
+    fn new(src: &'s str) -> Parser<'s> {
+        let lines = src
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = match l.find('#') {
+                    Some(c) => &l[..c],
+                    None => l,
+                };
+                (i + 1, l.trim())
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser {
+            lines,
+            pos: 0,
+            module: Module::default(),
+            fixups: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<(usize, &'s str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'s str)> {
+        let l = self.peek();
+        self.pos += 1;
+        l
+    }
+
+    fn parse(&mut self) -> Result<Module, ParseError> {
+        // Optional module header.
+        if let Some((_, l)) = self.peek() {
+            if let Some(rest) = l.strip_prefix("module") {
+                self.module.name = rest.trim().trim_matches('"').to_string();
+                self.pos += 1;
+            }
+        }
+        while let Some((ln, l)) = self.peek() {
+            if l.starts_with("global") {
+                self.parse_global()?;
+            } else if l.starts_with("func") {
+                self.parse_func()?;
+            } else {
+                return err(ln, format!("expected 'global' or 'func', got {l:?}"));
+            }
+        }
+        self.apply_fixups()?;
+        Ok(std::mem::take(&mut self.module))
+    }
+
+    fn apply_fixups(&mut self) -> Result<(), ParseError> {
+        let by_name: HashMap<String, u32> = self
+            .module
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i as u32))
+            .collect();
+        for fx in std::mem::take(&mut self.fixups) {
+            let Some(&id) = by_name.get(&fx.name) else {
+                return err(fx.line, format!("unknown function @{}", fx.name));
+            };
+            match fx.kind {
+                FixupKind::GlobalInit(g) => {
+                    self.module.globals[g].init = GlobalInit::FuncPtr(FuncId(id));
+                }
+                FixupKind::CallTarget | FixupKind::FuncRef => {
+                    let inst = &mut self.module.funcs[fx.func].blocks[fx.block].insts
+                        [fx.inst.expect("inst fixup")]
+                    .1;
+                    match inst {
+                        Inst::Call { callee, .. } => *callee = FuncId(id),
+                        Inst::FuncAddr(f) => *f = FuncId(id),
+                        _ => unreachable!("fixup points at non-call inst"),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_global(&mut self) -> Result<(), ParseError> {
+        let (ln, l) = self.next().unwrap();
+        let toks = Tok::new(l);
+        let mut t = toks;
+        t.expect(ln, "global")?;
+        let name = t.at_name(ln)?;
+        let kw = t.word(ln)?;
+        let init = match kw {
+            "zero" => GlobalInit::Zero(t.int(ln)? as u32),
+            "words" => {
+                let list = t.bracket_list(ln)?;
+                GlobalInit::Words(list)
+            }
+            "funcptr" => {
+                let fname = t.at_name(ln)?;
+                self.fixups.push(PendingFixup {
+                    func: 0,
+                    block: 0,
+                    inst: None,
+                    name: fname.to_string(),
+                    line: ln,
+                    kind: FixupKind::GlobalInit(self.module.globals.len()),
+                });
+                GlobalInit::Zero(8) // placeholder until fixup
+            }
+            other => return err(ln, format!("unknown global init {other:?}")),
+        };
+        t.expect(ln, "align")?;
+        let align = t.int(ln)? as u32;
+        self.module.globals.push(Global {
+            name: name.to_string(),
+            init,
+            align,
+        });
+        Ok(())
+    }
+
+    fn parse_func(&mut self) -> Result<(), ParseError> {
+        let (ln, l) = self.next().unwrap();
+        // func @name(N) [noinstrument] {
+        let rest = l.strip_prefix("func").unwrap().trim();
+        let Some(rest) = rest.strip_prefix('@') else {
+            return err(ln, "expected '@name' after func");
+        };
+        let paren = rest.find('(').ok_or(ParseError {
+            line: ln,
+            msg: "expected '('".into(),
+        })?;
+        let name = &rest[..paren];
+        let close = rest.find(')').ok_or(ParseError {
+            line: ln,
+            msg: "expected ')'".into(),
+        })?;
+        let params: u32 = rest[paren + 1..close]
+            .trim()
+            .parse()
+            .map_err(|_| ParseError {
+                line: ln,
+                msg: "bad param count".into(),
+            })?;
+        let tail = rest[close + 1..].trim();
+        let no_instrument = tail.contains("noinstrument");
+        if !tail.ends_with('{') {
+            return err(ln, "expected '{' at end of func header");
+        }
+
+        // First pass over the body: collect block labels.
+        let body_start = self.pos;
+        let mut labels: HashMap<String, u32> = HashMap::new();
+        let depth = 0usize;
+        loop {
+            let Some((ln2, l2)) = self.next() else {
+                return err(ln, "unterminated function body");
+            };
+            if l2 == "}" && depth == 0 {
+                break;
+            }
+            let _ = ln2;
+            if let Some(label) = l2.strip_suffix(':') {
+                let base = canonical_label(label);
+                let id = labels.len() as u32;
+                labels.entry(base).or_insert(id);
+            }
+        }
+        let body_end = self.pos - 1;
+
+        // Second pass: parse instructions.
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut num_vals: u32 = 0;
+        let func_index = self.module.funcs.len();
+        let mut cur: Option<usize> = None;
+        for i in body_start..body_end {
+            let (ln2, l2) = self.lines[i];
+            if let Some(label) = l2.strip_suffix(':') {
+                blocks.push(Block {
+                    name: canonical_label(label),
+                    insts: Vec::new(),
+                    term: Term::Ret(None),
+                });
+                cur = Some(blocks.len() - 1);
+                continue;
+            }
+            let Some(cb) = cur else {
+                return err(ln2, "instruction before first block label");
+            };
+            let mut t = Tok::new(l2);
+            // Result id?
+            let (res, word) = if let Some(v) = t.try_val() {
+                t.expect(ln2, "=")?;
+                (Some(v), t.word(ln2)?)
+            } else {
+                (None, t.word(ln2)?)
+            };
+            if let Some(v) = res {
+                num_vals = num_vals.max(v.0 + 1);
+            }
+            match word {
+                "br" => {
+                    let lbl = t.word(ln2)?;
+                    let id = resolve_label(&labels, lbl, ln2)?;
+                    blocks[cb].term = Term::Br(id);
+                }
+                "condbr" => {
+                    let cond = t.val(ln2)?;
+                    t.comma(ln2)?;
+                    let a = resolve_label(&labels, t.word(ln2)?, ln2)?;
+                    t.comma(ln2)?;
+                    let b = resolve_label(&labels, t.word(ln2)?, ln2)?;
+                    blocks[cb].term = Term::CondBr {
+                        cond,
+                        then_bb: a,
+                        else_bb: b,
+                    };
+                }
+                "ret" => {
+                    let v = t.try_val();
+                    blocks[cb].term = Term::Ret(v);
+                }
+                _ => {
+                    let inst =
+                        self.parse_inst(word, &mut t, ln2, func_index, cb, blocks[cb].insts.len())?;
+                    blocks[cb].insts.push((res, inst));
+                }
+            }
+        }
+        if blocks.is_empty() {
+            return err(ln, "function with no blocks");
+        }
+        self.module.funcs.push(Function {
+            name: name.to_string(),
+            params,
+            blocks,
+            num_vals,
+            no_instrument,
+        });
+        Ok(())
+    }
+
+    fn parse_inst(
+        &mut self,
+        word: &str,
+        t: &mut Tok<'_>,
+        ln: usize,
+        func: usize,
+        block: usize,
+        inst_idx: usize,
+    ) -> Result<Inst, ParseError> {
+        let binop = |w: &str| -> Option<BinOp> {
+            Some(match w {
+                "add" => BinOp::Add,
+                "sub" => BinOp::Sub,
+                "mul" => BinOp::Mul,
+                "div" => BinOp::Div,
+                "rem" => BinOp::Rem,
+                "and" => BinOp::And,
+                "or" => BinOp::Or,
+                "xor" => BinOp::Xor,
+                "shl" => BinOp::Shl,
+                "shr" => BinOp::Shr,
+                "sar" => BinOp::Sar,
+                _ => return None,
+            })
+        };
+        Ok(match word {
+            "const" => Inst::Const(t.int(ln)?),
+            "param" => Inst::Param(t.int(ln)? as u32),
+            "alloca" => {
+                let size = t.int(ln)? as u32;
+                t.expect(ln, "align")?;
+                Inst::Alloca {
+                    size,
+                    align: t.int(ln)? as u32,
+                }
+            }
+            "load" => {
+                let ptr = t.val(ln)?;
+                t.expect(ln, "+")?;
+                Inst::Load {
+                    ptr,
+                    off: t.int(ln)? as i32,
+                }
+            }
+            "store" => {
+                let ptr = t.val(ln)?;
+                t.expect(ln, "+")?;
+                let off = t.int(ln)? as i32;
+                t.comma(ln)?;
+                Inst::Store {
+                    ptr,
+                    off,
+                    val: t.val(ln)?,
+                }
+            }
+            "cmp" => {
+                let cc = match t.word(ln)? {
+                    "eq" => CmpOp::Eq,
+                    "ne" => CmpOp::Ne,
+                    "lt" => CmpOp::Lt,
+                    "le" => CmpOp::Le,
+                    "gt" => CmpOp::Gt,
+                    "ge" => CmpOp::Ge,
+                    other => return err(ln, format!("unknown condition {other:?}")),
+                };
+                let a = t.val(ln)?;
+                t.comma(ln)?;
+                Inst::Cmp {
+                    op: cc,
+                    a,
+                    b: t.val(ln)?,
+                }
+            }
+            "addrof" => {
+                let g = t.at_name(ln)?;
+                let id = self
+                    .module
+                    .global_by_name(g)
+                    .or_else(|| {
+                        // Globals may only be referenced after declaration.
+                        None
+                    })
+                    .ok_or(ParseError {
+                        line: ln,
+                        msg: format!("unknown global @{g}"),
+                    })?;
+                Inst::GlobalAddr(id)
+            }
+            "funcref" => {
+                let f = t.at_name(ln)?;
+                self.fixups.push(PendingFixup {
+                    func,
+                    block,
+                    inst: Some(inst_idx),
+                    name: f.to_string(),
+                    line: ln,
+                    kind: FixupKind::FuncRef,
+                });
+                Inst::FuncAddr(FuncId(0)) // fixed up later
+            }
+            "ptradd" => {
+                let base = t.val(ln)?;
+                t.expect(ln, "+")?;
+                if let Some(idx) = t.try_val() {
+                    t.expect(ln, "*")?;
+                    let scale = t.int(ln)? as u8;
+                    t.expect(ln, "+")?;
+                    Inst::PtrAdd {
+                        base,
+                        idx: Some(idx),
+                        scale,
+                        disp: t.int(ln)? as i32,
+                    }
+                } else {
+                    Inst::PtrAdd {
+                        base,
+                        idx: None,
+                        scale: 1,
+                        disp: t.int(ln)? as i32,
+                    }
+                }
+            }
+            "call" => {
+                let f = t.at_name(ln)?;
+                let args = t.paren_vals(ln)?;
+                self.fixups.push(PendingFixup {
+                    func,
+                    block,
+                    inst: Some(inst_idx),
+                    name: f.to_string(),
+                    line: ln,
+                    kind: FixupKind::CallTarget,
+                });
+                Inst::Call {
+                    callee: FuncId(0),
+                    args,
+                }
+            }
+            "callind" => {
+                let ptr = t.val(ln)?;
+                let args = t.paren_vals(ln)?;
+                Inst::CallInd { ptr, args }
+            }
+            "extern" => {
+                let name = t.word_before_paren(ln)?;
+                let ext = ExternFn::from_name(name).ok_or(ParseError {
+                    line: ln,
+                    msg: format!("unknown extern {name:?}"),
+                })?;
+                let args = t.paren_vals(ln)?;
+                Inst::CallExtern { ext, args }
+            }
+            other => match binop(other) {
+                Some(op) => {
+                    let a = t.val(ln)?;
+                    t.comma(ln)?;
+                    Inst::Bin {
+                        op,
+                        a,
+                        b: t.val(ln)?,
+                    }
+                }
+                None => return err(ln, format!("unknown instruction {other:?}")),
+            },
+        })
+    }
+}
+
+/// Strips the printer's `.N` suffix from a label.
+fn canonical_label(label: &str) -> String {
+    match label.rfind('.') {
+        Some(dot) if label[dot + 1..].chars().all(|c| c.is_ascii_digit()) => {
+            label[..dot].to_string()
+        }
+        _ => label.to_string(),
+    }
+}
+
+fn resolve_label(
+    labels: &HashMap<String, u32>,
+    tok: &str,
+    ln: usize,
+) -> Result<BlockId, ParseError> {
+    let base = canonical_label(tok.trim_end_matches(','));
+    labels.get(&base).map(|&i| BlockId(i)).ok_or(ParseError {
+        line: ln,
+        msg: format!("unknown block label {base:?}"),
+    })
+}
+
+/// A tiny whitespace/punctuation tokenizer over one line.
+struct Tok<'s> {
+    rest: &'s str,
+}
+
+impl<'s> Tok<'s> {
+    fn new(s: &'s str) -> Tok<'s> {
+        Tok { rest: s.trim() }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn word(&mut self, ln: usize) -> Result<&'s str, ParseError> {
+        self.skip_ws();
+        if self.rest.is_empty() {
+            return err(ln, "unexpected end of line");
+        }
+        let end = self
+            .rest
+            .find(|c: char| c.is_whitespace() || c == ',' || c == '(')
+            .unwrap_or(self.rest.len());
+        let (w, rest) = self.rest.split_at(end.max(1));
+        self.rest = rest;
+        Ok(w)
+    }
+
+    fn word_before_paren(&mut self, ln: usize) -> Result<&'s str, ParseError> {
+        self.skip_ws();
+        let end = self.rest.find('(').ok_or(ParseError {
+            line: ln,
+            msg: "expected '('".into(),
+        })?;
+        let (w, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        Ok(w.trim())
+    }
+
+    fn expect(&mut self, ln: usize, tok: &str) -> Result<(), ParseError> {
+        self.skip_ws();
+        match self.rest.strip_prefix(tok) {
+            Some(rest) => {
+                self.rest = rest;
+                Ok(())
+            }
+            None => err(ln, format!("expected {tok:?}, found {:?}", self.rest)),
+        }
+    }
+
+    fn comma(&mut self, ln: usize) -> Result<(), ParseError> {
+        self.expect(ln, ",")
+    }
+
+    fn try_val(&mut self) -> Option<Val> {
+        self.skip_ws();
+        let rest = self.rest.strip_prefix('%')?;
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return None;
+        }
+        let n: u32 = rest[..end].parse().ok()?;
+        self.rest = &rest[end..];
+        Some(Val(n))
+    }
+
+    fn val(&mut self, ln: usize) -> Result<Val, ParseError> {
+        self.try_val().ok_or(ParseError {
+            line: ln,
+            msg: "expected a value (%N)".into(),
+        })
+    }
+
+    fn int(&mut self, ln: usize) -> Result<i64, ParseError> {
+        self.skip_ws();
+        let neg = self.rest.starts_with('-');
+        let body = if neg { &self.rest[1..] } else { self.rest };
+        let end = body
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(body.len());
+        if end == 0 {
+            return err(ln, format!("expected an integer, found {:?}", self.rest));
+        }
+        let n: i64 = body[..end].parse().map_err(|_| ParseError {
+            line: ln,
+            msg: "integer out of range".into(),
+        })?;
+        self.rest = &body[end..];
+        Ok(if neg { -n } else { n })
+    }
+
+    fn at_name(&mut self, ln: usize) -> Result<&'s str, ParseError> {
+        self.skip_ws();
+        let rest = self.rest.strip_prefix('@').ok_or(ParseError {
+            line: ln,
+            msg: "expected '@name'".into(),
+        })?;
+        let end = rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+            .unwrap_or(rest.len());
+        let (name, tail) = rest.split_at(end);
+        self.rest = tail;
+        Ok(name)
+    }
+
+    fn bracket_list(&mut self, ln: usize) -> Result<Vec<i64>, ParseError> {
+        self.expect(ln, "[")?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if let Some(rest) = self.rest.strip_prefix(']') {
+                self.rest = rest;
+                return Ok(out);
+            }
+            out.push(self.int(ln)?);
+            self.skip_ws();
+            if let Some(rest) = self.rest.strip_prefix(',') {
+                self.rest = rest;
+            }
+        }
+    }
+
+    fn paren_vals(&mut self, ln: usize) -> Result<Vec<Val>, ParseError> {
+        self.expect(ln, "(")?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if let Some(rest) = self.rest.strip_prefix(')') {
+                self.rest = rest;
+                return Ok(out);
+            }
+            out.push(self.val(ln)?);
+            self.skip_ws();
+            if let Some(rest) = self.rest.strip_prefix(',') {
+                self.rest = rest;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+    use crate::verify::verify_module;
+
+    const SAMPLE: &str = r#"
+module "sample"
+
+global @buf zero 64 align 8
+global @tab words [10, 20, -30] align 16
+global @handler funcptr @main align 8
+
+func @helper(2) {
+entry:
+  %0 = param 0
+  %1 = param 1
+  %2 = add %0, %1
+  ret %2
+}
+
+func @main(0) {
+entry:
+  %0 = const 7
+  %1 = const 3
+  %2 = call @helper(%0, %1)   # a direct call
+  %3 = addrof @tab
+  %4 = load %3 + 8
+  %5 = add %2, %4
+  %6 = cmp gt %5, %0
+  condbr %6, big, small
+big:
+  %7 = extern print(%5)
+  ret %5
+small:
+  ret %0
+}
+"#;
+
+    #[test]
+    fn parses_and_verifies_sample() {
+        let m = parse_module(SAMPLE).unwrap();
+        assert!(verify_module(&m).is_ok());
+        assert_eq!(m.funcs.len(), 2);
+        assert_eq!(m.globals.len(), 3);
+        assert!(
+            matches!(m.globals[2].init, GlobalInit::FuncPtr(f) if m.funcs[f.0 as usize].name == "main")
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_printer() {
+        let m1 = parse_module(SAMPLE).unwrap();
+        let text = print_module(&m1);
+        let m2 = parse_module(&text).unwrap();
+        assert_eq!(m1, m2, "print/parse round trip changed the module:\n{text}");
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "func @f(0) {\nentry:\n  %0 = bogus 1\n  ret\n}\n";
+        let e = parse_module(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let src = "func @f(0) {\nentry:\n  br nowhere\n}\n";
+        assert!(parse_module(src).is_err());
+    }
+
+    #[test]
+    fn unknown_call_target_rejected() {
+        let src = "func @f(0) {\nentry:\n  %0 = call @ghost()\n  ret\n}\n";
+        let e = parse_module(src).unwrap_err();
+        assert!(e.msg.contains("ghost"));
+    }
+
+    #[test]
+    fn negative_numbers_and_comments() {
+        let src = "global @g words [-1, -2] align 8\nfunc @f(0) {\nentry: # comment\n  %0 = const -42\n  ret %0\n}\n";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.globals[0].init, GlobalInit::Words(vec![-1, -2]));
+    }
+
+    #[test]
+    fn ptradd_forms() {
+        let src = "func @f(1) {\nentry:\n  %0 = param 0\n  %1 = alloca 64 align 8\n  %2 = ptradd %1 + %0 * 8 + 16\n  %3 = ptradd %1 + 24\n  ret\n}\n";
+        let m = parse_module(src).unwrap();
+        assert!(verify_module(&m).is_ok());
+        let insts = &m.funcs[0].blocks[0].insts;
+        assert!(matches!(
+            insts[2].1,
+            Inst::PtrAdd {
+                idx: Some(_),
+                scale: 8,
+                disp: 16,
+                ..
+            }
+        ));
+        assert!(matches!(
+            insts[3].1,
+            Inst::PtrAdd {
+                idx: None,
+                disp: 24,
+                ..
+            }
+        ));
+    }
+}

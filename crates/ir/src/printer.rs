@@ -1,0 +1,201 @@
+//! Textual printing of IR modules.
+//!
+//! The format round-trips through [`crate::parser::parse_module`]; see
+//! that module for the grammar.
+
+use std::fmt::Write as _;
+
+use crate::repr::{GlobalInit, Inst, Module, Term, Val};
+
+fn val(v: Val) -> String {
+    format!("%{}", v.0)
+}
+
+/// Renders a module in the textual IR format.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module \"{}\"", m.name);
+    if !m.globals.is_empty() {
+        out.push('\n');
+    }
+    for g in &m.globals {
+        match &g.init {
+            GlobalInit::Zero(n) => {
+                let _ = writeln!(out, "global @{} zero {} align {}", g.name, n, g.align);
+            }
+            GlobalInit::Words(w) => {
+                let words: Vec<String> = w.iter().map(|x| x.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "global @{} words [{}] align {}",
+                    g.name,
+                    words.join(", "),
+                    g.align
+                );
+            }
+            GlobalInit::FuncPtr(f) => {
+                let _ = writeln!(
+                    out,
+                    "global @{} funcptr @{} align {}",
+                    g.name, m.funcs[f.0 as usize].name, g.align
+                );
+            }
+        }
+    }
+    for f in &m.funcs {
+        let _ = write!(out, "\nfunc @{}({})", f.name, f.params);
+        if f.no_instrument {
+            out.push_str(" noinstrument");
+        }
+        out.push_str(" {\n");
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let _ = writeln!(out, "{}.{}:", b.name, bi);
+            for (res, inst) in &b.insts {
+                out.push_str("  ");
+                if let Some(r) = res {
+                    let _ = write!(out, "{} = ", val(*r));
+                }
+                print_inst(&mut out, m, inst);
+                out.push('\n');
+            }
+            out.push_str("  ");
+            match &b.term {
+                Term::Br(t) => {
+                    let _ = writeln!(out, "br {}.{}", f.blocks[t.0 as usize].name, t.0);
+                }
+                Term::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "condbr {}, {}.{}, {}.{}",
+                        val(*cond),
+                        f.blocks[then_bb.0 as usize].name,
+                        then_bb.0,
+                        f.blocks[else_bb.0 as usize].name,
+                        else_bb.0
+                    );
+                }
+                Term::Ret(Some(v)) => {
+                    let _ = writeln!(out, "ret {}", val(*v));
+                }
+                Term::Ret(None) => out.push_str("ret\n"),
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn print_inst(out: &mut String, m: &Module, inst: &Inst) {
+    match inst {
+        Inst::Const(c) => {
+            let _ = write!(out, "const {c}");
+        }
+        Inst::Param(n) => {
+            let _ = write!(out, "param {n}");
+        }
+        Inst::Alloca { size, align } => {
+            let _ = write!(out, "alloca {size} align {align}");
+        }
+        Inst::Load { ptr, off } => {
+            let _ = write!(out, "load {} + {}", val(*ptr), off);
+        }
+        Inst::Store { ptr, off, val: v } => {
+            let _ = write!(out, "store {} + {}, {}", val(*ptr), off, val(*v));
+        }
+        Inst::Bin { op, a, b } => {
+            let _ = write!(out, "{} {}, {}", op.mnemonic(), val(*a), val(*b));
+        }
+        Inst::Cmp { op, a, b } => {
+            let _ = write!(out, "cmp {} {}, {}", op.mnemonic(), val(*a), val(*b));
+        }
+        Inst::GlobalAddr(g) => {
+            let _ = write!(out, "addrof @{}", m.globals[g.0 as usize].name);
+        }
+        Inst::FuncAddr(f) => {
+            let _ = write!(out, "funcref @{}", m.funcs[f.0 as usize].name);
+        }
+        Inst::PtrAdd {
+            base,
+            idx,
+            scale,
+            disp,
+        } => {
+            let _ = write!(out, "ptradd {}", val(*base));
+            if let Some(i) = idx {
+                let _ = write!(out, " + {} * {}", val(*i), scale);
+            }
+            let _ = write!(out, " + {disp}");
+        }
+        Inst::Call { callee, args } => {
+            let list: Vec<String> = args.iter().map(|a| val(*a)).collect();
+            let _ = write!(
+                out,
+                "call @{}({})",
+                m.funcs[callee.0 as usize].name,
+                list.join(", ")
+            );
+        }
+        Inst::CallInd { ptr, args } => {
+            let list: Vec<String> = args.iter().map(|a| val(*a)).collect();
+            let _ = write!(out, "callind {}({})", val(*ptr), list.join(", "));
+        }
+        Inst::CallExtern { ext, args } => {
+            let list: Vec<String> = args.iter().map(|a| val(*a)).collect();
+            let _ = write!(out, "extern {}({})", ext.name(), list.join(", "));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::repr::{BinOp, CmpOp, ExternFn, GlobalInit};
+
+    #[test]
+    fn prints_all_constructs() {
+        let mut mb = ModuleBuilder::new("demo");
+        let g = mb.global("buf", GlobalInit::Zero(64), 8);
+        let _t = mb.global("tab", GlobalInit::Words(vec![1, -2, 3]), 16);
+        let main_id = mb.declare_function("main", 1);
+        let _fp = mb.global("fp", GlobalInit::FuncPtr(main_id), 8);
+        let mut f = mb.function("main", 1);
+        let p = f.param(0);
+        let c = f.iconst(5);
+        let s = f.bin(BinOp::Add, p, c);
+        let q = f.cmp(CmpOp::Lt, p, s);
+        let ga = f.global_addr(g);
+        let pa = f.ptr_add(ga, Some(p), 8, 16);
+        f.store(pa, 0, s);
+        let l = f.load(pa, 0);
+        let fr = f.func_addr(main_id);
+        let exit = f.new_block("exit");
+        f.cond_br(q, exit, exit);
+        f.switch_to(exit);
+        f.call_extern(ExternFn::PrintI64, &[l]);
+        let _ci = f.call_ind(fr, &[l]);
+        f.ret(Some(l));
+        f.finish();
+        let m = mb.finish();
+        let text = print_module(&m);
+        for needle in [
+            "module \"demo\"",
+            "global @buf zero 64 align 8",
+            "words [1, -2, 3]",
+            "funcptr @main",
+            "func @main(1)",
+            "param 0",
+            "cmp lt",
+            "ptradd",
+            "condbr",
+            "extern print",
+            "callind",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

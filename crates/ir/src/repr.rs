@@ -1,0 +1,419 @@
+//! IR data structures.
+
+/// Index of a function within a [`Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Index of a global within a [`Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+/// Index of a basic block within a [`Function`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// An IR value: the result of an instruction (or a parameter read).
+/// Values are numbered densely per function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub struct Val(pub u32);
+
+/// Binary integer operations (all 64-bit, wrapping; division is signed
+/// and traps on a zero divisor, like the machine instruction).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+}
+
+impl BinOp {
+    /// Textual mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Sar => "sar",
+        }
+    }
+}
+
+/// Integer comparisons producing 0 or 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Textual mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+}
+
+/// External (runtime-provided) functions callable from IR. The code
+/// generator lowers these to VM native calls; they stand in for the
+/// unprotected libc the paper links against (§6.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ExternFn {
+    /// `ptr = malloc(size)`
+    Malloc,
+    /// `free(ptr)`
+    Free,
+    /// `ptr = memalign(align, size)`
+    Memalign,
+    /// `mprotect(ptr, len, perm_bits)`
+    Mprotect,
+    /// Emit an i64 to the program output.
+    PrintI64,
+    /// Emit a byte to the program output.
+    PutChar,
+    /// Stack-probe hook: the program "blocks" here (like a thread held
+    /// by Malicious Thread Blocking) and an attacker may observe its
+    /// stack. No semantic effect.
+    Probe,
+}
+
+impl ExternFn {
+    /// Textual name used by the printer/parser.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExternFn::Malloc => "malloc",
+            ExternFn::Free => "free",
+            ExternFn::Memalign => "memalign",
+            ExternFn::Mprotect => "mprotect",
+            ExternFn::PrintI64 => "print",
+            ExternFn::PutChar => "putchar",
+            ExternFn::Probe => "probe",
+        }
+    }
+
+    /// Parses a textual name.
+    pub fn from_name(s: &str) -> Option<ExternFn> {
+        Some(match s {
+            "malloc" => ExternFn::Malloc,
+            "free" => ExternFn::Free,
+            "memalign" => ExternFn::Memalign,
+            "mprotect" => ExternFn::Mprotect,
+            "print" => ExternFn::PrintI64,
+            "putchar" => ExternFn::PutChar,
+            "probe" => ExternFn::Probe,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the extern expects.
+    pub fn arity(self) -> usize {
+        match self {
+            ExternFn::Probe => 0,
+            ExternFn::Malloc | ExternFn::Free | ExternFn::PrintI64 | ExternFn::PutChar => 1,
+            ExternFn::Memalign => 2,
+            ExternFn::Mprotect => 3,
+        }
+    }
+}
+
+/// One IR instruction. Instructions that produce a value are assigned
+/// the next [`Val`] id by the builder.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Inst {
+    /// 64-bit constant.
+    Const(i64),
+    /// Reads the `n`th incoming parameter (entry block only).
+    Param(u32),
+    /// Reserves `size` bytes of stack (entry block only); yields the
+    /// slot address.
+    Alloca {
+        /// Size in bytes.
+        size: u32,
+        /// Alignment in bytes (power of two, ≥ 8).
+        align: u32,
+    },
+    /// 64-bit load from `ptr + off`.
+    Load {
+        /// Address operand.
+        ptr: Val,
+        /// Constant byte offset.
+        off: i32,
+    },
+    /// 64-bit store of `val` to `ptr + off`.
+    Store {
+        /// Address operand.
+        ptr: Val,
+        /// Constant byte offset.
+        off: i32,
+        /// Stored value.
+        val: Val,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        a: Val,
+        /// Right operand.
+        b: Val,
+    },
+    /// Comparison producing 0/1.
+    Cmp {
+        /// Comparison predicate.
+        op: CmpOp,
+        /// Left operand.
+        a: Val,
+        /// Right operand.
+        b: Val,
+    },
+    /// Address of a global.
+    GlobalAddr(GlobalId),
+    /// Address of a function (a code pointer; these are what AOCR
+    /// harvests).
+    FuncAddr(FuncId),
+    /// Pointer arithmetic: `base + idx * scale + disp`.
+    PtrAdd {
+        /// Base pointer.
+        base: Val,
+        /// Optional scaled index.
+        idx: Option<Val>,
+        /// Scale factor (1, 2, 4 or 8).
+        scale: u8,
+        /// Constant displacement.
+        disp: i32,
+    },
+    /// Direct call.
+    Call {
+        /// Callee.
+        callee: FuncId,
+        /// Arguments (at most 6 in registers; the rest on the stack).
+        args: Vec<Val>,
+    },
+    /// Indirect call through a function pointer.
+    CallInd {
+        /// Pointer operand.
+        ptr: Val,
+        /// Arguments.
+        args: Vec<Val>,
+    },
+    /// Call of an external runtime function.
+    CallExtern {
+        /// Which extern.
+        ext: ExternFn,
+        /// Arguments.
+        args: Vec<Val>,
+    },
+}
+
+impl Inst {
+    /// True if this instruction defines a result value.
+    ///
+    /// `Store` yields nothing; calls always yield a (possibly unused)
+    /// result to keep numbering simple.
+    pub fn has_result(&self) -> bool {
+        !matches!(self, Inst::Store { .. })
+    }
+}
+
+/// Block terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Two-way branch on `cond != 0`.
+    CondBr {
+        /// Condition value.
+        cond: Val,
+        /// Target when nonzero.
+        then_bb: BlockId,
+        /// Target when zero.
+        else_bb: BlockId,
+    },
+    /// Return (optionally with a value).
+    Ret(Option<Val>),
+}
+
+/// A basic block: instructions plus one terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Optional label (kept for printing; blocks are identified by id).
+    pub name: String,
+    /// Instructions, paired with their result value id (if any).
+    pub insts: Vec<(Option<Val>, Inst)>,
+    /// The terminator.
+    pub term: Term,
+}
+
+/// A function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Function name (unique within the module).
+    pub name: String,
+    /// Number of i64 parameters.
+    pub params: u32,
+    /// Basic blocks; `blocks[0]` is the entry.
+    pub blocks: Vec<Block>,
+    /// Total number of value ids used.
+    pub num_vals: u32,
+    /// If true, R²C instrumentation is skipped for this function
+    /// (models the paper's per-function opt-out used for the three
+    /// browser incompatibilities, §7.4.2).
+    pub no_instrument: bool,
+}
+
+impl Function {
+    /// Iterates over all instructions with their block ids.
+    pub fn insts(&self) -> impl Iterator<Item = (BlockId, &(Option<Val>, Inst))> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(b, blk)| blk.insts.iter().map(move |i| (BlockId(b as u32), i)))
+    }
+
+    /// Total static instruction count (excluding terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// Initializer of a global variable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-initialized, `size` bytes.
+    Zero(u32),
+    /// A sequence of 64-bit words.
+    Words(Vec<i64>),
+    /// The address of a function (a code pointer in the data section —
+    /// exactly the kind of default parameter AOCR corrupts).
+    FuncPtr(FuncId),
+}
+
+impl GlobalInit {
+    /// Size in bytes of this initializer.
+    pub fn size(&self) -> u32 {
+        match self {
+            GlobalInit::Zero(n) => *n,
+            GlobalInit::Words(w) => (w.len() * 8) as u32,
+            GlobalInit::FuncPtr(_) => 8,
+        }
+    }
+}
+
+/// A global variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Global {
+    /// Name (unique within the module).
+    pub name: String,
+    /// Initializer (also determines size).
+    pub init: GlobalInit,
+    /// Alignment in bytes.
+    pub align: u32,
+}
+
+/// A compilation unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Module {
+    /// Module name, used in diagnostics.
+    pub name: String,
+    /// Globals in declaration order (pre-diversification order — this
+    /// is the predictable layout AOCR exploits).
+    pub globals: Vec<Global>,
+    /// Functions in declaration order.
+    pub funcs: Vec<Function>,
+}
+
+impl Module {
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Looks up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
+    }
+
+    /// The function with the given id.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// The global with the given id.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extern_names_roundtrip() {
+        for e in [
+            ExternFn::Malloc,
+            ExternFn::Free,
+            ExternFn::Memalign,
+            ExternFn::Mprotect,
+            ExternFn::PrintI64,
+            ExternFn::PutChar,
+        ] {
+            assert_eq!(ExternFn::from_name(e.name()), Some(e));
+        }
+        assert_eq!(ExternFn::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn store_has_no_result() {
+        assert!(!Inst::Store {
+            ptr: Val(0),
+            off: 0,
+            val: Val(1)
+        }
+        .has_result());
+        assert!(Inst::Const(1).has_result());
+    }
+
+    #[test]
+    fn global_init_sizes() {
+        assert_eq!(GlobalInit::Zero(100).size(), 100);
+        assert_eq!(GlobalInit::Words(vec![1, 2, 3]).size(), 24);
+        assert_eq!(GlobalInit::FuncPtr(FuncId(0)).size(), 8);
+    }
+}

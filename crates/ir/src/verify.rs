@@ -1,0 +1,314 @@
+//! Structural verification of IR modules.
+
+use std::collections::HashSet;
+
+use crate::repr::{BlockId, Inst, Module, Term, Val};
+
+/// A verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the error occurred (if any).
+    pub func: Option<String>,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.func {
+            Some(name) => write!(f, "in function {name:?}: {}", self.msg),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies module-wide invariants:
+///
+/// * unique function and global names,
+/// * every referenced function/global/block id in range,
+/// * values defined exactly once and before use (in block order — our
+///   builder emits structured control flow, so dominance is
+///   approximated by definition order, which is sound for the code the
+///   builders and parser produce and is what the code generator
+///   assumes),
+/// * `Alloca`/`Param` only in the entry block,
+/// * call arity matches the callee signature.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    let mut names = HashSet::new();
+    for f in &m.funcs {
+        if !names.insert(&f.name) {
+            return Err(VerifyError {
+                func: None,
+                msg: format!("duplicate function name {:?}", f.name),
+            });
+        }
+    }
+    let mut gnames = HashSet::new();
+    for g in &m.globals {
+        if !gnames.insert(&g.name) {
+            return Err(VerifyError {
+                func: None,
+                msg: format!("duplicate global name {:?}", g.name),
+            });
+        }
+        if !g.align.is_power_of_two() {
+            return Err(VerifyError {
+                func: None,
+                msg: format!(
+                    "global {:?} alignment {} not a power of two",
+                    g.name, g.align
+                ),
+            });
+        }
+    }
+    for f in &m.funcs {
+        verify_function(m, f).map_err(|msg| VerifyError {
+            func: Some(f.name.clone()),
+            msg,
+        })?;
+    }
+    Ok(())
+}
+
+fn verify_function(m: &Module, f: &crate::repr::Function) -> Result<(), String> {
+    if f.blocks.is_empty() {
+        return Err("no blocks".into());
+    }
+    let nblocks = f.blocks.len() as u32;
+    let mut defined: Vec<bool> = vec![false; f.num_vals as usize];
+
+    let check_val = |v: Val, defined: &[bool]| -> Result<(), String> {
+        if v.0 as usize >= defined.len() {
+            return Err(format!("value %{} out of range", v.0));
+        }
+        if !defined[v.0 as usize] {
+            return Err(format!("value %{} used before definition", v.0));
+        }
+        Ok(())
+    };
+    let check_bb = |b: BlockId| -> Result<(), String> {
+        if b.0 >= nblocks {
+            return Err(format!("branch to nonexistent block {}", b.0));
+        }
+        Ok(())
+    };
+
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (res, inst) in &block.insts {
+            // Operand checks.
+            match inst {
+                Inst::Const(_) | Inst::GlobalAddr(_) | Inst::FuncAddr(_) => {}
+                Inst::Param(n) => {
+                    if *n >= f.params {
+                        return Err(format!("param {n} out of range (have {})", f.params));
+                    }
+                    if bi != 0 {
+                        return Err("param outside entry block".into());
+                    }
+                }
+                Inst::Alloca { align, .. } => {
+                    if bi != 0 {
+                        return Err("alloca outside entry block".into());
+                    }
+                    if !align.is_power_of_two() {
+                        return Err(format!("alloca alignment {align} not a power of two"));
+                    }
+                }
+                Inst::Load { ptr, .. } => check_val(*ptr, &defined)?,
+                Inst::Store { ptr, val, .. } => {
+                    check_val(*ptr, &defined)?;
+                    check_val(*val, &defined)?;
+                }
+                Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                    check_val(*a, &defined)?;
+                    check_val(*b, &defined)?;
+                }
+                Inst::PtrAdd {
+                    base, idx, scale, ..
+                } => {
+                    check_val(*base, &defined)?;
+                    if let Some(i) = idx {
+                        check_val(*i, &defined)?;
+                    }
+                    if !matches!(scale, 1 | 2 | 4 | 8) {
+                        return Err(format!("invalid ptradd scale {scale}"));
+                    }
+                }
+                Inst::Call { callee, args } => {
+                    let cf = m
+                        .funcs
+                        .get(callee.0 as usize)
+                        .ok_or_else(|| format!("call to nonexistent function {}", callee.0))?;
+                    if args.len() != cf.params as usize {
+                        return Err(format!(
+                            "call to {:?} with {} args (expects {})",
+                            cf.name,
+                            args.len(),
+                            cf.params
+                        ));
+                    }
+                    for a in args {
+                        check_val(*a, &defined)?;
+                    }
+                }
+                Inst::CallInd { ptr, args } => {
+                    check_val(*ptr, &defined)?;
+                    for a in args {
+                        check_val(*a, &defined)?;
+                    }
+                }
+                Inst::CallExtern { ext, args } => {
+                    if args.len() != ext.arity() {
+                        return Err(format!(
+                            "extern {} called with {} args (expects {})",
+                            ext.name(),
+                            args.len(),
+                            ext.arity()
+                        ));
+                    }
+                    for a in args {
+                        check_val(*a, &defined)?;
+                    }
+                }
+            }
+            match inst {
+                Inst::GlobalAddr(g) if g.0 as usize >= m.globals.len() => {
+                    return Err(format!("reference to nonexistent global {}", g.0));
+                }
+                Inst::FuncAddr(fi) if fi.0 as usize >= m.funcs.len() => {
+                    return Err(format!("reference to nonexistent function {}", fi.0));
+                }
+                _ => {}
+            }
+            // Definition checks.
+            match (res, inst.has_result()) {
+                (Some(v), true) => {
+                    if v.0 >= f.num_vals {
+                        return Err(format!("result %{} exceeds num_vals {}", v.0, f.num_vals));
+                    }
+                    if defined[v.0 as usize] {
+                        return Err(format!("value %{} defined twice", v.0));
+                    }
+                    defined[v.0 as usize] = true;
+                }
+                (None, false) => {}
+                (Some(v), false) => return Err(format!("store assigned result %{}", v.0)),
+                (None, true) => return Err("result-producing instruction without id".into()),
+            }
+        }
+        match &block.term {
+            Term::Br(b) => check_bb(*b)?,
+            Term::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                check_val(*cond, &defined)?;
+                check_bb(*then_bb)?;
+                check_bb(*else_bb)?;
+            }
+            Term::Ret(Some(v)) => check_val(*v, &defined)?,
+            Term::Ret(None) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::repr::{BinOp, Block, Function, Term};
+
+    #[test]
+    fn rejects_duplicate_function_names() {
+        let mut m = Module::default();
+        let f = Function {
+            name: "f".into(),
+            params: 0,
+            blocks: vec![Block {
+                name: "e".into(),
+                insts: vec![],
+                term: Term::Ret(None),
+            }],
+            num_vals: 0,
+            no_instrument: false,
+        };
+        m.funcs.push(f.clone());
+        m.funcs.push(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut m = Module::default();
+        m.funcs.push(Function {
+            name: "f".into(),
+            params: 0,
+            blocks: vec![Block {
+                name: "e".into(),
+                insts: vec![(
+                    Some(Val(0)),
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        a: Val(1),
+                        b: Val(1),
+                    },
+                )],
+                term: Term::Ret(None),
+            }],
+            num_vals: 2,
+            no_instrument: false,
+        });
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("before definition"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let mut m = Module::default();
+        m.funcs.push(Function {
+            name: "f".into(),
+            params: 0,
+            blocks: vec![Block {
+                name: "e".into(),
+                insts: vec![],
+                term: Term::Br(BlockId(7)),
+            }],
+            num_vals: 0,
+            no_instrument: false,
+        });
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let mut mb = ModuleBuilder::new("t");
+        let callee = mb.declare_function("callee", 2);
+        let mut f = mb.function("main", 0);
+        let a = f.iconst(1);
+        f.call(callee, &[a]); // wrong arity; builder doesn't check direct calls
+        f.ret(None);
+        f.finish();
+        let mut c = mb.function("callee", 2);
+        c.ret(None);
+        c.finish();
+        let m = mb.finish();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("expects 2"), "{err}");
+    }
+
+    #[test]
+    fn accepts_builder_output() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 2);
+        let a = f.param(0);
+        let b = f.param(1);
+        let c = f.bin(BinOp::Mul, a, b);
+        f.ret(Some(c));
+        f.finish();
+        assert!(verify_module(&mb.finish()).is_ok());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based round-trip testing of the textual IR format:
+//! `parse(print(m)) == m` for randomly generated modules, and the
+//! interpreter agrees before and after the round trip.
+
+use proptest::prelude::*;
+
+use r2c_ir::{
+    interpret, parse_module, print_module, verify_module, BinOp, CmpOp, ExternFn, GlobalInit,
+    Module, ModuleBuilder,
+};
+
+#[derive(Clone, Debug)]
+struct Recipe {
+    globals: Vec<(u8, Vec<i64>)>,
+    funcs: Vec<(Vec<(u8, i64)>, u8, bool)>,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (
+        proptest::collection::vec(
+            (0u8..3, proptest::collection::vec(-100i64..100, 1..5)),
+            0..4,
+        ),
+        proptest::collection::vec(
+            (
+                proptest::collection::vec((0u8..8, -500i64..500), 1..10),
+                1u8..5,
+                any::<bool>(),
+            ),
+            1..5,
+        ),
+    )
+        .prop_map(|(globals, funcs)| Recipe { globals, funcs })
+}
+
+fn build(r: &Recipe) -> Module {
+    let mut mb = ModuleBuilder::new("roundtrip");
+    let mut gids = Vec::new();
+    for (i, (kind, words)) in r.globals.iter().enumerate() {
+        let init = match kind {
+            0 => GlobalInit::Zero(8 * words.len() as u32),
+            _ => GlobalInit::Words(words.clone()),
+        };
+        gids.push(mb.global(&format!("g{i}"), init, 8));
+    }
+    let n = r.funcs.len();
+    let ids: Vec<_> = (0..n)
+        .map(|i| mb.declare_function(&format!("f{i}"), 1))
+        .collect();
+    for (i, (ops, iters, use_global)) in r.funcs.iter().enumerate() {
+        let mut f = mb.function(&format!("f{i}"), 1);
+        let x = f.param(0);
+        let slot = f.alloca(16, 8);
+        f.store(slot, 0, x);
+        let z = f.iconst(0);
+        f.store(slot, 8, z);
+        let body = f.new_block("body");
+        let done = f.new_block("done");
+        f.br(body);
+        f.switch_to(body);
+        let mut v = f.load(slot, 0);
+        for &(tag, c) in ops {
+            let cv = f.iconst(c);
+            let op = match tag {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::Mul,
+                3 => BinOp::Xor,
+                4 => BinOp::And,
+                5 => BinOp::Or,
+                6 => BinOp::Shl,
+                _ => BinOp::Sar,
+            };
+            // Bound shift amounts.
+            let cv = if matches!(op, BinOp::Shl | BinOp::Sar) {
+                let _ = cv;
+                f.iconst((c.unsigned_abs() % 16) as i64)
+            } else {
+                cv
+            };
+            v = f.bin(op, v, cv);
+        }
+        if *use_global && !gids.is_empty() {
+            let ga = f.global_addr(gids[i % gids.len()]);
+            let w = f.load(ga, 0);
+            v = f.bin(BinOp::Add, v, w);
+        }
+        if i + 1 < n {
+            v = f.call(ids[i + 1], &[v]);
+        }
+        f.store(slot, 0, v);
+        let cur = f.load(slot, 8);
+        let one = f.iconst(1);
+        let nxt = f.bin(BinOp::Add, cur, one);
+        f.store(slot, 8, nxt);
+        let lim = f.iconst(*iters as i64);
+        let again = f.cmp(CmpOp::Lt, nxt, lim);
+        f.cond_br(again, body, done);
+        f.switch_to(done);
+        let out = f.load(slot, 0);
+        f.ret(Some(out));
+        f.finish();
+    }
+    let mut f = mb.function("main", 0);
+    let s = f.iconst(9);
+    let r0 = f.call(ids[0], &[s]);
+    let mask = f.iconst(0xFFFF);
+    let folded = f.bin(BinOp::And, r0, mask);
+    f.call_extern(ExternFn::PrintI64, &[folded]);
+    f.ret(Some(folded));
+    f.finish();
+    mb.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_roundtrip(r in recipe()) {
+        let m1 = build(&r);
+        verify_module(&m1).unwrap();
+        let text = print_module(&m1);
+        let m2 = parse_module(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(&m1, &m2);
+        // And a second round trip is a fixpoint.
+        let text2 = print_module(&m2);
+        prop_assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn interpreter_agrees_across_roundtrip(r in recipe()) {
+        let m1 = build(&r);
+        let m2 = parse_module(&print_module(&m1)).unwrap();
+        let a = interpret(&m1, "main", 10_000_000).unwrap();
+        let b = interpret(&m2, "main", 10_000_000).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The parser must never panic: arbitrary input yields Ok or a
+    /// ParseError with a line number, nothing else.
+    #[test]
+    fn parser_never_panics(input in "[ -~\n]{0,400}") {
+        match parse_module(&input) {
+            Ok(m) => { let _ = verify_module(&m); }
+            Err(e) => prop_assert!(e.line >= 1),
+        }
+    }
+
+    /// Mutated valid programs (byte substitutions) also never panic the
+    /// parser.
+    #[test]
+    fn mutated_programs_never_panic(pos in 0usize..200, byte in 32u8..127) {
+        let base = "func @f(1) {\nentry:\n  %0 = param 0\n  %1 = const 3\n  %2 = add %0, %1\n  ret %2\n}\n";
+        let mut bytes = base.as_bytes().to_vec();
+        if pos < bytes.len() {
+            bytes[pos] = byte;
+        }
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = parse_module(&s);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Disassembly and image inspection (objdump-style).
+//!
+//! Formats instructions in an AT&T-inspired syntax and dumps whole
+//! images function by function. Useful for debugging diversification
+//! passes and for *seeing* what R²C did to a binary — the BTRA windows,
+//! NOP sleds, trap runs and shuffled layout are all visible in a dump.
+
+use std::fmt::Write as _;
+
+use crate::image::{Image, SymbolKind};
+use crate::insn::{AluOp, Cond, Insn, MemRef};
+use crate::VAddr;
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Imul => "imul",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Sar => "sar",
+    }
+}
+
+fn cond_suffix(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "e",
+        Cond::Ne => "ne",
+        Cond::Lt => "l",
+        Cond::Le => "le",
+        Cond::Gt => "g",
+        Cond::Ge => "ge",
+        Cond::B => "b",
+        Cond::Ae => "ae",
+    }
+}
+
+fn mem(m: &MemRef) -> String {
+    let mut s = String::new();
+    if m.disp != 0 {
+        if m.disp < 0 {
+            let _ = write!(s, "-{:#x}", m.disp.unsigned_abs());
+        } else {
+            let _ = write!(s, "{:#x}", m.disp);
+        }
+    }
+    s.push('(');
+    let _ = write!(s, "%{}", m.base);
+    if let Some((idx, scale)) = m.index {
+        let _ = write!(s, ",%{idx},{scale}");
+    }
+    s.push(')');
+    s
+}
+
+/// Formats one instruction.
+pub fn format_insn(insn: &Insn) -> String {
+    match insn {
+        Insn::MovImm { dst, imm } => format!("mov    ${imm:#x}, %{dst}"),
+        Insn::MovAbs { dst, imm } => format!("movabs ${imm:#x}, %{dst}"),
+        Insn::MovReg { dst, src } => format!("mov    %{src}, %{dst}"),
+        Insn::Load { dst, mem: m } => format!("mov    {}, %{dst}", mem(m)),
+        Insn::Store { mem: m, src } => format!("mov    %{src}, {}", mem(m)),
+        Insn::StoreImm { mem: m, imm } => format!("movq   ${imm:#x}, {}", mem(m)),
+        Insn::Lea { dst, mem: m } => format!("lea    {}, %{dst}", mem(m)),
+        Insn::Push { src } => format!("push   %{src}"),
+        Insn::PushImm { imm } => format!("push   ${imm:#x}"),
+        Insn::Pop { dst } => format!("pop    %{dst}"),
+        Insn::AluReg { op, dst, src } => {
+            format!("{:<6} %{src}, %{dst}", alu_mnemonic(*op))
+        }
+        Insn::AluImm { op, dst, imm } => {
+            format!("{:<6} ${imm:#x}, %{dst}", alu_mnemonic(*op))
+        }
+        Insn::Div { dst, src } => format!("idiv   %{src}, %{dst}"),
+        Insn::Rem { dst, src } => format!("irem   %{src}, %{dst}"),
+        Insn::CmpReg { a, b } => format!("cmp    %{b}, %{a}"),
+        Insn::CmpImm { a, imm } => format!("cmp    ${imm:#x}, %{a}"),
+        Insn::Test { a } => format!("test   %{a}, %{a}"),
+        Insn::SetCc { cond, dst } => format!("set{:<4} %{dst}", cond_suffix(*cond)),
+        Insn::LoadAbs { dst, addr } => format!("mov    {addr:#x}, %{dst}"),
+        Insn::VLoadAbs { dst, addr } => format!("vmovdqa {addr:#x}, %{dst}"),
+        Insn::Call { target } => format!("call   {target:#x}"),
+        Insn::CallInd { target } => format!("call   *%{target}"),
+        Insn::CallNative { native } => format!("call   @native{native}"),
+        Insn::Ret => "ret".to_string(),
+        Insn::Jmp { target } => format!("jmp    {target:#x}"),
+        Insn::JmpInd { target } => format!("jmp    *%{target}"),
+        Insn::Jcc { cond, target } => format!("j{:<5} {target:#x}", cond_suffix(*cond)),
+        Insn::Nop { len } => format!("nop{len}"),
+        Insn::Trap => "int3".to_string(),
+        Insn::VLoad {
+            dst,
+            mem: m,
+            aligned,
+        } => {
+            format!(
+                "vmovdq{} {}, %{dst}",
+                if *aligned { 'a' } else { 'u' },
+                mem(m)
+            )
+        }
+        Insn::VStore {
+            mem: m,
+            src,
+            aligned,
+        } => {
+            format!(
+                "vmovdq{} %{src}, {}",
+                if *aligned { 'a' } else { 'u' },
+                mem(m)
+            )
+        }
+        Insn::VZeroUpper => "vzeroupper".to_string(),
+        Insn::Halt => "hlt".to_string(),
+    }
+}
+
+/// Disassembles one function of an image, with addresses.
+pub fn disasm_function(image: &Image, name: &str) -> Option<String> {
+    let sym = image.symbol(name)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:#014x} <{}>:", sym.addr, sym.name);
+    for (i, &addr) in image.insn_addrs.iter().enumerate() {
+        if addr >= sym.addr && addr < sym.addr + sym.size {
+            let _ = writeln!(out, "  {addr:#014x}:  {}", format_insn(&image.insns[i]));
+        }
+    }
+    Some(out)
+}
+
+/// Dumps the whole image: section map, then every function in layout
+/// order (booby traps included, abbreviated).
+pub fn dump_image(image: &Image) -> String {
+    let mut out = String::new();
+    let l = image.layout;
+    let _ = writeln!(out, "sections:");
+    let _ = writeln!(
+        out,
+        "  .text  {:#014x}..{:#014x}  {}",
+        l.text_base,
+        l.text_end,
+        if image.xom {
+            "--x (execute-only)"
+        } else {
+            "r-x"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  .data  {:#014x}..{:#014x}  rw-",
+        l.data_base, l.data_end
+    );
+    let _ = writeln!(out, "  heap   {:#014x}+{:#x}", l.heap_base, l.heap_size);
+    let _ = writeln!(out, "  stack  {:#014x}-{:#x}", l.stack_top, l.stack_size);
+    let _ = writeln!(out, "  entry  {:#014x}", image.entry);
+    out.push('\n');
+    let mut funcs: Vec<_> = image.functions().collect();
+    funcs.sort_by_key(|s| s.addr);
+    for sym in funcs {
+        if sym.kind == SymbolKind::BoobyTrap {
+            let _ = writeln!(out, "{:#014x} <{}>: [trap run]", sym.addr, sym.name);
+            continue;
+        }
+        if let Some(text) = disasm_function(image, &sym.name) {
+            out.push_str(&text);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Finds the symbol containing an address, for annotating dumps and
+/// backtraces.
+pub fn symbolize(image: &Image, addr: VAddr) -> Option<(String, u64)> {
+    image
+        .symbols
+        .iter()
+        .filter(|s| addr >= s.addr && addr < s.addr + s.size.max(1))
+        .map(|s| (s.name.clone(), addr - s.addr))
+        .next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{SectionLayout, Symbol};
+    use crate::regs::{Gpr, Ymm};
+    use crate::unwind::UnwindTable;
+
+    #[test]
+    fn formats_are_stable() {
+        assert_eq!(
+            format_insn(&Insn::MovImm {
+                dst: Gpr::Rax,
+                imm: 0x2a
+            }),
+            "mov    $0x2a, %rax"
+        );
+        assert_eq!(format_insn(&Insn::Push { src: Gpr::Rbp }), "push   %rbp");
+        assert_eq!(format_insn(&Insn::Ret), "ret");
+        assert_eq!(format_insn(&Insn::Trap), "int3");
+        assert_eq!(
+            format_insn(&Insn::VStore {
+                mem: MemRef::base_disp(Gpr::Rsp, -0x40),
+                src: Ymm(15),
+                aligned: false
+            }),
+            "vmovdqu %ymm15, -0x40(%rsp)"
+        );
+        assert_eq!(
+            format_insn(&Insn::Jcc {
+                cond: Cond::Ne,
+                target: 0x400123
+            }),
+            "jne    0x400123"
+        );
+    }
+
+    #[test]
+    fn dump_contains_functions_and_sections() {
+        let layout = SectionLayout {
+            text_base: 0x40_0000,
+            text_end: 0x40_1000,
+            data_base: 0x60_0000,
+            data_end: 0x60_1000,
+            heap_base: 0x10_0000_0000,
+            heap_size: 0x10_0000,
+            stack_top: 0x7fff_0000_0000,
+            stack_size: 0x4_0000,
+        };
+        let image = Image {
+            insns: vec![
+                Insn::MovImm {
+                    dst: Gpr::Rax,
+                    imm: 1,
+                },
+                Insn::Ret,
+            ],
+            insn_addrs: vec![0x40_0000, 0x40_0005],
+            layout,
+            entry: 0x40_0000,
+            constructors: vec![],
+            data_init: vec![],
+            xom: true,
+            symbols: vec![Symbol {
+                name: "main".into(),
+                addr: 0x40_0000,
+                size: 6,
+                kind: SymbolKind::Function,
+            }],
+            natives: vec![],
+            unwind: UnwindTable::default(),
+        };
+        let d = dump_image(&image);
+        assert!(d.contains("<main>"));
+        assert!(d.contains("execute-only"));
+        assert!(d.contains("mov    $0x1, %rax"));
+        assert_eq!(symbolize(&image, 0x40_0005), Some(("main".into(), 5)));
+        assert_eq!(symbolize(&image, 0x50_0000), None);
+    }
+}

@@ -1,0 +1,1105 @@
+//! The virtual-machine interpreter.
+//!
+//! [`Vm`] loads an [`Image`], runs its constructors and entry point, and
+//! accounts per-instruction costs against a [`MachineConfig`]. It also
+//! exposes the *attacker primitives* the paper's threat model grants
+//! (§3): permission-checked arbitrary read/write (a memory-corruption
+//! vulnerability), stack-frame leaks, and control-flow hijacking. Every
+//! booby-trap execution and guard-page access is recorded as a
+//! [`Detection`] event for the reactive-defense monitor.
+
+use std::collections::HashMap;
+
+use crate::fault::{Detection, Fault};
+use crate::heap::Heap;
+use crate::image::{Image, NativeKind};
+use crate::insn::{AluOp, Cond, Insn, MemRef};
+use crate::machine::{ICache, MachineConfig};
+use crate::mem::{Memory, Perms};
+use crate::regs::{Gpr, RegFile, Ymm};
+use crate::stats::ExecStats;
+use crate::VAddr;
+
+/// Sentinel return address: `ret`ing to it ends the current activation
+/// (used for the entry point, constructors, and attacker-driven calls).
+pub const EXIT_SENTINEL: VAddr = 0xE0D0_0000_0000;
+
+/// How a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// The guest exited normally with this status value.
+    Exited(i64),
+    /// The guest died with a fault.
+    Faulted(Fault),
+    /// Execution paused at a `StackProbe` (only with
+    /// [`VmConfig::break_on_probe`]); resume with [`Vm::resume`].
+    /// This models Malicious Thread Blocking precisely: the victim
+    /// thread is *held* at a known point while the attacker reads and
+    /// writes its memory, then released (§2.3).
+    Probed,
+}
+
+impl ExitStatus {
+    /// True for a normal exit.
+    pub fn is_exit(&self) -> bool {
+        matches!(self, ExitStatus::Exited(_))
+    }
+}
+
+/// A stack snapshot captured at a `StackProbe` hypercall: the state a
+/// Malicious-Thread-Blocking attacker observes while the victim thread
+/// is blocked.
+#[derive(Clone, Debug)]
+pub struct StackSnapshot {
+    /// Program counter of the probe call (where the thread "blocks").
+    pub pc: VAddr,
+    /// Stack pointer at the probe.
+    pub rsp: VAddr,
+    /// Contents of `[rsp, rsp + 2 pages)`.
+    pub bytes: Vec<u8>,
+}
+
+/// Result of running a guest activation to completion.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Exit status or fault.
+    pub status: ExitStatus,
+    /// Statistics accumulated so far (cumulative over the VM lifetime).
+    pub stats: ExecStats,
+}
+
+/// VM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct VmConfig {
+    /// Cost model.
+    pub machine: MachineConfig,
+    /// Maximum dynamically executed instructions before the run is
+    /// aborted with [`Fault::BudgetExhausted`].
+    pub insn_budget: u64,
+    /// Pause execution (returning [`ExitStatus::Probed`]) at every
+    /// `StackProbe` native, so a Malicious-Thread-Blocking attacker can
+    /// act on the live frame before [`Vm::resume`] releases the thread.
+    pub break_on_probe: bool,
+}
+
+impl VmConfig {
+    /// Config with the given machine and a generous default budget.
+    pub fn new(machine: MachineConfig) -> VmConfig {
+        VmConfig {
+            machine,
+            insn_budget: 2_000_000_000,
+            break_on_probe: false,
+        }
+    }
+}
+
+/// The virtual machine.
+pub struct Vm {
+    cfg: VmConfig,
+    insns: Vec<Insn>,
+    insn_addrs: Vec<VAddr>,
+    index: HashMap<VAddr, u32>,
+    natives: Vec<NativeKind>,
+    /// Guest memory. Public for tests and analysis tooling; attacks must
+    /// use the permission-checked primitives instead.
+    pub mem: Memory,
+    /// Architectural registers.
+    pub regs: RegFile,
+    /// Guest heap allocator state.
+    pub heap: Heap,
+    icache: ICache,
+    stats: ExecStats,
+    stack_limit: VAddr,
+    /// Values printed by the guest (`PrintI64` / `PutChar` natives), the
+    /// "program output" used for differential correctness checks.
+    pub output: Vec<i64>,
+    detections: Vec<Detection>,
+    /// Stack snapshots taken at `StackProbe` natives — the window
+    /// Malicious Thread Blocking lets an attacker observe (§2.3).
+    /// AOCR's analysis uses two pages of stack values, so that is what
+    /// each snapshot covers.
+    pub probes: Vec<StackSnapshot>,
+    ymm_dirty: bool,
+    pending_resume: Option<u32>,
+    image_entry: VAddr,
+    image_ctors: Vec<VAddr>,
+}
+
+impl Vm {
+    /// Loads an image into a fresh address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image fails [`Image::validate`].
+    pub fn new(image: &Image, cfg: VmConfig) -> Vm {
+        image.validate().expect("invalid image");
+        let mut mem = Memory::new();
+        let l = image.layout;
+        // Text: execute-only when XoM is on, read-execute otherwise. The
+        // stored bytes are a 0xCC fill; disclosure-based attacks use
+        // `AttackerView`-style decoding gated on readability.
+        let text_len = l.text_end - l.text_base;
+        mem.map(
+            l.text_base,
+            text_len,
+            if image.xom { Perms::XO } else { Perms::RX },
+        );
+        mem.poke(l.text_base, &vec![0xCCu8; text_len as usize]);
+        // Data.
+        mem.map(l.data_base, l.data_end - l.data_base, Perms::RW);
+        for (addr, bytes) in &image.data_init {
+            mem.poke(*addr, bytes);
+        }
+        // Stack (leave the page below the reservation unmapped as guard).
+        mem.map(l.stack_top - l.stack_size, l.stack_size, Perms::RW);
+
+        let heap = Heap::new(l.heap_base, l.heap_size);
+        let mut regs = RegFile::new();
+        regs.set(Gpr::Rsp, l.stack_top - 64);
+
+        Vm {
+            cfg,
+            insns: image.insns.clone(),
+            insn_addrs: image.insn_addrs.clone(),
+            index: image.build_index(),
+            natives: image.natives.clone(),
+            mem,
+            regs,
+            heap,
+            icache: ICache::new(cfg.machine.icache),
+            stats: ExecStats::default(),
+            stack_limit: l.stack_top - l.stack_size,
+            output: Vec::new(),
+            detections: Vec::new(),
+            probes: Vec::new(),
+            ymm_dirty: false,
+            pending_resume: None,
+            image_entry: image.entry,
+            image_ctors: image.constructors.clone(),
+        }
+    }
+
+    /// Runs constructors, then the entry point, to completion.
+    pub fn run(&mut self) -> RunOutcome {
+        for i in 0..self.image_ctors.len() {
+            let ctor = self.image_ctors[i];
+            let out = self.call(ctor, &[]);
+            if let ExitStatus::Faulted(_) = out.status {
+                return out;
+            }
+        }
+        self.call(self.image_entry, &[])
+    }
+
+    /// Resumes execution after an [`ExitStatus::Probed`] pause (the
+    /// blocked thread is released).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is not paused at a probe.
+    pub fn resume(&mut self) -> RunOutcome {
+        let idx = self
+            .pending_resume
+            .take()
+            .expect("resume without a pending probe");
+        self.exec_from(idx)
+    }
+
+    /// True if the VM is paused at a probe.
+    pub fn paused_at_probe(&self) -> bool {
+        self.pending_resume.is_some()
+    }
+
+    /// Calls the function at `target` with up to six integer arguments,
+    /// running until it returns (to the sentinel) or faults.
+    ///
+    /// This doubles as the whole-function-reuse primitive: an attacker
+    /// who has hijacked control flow calls an arbitrary address with
+    /// arbitrary arguments.
+    pub fn call(&mut self, target: VAddr, args: &[u64]) -> RunOutcome {
+        assert!(args.len() <= 6, "register arguments only");
+        for (i, &a) in args.iter().enumerate() {
+            self.regs.set(Gpr::ARGS[i], a);
+        }
+        // Align rsp so the callee sees the ABI-mandated rsp % 16 == 8.
+        let rsp = self.regs.get(Gpr::Rsp) & !15;
+        self.regs.set(Gpr::Rsp, rsp - 8);
+        if let Err(f) = self.mem.write_u64(rsp - 8, EXIT_SENTINEL) {
+            return self.finish(ExitStatus::Faulted(f));
+        }
+        match self.index.get(&target) {
+            Some(&idx) => self.exec_from(idx),
+            None => self.finish(ExitStatus::Faulted(Fault::InvalidJump { target })),
+        }
+    }
+
+    fn finish(&mut self, status: ExitStatus) -> RunOutcome {
+        if let ExitStatus::Faulted(f) = status {
+            self.note_fault(&f);
+        }
+        let (h, m) = self.icache.stats();
+        self.stats.icache_hits = h;
+        self.stats.icache_misses = m;
+        self.stats.max_rss_pages = self.mem.max_resident_pages();
+        RunOutcome {
+            status,
+            stats: self.stats,
+        }
+    }
+
+    fn note_fault(&mut self, f: &Fault) {
+        match f {
+            Fault::BoobyTrap { addr } => self.detections.push(Detection::BoobyTrap { addr: *addr }),
+            Fault::Protection { addr, perms, .. } if *perms == Perms::NONE => {
+                self.detections.push(Detection::GuardPage { addr: *addr })
+            }
+            _ => {}
+        }
+    }
+
+    /// Detection events recorded so far (booby traps, guard pages).
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ExecStats {
+        let mut s = self.stats;
+        let (h, m) = self.icache.stats();
+        s.icache_hits = h;
+        s.icache_misses = m;
+        s.max_rss_pages = self.mem.max_resident_pages();
+        s
+    }
+
+    #[inline]
+    fn ea(&self, m: &MemRef) -> VAddr {
+        let mut a = self.regs.get(m.base);
+        if let Some((idx, scale)) = m.index {
+            a = a.wrapping_add(self.regs.get(idx).wrapping_mul(scale as u64));
+        }
+        a.wrapping_add_signed(m.disp as i64)
+    }
+
+    #[inline]
+    fn push_word(&mut self, val: u64) -> Result<(), Fault> {
+        let rsp = self.regs.get(Gpr::Rsp).wrapping_sub(8);
+        if rsp < self.stack_limit {
+            return Err(Fault::StackOverflow { rsp });
+        }
+        self.mem.write_u64(rsp, val)?;
+        self.regs.set(Gpr::Rsp, rsp);
+        Ok(())
+    }
+
+    #[inline]
+    fn pop_word(&mut self) -> Result<u64, Fault> {
+        let rsp = self.regs.get(Gpr::Rsp);
+        let v = self.mem.read_u64(rsp)?;
+        self.regs.set(Gpr::Rsp, rsp.wrapping_add(8));
+        Ok(v)
+    }
+
+    #[inline]
+    fn cond_holds(&self, c: Cond) -> bool {
+        let f = self.regs.flags;
+        match c {
+            Cond::Eq => f.zf,
+            Cond::Ne => !f.zf,
+            Cond::Lt => f.sf != f.of,
+            Cond::Le => f.zf || f.sf != f.of,
+            Cond::Gt => !f.zf && f.sf == f.of,
+            Cond::Ge => f.sf == f.of,
+            Cond::B => f.cf,
+            Cond::Ae => !f.cf,
+        }
+    }
+
+    /// Executes starting at instruction index `idx` until the activation
+    /// returns to the sentinel, the guest halts, or a fault occurs.
+    fn exec_from(&mut self, mut idx: u32) -> RunOutcome {
+        loop {
+            if self.stats.instructions >= self.cfg.insn_budget {
+                return self.finish(ExitStatus::Faulted(Fault::BudgetExhausted));
+            }
+            let insn = self.insns[idx as usize];
+            let addr = self.insn_addrs[idx as usize];
+            self.stats.instructions += 1;
+            self.stats.cycles += self.cfg.machine.base_cost(&insn) + self.icache.access(addr);
+
+            macro_rules! fault {
+                ($f:expr) => {
+                    return self.finish(ExitStatus::Faulted($f))
+                };
+            }
+            macro_rules! try_mem {
+                ($e:expr) => {
+                    match $e {
+                        Ok(v) => v,
+                        Err(f) => fault!(f),
+                    }
+                };
+            }
+            macro_rules! jump_to {
+                ($t:expr) => {{
+                    let t = $t;
+                    match self.index.get(&t) {
+                        Some(&i) => {
+                            idx = i;
+                            continue;
+                        }
+                        None => fault!(Fault::InvalidJump { target: t }),
+                    }
+                }};
+            }
+
+            match insn {
+                Insn::MovImm { dst, imm } | Insn::MovAbs { dst, imm } => self.regs.set(dst, imm),
+                Insn::MovReg { dst, src } => {
+                    let v = self.regs.get(src);
+                    self.regs.set(dst, v);
+                }
+                Insn::Load { dst, mem } => {
+                    let a = self.ea(&mem);
+                    let v = try_mem!(self.mem.read_u64(a));
+                    self.regs.set(dst, v);
+                }
+                Insn::Store { mem, src } => {
+                    let a = self.ea(&mem);
+                    let v = self.regs.get(src);
+                    try_mem!(self.mem.write_u64(a, v));
+                }
+                Insn::StoreImm { mem, imm } => {
+                    let a = self.ea(&mem);
+                    try_mem!(self.mem.write_u64(a, imm as i64 as u64));
+                }
+                Insn::Lea { dst, mem } => {
+                    let a = self.ea(&mem);
+                    self.regs.set(dst, a);
+                }
+                Insn::Push { src } => {
+                    let v = self.regs.get(src);
+                    try_mem!(self.push_word(v));
+                }
+                Insn::PushImm { imm } => try_mem!(self.push_word(imm)),
+                Insn::Pop { dst } => {
+                    let v = try_mem!(self.pop_word());
+                    self.regs.set(dst, v);
+                }
+                Insn::AluReg { op, dst, src } => {
+                    let a = self.regs.get(dst);
+                    let b = self.regs.get(src);
+                    let r = alu(op, a, b);
+                    self.regs.set(dst, r);
+                    self.regs.flags.set_result(r);
+                }
+                Insn::AluImm { op, dst, imm } => {
+                    let a = self.regs.get(dst);
+                    let r = alu(op, a, imm as i64 as u64);
+                    self.regs.set(dst, r);
+                    self.regs.flags.set_result(r);
+                }
+                Insn::Div { dst, src } => {
+                    let b = self.regs.get(src) as i64;
+                    if b == 0 {
+                        fault!(Fault::DivideByZero { addr });
+                    }
+                    let a = self.regs.get(dst) as i64;
+                    self.regs.set(dst, a.wrapping_div(b) as u64);
+                }
+                Insn::Rem { dst, src } => {
+                    let b = self.regs.get(src) as i64;
+                    if b == 0 {
+                        fault!(Fault::DivideByZero { addr });
+                    }
+                    let a = self.regs.get(dst) as i64;
+                    self.regs.set(dst, a.wrapping_rem(b) as u64);
+                }
+                Insn::CmpReg { a, b } => {
+                    let (x, y) = (self.regs.get(a), self.regs.get(b));
+                    self.regs.flags.set_cmp(x, y);
+                }
+                Insn::CmpImm { a, imm } => {
+                    let x = self.regs.get(a);
+                    self.regs.flags.set_cmp(x, imm as i64 as u64);
+                }
+                Insn::Test { a } => {
+                    let x = self.regs.get(a);
+                    self.regs.flags.set_test(x, x);
+                }
+                Insn::SetCc { cond, dst } => {
+                    let v = self.cond_holds(cond) as u64;
+                    self.regs.set(dst, v);
+                }
+                Insn::LoadAbs { dst, addr: a } => {
+                    let v = try_mem!(self.mem.read_u64(a));
+                    self.regs.set(dst, v);
+                }
+                Insn::VLoadAbs { dst, addr: a } => {
+                    if a % 32 != 0 {
+                        fault!(Fault::Misaligned { addr: a, align: 32 });
+                    }
+                    let mut buf = [0u8; 32];
+                    try_mem!(self.mem.read(a, &mut buf));
+                    self.regs.set_ymm(dst, buf);
+                    self.ymm_dirty = true;
+                }
+                Insn::Call { target } => {
+                    self.charge_avx_transition();
+                    self.stats.calls += 1;
+                    let ra = addr + insn.len();
+                    try_mem!(self.push_word(ra));
+                    jump_to!(target);
+                }
+                Insn::CallInd { target } => {
+                    self.charge_avx_transition();
+                    self.stats.calls += 1;
+                    let t = self.regs.get(target);
+                    let ra = addr + insn.len();
+                    try_mem!(self.push_word(ra));
+                    jump_to!(t);
+                }
+                Insn::CallNative { native } => {
+                    self.stats.native_calls += 1;
+                    if let Err(f) = self.do_native(native, addr) {
+                        fault!(f);
+                    }
+                    if self.cfg.break_on_probe
+                        && self.natives.get(native as usize) == Some(&NativeKind::StackProbe)
+                    {
+                        self.pending_resume = Some(idx + 1);
+                        return self.finish(ExitStatus::Probed);
+                    }
+                }
+                Insn::Ret => {
+                    self.charge_avx_transition();
+                    self.stats.rets += 1;
+                    let ra = try_mem!(self.pop_word());
+                    if ra == EXIT_SENTINEL {
+                        let rax = self.regs.get(Gpr::Rax);
+                        return self.finish(ExitStatus::Exited(rax as i64));
+                    }
+                    jump_to!(ra);
+                }
+                Insn::Jmp { target } => jump_to!(target),
+                Insn::JmpInd { target } => {
+                    let t = self.regs.get(target);
+                    jump_to!(t);
+                }
+                Insn::Jcc { cond, target } => {
+                    if self.cond_holds(cond) {
+                        self.stats.cycles +=
+                            self.cfg.machine.taken_branch_cost - self.cfg.machine.branch_cost;
+                        jump_to!(target);
+                    }
+                }
+                Insn::Nop { .. } => {}
+                Insn::Trap => fault!(Fault::BoobyTrap { addr }),
+                Insn::VLoad { dst, mem, aligned } => {
+                    let a = self.ea(&mem);
+                    if aligned && a % 32 != 0 {
+                        fault!(Fault::Misaligned { addr: a, align: 32 });
+                    }
+                    let mut buf = [0u8; 32];
+                    try_mem!(self.mem.read(a, &mut buf));
+                    self.regs.set_ymm(dst, buf);
+                    self.ymm_dirty = true;
+                }
+                Insn::VStore { mem, src, aligned } => {
+                    let a = self.ea(&mem);
+                    if aligned && a % 32 != 0 {
+                        fault!(Fault::Misaligned { addr: a, align: 32 });
+                    }
+                    let buf = self.regs.get_ymm(src);
+                    try_mem!(self.mem.write(a, &buf));
+                    self.ymm_dirty = true;
+                }
+                Insn::VZeroUpper => {
+                    self.regs.vzeroupper();
+                    self.ymm_dirty = false;
+                }
+                Insn::Halt => {
+                    let code = self.regs.get(Gpr::Rdi);
+                    return self.finish(ExitStatus::Exited(code as i64));
+                }
+            }
+            idx += 1;
+            if idx as usize >= self.insns.len() {
+                return self.finish(ExitStatus::Faulted(Fault::InvalidJump {
+                    target: addr + insn.len(),
+                }));
+            }
+        }
+    }
+
+    #[inline]
+    fn charge_avx_transition(&mut self) {
+        if self.ymm_dirty {
+            self.stats.cycles += self.cfg.machine.avx_transition_penalty;
+            self.stats.avx_transitions += 1;
+        }
+    }
+
+    fn do_native(&mut self, native: u16, probe_pc: VAddr) -> Result<(), Fault> {
+        let kind = *self
+            .natives
+            .get(native as usize)
+            .ok_or(Fault::NativeError { native })?;
+        match kind {
+            NativeKind::Malloc => {
+                let size = self.regs.get(Gpr::Rdi);
+                let p = self.heap.malloc(&mut self.mem, size).unwrap_or(0);
+                self.regs.set(Gpr::Rax, p);
+            }
+            NativeKind::Free => {
+                let p = self.regs.get(Gpr::Rdi);
+                self.heap.free(p)?;
+            }
+            NativeKind::Memalign => {
+                let align = self.regs.get(Gpr::Rdi);
+                let size = self.regs.get(Gpr::Rsi);
+                let p = self.heap.memalign(&mut self.mem, align, size).unwrap_or(0);
+                self.regs.set(Gpr::Rax, p);
+            }
+            NativeKind::Mprotect => {
+                let addr = self.regs.get(Gpr::Rdi);
+                let len = self.regs.get(Gpr::Rsi);
+                let bits = self.regs.get(Gpr::Rdx);
+                let mut perms = Perms::NONE;
+                if bits & 1 != 0 {
+                    perms = perms.union(Perms::R);
+                }
+                if bits & 2 != 0 {
+                    perms = perms.union(Perms::W);
+                }
+                if bits & 4 != 0 {
+                    perms = perms.union(Perms::X);
+                }
+                let rc = if self.mem.protect(addr, len, perms).is_ok() {
+                    0u64
+                } else {
+                    u64::MAX
+                };
+                self.regs.set(Gpr::Rax, rc);
+            }
+            NativeKind::PrintI64 => {
+                let v = self.regs.get(Gpr::Rdi);
+                self.output.push(v as i64);
+            }
+            NativeKind::PutChar => {
+                let v = self.regs.get(Gpr::Rdi) & 0xff;
+                self.output.push(v as i64);
+            }
+            NativeKind::StackProbe => {
+                let rsp = self.regs.get(Gpr::Rsp);
+                let len = (2 * crate::mem::PAGE_SIZE) as usize;
+                let mut buf = vec![0u8; len];
+                self.mem.peek(rsp, &mut buf);
+                self.probes.push(StackSnapshot {
+                    pc: probe_pc,
+                    rsp,
+                    bytes: buf,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // --- Attacker primitives (threat model of paper §3) ---------------
+
+    /// Arbitrary-read primitive: permission-checked read of `len` bytes.
+    ///
+    /// A denied read is what the process would experience as a segfault;
+    /// guard-page hits are additionally recorded as detections, which is
+    /// the reactive component of R²C.
+    pub fn attacker_read(&mut self, addr: VAddr, len: usize) -> Result<Vec<u8>, Fault> {
+        let mut buf = vec![0u8; len];
+        match self.mem.read(addr, &mut buf) {
+            Ok(()) => Ok(buf),
+            Err(f) => {
+                self.note_fault(&f);
+                Err(f)
+            }
+        }
+    }
+
+    /// Arbitrary-read of one 64-bit word.
+    pub fn attacker_read_u64(&mut self, addr: VAddr) -> Result<u64, Fault> {
+        let b = self.attacker_read(addr, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Arbitrary-write primitive (permission-checked).
+    pub fn attacker_write(&mut self, addr: VAddr, bytes: &[u8]) -> Result<(), Fault> {
+        match self.mem.write(addr, bytes) {
+            Ok(()) => Ok(()),
+            Err(f) => {
+                self.note_fault(&f);
+                Err(f)
+            }
+        }
+    }
+
+    /// Arbitrary-write of one 64-bit word.
+    pub fn attacker_write_u64(&mut self, addr: VAddr, val: u64) -> Result<(), Fault> {
+        self.attacker_write(addr, &val.to_le_bytes())
+    }
+
+    /// Leaks a window of the stack, as Malicious Thread Blocking allows
+    /// (paper §2.3): returns `words` 64-bit values starting at `addr`.
+    pub fn leak_stack(&mut self, addr: VAddr, words: usize) -> Result<Vec<u64>, Fault> {
+        let bytes = self.attacker_read(addr, words * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Control-flow hijack: transfers control to `target` (e.g. a gadget
+    /// address or function entry) and runs until return/halt/fault. The
+    /// return lands on the exit sentinel, modelling an attack payload
+    /// that regains control afterwards.
+    pub fn hijack(&mut self, target: VAddr) -> RunOutcome {
+        self.call(target, &[])
+    }
+
+    /// Executes a full ROP chain: writes the gadget addresses to the
+    /// stack (last entry is where control goes when the final gadget
+    /// returns — the exit sentinel is appended automatically) and
+    /// transfers control to the first gadget. Each gadget's terminating
+    /// `ret` pops the next entry, exactly like a real chain.
+    pub fn hijack_chain(&mut self, gadgets: &[VAddr]) -> RunOutcome {
+        assert!(!gadgets.is_empty());
+        let mut rsp = self.regs.get(Gpr::Rsp) & !15;
+        // Push sentinel first (bottom of chain), then the gadgets in
+        // reverse so that gadgets[0] is on top.
+        rsp -= 8;
+        if let Err(f) = self.mem.write_u64(rsp, EXIT_SENTINEL) {
+            return self.finish(ExitStatus::Faulted(f));
+        }
+        for &g in gadgets[1..].iter().rev() {
+            rsp -= 8;
+            if let Err(f) = self.mem.write_u64(rsp, g) {
+                return self.finish(ExitStatus::Faulted(f));
+            }
+        }
+        self.regs.set(Gpr::Rsp, rsp);
+        match self.index.get(&gadgets[0]) {
+            Some(&idx) => self.exec_from(idx),
+            None => self.finish(ExitStatus::Faulted(Fault::InvalidJump {
+                target: gadgets[0],
+            })),
+        }
+    }
+
+    /// Reads the current stack pointer.
+    pub fn rsp(&self) -> VAddr {
+        self.regs.get(Gpr::Rsp)
+    }
+
+    /// Address-space introspection for evaluation (ground truth, not an
+    /// attacker capability): permissions at an address.
+    pub fn perms_at(&self, addr: VAddr) -> Option<Perms> {
+        self.mem.perms_at(addr)
+    }
+
+    /// Decodes the instruction at `addr` *if the attacker can read it*,
+    /// modelling direct code disclosure for JIT-ROP. With execute-only
+    /// text this fails with a protection fault.
+    pub fn attacker_disassemble(&mut self, addr: VAddr) -> Result<Insn, Fault> {
+        // Reading one byte is enough to trigger the permission check.
+        self.attacker_read(addr, 1)?;
+        match self.index.get(&addr) {
+            Some(&i) => Ok(self.insns[i as usize]),
+            None => Err(Fault::InvalidJump { target: addr }),
+        }
+    }
+
+    /// The YMM scratch register reserved for the AVX2 BTRA setup.
+    pub fn btra_scratch_ymm() -> Ymm {
+        Ymm(15)
+    }
+}
+
+#[inline]
+fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Imul => a.wrapping_mul(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32 & 63),
+        AluOp::Shr => a.wrapping_shr(b as u32 & 63),
+        AluOp::Sar => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{SectionLayout, Symbol, SymbolKind};
+    use crate::machine::MachineKind;
+    use crate::mem::PAGE_SIZE;
+    use crate::unwind::UnwindTable;
+
+    /// Hand-assembles an image from instructions laid out contiguously.
+    fn asm(insns: Vec<Insn>, natives: Vec<NativeKind>) -> Image {
+        let text_base = 0x40_0000u64;
+        let mut addrs = Vec::new();
+        let mut a = text_base;
+        for i in &insns {
+            addrs.push(a);
+            a += i.len();
+        }
+        let text_end = (a + PAGE_SIZE - 1) / PAGE_SIZE * PAGE_SIZE;
+        Image {
+            insns,
+            insn_addrs: addrs,
+            layout: SectionLayout {
+                text_base,
+                text_end,
+                data_base: 0x60_0000,
+                data_end: 0x60_4000,
+                heap_base: 0x10_0000_0000,
+                heap_size: 16 * 1024 * 1024,
+                stack_top: 0x7fff_ffff_f000,
+                stack_size: 1024 * 1024,
+            },
+            entry: text_base,
+            constructors: vec![],
+            data_init: vec![],
+            xom: true,
+            symbols: vec![Symbol {
+                name: "main".into(),
+                addr: text_base,
+                size: 0,
+                kind: SymbolKind::Function,
+            }],
+            natives,
+            unwind: UnwindTable::default(),
+        }
+    }
+
+    fn vm(insns: Vec<Insn>) -> Vm {
+        Vm::new(
+            &asm(insns, vec![NativeKind::Malloc, NativeKind::PrintI64]),
+            VmConfig::new(MachineKind::EpycRome.config()),
+        )
+    }
+
+    #[test]
+    fn mov_and_exit() {
+        let mut v = vm(vec![
+            Insn::MovImm {
+                dst: Gpr::Rax,
+                imm: 42,
+            },
+            Insn::Ret,
+        ]);
+        let out = v.run();
+        assert_eq!(out.status, ExitStatus::Exited(42));
+        assert_eq!(out.stats.instructions, 2);
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        // Sum 1..=10 via a loop: rax = acc, rcx = i.
+        let base = 0x40_0000u64;
+        let insns = vec![
+            Insn::MovImm {
+                dst: Gpr::Rax,
+                imm: 0,
+            }, // +0, len 5
+            Insn::MovImm {
+                dst: Gpr::Rcx,
+                imm: 1,
+            }, // +5, len 5
+            Insn::AluReg {
+                op: AluOp::Add,
+                dst: Gpr::Rax,
+                src: Gpr::Rcx,
+            }, // +10, len 3
+            Insn::AluImm {
+                op: AluOp::Add,
+                dst: Gpr::Rcx,
+                imm: 1,
+            }, // +13, len 4
+            Insn::CmpImm {
+                a: Gpr::Rcx,
+                imm: 10,
+            }, // +17, len 4
+            Insn::Jcc {
+                cond: Cond::Le,
+                target: base + 10,
+            }, // +21
+            Insn::Ret,
+        ];
+        let mut v = vm(insns);
+        assert_eq!(v.run().status, ExitStatus::Exited(55));
+    }
+
+    #[test]
+    fn call_and_return() {
+        let base = 0x40_0000u64;
+        // main: call f (at base+10); ret. f: mov rax, 7; ret.
+        let insns = vec![
+            Insn::Call { target: base + 6 }, // len 5
+            Insn::Ret,                       // +5
+            Insn::MovImm {
+                dst: Gpr::Rax,
+                imm: 7,
+            }, // +6  <- f
+            Insn::Ret,
+        ];
+        let mut v = vm(insns);
+        let out = v.run();
+        assert_eq!(out.status, ExitStatus::Exited(7));
+        assert_eq!(out.stats.calls, 1);
+        assert_eq!(out.stats.rets, 2);
+    }
+
+    #[test]
+    fn trap_faults_and_detects() {
+        let mut v = vm(vec![Insn::Trap]);
+        let out = v.run();
+        assert!(matches!(
+            out.status,
+            ExitStatus::Faulted(Fault::BoobyTrap { .. })
+        ));
+        assert_eq!(v.detections().len(), 1);
+    }
+
+    #[test]
+    fn invalid_jump_faults() {
+        let mut v = vm(vec![
+            Insn::MovImm {
+                dst: Gpr::Rax,
+                imm: 0xdead,
+            },
+            Insn::JmpInd { target: Gpr::Rax },
+        ]);
+        assert!(matches!(
+            v.run().status,
+            ExitStatus::Faulted(Fault::InvalidJump { target: 0xdead })
+        ));
+    }
+
+    #[test]
+    fn native_malloc_gives_heap_pointer() {
+        let insns = vec![
+            Insn::MovImm {
+                dst: Gpr::Rdi,
+                imm: 128,
+            },
+            Insn::CallNative { native: 0 },
+            Insn::Ret,
+        ];
+        let mut v = vm(insns);
+        let out = v.run();
+        let ExitStatus::Exited(p) = out.status else {
+            panic!()
+        };
+        assert!(p as u64 >= 0x10_0000_0000);
+        assert_eq!(out.stats.native_calls, 1);
+    }
+
+    #[test]
+    fn print_output_collected() {
+        let insns = vec![
+            Insn::MovImm {
+                dst: Gpr::Rdi,
+                imm: 99,
+            },
+            Insn::CallNative { native: 1 },
+            Insn::Ret,
+        ];
+        let mut v = vm(insns);
+        v.run();
+        assert_eq!(v.output, vec![99]);
+    }
+
+    #[test]
+    fn attacker_cannot_read_xom_text() {
+        let mut v = vm(vec![Insn::Ret]);
+        let err = v.attacker_read(0x40_0000, 8).unwrap_err();
+        assert!(matches!(err, Fault::Protection { .. }));
+        // XoM read denial is a crash but not a booby-trap detection.
+        assert!(v.detections().is_empty());
+    }
+
+    #[test]
+    fn attacker_disassemble_works_without_xom() {
+        let mut img = asm(vec![Insn::Ret], vec![]);
+        img.xom = false;
+        let mut v = Vm::new(&img, VmConfig::new(MachineKind::EpycRome.config()));
+        assert_eq!(v.attacker_disassemble(0x40_0000).unwrap(), Insn::Ret);
+    }
+
+    #[test]
+    fn guard_page_hit_is_detected() {
+        let mut v = vm(vec![Insn::Ret]);
+        // Forge a guard page on the heap.
+        v.mem.map(0x10_0000_0000, PAGE_SIZE, Perms::NONE);
+        assert!(v.attacker_read_u64(0x10_0000_0100).is_err());
+        assert_eq!(v.detections().len(), 1);
+        assert!(matches!(v.detections()[0], Detection::GuardPage { .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let base = 0x40_0000u64;
+        let mut v = Vm::new(
+            &asm(vec![Insn::Jmp { target: base }], vec![]),
+            VmConfig {
+                machine: MachineKind::EpycRome.config(),
+                insn_budget: 1000,
+                break_on_probe: false,
+            },
+        );
+        assert!(matches!(
+            v.run().status,
+            ExitStatus::Faulted(Fault::BudgetExhausted)
+        ));
+    }
+
+    #[test]
+    fn vector_roundtrip_through_stack() {
+        let insns = vec![
+            // Write 32 bytes of pattern into ymm1 via memory.
+            Insn::MovImm {
+                dst: Gpr::Rax,
+                imm: 0x0102030405060708,
+            },
+            Insn::Push { src: Gpr::Rax },
+            Insn::Push { src: Gpr::Rax },
+            Insn::Push { src: Gpr::Rax },
+            Insn::Push { src: Gpr::Rax },
+            Insn::VLoad {
+                dst: Ymm(1),
+                mem: MemRef::base(Gpr::Rsp),
+                aligned: false,
+            },
+            Insn::VStore {
+                mem: MemRef::base_disp(Gpr::Rsp, -64),
+                src: Ymm(1),
+                aligned: false,
+            },
+            Insn::Load {
+                dst: Gpr::Rax,
+                mem: MemRef::base_disp(Gpr::Rsp, -64),
+            },
+            Insn::AluImm {
+                op: AluOp::Add,
+                dst: Gpr::Rsp,
+                imm: 32,
+            },
+            Insn::Ret,
+        ];
+        let mut v = vm(insns);
+        assert_eq!(v.run().status, ExitStatus::Exited(0x0102030405060708));
+    }
+
+    #[test]
+    fn vmovdqa_misalignment_faults() {
+        let insns = vec![
+            // rsp is 16-aligned at entry minus 8; rsp+4 is misaligned.
+            Insn::VLoad {
+                dst: Ymm(0),
+                mem: MemRef::base_disp(Gpr::Rsp, 4),
+                aligned: true,
+            },
+            Insn::Ret,
+        ];
+        let mut v = vm(insns);
+        assert!(matches!(
+            v.run().status,
+            ExitStatus::Faulted(Fault::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn avx_transition_penalty_without_vzeroupper() {
+        let base = 0x40_0000u64;
+        let f = |with_vzu: bool| {
+            let mut insns = vec![Insn::VLoad {
+                dst: Ymm(0),
+                mem: MemRef::base_disp(Gpr::Rsp, -32),
+                aligned: false,
+            }];
+            if with_vzu {
+                insns.push(Insn::VZeroUpper);
+            }
+            insns.push(Insn::Ret);
+            let mut v = Vm::new(
+                &asm(insns, vec![]),
+                VmConfig::new(MachineKind::EpycRome.config()),
+            );
+            let _ = base;
+            let out = v.run();
+            (out.stats.avx_transitions, out.stats.cycles)
+        };
+        let (trans_no, _) = f(false);
+        let (trans_yes, _) = f(true);
+        assert_eq!(trans_no, 1);
+        assert_eq!(trans_yes, 0);
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let insns = vec![
+            Insn::MovImm {
+                dst: Gpr::Rax,
+                imm: 10,
+            },
+            Insn::MovImm {
+                dst: Gpr::Rcx,
+                imm: 0,
+            },
+            Insn::Div {
+                dst: Gpr::Rax,
+                src: Gpr::Rcx,
+            },
+            Insn::Ret,
+        ];
+        let mut v = vm(insns);
+        assert!(matches!(
+            v.run().status,
+            ExitStatus::Faulted(Fault::DivideByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let base = 0x40_0000u64;
+        // Infinite recursion.
+        let insns = vec![Insn::Call { target: base }];
+        let mut v = vm(insns);
+        assert!(matches!(
+            v.run().status,
+            ExitStatus::Faulted(Fault::StackOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn div_and_rem_semantics() {
+        let insns = vec![
+            Insn::MovImm {
+                dst: Gpr::Rax,
+                imm: (-17i64) as u64,
+            },
+            Insn::MovImm {
+                dst: Gpr::Rcx,
+                imm: 5,
+            },
+            Insn::Rem {
+                dst: Gpr::Rax,
+                src: Gpr::Rcx,
+            },
+            Insn::Ret,
+        ];
+        let mut v = vm(insns);
+        assert_eq!(v.run().status, ExitStatus::Exited(-2));
+    }
+}

@@ -1,0 +1,163 @@
+//! Hardware faults and reactive-defense detection events.
+
+use crate::mem::Perms;
+use crate::VAddr;
+
+/// A hardware fault raised by the simulated machine.
+///
+/// Faults terminate execution of the guest, the way a signal without a
+/// handler terminates a process. Under R²C, several fault kinds double as
+/// *detection events*: hitting a booby trap or a BTDP guard page tells the
+/// defender an attack is in progress (paper §4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Access to an unmapped page.
+    Unmapped {
+        /// Faulting address.
+        addr: VAddr,
+    },
+    /// Access violated page permissions (includes reads of execute-only
+    /// text and any access to a guard page).
+    Protection {
+        /// Faulting address.
+        addr: VAddr,
+        /// Permissions of the page that was hit.
+        perms: Perms,
+        /// True for a write access, false for a read/fetch.
+        write: bool,
+    },
+    /// Control transferred to an address that is not the start of an
+    /// instruction in executable memory.
+    InvalidJump {
+        /// The bogus target.
+        target: VAddr,
+    },
+    /// A booby-trap instruction was executed (BTRA fired).
+    BoobyTrap {
+        /// Address of the trap instruction.
+        addr: VAddr,
+    },
+    /// An aligned vector access (`vmovdqa`) hit a misaligned address.
+    Misaligned {
+        /// The misaligned address.
+        addr: VAddr,
+        /// Required alignment in bytes.
+        align: u64,
+    },
+    /// Integer division by zero.
+    DivideByZero {
+        /// Address of the faulting instruction.
+        addr: VAddr,
+    },
+    /// The instruction budget was exhausted (runaway guest).
+    BudgetExhausted,
+    /// Guest stack overflowed its reservation.
+    StackOverflow {
+        /// Stack pointer value at overflow.
+        rsp: VAddr,
+    },
+    /// A native (hypercall) function was invoked with invalid arguments.
+    NativeError {
+        /// Numeric code identifying the native function.
+        native: u16,
+    },
+}
+
+impl Fault {
+    /// True if this fault is one a reactive defense would flag as an
+    /// attack indicator: booby traps and guard-page hits.
+    ///
+    /// An `Unmapped` fault is *not* counted: a benign wild pointer can
+    /// produce it, and the paper's reactive component is specifically
+    /// about booby traps and BTDP guard pages.
+    pub fn is_detection(&self) -> bool {
+        matches!(
+            self,
+            Fault::BoobyTrap { .. }
+                | Fault::Protection {
+                    perms: Perms::NONE,
+                    ..
+                }
+        )
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Unmapped { addr } => write!(f, "segfault: unmapped address {addr:#x}"),
+            Fault::Protection { addr, perms, write } => write!(
+                f,
+                "segfault: {} of {addr:#x} denied (page is {perms})",
+                if *write { "write" } else { "read" }
+            ),
+            Fault::InvalidJump { target } => write!(f, "invalid jump target {target:#x}"),
+            Fault::BoobyTrap { addr } => write!(f, "booby trap fired at {addr:#x}"),
+            Fault::Misaligned { addr, align } => {
+                write!(
+                    f,
+                    "misaligned access at {addr:#x} (requires {align}-byte alignment)"
+                )
+            }
+            Fault::DivideByZero { addr } => write!(f, "division by zero at {addr:#x}"),
+            Fault::BudgetExhausted => write!(f, "instruction budget exhausted"),
+            Fault::StackOverflow { rsp } => write!(f, "stack overflow (rsp = {rsp:#x})"),
+            Fault::NativeError { native } => write!(f, "native function {native} error"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// A reactive-defense detection event recorded by the VM monitor.
+///
+/// The paper argues that dereferencing a BTDP "causes a segmentation
+/// fault that can be handled by the program or a monitoring system"
+/// (§4.2); this type is that monitoring system's log entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Detection {
+    /// A booby-trap function was entered / trap instruction executed.
+    BoobyTrap {
+        /// Address of the trap.
+        addr: VAddr,
+    },
+    /// A BTDP guard page was touched.
+    GuardPage {
+        /// Faulting address inside the guard page.
+        addr: VAddr,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_classification() {
+        assert!(Fault::BoobyTrap { addr: 0x40 }.is_detection());
+        assert!(Fault::Protection {
+            addr: 0x1000,
+            perms: Perms::NONE,
+            write: false
+        }
+        .is_detection());
+        // Execute-only read denial is a crash, not a booby-trap detection.
+        assert!(!Fault::Protection {
+            addr: 0x1000,
+            perms: Perms::XO,
+            write: false
+        }
+        .is_detection());
+        assert!(!Fault::Unmapped { addr: 0x1000 }.is_detection());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Fault::Misaligned {
+            addr: 0x10,
+            align: 32,
+        }
+        .to_string();
+        assert!(s.contains("0x10") && s.contains("32"));
+    }
+}

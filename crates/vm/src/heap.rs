@@ -1,0 +1,280 @@
+//! A glibc-like guest heap allocator.
+//!
+//! The paper's BTDP constructor leans on concrete allocator behaviour
+//! (§5.2): it `memalign`s page-aligned page-sized chunks, frees all but a
+//! random subset, and relies on the kept chunks staying out of circulation
+//! so their pages can be turned into guards. This allocator provides the
+//! needed semantics: first-fit with splitting and coalescing over a
+//! dedicated heap region, page mapping on demand, and no page recycling
+//! for live allocations.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::fault::Fault;
+use crate::mem::{Memory, Perms, PAGE_SIZE};
+use crate::VAddr;
+
+/// Minimum allocation alignment, like glibc malloc.
+pub const MIN_ALIGN: u64 = 16;
+
+/// Guest heap state.
+///
+/// Chunk metadata is kept host-side (a hardened allocator would do the
+/// same out-of-line bookkeeping); the payload bytes live in guest memory
+/// and are fully visible to value-range analysis and heap leaks.
+pub struct Heap {
+    base: VAddr,
+    size: u64,
+    /// Free extents, keyed by start address.
+    free: BTreeMap<VAddr, u64>,
+    /// Live allocations: start → size.
+    live: HashMap<VAddr, u64>,
+    /// Total bytes currently allocated.
+    in_use: u64,
+    /// Number of successful allocations, for stats.
+    pub alloc_count: u64,
+}
+
+impl Heap {
+    /// Creates a heap spanning `[base, base + size)`.
+    pub fn new(base: VAddr, size: u64) -> Heap {
+        debug_assert_eq!(base % PAGE_SIZE, 0);
+        let mut free = BTreeMap::new();
+        free.insert(base, size);
+        Heap {
+            base,
+            size,
+            free,
+            live: HashMap::new(),
+            in_use: 0,
+            alloc_count: 0,
+        }
+    }
+
+    /// Start of the heap region.
+    pub fn base(&self) -> VAddr {
+        self.base
+    }
+
+    /// Size of the heap region in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// `malloc(size)`: returns a 16-byte-aligned allocation, mapping the
+    /// backing pages read-write on demand.
+    pub fn malloc(&mut self, mem: &mut Memory, size: u64) -> Option<VAddr> {
+        self.memalign(mem, MIN_ALIGN, size)
+    }
+
+    /// `memalign(align, size)`.
+    ///
+    /// `align` must be a power of two; it is raised to [`MIN_ALIGN`].
+    pub fn memalign(&mut self, mem: &mut Memory, align: u64, size: u64) -> Option<VAddr> {
+        let align = align.max(MIN_ALIGN);
+        if !align.is_power_of_two() {
+            return None;
+        }
+        let size = size.max(1).next_multiple_of(MIN_ALIGN);
+        // First fit over free extents.
+        let mut found: Option<(VAddr, u64, VAddr)> = None;
+        for (&start, &len) in &self.free {
+            let aligned = start.next_multiple_of(align);
+            let pad = aligned - start;
+            if len >= pad + size {
+                found = Some((start, len, aligned));
+                break;
+            }
+        }
+        let (start, len, aligned) = found?;
+        self.free.remove(&start);
+        let pad = aligned - start;
+        if pad > 0 {
+            self.free.insert(start, pad);
+        }
+        let tail = len - pad - size;
+        if tail > 0 {
+            self.free.insert(aligned + size, tail);
+        }
+        self.live.insert(aligned, size);
+        self.in_use += size;
+        self.alloc_count += 1;
+        // Map backing pages read-write. Pages may already be mapped from
+        // earlier allocations sharing them; `map` preserves contents but
+        // resets permissions, so skip pages that are already mapped
+        // (e.g. a neighbouring guard page must stay a guard).
+        let first = aligned / PAGE_SIZE;
+        let last = (aligned + size - 1) / PAGE_SIZE;
+        for p in first..=last {
+            if !mem.is_mapped(p * PAGE_SIZE) {
+                mem.map(p * PAGE_SIZE, PAGE_SIZE, Perms::RW);
+            }
+        }
+        Some(aligned)
+    }
+
+    /// `free(ptr)`. Freeing a null pointer is a no-op; freeing an unknown
+    /// pointer is reported as a fault (heap corruption).
+    pub fn free(&mut self, ptr: VAddr) -> Result<(), Fault> {
+        if ptr == 0 {
+            return Ok(());
+        }
+        let size = self
+            .live
+            .remove(&ptr)
+            .ok_or(Fault::Unmapped { addr: ptr })?;
+        self.in_use -= size;
+        // Insert and coalesce with neighbours.
+        let mut start = ptr;
+        let mut len = size;
+        if let Some((&prev_start, &prev_len)) = self.free.range(..ptr).next_back() {
+            if prev_start + prev_len == start {
+                self.free.remove(&prev_start);
+                start = prev_start;
+                len += prev_len;
+            }
+        }
+        if let Some((&next_start, &next_len)) = self.free.range(ptr + size..).next() {
+            if start + len == next_start {
+                self.free.remove(&next_start);
+                len += next_len;
+            }
+        }
+        self.free.insert(start, len);
+        Ok(())
+    }
+
+    /// Size of a live allocation, if `ptr` is one.
+    pub fn allocation_size(&self, ptr: VAddr) -> Option<u64> {
+        self.live.get(&ptr).copied()
+    }
+
+    /// Iterates over live allocations as `(addr, size)`.
+    pub fn live_allocations(&self) -> impl Iterator<Item = (VAddr, u64)> + '_ {
+        self.live.iter().map(|(&a, &s)| (a, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Memory, Heap) {
+        (Memory::new(), Heap::new(0x10_0000_0000, 64 * 1024 * 1024))
+    }
+
+    #[test]
+    fn malloc_returns_aligned_usable_memory() {
+        let (mut mem, mut heap) = setup();
+        let p = heap.malloc(&mut mem, 100).unwrap();
+        assert_eq!(p % MIN_ALIGN, 0);
+        mem.write_u64(p, 42).unwrap();
+        assert_eq!(mem.read_u64(p).unwrap(), 42);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let (mut mem, mut heap) = setup();
+        let mut ptrs = Vec::new();
+        for i in 1..50u64 {
+            ptrs.push((heap.malloc(&mut mem, i * 8).unwrap(), i * 8));
+        }
+        let mut sorted = ptrs.clone();
+        sorted.sort();
+        for w in sorted.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.malloc(&mut mem, 64).unwrap();
+        heap.free(a).unwrap();
+        let b = heap.malloc(&mut mem, 64).unwrap();
+        assert_eq!(a, b, "first-fit must reuse the freed block");
+    }
+
+    #[test]
+    fn coalescing_allows_large_realloc() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.malloc(&mut mem, 4096).unwrap();
+        let b = heap.malloc(&mut mem, 4096).unwrap();
+        // A sentinel allocation after b so the tail extent is separate.
+        let _c = heap.malloc(&mut mem, 16).unwrap();
+        heap.free(a).unwrap();
+        heap.free(b).unwrap();
+        let d = heap.malloc(&mut mem, 8192).unwrap();
+        assert_eq!(d, a, "coalesced block must satisfy the large request");
+    }
+
+    #[test]
+    fn memalign_page_aligned() {
+        let (mut mem, mut heap) = setup();
+        let _pad = heap.malloc(&mut mem, 24).unwrap();
+        let p = heap.memalign(&mut mem, PAGE_SIZE, PAGE_SIZE).unwrap();
+        assert_eq!(p % PAGE_SIZE, 0);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.malloc(&mut mem, 64).unwrap();
+        heap.free(a).unwrap();
+        assert!(heap.free(a).is_err());
+    }
+
+    #[test]
+    fn free_null_is_noop() {
+        let (_, mut heap) = setup();
+        assert!(heap.free(0).is_ok());
+    }
+
+    #[test]
+    fn kept_allocation_not_recycled() {
+        // The BTDP pattern: allocate many page chunks, free some, and the
+        // kept ones must never be handed out again.
+        let (mut mem, mut heap) = setup();
+        let chunks: Vec<_> = (0..16)
+            .map(|_| heap.memalign(&mut mem, PAGE_SIZE, PAGE_SIZE).unwrap())
+            .collect();
+        for (i, &c) in chunks.iter().enumerate() {
+            if i % 2 == 0 {
+                heap.free(c).unwrap();
+            }
+        }
+        for _ in 0..64 {
+            let p = heap.malloc(&mut mem, 512).unwrap();
+            for (i, &c) in chunks.iter().enumerate() {
+                if i % 2 == 1 {
+                    assert!(p + 512 <= c || p >= c + PAGE_SIZE, "kept chunk recycled");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut mem = Memory::new();
+        let mut heap = Heap::new(0x10_0000_0000, 4096);
+        assert!(heap.malloc(&mut mem, 8192).is_none());
+    }
+
+    #[test]
+    fn guard_page_perms_survive_neighbour_allocation() {
+        let (mut mem, mut heap) = setup();
+        let g = heap.memalign(&mut mem, PAGE_SIZE, PAGE_SIZE).unwrap();
+        mem.protect(g, PAGE_SIZE, Perms::NONE).unwrap();
+        // Subsequent allocations land elsewhere and must not undo the guard.
+        for _ in 0..32 {
+            heap.malloc(&mut mem, 4096).unwrap();
+        }
+        assert_eq!(mem.perms_at(g), Some(Perms::NONE));
+    }
+}

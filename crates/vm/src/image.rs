@@ -1,0 +1,276 @@
+//! Loadable program images.
+//!
+//! An [`Image`] is the fully linked, relocated form of a program: absolute
+//! instruction addresses, initialized data, symbols, constructors and an
+//! unwind table. The code generator (crate `r2c-codegen`) produces images;
+//! the [`Vm`](crate::Vm) executes them.
+
+use std::collections::HashMap;
+
+use crate::insn::Insn;
+use crate::unwind::UnwindTable;
+use crate::VAddr;
+
+/// Address-space layout of a loaded image.
+///
+/// The bases are chosen by the linker's ASLR pass; the attacker does not
+/// get this structure (it is ground truth for evaluation, e.g. to score a
+/// value-range clustering as "correctly identified a heap pointer").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionLayout {
+    /// Start of the text section.
+    pub text_base: VAddr,
+    /// One past the last text byte.
+    pub text_end: VAddr,
+    /// Start of the data section (globals + GOT).
+    pub data_base: VAddr,
+    /// One past the last data byte.
+    pub data_end: VAddr,
+    /// Start of the heap region (grows upward).
+    pub heap_base: VAddr,
+    /// Maximum heap size in bytes.
+    pub heap_size: u64,
+    /// Highest stack address (stack grows downward from here).
+    pub stack_top: VAddr,
+    /// Stack reservation in bytes.
+    pub stack_size: u64,
+}
+
+impl SectionLayout {
+    /// Classifies an address by the region it falls into, if any.
+    pub fn region_of(&self, addr: VAddr) -> Option<Region> {
+        if (self.text_base..self.text_end).contains(&addr) {
+            Some(Region::Text)
+        } else if (self.data_base..self.data_end).contains(&addr) {
+            Some(Region::Data)
+        } else if (self.heap_base..self.heap_base + self.heap_size).contains(&addr) {
+            Some(Region::Heap)
+        } else if (self.stack_top - self.stack_size..self.stack_top).contains(&addr) {
+            Some(Region::Stack)
+        } else {
+            None
+        }
+    }
+}
+
+/// A coarse memory region, as used in AOCR's pointer-cluster analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[allow(missing_docs)]
+pub enum Region {
+    Text,
+    Data,
+    Heap,
+    Stack,
+}
+
+/// What a symbol denotes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SymbolKind {
+    /// An ordinary function (entry address).
+    Function,
+    /// A booby-trap function inserted by R²C.
+    BoobyTrap,
+    /// A global variable in the data section.
+    Global,
+}
+
+/// A named address in the image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Absolute address.
+    pub addr: VAddr,
+    /// Size in bytes (function body or global).
+    pub size: u64,
+    /// Kind of symbol.
+    pub kind: SymbolKind,
+}
+
+/// Native (hypercall) functions the VM runtime provides to guest code.
+///
+/// These stand in for the pieces of glibc the paper links against
+/// unprotected (§6.2): the allocator and minimal I/O.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NativeKind {
+    /// `rax = malloc(rdi)`
+    Malloc,
+    /// `free(rdi)`
+    Free,
+    /// `rax = memalign(rdi /* align */, rsi /* size */)`
+    Memalign,
+    /// `rax = mprotect(rdi, rsi, rdx /* perms bits R=1,W=2,X=4 */)`
+    Mprotect,
+    /// Appends `rdi` (as i64) to the guest's output stream.
+    PrintI64,
+    /// Appends byte `rdi & 0xff` to the guest's output stream (as a
+    /// separate channel entry, tagged as a byte).
+    PutChar,
+    /// Records a stack snapshot (the Malicious-Thread-Blocking hook):
+    /// the guest "blocks" here and the attacker observes its stack
+    /// (paper §2.3). No observable effect on guest state.
+    StackProbe,
+}
+
+/// A fully linked, loadable program.
+#[derive(Clone)]
+pub struct Image {
+    /// Decoded instructions in layout order.
+    pub insns: Vec<Insn>,
+    /// Absolute start address of each instruction; parallel to `insns`
+    /// and strictly increasing.
+    pub insn_addrs: Vec<VAddr>,
+    /// Section layout (ASLR already applied).
+    pub layout: SectionLayout,
+    /// Entry-point address (`main`).
+    pub entry: VAddr,
+    /// Constructor functions run (in order) before `entry`, like
+    /// `.init_array`. R²C's BTDP setup registers itself here (§5.2).
+    pub constructors: Vec<VAddr>,
+    /// Initial contents of the data section: `(addr, bytes)` runs.
+    pub data_init: Vec<(VAddr, Vec<u8>)>,
+    /// Whether the text section is mapped execute-only.
+    pub xom: bool,
+    /// Symbols, for tests/analysis (a stripped attacker does not get
+    /// these; attacks only use them where the paper's threat model grants
+    /// the knowledge, e.g. "the attacker knows the binary").
+    pub symbols: Vec<Symbol>,
+    /// Native-function table referenced by `Insn::CallNative`.
+    pub natives: Vec<NativeKind>,
+    /// Unwind table covering prologue/epilogue and BTRA adjustments.
+    pub unwind: UnwindTable,
+}
+
+impl Image {
+    /// Builds the address → instruction-index map used for control
+    /// transfers.
+    pub fn build_index(&self) -> HashMap<VAddr, u32> {
+        self.insn_addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, i as u32))
+            .collect()
+    }
+
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Address of the function with the given name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol does not exist — this is a test/evaluation
+    /// convenience, not an attacker capability.
+    pub fn func_addr(&self, name: &str) -> VAddr {
+        self.symbol(name)
+            .unwrap_or_else(|| panic!("no symbol named {name:?}"))
+            .addr
+    }
+
+    /// Total text size in bytes.
+    pub fn text_size(&self) -> u64 {
+        self.layout.text_end - self.layout.text_base
+    }
+
+    /// Iterates over function symbols (including booby traps).
+    pub fn functions(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols
+            .iter()
+            .filter(|s| matches!(s.kind, SymbolKind::Function | SymbolKind::BoobyTrap))
+    }
+
+    /// Validates internal consistency (addresses strictly increasing and
+    /// consistent with instruction lengths within contiguous runs).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.insns.len() != self.insn_addrs.len() {
+            return Err("insns and insn_addrs length mismatch".into());
+        }
+        for w in self.insn_addrs.windows(2) {
+            if w[1] <= w[0] {
+                return Err(format!(
+                    "instruction addresses not increasing: {:#x} then {:#x}",
+                    w[0], w[1]
+                ));
+            }
+        }
+        for (i, (&addr, insn)) in self.insn_addrs.iter().zip(&self.insns).enumerate() {
+            if addr < self.layout.text_base || addr + insn.len() > self.layout.text_end {
+                return Err(format!("instruction {i} at {addr:#x} outside text section"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Insn;
+
+    fn tiny_image() -> Image {
+        let layout = SectionLayout {
+            text_base: 0x40_0000,
+            text_end: 0x40_1000,
+            data_base: 0x60_0000,
+            data_end: 0x60_1000,
+            heap_base: 0x10_0000_0000,
+            heap_size: 0x100_0000,
+            stack_top: 0x7fff_ffff_f000,
+            stack_size: 0x10_0000,
+        };
+        Image {
+            insns: vec![
+                Insn::MovImm {
+                    dst: crate::Gpr::Rdi,
+                    imm: 0,
+                },
+                Insn::Halt,
+            ],
+            insn_addrs: vec![0x40_0000, 0x40_0005],
+            layout,
+            entry: 0x40_0000,
+            constructors: vec![],
+            data_init: vec![],
+            xom: true,
+            symbols: vec![Symbol {
+                name: "main".into(),
+                addr: 0x40_0000,
+                size: 7,
+                kind: SymbolKind::Function,
+            }],
+            natives: vec![],
+            unwind: UnwindTable::default(),
+        }
+    }
+
+    #[test]
+    fn region_classification() {
+        let l = tiny_image().layout;
+        assert_eq!(l.region_of(0x40_0010), Some(Region::Text));
+        assert_eq!(l.region_of(0x60_0010), Some(Region::Data));
+        assert_eq!(l.region_of(0x10_0000_1000), Some(Region::Heap));
+        assert_eq!(l.region_of(0x7fff_ffff_e000), Some(Region::Stack));
+        assert_eq!(l.region_of(0xdead_0000_0000), None);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_image() {
+        assert!(tiny_image().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_disordered_addresses() {
+        let mut img = tiny_image();
+        img.insn_addrs.swap(0, 1);
+        assert!(img.validate().is_err());
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        let img = tiny_image();
+        assert_eq!(img.func_addr("main"), 0x40_0000);
+        assert!(img.symbol("nope").is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! # r2c-vm — simulated x86-64-style machine
+//!
+//! This crate provides the hardware substrate for the R²C reproduction: a
+//! byte-addressed, paged virtual machine that is close enough to x86-64 /
+//! System V for the paper's mechanisms to be meaningful:
+//!
+//! * **Paged memory with R/W/X permissions** ([`mem::Memory`]), including
+//!   execute-only text mappings (fetch checks X, data reads check R) and
+//!   guard pages with all permissions revoked. Dereferencing a
+//!   booby-trapped data pointer therefore faults exactly as in the paper.
+//! * **A register file** ([`regs`]) with the 16 general-purpose registers
+//!   and 16 YMM vector registers used by the AVX2 BTRA setup sequence.
+//! * **An instruction set** ([`insn::Insn`]) with byte-accurate encoded
+//!   lengths, so code-layout diversification (NOP insertion, prolog traps,
+//!   function shuffling) genuinely moves addresses.
+//! * **An interpreter** ([`Vm`]) with fault handling, booby-trap
+//!   detection events, call counting and a cycle cost model.
+//! * **A glibc-like heap allocator** ([`heap::Heap`]) exposed to guest code
+//!   through native-function hypercalls (`malloc`, `free`, `memalign`,
+//!   `mprotect`), which the R²C startup constructor uses to place BTDP
+//!   guard pages.
+//! * **Machine cost models** ([`machine::MachineConfig`]) for the four
+//!   evaluation machines of the paper (i9-9900K, EPYC Rome, TR 3970X,
+//!   Xeon 8358), consisting of per-instruction-class costs plus an
+//!   instruction-cache simulator.
+//! * **Unwind tables** ([`unwind`]) in the spirit of `.eh_frame`, covering
+//!   the stack-pointer adjustments performed by the BTRA setup so that
+//!   stack unwinding keeps working under R²C (paper §7.2.4).
+
+pub mod disasm;
+pub mod fault;
+pub mod heap;
+pub mod image;
+pub mod insn;
+pub mod machine;
+pub mod mem;
+pub mod regs;
+pub mod stats;
+pub mod unwind;
+
+mod exec;
+
+pub use exec::{ExitStatus, RunOutcome, StackSnapshot, Vm, VmConfig, EXIT_SENTINEL};
+pub use fault::{Detection, Fault};
+pub use image::{Image, NativeKind, SectionLayout, Symbol, SymbolKind};
+pub use insn::{Cond, Insn, MemRef};
+pub use machine::{ICacheConfig, MachineConfig, MachineKind};
+pub use mem::{Memory, Perms, PAGE_SIZE};
+pub use regs::{Gpr, RegFile, Ymm};
+pub use stats::ExecStats;
+
+/// A guest virtual address.
+pub type VAddr = u64;
+
+/// Size of one machine word in bytes.
+pub const WORD: u64 = 8;

@@ -1,0 +1,415 @@
+//! Machine cost models.
+//!
+//! The paper evaluates on four machines (§6.1): an Intel i9-9900K, an AMD
+//! EPYC Rome 7H12, an AMD Threadripper 3970X and an Intel Xeon Platinum
+//! 8358. R²C's overhead is dominated by (i) the extra instructions per
+//! call site, and (ii) instruction-cache pressure from code growth
+//! (§7.1). The cost model therefore charges a per-class base cost for
+//! every executed instruction and simulates a set-associative
+//! instruction cache whose parameters differ per machine; nothing is
+//! benchmark-specific.
+
+use crate::insn::{AluOp, Insn};
+use crate::VAddr;
+
+/// Instruction-cache geometry and penalty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ICacheConfig {
+    /// Total size in bytes.
+    pub size: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line: u32,
+    /// Extra cycles charged on a miss.
+    pub miss_penalty: u32,
+}
+
+/// One of the paper's four evaluation machines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum MachineKind {
+    /// Intel Core i9-9900K (Coffee Lake, 32 KiB 8-way L1I).
+    I9_9900K,
+    /// AMD EPYC Rome 7H12 (Zen 2, 32 KiB 8-way L1I).
+    EpycRome,
+    /// AMD Ryzen Threadripper 3970X (Zen 2, slower DRAM in the paper's
+    /// configuration).
+    Tr3970X,
+    /// Intel Xeon Platinum 8358 (Ice Lake, 48 KiB 8-way L1I, lower
+    /// clock).
+    Xeon8358,
+}
+
+impl MachineKind {
+    /// All four machines, in the order used by the Figure 6 report.
+    pub const ALL: [MachineKind; 4] = [
+        MachineKind::I9_9900K,
+        MachineKind::EpycRome,
+        MachineKind::Tr3970X,
+        MachineKind::Xeon8358,
+    ];
+
+    /// Human-readable machine name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineKind::I9_9900K => "i9-9900K",
+            MachineKind::EpycRome => "EPYC Rome",
+            MachineKind::Tr3970X => "TR 3970X",
+            MachineKind::Xeon8358 => "Xeon",
+        }
+    }
+
+    /// Nominal clock frequency in GHz (paper §6.1), used to convert
+    /// simulated cycles into wall-clock time for throughput numbers.
+    pub fn freq_ghz(self) -> f64 {
+        match self {
+            MachineKind::I9_9900K => 3.6,
+            MachineKind::EpycRome => 3.2,
+            MachineKind::Tr3970X => 3.7,
+            MachineKind::Xeon8358 => 2.6,
+        }
+    }
+
+    /// The cost model for this machine.
+    pub fn config(self) -> MachineConfig {
+        match self {
+            MachineKind::I9_9900K => MachineConfig {
+                kind: self,
+                icache: ICacheConfig {
+                    size: 32 * 1024,
+                    ways: 8,
+                    line: 64,
+                    miss_penalty: 12,
+                },
+                alu_cost: 3,
+                mov_cost: 2,
+                load_cost: 5,
+                store_cost: 4,
+                push_cost: 4,
+                push_imm_cost: 10,
+                call_cost: 18,
+                callind_cost: 32,
+                ret_cost: 16,
+                branch_cost: 2,
+                taken_branch_cost: 4,
+                div_cost: 110,
+                mul_cost: 9,
+                nop_cost: 1,
+                vload_cost: 5,
+                vstore_cost: 5,
+                vzeroupper_cost: 4,
+                avx_transition_penalty: 600,
+                native_cost: 90,
+                decode_per_byte: 0,
+            },
+            MachineKind::EpycRome => MachineConfig {
+                kind: self,
+                icache: ICacheConfig {
+                    size: 32 * 1024,
+                    ways: 8,
+                    line: 64,
+                    miss_penalty: 14,
+                },
+                alu_cost: 3,
+                mov_cost: 2,
+                load_cost: 5,
+                store_cost: 4,
+                push_cost: 4,
+                push_imm_cost: 11,
+                call_cost: 20,
+                callind_cost: 24,
+                ret_cost: 17,
+                branch_cost: 2,
+                taken_branch_cost: 4,
+                div_cost: 110,
+                mul_cost: 9,
+                nop_cost: 1,
+                vload_cost: 6,
+                vstore_cost: 6,
+                vzeroupper_cost: 4,
+                avx_transition_penalty: 600,
+                native_cost: 90,
+                decode_per_byte: 0,
+            },
+            MachineKind::Tr3970X => MachineConfig {
+                kind: self,
+                icache: ICacheConfig {
+                    size: 32 * 1024,
+                    ways: 8,
+                    line: 64,
+                    miss_penalty: 15,
+                },
+                alu_cost: 3,
+                mov_cost: 2,
+                load_cost: 6,
+                store_cost: 4,
+                push_cost: 4,
+                push_imm_cost: 11,
+                call_cost: 20,
+                callind_cost: 24,
+                ret_cost: 17,
+                branch_cost: 2,
+                taken_branch_cost: 4,
+                div_cost: 110,
+                mul_cost: 9,
+                nop_cost: 1,
+                vload_cost: 6,
+                vstore_cost: 6,
+                vzeroupper_cost: 4,
+                avx_transition_penalty: 600,
+                native_cost: 90,
+                decode_per_byte: 0,
+            },
+            MachineKind::Xeon8358 => MachineConfig {
+                kind: self,
+                icache: ICacheConfig {
+                    size: 48 * 1024,
+                    ways: 8,
+                    line: 64,
+                    miss_penalty: 13,
+                },
+                alu_cost: 3,
+                mov_cost: 2,
+                load_cost: 6,
+                store_cost: 5,
+                push_cost: 6,
+                push_imm_cost: 14,
+                call_cost: 24,
+                callind_cost: 34,
+                ret_cost: 21,
+                branch_cost: 2,
+                taken_branch_cost: 6,
+                div_cost: 110,
+                mul_cost: 9,
+                nop_cost: 1,
+                vload_cost: 8,
+                vstore_cost: 8,
+                vzeroupper_cost: 7,
+                avx_transition_penalty: 600,
+                native_cost: 90,
+                decode_per_byte: 0,
+            },
+        }
+    }
+}
+
+/// Per-instruction-class cycle costs (scaled ×10 to allow sub-cycle
+/// resolution in integer arithmetic) plus cache geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Which machine this models.
+    pub kind: MachineKind,
+    /// Instruction-cache parameters.
+    pub icache: ICacheConfig,
+    /// Cost of simple ALU ops (deci-cycles).
+    pub alu_cost: u64,
+    /// Cost of register-register moves.
+    pub mov_cost: u64,
+    /// Cost of a 64-bit load.
+    pub load_cost: u64,
+    /// Cost of a 64-bit store.
+    pub store_cost: u64,
+    /// Cost of `push reg` / `pop reg`.
+    pub push_cost: u64,
+    /// Cost of the immediate-push pseudo-instruction (mov+push).
+    pub push_imm_cost: u64,
+    /// Cost of `call` (address push + redirect + BTB pressure).
+    pub call_cost: u64,
+    /// Cost of an indirect `call` through a register (adds indirect
+    /// branch prediction pressure; notably worse on the i9 in the
+    /// paper's perlbench results).
+    pub callind_cost: u64,
+    /// Cost of `ret`.
+    pub ret_cost: u64,
+    /// Cost of a not-taken conditional branch.
+    pub branch_cost: u64,
+    /// Cost of a taken branch / unconditional jump.
+    pub taken_branch_cost: u64,
+    /// Cost of 64-bit signed division.
+    pub div_cost: u64,
+    /// Cost of 64-bit multiplication.
+    pub mul_cost: u64,
+    /// Cost of a NOP (decode only).
+    pub nop_cost: u64,
+    /// Cost of a 256-bit vector load.
+    pub vload_cost: u64,
+    /// Cost of a 256-bit vector store.
+    pub vstore_cost: u64,
+    /// Cost of `vzeroupper`.
+    pub vzeroupper_cost: u64,
+    /// One-time penalty charged when a call/ret executes while YMM upper
+    /// lanes are dirty (models the SSE/AVX transition stalls that made
+    /// the authors' no-`vzeroupper` variant up to 50% slower, §5.1.2).
+    pub avx_transition_penalty: u64,
+    /// Cost of a native (hypercall) invocation, standing in for a PLT
+    /// call into unprotected libc.
+    pub native_cost: u64,
+    /// Additional decode cost per encoded byte (front-end bandwidth);
+    /// this is what makes long instructions and NOP sleds non-free.
+    pub decode_per_byte: u64,
+}
+
+impl MachineConfig {
+    /// Base cost of one instruction in deci-cycles, excluding cache
+    /// effects and branch-taken adjustments.
+    pub fn base_cost(&self, insn: &Insn) -> u64 {
+        let c = match insn {
+            Insn::MovImm { .. } | Insn::MovAbs { .. } | Insn::MovReg { .. } | Insn::Lea { .. } => {
+                self.mov_cost
+            }
+            Insn::Load { .. } => self.load_cost,
+            Insn::Store { .. } | Insn::StoreImm { .. } => self.store_cost,
+            Insn::Push { .. } | Insn::Pop { .. } => self.push_cost,
+            Insn::PushImm { .. } => self.push_imm_cost,
+            Insn::AluReg { op, .. } | Insn::AluImm { op, .. } => match op {
+                AluOp::Imul => self.mul_cost,
+                _ => self.alu_cost,
+            },
+            Insn::Div { .. } | Insn::Rem { .. } => self.div_cost,
+            Insn::CmpReg { .. } | Insn::CmpImm { .. } | Insn::Test { .. } | Insn::SetCc { .. } => {
+                self.alu_cost
+            }
+            Insn::LoadAbs { .. } => self.load_cost,
+            Insn::VLoadAbs { .. } => self.vload_cost,
+            Insn::Call { .. } => self.call_cost,
+            Insn::CallInd { .. } => self.callind_cost,
+            Insn::CallNative { .. } => self.native_cost,
+            Insn::Ret => self.ret_cost,
+            Insn::Jmp { .. } | Insn::JmpInd { .. } => self.taken_branch_cost,
+            Insn::Jcc { .. } => self.branch_cost,
+            Insn::Nop { .. } => self.nop_cost,
+            Insn::Trap => self.alu_cost,
+            Insn::VLoad { .. } => self.vload_cost,
+            Insn::VStore { .. } => self.vstore_cost,
+            Insn::VZeroUpper => self.vzeroupper_cost,
+            Insn::Halt => self.alu_cost,
+        };
+        c + self.decode_per_byte * insn.len()
+    }
+}
+
+/// A set-associative instruction cache with LRU replacement.
+pub struct ICache {
+    cfg: ICacheConfig,
+    sets: u32,
+    /// `tags[set * ways + way]`; `u64::MAX` means invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ICache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: ICacheConfig) -> ICache {
+        let sets = cfg.size / (cfg.line * cfg.ways);
+        debug_assert!(sets > 0);
+        ICache {
+            cfg,
+            sets,
+            tags: vec![u64::MAX; (sets * cfg.ways) as usize],
+            stamps: vec![0; (sets * cfg.ways) as usize],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Touches the line containing `addr`; returns the miss penalty in
+    /// deci-cycles (0 on a hit).
+    #[inline]
+    pub fn access(&mut self, addr: VAddr) -> u64 {
+        let line = addr / self.cfg.line as u64;
+        let set = (line % self.sets as u64) as u32;
+        let tag = line / self.sets as u64;
+        let base = (set * self.cfg.ways) as usize;
+        self.clock += 1;
+        let ways = self.cfg.ways as usize;
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for i in base..base + ways {
+            if self.tags[i] == tag {
+                self.stamps[i] = self.clock;
+                self.hits += 1;
+                return 0;
+            }
+            if self.stamps[i] < victim_stamp {
+                victim_stamp = self.stamps[i];
+                victim = i;
+            }
+        }
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.clock;
+        self.misses += 1;
+        self.cfg.miss_penalty as u64 * 10
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Insn;
+    use crate::regs::Gpr;
+
+    #[test]
+    fn all_machines_have_configs() {
+        for m in MachineKind::ALL {
+            let c = m.config();
+            assert_eq!(c.kind, m);
+            assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn icache_hits_after_first_access() {
+        let mut ic = ICache::new(MachineKind::EpycRome.config().icache);
+        assert!(ic.access(0x40_0000) > 0);
+        assert_eq!(ic.access(0x40_0000), 0);
+        assert_eq!(ic.access(0x40_003f), 0, "same 64-byte line");
+        assert!(ic.access(0x40_0040) > 0, "next line misses");
+    }
+
+    #[test]
+    fn icache_capacity_eviction() {
+        let cfg = ICacheConfig {
+            size: 1024,
+            ways: 2,
+            line: 64,
+            miss_penalty: 10,
+        };
+        let mut ic = ICache::new(cfg);
+        // Fill three lines mapping to the same set (sets = 1024/128 = 8).
+        let stride = 8 * 64; // lines with the same set index
+        ic.access(0);
+        ic.access(stride);
+        ic.access(2 * stride); // evicts line 0 (LRU)
+        assert!(ic.access(0) > 0, "line 0 must have been evicted");
+    }
+
+    #[test]
+    fn nops_cost_decode_only() {
+        // The superscalar-effective model absorbs NOP decoding almost
+        // entirely (decode_per_byte is 0); NOPs still cost a uniform
+        // front-end slot so sleds are not free.
+        let c = MachineKind::I9_9900K.config();
+        let short = Insn::Nop { len: 1 };
+        let long = Insn::Nop { len: 9 };
+        assert!(c.base_cost(&short) >= 1);
+        assert!(c.base_cost(&long) >= c.base_cost(&short));
+    }
+
+    #[test]
+    fn push_imm_costs_more_than_push() {
+        let c = MachineKind::EpycRome.config();
+        assert!(
+            c.base_cost(&Insn::PushImm { imm: 1 }) > c.base_cost(&Insn::Push { src: Gpr::Rax })
+        );
+    }
+}

@@ -1,0 +1,406 @@
+//! Sparse paged guest memory with R/W/X permissions.
+//!
+//! Memory is organized in 4 KiB pages, mapped on demand. Every access is
+//! permission-checked the way the corresponding hardware access would be:
+//! data loads need `R`, stores need `W`, and instruction fetch needs `X`
+//! (and *only* `X`, which is what makes execute-only text useful against
+//! direct JIT-ROP disclosure). Pages with no permissions at all act as the
+//! guard pages backing booby-trapped data pointers: any access faults.
+
+use std::collections::HashMap;
+
+use crate::fault::Fault;
+use crate::VAddr;
+
+/// Size of a guest page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Page permission bits.
+///
+/// A fresh mapping gets whatever the caller asks for; `mprotect` can later
+/// revoke or grant bits, exactly like the POSIX call the R²C constructor
+/// uses to turn allocated heap pages into guard pages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// No access at all (guard page).
+    pub const NONE: Perms = Perms(0);
+    /// Readable.
+    pub const R: Perms = Perms(1);
+    /// Writable.
+    pub const W: Perms = Perms(2);
+    /// Executable.
+    pub const X: Perms = Perms(4);
+    /// Read + write (ordinary data).
+    pub const RW: Perms = Perms(1 | 2);
+    /// Read + execute (conventional text).
+    pub const RX: Perms = Perms(1 | 4);
+    /// Execute-only (XoM-protected text).
+    pub const XO: Perms = Perms(4);
+
+    /// Returns true if all bits of `other` are present in `self`.
+    pub fn allows(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two permission sets.
+    pub fn union(self, other: Perms) -> Perms {
+        Perms(self.0 | other.0)
+    }
+
+    /// True if the page is readable.
+    pub fn readable(self) -> bool {
+        self.allows(Perms::R)
+    }
+
+    /// True if the page is writable.
+    pub fn writable(self) -> bool {
+        self.allows(Perms::W)
+    }
+
+    /// True if the page is executable.
+    pub fn executable(self) -> bool {
+        self.allows(Perms::X)
+    }
+}
+
+impl std::fmt::Display for Perms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.readable() { 'r' } else { '-' },
+            if self.writable() { 'w' } else { '-' },
+            if self.executable() { 'x' } else { '-' },
+        )
+    }
+}
+
+struct Page {
+    perms: Perms,
+    data: Box<[u8; PAGE_SIZE as usize]>,
+}
+
+/// Sparse paged memory.
+///
+/// Tracks the number of resident pages and the high-water mark, which is
+/// how the reproduction measures the `maxrss` metric of paper §6.2.5.
+pub struct Memory {
+    pages: HashMap<u64, Page>,
+    /// High-water mark of mapped pages (for maxrss accounting).
+    max_pages: usize,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Memory {
+    /// Creates an empty address space.
+    pub fn new() -> Memory {
+        Memory {
+            pages: HashMap::new(),
+            max_pages: 0,
+        }
+    }
+
+    fn page_index(addr: VAddr) -> u64 {
+        addr / PAGE_SIZE
+    }
+
+    /// Maps `len` bytes starting at `addr` with permissions `perms`,
+    /// zero-filling fresh pages. Remapping an existing page only updates
+    /// its permissions (contents are preserved).
+    pub fn map(&mut self, addr: VAddr, len: u64, perms: Perms) {
+        if len == 0 {
+            return;
+        }
+        let first = Self::page_index(addr);
+        let last = Self::page_index(addr + len - 1);
+        for p in first..=last {
+            self.pages
+                .entry(p)
+                .or_insert_with(|| Page {
+                    perms,
+                    data: Box::new([0u8; PAGE_SIZE as usize]),
+                })
+                .perms = perms;
+        }
+        self.max_pages = self.max_pages.max(self.pages.len());
+    }
+
+    /// Unmaps every page intersecting `[addr, addr+len)`.
+    pub fn unmap(&mut self, addr: VAddr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = Self::page_index(addr);
+        let last = Self::page_index(addr + len - 1);
+        for p in first..=last {
+            self.pages.remove(&p);
+        }
+    }
+
+    /// Changes permissions on already-mapped pages (like `mprotect(2)`).
+    ///
+    /// Returns an access fault if any page in the range is unmapped.
+    pub fn protect(&mut self, addr: VAddr, len: u64, perms: Perms) -> Result<(), Fault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let first = Self::page_index(addr);
+        let last = Self::page_index(addr + len - 1);
+        for p in first..=last {
+            match self.pages.get_mut(&p) {
+                Some(page) => page.perms = perms,
+                None => {
+                    return Err(Fault::Unmapped {
+                        addr: p * PAGE_SIZE,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the permissions of the page containing `addr`, if mapped.
+    pub fn perms_at(&self, addr: VAddr) -> Option<Perms> {
+        self.pages.get(&Self::page_index(addr)).map(|p| p.perms)
+    }
+
+    /// True if the page containing `addr` is mapped.
+    pub fn is_mapped(&self, addr: VAddr) -> bool {
+        self.pages.contains_key(&Self::page_index(addr))
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// High-water mark of resident pages over the lifetime of this
+    /// address space (the `maxrss` analogue).
+    pub fn max_resident_pages(&self) -> usize {
+        self.max_pages
+    }
+
+    fn check(&self, addr: VAddr, len: u64, need: Perms, write: bool) -> Result<(), Fault> {
+        debug_assert!(len > 0);
+        let first = Self::page_index(addr);
+        let last = Self::page_index(addr + len - 1);
+        for p in first..=last {
+            match self.pages.get(&p) {
+                None => {
+                    return Err(Fault::Unmapped { addr });
+                }
+                Some(page) => {
+                    if !page.perms.allows(need) {
+                        return Err(Fault::Protection {
+                            addr,
+                            perms: page.perms,
+                            write,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Permission-checked read of `buf.len()` bytes at `addr`.
+    pub fn read(&self, addr: VAddr, buf: &mut [u8]) -> Result<(), Fault> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.check(addr, buf.len() as u64, Perms::R, false)?;
+        self.copy_out(addr, buf);
+        Ok(())
+    }
+
+    /// Permission-checked write of `buf` at `addr`.
+    pub fn write(&mut self, addr: VAddr, buf: &[u8]) -> Result<(), Fault> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.check(addr, buf.len() as u64, Perms::W, true)?;
+        self.copy_in(addr, buf);
+        Ok(())
+    }
+
+    /// Permission-checked 64-bit little-endian load.
+    pub fn read_u64(&self, addr: VAddr) -> Result<u64, Fault> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Permission-checked 64-bit little-endian store.
+    pub fn write_u64(&mut self, addr: VAddr, val: u64) -> Result<(), Fault> {
+        self.write(addr, &val.to_le_bytes())
+    }
+
+    /// Checks that `addr` may be fetched as code (needs `X`, and *not*
+    /// `R`): execute-only mappings pass this check but fail [`read`].
+    ///
+    /// [`read`]: Memory::read
+    pub fn check_exec(&self, addr: VAddr) -> Result<(), Fault> {
+        self.check(addr, 1, Perms::X, false)
+    }
+
+    /// Writes bytes ignoring permissions. Used by the loader to populate
+    /// execute-only text and by the kernel-side of native calls.
+    pub fn poke(&mut self, addr: VAddr, buf: &[u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        debug_assert!(
+            self.check(addr, buf.len() as u64, Perms::NONE, true)
+                .is_ok(),
+            "poke to unmapped memory at {addr:#x}"
+        );
+        self.copy_in(addr, buf);
+    }
+
+    /// Reads bytes ignoring permissions (debugger / test view; *not*
+    /// available to attackers, who must go through [`read`]).
+    ///
+    /// [`read`]: Memory::read
+    pub fn peek(&self, addr: VAddr, buf: &mut [u8]) {
+        self.copy_out(addr, buf);
+    }
+
+    /// Unchecked 64-bit load for tests and the loader.
+    pub fn peek_u64(&self, addr: VAddr) -> u64 {
+        let mut buf = [0u8; 8];
+        self.peek(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Unchecked 64-bit store for the loader.
+    pub fn poke_u64(&mut self, addr: VAddr, val: u64) {
+        self.poke(addr, &val.to_le_bytes());
+    }
+
+    fn copy_out(&self, mut addr: VAddr, buf: &mut [u8]) {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let page = Self::page_index(addr);
+            let in_page = (addr % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize - in_page) as usize).min(buf.len() - off);
+            match self.pages.get(&page) {
+                Some(p) => buf[off..off + n].copy_from_slice(&p.data[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+            addr += n as u64;
+        }
+    }
+
+    fn copy_in(&mut self, mut addr: VAddr, buf: &[u8]) {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let page = Self::page_index(addr);
+            let in_page = (addr % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize - in_page) as usize).min(buf.len() - off);
+            let p = self.pages.entry(page).or_insert_with(|| Page {
+                perms: Perms::NONE,
+                data: Box::new([0u8; PAGE_SIZE as usize]),
+            });
+            p.data[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
+            off += n;
+            addr += n as u64;
+        }
+        self.max_pages = self.max_pages.max(self.pages.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = Memory::new();
+        m.map(0x1000, 4096, Perms::RW);
+        m.write_u64(0x1000, 0xdead_beef).unwrap();
+        assert_eq!(m.read_u64(0x1000).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        m.map(0x1000, 2 * PAGE_SIZE, Perms::RW);
+        let addr = 0x1000 + PAGE_SIZE - 4;
+        m.write_u64(addr, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(m.read_u64(addr).unwrap(), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let m = Memory::new();
+        assert!(matches!(m.read_u64(0x1000), Err(Fault::Unmapped { .. })));
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let mut m = Memory::new();
+        m.map(0x1000, 4096, Perms::R);
+        assert_eq!(m.read_u64(0x1000).unwrap(), 0);
+        assert!(matches!(
+            m.write_u64(0x1000, 1),
+            Err(Fault::Protection { write: true, .. })
+        ));
+    }
+
+    #[test]
+    fn execute_only_denies_read_but_allows_fetch() {
+        let mut m = Memory::new();
+        m.map(0x4000, 4096, Perms::XO);
+        assert!(matches!(m.read_u64(0x4000), Err(Fault::Protection { .. })));
+        assert!(m.check_exec(0x4000).is_ok());
+    }
+
+    #[test]
+    fn guard_page_denies_everything() {
+        let mut m = Memory::new();
+        m.map(0x7000, 4096, Perms::RW);
+        m.protect(0x7000, 4096, Perms::NONE).unwrap();
+        assert!(m.read_u64(0x7000).is_err());
+        assert!(m.write_u64(0x7000, 1).is_err());
+        assert!(m.check_exec(0x7000).is_err());
+    }
+
+    #[test]
+    fn protect_unmapped_faults() {
+        let mut m = Memory::new();
+        assert!(m.protect(0x9000, 4096, Perms::R).is_err());
+    }
+
+    #[test]
+    fn rss_high_water_mark() {
+        let mut m = Memory::new();
+        m.map(0x1000, 8 * PAGE_SIZE, Perms::RW);
+        assert_eq!(m.resident_pages(), 8);
+        m.unmap(0x1000, 4 * PAGE_SIZE);
+        assert_eq!(m.resident_pages(), 4);
+        assert_eq!(m.max_resident_pages(), 8);
+    }
+
+    #[test]
+    fn poke_bypasses_permissions() {
+        let mut m = Memory::new();
+        m.map(0x4000, 4096, Perms::XO);
+        m.poke_u64(0x4000, 42);
+        assert_eq!(m.peek_u64(0x4000), 42);
+    }
+
+    #[test]
+    fn perms_display() {
+        assert_eq!(Perms::RW.to_string(), "rw-");
+        assert_eq!(Perms::XO.to_string(), "--x");
+        assert_eq!(Perms::NONE.to_string(), "---");
+    }
+}

@@ -1,0 +1,247 @@
+//! Register file: 16 general-purpose registers, 16 YMM vector registers,
+//! and the condition flags produced by `cmp`/`test`.
+
+/// General-purpose registers, named after their x86-64 counterparts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum Gpr {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Gpr {
+    /// All sixteen registers in encoding order.
+    pub const ALL: [Gpr; 16] = [
+        Gpr::Rax,
+        Gpr::Rcx,
+        Gpr::Rdx,
+        Gpr::Rbx,
+        Gpr::Rsp,
+        Gpr::Rbp,
+        Gpr::Rsi,
+        Gpr::Rdi,
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+        Gpr::R12,
+        Gpr::R13,
+        Gpr::R14,
+        Gpr::R15,
+    ];
+
+    /// System V integer argument registers, in order.
+    pub const ARGS: [Gpr; 6] = [Gpr::Rdi, Gpr::Rsi, Gpr::Rdx, Gpr::Rcx, Gpr::R8, Gpr::R9];
+
+    /// Registers the callee must preserve under the System V ABI.
+    pub const CALLEE_SAVED: [Gpr; 5] = [Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15];
+
+    /// The register's index in encoding order.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Register from its encoding index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    pub fn from_index(i: usize) -> Gpr {
+        Gpr::ALL[i]
+    }
+
+    /// The conventional lower-case name (e.g. `"rax"`).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 16] = [
+            "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11",
+            "r12", "r13", "r14", "r15",
+        ];
+        NAMES[self.index()]
+    }
+}
+
+impl std::fmt::Display for Gpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A YMM vector register (256-bit), used by the AVX2 BTRA setup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Ymm(pub u8);
+
+impl Ymm {
+    /// The register index (0..=15).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Ymm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ymm{}", self.0)
+    }
+}
+
+/// Condition flags (subset of RFLAGS sufficient for our codegen).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Overflow flag.
+    pub of: bool,
+    /// Carry flag (used for unsigned comparisons).
+    pub cf: bool,
+}
+
+impl Flags {
+    /// Sets the flags from a subtraction `a - b`, the way `cmp` does.
+    pub fn set_cmp(&mut self, a: u64, b: u64) {
+        let (res, borrow) = a.overflowing_sub(b);
+        self.zf = res == 0;
+        self.sf = (res as i64) < 0;
+        self.cf = borrow;
+        self.of = ((a ^ b) & (a ^ res)) >> 63 == 1;
+    }
+
+    /// Sets the flags from a bitwise AND, the way `test` does.
+    pub fn set_test(&mut self, a: u64, b: u64) {
+        let res = a & b;
+        self.zf = res == 0;
+        self.sf = (res as i64) < 0;
+        self.cf = false;
+        self.of = false;
+    }
+
+    /// Sets ZF/SF from an ALU result (OF/CF cleared; sufficient for our
+    /// lowered code, which only branches on `cmp`/`test`).
+    pub fn set_result(&mut self, res: u64) {
+        self.zf = res == 0;
+        self.sf = (res as i64) < 0;
+        self.cf = false;
+        self.of = false;
+    }
+}
+
+/// The full architectural register state.
+#[derive(Clone)]
+pub struct RegFile {
+    gpr: [u64; 16],
+    ymm: [[u8; 32]; 16],
+    /// Condition flags.
+    pub flags: Flags,
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegFile {
+    /// All-zero register file.
+    pub fn new() -> RegFile {
+        RegFile {
+            gpr: [0; 16],
+            ymm: [[0; 32]; 16],
+            flags: Flags::default(),
+        }
+    }
+
+    /// Reads a general-purpose register.
+    #[inline]
+    pub fn get(&self, r: Gpr) -> u64 {
+        self.gpr[r.index()]
+    }
+
+    /// Writes a general-purpose register.
+    #[inline]
+    pub fn set(&mut self, r: Gpr, v: u64) {
+        self.gpr[r.index()] = v;
+    }
+
+    /// Reads a YMM register.
+    #[inline]
+    pub fn get_ymm(&self, r: Ymm) -> [u8; 32] {
+        self.ymm[r.index()]
+    }
+
+    /// Writes a YMM register.
+    #[inline]
+    pub fn set_ymm(&mut self, r: Ymm, v: [u8; 32]) {
+        self.ymm[r.index()] = v;
+    }
+
+    /// Zeroes the upper 128 bits of every YMM register (`vzeroupper`).
+    pub fn vzeroupper(&mut self) {
+        for reg in &mut self.ymm {
+            reg[16..].fill(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_roundtrip() {
+        for (i, r) in Gpr::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Gpr::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    fn flags_signed_compare() {
+        let mut f = Flags::default();
+        f.set_cmp(3, 5);
+        // 3 < 5 signed: sf != of.
+        assert!(f.sf != f.of);
+        f.set_cmp(5, 3);
+        assert!(f.sf == f.of && !f.zf);
+        f.set_cmp(7, 7);
+        assert!(f.zf);
+    }
+
+    #[test]
+    fn flags_signed_overflow() {
+        let mut f = Flags::default();
+        // i64::MIN - 1 overflows: result is positive but MIN < 1.
+        f.set_cmp(i64::MIN as u64, 1);
+        assert!(f.sf != f.of, "i64::MIN must compare less than 1");
+    }
+
+    #[test]
+    fn vzeroupper_clears_high_lanes() {
+        let mut r = RegFile::new();
+        r.set_ymm(Ymm(3), [0xff; 32]);
+        r.vzeroupper();
+        let v = r.get_ymm(Ymm(3));
+        assert_eq!(&v[..16], &[0xff; 16]);
+        assert_eq!(&v[16..], &[0u8; 16]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Gpr::Rsp.to_string(), "rsp");
+        assert_eq!(Ymm(13).to_string(), "ymm13");
+    }
+}

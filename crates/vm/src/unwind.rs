@@ -1,0 +1,223 @@
+//! `.eh_frame`-style unwind tables.
+//!
+//! R²C must keep exception handling and stack unwinding working even
+//! though BTRAs move the return address inside the frame (paper §7.2.4).
+//! As in DWARF CFI, entries are keyed by program-counter ranges — not by
+//! function symbols — and record where the canonical frame address (CFA)
+//! and return address live relative to the current stack pointer. The
+//! code generator emits an entry whenever the stack-pointer delta
+//! changes (prologue, BTRA post-offset, frame allocation, call-site
+//! setup windows).
+
+use crate::VAddr;
+
+/// One row of the unwind table: valid for `pc` in `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnwindEntry {
+    /// First covered pc.
+    pub start: VAddr,
+    /// One past the last covered pc.
+    pub end: VAddr,
+    /// Offset added to `rsp` to find the slot holding the return
+    /// address (in bytes).
+    pub ra_offset: i64,
+    /// Offset added to `rsp` to compute the caller's `rsp` right after
+    /// the `ret` would have executed (i.e. CFA).
+    pub caller_sp_offset: i64,
+}
+
+/// The unwind table for an image.
+#[derive(Clone, Debug, Default)]
+pub struct UnwindTable {
+    entries: Vec<UnwindEntry>,
+}
+
+impl UnwindTable {
+    /// Creates an empty table.
+    pub fn new() -> UnwindTable {
+        UnwindTable::default()
+    }
+
+    /// Adds an entry. Entries may be pushed in any order; [`finish`]
+    /// sorts them.
+    ///
+    /// [`finish`]: UnwindTable::finish
+    pub fn push(&mut self, e: UnwindEntry) {
+        debug_assert!(e.start < e.end, "empty unwind range");
+        self.entries.push(e);
+    }
+
+    /// Sorts entries by start pc and checks they do not overlap.
+    pub fn finish(&mut self) -> Result<(), String> {
+        self.entries.sort_by_key(|e| e.start);
+        for w in self.entries.windows(2) {
+            if w[0].end > w[1].start {
+                return Err(format!(
+                    "overlapping unwind entries: [{:#x},{:#x}) and [{:#x},{:#x})",
+                    w[0].start, w[0].end, w[1].start, w[1].end
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks up the entry covering `pc`.
+    pub fn lookup(&self, pc: VAddr) -> Option<&UnwindEntry> {
+        let idx = self.entries.partition_point(|e| e.start <= pc);
+        if idx == 0 {
+            return None;
+        }
+        let e = &self.entries[idx - 1];
+        (pc < e.end).then_some(e)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries (sorted after [`finish`]).
+    ///
+    /// [`finish`]: UnwindTable::finish
+    pub fn iter(&self) -> impl Iterator<Item = &UnwindEntry> {
+        self.entries.iter()
+    }
+}
+
+/// One frame produced by the unwinder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Program counter in this frame (return address for caller frames).
+    pub pc: VAddr,
+    /// Stack pointer on entry to the *next* unwind step.
+    pub sp: VAddr,
+}
+
+/// Walks the stack using the unwind table.
+///
+/// `read_word` abstracts stack memory access so both the VM and tests
+/// can drive the unwinder. Returns the frames from innermost outward;
+/// stops when no table entry covers the pc (e.g. reached `main`'s caller)
+/// or after `max_frames`.
+pub fn unwind<F>(
+    table: &UnwindTable,
+    mut pc: VAddr,
+    mut sp: VAddr,
+    read_word: F,
+    max_frames: usize,
+) -> Vec<Frame>
+where
+    F: Fn(VAddr) -> Option<u64>,
+{
+    let mut frames = vec![Frame { pc, sp }];
+    while frames.len() < max_frames {
+        let Some(entry) = table.lookup(pc) else { break };
+        let ra_slot = sp.wrapping_add_signed(entry.ra_offset);
+        let Some(ra) = read_word(ra_slot) else { break };
+        let caller_sp = sp.wrapping_add_signed(entry.caller_sp_offset);
+        if ra == 0 {
+            break;
+        }
+        pc = ra;
+        sp = caller_sp;
+        frames.push(Frame { pc, sp });
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> UnwindTable {
+        let mut t = UnwindTable::new();
+        // A leaf function whose RA sits 16 bytes above rsp (post-offset 16).
+        t.push(UnwindEntry {
+            start: 0x100,
+            end: 0x200,
+            ra_offset: 16,
+            caller_sp_offset: 24,
+        });
+        // Its caller: RA directly at rsp.
+        t.push(UnwindEntry {
+            start: 0x300,
+            end: 0x400,
+            ra_offset: 0,
+            caller_sp_offset: 8,
+        });
+        t.finish().unwrap();
+        t
+    }
+
+    #[test]
+    fn lookup_respects_ranges() {
+        let t = table();
+        assert!(t.lookup(0x100).is_some());
+        assert!(t.lookup(0x1ff).is_some());
+        assert!(t.lookup(0x200).is_none());
+        assert!(t.lookup(0x50).is_none());
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut t = UnwindTable::new();
+        t.push(UnwindEntry {
+            start: 0x100,
+            end: 0x200,
+            ra_offset: 0,
+            caller_sp_offset: 8,
+        });
+        t.push(UnwindEntry {
+            start: 0x180,
+            end: 0x280,
+            ra_offset: 0,
+            caller_sp_offset: 8,
+        });
+        assert!(t.finish().is_err());
+    }
+
+    #[test]
+    fn unwind_through_offset_frames() {
+        let t = table();
+        // Stack: at sp+16 the leaf's RA (0x350, inside the caller); the
+        // caller's frame has its RA (0) at its sp — which terminates.
+        let stack = move |addr: VAddr| -> Option<u64> {
+            match addr {
+                0x7f10 => Some(0x350), // leaf RA slot (sp 0x7f00 + 16)
+                0x7f18 => Some(0),     // caller RA slot (caller sp 0x7f18 + 0)
+                _ => None,
+            }
+        };
+        let frames = unwind(&t, 0x150, 0x7f00, stack, 16);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1].pc, 0x350);
+        assert_eq!(frames[1].sp, 0x7f18);
+    }
+
+    #[test]
+    fn unwind_stops_at_uncovered_pc() {
+        let t = table();
+        let frames = unwind(&t, 0x900, 0x7f00, |_| Some(0x1234), 16);
+        assert_eq!(frames.len(), 1);
+    }
+
+    #[test]
+    fn unwind_respects_max_frames() {
+        let mut t = UnwindTable::new();
+        t.push(UnwindEntry {
+            start: 0x100,
+            end: 0x200,
+            ra_offset: 0,
+            caller_sp_offset: 8,
+        });
+        t.finish().unwrap();
+        // Self-referential stack that would loop forever.
+        let frames = unwind(&t, 0x150, 0x7000, |_| Some(0x150), 5);
+        assert_eq!(frames.len(), 5);
+    }
+}

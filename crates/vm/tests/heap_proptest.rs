@@ -1,0 +1,109 @@
+//! Property-based tests of the guest heap allocator: arbitrary
+//! malloc/memalign/free sequences must never hand out overlapping
+//! memory, must respect alignment, and must never recycle live
+//! allocations (the invariant the BTDP guard pages rely on, §5.2).
+
+use proptest::prelude::*;
+
+use r2c_vm::heap::{Heap, MIN_ALIGN};
+use r2c_vm::{Memory, Perms, PAGE_SIZE};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Malloc(u64),
+    Memalign(u64, u64),
+    FreeNth(usize),
+    Guard(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..10_000).prop_map(Op::Malloc),
+            (0u32..5u32, 1u64..8192).prop_map(|(a, s)| Op::Memalign(1 << (4 + a), s)),
+            Just(Op::Memalign(4096, 4096)),
+            (0usize..64).prop_map(Op::FreeNth),
+            (0usize..64).prop_map(Op::Guard),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn allocator_invariants(ops in ops()) {
+        let mut mem = Memory::new();
+        let mut heap = Heap::new(0x10_0000_0000, 64 * 1024 * 1024);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        let mut guards: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Malloc(size) => {
+                    if let Some(p) = heap.malloc(&mut mem, size) {
+                        prop_assert_eq!(p % MIN_ALIGN, 0);
+                        live.push((p, size.max(1).next_multiple_of(MIN_ALIGN)));
+                    }
+                }
+                Op::Memalign(align, size) => {
+                    if let Some(p) = heap.memalign(&mut mem, align, size) {
+                        prop_assert_eq!(p % align.max(MIN_ALIGN), 0);
+                        live.push((p, size.max(1).next_multiple_of(MIN_ALIGN)));
+                    }
+                }
+                Op::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (p, _) = live.swap_remove(n % live.len());
+                        // Never free a guard-bearing allocation in this
+                        // model (guards stay allocated, as in R²C).
+                        if !guards.iter().any(|&g| g == p) {
+                            heap.free(p).unwrap();
+                        } else {
+                            live.push((p, 0));
+                        }
+                    }
+                }
+                Op::Guard(n) => {
+                    // Turn an existing page-aligned, page-sized
+                    // allocation into a guard page (the exact R²C
+                    // pattern, §5.2: `memalign(4096, 4096)` chunks, so
+                    // no other allocation can share the guarded page).
+                    if !live.is_empty() {
+                        let (p, sz) = live[n % live.len()];
+                        if p % PAGE_SIZE == 0 && sz >= PAGE_SIZE && !guards.contains(&p) {
+                            mem.protect(p, PAGE_SIZE, Perms::NONE).unwrap();
+                            guards.push(p);
+                        }
+                    }
+                }
+            }
+            // No two live allocations overlap.
+            let mut sorted: Vec<(u64, u64)> =
+                live.iter().copied().filter(|&(_, s)| s > 0).collect();
+            sorted.sort();
+            for w in sorted.windows(2) {
+                prop_assert!(
+                    w[0].0 + w[0].1 <= w[1].0,
+                    "overlap: {:x?} and {:x?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        // Guard pages still guarded at the end (no allocation un-guarded
+        // them).
+        for &g in &guards {
+            prop_assert_eq!(mem.perms_at(g), Some(Perms::NONE));
+        }
+        // Live allocations not sharing a guarded page are readable.
+        for &(p, sz) in &live {
+            let shares_guard = guards
+                .iter()
+                .any(|&g| p < g + PAGE_SIZE && g < p + sz.max(8));
+            if sz > 0 && !shares_guard {
+                prop_assert!(mem.read_u64(p).is_ok(), "live allocation unreadable at {p:#x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # r2c-workloads — synthetic benchmark programs
+//!
+//! The paper evaluates R²C on SPEC CPU 2017 (§6.2) and on the nginx and
+//! Apache web servers (§6.2.4). SPEC is licensed and the web servers
+//! are megabytes of C, so this reproduction generates *synthetic IR
+//! workloads matched to each benchmark's profile*:
+//!
+//! * the **relative dynamic call frequency** (Table 2 — the property
+//!   §7.1 identifies as the primary driver of R²C overhead), scaled by
+//!   1:10⁶;
+//! * the **code footprint** (number and size of functions — the
+//!   instruction-cache pressure component of the overhead);
+//! * the **memory behaviour** (streaming arrays, pointer chasing,
+//!   recursion, indirect dispatch) characteristic of each program.
+//!
+//! Every workload prints a checksum, so any miscompilation under any
+//! diversification configuration is caught by comparing against the IR
+//! reference interpreter.
+
+pub mod engine;
+pub mod spec;
+pub mod webserver;
+
+pub use engine::{build_workload, Profile};
+pub use spec::{spec_profiles, spec_workloads, Scale, Workload};
+pub use webserver::{webserver_module, ServerKind, WebserverRun};

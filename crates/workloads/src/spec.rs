@@ -1,0 +1,281 @@
+//! SPEC CPU 2017-profiled workloads.
+//!
+//! One profile per benchmark in the paper's Table 2. The dynamic call
+//! counts reproduce Table 2 (scaled); the remaining parameters encode
+//! each program's published character — interpreter dispatch for
+//! perlbench, pointer chasing for mcf, huge straight-line kernels for
+//! lbm, discrete-event/virtual dispatch for omnetpp, a large code
+//! footprint for gcc/xalancbmk, tree search for deepsjeng/leela, tiny
+//! hot force-field functions for nab, and so on.
+
+use r2c_ir::Module;
+
+use crate::engine::{build_workload, Profile};
+
+/// Workload scale: divisor applied to the Table 2 call counts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Minutes-long aggregate (1:10⁵) — closest to the paper's runs.
+    Large,
+    /// Seconds-long aggregate (1:10⁶) — the default for reports.
+    Bench,
+    /// Milliseconds (fixed small call budget) — for unit tests.
+    Test,
+}
+
+impl Scale {
+    /// Scaled call target for a Table 2 call count.
+    pub fn calls(self, table2: u64) -> u64 {
+        match self {
+            Scale::Large => (table2 / 100_000).max(50),
+            Scale::Bench => (table2 / 1_000_000).max(20),
+            Scale::Test => (table2 / 200_000_000).clamp(8, 60),
+        }
+    }
+}
+
+/// A generated workload.
+pub struct Workload {
+    /// Benchmark name (matching the paper's tables and Figure 6).
+    pub name: &'static str,
+    /// Paper Table 2 dynamic call count (unscaled).
+    pub table2_calls: u64,
+    /// The generated module.
+    pub module: Module,
+    /// The scaled dynamic call target used for generation.
+    pub call_target: u64,
+}
+
+/// The 12 profiles of Table 2, in table order.
+pub fn spec_profiles() -> Vec<Profile> {
+    vec![
+        // perlbench: interpreter — heavy indirect dispatch, mid-size
+        // code, hash/array traffic.
+        Profile {
+            name: "perlbench",
+            table2_calls: 9_435_182_963,
+            chain_len: 12,
+            work: 28,
+            inner_loop: 3,
+            funcs: 48,
+            array_kb: 64,
+            indirect_every: 3,
+            recursion: 0,
+            chase: 0,
+            heap_mb: 12,
+        },
+        // gcc: very large code footprint, moderate call density.
+        Profile {
+            name: "gcc",
+            table2_calls: 7_471_474_392,
+            chain_len: 10,
+            work: 28,
+            inner_loop: 4,
+            funcs: 160,
+            array_kb: 128,
+            indirect_every: 2,
+            recursion: 2,
+            chase: 0,
+            heap_mb: 16,
+        },
+        // mcf: network simplex — pointer chasing dominates, high call
+        // count of small helpers.
+        Profile {
+            name: "mcf",
+            table2_calls: 38_657_893_688,
+            chain_len: 8,
+            work: 25,
+            inner_loop: 6,
+            funcs: 12,
+            array_kb: 256,
+            indirect_every: 0,
+            recursion: 0,
+            chase: 64,
+            heap_mb: 24,
+        },
+        // lbm: fluid dynamics — almost no calls, enormous streaming
+        // kernels.
+        Profile {
+            name: "lbm",
+            table2_calls: 20_906_700,
+            chain_len: 1,
+            work: 24,
+            inner_loop: 4000,
+            funcs: 3,
+            array_kb: 512,
+            indirect_every: 0,
+            recursion: 0,
+            chase: 0,
+            heap_mb: 32,
+        },
+        // omnetpp: discrete-event simulation — extremely call-heavy,
+        // virtual dispatch, little work per call.
+        Profile {
+            name: "omnetpp",
+            table2_calls: 23_536_583_520,
+            chain_len: 16,
+            work: 12,
+            inner_loop: 2,
+            funcs: 64,
+            array_kb: 64,
+            indirect_every: 2,
+            recursion: 0,
+            chase: 0,
+            heap_mb: 10,
+        },
+        // xalancbmk: XSLT — call-heavy C++ with a big code footprint.
+        Profile {
+            name: "xalancbmk",
+            table2_calls: 12_430_137_048,
+            chain_len: 14,
+            work: 15,
+            inner_loop: 4,
+            funcs: 256,
+            array_kb: 128,
+            indirect_every: 2,
+            recursion: 0,
+            chase: 0,
+            heap_mb: 16,
+        },
+        // x264: video encoding — few calls, hot vectorizable kernels.
+        Profile {
+            name: "x264",
+            table2_calls: 3_400_115_007,
+            chain_len: 4,
+            work: 20,
+            inner_loop: 24,
+            funcs: 16,
+            array_kb: 256,
+            indirect_every: 0,
+            recursion: 0,
+            chase: 0,
+            heap_mb: 24,
+        },
+        // deepsjeng: chess search — recursion-heavy.
+        Profile {
+            name: "deepsjeng",
+            table2_calls: 11_366_032_234,
+            chain_len: 8,
+            work: 24,
+            inner_loop: 8,
+            funcs: 32,
+            array_kb: 64,
+            indirect_every: 0,
+            recursion: 6,
+            chase: 0,
+            heap_mb: 8,
+        },
+        // imagick: image processing — moderate calls, arithmetic-dense
+        // kernels.
+        Profile {
+            name: "imagick",
+            table2_calls: 10_441_212_712,
+            chain_len: 6,
+            work: 20,
+            inner_loop: 10,
+            funcs: 24,
+            array_kb: 128,
+            indirect_every: 0,
+            recursion: 0,
+            chase: 0,
+            heap_mb: 24,
+        },
+        // leela: Go engine — tree search plus simulation calls.
+        Profile {
+            name: "leela",
+            table2_calls: 13_108_456_661,
+            chain_len: 10,
+            work: 18,
+            inner_loop: 6,
+            funcs: 28,
+            array_kb: 64,
+            indirect_every: 0,
+            recursion: 4,
+            chase: 0,
+            heap_mb: 8,
+        },
+        // nab: molecular dynamics — the highest call count in the
+        // suite: tiny force-field helpers called everywhere.
+        Profile {
+            name: "nab",
+            table2_calls: 135_237_228_510,
+            chain_len: 20,
+            work: 12,
+            inner_loop: 3,
+            funcs: 20,
+            array_kb: 64,
+            indirect_every: 0,
+            recursion: 0,
+            chase: 0,
+            heap_mb: 12,
+        },
+        // xz: compression — few calls, bit-twiddling loops, large
+        // buffers.
+        Profile {
+            name: "xz",
+            table2_calls: 3_287_645_643,
+            chain_len: 4,
+            work: 18,
+            inner_loop: 16,
+            funcs: 12,
+            array_kb: 512,
+            indirect_every: 0,
+            recursion: 0,
+            chase: 0,
+            heap_mb: 32,
+        },
+    ]
+}
+
+/// Generates all 12 workloads at the given scale.
+pub fn spec_workloads(scale: Scale) -> Vec<Workload> {
+    spec_profiles()
+        .into_iter()
+        .map(|p| {
+            let call_target = scale.calls(p.table2_calls);
+            Workload {
+                name: p.name,
+                table2_calls: p.table2_calls,
+                module: build_workload(&p, call_target),
+                call_target,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_ir::{interpret, verify_module};
+
+    #[test]
+    fn all_profiles_generate_valid_modules() {
+        for w in spec_workloads(Scale::Test) {
+            verify_module(&w.module).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let r = interpret(&w.module, "main", 200_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_eq!(r.output.len(), 1, "{} must print its checksum", w.name);
+        }
+    }
+
+    #[test]
+    fn call_ordering_matches_table2() {
+        // The scaled dynamic call counts must preserve the Table 2
+        // ordering (nab ≫ mcf > omnetpp > ... > lbm).
+        let ws = spec_workloads(Scale::Test);
+        let get = |name: &str| ws.iter().find(|w| w.name == name).unwrap().table2_calls;
+        assert!(get("nab") > get("mcf"));
+        assert!(get("mcf") > get("omnetpp"));
+        assert!(get("omnetpp") > get("xalancbmk"));
+        assert!(get("xalancbmk") > get("perlbench"));
+        assert!(get("perlbench") > get("xz"));
+        assert!(get("xz") > get("lbm"));
+    }
+
+    #[test]
+    fn scales_are_monotonic() {
+        let t = 10_000_000_000u64;
+        assert!(Scale::Large.calls(t) > Scale::Bench.calls(t));
+        assert!(Scale::Bench.calls(t) > Scale::Test.calls(t));
+    }
+}

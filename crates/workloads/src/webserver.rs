@@ -1,0 +1,307 @@
+//! Web-server workload (paper §6.2.4).
+//!
+//! The paper benchmarks nginx 1.14.2 and Apache 2.4.54 serving 64-byte
+//! pages under wrk at CPU saturation. The synthetic server processes a
+//! closed loop of requests, each of which is parsed (header scan),
+//! routed through a function-pointer table (module dispatch), handled
+//! (writing a 64-byte response), and accounted. The Apache variant
+//! allocates and frees a per-request memory pool and runs a deeper
+//! handler chain (its process/filter model); the nginx variant reuses
+//! static buffers (its arena model) and has the shorter path.
+//!
+//! Throughput is requests divided by simulated wall-clock time
+//! (cycles / clock frequency), measured at "saturation" — the VM is
+//! the CPU, so it is saturated by construction.
+
+use r2c_core::{R2cCompiler, R2cConfig};
+use r2c_ir::{BinOp, CmpOp, ExternFn, GlobalInit, Module, ModuleBuilder};
+use r2c_vm::{ExitStatus, MachineKind, Vm, VmConfig};
+
+/// Which server the workload models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ServerKind {
+    /// nginx-like: static buffers, short handler path.
+    Nginx,
+    /// Apache-like: per-request pool allocation, deeper handler chain.
+    Apache,
+}
+
+impl ServerKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerKind::Nginx => "nginx",
+            ServerKind::Apache => "Apache",
+        }
+    }
+}
+
+/// Builds the server module processing `requests` requests.
+pub fn webserver_module(kind: ServerKind, requests: u64) -> Module {
+    let mut mb = ModuleBuilder::new(kind.name());
+    let reqbuf = mb.global("request_buf", GlobalInit::Zero(192), 8);
+    let respbuf = mb.global("response_buf", GlobalInit::Zero(192), 8);
+    let counters = mb.global("counters", GlobalInit::Zero(32), 8);
+    let n_handlers = 4usize;
+    let table = mb.global("handlers", GlobalInit::Words(vec![0; n_handlers]), 8);
+
+    // Handlers: write the 64-byte response page.
+    let handler_ids: Vec<_> = (0..n_handlers)
+        .map(|i| mb.declare_function(&format!("handler_{i}"), 1))
+        .collect();
+    let fill = mb.declare_function("fill_response", 2);
+    {
+        let mut f = mb.function("fill_response", 2);
+        let seed = f.param(0);
+        let salt = f.param(1);
+        let rb = f.global_addr(respbuf);
+        let mut v = f.bin(BinOp::Add, seed, salt);
+        for w in 0..24 {
+            let c = f.iconst(0x9E37 + w);
+            v = f.bin(BinOp::Mul, v, c);
+            let c2 = f.iconst(13 + w);
+            v = f.bin(BinOp::Xor, v, c2);
+            f.store(rb, (8 * (w % 8)) as i32, v);
+        }
+        f.ret(Some(v));
+        f.finish();
+    }
+    for (i, _) in handler_ids.iter().enumerate() {
+        let mut f = mb.function(&format!("handler_{i}"), 1);
+        let req = f.param(0);
+        let salt = f.iconst(i as i64 + 11);
+        let mut v = f.call(fill, &[req, salt]);
+        if kind == ServerKind::Apache {
+            // Apache-like: per-request pool, content filter pass.
+            let sz = f.iconst(256);
+            let pool = f.call_extern(ExternFn::Malloc, &[sz]);
+            for w in 0..4 {
+                let x = f.bin(BinOp::Add, v, req);
+                f.store(pool, 8 * w, x);
+                v = x;
+            }
+            let filtered = f.call(fill, &[v, salt]);
+            v = f.bin(BinOp::Xor, v, filtered);
+            f.call_extern(ExternFn::Free, &[pool]);
+        }
+        f.ret(Some(v));
+        f.finish();
+    }
+
+    // Header parser: scan the 8-word request buffer.
+    let parse = {
+        let mut f = mb.function("parse_request", 1);
+        let req = f.param(0);
+        let rb = f.global_addr(reqbuf);
+        // Write a synthetic request first (the "network read").
+        let mut v = req;
+        for w in 0..16 {
+            let c = f.iconst(0x47 + w); // 'G' 'E' 'T' ...
+            v = f.bin(BinOp::Add, v, c);
+            let r3 = f.iconst(3);
+            v = f.bin(BinOp::Shl, v, r3);
+            f.store(rb, (8 * w) as i32, v);
+        }
+        // Scan it back twice: header tokenization, then validation.
+        let mut sum = f.iconst(0);
+        for pass in 0..2 {
+            for w in 0..16 {
+                let x = f.load(rb, (8 * w) as i32);
+                sum = f.bin(BinOp::Xor, sum, x);
+                let c = f.iconst(pass * 31 + w + 1);
+                sum = f.bin(BinOp::Mul, sum, c);
+            }
+        }
+        f.ret(Some(sum));
+        f.finish();
+        f_id(&mb, "parse_request")
+    };
+
+    // Accounting.
+    let account = {
+        let mut f = mb.function("account", 1);
+        let code = f.param(0);
+        let cb = f.global_addr(counters);
+        let three = f.iconst(3);
+        let idx = f.bin(BinOp::And, code, three);
+        let slot = f.ptr_add(cb, Some(idx), 8, 0);
+        let old = f.load(slot, 0);
+        let one = f.iconst(1);
+        let neu = f.bin(BinOp::Add, old, one);
+        f.store(slot, 0, neu);
+        f.ret(Some(neu));
+        f.finish();
+        f_id(&mb, "account")
+    };
+
+    // Table initializer.
+    let init = {
+        let mut f = mb.function("init", 0);
+        let tb = f.global_addr(table);
+        for (i, &h) in handler_ids.iter().enumerate() {
+            let fp = f.func_addr(h);
+            f.store(tb, (8 * i) as i32, fp);
+        }
+        f.ret(None);
+        f.finish();
+        f_id(&mb, "init")
+    };
+
+    // Event loop.
+    {
+        let mut f = mb.function("main", 0);
+        let state = f.alloca(16, 8);
+        let zero = f.iconst(0);
+        f.store(state, 0, zero);
+        f.store(state, 8, zero);
+        f.call(init, &[]);
+        let body = f.new_block("body");
+        let done = f.new_block("done");
+        f.br(body);
+        f.switch_to(body);
+        let i = f.load(state, 8);
+        let hdr = f.call(parse, &[i]);
+        // Route by header hash.
+        let tb = f.global_addr(table);
+        let three = f.iconst(3);
+        let idx = f.bin(BinOp::And, hdr, three);
+        let slot = f.ptr_add(tb, Some(idx), 8, 0);
+        let fp = f.load(slot, 0);
+        let resp = f.call_ind(fp, &[hdr]);
+        let code = f.call(account, &[resp]);
+        let acc = f.load(state, 0);
+        let acc2 = f.bin(BinOp::Xor, acc, resp);
+        let acc3 = f.bin(BinOp::Add, acc2, code);
+        f.store(state, 0, acc3);
+        let one = f.iconst(1);
+        let i2 = f.bin(BinOp::Add, i, one);
+        f.store(state, 8, i2);
+        let lim = f.iconst(requests as i64);
+        let again = f.cmp(CmpOp::Lt, i2, lim);
+        f.cond_br(again, body, done);
+        f.switch_to(done);
+        let fin = f.load(state, 0);
+        let mask = f.iconst(0xFFFF_FFFF);
+        let folded = f.bin(BinOp::And, fin, mask);
+        f.call_extern(ExternFn::PrintI64, &[folded]);
+        f.ret(Some(folded));
+        f.finish();
+    }
+    mb.finish()
+}
+
+fn f_id(mb: &ModuleBuilder, name: &str) -> r2c_ir::FuncId {
+    mb.module().func_by_name(name).expect("just defined")
+}
+
+/// Result of one measured server run.
+#[derive(Clone, Copy, Debug)]
+pub struct WebserverRun {
+    /// Requests served.
+    pub requests: u64,
+    /// Simulated cycles consumed.
+    pub cycles: f64,
+    /// Requests per simulated second at the machine's clock.
+    pub throughput_rps: f64,
+    /// Maximum resident set size in bytes.
+    pub max_rss_bytes: u64,
+}
+
+/// Builds, runs and measures the server under `cfg` on `machine`.
+pub fn run_webserver(
+    kind: ServerKind,
+    requests: u64,
+    cfg: R2cConfig,
+    machine: MachineKind,
+) -> WebserverRun {
+    let module = webserver_module(kind, requests);
+    let image = R2cCompiler::new(cfg)
+        .build(&module)
+        .expect("server must compile");
+    let mut vm = Vm::new(&image, VmConfig::new(machine.config()));
+    let out = vm.run();
+    assert!(
+        matches!(out.status, ExitStatus::Exited(_)),
+        "server crashed: {:?}",
+        out.status
+    );
+    let cycles = out.stats.cycles_f64();
+    let secs = cycles / (machine.freq_ghz() * 1e9);
+    WebserverRun {
+        requests,
+        cycles,
+        throughput_rps: requests as f64 / secs,
+        max_rss_bytes: out.stats.max_rss_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_ir::interpret;
+
+    #[test]
+    fn both_servers_verify_and_run() {
+        for kind in [ServerKind::Nginx, ServerKind::Apache] {
+            let m = webserver_module(kind, 50);
+            r2c_ir::verify_module(&m).unwrap();
+            let r = interpret(&m, "main", 50_000_000).unwrap();
+            assert_eq!(r.output.len(), 1, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn protected_server_matches_interpreter() {
+        for kind in [ServerKind::Nginx, ServerKind::Apache] {
+            let m = webserver_module(kind, 30);
+            let expected = interpret(&m, "main", 50_000_000).unwrap();
+            let image = R2cCompiler::new(R2cConfig::full(3)).build(&m).unwrap();
+            let mut vm = Vm::new(&image, VmConfig::new(MachineKind::I9_9900K.config()));
+            let out = vm.run();
+            assert_eq!(out.status, ExitStatus::Exited(expected.ret));
+            assert_eq!(vm.output, expected.output);
+        }
+    }
+
+    #[test]
+    fn full_r2c_reduces_throughput() {
+        let base = run_webserver(
+            ServerKind::Nginx,
+            300,
+            R2cConfig::baseline(1),
+            MachineKind::I9_9900K,
+        );
+        let prot = run_webserver(
+            ServerKind::Nginx,
+            300,
+            R2cConfig::full(1),
+            MachineKind::I9_9900K,
+        );
+        assert!(prot.throughput_rps < base.throughput_rps);
+        let drop = 1.0 - prot.throughput_rps / base.throughput_rps;
+        assert!(
+            drop > 0.01 && drop < 0.6,
+            "throughput drop {drop} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn btdp_guard_pages_inflate_server_rss() {
+        let base = run_webserver(
+            ServerKind::Apache,
+            100,
+            R2cConfig::baseline(1),
+            MachineKind::I9_9900K,
+        );
+        let prot = run_webserver(
+            ServerKind::Apache,
+            100,
+            R2cConfig::full(1),
+            MachineKind::I9_9900K,
+        );
+        assert!(
+            prot.max_rss_bytes > base.max_rss_bytes,
+            "guard pages and larger text must show up in RSS"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Quickstart: compile a tiny program with full R²C protection, run it
+//! in the VM, and look at what the defense actually did.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use r2c_core::{R2cCompiler, R2cConfig};
+use r2c_vm::{MachineKind, SymbolKind, Vm, VmConfig};
+
+const PROGRAM: &str = r#"
+# A tiny program in the textual IR: sums the squares 1..=10 and
+# prints the result.
+func @square(1) {
+entry:
+  %0 = param 0
+  %1 = mul %0, %0
+  ret %1
+}
+
+func @main(0) {
+entry:
+  %0 = alloca 16 align 8       # two slots: i, acc
+  %1 = const 1
+  store %0 + 0, %1
+  %2 = const 0
+  store %0 + 8, %2
+  br loop
+loop:
+  %3 = load %0 + 0
+  %4 = call @square(%3)
+  %5 = load %0 + 8
+  %6 = add %5, %4
+  store %0 + 8, %6
+  %7 = const 1
+  %8 = add %3, %7
+  store %0 + 0, %8
+  %9 = const 10
+  %10 = cmp le %8, %9
+  condbr %10, loop, done
+done:
+  %11 = load %0 + 8
+  %12 = extern print(%11)
+  ret %11
+}
+"#;
+
+fn main() {
+    let module = r2c_ir::parse_module(PROGRAM).expect("parse");
+
+    // Two builds of the same program: one unprotected baseline, one
+    // with full R²C (BTRAs, BTDPs, NOPs, traps, shuffling, XoM).
+    for (label, cfg) in [
+        ("baseline", R2cConfig::baseline(42)),
+        ("full R2C", R2cConfig::full(42)),
+    ] {
+        let (image, info) = R2cCompiler::new(cfg)
+            .build_with_info(&module)
+            .expect("compile");
+        let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));
+        let out = vm.run();
+        let booby_traps = image
+            .symbols
+            .iter()
+            .filter(|s| s.kind == SymbolKind::BoobyTrap)
+            .count();
+        println!("== {label} ==");
+        println!("  exit:            {:?}", out.status);
+        println!(
+            "  output:          {:?} (385 = 1^2 + ... + 10^2)",
+            vm.output
+        );
+        println!("  text size:       {} bytes", image.text_size());
+        println!(
+            "  text perms:      {}",
+            if image.xom {
+                "execute-only"
+            } else {
+                "read+execute"
+            }
+        );
+        println!("  BTRA call sites: {}", info.btra_sites);
+        println!("  BTDP stores:     {}", info.btdp_stores);
+        println!("  booby traps:     {booby_traps}");
+        println!("  cycles:          {:.0}", out.stats.cycles_f64());
+        println!();
+    }
+
+    // Same program, three seeds: three different memory layouts —
+    // software diversity at work.
+    println!("== layout diversity across seeds ==");
+    for seed in [1u64, 2, 3] {
+        let image = R2cCompiler::new(R2cConfig::full(seed))
+            .build(&module)
+            .unwrap();
+        println!(
+            "  seed {seed}: main @ {:#x}, square @ {:#x}, square-main delta {:+}",
+            image.func_addr("main"),
+            image.func_addr("square"),
+            image.func_addr("square") as i64 - image.func_addr("main") as i64,
+        );
+    }
+}

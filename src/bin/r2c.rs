@@ -1,0 +1,203 @@
+//! `r2c` — command-line driver for the R²C toolchain.
+//!
+//! ```text
+//! r2c run <file.ir> [--seed N] [--baseline|--full|--push|--hardened]
+//!                   [--machine i9|rome|tr|xeon] [--stats]
+//! r2c disasm <file.ir> [--seed N] [--baseline|--full|--push]
+//! r2c layout <file.ir> [--seed N]        # section map + symbols
+//! r2c interp <file.ir>                   # reference interpreter
+//! ```
+//!
+//! The input is the textual IR format of `r2c-ir` (see the parser docs
+//! for the grammar; `examples/quickstart.rs` shows a complete program).
+
+use std::process::ExitCode;
+
+use r2c_repro::core::{R2cCompiler, R2cConfig};
+use r2c_repro::ir;
+use r2c_repro::vm::{disasm, ExitStatus, MachineKind, Vm, VmConfig};
+
+struct Args {
+    cmd: String,
+    file: String,
+    seed: u64,
+    config: String,
+    machine: MachineKind,
+    stats: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: r2c <run|disasm|layout|interp> <file.ir> \
+         [--seed N] [--baseline|--full|--push|--hardened] \
+         [--machine i9|rome|tr|xeon] [--stats]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().ok_or_else(usage)?;
+    let file = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        cmd,
+        file,
+        seed: 1,
+        config: "full".into(),
+        machine: MachineKind::EpycRome,
+        stats: false,
+    };
+    let mut rest: Vec<String> = argv.collect();
+    while let Some(flag) = rest.first().cloned() {
+        rest.remove(0);
+        match flag.as_str() {
+            "--seed" => {
+                let v = rest.first().cloned().ok_or_else(usage)?;
+                rest.remove(0);
+                args.seed = v.parse().map_err(|_| usage())?;
+            }
+            "--baseline" | "--full" | "--push" | "--hardened" => {
+                args.config = flag.trim_start_matches("--").to_string();
+            }
+            "--machine" => {
+                let v = rest.first().cloned().ok_or_else(usage)?;
+                rest.remove(0);
+                args.machine = match v.as_str() {
+                    "i9" => MachineKind::I9_9900K,
+                    "rome" => MachineKind::EpycRome,
+                    "tr" => MachineKind::Tr3970X,
+                    "xeon" => MachineKind::Xeon8358,
+                    _ => return Err(usage()),
+                };
+            }
+            "--stats" => args.stats = true,
+            _ => return Err(usage()),
+        }
+    }
+    Ok(args)
+}
+
+fn config_of(args: &Args) -> R2cConfig {
+    match args.config.as_str() {
+        "baseline" => R2cConfig::baseline(args.seed),
+        "push" => R2cConfig::full_push(args.seed),
+        "hardened" => R2cConfig {
+            diversify: r2c_repro::core::DiversifyConfig::hardened(2),
+            seed: args.seed,
+        },
+        _ => R2cConfig::full(args.seed),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let src = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("r2c: cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let module = match ir::parse_module(&src) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("r2c: parse error in {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = ir::verify_module(&module) {
+        eprintln!("r2c: invalid module: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    match args.cmd.as_str() {
+        "interp" => match ir::interpret(&module, "main", 2_000_000_000) {
+            Ok(r) => {
+                for v in &r.output {
+                    println!("{v}");
+                }
+                println!(
+                    "(exit {}; {} IR instructions, {} calls)",
+                    r.ret, r.executed, r.calls
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("r2c: interpreter error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "run" => {
+            let image = match R2cCompiler::new(config_of(&args)).build(&module) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("r2c: compile error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut vm = Vm::new(&image, VmConfig::new(args.machine.config()));
+            let out = vm.run();
+            for v in &vm.output {
+                println!("{v}");
+            }
+            if args.stats {
+                let s = out.stats;
+                eprintln!(
+                    "(cycles {:.0}; instructions {}; calls {}; icache miss rate {:.2}%; maxrss {} KiB)",
+                    s.cycles_f64(),
+                    s.instructions,
+                    s.calls,
+                    100.0 * s.icache_miss_rate(),
+                    s.max_rss_bytes() / 1024
+                );
+            }
+            match out.status {
+                ExitStatus::Exited(code) => {
+                    eprintln!("(exit {code})");
+                    ExitCode::SUCCESS
+                }
+                other => {
+                    eprintln!("r2c: program died: {other:?}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "disasm" => match R2cCompiler::new(config_of(&args)).build(&module) {
+            Ok(image) => {
+                print!("{}", disasm::dump_image(&image));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("r2c: compile error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "layout" => match R2cCompiler::new(config_of(&args)).build(&module) {
+            Ok(image) => {
+                let mut syms = image.symbols.clone();
+                syms.sort_by_key(|s| s.addr);
+                println!(
+                    "text {:#x}..{:#x}  data {:#x}..{:#x}  entry {:#x}  xom {}",
+                    image.layout.text_base,
+                    image.layout.text_end,
+                    image.layout.data_base,
+                    image.layout.data_end,
+                    image.entry,
+                    image.xom
+                );
+                for s in syms {
+                    println!("{:#014x} {:>6}  {:?}  {}", s.addr, s.size, s.kind, s.name);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("r2c: compile error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

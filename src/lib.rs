@@ -1,0 +1,42 @@
+//! # r2c-repro — reproduction of *R²C: AOCR-Resilient Diversity with
+//! Reactive and Reflective Camouflage* (EuroSys '23)
+//!
+//! This facade crate re-exports the workspace: see the README for the
+//! architecture and DESIGN.md for the system inventory and experiment
+//! index.
+//!
+//! * [`vm`] — the simulated x86-64-style machine (paged memory with
+//!   R/W/X permissions, execute-only text, guard pages, cost models for
+//!   the paper's four evaluation machines).
+//! * [`ir`] — the compiler IR (builder, textual parser/printer,
+//!   verifier, reference interpreter).
+//! * [`codegen`] — the backend (register allocation, frame layout, call
+//!   lowering, linking) with R²C's diversification hooks.
+//! * [`core`] — R²C itself: [`core::R2cCompiler`] applies BTRAs, BTDPs,
+//!   NOP/trap insertion and layout randomization.
+//! * [`attacks`] — ROP, JIT-ROP, AOCR, Blind ROP and PIROP, run against
+//!   real images under the paper's threat model.
+//! * [`baselines`] — executable models of the Table 3 defenses.
+//! * [`workloads`] — SPEC-CPU-2017-profiled synthetic benchmarks and
+//!   the web-server workload.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use r2c_repro::core::{R2cCompiler, R2cConfig};
+//! use r2c_repro::vm::{MachineKind, Vm, VmConfig};
+//!
+//! let src = "func @main(0) {\nentry:\n  %0 = const 7\n  ret %0\n}\n";
+//! let module = r2c_repro::ir::parse_module(src).unwrap();
+//! let image = R2cCompiler::new(R2cConfig::full(1)).build(&module).unwrap();
+//! let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));
+//! assert_eq!(vm.run().status, r2c_repro::vm::ExitStatus::Exited(7));
+//! ```
+
+pub use r2c_attacks as attacks;
+pub use r2c_baselines as baselines;
+pub use r2c_codegen as codegen;
+pub use r2c_core as core;
+pub use r2c_ir as ir;
+pub use r2c_vm as vm;
+pub use r2c_workloads as workloads;

@@ -1,0 +1,187 @@
+//! Integration tests for BTDP placement (paper Figure 5 and §5.2):
+//! the hardened design keeps the BTDP array on the heap, leaves only a
+//! single pointer (plus decoys) in the data section, and no BTDP value
+//! ever occurs both in the data section and on the stack.
+
+use std::collections::HashSet;
+
+use r2c_attacks::victim::{build_victim, run_victim, victim_module};
+use r2c_core::runtime::PTR_GLOBAL;
+use r2c_core::{BtdpConfig, R2cCompiler, R2cConfig};
+use r2c_vm::{MachineKind, Perms, Vm, VmConfig};
+
+fn heap_range_words_in_data(vm: &Vm, image: &r2c_vm::Image) -> Vec<u64> {
+    let l = image.layout;
+    let mut out = Vec::new();
+    let mut addr = l.data_base;
+    while addr + 8 <= l.data_end {
+        let w = vm.mem.peek_u64(addr);
+        if w >= l.heap_base && w < l.heap_base + l.heap_size {
+            out.push(w);
+        }
+        addr += 8;
+    }
+    out
+}
+
+fn stack_words(vm: &Vm) -> Vec<u64> {
+    let snap = &vm.probes[0];
+    snap.bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Figure 5, hardened (right side): no single BTDP occurs both in the
+/// data section and on the stack.
+#[test]
+fn hardened_no_btdp_in_both_places() {
+    for seed in 0..6 {
+        let v = build_victim(R2cConfig::full(seed));
+        let vm = run_victim(&v.image);
+        let l = v.image.layout;
+        let data_heap_words: HashSet<u64> = heap_range_words_in_data(&vm, &v.image)
+            .into_iter()
+            .collect();
+        let stack_heap_words: HashSet<u64> = stack_words(&vm)
+            .into_iter()
+            .filter(|&w| w >= l.heap_base && w < l.heap_base + l.heap_size)
+            .collect();
+        // The array pointer itself lives in .data but points to the
+        // (readable) array, not into a guard page, and never appears on
+        // the stack; decoys point into guard pages and never appear on
+        // the stack either.
+        let both: Vec<u64> = data_heap_words
+            .intersection(&stack_heap_words)
+            .copied()
+            .collect();
+        assert!(
+            both.is_empty(),
+            "seed {seed}: values in both .data and stack: {both:?}"
+        );
+    }
+}
+
+/// The naive variant (Figure 5, left) *does* leak: the array is in the
+/// data section, so every stack BTDP also occurs in .data — exactly the
+/// cross-referencing attack the hardening prevents.
+#[test]
+fn naive_variant_leaks_btdp_identity() {
+    let module = victim_module();
+    let mut cfg = R2cConfig::full(3);
+    cfg.diversify.btdp = Some(BtdpConfig {
+        naive_data_array: true,
+        ..BtdpConfig::default()
+    });
+    let image = R2cCompiler::new(cfg).build(&module).unwrap();
+    let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));
+    let out = vm.run();
+    assert!(out.status.is_exit());
+    let l = image.layout;
+    let data_heap_words: HashSet<u64> = heap_range_words_in_data(&vm, &image).into_iter().collect();
+    let stack_btdps: Vec<u64> = stack_words(&vm)
+        .into_iter()
+        .filter(|&w| w >= l.heap_base && w < l.heap_base + l.heap_size)
+        .filter(|&w| vm.perms_at(w) == Some(Perms::NONE))
+        .collect();
+    assert!(!stack_btdps.is_empty(), "expected BTDPs on the stack");
+    let leaked = stack_btdps
+        .iter()
+        .filter(|w| data_heap_words.contains(w))
+        .count();
+    assert!(
+        leaked > 0,
+        "naive layout should expose stack BTDPs in the data section"
+    );
+}
+
+/// §5.2: every value in the BTDP array points into a page with all
+/// permissions revoked, at page-interior (non-zero, varied) offsets.
+#[test]
+fn btdp_array_points_into_guard_pages_at_varied_offsets() {
+    let module = victim_module();
+    let (image, info) = R2cCompiler::new(R2cConfig::full(17))
+        .build_with_info(&module)
+        .unwrap();
+    let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));
+    assert!(vm.run().status.is_exit());
+    let arr = vm.mem.peek_u64(image.func_addr(PTR_GLOBAL));
+    let mut offsets = HashSet::new();
+    for k in 0..info.btdp_array_len as u64 {
+        let btdp = vm.mem.peek_u64(arr + 8 * k);
+        assert_eq!(
+            vm.perms_at(btdp),
+            Some(Perms::NONE),
+            "entry {k} not guarded"
+        );
+        offsets.insert(btdp & 0xfff);
+    }
+    assert!(
+        offsets.len() > 4,
+        "BTDPs should use varied page offsets, got {offsets:?}"
+    );
+}
+
+/// §5.2 skip optimization: functions without stack allocations receive
+/// no BTDP stores.
+#[test]
+fn leaf_functions_without_stack_skip_btdp() {
+    // A module whose only non-main function is a register-only leaf.
+    let src = r#"
+func @tiny(1) {
+entry:
+  %0 = param 0
+  %1 = add %0, %0
+  ret %1
+}
+func @main(0) {
+entry:
+  %0 = alloca 8 align 8
+  %1 = const 5
+  store %0 + 0, %1
+  %2 = load %0 + 0
+  %3 = call @tiny(%2)
+  ret %3
+}
+"#;
+    let module = r2c_ir::parse_module(src).unwrap();
+    let mut main_ever_instrumented = false;
+    for seed in 0..8 {
+        let compiler = R2cCompiler::new(R2cConfig::full(seed));
+        let (program, _, _) = compiler.compile_program(&module).unwrap();
+        let tiny = program.funcs.iter().find(|f| f.name == "tiny").unwrap();
+        // `tiny` keeps everything in registers (no allocas, no spill
+        // slots), so the §5.2 optimization must skip it in every seed.
+        assert_eq!(
+            tiny.btdp_stores, 0,
+            "seed {seed}: no-stack function got BTDP stores"
+        );
+        let main = program.funcs.iter().find(|f| f.name == "main").unwrap();
+        main_ever_instrumented |= main.btdp_stores > 0;
+    }
+    // main has an alloca, so it is eligible; the per-function count is
+    // uniform 0..=5, so across 8 seeds it must be instrumented at
+    // least once.
+    assert!(
+        main_ever_instrumented,
+        "alloca-bearing main never drew BTDP stores"
+    );
+}
+
+/// Reactive behaviour: dereferencing any BTDP raises a guard-page
+/// detection the monitor can act on (§4.2).
+#[test]
+fn dereferencing_btdp_is_detected() {
+    let module = victim_module();
+    let (image, info) = R2cCompiler::new(R2cConfig::full(23))
+        .build_with_info(&module)
+        .unwrap();
+    let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));
+    assert!(vm.run().status.is_exit());
+    let arr = vm.mem.peek_u64(image.func_addr(PTR_GLOBAL));
+    let btdp = vm.mem.peek_u64(arr + 8 * (info.btdp_array_len as u64 / 2));
+    assert!(vm.detections().is_empty());
+    let err = vm.attacker_read(btdp, 8).unwrap_err();
+    assert!(err.is_detection());
+    assert_eq!(vm.detections().len(), 1);
+}

@@ -1,0 +1,96 @@
+//! Cross-crate differential testing: every SPEC-profiled workload and
+//! both web-server workloads must produce interpreter-identical output
+//! under full R²C (both BTRA modes) across seeds — the reproduction's
+//! equivalent of the paper's §6.3 "the browser passes its test suites".
+
+use r2c_core::{R2cCompiler, R2cConfig};
+use r2c_ir::interpret;
+use r2c_vm::{ExitStatus, MachineKind, Vm, VmConfig};
+use r2c_workloads::{spec_workloads, webserver_module, Scale, ServerKind};
+
+fn check(module: &r2c_ir::Module, name: &str, cfg: R2cConfig, machine: MachineKind) {
+    let expected = interpret(module, "main", 2_000_000_000)
+        .unwrap_or_else(|e| panic!("{name}: interp failed: {e}"));
+    let image = R2cCompiler::new(cfg)
+        .build(module)
+        .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+    let mut vm = Vm::new(&image, VmConfig::new(machine.config()));
+    let out = vm.run();
+    assert_eq!(
+        out.status,
+        ExitStatus::Exited(expected.ret),
+        "{name}: exit mismatch"
+    );
+    assert_eq!(vm.output, expected.output, "{name}: output mismatch");
+    assert!(
+        vm.detections().is_empty(),
+        "{name}: benign run raised detections"
+    );
+}
+
+#[test]
+fn spec_workloads_full_r2c_differential() {
+    for w in spec_workloads(Scale::Test) {
+        for seed in [1u64, 99] {
+            check(
+                &w.module,
+                w.name,
+                R2cConfig::full(seed),
+                MachineKind::EpycRome,
+            );
+        }
+    }
+}
+
+#[test]
+fn spec_workloads_push_mode_differential() {
+    for w in spec_workloads(Scale::Test) {
+        check(
+            &w.module,
+            w.name,
+            R2cConfig::full_push(7),
+            MachineKind::Xeon8358,
+        );
+    }
+}
+
+#[test]
+fn webserver_differential() {
+    for kind in [ServerKind::Nginx, ServerKind::Apache] {
+        let module = webserver_module(kind, 40);
+        for seed in [3u64, 4] {
+            check(
+                &module,
+                kind.name(),
+                R2cConfig::full(seed),
+                MachineKind::I9_9900K,
+            );
+        }
+        check(
+            &module,
+            kind.name(),
+            R2cConfig::baseline(0),
+            MachineKind::Tr3970X,
+        );
+    }
+}
+
+#[test]
+fn every_isolated_component_differential() {
+    use r2c_core::Component;
+    let w = &spec_workloads(Scale::Test)[4]; // omnetpp: call + indirect heavy
+    for c in Component::TABLE1 {
+        check(
+            &w.module,
+            w.name,
+            R2cConfig::component(c, 13),
+            MachineKind::EpycRome,
+        );
+    }
+    check(
+        &w.module,
+        w.name,
+        R2cConfig::component(Component::Oia, 13),
+        MachineKind::EpycRome,
+    );
+}

@@ -1,0 +1,232 @@
+//! Integration tests for the BTRA stack layout (paper Figures 2 and 3)
+//! and the mimicry properties (A), (B), (C) of §4.1.
+
+use r2c_attacks::knowledge::{handler_call_ra, probe_words};
+use r2c_attacks::victim::{build_victim, run_victim};
+use r2c_codegen::{BtraMode, RelocKind};
+use r2c_core::{R2cCompiler, R2cConfig};
+use r2c_vm::image::Region;
+
+/// Figure 2a: on the unprotected stack the return address sits at a
+/// fixed offset across variants, surrounded by known values.
+#[test]
+fn unprotected_return_address_is_predictable() {
+    let mut offsets = Vec::new();
+    for seed in 0..4 {
+        let v = build_victim(R2cConfig::baseline(seed));
+        let vm = run_victim(&v.image);
+        let ra = handler_call_ra(&v.image);
+        let (_rsp, words) = probe_words(&vm);
+        let off = words.iter().position(|&w| w == ra).expect("RA visible");
+        offsets.push(off);
+    }
+    assert!(
+        offsets.windows(2).all(|w| w[0] == w[1]),
+        "offsets varied: {offsets:?}"
+    );
+}
+
+/// Figure 2b: under R²C the return address is surrounded by
+/// booby-trapped addresses and its position varies per variant.
+#[test]
+fn btra_window_hides_the_return_address() {
+    let mut offsets = std::collections::HashSet::new();
+    for seed in 0..6 {
+        let v = build_victim(R2cConfig::full(seed));
+        let vm = run_victim(&v.image);
+        let ra = handler_call_ra(&v.image);
+        let (_rsp, words) = probe_words(&vm);
+        let off = words
+            .iter()
+            .position(|&w| w == ra)
+            .expect("RA present in window");
+        offsets.insert(off);
+        // Count text-range values: the RA plus its decoys.
+        let candidates = words
+            .iter()
+            .filter(|&&w| v.image.layout.region_of(w) == Some(Region::Text))
+            .count();
+        assert!(
+            candidates >= 8,
+            "seed {seed}: expected a rich candidate set, got {candidates}"
+        );
+    }
+    assert!(offsets.len() > 1, "the RA offset must vary across variants");
+}
+
+/// The return-address position carries real entropy across variants
+/// (an attacker needs ~2^H guesses to cover the distribution), while
+/// the unprotected build has none.
+#[test]
+fn return_address_position_entropy() {
+    let offsets_for = |cfg: fn(u64) -> r2c_core::R2cConfig| -> Vec<usize> {
+        (0..12)
+            .map(|seed| {
+                let v = build_victim(cfg(seed));
+                let vm = run_victim(&v.image);
+                let ra = handler_call_ra(&v.image);
+                let (_rsp, words) = probe_words(&vm);
+                words.iter().position(|&w| w == ra).expect("RA present")
+            })
+            .collect()
+    };
+    let unprotected = offsets_for(r2c_core::R2cConfig::baseline);
+    let protected = offsets_for(r2c_core::R2cConfig::full);
+    let h0 = r2c_core::analysis::shannon_entropy(&unprotected);
+    let h1 = r2c_core::analysis::shannon_entropy(&protected);
+    assert_eq!(h0, 0.0, "no diversification, no entropy");
+    assert!(h1 >= 1.5, "RA-position entropy too low: {h1:.2} bits ({protected:?})");
+}
+
+/// Property (A): the true return address occurs exactly once in the
+/// leaked window; BTRAs do not duplicate it.
+#[test]
+fn property_a_return_address_occurs_once() {
+    for seed in 0..6 {
+        let v = build_victim(R2cConfig::full(seed));
+        let vm = run_victim(&v.image);
+        let ra = handler_call_ra(&v.image);
+        let (_rsp, words) = probe_words(&vm);
+        let count = words.iter().filter(|&&w| w == ra).count();
+        assert_eq!(count, 1, "seed {seed}: RA occurred {count} times");
+    }
+}
+
+/// Property (B): multiple invocations of the same call site produce
+/// the identical BTRA set (the victim's handler is called four times;
+/// all four probes must show the same text-range values).
+#[test]
+fn property_b_same_call_site_same_btras() {
+    let v = build_victim(R2cConfig::full(11));
+    let vm = run_victim(&v.image);
+    assert_eq!(vm.probes.len(), 4);
+    let text_values = |snap: &r2c_vm::StackSnapshot| -> Vec<u64> {
+        let mut vals: Vec<u64> = snap
+            .bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .filter(|&w| v.image.layout.region_of(w) == Some(Region::Text))
+            .collect();
+        vals.sort_unstable();
+        vals
+    };
+    let first = text_values(&vm.probes[0]);
+    for (i, probe) in vm.probes.iter().enumerate().skip(1) {
+        assert_eq!(
+            text_values(probe),
+            first,
+            "invocation {i} exposed a different BTRA set — two observations would identify the RA"
+        );
+    }
+}
+
+/// Property (C): different call sites use different BTRA sets. We
+/// inspect the pre-link program: every push-mode call site's set of
+/// booby-trap relocations, compared pairwise.
+#[test]
+fn property_c_different_call_sites_different_btras() {
+    let module = r2c_attacks::victim::victim_module();
+    let cfg = R2cConfig::full_push(21);
+    let (program, _opts, _rt) = R2cCompiler::new(cfg).compile_program(&module).unwrap();
+    // Collect per-call-site BTRA sets: runs of consecutive BoobyTrap
+    // relocations between RetAddr relocations.
+    let mut sites: Vec<Vec<(u32, u8)>> = Vec::new();
+    for f in &program.funcs {
+        let mut relocs = f.relocs.clone();
+        relocs.sort_by_key(|r| r.at);
+        let mut current: Vec<(u32, u8)> = Vec::new();
+        for r in &relocs {
+            match r.kind {
+                RelocKind::BoobyTrap { index, offset } => current.push((index, offset)),
+                RelocKind::RetAddr { .. } => {
+                    if !current.is_empty() {
+                        sites.push(std::mem::take(&mut current));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(
+        sites.len() >= 4,
+        "expected several BTRA sites, got {}",
+        sites.len()
+    );
+    let mut identical_pairs = 0;
+    let mut total_pairs = 0;
+    for i in 0..sites.len() {
+        for j in i + 1..sites.len() {
+            total_pairs += 1;
+            if sites[i] == sites[j] {
+                identical_pairs += 1;
+            }
+        }
+    }
+    assert!(
+        identical_pairs == 0,
+        "{identical_pairs}/{total_pairs} call-site BTRA sets identical"
+    );
+}
+
+/// Figure 3 semantics: the stack is 16-byte aligned at every function
+/// entry even with randomized windows — the aligned-vector BTRA setup
+/// would fault otherwise, and so would real SSE code. Running every
+/// configuration seed cleanly is the witness.
+#[test]
+fn alignment_invariant_across_seeds_and_modes() {
+    let module = r2c_attacks::victim::victim_module();
+    for mode in [BtraMode::Push, BtraMode::Avx2] {
+        for seed in 0..8 {
+            let mut cfg = R2cConfig::full(seed);
+            cfg.diversify.btra = Some(r2c_codegen::BtraConfig {
+                mode,
+                total: 10,
+                omit_vzeroupper: false,
+            });
+            let image = R2cCompiler::new(cfg).build(&module).unwrap();
+            let mut vm = r2c_vm::Vm::new(
+                &image,
+                r2c_vm::VmConfig::new(r2c_vm::MachineKind::EpycRome.config()),
+            );
+            let out = vm.run();
+            assert!(
+                out.status.is_exit(),
+                "{mode:?}/seed {seed}: {:?} (misalignment would fault here)",
+                out.status
+            );
+        }
+    }
+}
+
+/// Varying the BTRA count: more BTRAs, more decoys in the window
+/// (candidate set grows with R, §7.2.1).
+#[test]
+fn candidate_set_scales_with_btra_count() {
+    let module = r2c_attacks::victim::victim_module();
+    let candidates_for = |total: u8| -> usize {
+        let mut cfg = R2cConfig::full(5);
+        cfg.diversify.btra = Some(r2c_codegen::BtraConfig {
+            mode: BtraMode::Avx2,
+            total,
+            omit_vzeroupper: false,
+        });
+        let image = R2cCompiler::new(cfg).build(&module).unwrap();
+        let mut vm = r2c_vm::Vm::new(
+            &image,
+            r2c_vm::VmConfig::new(r2c_vm::MachineKind::EpycRome.config()),
+        );
+        vm.run();
+        let snap = &vm.probes[0];
+        snap.bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .filter(|&w| image.layout.region_of(w) == Some(Region::Text))
+            .count()
+    };
+    let small = candidates_for(4);
+    let large = candidates_for(16);
+    assert!(
+        large > small,
+        "16 BTRAs must leave more candidates than 4 ({large} vs {small})"
+    );
+}
