@@ -74,9 +74,8 @@ pub fn zeroing_attack(image: &Image) -> ZeroingResult {
         .map(|(i, _)| i)
         .collect();
 
-    let mut probes = 0;
-    for &slot in &candidates {
-        probes += 1;
+    for (attempt, &slot) in candidates.iter().enumerate() {
+        let probes = attempt as u32 + 1;
         // Fresh worker from the restarting pool, held at the block.
         let mut worker = probe_vm(image);
         if worker.run().status != ExitStatus::Probed {
@@ -125,8 +124,8 @@ pub fn blind_rop_rerandomizing(
     let first = R2cCompiler::new(cfg.with_seed(1_000_000))
         .build(module)
         .unwrap();
-    let mut vm = crate::victim::run_victim(&first);
-    let (_rsp, words) = crate::knowledge::probe_words(&mut vm);
+    let vm = crate::victim::run_victim(&first);
+    let (_rsp, words) = crate::knowledge::probe_words(&vm);
     let start = words
         .iter()
         .copied()

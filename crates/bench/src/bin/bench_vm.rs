@@ -1,0 +1,153 @@
+//! Host-side VM throughput benchmark: how fast the simulator itself
+//! runs, independent of the simulated cycle model.
+//!
+//! Measures guest MIPS (million simulated instructions per host second)
+//! and wall-clock over the `Scale::Test` workloads, for baseline and
+//! full-R²C builds, and writes the results to `BENCH_vm.json`.
+//!
+//! Simulated cycle counts are a pure function of the seed; this binary
+//! exists to track the *host-side* cost of producing them (page-table
+//! lookups, instruction dispatch), which the software TLB and the dense
+//! jump table optimize. Pass `--baseline <prior BENCH_vm.json>` to
+//! report the speedup against a previously recorded run.
+
+use std::time::Instant;
+
+use r2c_core::{R2cCompiler, R2cConfig};
+use r2c_ir::Module;
+use r2c_vm::{ExitStatus, MachineKind, Vm, VmConfig};
+use r2c_workloads::{spec_workloads, Scale};
+
+/// Repetitions per (workload, config) cell — Scale::Test programs run
+/// in milliseconds, so repetition is needed for a stable wall-clock.
+const REPS: u32 = 30;
+
+struct Cell {
+    name: String,
+    insns: u64,
+    wall_s: f64,
+}
+
+fn run_cell(name: &str, module: &Module, cfg: R2cConfig, machine: MachineKind) -> Cell {
+    let image = R2cCompiler::new(cfg).build(module).expect("compile failed");
+    let vm_cfg = VmConfig::new(machine.config());
+    // Warm-up run, excluded from timing (first touch allocates pages).
+    let mut vm = Vm::new(&image, vm_cfg);
+    assert!(matches!(vm.run().status, ExitStatus::Exited(_)));
+    let mut insns = 0u64;
+    let start = Instant::now();
+    for _ in 0..REPS {
+        let mut vm = Vm::new(&image, vm_cfg);
+        let out = vm.run();
+        assert!(matches!(out.status, ExitStatus::Exited(_)));
+        insns += out.stats.instructions;
+    }
+    Cell {
+        name: name.to_string(),
+        insns,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Extracts `"key": <number>` from our own minimal JSON output (no
+/// JSON crate in the offline build, and we only ever read files this
+/// binary wrote).
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let machine = MachineKind::EpycRome;
+    let workloads = spec_workloads(Scale::Test);
+    let mut cells = Vec::new();
+    for w in &workloads {
+        cells.push(run_cell(
+            &format!("{}/baseline", w.name),
+            &w.module,
+            R2cConfig::baseline(1),
+            machine,
+        ));
+        cells.push(run_cell(
+            &format!("{}/full", w.name),
+            &w.module,
+            R2cConfig::full(1),
+            machine,
+        ));
+    }
+
+    let total_insns: u64 = cells.iter().map(|c| c.insns).sum();
+    let total_wall: f64 = cells.iter().map(|c| c.wall_s).sum();
+    let total_mips = total_insns as f64 / total_wall / 1e6;
+
+    println!(
+        "VM host-side throughput ({} reps per cell, {}):",
+        REPS,
+        machine.name()
+    );
+    for c in &cells {
+        println!(
+            "  {:<16} {:>12} insns  {:>8.1} ms  {:>7.2} MIPS",
+            c.name,
+            c.insns,
+            c.wall_s * 1e3,
+            c.insns as f64 / c.wall_s / 1e6
+        );
+    }
+    println!(
+        "  total: {total_insns} guest insns in {:.1} ms => {total_mips:.2} MIPS",
+        total_wall * 1e3
+    );
+
+    let speedup = baseline_path.as_ref().and_then(|p| {
+        let parsed = std::fs::read_to_string(p)
+            .ok()
+            .and_then(|prior| extract_number(&prior, "guest_mips_total"));
+        if parsed.is_none() {
+            eprintln!("warning: --baseline {p}: unreadable or missing guest_mips_total; ignoring");
+        }
+        let prior_mips = parsed?;
+        Some((prior_mips, total_mips / prior_mips))
+    });
+    if let Some((prior_mips, s)) = speedup {
+        println!("  speedup vs baseline run ({prior_mips:.2} MIPS): {s:.2}x");
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"machine\": \"{}\",\n", machine.name()));
+    json.push_str(&format!("  \"reps_per_cell\": {REPS},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"guest_insns\": {}, \"wall_ms\": {:.3}, \"mips\": {:.3}}}{}\n",
+            c.name,
+            c.insns,
+            c.wall_s * 1e3,
+            c.insns as f64 / c.wall_s / 1e6,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"guest_insns_total\": {total_insns},\n"));
+    json.push_str(&format!("  \"wall_ms_total\": {:.3},\n", total_wall * 1e3));
+    if let Some((prior_mips, s)) = speedup {
+        json.push_str(&format!("  \"baseline_mips_total\": {prior_mips:.3},\n"));
+        json.push_str(&format!("  \"speedup_vs_baseline\": {s:.3},\n"));
+    }
+    json.push_str(&format!("  \"guest_mips_total\": {total_mips:.3}\n"));
+    json.push_str("}\n");
+    std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
+    println!("wrote BENCH_vm.json");
+}

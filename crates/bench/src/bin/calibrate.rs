@@ -4,7 +4,7 @@
 //! (not one of the report binaries; kept for reproducibility of the
 //! calibration process described in DESIGN.md).
 
-use r2c_bench::{median_cycles, TablePrinter};
+use r2c_bench::{baseline_cycles, median_cycles, parallel_map, TablePrinter};
 use r2c_core::{Component, R2cConfig};
 use r2c_vm::MachineKind;
 use r2c_workloads::{spec_workloads, Scale};
@@ -26,12 +26,14 @@ fn main() {
         "full".into(),
     ]);
     t.sep();
-    for w in &workloads {
+    // Each workload's row is an independent bundle of measurements;
+    // fan the rows out and print them in table order.
+    let rows = parallel_map(&workloads, |w| {
         let m = r2c_bench::measure_once(&w.module, R2cConfig::baseline(0), machine, 1);
-        let base = median_cycles(&w.module, R2cConfig::baseline(0), machine, runs, 1);
+        let base = baseline_cycles(&w.module, machine, runs, 1);
         let ratio = |cfg: R2cConfig| median_cycles(&w.module, cfg, machine, runs, 2) / base;
-        t.row(&[
-            w.name.into(),
+        vec![
+            w.name.to_string(),
             format!("{:.2e}", base),
             format!("{:.0}", m.cycles / m.stats.calls.max(1) as f64),
             format!("{:.3}", ratio(R2cConfig::component(Component::Push, 0))),
@@ -40,6 +42,9 @@ fn main() {
             format!("{:.3}", ratio(R2cConfig::component(Component::Prolog, 0))),
             format!("{:.3}", ratio(R2cConfig::component(Component::Oia, 0))),
             format!("{:.3}", ratio(R2cConfig::full(0))),
-        ]);
+        ]
+    });
+    for row in &rows {
+        t.row(row);
     }
 }

@@ -14,7 +14,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use r2c_attacks::victim::{build_victim, run_victim};
-use r2c_bench::{median_cycles, pct, TablePrinter};
+use r2c_bench::{baseline_cycles, median_cycles, parallel_map, pct, TablePrinter};
 use r2c_core::analysis::p_guess_return_address;
 use r2c_core::{BtdpConfig, BtraConfig, BtraMode, R2cConfig};
 use r2c_vm::MachineKind;
@@ -24,7 +24,7 @@ fn main() {
     let machine = MachineKind::EpycRome;
     let workloads = spec_workloads(Scale::Bench);
     let omnetpp = workloads.iter().find(|w| w.name == "omnetpp").unwrap();
-    let base = median_cycles(&omnetpp.module, R2cConfig::baseline(0), machine, 2, 1);
+    let base = baseline_cycles(&omnetpp.module, machine, 2, 1);
 
     println!("Ablation 1: BTRA count R (omnetpp-profile workload, AVX2 setup)\n");
     let t = TablePrinter::new(&[6, 10, 12, 16]);
@@ -35,7 +35,8 @@ fn main() {
         "P(4-chain)".into(),
     ]);
     t.sep();
-    for total in [2u8, 4, 6, 10, 16, 20] {
+    let totals = [2u8, 4, 6, 10, 16, 20];
+    let rows = parallel_map(&totals, |&total| {
         let mut cfg = R2cConfig::full(0);
         cfg.diversify.btra = Some(BtraConfig {
             mode: BtraMode::Avx2,
@@ -44,12 +45,15 @@ fn main() {
         });
         let cycles = median_cycles(&omnetpp.module, cfg, machine, 2, 2);
         let p = p_guess_return_address(total as u32);
-        t.row(&[
+        vec![
             format!("{total}"),
             pct(cycles / base),
             format!("{p:.4}"),
             format!("{:.2e}", p.powi(4)),
-        ]);
+        ]
+    });
+    for row in &rows {
+        t.row(row);
     }
     println!("\n(§7.1: an AVX-512 setup doubles the BTRAs per vector move — compare");
     println!(" R=10 with R=20: the security bound squares while the cost roughly");
@@ -57,7 +61,7 @@ fn main() {
 
     println!("Ablation 2: BTDPs per function (xalancbmk-profile workload)\n");
     let xalanc = workloads.iter().find(|w| w.name == "xalancbmk").unwrap();
-    let xbase = median_cycles(&xalanc.module, R2cConfig::baseline(0), machine, 2, 3);
+    let xbase = baseline_cycles(&xalanc.module, machine, 2, 3);
     let t2 = TablePrinter::new(&[12, 10, 22]);
     t2.row(&[
         "max BTDP/fn".into(),
@@ -65,7 +69,8 @@ fn main() {
         "harvest detection rate".into(),
     ]);
     t2.sep();
-    for max_per_fn in [0u8, 2, 5, 10] {
+    let densities = [0u8, 2, 5, 10];
+    let rows2 = parallel_map(&densities, |&max_per_fn| {
         let mut cfg = R2cConfig::full(0);
         cfg.diversify.btdp = if max_per_fn == 0 {
             None
@@ -76,7 +81,8 @@ fn main() {
             })
         };
         let cycles = median_cycles(&xalanc.module, cfg, machine, 2, 4);
-        // Detection rate of the heap harvest against the victim.
+        // Detection rate of the heap harvest against the victim. The
+        // attack RNG is seeded per cell, so rows stay independent.
         let mut rng = SmallRng::seed_from_u64(5);
         let mut detected = 0;
         let trials = 16;
@@ -88,11 +94,14 @@ fn main() {
                 detected += 1;
             }
         }
-        t2.row(&[
+        vec![
             format!("{max_per_fn}"),
             pct(cycles / xbase),
             format!("{detected}/{trials}"),
-        ]);
+        ]
+    });
+    for row in &rows2 {
+        t2.row(row);
     }
 
     println!("\nAblation 3: booby-trap function count vs Blind-ROP detection\n");
@@ -103,7 +112,8 @@ fn main() {
         "campaigns detected".into(),
     ]);
     t3.sep();
-    for bts in [8u16, 32, 64, 128] {
+    let bt_counts = [8u16, 32, 64, 128];
+    let rows3 = parallel_map(&bt_counts, |&bts| {
         let mut cfg = R2cConfig::full(0);
         cfg.diversify.booby_trap_funcs = bts;
         // Isolate the booby-trap-function contribution: without this,
@@ -127,10 +137,13 @@ fn main() {
         } else {
             probes.iter().map(|&p| p as f64).sum::<f64>() / probes.len() as f64
         };
-        t3.row(&[
+        vec![
             format!("{bts}"),
             format!("{avg:.0}"),
             format!("{detected}/{n}"),
-        ]);
+        ]
+    });
+    for row in &rows3 {
+        t3.row(row);
     }
 }

@@ -6,7 +6,7 @@
 //! call-heavy benchmarks (omnetpp, xalancbmk, nab) hurt most;
 //! compute-bound ones (lbm, xz, imagick, x264) barely move.
 
-use r2c_bench::{geomean, median_cycles, pct, TablePrinter};
+use r2c_bench::{baseline_cycles, geomean, median_cycles, parallel_map, pct, TablePrinter};
 use r2c_core::R2cConfig;
 use r2c_vm::MachineKind;
 use r2c_workloads::{spec_workloads, Scale};
@@ -28,13 +28,23 @@ fn main() {
     t.row(&header);
     t.sep();
 
+    // One measurement cell per (workload, machine); cells are
+    // independent, so fan them out and print in input order.
+    let cells: Vec<(usize, MachineKind)> = (0..workloads.len())
+        .flat_map(|wi| MachineKind::ALL.into_iter().map(move |m| (wi, m)))
+        .collect();
+    let ratios = parallel_map(&cells, |&(wi, machine)| {
+        let w = &workloads[wi];
+        let base = baseline_cycles(&w.module, machine, runs, 30);
+        let prot = median_cycles(&w.module, R2cConfig::full(0), machine, runs, 40);
+        prot / base
+    });
+
     let mut per_machine: Vec<Vec<f64>> = vec![Vec::new(); MachineKind::ALL.len()];
-    for w in &workloads {
+    for (wi, w) in workloads.iter().enumerate() {
         let mut row = vec![w.name.to_string()];
-        for (mi, &machine) in MachineKind::ALL.iter().enumerate() {
-            let base = median_cycles(&w.module, R2cConfig::baseline(0), machine, runs, 30);
-            let prot = median_cycles(&w.module, R2cConfig::full(0), machine, runs, 40);
-            let ratio = prot / base;
+        for mi in 0..MachineKind::ALL.len() {
+            let ratio = ratios[wi * MachineKind::ALL.len() + mi];
             per_machine[mi].push(ratio);
             row.push(pct(ratio));
         }

@@ -7,7 +7,7 @@
 //! about 55% stems from BTDP page allocations (the rest from BTRA
 //! arrays and the larger binary).
 
-use r2c_bench::{measure_once, TablePrinter};
+use r2c_bench::{measure_once, parallel_map, TablePrinter};
 use r2c_core::{R2cCompiler, R2cConfig};
 use r2c_vm::{MachineKind, PAGE_SIZE};
 use r2c_workloads::{spec_workloads, webserver::run_webserver, Scale, ServerKind};
@@ -29,11 +29,14 @@ fn main() {
         "overhead".into(),
     ]);
     t.sep();
-    let mut ratios = Vec::new();
-    for w in spec_workloads(scale) {
+    let workloads = spec_workloads(scale);
+    let rss_pairs = parallel_map(&workloads, |w| {
         let base = measure_once(&w.module, R2cConfig::baseline(0), machine, 1);
         let prot = measure_once(&w.module, R2cConfig::full(0), machine, 1);
-        let (b, p) = (base.stats.max_rss_bytes(), prot.stats.max_rss_bytes());
+        (base.stats.max_rss_bytes(), prot.stats.max_rss_bytes())
+    });
+    let mut ratios = Vec::new();
+    for (w, &(b, p)) in workloads.iter().zip(&rss_pairs) {
         ratios.push(p as f64 / b as f64);
         t.row(&[
             w.name.into(),
@@ -62,9 +65,13 @@ fn main() {
         "BTDP guard share".into(),
     ]);
     t2.sep();
-    for kind in [ServerKind::Nginx, ServerKind::Apache] {
+    let kinds = [ServerKind::Nginx, ServerKind::Apache];
+    let server_pairs = parallel_map(&kinds, |&kind| {
         let base = run_webserver(kind, 2_000, R2cConfig::baseline(1), machine);
         let prot = run_webserver(kind, 2_000, R2cConfig::full(1), machine);
+        (base, prot)
+    });
+    for (&kind, (base, prot)) in kinds.iter().zip(&server_pairs) {
         // Guard-page contribution: pool pages kept resident by the BTDP
         // constructor (the paper verified experimentally that ~55% of
         // the overhead came from these allocations).

@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use r2c_bench::TablePrinter;
+use r2c_bench::{parallel_map, TablePrinter};
 use r2c_core::{R2cCompiler, R2cConfig};
 use r2c_ir::interpret;
 use r2c_vm::{ExitStatus, MachineKind, Vm, VmConfig};
@@ -33,7 +33,10 @@ fn main() {
     } else {
         &[100, 400, 1600, 4000]
     };
-    for &funcs in sizes {
+    // Module generation and the reference interpretation are untimed
+    // and independent per size — fan them out. The *timed* compiles
+    // below stay serial so `compile ms` is not skewed by contention.
+    let prepared = parallel_map(sizes, |&funcs| {
         let profile = Profile {
             name: "scale",
             table2_calls: funcs as u64,
@@ -48,11 +51,14 @@ fn main() {
             heap_mb: 0,
         };
         let module = build_workload(&profile, 4000);
-        let ir_insts: usize = module.funcs.iter().map(|f| f.inst_count()).sum();
         let expected = interpret(&module, "main", 1_000_000_000).expect("interp");
+        (module, expected)
+    });
+    for (&funcs, (module, expected)) in sizes.iter().zip(&prepared) {
+        let ir_insts: usize = module.funcs.iter().map(|f| f.inst_count()).sum();
         let start = Instant::now();
         let (image, _info) = R2cCompiler::new(R2cConfig::full(7))
-            .build_with_info(&module)
+            .build_with_info(module)
             .expect("compile");
         let compile_ms = start.elapsed().as_millis();
         let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));

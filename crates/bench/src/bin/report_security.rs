@@ -16,7 +16,7 @@ use r2c_attacks::knowledge::probe_words;
 use r2c_attacks::outcome::Tally;
 use r2c_attacks::victim::{build_victim, run_victim};
 use r2c_attacks::{aocr, jitrop, pirop, rop, AttackerKnowledge};
-use r2c_bench::TablePrinter;
+use r2c_bench::{parallel_map, TablePrinter};
 use r2c_core::analysis::{p_guess_return_address, p_locate_chain, p_pick_benign_heap_pointer};
 use r2c_core::R2cConfig;
 
@@ -37,45 +37,56 @@ fn main() {
     let k_base = AttackerKnowledge::profile(&base_cfg, 0xA77AC0);
     let k_full = AttackerKnowledge::profile(&full_cfg, 0xA77AC0);
 
-    let run_matrix = |name: &str,
-                      f: &mut dyn FnMut(
+    // Each (attack, configuration) cell seeds its own attack RNG, so
+    // the cells are independent and fan out across threads; rows print
+    // in the original order afterwards.
+    type Attack = fn(
         &mut r2c_vm::Vm,
         &r2c_vm::Image,
         &AttackerKnowledge,
         &mut SmallRng,
-    ) -> r2c_attacks::Outcome| {
-        let mut tallies = Vec::new();
-        for (cfg, k) in [(base_cfg, &k_base), (full_cfg, &k_full)] {
-            let mut tally = Tally::default();
-            let mut rng = SmallRng::seed_from_u64(0x5ec);
-            for seed in 0..trials {
-                let v = build_victim(cfg.with_seed(seed));
-                let mut vm = run_victim(&v.image);
-                tally.add(&f(&mut vm, &v.image, k, &mut rng));
-            }
-            tallies.push(tally);
+    ) -> r2c_attacks::Outcome;
+    let attacks: [(&str, Attack); 5] = [
+        ("ROP", |vm, img, k, _| rop::classic_rop(vm, img, k, 4)),
+        ("JIT-ROP (direct)", |vm, img, _, _| {
+            jitrop::direct_jitrop(vm, img)
+        }),
+        ("JIT-ROP (indirect)", |vm, img, k, rng| {
+            jitrop::indirect_jitrop(vm, img, k, rng)
+        }),
+        ("AOCR", |vm, img, k, rng| aocr::aocr_attack(vm, img, k, rng)),
+        ("PIROP", |vm, img, k, _| pirop::pirop_attack(vm, img, k)),
+    ];
+    let matrix_cells: Vec<(usize, bool)> = (0..attacks.len())
+        .flat_map(|a| [(a, false), (a, true)])
+        .collect();
+    let tallies = parallel_map(&matrix_cells, |&(a, protected)| {
+        let (cfg, k) = if protected {
+            (full_cfg, &k_full)
+        } else {
+            (base_cfg, &k_base)
+        };
+        let mut tally = Tally::default();
+        let mut rng = SmallRng::seed_from_u64(0x5ec);
+        for seed in 0..trials {
+            let v = build_victim(cfg.with_seed(seed));
+            let mut vm = run_victim(&v.image);
+            tally.add(&(attacks[a].1)(&mut vm, &v.image, k, &mut rng));
         }
-        t.row(&[name.into(), tallies[0].to_string(), tallies[1].to_string()]);
-    };
-
-    run_matrix("ROP", &mut |vm, img, k, _| rop::classic_rop(vm, img, k, 4));
-    run_matrix("JIT-ROP (direct)", &mut |vm, img, _, _| {
-        jitrop::direct_jitrop(vm, img)
+        tally.to_string()
     });
-    run_matrix("JIT-ROP (indirect)", &mut |vm, img, k, rng| {
-        jitrop::indirect_jitrop(vm, img, k, rng)
-    });
-    run_matrix("AOCR", &mut |vm, img, k, rng| {
-        aocr::aocr_attack(vm, img, k, rng)
-    });
-    run_matrix("PIROP", &mut |vm, img, k, _| {
-        pirop::pirop_attack(vm, img, k)
-    });
+    for (a, (name, _)) in attacks.iter().enumerate() {
+        t.row(&[
+            (*name).into(),
+            tallies[2 * a].clone(),
+            tallies[2 * a + 1].clone(),
+        ]);
+    }
 
     // Blind ROP: separate, because it consumes many worker restarts.
     {
-        let mut cells = vec!["Blind ROP".to_string()];
-        for cfg in [base_cfg, full_cfg] {
+        let cfgs = [base_cfg, full_cfg];
+        let results = parallel_map(&cfgs, |&cfg| {
             let mut successes = 0;
             let mut detected = 0;
             let mut probes_to_detect = Vec::new();
@@ -95,13 +106,13 @@ fn main() {
             if detected > 0 {
                 let avg: f64 =
                     probes_to_detect.iter().map(|&p| p as f64).sum::<f64>() / detected as f64;
-                cells.push(format!(
-                    "success {successes}/{n}, detected {detected} (avg {avg:.0} probes)"
-                ));
+                format!("success {successes}/{n}, detected {detected} (avg {avg:.0} probes)")
             } else {
-                cells.push(format!("success {successes}/{n}, detected 0"));
+                format!("success {successes}/{n}, detected 0")
             }
-        }
+        });
+        let mut cells = vec!["Blind ROP".to_string()];
+        cells.extend(results);
         t.row(&cells);
     }
 
@@ -117,17 +128,16 @@ fn main() {
     );
     // Empirical: count indistinguishable return-address candidates in
     // the leaked window of full-R²C variants.
-    let mut candidate_counts = Vec::new();
-    for seed in 0..trials.min(24) {
+    let cand_seeds: Vec<u64> = (0..trials.min(24)).collect();
+    let candidate_counts = parallel_map(&cand_seeds, |&seed| {
         let v = build_victim(full_cfg.with_seed(seed));
-        let mut vm = run_victim(&v.image);
-        let (_rsp, words) = probe_words(&mut vm);
-        let n = words
+        let vm = run_victim(&v.image);
+        let (_rsp, words) = probe_words(&vm);
+        words
             .iter()
             .filter(|&&w| v.image.layout.region_of(w) == Some(r2c_vm::image::Region::Text))
-            .count();
-        candidate_counts.push(n);
-    }
+            .count()
+    });
     let avg = candidate_counts.iter().sum::<usize>() as f64 / candidate_counts.len() as f64;
     println!("measured: avg {avg:.1} indistinguishable code-pointer candidates per leaked window");
     println!("          => empirical P(guess) ~ {:.4}", 1.0 / avg);
@@ -147,7 +157,7 @@ fn main() {
         let v = build_victim(full_cfg.with_seed(seed));
         let mut vm = run_victim(&v.image);
         // Ground-truth split of the heap cluster.
-        let (rsp, words) = probe_words(&mut vm);
+        let (rsp, words) = probe_words(&vm);
         let clusters = r2c_core::analysis::cluster_values(&words, 1 << 32);
         if let Some(hc) = clusters.iter().find(|c| {
             c.min >= (1u64 << 32) && c.members.iter().all(|&m| m.abs_diff(rsp) > (1 << 24))
@@ -168,7 +178,10 @@ fn main() {
     }
     let h = h_sum / total as f64;
     let b = b_sum / total as f64;
-    println!("avg heap-pointer cluster: {:.1} members (H = {h:.1} benign, B = {b:.1} BTDP)", h + b);
+    println!(
+        "avg heap-pointer cluster: {:.1} members (H = {h:.1} benign, B = {b:.1} BTDP)",
+        h + b
+    );
     println!(
         "closed form: P(benign pick) = H/(H+B) = {:.2}",
         p_pick_benign_heap_pointer(h.round() as u64, b.round() as u64)
@@ -183,31 +196,29 @@ fn main() {
     println!("\n== Remaining attack surface & mitigations (paper §7.3) ==\n");
     let module = r2c_attacks::victim::victim_module();
     // (a) RA-zeroing side channel vs BTRA consistency checking.
-    let mut plain_found = 0;
-    let mut hard_detected = 0;
     let n = (trials / 8).max(4);
-    for seed in 0..n {
+    let zero_seeds: Vec<u64> = (0..n).collect();
+    let zeroing = parallel_map(&zero_seeds, |&seed| {
         let img = r2c_core::R2cCompiler::new(full_cfg.with_seed(seed))
             .build(&module)
             .unwrap();
-        if matches!(
+        let plain = matches!(
             r2c_attacks::zeroing::zeroing_attack(&img),
             r2c_attacks::zeroing::ZeroingResult::FoundRa { .. }
-        ) {
-            plain_found += 1;
-        }
+        );
         let hardened = R2cConfig {
             diversify: r2c_core::DiversifyConfig::hardened(3),
             seed,
         };
         let img = r2c_core::R2cCompiler::new(hardened).build(&module).unwrap();
-        if matches!(
+        let hard = matches!(
             r2c_attacks::zeroing::zeroing_attack(&img),
             r2c_attacks::zeroing::ZeroingResult::Detected { .. }
-        ) {
-            hard_detected += 1;
-        }
-    }
+        );
+        (plain, hard)
+    });
+    let plain_found = zeroing.iter().filter(|&&(p, _)| p).count();
+    let hard_detected = zeroing.iter().filter(|&&(_, h)| h).count();
     println!("RA-zeroing side channel: locates the RA in {plain_found}/{n} campaigns");
     println!("with BTRA consistency checks (3/site): detected in {hard_detected}/{n} campaigns");
     // (b) Blind ROP vs load-time re-randomization.

@@ -8,7 +8,7 @@
 //! dynamic call counts preserve the paper's ordering and relative
 //! magnitudes.
 
-use r2c_bench::{measure_once, TablePrinter};
+use r2c_bench::{measure_once, parallel_map, TablePrinter};
 use r2c_core::R2cConfig;
 use r2c_vm::MachineKind;
 use r2c_workloads::{spec_workloads, Scale};
@@ -33,16 +33,15 @@ fn main() {
         "paper (Table 2)".into(),
     ]);
     t.sep();
-    let mut rows: Vec<(String, u64, u64, u64)> = Vec::new();
-    for w in &workloads {
+    let rows: Vec<(String, u64, u64, u64)> = parallel_map(&workloads, |w| {
         let m = measure_once(&w.module, R2cConfig::baseline(0), MachineKind::EpycRome, 1);
-        rows.push((
+        (
             w.name.to_string(),
             m.stats.calls,
             m.stats.calls * factor,
             w.table2_calls,
-        ));
-    }
+        )
+    });
     for (name, measured, scaled, paper) in &rows {
         t.row(&[
             name.clone(),

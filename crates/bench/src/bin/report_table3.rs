@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use r2c_attacks::victim::{build_victim, run_victim};
 use r2c_attacks::{aocr, jitrop, pirop, rop, AttackerKnowledge, Outcome};
 use r2c_baselines::DefenseKind;
-use r2c_bench::TablePrinter;
+use r2c_bench::{parallel_map, TablePrinter};
 
 fn main() {
     let trials: u64 = if std::env::args().any(|a| a == "--large") {
@@ -36,7 +36,9 @@ fn main() {
     ]);
     t.sep();
 
-    for defense in DefenseKind::ALL {
+    // One row per defense; each row seeds its own attack RNG, so rows
+    // are independent cells that can be measured concurrently.
+    let rows = parallel_map(&DefenseKind::ALL, |&defense| {
         let cfg = defense.config(0);
         let k = AttackerKnowledge::profile(&cfg, 0xFACE);
         let mut rng = SmallRng::seed_from_u64(33);
@@ -87,16 +89,19 @@ fn main() {
             }
         };
         let (c, cpp) = defense.language_support();
-        t.row(&[
+        vec![
             defense.name().into(),
             defense.published_overhead().into(),
-            if c { "●" } else { "○" }.into(),
-            if cpp { "●" } else { "○" }.into(),
+            if c { "●" } else { "○" }.to_string(),
+            if cpp { "●" } else { "○" }.to_string(),
             rop_cell,
             jitrop_cell,
             pirop_cell,
             aocr_cell,
-        ]);
+        ]
+    });
+    for row in &rows {
+        t.row(row);
     }
     println!("\n● = all attack attempts stopped; ○ = attack succeeded (○~ = sometimes).");
     println!("Language columns and published overheads quoted from the respective papers;");

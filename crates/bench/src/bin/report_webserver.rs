@@ -5,7 +5,7 @@
 //! Paper: i9-9900K throughput decrease 13% (nginx) and 12% (Apache);
 //! 3–4% on the AMD machines for both.
 
-use r2c_bench::TablePrinter;
+use r2c_bench::{parallel_map, TablePrinter};
 use r2c_core::R2cConfig;
 use r2c_vm::MachineKind;
 use r2c_workloads::{webserver::run_webserver, ServerKind};
@@ -27,14 +27,25 @@ fn main() {
         "paper".into(),
     ]);
     t.sep();
-    for kind in [ServerKind::Nginx, ServerKind::Apache] {
-        for machine in [
-            MachineKind::I9_9900K,
-            MachineKind::EpycRome,
-            MachineKind::Tr3970X,
-        ] {
-            let base = run_webserver(kind, requests, R2cConfig::baseline(1), machine);
-            let prot = run_webserver(kind, requests, R2cConfig::full(1), machine);
+    let cells: Vec<(ServerKind, MachineKind)> = [ServerKind::Nginx, ServerKind::Apache]
+        .into_iter()
+        .flat_map(|kind| {
+            [
+                MachineKind::I9_9900K,
+                MachineKind::EpycRome,
+                MachineKind::Tr3970X,
+            ]
+            .into_iter()
+            .map(move |machine| (kind, machine))
+        })
+        .collect();
+    let results = parallel_map(&cells, |&(kind, machine)| {
+        let base = run_webserver(kind, requests, R2cConfig::baseline(1), machine);
+        let prot = run_webserver(kind, requests, R2cConfig::full(1), machine);
+        (base, prot)
+    });
+    {
+        for (&(kind, machine), (base, prot)) in cells.iter().zip(&results) {
             let drop = 1.0 - prot.throughput_rps / base.throughput_rps;
             let paper = match (kind, machine) {
                 (ServerKind::Nginx, MachineKind::I9_9900K) => "-13%",

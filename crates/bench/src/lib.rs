@@ -22,6 +22,10 @@
 //! disabled. Overheads are ratios of simulated cycle counts under the
 //! respective machine cost model.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
 use r2c_core::{R2cCompiler, R2cConfig};
 use r2c_ir::Module;
 use r2c_vm::{ExecStats, ExitStatus, MachineKind, Vm, VmConfig};
@@ -81,11 +85,128 @@ pub fn median_cycles(
 
 fn median_of_sorted(v: &[f64]) -> f64 {
     let n = v.len();
+    assert!(
+        n > 0,
+        "median of zero measurements — was median_cycles called with runs == 0?"
+    );
     if n % 2 == 1 {
         v[n / 2]
     } else {
         (v[n / 2 - 1] + v[n / 2]) / 2.0
     }
+}
+
+/// Number of worker threads for [`parallel_map`]: the host's available
+/// parallelism, overridable with `R2C_BENCH_THREADS` (set it to `1` to
+/// force the serial path, e.g. when diffing against a serial run).
+pub fn bench_threads() -> usize {
+    if let Ok(v) = std::env::var("R2C_BENCH_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, fanning the work out across
+/// [`bench_threads`] scoped threads, and returns the results **in input
+/// order**.
+///
+/// Measurement cells — (workload, machine, seed) triples — are
+/// independent: each compiles its own image from an explicit seed and
+/// runs it in a private [`Vm`], so execution order cannot influence any
+/// simulated cycle count. Parallel results are therefore bit-identical
+/// to a serial run; only host wall-clock changes.
+///
+/// If a worker panics (e.g. a measurement crashed), the panic is
+/// propagated once all threads have finished, same as the serial path.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = bench_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let v = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(v);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker poisoned slot")
+                .expect("scoped worker exited without storing a result")
+        })
+        .collect()
+}
+
+/// Key identifying one baseline measurement: which module, machine and
+/// sampling parameters produced it. The module is identified by name
+/// plus structural counts — modules generated by `r2c-workloads` have
+/// unique names, and the counts guard against a name reused for a
+/// structurally different module.
+#[derive(Clone, Hash, PartialEq, Eq)]
+struct BaselineKey {
+    module_name: String,
+    funcs: usize,
+    insts: usize,
+    globals: usize,
+    machine: &'static str,
+    runs: u32,
+    seed_base: u64,
+}
+
+fn baseline_key(module: &Module, machine: MachineKind, runs: u32, seed_base: u64) -> BaselineKey {
+    BaselineKey {
+        module_name: module.name.clone(),
+        funcs: module.funcs.len(),
+        insts: module.funcs.iter().map(|f| f.inst_count()).sum(),
+        globals: module.globals.len(),
+        machine: machine.name(),
+        runs,
+        seed_base,
+    }
+}
+
+fn baseline_cache() -> &'static Mutex<HashMap<BaselineKey, f64>> {
+    static CACHE: OnceLock<Mutex<HashMap<BaselineKey, f64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Median baseline cycles, memoized per (module, machine, runs,
+/// seed_base).
+///
+/// Report binaries compare many protected configurations against the
+/// *same* baseline; recompiling and re-running it per comparison
+/// dominated their wall-clock. The cached value is exactly what
+/// [`median_cycles`] with [`R2cConfig::baseline`] returns for the same
+/// arguments, so the memoization cannot change any reported number.
+pub fn baseline_cycles(module: &Module, machine: MachineKind, runs: u32, seed_base: u64) -> f64 {
+    let key = baseline_key(module, machine, runs, seed_base);
+    if let Some(&cycles) = baseline_cache().lock().unwrap().get(&key) {
+        return cycles;
+    }
+    // Measure outside the lock: baselines for different cells can and
+    // should run in parallel under `parallel_map`.
+    let cycles = median_cycles(module, R2cConfig::baseline(0), machine, runs, seed_base);
+    baseline_cache().lock().unwrap().insert(key, cycles);
+    cycles
 }
 
 /// Overhead of `cfg` relative to the baseline configuration on the
@@ -97,7 +218,7 @@ pub fn overhead(
     runs: u32,
     seed_base: u64,
 ) -> f64 {
-    let base = median_cycles(module, R2cConfig::baseline(0), machine, runs, seed_base);
+    let base = baseline_cycles(module, machine, runs, seed_base);
     let prot = median_cycles(module, cfg, machine, runs, seed_base ^ 0x5eed);
     prot / base
 }
@@ -173,5 +294,56 @@ mod tests {
         let w = &spec_workloads(Scale::Test)[4]; // omnetpp: call-heavy
         let r = overhead(&w.module, R2cConfig::full(0), MachineKind::EpycRome, 3, 1);
         assert!(r > 1.0, "overhead ratio {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "runs == 0")]
+    fn median_of_zero_runs_panics_clearly() {
+        median_of_sorted(&[]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..57).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    /// The harness invariant: fanning measurement cells out across
+    /// threads reproduces the serial cycle counts exactly.
+    #[test]
+    fn parallel_fanout_reproduces_serial_cycles_exactly() {
+        let workloads = spec_workloads(Scale::Test);
+        let cells: Vec<(usize, MachineKind, u64)> = (0..4)
+            .flat_map(|wi| {
+                MachineKind::ALL
+                    .into_iter()
+                    .map(move |m| (wi, m, 7 + wi as u64))
+            })
+            .collect();
+        let measure = |&(wi, m, seed): &(usize, MachineKind, u64)| {
+            measure_once(&workloads[wi].module, R2cConfig::full(0), m, seed).cycles
+        };
+        let serial: Vec<f64> = cells.iter().map(measure).collect();
+        let parallel: Vec<f64> = parallel_map(&cells, measure);
+        assert_eq!(serial, parallel);
+    }
+
+    /// Baseline memoization returns exactly what `median_cycles` with
+    /// the baseline configuration returns, on repeated calls too.
+    #[test]
+    fn baseline_cache_is_transparent() {
+        let w = &spec_workloads(Scale::Test)[3];
+        let direct = median_cycles(
+            &w.module,
+            R2cConfig::baseline(0),
+            MachineKind::Xeon8358,
+            2,
+            9,
+        );
+        let cached1 = baseline_cycles(&w.module, MachineKind::Xeon8358, 2, 9);
+        let cached2 = baseline_cycles(&w.module, MachineKind::Xeon8358, 2, 9);
+        assert_eq!(direct, cached1);
+        assert_eq!(direct, cached2);
     }
 }

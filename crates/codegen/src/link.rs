@@ -71,8 +71,7 @@ pub fn link(p: &Program, o: &LinkOptions) -> Image {
     // Booby-trap function bodies: a run of trap bytes, then a return.
     // BTRAs may point at any byte of the run, so their values carry the
     // same "arbitrary low bits" as genuine return addresses.
-    let bt_insns: Vec<Insn> = std::iter::repeat(Insn::Trap)
-        .take(BOOBY_TRAP_RUN as usize)
+    let bt_insns: Vec<Insn> = std::iter::repeat_n(Insn::Trap, BOOBY_TRAP_RUN as usize)
         .chain([Insn::Ret])
         .collect();
 

@@ -910,10 +910,10 @@ impl<'a> FnLowerer<'a> {
         let nreg = args.len().min(6);
         let nstack = args.len().saturating_sub(6);
         // Outgoing stack arguments into the reserved area at [rsp+0..).
-        for i in 6..args.len() {
-            let s = self.operand(args[i], Gpr::R10);
+        for (k, &arg) in args.iter().skip(6).enumerate() {
+            let s = self.operand(arg, Gpr::R10);
             self.emit(Insn::Store {
-                mem: MemRef::base_disp(Gpr::Rsp, (8 * (i - 6)) as i32),
+                mem: MemRef::base_disp(Gpr::Rsp, (8 * k) as i32),
                 src: s,
             });
         }

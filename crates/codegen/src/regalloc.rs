@@ -142,15 +142,11 @@ pub fn allocate(f: &Function, rand_seed: Option<u64>) -> Allocation {
             }
         }
         match &b.term {
-            Term::CondBr { cond, .. } => {
-                if !kill[bi][cond.0 as usize] {
-                    gen[bi][cond.0 as usize] = true;
-                }
+            Term::CondBr { cond, .. } if !kill[bi][cond.0 as usize] => {
+                gen[bi][cond.0 as usize] = true;
             }
-            Term::Ret(Some(v)) => {
-                if !kill[bi][v.0 as usize] {
-                    gen[bi][v.0 as usize] = true;
-                }
+            Term::Ret(Some(v)) if !kill[bi][v.0 as usize] => {
+                gen[bi][v.0 as usize] = true;
             }
             _ => {}
         }

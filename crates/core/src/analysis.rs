@@ -61,7 +61,7 @@ pub fn cluster_values(words: &[u64], gap: u64) -> Vec<Cluster> {
             }),
         }
     }
-    clusters.sort_by(|a, b| b.members.len().cmp(&a.members.len()));
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
     clusters
 }
 

@@ -138,9 +138,9 @@ impl<'m> Interp<'m> {
     }
 
     fn route(&self, addr: u64) -> Result<(&[u8], u64), InterpError> {
-        if addr >= HEAP_BASE && addr < HEAP_BASE + HEAP_SIZE {
+        if (HEAP_BASE..HEAP_BASE + HEAP_SIZE).contains(&addr) {
             Ok((&self.heap, addr - HEAP_BASE))
-        } else if addr >= STACK_BASE && addr < STACK_BASE + STACK_SIZE {
+        } else if (STACK_BASE..STACK_BASE + STACK_SIZE).contains(&addr) {
             Ok((&self.stack, addr - STACK_BASE))
         } else if addr >= GLOBAL_BASE && addr < GLOBAL_BASE + self.globals.len() as u64 {
             Ok((&self.globals, addr - GLOBAL_BASE))
@@ -150,9 +150,9 @@ impl<'m> Interp<'m> {
     }
 
     fn store(&mut self, addr: u64, val: u64) -> Result<(), InterpError> {
-        let (buf, off) = if addr >= HEAP_BASE && addr < HEAP_BASE + HEAP_SIZE {
+        let (buf, off) = if (HEAP_BASE..HEAP_BASE + HEAP_SIZE).contains(&addr) {
             (&mut self.heap, addr - HEAP_BASE)
-        } else if addr >= STACK_BASE && addr < STACK_BASE + STACK_SIZE {
+        } else if (STACK_BASE..STACK_BASE + STACK_SIZE).contains(&addr) {
             (&mut self.stack, addr - STACK_BASE)
         } else if addr >= GLOBAL_BASE && addr < GLOBAL_BASE + self.globals.len() as u64 {
             (&mut self.globals, addr - GLOBAL_BASE)
@@ -307,6 +307,12 @@ impl<'m> Interp<'m> {
                 if let Some(r) = res {
                     vals[r.0 as usize] = out;
                 }
+            }
+            // Terminators consume fuel too: a block with no body that
+            // branches to itself must still hit the budget.
+            if self.executed >= self.fuel {
+                self.depth -= 1;
+                return Err(InterpError::OutOfFuel);
             }
             self.executed += 1;
             match &block.term {

@@ -408,7 +408,7 @@ impl<'s> Parser<'s> {
                 let id = self
                     .module
                     .global_by_name(g)
-                    .or_else(|| {
+                    .or({
                         // Globals may only be referenced after declaration.
                         None
                     })

@@ -9,10 +9,14 @@ use r2c_ir::{
     Module, ModuleBuilder,
 };
 
+/// Per-function recipe: (binop tags + constants, loop iterations,
+/// whether to fold in a global load).
+type FuncRecipe = (Vec<(u8, i64)>, u8, bool);
+
 #[derive(Clone, Debug)]
 struct Recipe {
     globals: Vec<(u8, Vec<i64>)>,
-    funcs: Vec<(Vec<(u8, i64)>, u8, bool)>,
+    funcs: Vec<FuncRecipe>,
 }
 
 fn recipe() -> impl Strategy<Value = Recipe> {
@@ -113,7 +117,7 @@ fn build(r: &Recipe) -> Module {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 48 })]
 
     #[test]
     fn print_parse_roundtrip(r in recipe()) {
@@ -139,7 +143,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 256 })]
 
     /// The parser must never panic: arbitrary input yields Ok or a
     /// ParseError with a line number, nothing else.

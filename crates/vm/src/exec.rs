@@ -8,8 +8,6 @@
 //! booby-trap execution and guard-page access is recorded as a
 //! [`Detection`] event for the reactive-defense monitor.
 
-use std::collections::HashMap;
-
 use crate::fault::{Detection, Fault};
 use crate::heap::Heap;
 use crate::image::{Image, NativeKind};
@@ -93,12 +91,21 @@ impl VmConfig {
     }
 }
 
+/// Sentinel in the dense dispatch table marking a text offset that is
+/// not the start of an instruction.
+const NO_INSN: u32 = u32::MAX;
+
 /// The virtual machine.
 pub struct Vm {
     cfg: VmConfig,
     insns: Vec<Insn>,
     insn_addrs: Vec<VAddr>,
-    index: HashMap<VAddr, u32>,
+    /// Dense jump table: `dispatch[addr - text_base]` is the index of
+    /// the instruction starting at `addr`, or [`NO_INSN`]. Replaces the
+    /// per-jump `HashMap<VAddr, u32>` lookup — every control transfer
+    /// resolves with one bounds check and one array load.
+    dispatch: Vec<u32>,
+    text_base: VAddr,
     natives: Vec<NativeKind>,
     /// Guest memory. Public for tests and analysis tooling; attacks must
     /// use the permission-checked primitives instead.
@@ -157,11 +164,19 @@ impl Vm {
         let mut regs = RegFile::new();
         regs.set(Gpr::Rsp, l.stack_top - 64);
 
+        // Dense offset → instruction-index table over the text section.
+        // Image::validate guarantees every instruction lies inside it.
+        let mut dispatch = vec![NO_INSN; text_len as usize];
+        for (i, &a) in image.insn_addrs.iter().enumerate() {
+            dispatch[(a - l.text_base) as usize] = i as u32;
+        }
+
         Vm {
             cfg,
             insns: image.insns.clone(),
             insn_addrs: image.insn_addrs.clone(),
-            index: image.build_index(),
+            dispatch,
+            text_base: l.text_base,
             natives: image.natives.clone(),
             mem,
             regs,
@@ -227,10 +242,25 @@ impl Vm {
         if let Err(f) = self.mem.write_u64(rsp - 8, EXIT_SENTINEL) {
             return self.finish(ExitStatus::Faulted(f));
         }
-        match self.index.get(&target) {
-            Some(&idx) => self.exec_from(idx),
+        match self.index_of(target) {
+            Some(idx) => self.exec_from(idx),
             None => self.finish(ExitStatus::Faulted(Fault::InvalidJump { target })),
         }
+    }
+
+    /// Resolves a jump target to its instruction index via the dense
+    /// dispatch table. `None` exactly when the old `HashMap` lookup
+    /// missed: outside the text section or between instruction starts.
+    #[inline]
+    fn index_of(&self, target: VAddr) -> Option<u32> {
+        let off = target.wrapping_sub(self.text_base);
+        if off < self.dispatch.len() as u64 {
+            let idx = self.dispatch[off as usize];
+            if idx != NO_INSN {
+                return Some(idx);
+            }
+        }
+        None
     }
 
     fn finish(&mut self, status: ExitStatus) -> RunOutcome {
@@ -343,8 +373,8 @@ impl Vm {
             macro_rules! jump_to {
                 ($t:expr) => {{
                     let t = $t;
-                    match self.index.get(&t) {
-                        Some(&i) => {
+                    match self.index_of(t) {
+                        Some(i) => {
                             idx = i;
                             continue;
                         }
@@ -497,7 +527,7 @@ impl Vm {
                 Insn::Trap => fault!(Fault::BoobyTrap { addr }),
                 Insn::VLoad { dst, mem, aligned } => {
                     let a = self.ea(&mem);
-                    if aligned && a % 32 != 0 {
+                    if aligned && !a.is_multiple_of(32) {
                         fault!(Fault::Misaligned { addr: a, align: 32 });
                     }
                     let mut buf = [0u8; 32];
@@ -507,7 +537,7 @@ impl Vm {
                 }
                 Insn::VStore { mem, src, aligned } => {
                     let a = self.ea(&mem);
-                    if aligned && a % 32 != 0 {
+                    if aligned && !a.is_multiple_of(32) {
                         fault!(Fault::Misaligned { addr: a, align: 32 });
                     }
                     let buf = self.regs.get_ymm(src);
@@ -684,8 +714,8 @@ impl Vm {
             }
         }
         self.regs.set(Gpr::Rsp, rsp);
-        match self.index.get(&gadgets[0]) {
-            Some(&idx) => self.exec_from(idx),
+        match self.index_of(gadgets[0]) {
+            Some(idx) => self.exec_from(idx),
             None => self.finish(ExitStatus::Faulted(Fault::InvalidJump {
                 target: gadgets[0],
             })),
@@ -709,8 +739,8 @@ impl Vm {
     pub fn attacker_disassemble(&mut self, addr: VAddr) -> Result<Insn, Fault> {
         // Reading one byte is enough to trigger the permission check.
         self.attacker_read(addr, 1)?;
-        match self.index.get(&addr) {
-            Some(&i) => Ok(self.insns[i as usize]),
+        match self.index_of(addr) {
+            Some(i) => Ok(self.insns[i as usize]),
             None => Err(Fault::InvalidJump { target: addr }),
         }
     }
@@ -753,7 +783,7 @@ mod tests {
             addrs.push(a);
             a += i.len();
         }
-        let text_end = (a + PAGE_SIZE - 1) / PAGE_SIZE * PAGE_SIZE;
+        let text_end = a.div_ceil(PAGE_SIZE) * PAGE_SIZE;
         Image {
             insns,
             insn_addrs: addrs,

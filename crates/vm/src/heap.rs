@@ -111,9 +111,19 @@ impl Heap {
         // (e.g. a neighbouring guard page must stay a guard).
         let first = aligned / PAGE_SIZE;
         let last = (aligned + size - 1) / PAGE_SIZE;
-        for p in first..=last {
-            if !mem.is_mapped(p * PAGE_SIZE) {
-                mem.map(p * PAGE_SIZE, PAGE_SIZE, Perms::RW);
+        // Map contiguous runs of unmapped pages with one `map` call per
+        // run, not one per page; already-mapped pages are skipped so a
+        // neighbouring guard page keeps its permissions.
+        let mut run_start: Option<u64> = None;
+        for p in first..=last + 1 {
+            let unmapped = p <= last && !mem.is_mapped(p * PAGE_SIZE);
+            match (run_start, unmapped) {
+                (None, true) => run_start = Some(p),
+                (Some(s), false) => {
+                    mem.map(s * PAGE_SIZE, (p - s) * PAGE_SIZE, Perms::RW);
+                    run_start = None;
+                }
+                _ => {}
             }
         }
         Some(aligned)

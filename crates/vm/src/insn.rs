@@ -482,7 +482,7 @@ mod tests {
             Insn::VZeroUpper,
         ];
         for i in insns {
-            assert!(i.len() >= 1 && i.len() <= 16, "{i:?}");
+            assert!(!i.is_empty() && i.len() <= 16, "{i:?}");
         }
     }
 

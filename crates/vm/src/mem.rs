@@ -6,11 +6,87 @@
 //! (and *only* `X`, which is what makes execute-only text useful against
 //! direct JIT-ROP disclosure). Pages with no permissions at all act as the
 //! guard pages backing booby-trapped data pointers: any access faults.
+//!
+//! ## Host-side fast paths
+//!
+//! The observable behaviour (fault semantics, permission checks, byte
+//! contents, rss accounting) is independent of the lookup machinery, so
+//! the hot paths are free to be aggressive:
+//!
+//! * page frames live in one contiguous arena (a single [`Vec<u8>`]), so
+//!   materializing a page never heap-allocates on its own; the
+//!   page-number → entry map is a [`HashMap`] keyed with an
+//!   FxHash-style multiplicative hasher instead of the DoS-resistant
+//!   SipHash default (guest page numbers are not attacker-controlled
+//!   hash inputs — the *simulated* attacker operates on simulated
+//!   memory, never on host data structures);
+//! * page frames are **lazily materialized**: `map` records only the
+//!   table entry, and the backing frame is allocated (zeroed) on first
+//!   write — reads of never-written pages return zeros without
+//!   allocating, so a huge guest `malloc` that is sparsely touched
+//!   costs only its table entries;
+//! * a software TLB (one last-page entry per access class: read, write,
+//!   execute) short-circuits the map for the overwhelmingly common
+//!   same-page-as-last-time case. It caches permissions too, which is
+//!   sound because every table mutation (`map`, `protect`, `unmap`,
+//!   frame materialization) flushes it — revoked permissions are
+//!   visible immediately;
+//! * `read_u64`/`write_u64` take a whole-word single-page fast path and
+//!   only fall back to the byte loop when the access crosses a page
+//!   boundary.
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::fault::Fault;
 use crate::VAddr;
+
+/// FxHash (the rustc hash): a single multiply-xor round per word. Not
+/// DoS-resistant, which is fine here — see the module docs.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type BuildFxHasher = BuildHasherDefault<FxHasher>;
 
 /// Size of a guest page in bytes.
 pub const PAGE_SIZE: u64 = 4096;
@@ -77,17 +153,65 @@ impl std::fmt::Display for Perms {
     }
 }
 
-struct Page {
-    perms: Perms,
-    data: Box<[u8; PAGE_SIZE as usize]>,
+/// Access classes with a dedicated TLB entry each.
+#[derive(Clone, Copy)]
+enum AccessClass {
+    Read = 0,
+    Write = 1,
+    Exec = 2,
 }
+
+/// Frame-slot sentinel: the page is mapped but its backing frame has
+/// not been materialized yet, so its contents are all-zero.
+const NO_FRAME: u32 = u32::MAX;
+
+/// Table entry for one mapped page.
+#[derive(Clone, Copy)]
+struct PageEntry {
+    perms: Perms,
+    /// Frame arena slot, or [`NO_FRAME`] while the page has never been
+    /// written.
+    slot: u32,
+}
+
+/// One cached page-number → page-entry translation. `page` is
+/// `u64::MAX` (an impossible page number for valid 64-bit addresses)
+/// when invalid. Caching `perms` is sound because every operation that
+/// changes an entry (`map`, `protect`, `unmap`, materialization)
+/// flushes the TLB.
+#[derive(Clone, Copy)]
+struct TlbEntry {
+    page: u64,
+    slot: u32,
+    perms: Perms,
+}
+
+const TLB_INVALID: TlbEntry = TlbEntry {
+    page: u64::MAX,
+    slot: NO_FRAME,
+    perms: Perms::NONE,
+};
 
 /// Sparse paged memory.
 ///
 /// Tracks the number of resident pages and the high-water mark, which is
 /// how the reproduction measures the `maxrss` metric of paper §6.2.5.
 pub struct Memory {
-    pages: HashMap<u64, Page>,
+    /// Page number → permissions + frame slot.
+    table: HashMap<u64, PageEntry, BuildFxHasher>,
+    /// Contiguous frame arena holding the *materialized* pages only;
+    /// slot `i`'s backing bytes are `frames[i * PAGE_SIZE..][..PAGE_SIZE]`.
+    /// Mapping allocates nothing here — a frame appears on first write,
+    /// so a multi-megabyte guest `malloc` whose pages are never touched
+    /// costs only its table entries. Unmapped slots are parked on `free`
+    /// and re-zeroed on reuse.
+    frames: Vec<u8>,
+    free: Vec<u32>,
+    /// Per-access-class software TLB. `Cell` so read-only accesses
+    /// (`&self`) can refill it; `Memory` stays `Send` (each VM owns its
+    /// address space exclusively — the parallel harness never shares
+    /// one).
+    tlb: [Cell<TlbEntry>; 3],
     /// High-water mark of mapped pages (for maxrss accounting).
     max_pages: usize,
 }
@@ -102,13 +226,80 @@ impl Memory {
     /// Creates an empty address space.
     pub fn new() -> Memory {
         Memory {
-            pages: HashMap::new(),
+            table: HashMap::default(),
+            frames: Vec::new(),
+            free: Vec::new(),
+            tlb: [const { Cell::new(TLB_INVALID) }; 3],
             max_pages: 0,
         }
     }
 
     fn page_index(addr: VAddr) -> u64 {
         addr / PAGE_SIZE
+    }
+
+    #[inline]
+    fn flush_tlb(&self) {
+        for e in &self.tlb {
+            e.set(TLB_INVALID);
+        }
+    }
+
+    /// Translates a page number to its table entry, consulting the TLB
+    /// entry of `class` first. Fills the entry on a map hit.
+    #[inline]
+    fn lookup(&self, page: u64, class: AccessClass) -> Option<PageEntry> {
+        let e = self.tlb[class as usize].get();
+        if e.page == page {
+            return Some(PageEntry {
+                perms: e.perms,
+                slot: e.slot,
+            });
+        }
+        let pe = *self.table.get(&page)?;
+        self.tlb[class as usize].set(TlbEntry {
+            page,
+            slot: pe.slot,
+            perms: pe.perms,
+        });
+        Some(pe)
+    }
+
+    /// Backing bytes of an arena slot.
+    #[inline]
+    fn frame(&self, slot: u32) -> &[u8] {
+        let base = slot as usize * PAGE_SIZE as usize;
+        &self.frames[base..base + PAGE_SIZE as usize]
+    }
+
+    #[inline]
+    fn frame_mut(&mut self, slot: u32) -> &mut [u8] {
+        let base = slot as usize * PAGE_SIZE as usize;
+        &mut self.frames[base..base + PAGE_SIZE as usize]
+    }
+
+    /// Allocates (or reuses) a zeroed frame and attaches it to `page`'s
+    /// entry. Flushes the TLB: cached entries still carrying
+    /// [`NO_FRAME`] for this page would otherwise go stale.
+    fn materialize(&mut self, page: u64) -> u32 {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.frame_mut(s).fill(0);
+                s
+            }
+            None => {
+                let s = (self.frames.len() / PAGE_SIZE as usize) as u32;
+                self.frames
+                    .resize(self.frames.len() + PAGE_SIZE as usize, 0);
+                s
+            }
+        };
+        self.table
+            .get_mut(&page)
+            .expect("materialize of unmapped page")
+            .slot = slot;
+        self.flush_tlb();
+        slot
     }
 
     /// Maps `len` bytes starting at `addr` with permissions `perms`,
@@ -118,18 +309,19 @@ impl Memory {
         if len == 0 {
             return;
         }
+        self.flush_tlb();
         let first = Self::page_index(addr);
         let last = Self::page_index(addr + len - 1);
         for p in first..=last {
-            self.pages
+            self.table
                 .entry(p)
-                .or_insert_with(|| Page {
+                .and_modify(|e| e.perms = perms)
+                .or_insert(PageEntry {
                     perms,
-                    data: Box::new([0u8; PAGE_SIZE as usize]),
-                })
-                .perms = perms;
+                    slot: NO_FRAME,
+                });
         }
-        self.max_pages = self.max_pages.max(self.pages.len());
+        self.max_pages = self.max_pages.max(self.table.len());
     }
 
     /// Unmaps every page intersecting `[addr, addr+len)`.
@@ -137,10 +329,15 @@ impl Memory {
         if len == 0 {
             return;
         }
+        self.flush_tlb();
         let first = Self::page_index(addr);
         let last = Self::page_index(addr + len - 1);
         for p in first..=last {
-            self.pages.remove(&p);
+            if let Some(e) = self.table.remove(&p) {
+                if e.slot != NO_FRAME {
+                    self.free.push(e.slot);
+                }
+            }
         }
     }
 
@@ -151,11 +348,12 @@ impl Memory {
         if len == 0 {
             return Ok(());
         }
+        self.flush_tlb();
         let first = Self::page_index(addr);
         let last = Self::page_index(addr + len - 1);
         for p in first..=last {
-            match self.pages.get_mut(&p) {
-                Some(page) => page.perms = perms,
+            match self.table.get_mut(&p) {
+                Some(e) => e.perms = perms,
                 None => {
                     return Err(Fault::Unmapped {
                         addr: p * PAGE_SIZE,
@@ -168,17 +366,20 @@ impl Memory {
 
     /// Returns the permissions of the page containing `addr`, if mapped.
     pub fn perms_at(&self, addr: VAddr) -> Option<Perms> {
-        self.pages.get(&Self::page_index(addr)).map(|p| p.perms)
+        Some(
+            self.lookup(Self::page_index(addr), AccessClass::Read)?
+                .perms,
+        )
     }
 
     /// True if the page containing `addr` is mapped.
     pub fn is_mapped(&self, addr: VAddr) -> bool {
-        self.pages.contains_key(&Self::page_index(addr))
+        self.table.contains_key(&Self::page_index(addr))
     }
 
     /// Number of currently resident pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.table.len()
     }
 
     /// High-water mark of resident pages over the lifetime of this
@@ -187,20 +388,53 @@ impl Memory {
         self.max_pages
     }
 
+    /// Single-page access check returning the page entry, shared by the
+    /// word fast paths. A TLB hit may serve cached permissions — every
+    /// mutation of the table flushes the TLB, so a `protect` immediately
+    /// invalidates what a stale entry would otherwise allow.
+    #[inline]
+    fn check_page(
+        &self,
+        addr: VAddr,
+        need: Perms,
+        write: bool,
+        class: AccessClass,
+    ) -> Result<PageEntry, Fault> {
+        match self.lookup(Self::page_index(addr), class) {
+            None => Err(Fault::Unmapped { addr }),
+            Some(e) => {
+                if !e.perms.allows(need) {
+                    Err(Fault::Protection {
+                        addr,
+                        perms: e.perms,
+                        write,
+                    })
+                } else {
+                    Ok(e)
+                }
+            }
+        }
+    }
+
     fn check(&self, addr: VAddr, len: u64, need: Perms, write: bool) -> Result<(), Fault> {
         debug_assert!(len > 0);
         let first = Self::page_index(addr);
         let last = Self::page_index(addr + len - 1);
+        let class = if write {
+            AccessClass::Write
+        } else {
+            AccessClass::Read
+        };
         for p in first..=last {
-            match self.pages.get(&p) {
+            match self.lookup(p, class) {
                 None => {
                     return Err(Fault::Unmapped { addr });
                 }
-                Some(page) => {
-                    if !page.perms.allows(need) {
+                Some(e) => {
+                    if !e.perms.allows(need) {
                         return Err(Fault::Protection {
                             addr,
-                            perms: page.perms,
+                            perms: e.perms,
                             write,
                         });
                     }
@@ -231,23 +465,56 @@ impl Memory {
     }
 
     /// Permission-checked 64-bit little-endian load.
+    ///
+    /// Whole-word fast path when the access stays within one page; byte
+    /// loop only for page-crossing accesses.
+    #[inline]
     pub fn read_u64(&self, addr: VAddr) -> Result<u64, Fault> {
-        let mut buf = [0u8; 8];
-        self.read(addr, &mut buf)?;
-        Ok(u64::from_le_bytes(buf))
+        let in_page = (addr % PAGE_SIZE) as usize;
+        if in_page <= PAGE_SIZE as usize - 8 {
+            let e = self.check_page(addr, Perms::R, false, AccessClass::Read)?;
+            if e.slot == NO_FRAME {
+                // Mapped but never written: contents are all-zero.
+                return Ok(0);
+            }
+            let word: [u8; 8] = self.frame(e.slot)[in_page..in_page + 8].try_into().unwrap();
+            Ok(u64::from_le_bytes(word))
+        } else {
+            let mut buf = [0u8; 8];
+            self.read(addr, &mut buf)?;
+            Ok(u64::from_le_bytes(buf))
+        }
     }
 
     /// Permission-checked 64-bit little-endian store.
+    ///
+    /// Whole-word fast path when the access stays within one page; byte
+    /// loop only for page-crossing accesses.
+    #[inline]
     pub fn write_u64(&mut self, addr: VAddr, val: u64) -> Result<(), Fault> {
-        self.write(addr, &val.to_le_bytes())
+        let in_page = (addr % PAGE_SIZE) as usize;
+        if in_page <= PAGE_SIZE as usize - 8 {
+            let e = self.check_page(addr, Perms::W, true, AccessClass::Write)?;
+            let slot = if e.slot == NO_FRAME {
+                self.materialize(Self::page_index(addr))
+            } else {
+                e.slot
+            };
+            self.frame_mut(slot)[in_page..in_page + 8].copy_from_slice(&val.to_le_bytes());
+            Ok(())
+        } else {
+            self.write(addr, &val.to_le_bytes())
+        }
     }
 
     /// Checks that `addr` may be fetched as code (needs `X`, and *not*
     /// `R`): execute-only mappings pass this check but fail [`read`].
     ///
     /// [`read`]: Memory::read
+    #[inline]
     pub fn check_exec(&self, addr: VAddr) -> Result<(), Fault> {
-        self.check(addr, 1, Perms::X, false)
+        self.check_page(addr, Perms::X, false, AccessClass::Exec)
+            .map(|_| ())
     }
 
     /// Writes bytes ignoring permissions. Used by the loader to populate
@@ -289,10 +556,14 @@ impl Memory {
         while off < buf.len() {
             let page = Self::page_index(addr);
             let in_page = (addr % PAGE_SIZE) as usize;
-            let n = ((PAGE_SIZE as usize - in_page) as usize).min(buf.len() - off);
-            match self.pages.get(&page) {
-                Some(p) => buf[off..off + n].copy_from_slice(&p.data[in_page..in_page + n]),
-                None => buf[off..off + n].fill(0),
+            let n = (PAGE_SIZE as usize - in_page).min(buf.len() - off);
+            match self.lookup(page, AccessClass::Read) {
+                Some(e) if e.slot != NO_FRAME => {
+                    let data = self.frame(e.slot);
+                    buf[off..off + n].copy_from_slice(&data[in_page..in_page + n]);
+                }
+                // Unmapped or never written: reads as zero either way.
+                _ => buf[off..off + n].fill(0),
             }
             off += n;
             addr += n as u64;
@@ -304,16 +575,40 @@ impl Memory {
         while off < buf.len() {
             let page = Self::page_index(addr);
             let in_page = (addr % PAGE_SIZE) as usize;
-            let n = ((PAGE_SIZE as usize - in_page) as usize).min(buf.len() - off);
-            let p = self.pages.entry(page).or_insert_with(|| Page {
-                perms: Perms::NONE,
-                data: Box::new([0u8; PAGE_SIZE as usize]),
-            });
-            p.data[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
+            let n = (PAGE_SIZE as usize - in_page).min(buf.len() - off);
+            let entry = self.lookup(page, AccessClass::Write);
+            if entry.is_none() {
+                // Demand-map, as the old implementation did for
+                // permissionless pokes into fresh pages.
+                self.flush_tlb();
+                self.table.insert(
+                    page,
+                    PageEntry {
+                        perms: Perms::NONE,
+                        slot: NO_FRAME,
+                    },
+                );
+                self.max_pages = self.max_pages.max(self.table.len());
+            }
+            let slot = match entry {
+                Some(e) if e.slot != NO_FRAME => Some(e.slot),
+                // Never-written page: writing zeros into it is a no-op
+                // (it already reads as zero), so loader pokes of
+                // zero-initialized data sections materialize nothing.
+                _ => {
+                    if buf[off..off + n].iter().all(|&b| b == 0) {
+                        None
+                    } else {
+                        Some(self.materialize(page))
+                    }
+                }
+            };
+            if let Some(slot) = slot {
+                self.frame_mut(slot)[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
+            }
             off += n;
             addr += n as u64;
         }
-        self.max_pages = self.max_pages.max(self.pages.len());
     }
 }
 
@@ -402,5 +697,60 @@ mod tests {
         assert_eq!(Perms::RW.to_string(), "rw-");
         assert_eq!(Perms::XO.to_string(), "--x");
         assert_eq!(Perms::NONE.to_string(), "---");
+    }
+
+    #[test]
+    fn protect_revokes_immediately_after_cached_hit() {
+        let mut m = Memory::new();
+        m.map(0x1000, PAGE_SIZE, Perms::RW);
+        // Warm the read and write TLB entries.
+        m.write_u64(0x1000, 7).unwrap();
+        assert_eq!(m.read_u64(0x1000).unwrap(), 7);
+        m.protect(0x1000, PAGE_SIZE, Perms::NONE).unwrap();
+        assert!(matches!(m.read_u64(0x1000), Err(Fault::Protection { .. })));
+        assert!(matches!(
+            m.write_u64(0x1000, 1),
+            Err(Fault::Protection { write: true, .. })
+        ));
+    }
+
+    #[test]
+    fn unmap_invalidates_cached_translation() {
+        let mut m = Memory::new();
+        m.map(0x1000, PAGE_SIZE, Perms::RW);
+        m.write_u64(0x1000, 42).unwrap();
+        m.unmap(0x1000, PAGE_SIZE);
+        assert!(matches!(m.read_u64(0x1000), Err(Fault::Unmapped { .. })));
+        // Slot reuse must hand back a zeroed page, not the old contents.
+        m.map(0x9000, PAGE_SIZE, Perms::RW);
+        assert_eq!(m.read_u64(0x9000).unwrap(), 0);
+    }
+
+    #[test]
+    fn word_fast_path_matches_byte_path_at_page_edges() {
+        let mut m = Memory::new();
+        m.map(0x1000, 2 * PAGE_SIZE, Perms::RW);
+        for delta in 0..16u64 {
+            let addr = 0x1000 + PAGE_SIZE - 8 - delta;
+            let val = 0x1111_2222_3333_4444u64.wrapping_add(delta);
+            m.write_u64(addr, val).unwrap();
+            assert_eq!(m.read_u64(addr).unwrap(), val, "addr {addr:#x}");
+            let mut buf = [0u8; 8];
+            m.read(addr, &mut buf).unwrap();
+            assert_eq!(u64::from_le_bytes(buf), val, "byte path at {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic() {
+        use std::hash::Hasher;
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write_u64(0xdead_bee0);
+        assert_ne!(a.finish(), c.finish());
     }
 }

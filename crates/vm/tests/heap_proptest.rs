@@ -30,7 +30,7 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     #[test]
     fn allocator_invariants(ops in ops()) {
@@ -57,7 +57,7 @@ proptest! {
                         let (p, _) = live.swap_remove(n % live.len());
                         // Never free a guard-bearing allocation in this
                         // model (guards stay allocated, as in R²C).
-                        if !guards.iter().any(|&g| g == p) {
+                        if !guards.contains(&p) {
                             heap.free(p).unwrap();
                         } else {
                             live.push((p, 0));

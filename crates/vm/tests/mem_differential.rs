@@ -1,0 +1,298 @@
+//! Differential property test of the paged [`Memory`] against a naive
+//! byte-at-a-time reference model.
+//!
+//! `Memory` carries several host-side fast paths — a per-access-class
+//! software TLB, lazily materialized page frames, and whole-word
+//! load/store shortcuts. None of them may be observable: every result
+//! (values read, fault kinds, rss accounting) must match a model that
+//! implements the documented semantics in the most literal way
+//! possible, one byte and one page at a time. The op sequences
+//! deliberately interleave reads (which warm the TLB) with `protect`,
+//! `unmap` and remapping (which must invalidate it), and include
+//! page-crossing word accesses at every offset near a boundary.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use r2c_vm::{Fault, Memory, Perms, PAGE_SIZE};
+
+/// The literal reference: a hash map of individually boxed pages,
+/// no TLB, no laziness, no word fast paths.
+#[derive(Default)]
+struct RefMem {
+    pages: HashMap<u64, (Perms, Vec<u8>)>,
+    max_pages: usize,
+}
+
+impl RefMem {
+    fn page_range(addr: u64, len: u64) -> std::ops::RangeInclusive<u64> {
+        (addr / PAGE_SIZE)..=((addr + len - 1) / PAGE_SIZE)
+    }
+
+    fn map(&mut self, addr: u64, len: u64, perms: Perms) {
+        if len == 0 {
+            return;
+        }
+        for p in Self::page_range(addr, len) {
+            self.pages
+                .entry(p)
+                .and_modify(|e| e.0 = perms)
+                .or_insert_with(|| (perms, vec![0u8; PAGE_SIZE as usize]));
+        }
+        self.max_pages = self.max_pages.max(self.pages.len());
+    }
+
+    fn unmap(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        for p in Self::page_range(addr, len) {
+            self.pages.remove(&p);
+        }
+    }
+
+    fn protect(&mut self, addr: u64, len: u64, perms: Perms) -> Result<(), Fault> {
+        if len == 0 {
+            return Ok(());
+        }
+        // Mirrors the real implementation: pages before the first
+        // unmapped one are updated even when the call then faults.
+        for p in Self::page_range(addr, len) {
+            match self.pages.get_mut(&p) {
+                Some(e) => e.0 = perms,
+                None => {
+                    return Err(Fault::Unmapped {
+                        addr: p * PAGE_SIZE,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check(&self, addr: u64, len: u64, need: Perms, write: bool) -> Result<(), Fault> {
+        for p in Self::page_range(addr, len) {
+            match self.pages.get(&p) {
+                None => return Err(Fault::Unmapped { addr }),
+                Some(&(perms, _)) => {
+                    if !perms.allows(need) {
+                        return Err(Fault::Protection { addr, perms, write });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read(&self, addr: u64, len: u64) -> Result<Vec<u8>, Fault> {
+        self.check(addr, len, Perms::R, false)?;
+        Ok((0..len).map(|i| self.peek_byte(addr + i)).collect())
+    }
+
+    fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), Fault> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.check(addr, buf.len() as u64, Perms::W, true)?;
+        for (i, &b) in buf.iter().enumerate() {
+            self.poke_byte(addr + i as u64, b);
+        }
+        Ok(())
+    }
+
+    fn read_u64(&self, addr: u64) -> Result<u64, Fault> {
+        let b = self.read(addr, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn write_u64(&mut self, addr: u64, val: u64) -> Result<(), Fault> {
+        self.write(addr, &val.to_le_bytes())
+    }
+
+    fn check_exec(&self, addr: u64) -> Result<(), Fault> {
+        self.check(addr, 1, Perms::X, false)
+    }
+
+    fn peek_byte(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr / PAGE_SIZE)) {
+            Some((_, data)) => data[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    fn poke_byte(&mut self, addr: u64, b: u8) {
+        let e = self
+            .pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| (Perms::NONE, vec![0u8; PAGE_SIZE as usize]));
+        e.1[(addr % PAGE_SIZE) as usize] = b;
+        self.max_pages = self.max_pages.max(self.pages.len());
+    }
+
+    fn poke(&mut self, addr: u64, buf: &[u8]) {
+        for (i, &b) in buf.iter().enumerate() {
+            self.poke_byte(addr + i as u64, b);
+        }
+    }
+
+    fn peek(&self, addr: u64, len: u64) -> Vec<u8> {
+        (0..len).map(|i| self.peek_byte(addr + i)).collect()
+    }
+}
+
+/// Operations over a small page universe so sequences collide: remap
+/// mapped pages, revoke freshly cached translations, unmap and remap.
+#[derive(Clone, Debug)]
+enum Op {
+    Map { addr: u64, len: u64, perms: Perms },
+    Unmap { addr: u64, len: u64 },
+    Protect { addr: u64, len: u64, perms: Perms },
+    Read { addr: u64, len: u64 },
+    Write { addr: u64, data: Vec<u8> },
+    ReadU64 { addr: u64 },
+    WriteU64 { addr: u64, val: u64 },
+    CheckExec { addr: u64 },
+    PermsAt { addr: u64 },
+    Poke { addr: u64, data: Vec<u8> },
+    Peek { addr: u64, len: u64 },
+}
+
+const NPAGES: u64 = 12;
+
+fn perms_strategy() -> impl Strategy<Value = Perms> {
+    prop_oneof![
+        Just(Perms::NONE),
+        Just(Perms::R),
+        Just(Perms::W),
+        Just(Perms::RW),
+        Just(Perms::RX),
+        Just(Perms::XO),
+    ]
+}
+
+/// Addresses concentrated near page boundaries so word accesses cross
+/// them regularly.
+fn addr_strategy() -> impl Strategy<Value = u64> {
+    (
+        0..NPAGES,
+        prop_oneof![0u64..16, PAGE_SIZE - 16..PAGE_SIZE, 0u64..PAGE_SIZE],
+    )
+        .prop_map(|(p, off)| p * PAGE_SIZE + off)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (addr_strategy(), 1u64..3 * PAGE_SIZE, perms_strategy())
+            .prop_map(|(addr, len, perms)| Op::Map { addr, len, perms }),
+        (addr_strategy(), 1u64..3 * PAGE_SIZE).prop_map(|(addr, len)| Op::Unmap { addr, len }),
+        (addr_strategy(), 1u64..3 * PAGE_SIZE, perms_strategy())
+            .prop_map(|(addr, len, perms)| Op::Protect { addr, len, perms }),
+        (addr_strategy(), 1u64..64).prop_map(|(addr, len)| Op::Read { addr, len }),
+        (
+            addr_strategy(),
+            proptest::collection::vec(any::<u8>(), 1..64)
+        )
+            .prop_map(|(addr, data)| Op::Write { addr, data }),
+        addr_strategy().prop_map(|addr| Op::ReadU64 { addr }),
+        (addr_strategy(), any::<u64>()).prop_map(|(addr, val)| Op::WriteU64 { addr, val }),
+        addr_strategy().prop_map(|addr| Op::CheckExec { addr }),
+        addr_strategy().prop_map(|addr| Op::PermsAt { addr }),
+        (
+            addr_strategy(),
+            proptest::collection::vec(any::<u8>(), 1..64)
+        )
+            .prop_map(|(addr, data)| Op::Poke { addr, data }),
+        (addr_strategy(), 1u64..64).prop_map(|(addr, len)| Op::Peek { addr, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128 })]
+
+    #[test]
+    fn memory_matches_naive_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut mem = Memory::new();
+        let mut reference = RefMem::default();
+        for (i, op) in ops.iter().enumerate() {
+            match op.clone() {
+                Op::Map { addr, len, perms } => {
+                    mem.map(addr, len, perms);
+                    reference.map(addr, len, perms);
+                }
+                Op::Unmap { addr, len } => {
+                    mem.unmap(addr, len);
+                    reference.unmap(addr, len);
+                }
+                Op::Protect { addr, len, perms } => {
+                    prop_assert_eq!(
+                        mem.protect(addr, len, perms),
+                        reference.protect(addr, len, perms),
+                        "protect diverged at op {}", i
+                    );
+                }
+                Op::Read { addr, len } => {
+                    let mut buf = vec![0u8; len as usize];
+                    let got = mem.read(addr, &mut buf).map(|()| buf);
+                    prop_assert_eq!(got, reference.read(addr, len), "read diverged at op {}", i);
+                }
+                Op::Write { addr, data } => {
+                    prop_assert_eq!(
+                        mem.write(addr, &data),
+                        reference.write(addr, &data),
+                        "write diverged at op {}", i
+                    );
+                }
+                Op::ReadU64 { addr } => {
+                    prop_assert_eq!(
+                        mem.read_u64(addr),
+                        reference.read_u64(addr),
+                        "read_u64 diverged at op {}", i
+                    );
+                }
+                Op::WriteU64 { addr, val } => {
+                    prop_assert_eq!(
+                        mem.write_u64(addr, val),
+                        reference.write_u64(addr, val),
+                        "write_u64 diverged at op {}", i
+                    );
+                }
+                Op::CheckExec { addr } => {
+                    prop_assert_eq!(
+                        mem.check_exec(addr),
+                        reference.check_exec(addr),
+                        "check_exec diverged at op {}", i
+                    );
+                }
+                Op::PermsAt { addr } => {
+                    let expect = reference.pages.get(&(addr / PAGE_SIZE)).map(|&(p, _)| p);
+                    prop_assert_eq!(mem.perms_at(addr), expect, "perms_at diverged at op {}", i);
+                }
+                Op::Poke { addr, data } => {
+                    // `poke` into unmapped memory is a debug-assert in
+                    // the real implementation; keep the differential
+                    // run within its contract.
+                    if reference.check(addr, data.len() as u64, Perms::NONE, true).is_ok() {
+                        mem.poke(addr, &data);
+                        reference.poke(addr, &data);
+                    }
+                }
+                Op::Peek { addr, len } => {
+                    let mut buf = vec![0u8; len as usize];
+                    mem.peek(addr, &mut buf);
+                    prop_assert_eq!(buf, reference.peek(addr, len), "peek diverged at op {}", i);
+                }
+            }
+            prop_assert_eq!(
+                mem.resident_pages(),
+                reference.pages.len(),
+                "resident pages diverged at op {}", i
+            );
+            prop_assert_eq!(
+                mem.max_resident_pages(),
+                reference.max_pages,
+                "rss high-water diverged at op {}", i
+            );
+        }
+    }
+}

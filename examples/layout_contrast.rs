@@ -14,8 +14,8 @@ use r2c_vm::image::Region;
 
 fn describe(label: &str, cfg: R2cConfig) {
     let victim = build_victim(cfg);
-    let mut vm = run_victim(&victim.image);
-    let (rsp, words) = probe_words(&mut vm);
+    let vm = run_victim(&victim.image);
+    let (rsp, words) = probe_words(&vm);
     println!("== {label} ==");
     println!("   leaked frame at rsp = {rsp:#x}; first 24 qwords:");
     for (i, w) in words.iter().take(24).enumerate() {

@@ -127,7 +127,7 @@ fn build(recipe: &ModuleRecipe) -> Module {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     /// Any generated program behaves identically interpreted and
     /// compiled with full R²C.

@@ -75,7 +75,10 @@ fn return_address_position_entropy() {
     let h0 = r2c_core::analysis::shannon_entropy(&unprotected);
     let h1 = r2c_core::analysis::shannon_entropy(&protected);
     assert_eq!(h0, 0.0, "no diversification, no entropy");
-    assert!(h1 >= 1.5, "RA-position entropy too low: {h1:.2} bits ({protected:?})");
+    assert!(
+        h1 >= 1.5,
+        "RA-position entropy too low: {h1:.2} bits ({protected:?})"
+    );
 }
 
 /// Property (A): the true return address occurs exactly once in the
@@ -138,10 +141,8 @@ fn property_c_different_call_sites_different_btras() {
         for r in &relocs {
             match r.kind {
                 RelocKind::BoobyTrap { index, offset } => current.push((index, offset)),
-                RelocKind::RetAddr { .. } => {
-                    if !current.is_empty() {
-                        sites.push(std::mem::take(&mut current));
-                    }
+                RelocKind::RetAddr { .. } if !current.is_empty() => {
+                    sites.push(std::mem::take(&mut current));
                 }
                 _ => {}
             }

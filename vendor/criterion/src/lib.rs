@@ -1,0 +1,170 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface used by `crates/bench/benches/perf.rs`:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `bench_function` / `bench_with_input`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of
+//! criterion's statistical sampling it runs a warm-up iteration and a
+//! fixed sample count, reporting min/mean/max wall-clock per iteration —
+//! enough for coarse host-side regression tracking without external
+//! dependencies.
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id shown as `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up, untimed.
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark that takes no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{name:<50} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+        samples.len()
+    );
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+}
+
+/// Declares a function running the given benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

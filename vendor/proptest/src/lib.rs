@@ -1,0 +1,265 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach a crate registry, so this vendored
+//! crate implements the subset of proptest the workspace's tests use:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`, integer-range
+//! and simple regex (`[class]{lo,hi}`) strategies, [`collection::vec`],
+//! tuples, [`Just`], [`prop_oneof!`] and `prop_assert*`.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * **No shrinking** — a failing case reports its inputs via the panic
+//!   message (every generated binding is `Debug`-printed) but is not
+//!   minimized.
+//! * **Deterministic seeding** — each test function derives its RNG seed
+//!   from the test name, so failures reproduce across runs; set
+//!   `PROPTEST_SEED` to explore a different stream.
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
+//!   returning `Err`.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::SmallRng as TestRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy, Union};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Upstream-compatible constructor (`with_cases`).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Samples one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyStrategy<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `A` (upstream `any::<A>()`).
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String strategy from a regex-like pattern. Supports the shape the
+/// workspace uses: `[<class>]{lo,hi}` where the class may contain
+/// literal characters, `a-z` ranges and `\n`/`\t`/`\\` escapes.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy pattern: {self:?}"));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parses `[<class>]{lo,hi}` into (alphabet, lo, hi).
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let bounds = rest[close + 1..]
+        .strip_prefix('{')?
+        .strip_suffix('}')?
+        .split_once(',')?;
+    let lo: usize = bounds.0.trim().parse().ok()?;
+    let hi: usize = bounds.1.trim().parse().ok()?;
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        let c = class[i];
+        if c == '\\' && i + 1 < class.len() {
+            chars.push(match class[i + 1] {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            });
+            i += 2;
+        } else if i + 2 < class.len() && class[i + 1] == '-' {
+            let end = class[i + 2];
+            for v in (c as u32)..=(end as u32) {
+                chars.push(char::from_u32(v)?);
+            }
+            i += 3;
+        } else {
+            chars.push(c);
+            i += 1;
+        }
+    }
+    if chars.is_empty() || lo > hi {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+/// Everything a test body needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Derives a deterministic per-test seed. `PROPTEST_SEED` (a u64)
+/// offsets the stream for exploratory reruns.
+pub fn test_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    let extra: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    h ^ extra
+}
+
+/// Runs `body` for `cases` random cases (driver used by [`proptest!`]).
+pub fn run_cases(name: &str, cases: u32, mut body: impl FnMut(&mut TestRng, u32)) {
+    let mut rng = TestRng::seed_from_u64(test_seed(name));
+    for case in 0..cases {
+        body(&mut rng, case);
+    }
+}
+
+/// Property-test entry macro. Supports the upstream surface used by the
+/// workspace: an optional `#![proptest_config(expr)]` header followed by
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), cfg.cases, |rng, case| {
+                $(let $pat = $crate::Strategy::generate(&($strat), rng);)+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(e) = result {
+                    eprintln!(
+                        "proptest stub: case {case} of test {} failed (seed {:#x}; \
+                         set PROPTEST_SEED to vary the stream)",
+                        stringify!($name),
+                        $crate::test_seed(stringify!($name)),
+                    );
+                    ::std::panic::resume_unwind(e);
+                }
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Chooses uniformly between heterogeneous strategies with a common
+/// value type (upstream `prop_oneof!`; weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::strategy::boxed_strategy($strat)),+])
+    };
+}
