@@ -248,6 +248,7 @@ mod tests {
                 ..DiversifyConfig::none()
             },
             seed: 0,
+            check: cfg!(debug_assertions),
         };
         let k = AttackerKnowledge::profile(&cfg, 42);
         let mut ok = 0;

@@ -139,6 +139,7 @@ mod tests {
                 ..DiversifyConfig::none()
             },
             seed: 3,
+            check: cfg!(debug_assertions),
         };
         let v = build_victim(cfg);
         let mut vm = run_victim(&v.image);

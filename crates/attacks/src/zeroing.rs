@@ -213,6 +213,7 @@ mod tests {
             let cfg = R2cConfig {
                 diversify: DiversifyConfig::hardened(3),
                 seed,
+                check: cfg!(debug_assertions),
             };
             let image = build(cfg);
             match zeroing_attack(&image) {
@@ -237,6 +238,7 @@ mod tests {
             let cfg = R2cConfig {
                 diversify: DiversifyConfig::hardened(2),
                 seed,
+                check: cfg!(debug_assertions),
             };
             let image = R2cCompiler::new(cfg).build(&module).unwrap();
             let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));

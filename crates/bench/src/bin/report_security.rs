@@ -209,6 +209,7 @@ fn main() {
         let hardened = R2cConfig {
             diversify: r2c_core::DiversifyConfig::hardened(3),
             seed,
+            check: cfg!(debug_assertions),
         };
         let img = r2c_core::R2cCompiler::new(hardened).build(&module).unwrap();
         let hard = matches!(

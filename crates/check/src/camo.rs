@@ -1,0 +1,384 @@
+//! Camouflage lints: the checks that make this a *security* validator
+//! rather than a generic translation validator.
+//!
+//! * BTRA (paper §5.1): every `RetAddr` relocation must resolve to a
+//!   call, each call has at most one genuine return address, and each
+//!   window — a contiguous `PushImm` run in push mode, a synthetic
+//!   32-byte-aligned array in AVX2 mode — hides exactly one `RetAddr`
+//!   among `BoobyTrap` entries. `CompiledFunc::btra_sites` must agree
+//!   with what is actually in the code.
+//! * BTDP (paper §5.2): a function whose metadata records decoy-pointer
+//!   stores must load the decoy-array pointer in its prologue and issue
+//!   at least that many decoy stores.
+//! * XoM (paper §4.2): no non-synthetic data object may hold a
+//!   relocation that would place a text address in readable memory.
+
+use std::collections::HashMap;
+
+use crate::cfgpass::{kind_range_error, FnInfo};
+use crate::{err_at, err_global, CheckError, CheckKind};
+use r2c_codegen::{CompiledFunc, DiversifyConfig, FuncKind, Program, RelocKind};
+use r2c_vm::insn::AluOp;
+use r2c_vm::{Gpr, Insn};
+
+/// `add rsp, imm` → the immediate.
+fn rsp_add_imm(insn: &Insn) -> Option<i64> {
+    match insn {
+        Insn::AluImm {
+            op: AluOp::Add,
+            dst: Gpr::Rsp,
+            imm,
+        } => Some(*imm as i64),
+        _ => None,
+    }
+}
+
+pub(crate) fn check(
+    program: &Program,
+    config: &DiversifyConfig,
+    infos: &[FnInfo],
+    errs: &mut Vec<CheckError>,
+) {
+    data_relocs(program, errs);
+    xom_leaks(program, errs);
+    btra(program, infos, errs);
+    btdp(program, config, infos, errs);
+}
+
+/// Data-section relocation well-formedness: aligned, in-bounds,
+/// resolvable.
+fn data_relocs(program: &Program, errs: &mut Vec<CheckError>) {
+    for obj in &program.data {
+        for r in &obj.relocs {
+            if r.offset % 8 != 0 || r.offset + 8 > obj.bytes.len() {
+                errs.push(err_global(CheckKind::BadRelocRef {
+                    detail: format!(
+                        "data reloc at misaligned/out-of-bounds offset {} in `{}`",
+                        r.offset, obj.name
+                    ),
+                }));
+                continue;
+            }
+            if let Some(detail) = kind_range_error(program, &r.kind) {
+                errs.push(err_global(CheckKind::BadRelocRef {
+                    detail: format!("in `{}`: {detail}", obj.name),
+                }));
+            }
+        }
+    }
+}
+
+/// XoM lint: user (non-synthetic) data objects may hold function
+/// *entry* addresses — those are legitimate function pointers, and CPH
+/// redirects them to trampolines at link time — but never instruction,
+/// return-address, or booby-trap addresses, which would let a reader
+/// reconstruct text layout.
+fn xom_leaks(program: &Program, errs: &mut Vec<CheckError>) {
+    for obj in &program.data {
+        if obj.synthetic {
+            continue;
+        }
+        for r in &obj.relocs {
+            if matches!(
+                r.kind,
+                RelocKind::Insn { .. } | RelocKind::RetAddr { .. } | RelocKind::BoobyTrap { .. }
+            ) {
+                errs.push(err_global(CheckKind::CodeAddrInData {
+                    object: obj.name.clone(),
+                }));
+                break;
+            }
+        }
+    }
+}
+
+fn btra(program: &Program, infos: &[FnInfo], errs: &mut Vec<CheckError>) {
+    // Collect every RetAddr relocation in the program (text and data)
+    // and group by the call it claims to cover.
+    let mut groups: HashMap<(usize, usize), u32> = HashMap::new();
+    for f in &program.funcs {
+        for r in &f.relocs {
+            if let RelocKind::RetAddr { func, insn } = r.kind {
+                *groups.entry((func, insn)).or_insert(0) += 1;
+            }
+        }
+    }
+    for obj in &program.data {
+        for r in &obj.relocs {
+            if let RelocKind::RetAddr { func, insn } = r.kind {
+                *groups.entry((func, insn)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut sites_per_func: Vec<u32> = vec![0; program.funcs.len()];
+    for (&(tf, ti), &count) in &groups {
+        if tf >= program.funcs.len() || ti >= program.funcs[tf].insns.len() {
+            continue; // already reported as a dangling reloc
+        }
+        sites_per_func[tf] += 1;
+        let name = &program.funcs[tf].name;
+        if !program.funcs[tf].insns[ti].is_call() {
+            errs.push(err_at(
+                tf,
+                name,
+                Some(ti),
+                CheckKind::RetAddrNotAtCall { target: ti },
+            ));
+        }
+        if count > 1 {
+            errs.push(err_at(
+                tf,
+                name,
+                Some(ti),
+                CheckKind::DuplicateRetAddr { call: ti },
+            ));
+        }
+    }
+
+    for (fi, f) in program.funcs.iter().enumerate() {
+        if f.kind == FuncKind::BoobyTrap {
+            continue;
+        }
+        if sites_per_func[fi] != f.btra_sites {
+            errs.push(err_at(
+                fi,
+                &f.name,
+                None,
+                CheckKind::BtraSiteCountMismatch {
+                    recorded: f.btra_sites,
+                    found: sites_per_func[fi],
+                },
+            ));
+        }
+    }
+
+    // Push-mode window shape: each PushImm must be either a booby-trap
+    // entry or the genuine return address of a well-formed window.
+    for (fi, f) in program.funcs.iter().enumerate() {
+        let info = &infos[fi];
+        let n = f.insns.len();
+        for i in 0..n {
+            if !matches!(f.insns[i], Insn::PushImm { .. }) {
+                continue;
+            }
+            match info.reloc_of.get(i).copied().flatten() {
+                Some(RelocKind::BoobyTrap { .. }) => {}
+                Some(RelocKind::RetAddr { func, insn }) => {
+                    check_push_window(fi, f, info, i, (func, insn), errs);
+                }
+                _ => {
+                    errs.push(err_at(fi, &f.name, Some(i), CheckKind::StrayPushImm));
+                }
+            }
+        }
+    }
+
+    // AVX2-mode windows are synthetic data arrays; validate their slot
+    // coverage.
+    for obj in &program.data {
+        if !obj.synthetic
+            || !obj
+                .relocs
+                .iter()
+                .any(|r| matches!(r.kind, RelocKind::RetAddr { .. }))
+        {
+            continue;
+        }
+        let mut push = |detail: String| {
+            errs.push(err_global(CheckKind::MalformedWindow {
+                detail: format!("array `{}`: {detail}", obj.name),
+            }));
+        };
+        if obj.align < 32 || obj.bytes.len() % 32 != 0 || obj.bytes.is_empty() {
+            push(format!(
+                "not a whole number of 32-byte lanes (len {}, align {})",
+                obj.bytes.len(),
+                obj.align
+            ));
+            continue;
+        }
+        let slots = obj.bytes.len() / 8;
+        let mut cover = vec![0u32; slots];
+        let mut ret_addrs = 0u32;
+        let mut bad_kind = false;
+        for r in &obj.relocs {
+            if r.offset % 8 != 0 || r.offset + 8 > obj.bytes.len() {
+                continue; // reported by data_relocs
+            }
+            cover[r.offset / 8] += 1;
+            match r.kind {
+                RelocKind::RetAddr { .. } => ret_addrs += 1,
+                RelocKind::BoobyTrap { .. } => {}
+                _ => bad_kind = true,
+            }
+        }
+        if ret_addrs != 1 {
+            push(format!(
+                "{ret_addrs} genuine return addresses (want exactly 1)"
+            ));
+        }
+        if bad_kind {
+            push("slot kind other than RetAddr/BoobyTrap".to_string());
+        }
+        if let Some(slot) = cover.iter().position(|&c| c != 1) {
+            push(format!(
+                "slot {slot} covered {} times (want 1)",
+                cover[slot]
+            ));
+        }
+    }
+}
+
+/// Validate the push-mode window around the genuine `PushImm` at `ra`:
+/// a maximal contiguous `PushImm` run with booby traps on both sides of
+/// the return address, an even pre-offset (so the caller's `rsp` stays
+/// 16-byte aligned at the call), an exact teardown, and the covered
+/// call immediately after the teardown.
+fn check_push_window(
+    fi: usize,
+    f: &CompiledFunc,
+    info: &FnInfo,
+    ra: usize,
+    target: (usize, usize),
+    errs: &mut Vec<CheckError>,
+) {
+    let name = &f.name;
+    let n = f.insns.len();
+    let bad = |detail: String, errs: &mut Vec<CheckError>| {
+        errs.push(err_at(
+            fi,
+            name,
+            Some(ra),
+            CheckKind::MalformedWindow { detail },
+        ));
+    };
+
+    let mut start = ra;
+    while start > 0 && matches!(f.insns[start - 1], Insn::PushImm { .. }) {
+        start -= 1;
+    }
+    let mut end = ra;
+    while end + 1 < n && matches!(f.insns[end + 1], Insn::PushImm { .. }) {
+        end += 1;
+    }
+
+    for i in start..=end {
+        if i == ra {
+            continue;
+        }
+        match info.reloc_of.get(i).copied().flatten() {
+            Some(RelocKind::BoobyTrap { .. }) => {}
+            Some(RelocKind::RetAddr { .. }) => {
+                bad("second genuine return address in window".to_string(), errs);
+                return;
+            }
+            _ => {
+                // Reported as StrayPushImm at that index.
+            }
+        }
+    }
+
+    if !(ra - start).is_multiple_of(2) {
+        bad(
+            format!("odd pre-offset {} misaligns the call", ra - start),
+            errs,
+        );
+    }
+
+    // Teardown: `add rsp, 8 * (slots above and including the RA)`.
+    let expect = 8 * (end - ra + 1) as i64;
+    match f.insns.get(end + 1).and_then(rsp_add_imm) {
+        Some(imm) if imm == expect => {}
+        _ => {
+            bad(
+                format!("missing `add rsp, {expect}` teardown after window"),
+                errs,
+            );
+            return;
+        }
+    }
+
+    // The covered call must immediately follow the teardown.
+    if target.0 != fi || target.1 != end + 2 {
+        bad(
+            format!(
+                "window covers call at {}+{} but sits before instruction {}",
+                target.0,
+                target.1,
+                end + 2
+            ),
+            errs,
+        );
+    }
+}
+
+fn btdp(program: &Program, config: &DiversifyConfig, infos: &[FnInfo], errs: &mut Vec<CheckError>) {
+    let btdp_cfg = config.btdp.filter(|b| b.array_len > 0);
+    for (fi, f) in program.funcs.iter().enumerate() {
+        if f.btdp_stores == 0 {
+            continue;
+        }
+        let Some(b) = btdp_cfg else {
+            errs.push(err_at(
+                fi,
+                &f.name,
+                None,
+                CheckKind::MissingBtdpStore {
+                    recorded: f.btdp_stores,
+                    found: 0,
+                },
+            ));
+            continue;
+        };
+        let info = &infos[fi];
+        // The prologue materializes the decoy-array pointer into r10:
+        // a `LoadAbs` through the pointer global, or a direct `MovAbs`
+        // of the (naive) static array.
+        let ptr_at = f.insns.iter().enumerate().position(|(i, insn)| {
+            let wants_ptr = matches!(
+                info.reloc_of.get(i).copied().flatten(),
+                Some(RelocKind::Data { index, .. }) if index == b.ptr_global as usize
+            );
+            wants_ptr
+                && if b.naive_data_array {
+                    matches!(insn, Insn::MovAbs { dst: Gpr::R10, .. })
+                } else {
+                    matches!(insn, Insn::LoadAbs { dst: Gpr::R10, .. })
+                }
+        });
+        let Some(ptr_at) = ptr_at else {
+            errs.push(err_at(fi, &f.name, None, CheckKind::MissingBtdpPointer));
+            continue;
+        };
+        // Decoy stores follow as (load decoy via r10, store to frame
+        // slot) pairs.
+        let mut found = 0u32;
+        let mut i = ptr_at + 1;
+        while found < f.btdp_stores {
+            let ok = matches!(
+                f.insns.get(i),
+                Some(Insn::Load { dst: Gpr::R11, mem }) if mem.base == Gpr::R10
+            ) && matches!(
+                f.insns.get(i + 1),
+                Some(Insn::Store { mem, src: Gpr::R11 }) if mem.base == Gpr::Rsp
+            );
+            if !ok {
+                break;
+            }
+            found += 1;
+            i += 2;
+        }
+        if found < f.btdp_stores {
+            errs.push(err_at(
+                fi,
+                &f.name,
+                Some(ptr_at),
+                CheckKind::MissingBtdpStore {
+                    recorded: f.btdp_stores,
+                    found,
+                },
+            ));
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! CFG recovery and relocation well-formedness.
+//!
+//! Pre-link code addresses branch targets symbolically: every `jmp`,
+//! `jcc`, and `call` carries a relocation, and the instruction's
+//! `target` field is a placeholder until `link` patches it. The CFG is
+//! therefore recovered from the relocation table, not from the encoded
+//! targets.
+
+use crate::{err_at, CheckError, CheckKind};
+use r2c_codegen::{CompiledFunc, Program, RelocKind, BOOBY_TRAP_RUN};
+use r2c_vm::Insn;
+
+/// Per-function facts shared by the later passes.
+pub struct FnInfo {
+    /// The relocation attached to each instruction, if any.
+    pub reloc_of: Vec<Option<RelocKind>>,
+    /// CFG successors of each instruction (intra-function indices).
+    pub succs: Vec<Vec<usize>>,
+    /// Reachability from instruction 0.
+    pub reachable: Vec<bool>,
+}
+
+/// True if `link::patch` can rewrite this instruction.
+fn patchable(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::MovAbs { .. }
+            | Insn::PushImm { .. }
+            | Insn::Call { .. }
+            | Insn::Jmp { .. }
+            | Insn::Jcc { .. }
+            | Insn::LoadAbs { .. }
+            | Insn::VLoadAbs { .. }
+    )
+}
+
+/// Range-checks a relocation's reference against the program, returning
+/// a description of the dangling reference if any.
+pub(crate) fn kind_range_error(program: &Program, kind: &RelocKind) -> Option<String> {
+    match *kind {
+        RelocKind::Insn { func, insn } | RelocKind::RetAddr { func, insn } => {
+            if func >= program.funcs.len() {
+                Some(format!("function #{func} out of range"))
+            } else if insn >= program.funcs[func].insns.len() {
+                Some(format!(
+                    "instruction {insn} out of range in `{}`",
+                    program.funcs[func].name
+                ))
+            } else {
+                None
+            }
+        }
+        RelocKind::Func(func) => {
+            (func >= program.funcs.len()).then(|| format!("function #{func} out of range"))
+        }
+        RelocKind::BoobyTrap { index, offset } => {
+            if index as usize >= program.booby_trap_funcs as usize {
+                Some(format!(
+                    "booby trap #{index} out of range (program has {})",
+                    program.booby_trap_funcs
+                ))
+            } else if offset >= BOOBY_TRAP_RUN {
+                Some(format!("booby-trap offset {offset} past trap run"))
+            } else {
+                None
+            }
+        }
+        RelocKind::Data { index, .. } => {
+            (index >= program.data.len()).then(|| format!("data object #{index} out of range"))
+        }
+    }
+}
+
+pub(crate) fn check_function(
+    program: &Program,
+    fi: usize,
+    f: &CompiledFunc,
+    errs: &mut Vec<CheckError>,
+) -> FnInfo {
+    let n = f.insns.len();
+    let mut reloc_of: Vec<Option<RelocKind>> = vec![None; n];
+
+    for r in &f.relocs {
+        if r.at >= n {
+            errs.push(err_at(fi, &f.name, Some(r.at), CheckKind::RelocOutOfRange));
+            continue;
+        }
+        if reloc_of[r.at].is_some() {
+            errs.push(err_at(fi, &f.name, Some(r.at), CheckKind::DuplicateReloc));
+            continue;
+        }
+        if !patchable(&f.insns[r.at]) {
+            errs.push(err_at(fi, &f.name, Some(r.at), CheckKind::UnpatchableReloc));
+        }
+        if let Some(detail) = kind_range_error(program, &r.kind) {
+            errs.push(err_at(
+                fi,
+                &f.name,
+                Some(r.at),
+                CheckKind::BadRelocRef { detail },
+            ));
+        }
+        if matches!(f.insns[r.at], Insn::Jmp { .. } | Insn::Jcc { .. }) {
+            match r.kind {
+                RelocKind::Insn { func, .. } if func != fi => {
+                    errs.push(err_at(
+                        fi,
+                        &f.name,
+                        Some(r.at),
+                        CheckKind::CrossFunctionBranch { target_func: func },
+                    ));
+                }
+                RelocKind::Insn { .. } => {}
+                _ => {
+                    errs.push(err_at(
+                        fi,
+                        &f.name,
+                        Some(r.at),
+                        CheckKind::BadRelocRef {
+                            detail: "branch relocation must name an instruction".to_string(),
+                        },
+                    ));
+                }
+            }
+        }
+        reloc_of[r.at] = Some(r.kind);
+    }
+
+    if n == 0 {
+        errs.push(err_at(fi, &f.name, None, CheckKind::EmptyFunction));
+        return FnInfo {
+            reloc_of,
+            succs: Vec::new(),
+            reachable: Vec::new(),
+        };
+    }
+    if !f.insns[n - 1].is_terminator() && !matches!(f.insns[n - 1], Insn::Trap) {
+        errs.push(err_at(
+            fi,
+            &f.name,
+            Some(n - 1),
+            CheckKind::FallthroughOffEnd,
+        ));
+    }
+
+    for (i, insn) in f.insns.iter().enumerate() {
+        match insn {
+            Insn::Jmp { .. } | Insn::Jcc { .. } | Insn::Call { .. } if reloc_of[i].is_none() => {
+                errs.push(err_at(fi, &f.name, Some(i), CheckKind::MissingReloc));
+            }
+            Insn::JmpInd { .. } => {
+                errs.push(err_at(fi, &f.name, Some(i), CheckKind::IndirectJump));
+            }
+            _ => {}
+        }
+    }
+
+    // Recover successors from the relocation table. Branches whose
+    // relocation was already reported as broken get no successor edge.
+    let target = |i: usize| -> Option<usize> {
+        match reloc_of[i] {
+            Some(RelocKind::Insn { func, insn }) if func == fi && insn < n => Some(insn),
+            _ => None,
+        }
+    };
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, insn) in f.insns.iter().enumerate() {
+        match insn {
+            Insn::Ret | Insn::Halt | Insn::Trap | Insn::JmpInd { .. } => {}
+            Insn::Jmp { .. } => succs[i].extend(target(i)),
+            Insn::Jcc { .. } => {
+                succs[i].extend(target(i));
+                if i + 1 < n {
+                    succs[i].push(i + 1);
+                }
+            }
+            _ => {
+                if i + 1 < n {
+                    succs[i].push(i + 1);
+                }
+            }
+        }
+    }
+
+    let mut reachable = vec![false; n];
+    let mut work = vec![0usize];
+    reachable[0] = true;
+    while let Some(i) = work.pop() {
+        for &s in &succs[i] {
+            if !reachable[s] {
+                reachable[s] = true;
+                work.push(s);
+            }
+        }
+    }
+
+    FnInfo {
+        reloc_of,
+        succs,
+        reachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_codegen::{FuncKind, Reloc};
+
+    fn func(insns: Vec<Insn>, relocs: Vec<Reloc>) -> CompiledFunc {
+        CompiledFunc {
+            name: "f".to_string(),
+            insns,
+            relocs,
+            unwind: vec![],
+            kind: FuncKind::Normal,
+            btra_sites: 0,
+            btdp_stores: 0,
+        }
+    }
+
+    fn program(f: CompiledFunc) -> Program {
+        Program {
+            funcs: vec![f],
+            data: vec![],
+            entry: 0,
+            ctors: vec![],
+            natives: vec![],
+            booby_trap_funcs: 0,
+        }
+    }
+
+    #[test]
+    fn clean_straight_line() {
+        let p = program(func(
+            vec![
+                Insn::MovImm {
+                    dst: r2c_vm::Gpr::Rax,
+                    imm: 1,
+                },
+                Insn::Ret,
+            ],
+            vec![],
+        ));
+        let mut errs = vec![];
+        let info = check_function(&p, 0, &p.funcs[0], &mut errs);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(info.succs[0], vec![1]);
+        assert!(info.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn fallthrough_off_end_flagged() {
+        let p = program(func(
+            vec![Insn::MovImm {
+                dst: r2c_vm::Gpr::Rax,
+                imm: 1,
+            }],
+            vec![],
+        ));
+        let mut errs = vec![];
+        check_function(&p, 0, &p.funcs[0], &mut errs);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::FallthroughOffEnd)));
+    }
+
+    #[test]
+    fn branch_without_reloc_flagged() {
+        let p = program(func(vec![Insn::Jmp { target: 0 }], vec![]));
+        let mut errs = vec![];
+        check_function(&p, 0, &p.funcs[0], &mut errs);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::MissingReloc)));
+    }
+
+    #[test]
+    fn dangling_insn_reloc_flagged() {
+        let p = program(func(
+            vec![Insn::Jmp { target: 0 }],
+            vec![Reloc {
+                at: 0,
+                kind: RelocKind::Insn { func: 0, insn: 99 },
+            }],
+        ));
+        let mut errs = vec![];
+        check_function(&p, 0, &p.funcs[0], &mut errs);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::BadRelocRef { .. })));
+    }
+
+    #[test]
+    fn cross_function_branch_flagged() {
+        let mut p = program(func(
+            vec![Insn::Jmp { target: 0 }],
+            vec![Reloc {
+                at: 0,
+                kind: RelocKind::Insn { func: 1, insn: 0 },
+            }],
+        ));
+        p.funcs.push(func(vec![Insn::Ret], vec![]));
+        let mut errs = vec![];
+        check_function(&p, 0, &p.funcs[0], &mut errs);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::CrossFunctionBranch { target_func: 1 })));
+    }
+}

@@ -1,0 +1,179 @@
+//! Linked-image validation: the section permutation is a true
+//! permutation (pairwise-disjoint regions), every statically-known
+//! control transfer lands on an instruction boundary, and symbols,
+//! data initializers, and unwind entries stay inside their sections.
+
+use crate::{err_global, CheckError, CheckKind};
+use r2c_codegen::DiversifyConfig;
+use r2c_vm::{Image, Insn, SymbolKind, VAddr};
+
+fn img_err(detail: String) -> CheckError {
+    err_global(CheckKind::ImageError { detail })
+}
+
+fn img_err_at(insn: usize, detail: String) -> CheckError {
+    CheckError {
+        func: None,
+        func_name: None,
+        insn: Some(insn),
+        kind: CheckKind::ImageError { detail },
+    }
+}
+
+pub(crate) fn check(image: &Image, config: &DiversifyConfig) -> Vec<CheckError> {
+    let mut errs = Vec::new();
+
+    if let Err(detail) = image.validate() {
+        errs.push(img_err(detail));
+        // Structurally broken; the remaining checks assume validate()'s
+        // basic shape (sorted insn_addrs, matching lengths).
+        return errs;
+    }
+
+    if image.xom != config.xom {
+        errs.push(img_err(format!(
+            "image xom={} but config xom={}",
+            image.xom, config.xom
+        )));
+    }
+
+    let l = &image.layout;
+    let sections = [
+        ("text", l.text_base, l.text_end),
+        ("data", l.data_base, l.data_end),
+        ("heap", l.heap_base, l.heap_base + l.heap_size),
+        ("stack", l.stack_top - l.stack_size, l.stack_top),
+    ];
+    for (i, &(an, ab, ae)) in sections.iter().enumerate() {
+        if ab >= ae {
+            errs.push(img_err(format!("empty/inverted {an} section")));
+        }
+        for &(bn, bb, be) in &sections[i + 1..] {
+            if ab < be && bb < ae {
+                errs.push(img_err(format!(
+                    "sections {an} [{ab:#x},{ae:#x}) and {bn} [{bb:#x},{be:#x}) overlap"
+                )));
+            }
+        }
+    }
+
+    let boundary = |a: VAddr| image.insn_addrs.binary_search(&a).is_ok();
+
+    if !boundary(image.entry) {
+        errs.push(img_err(format!(
+            "entry {:#x} is not an instruction boundary",
+            image.entry
+        )));
+    }
+    for &c in &image.constructors {
+        if !boundary(c) {
+            errs.push(img_err(format!(
+                "constructor {c:#x} is not an instruction boundary"
+            )));
+        }
+    }
+
+    for (i, insn) in image.insns.iter().enumerate() {
+        if let Some(t) = insn.branch_target() {
+            if !boundary(t) {
+                errs.push(img_err_at(
+                    i,
+                    format!("transfer to {t:#x} is not an instruction boundary"),
+                ));
+            }
+        }
+        if let Insn::CallNative { native } = insn {
+            if *native as usize >= image.natives.len() {
+                errs.push(img_err_at(i, format!("native #{native} out of range")));
+            }
+        }
+    }
+
+    // Data initializers: inside the data section, non-overlapping.
+    let mut runs: Vec<(VAddr, u64)> = image
+        .data_init
+        .iter()
+        .filter(|(_, bytes)| !bytes.is_empty())
+        .map(|(addr, bytes)| (*addr, bytes.len() as u64))
+        .collect();
+    runs.sort_unstable();
+    for &(addr, len) in &runs {
+        if addr < l.data_base || addr + len > l.data_end {
+            errs.push(img_err(format!(
+                "data initializer [{addr:#x},{:#x}) outside data section",
+                addr + len
+            )));
+        }
+    }
+    for w in runs.windows(2) {
+        if w[0].0 + w[0].1 > w[1].0 {
+            errs.push(img_err(format!(
+                "data initializers at {:#x} and {:#x} overlap",
+                w[0].0, w[1].0
+            )));
+        }
+    }
+
+    // Symbols: code symbols on boundaries inside text, pairwise
+    // disjoint (the function permutation must be a true permutation);
+    // globals inside data, pairwise disjoint.
+    let mut code: Vec<(VAddr, u64, &str)> = Vec::new();
+    let mut data: Vec<(VAddr, u64, &str)> = Vec::new();
+    for s in &image.symbols {
+        match s.kind {
+            SymbolKind::Function | SymbolKind::BoobyTrap => {
+                if !boundary(s.addr) {
+                    errs.push(img_err(format!(
+                        "symbol `{}` at {:#x} is not an instruction boundary",
+                        s.name, s.addr
+                    )));
+                }
+                if s.addr < l.text_base || s.addr + s.size > l.text_end {
+                    errs.push(img_err(format!(
+                        "code symbol `{}` outside text section",
+                        s.name
+                    )));
+                }
+                if s.size > 0 {
+                    code.push((s.addr, s.size, &s.name));
+                }
+            }
+            SymbolKind::Global => {
+                if s.addr < l.data_base || s.addr + s.size > l.data_end {
+                    errs.push(img_err(format!("global `{}` outside data section", s.name)));
+                }
+                if s.size > 0 {
+                    data.push((s.addr, s.size, &s.name));
+                }
+            }
+        }
+    }
+    for set in [&mut code, &mut data] {
+        set.sort_unstable();
+        for w in set.windows(2) {
+            if w[0].0 + w[0].1 > w[1].0 {
+                errs.push(img_err(format!(
+                    "symbols `{}` and `{}` overlap",
+                    w[0].2, w[1].2
+                )));
+            }
+        }
+    }
+
+    for e in image.unwind.iter() {
+        if e.start >= e.end {
+            errs.push(img_err(format!(
+                "unwind entry [{:#x},{:#x}) is empty/inverted",
+                e.start, e.end
+            )));
+        }
+        if e.start < l.text_base || e.end > l.text_end {
+            errs.push(img_err(format!(
+                "unwind entry [{:#x},{:#x}) outside text section",
+                e.start, e.end
+            )));
+        }
+    }
+
+    errs
+}

@@ -1,0 +1,344 @@
+//! Static checker (translation validator) for R²C compiled output.
+//!
+//! The code generator's security argument rests on structural invariants
+//! of the emitted machine code: every genuine return address is hidden
+//! inside a window of booby-trap addresses (BTRA, paper §5.1), every
+//! protected frame carries its booby-trap decoy pointers (BTDP, §5.2),
+//! execute-only text leaks no code address through readable data (XoM,
+//! §4.2), and the usual compiler contracts (balanced stack, def-before-
+//! use, callee-saved discipline) hold on every path. None of that is
+//! observable from test *outcomes* alone — a silent regression in
+//! `lower.rs`/`link.rs` would quietly invalidate every measurement.
+//!
+//! This crate re-derives those invariants from the artifacts themselves,
+//! without executing anything:
+//!
+//! * [`check_program`] analyzes a pre-link [`Program`]: CFG recovery and
+//!   relocation well-formedness, a stack-depth dataflow pass checked
+//!   against the recorded unwind table, a register def-before-use /
+//!   callee-saved conformance pass, and camouflage lints keyed off the
+//!   [`DiversifyConfig`] that produced the program.
+//! * [`check_image`] validates a linked [`Image`]: section permutation
+//!   is a true permutation (no overlaps), every static branch target is
+//!   an instruction boundary, symbols and data initializers stay inside
+//!   their sections.
+//!
+//! Both return a flat list of structured [`CheckError`]s carrying
+//! function and instruction coordinates, so a failure names the exact
+//! emission site that broke the invariant.
+
+use r2c_codegen::{DiversifyConfig, Program};
+use r2c_vm::{Gpr, Image};
+
+mod camo;
+mod cfgpass;
+mod image;
+mod regs;
+mod stack;
+
+pub use cfgpass::FnInfo;
+
+/// One checker finding, located as precisely as the pass allows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckError {
+    /// Index of the offending function in `Program::funcs`, when the
+    /// finding is function-scoped.
+    pub func: Option<usize>,
+    /// Name of the offending function, for readable reports.
+    pub func_name: Option<String>,
+    /// Instruction index within the function, when the finding is
+    /// instruction-scoped.
+    pub insn: Option<usize>,
+    /// What went wrong.
+    pub kind: CheckKind,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.func_name, self.insn) {
+            (Some(name), Some(i)) => write!(f, "{name}+{i}: {}", self.kind),
+            (Some(name), None) => write!(f, "{name}: {}", self.kind),
+            (None, _) => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+/// The specific invariant a [`CheckError`] reports as violated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckKind {
+    // --- CFG recovery / relocation well-formedness ---
+    /// A function with no instructions at all.
+    EmptyFunction,
+    /// The last instruction of the function can fall through past the
+    /// end of the function.
+    FallthroughOffEnd,
+    /// An indirect jump in pre-link code (the lowerer never emits one;
+    /// its targets would be unrecoverable).
+    IndirectJump,
+    /// A direct branch/call with no relocation describing its target.
+    MissingReloc,
+    /// Two relocations attached to the same instruction.
+    DuplicateReloc,
+    /// A relocation pointing past the end of the function.
+    RelocOutOfRange,
+    /// A relocation attached to an instruction the linker cannot patch.
+    UnpatchableReloc,
+    /// A relocation referring to an out-of-range function, instruction,
+    /// booby trap, or data object.
+    BadRelocRef {
+        /// Human-readable description of the dangling reference.
+        detail: String,
+    },
+    /// A `jmp`/`jcc` whose relocation targets a different function.
+    CrossFunctionBranch {
+        /// The function the branch escapes into.
+        target_func: usize,
+    },
+
+    // --- Stack-depth dataflow ---
+    /// Two CFG paths reach the same instruction with different stack
+    /// depths.
+    DepthJoinMismatch {
+        /// Depth already recorded for the instruction.
+        a: i64,
+        /// Conflicting depth arriving over another edge.
+        b: i64,
+    },
+    /// The stack depth goes negative (pops exceed pushes).
+    StackUnderflow {
+        /// The (negative) computed depth.
+        depth: i64,
+    },
+    /// `ret` executed with a non-zero frame depth.
+    NonzeroDepthAtRet {
+        /// The computed depth at the `ret`.
+        depth: i64,
+    },
+    /// A call issued at a depth that breaks the ABI's 16-byte stack
+    /// alignment contract (callee must see `rsp % 16 == 8`).
+    MisalignedCall {
+        /// The computed depth at the call.
+        depth: i64,
+    },
+    /// The computed stack depth disagrees with the recorded
+    /// `UnwindPoint` table.
+    UnwindMismatch {
+        /// Depth computed by the dataflow pass.
+        computed: i64,
+        /// Depth recorded in the unwind table.
+        recorded: i64,
+    },
+    /// The `UnwindPoint` table itself is malformed (unsorted, missing
+    /// the entry point, out of range).
+    BadUnwindTable {
+        /// Human-readable description.
+        detail: String,
+    },
+
+    // --- Register conformance ---
+    /// A register read on some path before any definition.
+    UndefinedRegRead {
+        /// The register read.
+        reg: Gpr,
+    },
+    /// A conditional branch or `setcc` consuming flags that were not set
+    /// by a comparison on every incoming path.
+    UndefinedFlagsRead,
+    /// A YMM register read before any definition.
+    UndefinedYmmRead {
+        /// The YMM register index.
+        ymm: u8,
+    },
+    /// A callee-saved register written without having been saved in the
+    /// prologue.
+    CalleeSavedClobbered {
+        /// The clobbered register.
+        reg: Gpr,
+    },
+    /// The epilogue before a `ret` does not restore the prologue's saves
+    /// in reverse order.
+    EpilogueMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+
+    // --- Camouflage lints ---
+    /// A `RetAddr` relocation whose target instruction is not a call.
+    RetAddrNotAtCall {
+        /// The instruction index the relocation claims as its call.
+        target: usize,
+    },
+    /// More than one `RetAddr` relocation resolving to the same call.
+    DuplicateRetAddr {
+        /// The call instruction index.
+        call: usize,
+    },
+    /// `CompiledFunc::btra_sites` disagrees with the number of distinct
+    /// calls covered by `RetAddr` relocations.
+    BtraSiteCountMismatch {
+        /// Count recorded by the lowerer.
+        recorded: u32,
+        /// Count found by the checker.
+        found: u32,
+    },
+    /// A BTRA window (push run or AVX2 array) that is not exactly one
+    /// genuine return address camouflaged among booby traps.
+    MalformedWindow {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A `PushImm` that is neither a booby-trap entry nor the genuine
+    /// return address of a window (a raw immediate address push).
+    StrayPushImm,
+    /// A function with recorded BTDP stores whose prologue never loads
+    /// the decoy-array pointer.
+    MissingBtdpPointer,
+    /// Fewer BTDP decoy stores in the prologue than the lowerer
+    /// recorded.
+    MissingBtdpStore {
+        /// Count recorded by the lowerer.
+        recorded: u32,
+        /// Count found by the checker.
+        found: u32,
+    },
+    /// A non-synthetic data object holding a relocation that would leak
+    /// a code address through readable memory under XoM.
+    CodeAddrInData {
+        /// Name of the offending data object.
+        object: String,
+    },
+
+    // --- Linked image ---
+    /// A linked-image invariant violation (overlapping sections, branch
+    /// to a non-boundary, symbol outside its section, ...).
+    ImageError {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckKind::EmptyFunction => write!(f, "function has no instructions"),
+            CheckKind::FallthroughOffEnd => {
+                write!(f, "function can fall through past its last instruction")
+            }
+            CheckKind::IndirectJump => write!(f, "indirect jump in pre-link code"),
+            CheckKind::MissingReloc => write!(f, "direct transfer has no relocation"),
+            CheckKind::DuplicateReloc => write!(f, "multiple relocations on one instruction"),
+            CheckKind::RelocOutOfRange => write!(f, "relocation points past end of function"),
+            CheckKind::UnpatchableReloc => {
+                write!(f, "relocation on an instruction the linker cannot patch")
+            }
+            CheckKind::BadRelocRef { detail } => write!(f, "dangling relocation: {detail}"),
+            CheckKind::CrossFunctionBranch { target_func } => {
+                write!(f, "branch escapes into function #{target_func}")
+            }
+            CheckKind::DepthJoinMismatch { a, b } => {
+                write!(f, "stack depth mismatch at join: {a} vs {b}")
+            }
+            CheckKind::StackUnderflow { depth } => write!(f, "stack underflow (depth {depth})"),
+            CheckKind::NonzeroDepthAtRet { depth } => {
+                write!(f, "ret at non-zero stack depth {depth}")
+            }
+            CheckKind::MisalignedCall { depth } => {
+                write!(f, "call at depth {depth} breaks 16-byte stack alignment")
+            }
+            CheckKind::UnwindMismatch { computed, recorded } => {
+                write!(
+                    f,
+                    "computed stack depth {computed} disagrees with unwind table ({recorded})"
+                )
+            }
+            CheckKind::BadUnwindTable { detail } => write!(f, "malformed unwind table: {detail}"),
+            CheckKind::UndefinedRegRead { reg } => write!(f, "read of undefined register {reg}"),
+            CheckKind::UndefinedFlagsRead => write!(f, "flags consumed without a comparison"),
+            CheckKind::UndefinedYmmRead { ymm } => write!(f, "read of undefined ymm{ymm}"),
+            CheckKind::CalleeSavedClobbered { reg } => {
+                write!(f, "callee-saved {reg} clobbered without being saved")
+            }
+            CheckKind::EpilogueMismatch { detail } => write!(f, "epilogue mismatch: {detail}"),
+            CheckKind::RetAddrNotAtCall { target } => {
+                write!(
+                    f,
+                    "RetAddr relocation targets non-call instruction {target}"
+                )
+            }
+            CheckKind::DuplicateRetAddr { call } => {
+                write!(f, "multiple RetAddr relocations for call at {call}")
+            }
+            CheckKind::BtraSiteCountMismatch { recorded, found } => {
+                write!(f, "btra_sites records {recorded} windows, found {found}")
+            }
+            CheckKind::MalformedWindow { detail } => write!(f, "malformed BTRA window: {detail}"),
+            CheckKind::StrayPushImm => {
+                write!(f, "PushImm without a RetAddr/BoobyTrap relocation")
+            }
+            CheckKind::MissingBtdpPointer => {
+                write!(f, "prologue never loads the BTDP decoy-array pointer")
+            }
+            CheckKind::MissingBtdpStore { recorded, found } => {
+                write!(
+                    f,
+                    "prologue has {found} BTDP stores, lowerer recorded {recorded}"
+                )
+            }
+            CheckKind::CodeAddrInData { object } => {
+                write!(
+                    f,
+                    "data object `{object}` leaks a code address (XoM violation)"
+                )
+            }
+            CheckKind::ImageError { detail } => write!(f, "image: {detail}"),
+        }
+    }
+}
+
+pub(crate) fn err_at(func: usize, name: &str, insn: Option<usize>, kind: CheckKind) -> CheckError {
+    CheckError {
+        func: Some(func),
+        func_name: Some(name.to_string()),
+        insn,
+        kind,
+    }
+}
+
+pub(crate) fn err_global(kind: CheckKind) -> CheckError {
+    CheckError {
+        func: None,
+        func_name: None,
+        insn: None,
+        kind,
+    }
+}
+
+/// Statically validate a pre-link [`Program`] against the
+/// [`DiversifyConfig`] that produced it.
+///
+/// Runs the CFG/reloc, stack-depth, register-conformance, and
+/// camouflage passes over every function and data object. Returns every
+/// finding; an empty vector means the program upholds all checked
+/// invariants.
+pub fn check_program(program: &Program, config: &DiversifyConfig) -> Vec<CheckError> {
+    let mut errs = Vec::new();
+    let mut infos = Vec::with_capacity(program.funcs.len());
+    for (fi, f) in program.funcs.iter().enumerate() {
+        let info = cfgpass::check_function(program, fi, f, &mut errs);
+        stack::check_function(fi, f, &info, &mut errs);
+        regs::check_function(fi, f, &info, &mut errs);
+        infos.push(info);
+    }
+    camo::check(program, config, &infos, &mut errs);
+    errs
+}
+
+/// Statically validate a linked [`Image`] against the
+/// [`DiversifyConfig`] that produced it.
+///
+/// Checks the section layout permutation, instruction-boundary
+/// resolution of every static transfer, symbol/table ranges, and data
+/// initializer placement.
+pub fn check_image(image: &Image, config: &DiversifyConfig) -> Vec<CheckError> {
+    image::check(image, config)
+}

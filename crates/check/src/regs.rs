@@ -1,0 +1,496 @@
+//! Register def-before-use and calling-convention conformance.
+//!
+//! A forward must-analysis over the recovered CFG tracks which GPRs,
+//! YMM registers, and flag state are definitely initialized on *every*
+//! path into an instruction (meet = intersection). On entry only the
+//! convention-defined registers are live: `rsp`, `rbp`, the six argument
+//! registers, and the callee-saved set the caller guarantees; `rax` and
+//! the scratch pair `r10`/`r11` start undefined. Calls clobber the
+//! caller-saved set and the flags, exactly as the VM does.
+//!
+//! A second, structural sub-pass validates callee-saved discipline: the
+//! prologue's push set is parsed, any write to an unsaved callee-saved
+//! register is flagged, and every `ret` must be preceded by pops that
+//! restore the saves in reverse order.
+
+use crate::cfgpass::FnInfo;
+use crate::{err_at, CheckError, CheckKind};
+use r2c_codegen::CompiledFunc;
+use r2c_vm::insn::AluOp;
+use r2c_vm::{Gpr, Insn, MemRef};
+
+/// Flags definedness lattice: a conditional consumer needs `Cmp`
+/// (set by `cmp`/`test`); ALU results set flags but not the ones our
+/// `Cond` decoding contract allows branching on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Flags {
+    Unknown,
+    Alu,
+    Cmp,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct State {
+    gpr: u16,
+    ymm: u16,
+    flags: Flags,
+}
+
+const TOP: State = State {
+    gpr: u16::MAX,
+    ymm: u16::MAX,
+    flags: Flags::Cmp,
+};
+
+fn bit(r: Gpr) -> u16 {
+    1 << r.index()
+}
+
+fn meet(a: State, b: State) -> State {
+    State {
+        gpr: a.gpr & b.gpr,
+        ymm: a.ymm & b.ymm,
+        flags: a.flags.min(b.flags),
+    }
+}
+
+fn entry_state() -> State {
+    let mut gpr = u16::MAX;
+    for r in [Gpr::Rax, Gpr::R10, Gpr::R11] {
+        gpr &= !bit(r);
+    }
+    State {
+        gpr,
+        ymm: 0,
+        flags: Flags::Unknown,
+    }
+}
+
+/// Registers the callee may freely clobber (plus `rax` for the result).
+const CALL_CLOBBERS: [Gpr; 9] = [
+    Gpr::Rcx,
+    Gpr::Rdx,
+    Gpr::Rsi,
+    Gpr::Rdi,
+    Gpr::R8,
+    Gpr::R9,
+    Gpr::R10,
+    Gpr::R11,
+    Gpr::Rbp,
+];
+
+fn mem_regs(m: &MemRef, out: &mut Vec<Gpr>) {
+    out.push(m.base);
+    if let Some((idx, _)) = m.index {
+        out.push(idx);
+    }
+}
+
+/// GPRs read by the instruction (explicitly; `rsp` implicit in stack
+/// ops is always defined and not tracked).
+fn reads(insn: &Insn, out: &mut Vec<Gpr>) {
+    out.clear();
+    match insn {
+        Insn::MovReg { src, .. } | Insn::Push { src } => out.push(*src),
+        Insn::Load { mem, .. }
+        | Insn::StoreImm { mem, .. }
+        | Insn::Lea { mem, .. }
+        | Insn::VLoad { mem, .. }
+        | Insn::VStore { mem, .. } => mem_regs(mem, out),
+        Insn::Store { mem, src } => {
+            mem_regs(mem, out);
+            out.push(*src);
+        }
+        Insn::AluReg { dst, src, .. } => {
+            out.push(*dst);
+            out.push(*src);
+        }
+        Insn::AluImm { dst, .. } => out.push(*dst),
+        Insn::Div { dst, src } | Insn::Rem { dst, src } => {
+            out.push(*dst);
+            out.push(*src);
+        }
+        Insn::CmpReg { a, b } => {
+            out.push(*a);
+            out.push(*b);
+        }
+        Insn::CmpImm { a, .. } | Insn::Test { a } => out.push(*a),
+        Insn::CallInd { target } | Insn::JmpInd { target } => out.push(*target),
+        Insn::Halt => out.push(Gpr::Rdi),
+        _ => {}
+    }
+}
+
+/// The GPR the instruction defines, if any.
+fn gpr_write(insn: &Insn) -> Option<Gpr> {
+    match insn {
+        Insn::MovImm { dst, .. }
+        | Insn::MovAbs { dst, .. }
+        | Insn::MovReg { dst, .. }
+        | Insn::Load { dst, .. }
+        | Insn::Lea { dst, .. }
+        | Insn::Pop { dst }
+        | Insn::AluReg { dst, .. }
+        | Insn::AluImm { dst, .. }
+        | Insn::Div { dst, .. }
+        | Insn::Rem { dst, .. }
+        | Insn::SetCc { dst, .. }
+        | Insn::LoadAbs { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+fn transfer(insn: &Insn, mut s: State) -> State {
+    if let Some(w) = gpr_write(insn) {
+        s.gpr |= bit(w);
+    }
+    match insn {
+        Insn::CmpReg { .. } | Insn::CmpImm { .. } | Insn::Test { .. } => s.flags = Flags::Cmp,
+        Insn::AluReg { .. } | Insn::AluImm { .. } | Insn::Div { .. } | Insn::Rem { .. } => {
+            s.flags = Flags::Alu;
+        }
+        Insn::Call { .. } | Insn::CallInd { .. } | Insn::CallNative { .. } => {
+            for r in CALL_CLOBBERS {
+                s.gpr &= !bit(r);
+            }
+            s.gpr |= bit(Gpr::Rax);
+            s.ymm = 0;
+            s.flags = Flags::Unknown;
+        }
+        Insn::VLoadAbs { dst, .. } | Insn::VLoad { dst, .. } => s.ymm |= 1 << dst.0,
+        Insn::VZeroUpper => {}
+        _ => {}
+    }
+    s
+}
+
+pub(crate) fn check_function(
+    fi: usize,
+    f: &CompiledFunc,
+    info: &FnInfo,
+    errs: &mut Vec<CheckError>,
+) {
+    let n = f.insns.len();
+    if n == 0 {
+        return;
+    }
+
+    // Fixpoint: in-state per instruction, initialized to TOP so meets
+    // only ever remove facts.
+    let mut inst = vec![TOP; n];
+    inst[0] = entry_state();
+    let mut on_list = vec![false; n];
+    let mut work = vec![0usize];
+    on_list[0] = true;
+    while let Some(i) = work.pop() {
+        on_list[i] = false;
+        let out = transfer(&f.insns[i], inst[i]);
+        for &s in &info.succs[i] {
+            let m = if s == 0 {
+                meet(inst[s], meet(out, entry_state()))
+            } else {
+                meet(inst[s], out)
+            };
+            if m != inst[s] {
+                inst[s] = m;
+                if !on_list[s] {
+                    on_list[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+    }
+
+    // Reporting pass over reachable instructions.
+    let mut rd = Vec::with_capacity(4);
+    for (i, insn) in f.insns.iter().enumerate() {
+        if !info.reachable[i] {
+            continue;
+        }
+        let s = inst[i];
+        reads(insn, &mut rd);
+        for &r in &rd {
+            if s.gpr & bit(r) == 0 {
+                errs.push(err_at(
+                    fi,
+                    &f.name,
+                    Some(i),
+                    CheckKind::UndefinedRegRead { reg: r },
+                ));
+            }
+        }
+        match insn {
+            Insn::Jcc { .. } | Insn::SetCc { .. } if s.flags != Flags::Cmp => {
+                errs.push(err_at(fi, &f.name, Some(i), CheckKind::UndefinedFlagsRead));
+            }
+            Insn::VStore { src, .. } if s.ymm & (1 << src.0) == 0 => {
+                errs.push(err_at(
+                    fi,
+                    &f.name,
+                    Some(i),
+                    CheckKind::UndefinedYmmRead { ymm: src.0 },
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    check_callee_saved(fi, f, errs);
+}
+
+fn is_rsp_add(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::AluImm {
+            op: AluOp::Add,
+            dst: Gpr::Rsp,
+            ..
+        }
+    )
+}
+
+fn is_rsp_sub(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::AluImm {
+            op: AluOp::Sub,
+            dst: Gpr::Rsp,
+            ..
+        }
+    )
+}
+
+/// Parse the prologue's callee-saved push run: an optional `sub rsp`
+/// (BTRA post-offset), an optional jump-over-traps run, then pushes.
+fn prologue_saves(f: &CompiledFunc) -> Vec<Gpr> {
+    let insns = &f.insns;
+    let mut i = 0;
+    if insns.get(i).is_some_and(is_rsp_sub) {
+        i += 1;
+    }
+    if matches!(insns.get(i), Some(Insn::Jmp { .. })) {
+        let mut j = i + 1;
+        while matches!(insns.get(j), Some(Insn::Trap)) {
+            j += 1;
+        }
+        if j > i + 1 {
+            i = j;
+        }
+    }
+    let mut saves = Vec::new();
+    while let Some(Insn::Push { src }) = insns.get(i) {
+        if !Gpr::CALLEE_SAVED.contains(src) {
+            break;
+        }
+        saves.push(*src);
+        i += 1;
+    }
+    saves
+}
+
+fn check_callee_saved(fi: usize, f: &CompiledFunc, errs: &mut Vec<CheckError>) {
+    let saves = prologue_saves(f);
+    let saved_mask: u16 = saves.iter().fold(0, |m, &r| m | bit(r));
+
+    for (i, insn) in f.insns.iter().enumerate() {
+        if let Some(w) = gpr_write(insn) {
+            if Gpr::CALLEE_SAVED.contains(&w) && saved_mask & bit(w) == 0 {
+                errs.push(err_at(
+                    fi,
+                    &f.name,
+                    Some(i),
+                    CheckKind::CalleeSavedClobbered { reg: w },
+                ));
+            }
+        }
+    }
+
+    // Every `ret` must be preceded by `[add rsp]? pops... [add rsp]?`
+    // with the pops restoring the prologue's saves in reverse order
+    // (walking backwards from the `ret` yields them in save order).
+    for (i, insn) in f.insns.iter().enumerate() {
+        if !matches!(insn, Insn::Ret) {
+            continue;
+        }
+        let mut j = i;
+        if j > 0 && is_rsp_add(&f.insns[j - 1]) {
+            j -= 1;
+        }
+        let mut pops = Vec::new();
+        while j > 0 {
+            if let Insn::Pop { dst } = f.insns[j - 1] {
+                pops.push(dst);
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if pops != saves {
+            errs.push(err_at(
+                fi,
+                &f.name,
+                Some(i),
+                CheckKind::EpilogueMismatch {
+                    detail: format!("prologue saves {saves:?}, epilogue restores {pops:?}"),
+                },
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfgpass;
+    use r2c_codegen::{FuncKind, Program};
+
+    fn check(insns: Vec<Insn>) -> Vec<CheckError> {
+        let f = CompiledFunc {
+            name: "f".to_string(),
+            insns,
+            relocs: vec![],
+            unwind: vec![],
+            kind: FuncKind::Normal,
+            btra_sites: 0,
+            btdp_stores: 0,
+        };
+        let p = Program {
+            funcs: vec![f],
+            data: vec![],
+            entry: 0,
+            ctors: vec![],
+            natives: vec![],
+            booby_trap_funcs: 0,
+        };
+        let mut errs = vec![];
+        let info = cfgpass::check_function(&p, 0, &p.funcs[0], &mut errs);
+        errs.clear();
+        check_function(0, &p.funcs[0], &info, &mut errs);
+        errs
+    }
+
+    #[test]
+    fn argument_registers_are_defined_on_entry() {
+        let errs = check(vec![
+            Insn::MovReg {
+                dst: Gpr::Rax,
+                src: Gpr::Rdi,
+            },
+            Insn::Ret,
+        ]);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn scratch_read_before_def_flagged() {
+        let errs = check(vec![
+            Insn::MovReg {
+                dst: Gpr::Rax,
+                src: Gpr::R10,
+            },
+            Insn::Ret,
+        ]);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::UndefinedRegRead { reg: Gpr::R10 })));
+    }
+
+    #[test]
+    fn rax_undefined_after_entry_defined_after_call() {
+        let errs = check(vec![Insn::Push { src: Gpr::Rax }, Insn::Ret]);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::UndefinedRegRead { reg: Gpr::Rax })));
+
+        let errs = check(vec![
+            Insn::CallNative { native: 0 },
+            Insn::MovReg {
+                dst: Gpr::Rdi,
+                src: Gpr::Rax,
+            },
+            Insn::Ret,
+        ]);
+        assert!(
+            !errs
+                .iter()
+                .any(|e| matches!(e.kind, CheckKind::UndefinedRegRead { reg: Gpr::Rax })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn caller_saved_killed_by_call() {
+        let errs = check(vec![
+            Insn::MovImm {
+                dst: Gpr::Rcx,
+                imm: 7,
+            },
+            Insn::CallNative { native: 0 },
+            Insn::Push { src: Gpr::Rcx },
+            Insn::Pop { dst: Gpr::Rcx },
+            Insn::Ret,
+        ]);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::UndefinedRegRead { reg: Gpr::Rcx })));
+    }
+
+    #[test]
+    fn flags_unavailable_after_call() {
+        let errs = check(vec![
+            Insn::CmpImm {
+                a: Gpr::Rdi,
+                imm: 0,
+            },
+            Insn::CallNative { native: 0 },
+            Insn::Jcc {
+                cond: r2c_vm::Cond::Eq,
+                target: 0,
+            },
+            Insn::Ret,
+        ]);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::UndefinedFlagsRead)));
+    }
+
+    #[test]
+    fn clobbered_callee_saved_flagged() {
+        let errs = check(vec![
+            Insn::MovImm {
+                dst: Gpr::Rbx,
+                imm: 1,
+            },
+            Insn::Ret,
+        ]);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::CalleeSavedClobbered { reg: Gpr::Rbx })));
+    }
+
+    #[test]
+    fn saved_callee_saved_accepted_and_epilogue_checked() {
+        let errs = check(vec![
+            Insn::Push { src: Gpr::Rbx },
+            Insn::MovImm {
+                dst: Gpr::Rbx,
+                imm: 1,
+            },
+            Insn::Pop { dst: Gpr::Rbx },
+            Insn::Ret,
+        ]);
+        assert!(errs.is_empty(), "{errs:?}");
+
+        let errs = check(vec![
+            Insn::Push { src: Gpr::Rbx },
+            Insn::MovImm {
+                dst: Gpr::Rbx,
+                imm: 1,
+            },
+            Insn::Ret,
+        ]);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::EpilogueMismatch { .. })));
+    }
+}

@@ -1,0 +1,288 @@
+//! Stack-depth dataflow.
+//!
+//! Abstractly interprets every push/pop/`rsp` adjustment over the
+//! recovered CFG, checking that all paths agree on the depth at every
+//! join, that the depth never goes negative, that every `ret` sees the
+//! frame fully torn down, that every call leaves `rsp % 16 == 8` for the
+//! callee (the System V contract the lowerer's residue computation
+//! exists to uphold), and that the whole profile agrees with the
+//! recorded `UnwindPoint` table the attack simulations rely on.
+
+use crate::cfgpass::FnInfo;
+use crate::{err_at, CheckError, CheckKind};
+use r2c_codegen::CompiledFunc;
+use r2c_vm::insn::AluOp;
+use r2c_vm::{Gpr, Insn};
+
+/// Net change to the current frame's stack depth.
+fn delta(insn: &Insn) -> i64 {
+    match insn {
+        Insn::Push { .. } | Insn::PushImm { .. } => 8,
+        Insn::Pop { .. } => -8,
+        Insn::AluImm {
+            op: AluOp::Sub,
+            dst: Gpr::Rsp,
+            imm,
+        } => *imm as i64,
+        Insn::AluImm {
+            op: AluOp::Add,
+            dst: Gpr::Rsp,
+            imm,
+        } => -(*imm as i64),
+        // Calls push and pop the return address; net zero for the
+        // caller's frame.
+        _ => 0,
+    }
+}
+
+pub(crate) fn check_function(
+    fi: usize,
+    f: &CompiledFunc,
+    info: &FnInfo,
+    errs: &mut Vec<CheckError>,
+) {
+    let n = f.insns.len();
+    if n == 0 {
+        return;
+    }
+
+    // Unwind-table sanity: sorted, anchored at instruction 0, in range.
+    if f.unwind.first().map(|u| (u.from, u.depth)) != Some((0, 0)) {
+        errs.push(err_at(
+            fi,
+            &f.name,
+            None,
+            CheckKind::BadUnwindTable {
+                detail: "first entry must be (from 0, depth 0)".to_string(),
+            },
+        ));
+    }
+    if f.unwind.windows(2).any(|w| w[1].from < w[0].from) {
+        errs.push(err_at(
+            fi,
+            &f.name,
+            None,
+            CheckKind::BadUnwindTable {
+                detail: "entries not sorted by `from`".to_string(),
+            },
+        ));
+    }
+    if let Some(u) = f.unwind.iter().find(|u| u.from > n) {
+        errs.push(err_at(
+            fi,
+            &f.name,
+            None,
+            CheckKind::BadUnwindTable {
+                detail: format!("entry at {} past end of function", u.from),
+            },
+        ));
+    }
+
+    // Recorded depth per instruction: last entry with `from <= i` wins,
+    // matching the linker's start==end collapsing.
+    let mut recorded = vec![0i64; n];
+    {
+        let mut k = 0;
+        let mut cur = 0;
+        for (i, slot) in recorded.iter_mut().enumerate() {
+            while k < f.unwind.len() && f.unwind[k].from <= i {
+                cur = f.unwind[k].depth;
+                k += 1;
+            }
+            *slot = cur;
+        }
+    }
+
+    // Forward dataflow: depth flowing *into* each instruction.
+    let mut depth: Vec<Option<i64>> = vec![None; n];
+    depth[0] = Some(0);
+    let mut work = vec![0usize];
+    while let Some(i) = work.pop() {
+        let out = depth[i].unwrap() + delta(&f.insns[i]);
+        for &s in &info.succs[i] {
+            match depth[s] {
+                None => {
+                    depth[s] = Some(out);
+                    work.push(s);
+                }
+                Some(prev) if prev != out => {
+                    errs.push(err_at(
+                        fi,
+                        &f.name,
+                        Some(s),
+                        CheckKind::DepthJoinMismatch { a: prev, b: out },
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // Per-instruction checks on reachable code. A single mutation skews
+    // every downstream depth, so report only the first unwind
+    // disagreement per function.
+    let mut unwind_reported = false;
+    for (i, insn) in f.insns.iter().enumerate() {
+        let Some(d) = depth[i] else { continue };
+        if d < 0 {
+            errs.push(err_at(
+                fi,
+                &f.name,
+                Some(i),
+                CheckKind::StackUnderflow { depth: d },
+            ));
+            continue;
+        }
+        if d != recorded[i] && !unwind_reported {
+            unwind_reported = true;
+            errs.push(err_at(
+                fi,
+                &f.name,
+                Some(i),
+                CheckKind::UnwindMismatch {
+                    computed: d,
+                    recorded: recorded[i],
+                },
+            ));
+        }
+        match insn {
+            Insn::Ret if d != 0 => {
+                errs.push(err_at(
+                    fi,
+                    &f.name,
+                    Some(i),
+                    CheckKind::NonzeroDepthAtRet { depth: d },
+                ));
+            }
+            Insn::Call { .. } | Insn::CallInd { .. } | Insn::CallNative { .. } if d % 16 != 8 => {
+                errs.push(err_at(
+                    fi,
+                    &f.name,
+                    Some(i),
+                    CheckKind::MisalignedCall { depth: d },
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfgpass;
+    use r2c_codegen::program::UnwindPoint;
+    use r2c_codegen::{FuncKind, Program};
+
+    fn check(insns: Vec<Insn>, unwind: Vec<UnwindPoint>) -> Vec<CheckError> {
+        let f = CompiledFunc {
+            name: "f".to_string(),
+            insns,
+            relocs: vec![],
+            unwind,
+            kind: FuncKind::Normal,
+            btra_sites: 0,
+            btdp_stores: 0,
+        };
+        let p = Program {
+            funcs: vec![f],
+            data: vec![],
+            entry: 0,
+            ctors: vec![],
+            natives: vec![],
+            booby_trap_funcs: 0,
+        };
+        let mut errs = vec![];
+        let info = cfgpass::check_function(&p, 0, &p.funcs[0], &mut errs);
+        errs.clear(); // only stack findings matter here
+        check_function(0, &p.funcs[0], &info, &mut errs);
+        errs
+    }
+
+    fn base_unwind() -> Vec<UnwindPoint> {
+        vec![UnwindPoint { from: 0, depth: 0 }]
+    }
+
+    #[test]
+    fn balanced_frame_is_clean() {
+        let mut unwind = base_unwind();
+        unwind.push(UnwindPoint { from: 1, depth: 8 });
+        unwind.push(UnwindPoint { from: 2, depth: 0 });
+        let errs = check(
+            vec![
+                Insn::Push { src: Gpr::Rbx },
+                Insn::Pop { dst: Gpr::Rbx },
+                Insn::Ret,
+            ],
+            unwind,
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn unbalanced_push_flagged() {
+        let mut unwind = base_unwind();
+        unwind.push(UnwindPoint { from: 1, depth: 8 });
+        let errs = check(vec![Insn::Push { src: Gpr::Rbx }, Insn::Ret], unwind);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::NonzeroDepthAtRet { depth: 8 })));
+    }
+
+    #[test]
+    fn pop_of_empty_frame_flagged() {
+        let mut unwind = base_unwind();
+        unwind.push(UnwindPoint { from: 1, depth: -8 });
+        let errs = check(vec![Insn::Pop { dst: Gpr::Rbx }, Insn::Ret], unwind);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::StackUnderflow { .. })));
+    }
+
+    #[test]
+    fn stale_unwind_table_flagged() {
+        // Push at 0 but the table still claims depth 0 afterwards.
+        let errs = check(
+            vec![
+                Insn::Push { src: Gpr::Rbx },
+                Insn::Pop { dst: Gpr::Rbx },
+                Insn::Ret,
+            ],
+            base_unwind(),
+        );
+        assert!(errs.iter().any(|e| matches!(
+            e.kind,
+            CheckKind::UnwindMismatch {
+                computed: 8,
+                recorded: 0
+            }
+        )));
+    }
+
+    #[test]
+    fn misaligned_call_flagged() {
+        let mut unwind = base_unwind();
+        unwind.push(UnwindPoint { from: 1, depth: 16 });
+        unwind.push(UnwindPoint { from: 3, depth: 0 });
+        let errs = check(
+            vec![
+                Insn::AluImm {
+                    op: AluOp::Sub,
+                    dst: Gpr::Rsp,
+                    imm: 16,
+                },
+                Insn::Call { target: 0 },
+                Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: Gpr::Rsp,
+                    imm: 16,
+                },
+                Insn::Ret,
+            ],
+            unwind,
+        );
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, CheckKind::MisalignedCall { depth: 16 })));
+    }
+}

@@ -39,7 +39,9 @@ pub mod regalloc;
 pub use config::{BtdpConfig, BtraConfig, BtraMode, DiversifyConfig};
 pub use link::{link, LinkOptions};
 pub use lower::{compile, mix_seed, CompileError, CompileOptions, BOOBY_TRAP_RUN, NATIVE_ORDER};
-pub use program::{CompiledFunc, DataObject, FuncKind, Program, Reloc, RelocKind};
+pub use program::{
+    CompiledFunc, DataObject, DataReloc, FuncKind, Program, Reloc, RelocKind, UnwindPoint,
+};
 pub use regalloc::{allocate, Allocation, Loc};
 
 use r2c_ir::Module;

@@ -70,7 +70,7 @@ impl CompileOptions {
 }
 
 /// Compilation failure.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum CompileError {
     /// IR verification failed.
     Verify(VerifyError),

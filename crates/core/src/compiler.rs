@@ -1,11 +1,58 @@
 //! The R²C compiler facade.
 
+use r2c_check::CheckError;
 use r2c_codegen::{link, mix_seed, CompileError, CompileOptions, FuncKind, LinkOptions, Program};
 use r2c_ir::Module;
 use r2c_vm::Image;
 
 use crate::config::R2cConfig;
 use crate::runtime::{inject_btdp_runtime, BtdpRuntime};
+
+/// A failed [`R2cCompiler::build`]: either the backend rejected the
+/// module, or the `r2c-check` static analyzer found the emitted code in
+/// violation of a checked invariant.
+#[derive(Clone, Debug)]
+pub enum BuildError {
+    /// IR verification or lowering failed.
+    Compile(CompileError),
+    /// The static checker flagged the compiled output.
+    Check {
+        /// Which artifact was rejected: `"program"` or `"image"`.
+        stage: &'static str,
+        /// Every finding, in pass order.
+        errors: Vec<CheckError>,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Compile(e) => write!(f, "{e}"),
+            BuildError::Check { stage, errors } => {
+                write!(
+                    f,
+                    "static checker rejected the {stage} ({} finding(s))",
+                    errors.len()
+                )?;
+                for e in errors.iter().take(8) {
+                    write!(f, "\n  {e}")?;
+                }
+                if errors.len() > 8 {
+                    write!(f, "\n  ... and {} more", errors.len() - 8)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<CompileError> for BuildError {
+    fn from(e: CompileError) -> BuildError {
+        BuildError::Compile(e)
+    }
+}
 
 /// Static information about one built variant, for reports and tests.
 #[derive(Clone, Debug, Default)]
@@ -46,17 +93,40 @@ impl R2cCompiler {
     }
 
     /// Compiles and links `module` into an image.
-    pub fn build(&self, module: &Module) -> Result<Image, CompileError> {
+    pub fn build(&self, module: &Module) -> Result<Image, BuildError> {
         self.build_with_info(module).map(|(image, _)| image)
     }
 
     /// Compiles and links, also returning static variant information.
-    pub fn build_with_info(&self, module: &Module) -> Result<(Image, VariantInfo), CompileError> {
+    ///
+    /// When [`R2cConfig::check`] is set, the `r2c-check` static
+    /// analyzer validates both the pre-link program and the linked
+    /// image; any finding fails the build with
+    /// [`BuildError::Check`].
+    pub fn build_with_info(&self, module: &Module) -> Result<(Image, VariantInfo), BuildError> {
         let (program, opts, rt) = self.compile_program(module)?;
+        if self.config.check {
+            let errors = r2c_check::check_program(&program, &opts.diversify);
+            if !errors.is_empty() {
+                return Err(BuildError::Check {
+                    stage: "program",
+                    errors,
+                });
+            }
+        }
         let image = link(
             &program,
             &LinkOptions::from_config(&opts.diversify, opts.seed),
         );
+        if self.config.check {
+            let errors = r2c_check::check_image(&image, &opts.diversify);
+            if !errors.is_empty() {
+                return Err(BuildError::Check {
+                    stage: "image",
+                    errors,
+                });
+            }
+        }
         let mut info = VariantInfo {
             text_bytes: program.text_bytes(),
             booby_traps: program.booby_trap_funcs,
@@ -80,6 +150,10 @@ impl R2cCompiler {
         &self,
         module: &Module,
     ) -> Result<(Program, CompileOptions, Option<BtdpRuntime>), CompileError> {
+        // Verify the *input* module up front so IR errors are reported
+        // against the user's code, not the runtime-injected clone
+        // (which `r2c_codegen::compile` re-verifies).
+        r2c_ir::verify_module(module).map_err(CompileError::Verify)?;
         let mut m = module.clone();
         let mut diversify = self.config.diversify;
         let mut ctors = Vec::new();

@@ -57,6 +57,12 @@ pub struct R2cConfig {
     /// different program variant (the paper recompiles SPEC with a
     /// fresh seed per benchmark execution, §6.2).
     pub seed: u64,
+    /// Run the `r2c-check` static analyzer over the compiled program
+    /// and linked image during [`R2cCompiler::build`]
+    /// (crate::R2cCompiler::build); a finding fails the build. On by
+    /// default in debug builds (so every test exercises it), off in
+    /// release builds (benchmarks measure codegen, not validation).
+    pub check: bool,
 }
 
 impl R2cConfig {
@@ -65,6 +71,7 @@ impl R2cConfig {
         R2cConfig {
             diversify: DiversifyConfig::none(),
             seed,
+            check: cfg!(debug_assertions),
         }
     }
 
@@ -73,6 +80,7 @@ impl R2cConfig {
         R2cConfig {
             diversify: DiversifyConfig::full(),
             seed,
+            check: cfg!(debug_assertions),
         }
     }
 
@@ -130,12 +138,22 @@ impl R2cConfig {
                 ..none
             },
         };
-        R2cConfig { diversify, seed }
+        R2cConfig {
+            diversify,
+            seed,
+            check: cfg!(debug_assertions),
+        }
     }
 
     /// Same configuration, different variant seed.
     pub fn with_seed(mut self, seed: u64) -> R2cConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Same configuration, static checker forced on or off.
+    pub fn with_check(mut self, check: bool) -> R2cConfig {
+        self.check = check;
         self
     }
 }

@@ -53,10 +53,11 @@ pub mod config;
 pub mod runtime;
 pub mod stats;
 
-pub use compiler::{R2cCompiler, VariantInfo};
+pub use compiler::{BuildError, R2cCompiler, VariantInfo};
 pub use config::{Component, R2cConfig};
 
 // Re-export the names downstream users need most, so that `r2c-core`
 // works as the single entry point the README advertises.
+pub use r2c_check::{check_image, check_program, CheckError, CheckKind};
 pub use r2c_codegen::{BtdpConfig, BtraConfig, BtraMode, CompileError, DiversifyConfig};
 pub use r2c_vm::{ExitStatus, Image, MachineKind, Vm, VmConfig};

@@ -28,11 +28,10 @@ impl std::error::Error for VerifyError {}
 ///
 /// * unique function and global names,
 /// * every referenced function/global/block id in range,
-/// * values defined exactly once and before use (in block order — our
-///   builder emits structured control flow, so dominance is
-///   approximated by definition order, which is sound for the code the
-///   builders and parser produce and is what the code generator
-///   assumes),
+/// * values defined exactly once, and every use dominated by its
+///   definition (a real dominator-tree check: earlier in the same
+///   block, or in a block that dominates the using block on every
+///   path from entry),
 /// * `Alloca`/`Param` only in the entry block,
 /// * call arity matches the callee signature.
 pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
@@ -72,31 +71,125 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
     Ok(())
 }
 
+/// Immediate-style dominator sets, one bitset per block: `dom[b]`
+/// holds every block that appears on all paths from entry to `b`.
+/// Unreachable blocks keep the full set (vacuously dominated by
+/// everything), which keeps the verifier lenient about dead code.
+fn dominator_sets(nblocks: usize, preds: &[Vec<usize>]) -> Vec<Vec<u64>> {
+    let words = nblocks.div_ceil(64);
+    let full = vec![u64::MAX; words];
+    let mut entry_only = vec![0u64; words];
+    entry_only[0] = 1;
+    let mut dom = vec![full.clone(); nblocks];
+    dom[0] = entry_only;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in 1..nblocks {
+            if preds[bi].is_empty() {
+                continue;
+            }
+            let mut new = full.clone();
+            for &p in &preds[bi] {
+                for (w, d) in new.iter_mut().zip(&dom[p]) {
+                    *w &= d;
+                }
+            }
+            new[bi / 64] |= 1 << (bi % 64);
+            if new != dom[bi] {
+                dom[bi] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
 fn verify_function(m: &Module, f: &crate::repr::Function) -> Result<(), String> {
     if f.blocks.is_empty() {
         return Err("no blocks".into());
     }
-    let nblocks = f.blocks.len() as u32;
-    let mut defined: Vec<bool> = vec![false; f.num_vals as usize];
+    let nblocks = f.blocks.len();
 
-    let check_val = |v: Val, defined: &[bool]| -> Result<(), String> {
-        if v.0 as usize >= defined.len() {
-            return Err(format!("value %{} out of range", v.0));
-        }
-        if !defined[v.0 as usize] {
-            return Err(format!("value %{} used before definition", v.0));
-        }
-        Ok(())
-    };
     let check_bb = |b: BlockId| -> Result<(), String> {
-        if b.0 >= nblocks {
+        if b.0 as usize >= nblocks {
             return Err(format!("branch to nonexistent block {}", b.0));
         }
         Ok(())
     };
 
+    // CFG edges (also validates every branch target before indexing).
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
     for (bi, block) in f.blocks.iter().enumerate() {
-        for (res, inst) in &block.insts {
+        match &block.term {
+            Term::Br(b) => {
+                check_bb(*b)?;
+                preds[b.0 as usize].push(bi);
+            }
+            Term::CondBr {
+                then_bb, else_bb, ..
+            } => {
+                check_bb(*then_bb)?;
+                check_bb(*else_bb)?;
+                preds[then_bb.0 as usize].push(bi);
+                preds[else_bb.0 as usize].push(bi);
+            }
+            Term::Ret(_) => {}
+        }
+    }
+    let dom = dominator_sets(nblocks, &preds);
+    let dominates = |def_b: usize, use_b: usize| dom[use_b][def_b / 64] >> (def_b % 64) & 1 == 1;
+
+    // Definition sites: (block, instruction position) per value.
+    let mut def_site: Vec<Option<(usize, usize)>> = vec![None; f.num_vals as usize];
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (pos, (res, inst)) in block.insts.iter().enumerate() {
+            match (res, inst.has_result()) {
+                (Some(v), true) => {
+                    if v.0 >= f.num_vals {
+                        return Err(format!("result %{} exceeds num_vals {}", v.0, f.num_vals));
+                    }
+                    if def_site[v.0 as usize].is_some() {
+                        return Err(format!("value %{} defined twice", v.0));
+                    }
+                    def_site[v.0 as usize] = Some((bi, pos));
+                }
+                (None, false) => {}
+                (Some(v), false) => return Err(format!("store assigned result %{}", v.0)),
+                (None, true) => return Err("result-producing instruction without id".into()),
+            }
+        }
+    }
+
+    // A use at `(use_b, use_pos)` is legal iff the definition appears
+    // earlier in the same block or in a strictly dominating block.
+    // Terminator operands use `usize::MAX` (after every instruction).
+    let check_val = |v: Val, use_b: usize, use_pos: usize| -> Result<(), String> {
+        if v.0 as usize >= def_site.len() {
+            return Err(format!("value %{} out of range", v.0));
+        }
+        let Some((def_b, def_pos)) = def_site[v.0 as usize] else {
+            return Err(format!("value %{} used before definition", v.0));
+        };
+        if def_b == use_b {
+            if def_pos < use_pos {
+                Ok(())
+            } else {
+                Err(format!("value %{} used before definition", v.0))
+            }
+        } else if dominates(def_b, use_b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "use of value %{} in block {:?} is not dominated by its definition in block {:?}",
+                v.0, f.blocks[use_b].name, f.blocks[def_b].name
+            ))
+        }
+    };
+
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (pos, (res, inst)) in block.insts.iter().enumerate() {
+            let check_val = |v: Val| check_val(v, bi, pos);
             // Operand checks.
             match inst {
                 Inst::Const(_) | Inst::GlobalAddr(_) | Inst::FuncAddr(_) => {}
@@ -116,21 +209,21 @@ fn verify_function(m: &Module, f: &crate::repr::Function) -> Result<(), String> 
                         return Err(format!("alloca alignment {align} not a power of two"));
                     }
                 }
-                Inst::Load { ptr, .. } => check_val(*ptr, &defined)?,
+                Inst::Load { ptr, .. } => check_val(*ptr)?,
                 Inst::Store { ptr, val, .. } => {
-                    check_val(*ptr, &defined)?;
-                    check_val(*val, &defined)?;
+                    check_val(*ptr)?;
+                    check_val(*val)?;
                 }
                 Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
-                    check_val(*a, &defined)?;
-                    check_val(*b, &defined)?;
+                    check_val(*a)?;
+                    check_val(*b)?;
                 }
                 Inst::PtrAdd {
                     base, idx, scale, ..
                 } => {
-                    check_val(*base, &defined)?;
+                    check_val(*base)?;
                     if let Some(i) = idx {
-                        check_val(*i, &defined)?;
+                        check_val(*i)?;
                     }
                     if !matches!(scale, 1 | 2 | 4 | 8) {
                         return Err(format!("invalid ptradd scale {scale}"));
@@ -150,13 +243,13 @@ fn verify_function(m: &Module, f: &crate::repr::Function) -> Result<(), String> 
                         ));
                     }
                     for a in args {
-                        check_val(*a, &defined)?;
+                        check_val(*a)?;
                     }
                 }
                 Inst::CallInd { ptr, args } => {
-                    check_val(*ptr, &defined)?;
+                    check_val(*ptr)?;
                     for a in args {
-                        check_val(*a, &defined)?;
+                        check_val(*a)?;
                     }
                 }
                 Inst::CallExtern { ext, args } => {
@@ -169,7 +262,7 @@ fn verify_function(m: &Module, f: &crate::repr::Function) -> Result<(), String> 
                         ));
                     }
                     for a in args {
-                        check_val(*a, &defined)?;
+                        check_val(*a)?;
                     }
                 }
             }
@@ -182,35 +275,14 @@ fn verify_function(m: &Module, f: &crate::repr::Function) -> Result<(), String> 
                 }
                 _ => {}
             }
-            // Definition checks.
-            match (res, inst.has_result()) {
-                (Some(v), true) => {
-                    if v.0 >= f.num_vals {
-                        return Err(format!("result %{} exceeds num_vals {}", v.0, f.num_vals));
-                    }
-                    if defined[v.0 as usize] {
-                        return Err(format!("value %{} defined twice", v.0));
-                    }
-                    defined[v.0 as usize] = true;
-                }
-                (None, false) => {}
-                (Some(v), false) => return Err(format!("store assigned result %{}", v.0)),
-                (None, true) => return Err("result-producing instruction without id".into()),
-            }
+            let _ = res;
         }
+        // Branch targets were validated when collecting edges;
+        // terminator operands count as uses after every instruction.
         match &block.term {
-            Term::Br(b) => check_bb(*b)?,
-            Term::CondBr {
-                cond,
-                then_bb,
-                else_bb,
-            } => {
-                check_val(*cond, &defined)?;
-                check_bb(*then_bb)?;
-                check_bb(*else_bb)?;
-            }
-            Term::Ret(Some(v)) => check_val(*v, &defined)?,
-            Term::Ret(None) => {}
+            Term::CondBr { cond, .. } => check_val(*cond, bi, usize::MAX)?,
+            Term::Ret(Some(v)) => check_val(*v, bi, usize::MAX)?,
+            Term::Br(_) | Term::Ret(None) => {}
         }
     }
     Ok(())
@@ -264,6 +336,104 @@ mod tests {
         });
         let err = verify_module(&m).unwrap_err();
         assert!(err.msg.contains("before definition"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_dominating_def() {
+        // entry --(condbr)--> {a, b};  a: %1 = const, br join;  b: br join;
+        // join: use %1.  The definition in `a` appears *earlier in block
+        // order* than the use, so the old linear-scan approximation
+        // accepted this — but `a` does not dominate `join` (the path
+        // entry→b→join never defines %1).
+        let mut m = Module::default();
+        m.funcs.push(Function {
+            name: "f".into(),
+            params: 0,
+            blocks: vec![
+                Block {
+                    name: "entry".into(),
+                    insts: vec![(Some(Val(0)), Inst::Const(0))],
+                    term: Term::CondBr {
+                        cond: Val(0),
+                        then_bb: BlockId(1),
+                        else_bb: BlockId(2),
+                    },
+                },
+                Block {
+                    name: "a".into(),
+                    insts: vec![(Some(Val(1)), Inst::Const(7))],
+                    term: Term::Br(BlockId(3)),
+                },
+                Block {
+                    name: "b".into(),
+                    insts: vec![],
+                    term: Term::Br(BlockId(3)),
+                },
+                Block {
+                    name: "join".into(),
+                    insts: vec![(
+                        Some(Val(2)),
+                        Inst::Bin {
+                            op: BinOp::Add,
+                            a: Val(1),
+                            b: Val(1),
+                        },
+                    )],
+                    term: Term::Ret(Some(Val(2))),
+                },
+            ],
+            num_vals: 3,
+            no_instrument: false,
+        });
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("dominate"), "{err}");
+    }
+
+    #[test]
+    fn accepts_dominating_def_across_blocks() {
+        // entry defines %0 and branches through a diamond; both arms and
+        // the join may use it, since entry dominates everything.
+        let mut m = Module::default();
+        m.funcs.push(Function {
+            name: "f".into(),
+            params: 0,
+            blocks: vec![
+                Block {
+                    name: "entry".into(),
+                    insts: vec![(Some(Val(0)), Inst::Const(1))],
+                    term: Term::CondBr {
+                        cond: Val(0),
+                        then_bb: BlockId(1),
+                        else_bb: BlockId(2),
+                    },
+                },
+                Block {
+                    name: "a".into(),
+                    insts: vec![],
+                    term: Term::Br(BlockId(3)),
+                },
+                Block {
+                    name: "b".into(),
+                    insts: vec![],
+                    term: Term::Br(BlockId(3)),
+                },
+                Block {
+                    name: "join".into(),
+                    insts: vec![(
+                        Some(Val(1)),
+                        Inst::Bin {
+                            op: BinOp::Add,
+                            a: Val(0),
+                            b: Val(0),
+                        },
+                    )],
+                    term: Term::Ret(Some(Val(1))),
+                },
+            ],
+            num_vals: 2,
+            no_instrument: false,
+        });
+        verify_module(&m).unwrap();
     }
 
     #[test]

@@ -117,7 +117,7 @@ fn build(r: &Recipe) -> Module {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48 })]
+    #![proptest_config(ProptestConfig { cases: if cfg!(debug_assertions) { 12 } else { 48 } })]
 
     #[test]
     fn print_parse_roundtrip(r in recipe()) {
@@ -143,7 +143,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 256 })]
+    #![proptest_config(ProptestConfig { cases: if cfg!(debug_assertions) { 32 } else { 256 } })]
 
     /// The parser must never panic: arbitrary input yields Ok or a
     /// ParseError with a line number, nothing else.

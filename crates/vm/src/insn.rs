@@ -445,6 +445,27 @@ impl Insn {
             Insn::Ret | Insn::Jmp { .. } | Insn::JmpInd { .. } | Insn::Halt
         )
     }
+
+    /// True for call instructions of any flavor (direct, indirect,
+    /// native).
+    pub fn is_call(&self) -> bool {
+        matches!(
+            self,
+            Insn::Call { .. } | Insn::CallInd { .. } | Insn::CallNative { .. }
+        )
+    }
+
+    /// The absolute target of a direct control transfer (`call`, `jmp`,
+    /// `jcc`), if this is one. Indirect transfers and returns have no
+    /// static target.
+    pub fn branch_target(&self) -> Option<VAddr> {
+        match self {
+            Insn::Call { target } | Insn::Jmp { target } | Insn::Jcc { target, .. } => {
+                Some(*target)
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64 })]
+    #![proptest_config(ProptestConfig { cases: if cfg!(debug_assertions) { 16 } else { 64 } })]
 
     #[test]
     fn allocator_invariants(ops in ops()) {

@@ -208,7 +208,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 128 })]
+    #![proptest_config(ProptestConfig { cases: if cfg!(debug_assertions) { 24 } else { 128 } })]
 
     #[test]
     fn memory_matches_naive_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {

@@ -1,0 +1,235 @@
+//! Mutation testing of the `r2c-check` static analyzer: deliberately
+//! corrupt a compiled [`Program`] the way a miscompile (or a tampering
+//! attacker) would, and assert the checker pinpoints the damage with
+//! the *right* structured error — naming the function and, where it
+//! applies, the instruction.
+//!
+//! The clean-compile tests double as the checker's false-positive
+//! guard: every preset must come out of `check_program`/`check_image`
+//! with zero findings.
+
+use r2c_check::{check_program, CheckKind};
+use r2c_codegen::{DiversifyConfig, Program, RelocKind};
+use r2c_core::{R2cCompiler, R2cConfig};
+use r2c_ir::{BinOp, GlobalInit, Module, ModuleBuilder};
+use r2c_vm::{Gpr, Insn};
+
+/// A call-heavy module with frames in every function, so diversified
+/// builds get BTRA windows, BTDP stores, NOP sleds and prolog traps.
+fn victim_module() -> Module {
+    let mut mb = ModuleBuilder::new("mut");
+    let arr = mb.global("arr", GlobalInit::Zero(256), 8);
+    let n = 4usize;
+    let ids: Vec<_> = (0..n)
+        .map(|i| mb.declare_function(&format!("f{i}"), 1))
+        .collect();
+    for i in 0..n {
+        let mut f = mb.function(&format!("f{i}"), 1);
+        let x = f.param(0);
+        let slot = f.alloca(32, 8);
+        f.store(slot, 0, x);
+        let ga = f.global_addr(arr);
+        let mask = f.iconst(31);
+        let idx = f.bin(BinOp::And, x, mask);
+        let p = f.ptr_add(ga, Some(idx), 8, 0);
+        let old = f.load(p, 0);
+        let mut v = f.bin(BinOp::Add, old, x);
+        if i + 1 < n {
+            v = f.call(ids[i + 1], &[v]);
+            let seven = f.iconst(7);
+            let w = f.bin(BinOp::Xor, v, seven);
+            v = f.call(ids[i + 1], &[w]);
+        }
+        f.store(slot, 8, v);
+        let out = f.load(slot, 8);
+        f.ret(Some(out));
+        f.finish();
+    }
+    let mut f = mb.function("main", 0);
+    let s = f.iconst(11);
+    let r = f.call(ids[0], &[s]);
+    f.ret(Some(r));
+    f.finish();
+    mb.finish()
+}
+
+/// Compile to the pre-link program under the *effective* diversify
+/// config (with the BTDP runtime globals patched in).
+fn compile(cfg: R2cConfig) -> (Program, DiversifyConfig) {
+    let module = victim_module();
+    let (program, opts, _) = R2cCompiler::new(cfg)
+        .compile_program(&module)
+        .expect("compile");
+    (program, opts.diversify)
+}
+
+#[test]
+fn clean_compiles_pass_every_preset() {
+    let module = victim_module();
+    for seed in [0u64, 3, 9] {
+        let mut presets = vec![
+            R2cConfig::baseline(seed),
+            R2cConfig::full(seed),
+            R2cConfig::full_push(seed),
+        ];
+        presets.push(R2cConfig {
+            diversify: DiversifyConfig::hardened(2),
+            seed,
+            check: true,
+        });
+        for cfg in presets {
+            // `with_check(true)` routes through both `check_program`
+            // and `check_image`; a finding fails the build.
+            R2cCompiler::new(cfg.with_check(true))
+                .build(&module)
+                .expect("checker must accept an unmutated build");
+        }
+    }
+}
+
+/// Dropping a BTDP decoy store (replacing it with a same-size NOP, the
+/// way a buggy emitter might skip it) must surface as
+/// [`CheckKind::MissingBtdpStore`] against that function.
+#[test]
+fn dropped_btdp_store_is_flagged() {
+    for seed in 0..32u64 {
+        let (mut program, div) = compile(R2cConfig::full_push(seed));
+        let Some(fi) = program.funcs.iter().position(|f| f.btdp_stores > 0) else {
+            continue;
+        };
+        let f = &mut program.funcs[fi];
+        let store_at = f
+            .insns
+            .iter()
+            .enumerate()
+            .position(|(i, insn)| {
+                matches!(insn, Insn::Store { mem, src: Gpr::R11 } if mem.base == Gpr::Rsp)
+                    && matches!(
+                        f.insns.get(i.wrapping_sub(1)),
+                        Some(Insn::Load { dst: Gpr::R11, mem }) if mem.base == Gpr::R10
+                    )
+            })
+            .expect("btdp store pair present when btdp_stores > 0");
+        f.insns[store_at] = Insn::Nop { len: 1 };
+
+        let errs = check_program(&program, &div);
+        let hit = errs.iter().find(|e| {
+            matches!(e.kind, CheckKind::MissingBtdpStore { recorded, found }
+                if found < recorded)
+        });
+        let hit = hit.unwrap_or_else(|| panic!("no MissingBtdpStore in {errs:?}"));
+        assert_eq!(hit.func, Some(fi), "error must name the mutated function");
+        assert!(hit.func_name.is_some());
+        return;
+    }
+    panic!("no seed produced a function with BTDP stores");
+}
+
+/// Skewing a genuine return-address relocation by one instruction (so
+/// it no longer covers its call) must surface as
+/// [`CheckKind::RetAddrNotAtCall`] with the bogus target coordinates.
+#[test]
+fn skewed_ret_addr_reloc_is_flagged() {
+    for seed in 0..32u64 {
+        let (mut program, div) = compile(R2cConfig::full_push(seed));
+        // Pick a RetAddr reloc whose skewed target is not itself a call
+        // (the error would otherwise change shape).
+        let mut pick = None;
+        'outer: for (fi, f) in program.funcs.iter().enumerate() {
+            for (ri, r) in f.relocs.iter().enumerate() {
+                if let RelocKind::RetAddr { func, insn } = r.kind {
+                    let tf = &program.funcs[func];
+                    if insn + 1 < tf.insns.len() && !tf.insns[insn + 1].is_call() {
+                        pick = Some((fi, ri, func, insn));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((fi, ri, func, insn)) = pick else {
+            continue;
+        };
+        match &mut program.funcs[fi].relocs[ri].kind {
+            RelocKind::RetAddr { insn, .. } => *insn += 1,
+            _ => unreachable!(),
+        }
+
+        let errs = check_program(&program, &div);
+        let hit = errs
+            .iter()
+            .find(|e| matches!(e.kind, CheckKind::RetAddrNotAtCall { .. }))
+            .unwrap_or_else(|| panic!("no RetAddrNotAtCall in {errs:?}"));
+        assert_eq!(hit.func, Some(func), "error must name the covered function");
+        assert_eq!(
+            hit.insn,
+            Some(insn + 1),
+            "error must name the skewed target"
+        );
+        return;
+    }
+    panic!("no seed produced a skewable RetAddr reloc");
+}
+
+/// Turning an inserted NOP into a stray `push` unbalances the stack:
+/// every later instruction's computed depth disagrees with the recorded
+/// unwind table, so the checker must report
+/// [`CheckKind::UnwindMismatch`] (and the `ret` depth error follows).
+#[test]
+fn unbalanced_push_is_flagged() {
+    for seed in 0..32u64 {
+        let (mut program, div) = compile(R2cConfig::full_push(seed));
+        let mut pick = None;
+        for (fi, f) in program.funcs.iter().enumerate() {
+            if let Some(i) = f
+                .insns
+                .iter()
+                .position(|insn| matches!(insn, Insn::Nop { .. }))
+            {
+                pick = Some((fi, i));
+                break;
+            }
+        }
+        let Some((fi, i)) = pick else {
+            continue;
+        };
+        program.funcs[fi].insns[i] = Insn::Push { src: Gpr::Rbx };
+
+        let errs = check_program(&program, &div);
+        let hit = errs
+            .iter()
+            .find(|e| matches!(e.kind, CheckKind::UnwindMismatch { .. }))
+            .unwrap_or_else(|| panic!("no UnwindMismatch in {errs:?}"));
+        assert_eq!(hit.func, Some(fi), "error must name the mutated function");
+        assert!(
+            hit.insn.is_some_and(|at| at > i),
+            "mismatch must be at or after the stray push: {hit:?}"
+        );
+        return;
+    }
+    panic!("no seed produced a NOP to mutate");
+}
+
+/// Structured errors carry printable coordinates.
+#[test]
+fn errors_render_with_coordinates() {
+    let (mut program, div) = compile(R2cConfig::full_push(1));
+    let fi = program
+        .funcs
+        .iter()
+        .position(|f| !f.insns.is_empty())
+        .unwrap();
+    let last = program.funcs[fi].insns.len() - 1;
+    // Truncate the terminator into a fallthrough-off-the-end.
+    program.funcs[fi].insns[last] = Insn::Nop { len: 1 };
+    let errs = check_program(&program, &div);
+    let name = program.funcs[fi].name.clone();
+    let hit = errs
+        .iter()
+        .find(|e| e.func == Some(fi) && e.insn.is_some())
+        .unwrap_or_else(|| panic!("no located error in {errs:?}"));
+    let rendered = hit.to_string();
+    assert!(
+        rendered.contains(&name) && rendered.contains('+'),
+        "display should carry `func+insn` coordinates: {rendered}"
+    );
+}

@@ -127,7 +127,7 @@ fn build(recipe: &ModuleRecipe) -> Module {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24 })]
+    #![proptest_config(ProptestConfig { cases: if cfg!(debug_assertions) { 6 } else { 24 } })]
 
     /// Any generated program behaves identically interpreted and
     /// compiled with full R²C.
@@ -136,7 +136,7 @@ proptest! {
         let module = build(&recipe);
         r2c_ir::verify_module(&module).expect("generated module must verify");
         let expected = interpret(&module, "main", 50_000_000).expect("interp");
-        let image = R2cCompiler::new(R2cConfig::full(seed)).build(&module).expect("compile");
+        let image = R2cCompiler::new(R2cConfig::full(seed).with_check(true)).build(&module).expect("compile");
         let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));
         let out = vm.run();
         prop_assert_eq!(out.status, ExitStatus::Exited(expected.ret));
@@ -149,6 +149,7 @@ proptest! {
         let module = build(&recipe);
         let expected = interpret(&module, "main", 50_000_000).expect("interp");
         for cfg in [R2cConfig::baseline(5), R2cConfig::full(5), R2cConfig::full_push(5)] {
+            let cfg = cfg.with_check(true);
             let image = R2cCompiler::new(cfg).build(&module).expect("compile");
             let mut vm = Vm::new(&image, VmConfig::new(MachineKind::I9_9900K.config()));
             let out = vm.run();
@@ -162,8 +163,8 @@ proptest! {
     #[test]
     fn seeds_diversify_but_agree(recipe in recipe_strategy()) {
         let module = build(&recipe);
-        let a = R2cCompiler::new(R2cConfig::full(1)).build(&module).expect("compile a");
-        let b = R2cCompiler::new(R2cConfig::full(2)).build(&module).expect("compile b");
+        let a = R2cCompiler::new(R2cConfig::full(1).with_check(true)).build(&module).expect("compile a");
+        let b = R2cCompiler::new(R2cConfig::full(2).with_check(true)).build(&module).expect("compile b");
         prop_assert_ne!(a.entry, b.entry);
         let run = |img: &r2c_vm::Image| {
             let mut vm = Vm::new(img, VmConfig::new(MachineKind::EpycRome.config()));
@@ -171,5 +172,32 @@ proptest! {
             (st, vm.output.clone())
         };
         prop_assert_eq!(run(&a), run(&b));
+    }
+
+    /// The static checker accepts every preset's output for arbitrary
+    /// generated modules: both the pre-link program and the linked
+    /// image come out of `r2c-check` with zero findings.
+    #[test]
+    fn checker_accepts_all_presets(recipe in recipe_strategy(), seed in 0u64..500) {
+        let module = build(&recipe);
+        let hardened = R2cConfig {
+            diversify: r2c_core::DiversifyConfig::hardened(2),
+            seed,
+            check: true,
+        };
+        for cfg in [
+            R2cConfig::baseline(seed),
+            R2cConfig::full(seed),
+            R2cConfig::full_push(seed),
+            hardened,
+        ] {
+            let compiler = R2cCompiler::new(cfg.with_check(false));
+            let (program, opts, _) = compiler.compile_program(&module).expect("compile");
+            let errs = r2c_core::check_program(&program, &opts.diversify);
+            prop_assert!(errs.is_empty(), "program findings: {:?}", errs);
+            // `with_check(true)` re-runs both passes inside the build
+            // and turns any finding into a build error.
+            R2cCompiler::new(cfg.with_check(true)).build(&module).expect("checked build");
+        }
     }
 }
