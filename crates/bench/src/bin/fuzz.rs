@@ -1,0 +1,212 @@
+//! Differential fuzzing campaign driver (`r2c-fuzz` front end).
+//!
+//! Generates structure-aware IR modules and pushes each through the
+//! differential oracle: reference interpretation vs compiled +
+//! diversified execution across a configuration matrix, with
+//! `r2c-check` forced on. Divergences are minimized by the delta
+//! reducer and persisted as `.r2cir` reproducers in the corpus
+//! directory, which is replayed at the start of every later campaign.
+//!
+//! ```text
+//! cargo run --release -p r2c-bench --bin fuzz -- \
+//!     --cases 500 --seed 1 [--preset quick|full|<config-name>] \
+//!     [--corpus DIR]
+//! ```
+//!
+//! * `--cases N`  — number of generated cases (default 200; 0 is a
+//!   valid smoke value: only the corpus is replayed).
+//! * `--seed S`   — base case seed; case `i` uses seed `S + i`
+//!   (default 1).
+//! * `--preset P` — oracle matrix: `quick` (default), `full`, or one
+//!   named build config (e.g. `full-push`, `comp-BTDP`).
+//! * `--corpus D` — reproducer directory (default `fuzz-corpus`).
+//!
+//! Exits non-zero if any case (generated or replayed) diverges.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use r2c_bench::{parallel_map, TablePrinter};
+use r2c_fuzz::{
+    divergence_report, named_configs, reduce_divergence, run_case, run_oracle, CaseVerdict,
+    OracleMatrix,
+};
+use r2c_vm::MachineKind;
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    preset: String,
+    corpus: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cases: 200,
+        seed: 1,
+        preset: "quick".to_string(),
+        corpus: PathBuf::from("fuzz-corpus"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--cases" => args.cases = val("--cases").parse().expect("--cases: integer"),
+            "--seed" => args.seed = val("--seed").parse().expect("--seed: integer"),
+            "--preset" => args.preset = val("--preset"),
+            "--corpus" => args.corpus = PathBuf::from(val("--corpus")),
+            other => panic!("unknown argument {other:?} (try --cases/--seed/--preset/--corpus)"),
+        }
+    }
+    args
+}
+
+fn matrix_for(preset: &str) -> OracleMatrix {
+    match preset {
+        "quick" => OracleMatrix::quick(),
+        "full" => OracleMatrix::full(),
+        name => {
+            let cfg = named_configs()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| {
+                    let known: Vec<String> = named_configs().into_iter().map(|(n, _)| n).collect();
+                    panic!("unknown preset {name:?}; known: quick, full, {known:?}")
+                })
+                .1;
+            OracleMatrix {
+                configs: vec![(name.to_string(), cfg)],
+                machines: vec![MachineKind::EpycRome],
+                build_seeds: vec![1, 2],
+            }
+        }
+    }
+}
+
+/// Replays persisted reproducers; returns the names of any that still
+/// diverge.
+fn replay_corpus(corpus: &PathBuf, matrix: &OracleMatrix) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(corpus) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "r2cir"))
+        .collect();
+    paths.sort();
+    let mut still_diverging = Vec::new();
+    for p in &paths {
+        let src = std::fs::read_to_string(p).expect("read corpus file");
+        let module = match r2c_ir::parse_module(&src) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("corpus {:?}: unparsable ({e:?}); skipping", p);
+                continue;
+            }
+        };
+        if let CaseVerdict::Diverged(div) = run_oracle(&module, matrix) {
+            eprintln!(
+                "corpus {:?} STILL diverges in {} (build seed {}, {:?}):",
+                p, div.cell.config_name, div.cell.build_seed, div.cell.machine
+            );
+            for d in &div.details {
+                eprintln!("    {d}");
+            }
+            still_diverging.push(p.display().to_string());
+        }
+    }
+    if !paths.is_empty() {
+        println!(
+            "corpus: replayed {} reproducer(s), {} still diverging",
+            paths.len(),
+            still_diverging.len()
+        );
+    }
+    still_diverging
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let matrix = matrix_for(&args.preset);
+    let cells_per_case = matrix.cells().len();
+    println!(
+        "r2c-fuzz: {} case(s) from seed {}, preset {:?} ({} variant cell(s) per case)",
+        args.cases, args.seed, args.preset, cells_per_case
+    );
+
+    let corpus_failures = replay_corpus(&args.corpus, &matrix);
+
+    let case_seeds: Vec<u64> = (0..args.cases).map(|i| args.seed + i).collect();
+    let reports = parallel_map(&case_seeds, |&s| run_case(s, &matrix));
+
+    let mut passed = 0u64;
+    let mut skipped = 0u64;
+    let mut divergences = Vec::new();
+    for (module, report) in reports {
+        match report.verdict {
+            CaseVerdict::Pass { .. } => passed += 1,
+            CaseVerdict::Skipped { reason } => {
+                skipped += 1;
+                eprintln!(
+                    "case seed {}: skipped ({reason}) — generator bug, please report",
+                    report.case_seed
+                );
+            }
+            CaseVerdict::Diverged(div) => divergences.push((report.case_seed, module, div)),
+        }
+    }
+
+    for (case_seed, module, div) in &divergences {
+        eprintln!(
+            "case seed {case_seed}: DIVERGENCE in {} (build seed {}, {:?})",
+            div.cell.config_name, div.cell.build_seed, div.cell.machine
+        );
+        for d in &div.details {
+            eprintln!("    {d}");
+        }
+        eprintln!("  reducing…");
+        let reduced = reduce_divergence(module, div, 8);
+        eprintln!(
+            "  reduced to {} function(s), {} block(s) ({} candidate(s), {} accepted)",
+            reduced.module.funcs.len(),
+            reduced
+                .module
+                .funcs
+                .iter()
+                .map(|f| f.blocks.len())
+                .sum::<usize>(),
+            reduced.stats.candidates,
+            reduced.stats.accepted,
+        );
+        let report = divergence_report(*case_seed, div, &reduced.module);
+        std::fs::create_dir_all(&args.corpus).expect("create corpus dir");
+        let path = args.corpus.join(format!(
+            "div-case{case_seed}-{}-s{}.r2cir",
+            div.cell.config_name, div.cell.build_seed
+        ));
+        std::fs::write(&path, report).expect("write reproducer");
+        eprintln!("  reproducer: {}", path.display());
+    }
+
+    let t = TablePrinter::new(&[14, 10]);
+    t.sep();
+    t.row(&["cases".into(), args.cases.to_string()]);
+    t.row(&["passed".into(), passed.to_string()]);
+    t.row(&["skipped".into(), skipped.to_string()]);
+    t.row(&["diverged".into(), divergences.len().to_string()]);
+    t.row(&[
+        "variant runs".into(),
+        (passed as usize * cells_per_case).to_string(),
+    ]);
+    t.sep();
+
+    if !divergences.is_empty() || !corpus_failures.is_empty() || skipped > 0 {
+        ExitCode::FAILURE
+    } else {
+        println!("ok: no divergences");
+        ExitCode::SUCCESS
+    }
+}

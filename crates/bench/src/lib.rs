@@ -224,7 +224,16 @@ pub fn overhead(
 }
 
 /// Geometric mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice: `0.0 / 0` would otherwise yield a silent
+/// `NaN` that propagates into report tables as `NaN%`.
 pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(
+        !xs.is_empty(),
+        "geometric mean of zero values — empty workload or cell set?"
+    );
     let s: f64 = xs.iter().map(|x| x.ln()).sum();
     (s / xs.len() as f64).exp()
 }
@@ -307,6 +316,21 @@ mod tests {
         let items: Vec<u64> = (0..57).collect();
         let out = parallel_map(&items, |&x| x * x);
         assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single_inputs() {
+        // `--cases 0`-style degenerate inputs must not spawn threads,
+        // divide by zero, or hang.
+        let empty: Vec<u64> = vec![];
+        assert_eq!(parallel_map(&empty, |&x| x), Vec::<u64>::new());
+        assert_eq!(parallel_map(&[42u64], |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero values")]
+    fn geomean_of_empty_slice_panics_clearly() {
+        geomean(&[]);
     }
 
     /// The harness invariant: fanning measurement cells out across

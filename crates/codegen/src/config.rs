@@ -85,6 +85,27 @@ impl Default for BtdpConfig {
     }
 }
 
+/// A deliberate compiler defect, injectable for testing the testers.
+///
+/// The differential fuzz oracle (`r2c-fuzz`) and the `r2c-check`
+/// static analyzer both claim to catch miscompiles; these knobs let a
+/// test *prove* that by making the backend emit known-bad code on
+/// demand. Never set outside of tests.
+#[doc(hidden)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InjectedFault {
+    /// Drop the first BTDP stack store of every instrumented function
+    /// while still reporting the full count in the function metadata —
+    /// the camouflage violation the `r2c-check` BTDP pass exists to
+    /// flag.
+    SkipBtdpStore,
+    /// Skip the first spill-slot reload of every function: the value is
+    /// read from whatever happens to be in the scratch register. A
+    /// classic register-allocator bug, and a genuine (semantic)
+    /// miscompile only differential execution can see.
+    SkipSpillReload,
+}
+
 /// Full diversification configuration.
 ///
 /// `DiversifyConfig::none()` is the baseline compiler ("same compiler
@@ -137,6 +158,9 @@ pub struct DiversifyConfig {
     /// return". A mismatch executes a trap — the zeroing probe becomes
     /// a detection instead of free information.
     pub btra_consistency_checks: u8,
+    /// Deliberate backend defect for oracle-validation tests only.
+    #[doc(hidden)]
+    pub inject_fault: Option<InjectedFault>,
 }
 
 impl DiversifyConfig {
@@ -161,6 +185,7 @@ impl DiversifyConfig {
             xom: true,
             cph: false,
             btra_consistency_checks: 0,
+            inject_fault: None,
         }
     }
 

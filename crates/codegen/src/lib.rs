@@ -36,7 +36,7 @@ pub mod lower;
 pub mod program;
 pub mod regalloc;
 
-pub use config::{BtdpConfig, BtraConfig, BtraMode, DiversifyConfig};
+pub use config::{BtdpConfig, BtraConfig, BtraMode, DiversifyConfig, InjectedFault};
 pub use link::{link, LinkOptions};
 pub use lower::{compile, mix_seed, CompileError, CompileOptions, BOOBY_TRAP_RUN, NATIVE_ORDER};
 pub use program::{

@@ -120,6 +120,24 @@ pub fn mix_seed(seed: u64, salt: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Stable (FNV-1a) salt from a function name. Per-function
+/// diversification RNGs are keyed by *name* rather than by function
+/// index so that one function's random decisions do not depend on
+/// which other functions exist in the module: adding or removing an
+/// unrelated function must not reshuffle everyone else's NOPs, traps,
+/// and BTDP counts. The `r2c-fuzz` divergence reducer depends on this
+/// locality — with index-keyed streams, deleting any function
+/// perturbed the diversification of every function after it, and
+/// reduction candidates lost the very divergence they were shrinking.
+pub fn name_salt(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// Per-function diversification decisions, fixed before lowering so
 /// that callers can consult their callees' choices (the caller/callee
 /// cooperation of §5.1).
@@ -262,8 +280,8 @@ fn decide_metas(m: &Module, cfg: &DiversifyConfig, seed: u64) -> Vec<FnMeta> {
     m.funcs
         .iter()
         .enumerate()
-        .map(|(i, _f)| {
-            let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 0xF00D + i as u64));
+        .map(|(i, f)| {
+            let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 0xF00D ^ name_salt(&f.name)));
             let prot = protected[i];
             let post = if prot && cfg.btra.is_some() {
                 2 * rng.gen_range(0..=total / 2)
@@ -331,11 +349,12 @@ struct FnLowerer<'a> {
     pending_branches: Vec<(usize, u32)>, // (insn idx, block id)
     btra_sites: u32,
     btdp_count: u32,
+    fault_armed: bool,
 }
 
 impl<'a> FnLowerer<'a> {
     fn new(
-        _m: &'a Module,
+        m: &'a Module,
         cfg: &'a DiversifyConfig,
         seed: u64,
         metas: &'a [FnMeta],
@@ -346,7 +365,8 @@ impl<'a> FnLowerer<'a> {
             cfg,
             metas,
             fidx,
-            rng: SmallRng::seed_from_u64(mix_seed(seed, 0xBEEF + fidx as u64)),
+            // Name-keyed, not index-keyed — see `name_salt`.
+            rng: SmallRng::seed_from_u64(mix_seed(seed, 0xBEEF ^ name_salt(&m.funcs[fidx].name))),
             data,
             insns: Vec::new(),
             relocs: Vec::new(),
@@ -373,6 +393,7 @@ impl<'a> FnLowerer<'a> {
             pending_branches: vec![],
             btra_sites: 0,
             btdp_count: 0,
+            fault_armed: cfg.inject_fault.is_some(),
         }
     }
 
@@ -427,6 +448,15 @@ impl<'a> FnLowerer<'a> {
         match self.alloc.loc(v) {
             Loc::Reg(r) => r,
             Loc::Slot(s) => {
+                if self.fault_armed
+                    && self.cfg.inject_fault == Some(crate::config::InjectedFault::SkipSpillReload)
+                {
+                    // Oracle-validation defect: hand back the scratch
+                    // register with stale contents instead of reloading
+                    // the spilled value (first spilled read only).
+                    self.fault_armed = false;
+                    return scratch;
+                }
                 let off = self.frame.spill_off[s as usize] as i32;
                 self.emit(Insn::Load {
                     dst: scratch,
@@ -627,6 +657,16 @@ impl<'a> FnLowerer<'a> {
             }
             for k in 0..self.btdp_count {
                 let idx = self.rng.gen_range(0..b.array_len);
+                if self.fault_armed
+                    && self.cfg.inject_fault == Some(crate::config::InjectedFault::SkipBtdpStore)
+                {
+                    // Oracle-validation defect: drop the first BTDP
+                    // store while `btdp_stores` metadata still counts
+                    // it — exactly the mismatch the `r2c-check` BTDP
+                    // pass flags.
+                    self.fault_armed = false;
+                    continue;
+                }
                 self.emit(Insn::Load {
                     dst: Gpr::R11,
                     mem: MemRef::base_disp(Gpr::R10, (8 * idx) as i32),

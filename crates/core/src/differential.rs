@@ -1,0 +1,201 @@
+//! Differential-execution entry point: one compiled variant's
+//! observable behavior, and its comparison against the reference
+//! interpreter.
+//!
+//! This is the oracle core of the `r2c-fuzz` subsystem (and of the
+//! hand-written regression tests): a module's *meaning* is defined by
+//! [`r2c_ir::interpret`], and every compiled + diversified variant —
+//! any preset, component config, machine and seed — must reproduce it
+//! exactly. "Observable behavior" is
+//!
+//! * the exit status (return value of `main`, or the fault),
+//! * the output stream (`print`/`putchar` externs), and
+//! * the final contents of the module's data globals (the only memory
+//!   whose layout both worlds agree on; function-pointer globals are
+//!   excluded because code addresses legitimately differ),
+//!
+//! plus **`r2c-check` cleanliness**: the static analyzer must accept
+//! the compiled program and linked image with zero findings. A
+//! divergence in any of these is a compiler bug (or an injected one —
+//! see `r2c_codegen::InjectedFault`, which tests use to prove the
+//! oracle actually catches miscompiles).
+
+use r2c_ir::{GlobalInit, InterpResult, Module};
+use r2c_vm::{ExitStatus, MachineKind, Vm, VmConfig};
+
+use crate::compiler::{BuildError, R2cCompiler};
+use crate::config::R2cConfig;
+
+/// Everything the oracle observes about one compiled execution.
+#[derive(Clone, Debug)]
+pub struct VariantObservation {
+    /// How the run ended.
+    pub status: ExitStatus,
+    /// Guest output stream.
+    pub output: Vec<i64>,
+    /// Final bytes of each comparable (non-function-pointer) module
+    /// global, as `(name, bytes)`.
+    pub globals: Vec<(String, Vec<u8>)>,
+    /// Dynamically executed machine instructions.
+    pub insns: u64,
+}
+
+/// Compiles `module` under `cfg` (static checker forced on) and runs it
+/// on `machine`, capturing the observation.
+///
+/// Returns `Err` if the build fails — including when `r2c-check`
+/// rejects the emitted code, which the oracle treats as a divergence in
+/// its own right.
+pub fn observe_variant(
+    module: &Module,
+    cfg: R2cConfig,
+    machine: MachineKind,
+    insn_budget: u64,
+) -> Result<VariantObservation, BuildError> {
+    let image = R2cCompiler::new(cfg.with_check(true)).build(module)?;
+    let mut vm_cfg = VmConfig::new(machine.config());
+    vm_cfg.insn_budget = insn_budget;
+    let mut vm = Vm::new(&image, vm_cfg);
+    let out = vm.run();
+    let mut globals = Vec::new();
+    for g in &module.globals {
+        if matches!(g.init, GlobalInit::FuncPtr(_)) {
+            continue;
+        }
+        let sym = image
+            .symbol(&g.name)
+            .unwrap_or_else(|| panic!("global {:?} has no image symbol", g.name));
+        let mut buf = vec![0u8; g.init.size() as usize];
+        vm.mem.peek(sym.addr, &mut buf);
+        globals.push((g.name.clone(), buf));
+    }
+    Ok(VariantObservation {
+        status: out.status,
+        output: vm.output.clone(),
+        globals,
+        insns: out.stats.instructions,
+    })
+}
+
+/// Compares a compiled observation against the reference
+/// interpretation; returns human-readable mismatch descriptions (empty
+/// = the variant agrees with the reference).
+pub fn diff_against_reference(
+    module: &Module,
+    reference: &InterpResult,
+    obs: &VariantObservation,
+) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if obs.status != ExitStatus::Exited(reference.ret) {
+        diffs.push(format!(
+            "exit status: compiled {:?}, reference Exited({})",
+            obs.status, reference.ret
+        ));
+    }
+    if obs.output != reference.output {
+        diffs.push(describe_output_diff(&reference.output, &obs.output));
+    }
+    // Reference globals are indexed by declaration order; pair them
+    // with the observation's (name, bytes) list by walking the module.
+    let mut obs_iter = obs.globals.iter();
+    for (gi, g) in module.globals.iter().enumerate() {
+        if matches!(g.init, GlobalInit::FuncPtr(_)) {
+            continue;
+        }
+        let Some((name, bytes)) = obs_iter.next() else {
+            diffs.push(format!("global {:?} missing from observation", g.name));
+            break;
+        };
+        debug_assert_eq!(name, &g.name);
+        let want = &reference.globals[gi];
+        if bytes != want {
+            let at = bytes
+                .iter()
+                .zip(want)
+                .position(|(a, b)| a != b)
+                .unwrap_or(want.len().min(bytes.len()));
+            diffs.push(format!(
+                "global {:?} differs at byte {at}: compiled {:#04x?} vs reference {:#04x?}",
+                g.name,
+                bytes.get(at).copied().unwrap_or(0),
+                want.get(at).copied().unwrap_or(0),
+            ));
+        }
+    }
+    diffs
+}
+
+fn describe_output_diff(want: &[i64], got: &[i64]) -> String {
+    if want.len() != got.len() {
+        return format!(
+            "output length: compiled {} values, reference {}",
+            got.len(),
+            want.len()
+        );
+    }
+    let at = want
+        .iter()
+        .zip(got)
+        .position(|(a, b)| a != b)
+        .expect("equal-length unequal outputs differ somewhere");
+    format!("output[{at}]: compiled {}, reference {}", got[at], want[at])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_ir::{interpret, parse_module};
+
+    const SRC: &str = r#"
+global @counter zero 16 align 8
+func @main(0) {
+entry:
+  %0 = addrof @counter
+  %1 = const 41
+  store %0 + 0, %1
+  %2 = load %0 + 0
+  %3 = const 1
+  %4 = add %2, %3
+  store %0 + 8, %4
+  %5 = extern print(%4)
+  ret %4
+}
+"#;
+
+    #[test]
+    fn clean_variant_agrees_everywhere() {
+        let m = parse_module(SRC).unwrap();
+        let reference = interpret(&m, "main", 1_000_000).unwrap();
+        for cfg in [R2cConfig::baseline(3), R2cConfig::full(3)] {
+            let obs = observe_variant(&m, cfg, MachineKind::EpycRome, 100_000_000).expect("build");
+            let diffs = diff_against_reference(&m, &reference, &obs);
+            assert!(diffs.is_empty(), "unexpected divergence: {diffs:?}");
+            assert_eq!(obs.status, ExitStatus::Exited(42));
+        }
+    }
+
+    #[test]
+    fn global_contents_are_compared() {
+        let m = parse_module(SRC).unwrap();
+        let reference = interpret(&m, "main", 1_000_000).unwrap();
+        let mut obs =
+            observe_variant(&m, R2cConfig::full(7), MachineKind::EpycRome, 100_000_000).unwrap();
+        // Corrupt one byte of the observed global: the diff must name it.
+        obs.globals[0].1[8] ^= 0xff;
+        let diffs = diff_against_reference(&m, &reference, &obs);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("counter"), "{diffs:?}");
+        assert!(diffs[0].contains("byte 8"), "{diffs:?}");
+    }
+
+    #[test]
+    fn output_mismatch_is_described() {
+        let m = parse_module(SRC).unwrap();
+        let reference = interpret(&m, "main", 1_000_000).unwrap();
+        let mut obs =
+            observe_variant(&m, R2cConfig::full(7), MachineKind::EpycRome, 100_000_000).unwrap();
+        obs.output[0] += 1;
+        let diffs = diff_against_reference(&m, &reference, &obs);
+        assert!(diffs.iter().any(|d| d.contains("output[0]")), "{diffs:?}");
+    }
+}

@@ -1,0 +1,79 @@
+//! # r2c-fuzz — structure-aware differential fuzzing for the R²C
+//! pipeline
+//!
+//! Every diversified variant R²C produces must be *semantically
+//! transparent*: same exit status, same output, same final global
+//! memory as the reference interpretation of the input module, under
+//! every preset, Table 1 component config, machine model, and variant
+//! seed — and the `r2c-check` static analyzer must accept it. This
+//! crate turns that contract into a fuzzer:
+//!
+//! * [`gen`] — a structure-aware generator producing modules far
+//!   outside the existing property-test recipe: bounded recursion
+//!   (direct and mutual), diamonds, self-looping and nested loops,
+//!   unreachable blocks, masked global/heap/stack memory traffic,
+//!   extern-call boundaries, and register pressure high enough to
+//!   force spills.
+//! * [`oracle`] — the differential oracle running each module through
+//!   a configuration matrix and classifying the outcome.
+//! * [`reduce`] — a delta-debugging reducer that shrinks a diverging
+//!   module while re-running the diverging cell, emitting a minimized
+//!   `.r2cir` reproducer.
+//!
+//! The `fuzz` binary in `r2c-bench` drives campaigns from the command
+//! line; `tests/fuzz_regressions.rs` at the workspace root pins
+//! previously-found shapes as named regression tests.
+
+pub mod gen;
+pub mod oracle;
+pub mod reduce;
+
+pub use gen::{generate, generate_with, GenConfig};
+pub use oracle::{named_configs, run_oracle, CaseVerdict, Divergence, MatrixCell, OracleMatrix};
+pub use reduce::{reduce, reproducer_source, Reduction, ReductionStats};
+
+use r2c_ir::Module;
+
+/// Result of one fuzz case: the generated module and its verdict.
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    /// The case seed the module was generated from.
+    pub case_seed: u64,
+    /// The matrix verdict.
+    pub verdict: CaseVerdict,
+}
+
+/// Generates the module for `case_seed` and runs it through `matrix`.
+pub fn run_case(case_seed: u64, matrix: &OracleMatrix) -> (Module, CaseReport) {
+    let module = gen::generate(case_seed);
+    let verdict = oracle::run_oracle(&module, matrix);
+    (module, CaseReport { case_seed, verdict })
+}
+
+/// Reduces a diverging module against the exact cell that disagreed,
+/// returning the minimized reproducer. The predicate re-runs the full
+/// per-cell oracle (build + `r2c-check` + differential execution) on
+/// every candidate.
+pub fn reduce_divergence(module: &Module, div: &Divergence, max_rounds: usize) -> Reduction {
+    let cell = div.cell.clone();
+    reduce::reduce(
+        module,
+        &move |m: &Module| oracle::cell_still_diverges(m, &cell),
+        max_rounds,
+    )
+}
+
+/// Renders a reduced divergence as a standalone `.r2cir` reproducer.
+pub fn divergence_report(case_seed: u64, div: &Divergence, reduced: &Module) -> String {
+    let mut header = vec![
+        format!("case seed {case_seed}"),
+        format!(
+            "cell: config={} build_seed={} machine={:?}",
+            div.cell.config_name, div.cell.build_seed, div.cell.machine
+        ),
+    ];
+    for d in &div.details {
+        header.push(format!("diff: {d}"));
+    }
+    reduce::reproducer_source(reduced, &header)
+}

@@ -1,0 +1,285 @@
+//! The differential oracle: one generated module, executed by the
+//! reference interpreter and by every compiled variant in a
+//! configuration matrix, with any disagreement reported as a
+//! [`Divergence`].
+//!
+//! The per-cell machinery ([`r2c_core::observe_variant`] /
+//! [`r2c_core::diff_against_reference`]) lives in `r2c-core` next to
+//! the compiler it checks; this module contributes the *matrix* — which
+//! presets, Table 1 component configs, machines, and build seeds a case
+//! is pushed through — and the verdict classification.
+
+use r2c_core::{diff_against_reference, observe_variant, Component, R2cConfig};
+use r2c_ir::{interpret, InterpError, InterpResult, Module};
+use r2c_vm::MachineKind;
+
+/// Interpreter fuel per case. Generated programs are bounded by
+/// construction; hitting this means a generator bug, and the case is
+/// reported as [`CaseVerdict::Skipped`], not silently dropped.
+pub const REFERENCE_FUEL: u64 = 50_000_000;
+
+/// Machine-instruction budget per compiled run. Diversification (NOPs,
+/// BTRA setup, spill traffic) multiplies the dynamic instruction count,
+/// so this is well above `REFERENCE_FUEL`.
+pub const VARIANT_INSN_BUDGET: u64 = 400_000_000;
+
+/// One cell of the configuration matrix: a named build config, a
+/// machine, and a variant seed.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    /// Preset name (for reports and reproducers).
+    pub config_name: String,
+    /// Build configuration (seed not yet applied).
+    pub config: R2cConfig,
+    /// Machine model the variant runs on.
+    pub machine: MachineKind,
+    /// Variant seed (`R2cConfig::with_seed`).
+    pub build_seed: u64,
+}
+
+/// The set of build configurations × machines × seeds every case is
+/// run through.
+#[derive(Clone, Debug)]
+pub struct OracleMatrix {
+    /// Named build configurations (seed 0 placeholders; the matrix
+    /// applies each build seed via `with_seed`).
+    pub configs: Vec<(String, R2cConfig)>,
+    /// Machines to execute on.
+    pub machines: Vec<MachineKind>,
+    /// Variant seeds per (config, machine) pair.
+    pub build_seeds: Vec<u64>,
+}
+
+/// The named presets the matrix understands, mirroring the `check` and
+/// `bench` binaries.
+pub fn named_configs() -> Vec<(String, R2cConfig)> {
+    let mut v = vec![
+        ("baseline".to_string(), R2cConfig::baseline(0)),
+        ("full".to_string(), R2cConfig::full(0)),
+        ("full-push".to_string(), R2cConfig::full_push(0)),
+        (
+            "hardened".to_string(),
+            R2cConfig {
+                diversify: r2c_core::DiversifyConfig::hardened(2),
+                seed: 0,
+                check: cfg!(debug_assertions),
+            },
+        ),
+    ];
+    for c in Component::TABLE1 {
+        v.push((format!("comp-{}", c.name()), R2cConfig::component(c, 0)));
+    }
+    v.push((
+        format!("comp-{}", Component::Oia.name()),
+        R2cConfig::component(Component::Oia, 0),
+    ));
+    v
+}
+
+impl OracleMatrix {
+    /// The smoke matrix: the presets most likely to disagree (none,
+    /// everything, both BTRA modes, hardened) on one machine with two
+    /// variant seeds. ~12 builds per case.
+    pub fn quick() -> OracleMatrix {
+        let keep = [
+            "baseline",
+            "full",
+            "full-push",
+            "hardened",
+            "comp-BTDP",
+            "comp-Layout",
+        ];
+        OracleMatrix {
+            configs: named_configs()
+                .into_iter()
+                .filter(|(n, _)| keep.contains(&n.as_str()))
+                .collect(),
+            machines: vec![MachineKind::EpycRome],
+            build_seeds: vec![1, 2],
+        }
+    }
+
+    /// The exhaustive matrix: every named config (presets plus every
+    /// Table 1 component and OIA), two machine models with different
+    /// cache geometries, three variant seeds. ~60 builds per case.
+    pub fn full() -> OracleMatrix {
+        OracleMatrix {
+            configs: named_configs(),
+            machines: vec![MachineKind::EpycRome, MachineKind::Xeon8358],
+            build_seeds: vec![1, 2, 3],
+        }
+    }
+
+    /// A single-config matrix (used by `--preset <name>` and by the
+    /// reducer, which re-checks only the cell that diverged).
+    pub fn single(
+        config_name: &str,
+        config: R2cConfig,
+        machine: MachineKind,
+        build_seed: u64,
+    ) -> OracleMatrix {
+        OracleMatrix {
+            configs: vec![(config_name.to_string(), config)],
+            machines: vec![machine],
+            build_seeds: vec![build_seed],
+        }
+    }
+
+    /// Flattens the matrix into cells.
+    pub fn cells(&self) -> Vec<MatrixCell> {
+        let mut out = Vec::new();
+        for (name, cfg) in &self.configs {
+            for &machine in &self.machines {
+                for &build_seed in &self.build_seeds {
+                    out.push(MatrixCell {
+                        config_name: name.clone(),
+                        config: *cfg,
+                        machine,
+                        build_seed,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A reproducible disagreement between the reference interpreter and
+/// one compiled variant.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The matrix cell that disagreed.
+    pub cell: MatrixCell,
+    /// Human-readable mismatch descriptions (build/check failures or
+    /// behavioral diffs).
+    pub details: Vec<String>,
+}
+
+/// Outcome of pushing one module through the matrix.
+#[derive(Clone, Debug)]
+pub enum CaseVerdict {
+    /// Every cell agreed with the reference.
+    Pass {
+        /// Number of compiled variants checked.
+        cells: usize,
+    },
+    /// The reference interpreter itself rejected the module — a
+    /// generator bug (or an intentionally hostile reducer candidate),
+    /// never a compiler verdict.
+    Skipped {
+        /// The interpreter error.
+        reason: String,
+    },
+    /// At least one cell disagreed. Only the first divergence is
+    /// reported; the reducer re-checks exactly this cell.
+    Diverged(Box<Divergence>),
+}
+
+/// Runs `module` through every cell of `matrix`, comparing against the
+/// reference interpretation.
+pub fn run_oracle(module: &Module, matrix: &OracleMatrix) -> CaseVerdict {
+    let reference = match interpret(module, "main", REFERENCE_FUEL) {
+        Ok(r) => r,
+        Err(e) => {
+            return CaseVerdict::Skipped {
+                reason: format!("reference interpreter: {e:?}"),
+            }
+        }
+    };
+    for cell in matrix.cells() {
+        if let Some(details) = check_cell(module, &reference, &cell) {
+            return CaseVerdict::Diverged(Box::new(Divergence { cell, details }));
+        }
+    }
+    CaseVerdict::Pass {
+        cells: matrix.cells().len(),
+    }
+}
+
+/// Checks one cell; `Some(details)` on divergence. A build failure —
+/// including an `r2c-check` finding, which fails the build because the
+/// oracle forces the checker on — counts as a divergence.
+pub fn check_cell(
+    module: &Module,
+    reference: &InterpResult,
+    cell: &MatrixCell,
+) -> Option<Vec<String>> {
+    let cfg = cell.config.with_seed(cell.build_seed);
+    match observe_variant(module, cfg, cell.machine, VARIANT_INSN_BUDGET) {
+        Ok(obs) => {
+            let diffs = diff_against_reference(module, reference, &obs);
+            if diffs.is_empty() {
+                None
+            } else {
+                Some(diffs)
+            }
+        }
+        Err(e) => Some(vec![format!("build failed: {e}")]),
+    }
+}
+
+/// Convenience for reducer predicates: does `module` still diverge in
+/// `cell` (for any reason other than being interpreter-rejected)?
+///
+/// Candidates the reference interpreter rejects are *not* interesting:
+/// a reproducer must stay a well-defined program, otherwise the
+/// reduction would happily converge on garbage.
+pub fn cell_still_diverges(module: &Module, cell: &MatrixCell) -> bool {
+    let reference = match interpret(module, "main", REFERENCE_FUEL) {
+        Ok(r) => r,
+        Err(InterpError::NoSuchFunction(_)) => return false,
+        Err(_) => return false,
+    };
+    check_cell(module, &reference, cell).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn quick_matrix_passes_on_generated_cases() {
+        for seed in 0..6u64 {
+            let m = generate(seed);
+            match run_oracle(&m, &OracleMatrix::quick()) {
+                CaseVerdict::Pass { cells } => assert!(cells > 0),
+                v => panic!("seed {seed}: unexpected verdict {v:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_shapes() {
+        assert_eq!(OracleMatrix::quick().cells().len(), 6 * 2);
+        assert_eq!(OracleMatrix::full().cells().len(), 10 * 2 * 3);
+        assert_eq!(
+            OracleMatrix::single("full", R2cConfig::full(0), MachineKind::EpycRome, 7)
+                .cells()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn undefined_behavior_is_skipped_not_diverged() {
+        // A module that divides by zero must be classified as Skipped:
+        // the reference rejects it, so no compiled verdict exists.
+        let src = r#"
+func @main(0) {
+entry:
+  %0 = const 1
+  %1 = const 0
+  %2 = div %0, %1
+  ret %2
+}
+"#;
+        let m = r2c_ir::parse_module(src).unwrap();
+        match run_oracle(&m, &OracleMatrix::quick()) {
+            CaseVerdict::Skipped { reason } => {
+                assert!(reason.contains("DivideByZero"), "{reason}")
+            }
+            v => panic!("unexpected verdict {v:?}"),
+        }
+    }
+}

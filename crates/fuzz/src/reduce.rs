@@ -1,0 +1,463 @@
+//! Automatic divergence reducer: delta-debugging over a diverging
+//! module.
+//!
+//! Given a module and an *interestingness* predicate ("does this
+//! module still diverge in the cell that originally disagreed?"), the
+//! reducer repeatedly tries semantic simplifications — stubbing whole
+//! functions, dropping unreferenced functions and globals, collapsing
+//! conditional branches, deleting stores, zeroing instructions — and
+//! keeps each change only if the candidate
+//!
+//! 1. still passes `verify_module` (a reproducer must be legal IR),
+//! 2. survives a printer → parser roundtrip unchanged (reproducers are
+//!    persisted as `.r2cir` text, so textual fidelity is part of the
+//!    contract), and
+//! 3. is still interesting.
+//!
+//! The predicate is a closure so tests can reduce against anything; the
+//! fuzz driver passes [`crate::oracle::cell_still_diverges`] bound to
+//! the original divergence's matrix cell, which also rejects candidates
+//! the reference interpreter refuses to run — reduction never converges
+//! on an ill-defined program.
+
+use r2c_ir::{
+    parse_module, print_module, verify_module, Block, BlockId, FuncId, Function, GlobalId,
+    GlobalInit, Inst, Module, Term, Val,
+};
+
+/// Counters describing one reduction run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Full passes over the module.
+    pub rounds: usize,
+    /// Candidates generated.
+    pub candidates: usize,
+    /// Candidates accepted (size-reducing steps kept).
+    pub accepted: usize,
+}
+
+/// A reduced module plus run statistics.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// The minimized module (still interesting, still legal,
+    /// roundtrip-stable).
+    pub module: Module,
+    /// What it took.
+    pub stats: ReductionStats,
+}
+
+/// Reduces `module` while `interesting` holds, up to `max_rounds` full
+/// passes (a pass with no accepted candidate terminates early).
+pub fn reduce(
+    module: &Module,
+    interesting: &dyn Fn(&Module) -> bool,
+    max_rounds: usize,
+) -> Reduction {
+    let mut cur = module.clone();
+    let mut stats = ReductionStats::default();
+    debug_assert!(interesting(&cur), "input module must be interesting");
+    for _ in 0..max_rounds {
+        stats.rounds += 1;
+        let before = stats.accepted;
+        stub_functions(&mut cur, interesting, &mut stats);
+        drop_functions(&mut cur, interesting, &mut stats);
+        drop_globals(&mut cur, interesting, &mut stats);
+        simplify_branches(&mut cur, interesting, &mut stats);
+        drop_unreachable_blocks(&mut cur, interesting, &mut stats);
+        thin_instructions(&mut cur, interesting, &mut stats);
+        if stats.accepted == before {
+            break;
+        }
+    }
+    Reduction { module: cur, stats }
+}
+
+/// Serializes a reduced module as a standalone `.r2cir` reproducer with
+/// a comment header. The output reparses to exactly `module`.
+pub fn reproducer_source(module: &Module, header_lines: &[String]) -> String {
+    let mut s = String::new();
+    s.push_str("# r2c-fuzz reproducer\n");
+    for l in header_lines {
+        for part in l.lines() {
+            s.push_str("# ");
+            s.push_str(part);
+            s.push('\n');
+        }
+    }
+    s.push_str(&print_module(module));
+    debug_assert_eq!(&parse_module(&s).expect("reproducer must reparse"), module);
+    s
+}
+
+/// One candidate trial: legality, roundtrip fidelity, interestingness.
+fn try_candidate(
+    cur: &mut Module,
+    cand: Module,
+    interesting: &dyn Fn(&Module) -> bool,
+    stats: &mut ReductionStats,
+) -> bool {
+    stats.candidates += 1;
+    if verify_module(&cand).is_err() {
+        return false;
+    }
+    match parse_module(&print_module(&cand)) {
+        Ok(rt) if rt == cand => {}
+        _ => return false,
+    }
+    if !interesting(&cand) {
+        return false;
+    }
+    *cur = cand;
+    stats.accepted += 1;
+    true
+}
+
+/// A function body reduced to `ret 0`.
+fn stub_body() -> (Vec<Block>, u32) {
+    (
+        vec![Block {
+            name: "entry".to_string(),
+            insts: vec![(Some(Val(0)), Inst::Const(0))],
+            term: Term::Ret(Some(Val(0))),
+        }],
+        1,
+    )
+}
+
+fn is_stub(f: &Function) -> bool {
+    f.blocks.len() == 1
+        && f.blocks[0].insts == [(Some(Val(0)), Inst::Const(0))]
+        && f.blocks[0].term == Term::Ret(Some(Val(0)))
+}
+
+/// Replaces whole function bodies (except `main`) with `ret 0`.
+fn stub_functions(
+    cur: &mut Module,
+    interesting: &dyn Fn(&Module) -> bool,
+    stats: &mut ReductionStats,
+) {
+    for fi in 0..cur.funcs.len() {
+        if cur.funcs[fi].name == "main" || is_stub(&cur.funcs[fi]) {
+            continue;
+        }
+        let mut cand = cur.clone();
+        let (blocks, num_vals) = stub_body();
+        cand.funcs[fi].blocks = blocks;
+        cand.funcs[fi].num_vals = num_vals;
+        try_candidate(cur, cand, interesting, stats);
+    }
+}
+
+fn func_referenced(m: &Module, fi: u32) -> bool {
+    let in_code = m.funcs.iter().flat_map(|f| &f.blocks).any(|b| {
+        b.insts.iter().any(|(_, i)| match i {
+            Inst::Call { callee, .. } => callee.0 == fi,
+            Inst::FuncAddr(f) => f.0 == fi,
+            _ => false,
+        })
+    });
+    in_code
+        || m.globals
+            .iter()
+            .any(|g| matches!(g.init, GlobalInit::FuncPtr(f) if f.0 == fi))
+}
+
+/// Removes unreferenced non-`main` functions, remapping `FuncId`s.
+fn drop_functions(
+    cur: &mut Module,
+    interesting: &dyn Fn(&Module) -> bool,
+    stats: &mut ReductionStats,
+) {
+    let mut fi = 0;
+    while fi < cur.funcs.len() {
+        if cur.funcs[fi].name == "main" || func_referenced(cur, fi as u32) {
+            fi += 1;
+            continue;
+        }
+        let mut cand = cur.clone();
+        cand.funcs.remove(fi);
+        let remap = |f: &mut FuncId| {
+            if f.0 > fi as u32 {
+                f.0 -= 1;
+            }
+        };
+        for f in &mut cand.funcs {
+            for b in &mut f.blocks {
+                for (_, i) in &mut b.insts {
+                    match i {
+                        Inst::Call { callee, .. } => remap(callee),
+                        Inst::FuncAddr(t) => remap(t),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for g in &mut cand.globals {
+            if let GlobalInit::FuncPtr(t) = &mut g.init {
+                remap(t);
+            }
+        }
+        if !try_candidate(cur, cand, interesting, stats) {
+            fi += 1;
+        }
+    }
+}
+
+fn global_referenced(m: &Module, gi: u32) -> bool {
+    m.funcs.iter().flat_map(|f| &f.blocks).any(|b| {
+        b.insts
+            .iter()
+            .any(|(_, i)| matches!(i, Inst::GlobalAddr(g) if g.0 == gi))
+    })
+}
+
+/// Removes unreferenced globals, remapping `GlobalId`s.
+fn drop_globals(
+    cur: &mut Module,
+    interesting: &dyn Fn(&Module) -> bool,
+    stats: &mut ReductionStats,
+) {
+    let mut gi = 0;
+    while gi < cur.globals.len() {
+        if global_referenced(cur, gi as u32) {
+            gi += 1;
+            continue;
+        }
+        let mut cand = cur.clone();
+        cand.globals.remove(gi);
+        for f in &mut cand.funcs {
+            for b in &mut f.blocks {
+                for (_, i) in &mut b.insts {
+                    if let Inst::GlobalAddr(GlobalId(g)) = i {
+                        if *g > gi as u32 {
+                            *g -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        if !try_candidate(cur, cand, interesting, stats) {
+            gi += 1;
+        }
+    }
+}
+
+/// Collapses `condbr c, a, b` into `br a` or `br b`.
+fn simplify_branches(
+    cur: &mut Module,
+    interesting: &dyn Fn(&Module) -> bool,
+    stats: &mut ReductionStats,
+) {
+    for fi in 0..cur.funcs.len() {
+        for bi in 0..cur.funcs[fi].blocks.len() {
+            let Term::CondBr {
+                then_bb, else_bb, ..
+            } = cur.funcs[fi].blocks[bi].term
+            else {
+                continue;
+            };
+            for target in [then_bb, else_bb] {
+                let mut cand = cur.clone();
+                cand.funcs[fi].blocks[bi].term = Term::Br(target);
+                if try_candidate(cur, cand, interesting, stats) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Drops blocks unreachable from the entry block, remapping `BlockId`s.
+fn drop_unreachable_blocks(
+    cur: &mut Module,
+    interesting: &dyn Fn(&Module) -> bool,
+    stats: &mut ReductionStats,
+) {
+    for fi in 0..cur.funcs.len() {
+        let f = &cur.funcs[fi];
+        let n = f.blocks.len();
+        let mut seen = vec![false; n];
+        let mut work = vec![0usize];
+        while let Some(b) = work.pop() {
+            if seen[b] {
+                continue;
+            }
+            seen[b] = true;
+            match f.blocks[b].term {
+                Term::Br(t) => work.push(t.0 as usize),
+                Term::CondBr {
+                    then_bb, else_bb, ..
+                } => {
+                    work.push(then_bb.0 as usize);
+                    work.push(else_bb.0 as usize);
+                }
+                Term::Ret(_) => {}
+            }
+        }
+        if seen.iter().all(|&s| s) {
+            continue;
+        }
+        let mut new_ids = vec![u32::MAX; n];
+        let mut next = 0u32;
+        for (b, &s) in seen.iter().enumerate() {
+            if s {
+                new_ids[b] = next;
+                next += 1;
+            }
+        }
+        let mut cand = cur.clone();
+        let f = &mut cand.funcs[fi];
+        let mut blocks = Vec::with_capacity(next as usize);
+        for (b, blk) in f.blocks.drain(..).enumerate() {
+            if seen[b] {
+                blocks.push(blk);
+            }
+        }
+        for blk in &mut blocks {
+            let remap = |t: &mut BlockId| t.0 = new_ids[t.0 as usize];
+            match &mut blk.term {
+                Term::Br(t) => remap(t),
+                Term::CondBr {
+                    then_bb, else_bb, ..
+                } => {
+                    remap(then_bb);
+                    remap(else_bb);
+                }
+                Term::Ret(_) => {}
+            }
+        }
+        f.blocks = blocks;
+        try_candidate(cur, cand, interesting, stats);
+    }
+}
+
+/// Deletes `store`s and rewrites other instructions to `const 0`.
+/// Result value ids are kept, so uses stay valid and `num_vals`
+/// roundtrips through the printer unchanged.
+fn thin_instructions(
+    cur: &mut Module,
+    interesting: &dyn Fn(&Module) -> bool,
+    stats: &mut ReductionStats,
+) {
+    for fi in 0..cur.funcs.len() {
+        for bi in 0..cur.funcs[fi].blocks.len() {
+            let mut ii = 0;
+            while ii < cur.funcs[fi].blocks[bi].insts.len() {
+                let (val, inst) = cur.funcs[fi].blocks[bi].insts[ii].clone();
+                let mut cand = cur.clone();
+                match (val, &inst) {
+                    (None, _) => {
+                        cand.funcs[fi].blocks[bi].insts.remove(ii);
+                    }
+                    (Some(_), Inst::Const(0)) => {
+                        ii += 1;
+                        continue;
+                    }
+                    (Some(_), _) => {
+                        cand.funcs[fi].blocks[bi].insts[ii].1 = Inst::Const(0);
+                    }
+                }
+                if !try_candidate(cur, cand, interesting, stats) {
+                    ii += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_ir::interpret;
+
+    /// A module with an obviously localizable "bug": helper `f1`
+    /// prints a marker. Interesting = "output contains 7777". The
+    /// reducer must strip everything else and keep the marker chain.
+    const SRC: &str = r#"
+global @tab words [1, 2, 3, 4] align 8
+global @junk zero 32 align 8
+func @f0(1) {
+entry:
+  %0 = param 0
+  %1 = const 5
+  %2 = mul %0, %1
+  ret %2
+}
+func @f1(1) {
+entry:
+  %0 = const 7777
+  %1 = extern print(%0)
+  %2 = param 0
+  ret %2
+}
+func @f2(1) {
+entry:
+  %0 = param 0
+  ret %0
+}
+func @main(0) {
+entry:
+  %0 = const 3
+  %1 = call @f0(%0)
+  %2 = call @f1(%1)
+  %3 = call @f2(%2)
+  %4 = addrof @tab
+  %5 = load %4 + 8
+  %6 = add %3, %5
+  ret %6
+}
+"#;
+
+    fn prints_marker(m: &Module) -> bool {
+        interpret(m, "main", 1_000_000)
+            .map(|r| r.output.contains(&7777))
+            .unwrap_or(false)
+    }
+
+    #[test]
+    fn reduces_to_marker_chain() {
+        let m = r2c_ir::parse_module(SRC).unwrap();
+        assert!(prints_marker(&m));
+        let red = reduce(&m, &prints_marker, 10);
+        assert!(prints_marker(&red.module));
+        // f0 and f2 stub away and become droppable; junk/tab globals
+        // become unreferenced once main's tail is zeroed out.
+        assert!(
+            red.module.funcs.len() <= 2,
+            "kept {} functions: {:?}",
+            red.module.funcs.len(),
+            red.module.funcs.iter().map(|f| &f.name).collect::<Vec<_>>()
+        );
+        assert!(red.module.globals.is_empty(), "{:?}", red.module.globals);
+        assert!(red.stats.accepted > 0);
+    }
+
+    #[test]
+    fn reproducer_text_reparses() {
+        let m = r2c_ir::parse_module(SRC).unwrap();
+        let red = reduce(&m, &prints_marker, 10);
+        let src = reproducer_source(
+            &red.module,
+            &["cell: full seed=1 machine=EpycRome".to_string()],
+        );
+        let back = r2c_ir::parse_module(&src).unwrap();
+        assert_eq!(back, red.module);
+        assert!(src.starts_with("# r2c-fuzz reproducer\n"));
+    }
+
+    #[test]
+    fn uninteresting_candidates_are_rejected() {
+        // Interesting = computes the original return value; almost
+        // nothing can be removed without changing it.
+        let src = "func @main(0) {\nentry:\n  %0 = const 41\n  %1 = const 1\n  %2 = add %0, %1\n  ret %2\n}\n";
+        let m = r2c_ir::parse_module(src).unwrap();
+        let keeps_ret = |m: &Module| {
+            interpret(m, "main", 10_000)
+                .map(|r| r.ret == 42)
+                .unwrap_or(false)
+        };
+        let red = reduce(&m, &keeps_ret, 5);
+        assert!(keeps_ret(&red.module));
+        assert_eq!(red.module.funcs[0].blocks[0].term, Term::Ret(Some(Val(2))));
+    }
+}

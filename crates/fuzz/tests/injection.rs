@@ -1,0 +1,106 @@
+//! Oracle validation (ISSUE 3 acceptance): deliberately miscompiling
+//! the backend via `r2c_codegen::InjectedFault` must (a) be caught by
+//! the differential oracle and (b) reduce to a small reproducer.
+//!
+//! * `SkipBtdpStore` drops one booby-trapped-data-pointer store per
+//!   function while leaving the camouflage metadata claiming it — the
+//!   `r2c-check` camo pass must flag the mismatch, which the oracle
+//!   surfaces as a build-failure divergence.
+//! * `SkipSpillReload` omits one spill reload per function — a genuine
+//!   semantic miscompile only differential execution can see.
+
+use r2c_codegen::InjectedFault;
+use r2c_core::R2cConfig;
+use r2c_fuzz::{
+    divergence_report, generate_with, reduce_divergence, run_oracle, CaseVerdict, GenConfig,
+    OracleMatrix,
+};
+use r2c_ir::Module;
+use r2c_vm::MachineKind;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn injected(fault: InjectedFault) -> R2cConfig {
+    let mut c = R2cConfig::full(0);
+    c.diversify.inject_fault = Some(fault);
+    c
+}
+
+/// A module guaranteed to have several functions and enough register
+/// pressure to spill in all of them.
+fn pressure_module(seed: u64) -> Module {
+    let cfg = GenConfig {
+        helpers: 3,
+        call_depth: 2,
+        loop_iters: 3,
+        constructs_per_fn: 3,
+        burst_len: 5,
+        pressure: 26,
+        tab_words: 16,
+        arr_words: 16,
+        use_extern: true,
+        use_indirect: false,
+        deep_recursion: None,
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generate_with(&cfg, &mut rng)
+}
+
+fn catch_and_reduce(fault: InjectedFault, name: &str) {
+    let matrix = OracleMatrix::single(name, injected(fault), MachineKind::EpycRome, 1);
+    for seed in 0..10u64 {
+        let module = pressure_module(seed);
+        let CaseVerdict::Diverged(div) = run_oracle(&module, &matrix) else {
+            continue;
+        };
+        assert!(!div.details.is_empty());
+        let reduced = reduce_divergence(&module, &div, 6);
+        assert!(
+            reduced.module.funcs.len() <= 3,
+            "{name}: reducer kept {} functions",
+            reduced.module.funcs.len()
+        );
+        assert!(
+            reduced.module.funcs.len() < module.funcs.len() || reduced.stats.accepted > 0,
+            "{name}: reducer made no progress"
+        );
+        // The reproducer must reparse (checked inside) and name the cell.
+        let report = divergence_report(seed, &div, &reduced.module);
+        assert!(report.contains(name), "{report}");
+        return;
+    }
+    panic!("{name}: injected fault never produced a divergence in 10 module seeds");
+}
+
+#[test]
+fn skipped_btdp_store_is_caught_and_reduced() {
+    catch_and_reduce(InjectedFault::SkipBtdpStore, "full+skip-btdp-store");
+}
+
+#[test]
+fn skipped_spill_reload_is_caught_and_reduced() {
+    catch_and_reduce(InjectedFault::SkipSpillReload, "full+skip-spill-reload");
+}
+
+#[test]
+fn clean_config_passes_where_injected_diverges() {
+    // Sanity check on the harness itself: the very module whose
+    // injected build diverges must pass the same cell without the
+    // fault.
+    let injected_matrix = OracleMatrix::single(
+        "full+skip-spill-reload",
+        injected(InjectedFault::SkipSpillReload),
+        MachineKind::EpycRome,
+        1,
+    );
+    let clean_matrix = OracleMatrix::single("full", R2cConfig::full(0), MachineKind::EpycRome, 1);
+    for seed in 0..10u64 {
+        let module = pressure_module(seed);
+        if let CaseVerdict::Diverged(_) = run_oracle(&module, &injected_matrix) {
+            match run_oracle(&module, &clean_matrix) {
+                CaseVerdict::Pass { .. } => return,
+                v => panic!("clean build of diverging module did not pass: {v:?}"),
+            }
+        }
+    }
+    panic!("no diverging seed found");
+}

@@ -60,6 +60,14 @@ pub struct InterpResult {
     pub executed: u64,
     /// Number of direct/indirect calls executed.
     pub calls: u64,
+    /// Final contents of every global, in declaration order (one byte
+    /// vector per global, of its initializer size). Globals are the
+    /// only memory whose layout both execution worlds agree on, which
+    /// makes these bytes the "observable memory" the differential fuzz
+    /// oracle compares against compiled execution — provided the
+    /// program never stores pointer-valued data into a global (pointer
+    /// *values* legitimately differ between the two worlds).
+    pub globals: Vec<Vec<u8>>,
 }
 
 const GLOBAL_BASE: u64 = 0x10_0000;
@@ -405,11 +413,21 @@ pub fn interpret(m: &Module, entry: &str, fuel: u64) -> Result<InterpResult, Int
         .ok_or_else(|| InterpError::NoSuchFunction(entry.to_string()))?;
     let mut interp = Interp::new(m, fuel);
     let ret = interp.call(id, &[])?;
+    let globals = m
+        .globals
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let off = interp.global_off[&(i as u32)] as usize;
+            interp.globals[off..off + g.init.size() as usize].to_vec()
+        })
+        .collect();
     Ok(InterpResult {
         ret: ret as i64,
         output: interp.output,
         executed: interp.executed,
         calls: interp.calls,
+        globals,
     })
 }
 

@@ -238,9 +238,15 @@ impl<'s> Parser<'s> {
             return err(ln, "expected '{' at end of func header");
         }
 
-        // First pass over the body: collect block labels.
+        // First pass over the body: collect block labels. Each label
+        // is indexed both by its exact spelling (the printer emits a
+        // unique `name.N` per block, so printed branches resolve
+        // exactly even when two blocks share a base name) and by its
+        // canonical base (first occurrence wins), so hand-written
+        // sources can keep branching to plain `name`.
         let body_start = self.pos;
         let mut labels: HashMap<String, u32> = HashMap::new();
+        let mut nblocks = 0u32;
         let depth = 0usize;
         loop {
             let Some((ln2, l2)) = self.next() else {
@@ -251,9 +257,10 @@ impl<'s> Parser<'s> {
             }
             let _ = ln2;
             if let Some(label) = l2.strip_suffix(':') {
-                let base = canonical_label(label);
-                let id = labels.len() as u32;
-                labels.entry(base).or_insert(id);
+                let id = nblocks;
+                nblocks += 1;
+                labels.entry(label.to_string()).or_insert(id);
+                labels.entry(canonical_label(label)).or_insert(id);
             }
         }
         let body_end = self.pos - 1;
@@ -513,7 +520,13 @@ fn resolve_label(
     tok: &str,
     ln: usize,
 ) -> Result<BlockId, ParseError> {
-    let base = canonical_label(tok.trim_end_matches(','));
+    // Exact spelling first (printer output branches to `name.N`), then
+    // the canonical base for hand-written `br name`.
+    let exact = tok.trim_end_matches(',');
+    if let Some(&i) = labels.get(exact) {
+        return Ok(BlockId(i));
+    }
+    let base = canonical_label(exact);
     labels.get(&base).map(|&i| BlockId(i)).ok_or(ParseError {
         line: ln,
         msg: format!("unknown block label {base:?}"),
@@ -746,6 +759,46 @@ small:
         let src = "global @g words [-1, -2] align 8\nfunc @f(0) {\nentry: # comment\n  %0 = const -42\n  ret %0\n}\n";
         let m = parse_module(src).unwrap();
         assert_eq!(m.globals[0].init, GlobalInit::Words(vec![-1, -2]));
+    }
+
+    #[test]
+    fn duplicate_block_names_roundtrip() {
+        // Two blocks sharing the base name "body": the printer labels
+        // them body.1 / body.2 and branches to the exact spelling, so
+        // the round trip must keep them distinct (keying labels only by
+        // base name used to collapse both onto the first block).
+        use crate::repr::{Block, Function, Term};
+        let mut m = Module::default();
+        m.funcs.push(Function {
+            name: "f".into(),
+            params: 0,
+            blocks: vec![
+                Block {
+                    name: "entry".into(),
+                    insts: vec![(Some(Val(0)), Inst::Const(1))],
+                    term: Term::CondBr {
+                        cond: Val(0),
+                        then_bb: BlockId(1),
+                        else_bb: BlockId(2),
+                    },
+                },
+                Block {
+                    name: "body".into(),
+                    insts: vec![],
+                    term: Term::Ret(None),
+                },
+                Block {
+                    name: "body".into(),
+                    insts: vec![(Some(Val(1)), Inst::Const(2))],
+                    term: Term::Ret(Some(Val(1))),
+                },
+            ],
+            num_vals: 2,
+            no_instrument: false,
+        });
+        let text = crate::printer::print_module(&m);
+        let back = parse_module(&text).unwrap();
+        assert_eq!(m, back, "round trip changed the module:\n{text}");
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Named regression cases distilled from differential fuzzing
+//! (`r2c-fuzz`): each pins an IR shape that once broke — or was
+//! designed to break — part of the pipeline, and runs it through the
+//! full differential oracle (reference interpreter vs compiled +
+//! diversified execution, `r2c-check` forced on) across the quick
+//! configuration matrix.
+//!
+//! These run in the default workspace suite; the fuzz binary
+//! (`cargo run -p r2c-bench --bin fuzz`) explores beyond them.
+
+use r2c_fuzz::{run_oracle, CaseVerdict, OracleMatrix};
+use r2c_ir::parse_module;
+
+fn assert_all_cells_agree(src: &str, what: &str) {
+    let m = parse_module(src).unwrap_or_else(|e| panic!("{what}: parse failed: {e:?}"));
+    r2c_ir::verify_module(&m).unwrap_or_else(|e| panic!("{what}: verify failed: {e:?}"));
+    match run_oracle(&m, &OracleMatrix::quick()) {
+        CaseVerdict::Pass { cells } => assert!(cells > 0),
+        CaseVerdict::Skipped { reason } => panic!("{what}: reference rejected module: {reason}"),
+        CaseVerdict::Diverged(div) => panic!(
+            "{what}: diverged in {} (build seed {}, {:?}): {:?}",
+            div.cell.config_name, div.cell.build_seed, div.cell.machine, div.details
+        ),
+    }
+}
+
+/// Regression: an *empty, self-looping, unreachable* block. The seed
+/// interpreter burned its whole fuel budget on this shape (fixed in
+/// PR 1 as a reachable-loop hang); the compile path must also lower
+/// it — branch fixups, NOP/trap insertion and all — without hanging,
+/// mis-linking, or tripping `r2c-check`'s CFG recovery.
+#[test]
+fn empty_self_looping_block_compiles_everywhere() {
+    assert_all_cells_agree(
+        r#"
+func @main(0) {
+entry:
+  %0 = const 42
+  %1 = extern print(%0)
+  ret %0
+limbo:
+  br limbo
+}
+"#,
+        "empty self-looping block",
+    );
+}
+
+/// Regression: the diamond CFG whose join block uses entry-block
+/// definitions. The seed's def-before-use verifier rejected exactly
+/// this (an any-predecessor check instead of dominance); PR 2 replaced
+/// it with a dominator-tree analysis. Keep the shape compiling and
+/// semantically transparent end to end.
+#[test]
+fn diamond_join_uses_entry_definitions() {
+    assert_all_cells_agree(
+        r#"
+global @out zero 16 align 8
+
+func @main(0) {
+entry:
+  %0 = const 10
+  %1 = const 3
+  %2 = cmp lt %1, %0
+  condbr %2, then, else
+then:
+  %3 = add %0, %1
+  %4 = addrof @out
+  store %4 + 0, %3
+  br join
+else:
+  %5 = mul %0, %1
+  %6 = addrof @out
+  store %6 + 0, %5
+  br join
+join:
+  %7 = sub %0, %1
+  %8 = addrof @out
+  store %8 + 8, %7
+  %9 = load %8 + 0
+  %10 = add %9, %7
+  %11 = extern print(%10)
+  ret %10
+}
+"#,
+        "diamond join",
+    );
+}
+
+/// Regression: deep linear recursion with a fat per-frame alloca,
+/// pushing the diversified stack (BTRA windows, randomized slots,
+/// BTDP decoys all inflate frames) toward the 256 KiB guard page
+/// without crossing it. Catches frame-size accounting bugs that only
+/// show up when hundreds of frames stack up.
+#[test]
+fn deep_recursion_near_guard_page_boundary() {
+    assert_all_cells_agree(
+        r#"
+func @deep(2) {
+entry:
+  %0 = param 0
+  %1 = param 1
+  %2 = alloca 512 align 16
+  store %2 + 0, %0
+  store %2 + 504, %1
+  %3 = const 0
+  %4 = cmp gt %1, %3
+  condbr %4, rec, base
+rec:
+  %5 = const 1
+  %6 = sub %1, %5
+  %7 = add %0, %1
+  %8 = call @deep(%7, %6)
+  %9 = load %2 + 0
+  %10 = add %8, %9
+  ret %10
+base:
+  %11 = load %2 + 504
+  %12 = load %2 + 0
+  %13 = add %12, %11
+  ret %13
+}
+
+func @main(0) {
+entry:
+  %0 = const 5
+  %1 = const 200
+  %2 = call @deep(%0, %1)
+  %3 = extern print(%2)
+  ret %2
+}
+"#,
+        "deep recursion near guard page",
+    );
+}
+
+/// Regression companion to the reducer: a minimized reproducer written
+/// by `divergence_report` must reparse and re-verify — the corpus
+/// format is part of the oracle contract.
+#[test]
+fn persisted_reproducer_format_roundtrips() {
+    let src = r#"
+func @main(0) {
+entry:
+  %0 = const 9
+  ret %0
+}
+"#;
+    let m = parse_module(src).unwrap();
+    let text = r2c_fuzz::reproducer_source(&m, &["cell: full seed=1".to_string()]);
+    let back = parse_module(&text).expect("reproducer must reparse");
+    assert_eq!(back, m);
+}
