@@ -6,7 +6,26 @@ use r2c_ir::Module;
 use r2c_vm::Image;
 
 use crate::config::R2cConfig;
+use crate::report::{CompileReport, PassTiming};
 use crate::runtime::{inject_btdp_runtime, BtdpRuntime};
+
+/// Runs `f`, appending its wall time to `timings` (when telemetry is
+/// requested) under the given pass name.
+fn timed<T>(
+    timings: &mut Option<&mut Vec<PassTiming>>,
+    pass: &'static str,
+    f: impl FnOnce() -> T,
+) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    if let Some(t) = timings.as_deref_mut() {
+        t.push(PassTiming {
+            pass,
+            wall_us: start.elapsed().as_micros() as u64,
+        });
+    }
+    out
+}
 
 /// A failed [`R2cCompiler::build`]: either the backend rejected the
 /// module, or the `r2c-check` static analyzer found the emitted code in
@@ -104,28 +123,77 @@ impl R2cCompiler {
     /// image; any finding fails the build with
     /// [`BuildError::Check`].
     pub fn build_with_info(&self, module: &Module) -> Result<(Image, VariantInfo), BuildError> {
-        let (program, opts, rt) = self.compile_program(module)?;
+        self.build_inner(module, &mut None)
+    }
+
+    /// Like [`R2cCompiler::build_with_info`], additionally collecting
+    /// compile telemetry — per-pass wall time, per-function
+    /// instrumentation counts and link-time code growth — into a
+    /// [`CompileReport`].
+    ///
+    /// Telemetry collection only *observes* the passes; the produced
+    /// image is identical to the one [`R2cCompiler::build`] returns for
+    /// the same `(module, config)`.
+    pub fn build_with_report(
+        &self,
+        module: &Module,
+    ) -> Result<(Image, VariantInfo, CompileReport), BuildError> {
+        let mut report = CompileReport {
+            seed: self.config.seed,
+            ..CompileReport::default()
+        };
+        let (image, info) = self.build_inner(module, &mut Some(&mut report))?;
+        report.record_image(&image);
+        Ok((image, info, report))
+    }
+
+    /// Shared build pipeline; `report` is `Some` when telemetry was
+    /// requested.
+    fn build_inner(
+        &self,
+        module: &Module,
+        report: &mut Option<&mut CompileReport>,
+    ) -> Result<(Image, VariantInfo), BuildError> {
+        let mut timings: Option<Vec<PassTiming>> = report.as_ref().map(|_| Vec::new());
+        let mut tref = timings.as_mut();
+        let (program, opts, rt) = self.compile_program_timed(module, &mut tref)?;
         if self.config.check {
-            let errors = r2c_check::check_program(&program, &opts.diversify);
+            let errors = timed(&mut tref, "check-program", || {
+                r2c_check::check_program(&program, &opts.diversify)
+            });
             if !errors.is_empty() {
+                if let Some(r) = report.as_deref_mut() {
+                    r.passes = timings.unwrap_or_default();
+                    r.record_program(&program);
+                }
                 return Err(BuildError::Check {
                     stage: "program",
                     errors,
                 });
             }
         }
-        let image = link(
-            &program,
-            &LinkOptions::from_config(&opts.diversify, opts.seed),
-        );
-        if self.config.check {
-            let errors = r2c_check::check_image(&image, &opts.diversify);
-            if !errors.is_empty() {
-                return Err(BuildError::Check {
-                    stage: "image",
-                    errors,
-                });
-            }
+        let image = timed(&mut tref, "link", || {
+            link(
+                &program,
+                &LinkOptions::from_config(&opts.diversify, opts.seed),
+            )
+        });
+        let check_image_errors = if self.config.check {
+            timed(&mut tref, "check-image", || {
+                r2c_check::check_image(&image, &opts.diversify)
+            })
+        } else {
+            Vec::new()
+        };
+        if let Some(r) = report.as_deref_mut() {
+            r.passes = timings.unwrap_or_default();
+            r.record_program(&program);
+        }
+        if !check_image_errors.is_empty() {
+            return Err(BuildError::Check {
+                stage: "image",
+                errors: check_image_errors,
+            });
         }
         let mut info = VariantInfo {
             text_bytes: program.text_bytes(),
@@ -150,16 +218,27 @@ impl R2cCompiler {
         &self,
         module: &Module,
     ) -> Result<(Program, CompileOptions, Option<BtdpRuntime>), CompileError> {
+        self.compile_program_timed(module, &mut None)
+    }
+
+    /// [`R2cCompiler::compile_program`] with optional per-pass timing.
+    fn compile_program_timed(
+        &self,
+        module: &Module,
+        timings: &mut Option<&mut Vec<PassTiming>>,
+    ) -> Result<(Program, CompileOptions, Option<BtdpRuntime>), CompileError> {
         // Verify the *input* module up front so IR errors are reported
         // against the user's code, not the runtime-injected clone
         // (which `r2c_codegen::compile` re-verifies).
-        r2c_ir::verify_module(module).map_err(CompileError::Verify)?;
+        timed(timings, "verify", || r2c_ir::verify_module(module)).map_err(CompileError::Verify)?;
         let mut m = module.clone();
         let mut diversify = self.config.diversify;
         let mut ctors = Vec::new();
         let mut runtime = None;
         if let Some(mut b) = diversify.btdp {
-            let rt = inject_btdp_runtime(&mut m, &b, mix_seed(self.config.seed, 0xD07));
+            let rt = timed(timings, "inject-btdp", || {
+                inject_btdp_runtime(&mut m, &b, mix_seed(self.config.seed, 0xD07))
+            });
             b.ptr_global = rt.ptr_global.0;
             b.array_len = rt.array_len;
             diversify.btdp = Some(b);
@@ -172,7 +251,7 @@ impl R2cCompiler {
             entry: "main".into(),
             ctors,
         };
-        let program = r2c_codegen::compile(&m, &opts)?;
+        let program = timed(timings, "lower", || r2c_codegen::compile(&m, &opts))?;
         Ok((program, opts, runtime))
     }
 }
@@ -249,6 +328,71 @@ entry:
             let perms = vm.perms_at(btdp).expect("BTDP target mapped");
             assert_eq!(perms, r2c_vm::Perms::NONE, "BTDP {k} not a guard page");
         }
+    }
+
+    #[test]
+    fn report_captures_passes_and_instrumentation() {
+        let m = parse_module(SRC).unwrap();
+        // Force the checker on: `check` defaults off in release builds,
+        // and the test pins the full pass list.
+        let cfg = R2cConfig::full(5).with_check(true);
+        let (image, info, report) = R2cCompiler::new(cfg).build_with_report(&m).unwrap();
+        // Telemetry must not change the build product.
+        let plain = R2cCompiler::new(cfg).build(&m).unwrap();
+        assert_eq!(image.insn_addrs, plain.insn_addrs);
+        assert_eq!(image.entry, plain.entry);
+        // Every pipeline stage is timed, in execution order.
+        let names: Vec<&str> = report.passes.iter().map(|p| p.pass).collect();
+        assert_eq!(
+            names,
+            [
+                "verify",
+                "inject-btdp",
+                "lower",
+                "check-program",
+                "link",
+                "check-image"
+            ]
+        );
+        // Per-function counts agree with the aggregate VariantInfo.
+        let (stores, sites): (u32, u32) = report
+            .funcs
+            .iter()
+            .filter(|f| f.kind == "normal")
+            .fold((0, 0), |(s, b), f| (s + f.btdp_stores, b + f.btra_sites));
+        assert_eq!(stores, info.btdp_stores);
+        assert_eq!(sites, info.btra_sites);
+        assert_eq!(report.booby_traps, info.booby_traps);
+        assert_eq!(report.seed, 5);
+        // Full R²C inserts NOPs and prolog traps, and link-time booby
+        // traps plus padding grow the text.
+        let nops: u32 = report.funcs.iter().map(|f| f.nops).sum();
+        let traps: u32 = report.funcs.iter().map(|f| f.traps).sum();
+        assert!(nops > 0, "expected call-site NOPs: {report:?}");
+        assert!(traps > 0, "expected prolog traps: {report:?}");
+        assert!(report.image_insns > 0);
+        assert!(
+            report.link_growth_bytes() > 0,
+            "booby traps must grow the image: {report:?}"
+        );
+        let j = report.to_json();
+        assert!(j.contains("\"pass\": \"lower\""));
+        assert!(j.contains("\"name\": \"main\""));
+    }
+
+    #[test]
+    fn baseline_report_shows_no_instrumentation() {
+        let m = parse_module(SRC).unwrap();
+        let (_, _, report) = R2cCompiler::new(R2cConfig::baseline(3))
+            .build_with_report(&m)
+            .unwrap();
+        assert!(report.passes.iter().all(|p| p.pass != "inject-btdp"));
+        for f in &report.funcs {
+            assert_eq!(f.nops, 0, "{}", f.name);
+            assert_eq!(f.btdp_stores, 0, "{}", f.name);
+            assert_eq!(f.btra_sites, 0, "{}", f.name);
+        }
+        assert_eq!(report.booby_traps, 0);
     }
 
     #[test]

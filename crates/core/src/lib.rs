@@ -51,12 +51,14 @@ pub mod analysis;
 pub mod compiler;
 pub mod config;
 pub mod differential;
+pub mod report;
 pub mod runtime;
 pub mod stats;
 
 pub use compiler::{BuildError, R2cCompiler, VariantInfo};
 pub use config::{Component, R2cConfig};
 pub use differential::{diff_against_reference, observe_variant, VariantObservation};
+pub use report::{CompileReport, FuncReport, PassTiming};
 
 // Re-export the names downstream users need most, so that `r2c-core`
 // works as the single entry point the README advertises.

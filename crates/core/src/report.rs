@@ -1,0 +1,214 @@
+//! Compile-time telemetry: what each R²C pass cost and what it emitted.
+//!
+//! [`CompileReport`] is the build half of the r2c-trace observability
+//! layer (the execution half lives in [`r2c_vm::trace`]). It records
+//! per-pass wall time, per-function instrumentation counts (NOPs,
+//! prolog traps, BTDP stores, BTRA sites) and the code growth from the
+//! pre-link program to the linked image, and serializes to the same
+//! minimal hand-rolled JSON the bench harness uses.
+
+use r2c_codegen::{FuncKind, Program};
+use r2c_vm::trace::json_escape;
+use r2c_vm::{Image, Insn};
+
+/// Wall time of one compiler pass.
+#[derive(Clone, Debug)]
+pub struct PassTiming {
+    /// Pass name (`"verify"`, `"inject-btdp"`, `"lower"`,
+    /// `"check-program"`, `"link"`, `"check-image"`).
+    pub pass: &'static str,
+    /// Host wall time in microseconds.
+    pub wall_us: u64,
+}
+
+/// Static per-function emission statistics, taken from the pre-link
+/// program (booby-trap padding functions are generated at link time and
+/// appear only in the image totals).
+#[derive(Clone, Debug)]
+pub struct FuncReport {
+    /// Function name.
+    pub name: String,
+    /// `"normal"`, `"booby-trap"` or `"constructor"`.
+    pub kind: &'static str,
+    /// Emitted instruction count.
+    pub insns: u64,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+    /// NOPs inserted by call-site NOP insertion.
+    pub nops: u32,
+    /// Trap instructions (prolog traps; booby-trap bodies).
+    pub traps: u32,
+    /// BTDP stack stores inserted.
+    pub btdp_stores: u32,
+    /// Call sites instrumented with BTRA windows.
+    pub btra_sites: u32,
+}
+
+/// Telemetry for one [`R2cCompiler::build_with_report`] invocation.
+///
+/// [`R2cCompiler::build_with_report`]: crate::R2cCompiler::build_with_report
+#[derive(Clone, Debug, Default)]
+pub struct CompileReport {
+    /// Diversification seed of this variant.
+    pub seed: u64,
+    /// Wall time per pass, in execution order.
+    pub passes: Vec<PassTiming>,
+    /// Per-function emission statistics (pre-link).
+    pub funcs: Vec<FuncReport>,
+    /// Total text bytes of the pre-link program (compiled functions
+    /// only, before booby traps and layout padding).
+    pub prelink_text_bytes: u64,
+    /// Text bytes of the linked image (includes generated booby traps
+    /// and shuffle padding).
+    pub image_text_bytes: u64,
+    /// Instruction count of the linked image.
+    pub image_insns: u64,
+    /// Booby-trap functions the linker interspersed.
+    pub booby_traps: u32,
+}
+
+impl CompileReport {
+    /// Records per-function statistics from the pre-link program.
+    pub fn record_program(&mut self, program: &Program) {
+        self.prelink_text_bytes = program.text_bytes();
+        self.booby_traps = program.booby_trap_funcs;
+        self.funcs = program
+            .funcs
+            .iter()
+            .map(|f| FuncReport {
+                name: f.name.clone(),
+                kind: match f.kind {
+                    FuncKind::Normal => "normal",
+                    FuncKind::BoobyTrap => "booby-trap",
+                    FuncKind::Constructor => "constructor",
+                },
+                insns: f.insns.len() as u64,
+                bytes: f.byte_size(),
+                nops: f
+                    .insns
+                    .iter()
+                    .filter(|i| matches!(i, Insn::Nop { .. }))
+                    .count() as u32,
+                traps: f.insns.iter().filter(|i| matches!(i, Insn::Trap)).count() as u32,
+                btdp_stores: f.btdp_stores,
+                btra_sites: f.btra_sites,
+            })
+            .collect();
+    }
+
+    /// Records image-level totals from the linked image.
+    pub fn record_image(&mut self, image: &Image) {
+        self.image_text_bytes = image.text_size();
+        self.image_insns = image.insns.len() as u64;
+    }
+
+    /// Total compile wall time across all timed passes, in microseconds.
+    pub fn total_wall_us(&self) -> u64 {
+        self.passes.iter().map(|p| p.wall_us).sum()
+    }
+
+    /// Code growth of the linked image over the pre-link program text
+    /// (booby traps, shuffle padding), in bytes.
+    pub fn link_growth_bytes(&self) -> u64 {
+        self.image_text_bytes
+            .saturating_sub(self.prelink_text_bytes)
+    }
+
+    /// Serializes the report as minimal JSON (no JSON crate in the
+    /// offline build; consumers are our own scripts and tests).
+    pub fn to_json(&self) -> String {
+        let mut j = String::from("{\n");
+        j.push_str(&format!("  \"seed\": {},\n", self.seed));
+        j.push_str(&format!("  \"total_wall_us\": {},\n", self.total_wall_us()));
+        j.push_str("  \"passes\": [\n");
+        for (i, p) in self.passes.iter().enumerate() {
+            j.push_str(&format!(
+                "    {{\"pass\": \"{}\", \"wall_us\": {}}}{}\n",
+                p.pass,
+                p.wall_us,
+                if i + 1 == self.passes.len() { "" } else { "," }
+            ));
+        }
+        j.push_str("  ],\n");
+        j.push_str(&format!(
+            "  \"prelink_text_bytes\": {},\n",
+            self.prelink_text_bytes
+        ));
+        j.push_str(&format!(
+            "  \"image_text_bytes\": {},\n",
+            self.image_text_bytes
+        ));
+        j.push_str(&format!(
+            "  \"link_growth_bytes\": {},\n",
+            self.link_growth_bytes()
+        ));
+        j.push_str(&format!("  \"image_insns\": {},\n", self.image_insns));
+        j.push_str(&format!("  \"booby_traps\": {},\n", self.booby_traps));
+        j.push_str("  \"funcs\": [\n");
+        for (i, f) in self.funcs.iter().enumerate() {
+            j.push_str(&format!(
+                "    {{\"name\": \"{}\", \"kind\": \"{}\", \"insns\": {}, \"bytes\": {}, \
+                 \"nops\": {}, \"traps\": {}, \"btdp_stores\": {}, \"btra_sites\": {}}}{}\n",
+                json_escape(&f.name),
+                f.kind,
+                f.insns,
+                f.bytes,
+                f.nops,
+                f.traps,
+                f.btdp_stores,
+                f.btra_sites,
+                if i + 1 == self.funcs.len() { "" } else { "," }
+            ));
+        }
+        j.push_str("  ]\n}\n");
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = CompileReport {
+            seed: 7,
+            passes: vec![
+                PassTiming {
+                    pass: "lower",
+                    wall_us: 120,
+                },
+                PassTiming {
+                    pass: "link",
+                    wall_us: 30,
+                },
+            ],
+            ..CompileReport::default()
+        };
+        r.funcs.push(FuncReport {
+            name: "main".into(),
+            kind: "normal",
+            insns: 10,
+            bytes: 40,
+            nops: 2,
+            traps: 1,
+            btdp_stores: 3,
+            btra_sites: 1,
+        });
+        r.prelink_text_bytes = 40;
+        r.image_text_bytes = 100;
+        let j = r.to_json();
+        assert_eq!(r.total_wall_us(), 150);
+        assert_eq!(r.link_growth_bytes(), 60);
+        for key in [
+            "\"seed\": 7",
+            "\"total_wall_us\": 150",
+            "\"pass\": \"lower\"",
+            "\"link_growth_bytes\": 60",
+            "\"name\": \"main\"",
+            "\"btdp_stores\": 3",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+    }
+}

@@ -16,6 +16,7 @@ use crate::machine::{ICache, MachineConfig};
 use crate::mem::{Memory, Perms};
 use crate::regs::{Gpr, RegFile, Ymm};
 use crate::stats::ExecStats;
+use crate::trace::{ExecProfile, TraceConfig, Tracer};
 use crate::VAddr;
 
 /// Sentinel return address: `ret`ing to it ends the current activation
@@ -130,6 +131,12 @@ pub struct Vm {
     pending_resume: Option<u32>,
     image_entry: VAddr,
     image_ctors: Vec<VAddr>,
+    /// Execution tracer (`None` by default). Every hook in the
+    /// interpreter is behind this option, which is the whole of the
+    /// zero-overhead-when-off contract: an untraced VM runs exactly the
+    /// pre-trace code paths, and a traced VM only *observes* state —
+    /// cycle counts stay bit-identical either way.
+    tracer: Option<Box<Tracer>>,
 }
 
 impl Vm {
@@ -191,7 +198,32 @@ impl Vm {
             pending_resume: None,
             image_entry: image.entry,
             image_ctors: image.constructors.clone(),
+            tracer: None,
         }
+    }
+
+    /// Attaches an execution tracer built from `image`'s symbol table.
+    /// Call before [`Vm::run`]; tracing observes execution without
+    /// changing it (cycle counts stay bit-identical to untraced runs).
+    pub fn enable_trace(&mut self, image: &Image, cfg: TraceConfig) {
+        self.tracer = Some(Box::new(Tracer::new(image, cfg)));
+    }
+
+    /// Snapshot of the traced run, or `None` if tracing is off.
+    pub fn trace_profile(&self) -> Option<ExecProfile> {
+        let tr = self.tracer.as_deref()?;
+        let mut p = tr.profile(self.stats());
+        p.heap.end_live_bytes = self.heap.in_use();
+        p.heap.end_resident_pages = self.mem.resident_pages() as u64;
+        p.heap.released_pages = self.heap.released_pages;
+        p.heap.quarantined_pages = self.heap.quarantined_pages() as u64;
+        // The allocator-event samples can miss the true residency peak;
+        // the address-space high-water mark never does.
+        p.heap.peak_resident_pages = p
+            .heap
+            .peak_resident_pages
+            .max(self.mem.max_resident_pages() as u64);
+        Some(p)
     }
 
     /// Runs constructors, then the entry point, to completion.
@@ -233,6 +265,12 @@ impl Vm {
     /// arbitrary arguments.
     pub fn call(&mut self, target: VAddr, args: &[u64]) -> RunOutcome {
         assert!(args.len() <= 6, "register arguments only");
+        if let Some(tr) = &mut self.tracer {
+            // A fresh activation: the shadow call stack starts over
+            // (resuming from a probe does not come through here and
+            // keeps its stack).
+            tr.on_activation();
+        }
         for (i, &a) in args.iter().enumerate() {
             self.regs.set(Gpr::ARGS[i], a);
         }
@@ -268,6 +306,14 @@ impl Vm {
             self.note_fault(&f);
         }
         let (h, m) = self.icache.stats();
+        if let Some(tr) = &mut self.tracer {
+            if let ExitStatus::Faulted(f) = &status {
+                tr.on_fault(f);
+            }
+            // Attribute the final instruction's cost; after this the
+            // folded map accounts for every cycle charged so far.
+            tr.sync(self.stats.cycles, m);
+        }
         self.stats.icache_hits = h;
         self.stats.icache_misses = m;
         self.stats.max_rss_pages = self.mem.max_resident_pages();
@@ -354,6 +400,12 @@ impl Vm {
             }
             let insn = self.insns[idx as usize];
             let addr = self.insn_addrs[idx as usize];
+            if let Some(tr) = &mut self.tracer {
+                // Counters *before* this instruction is charged: the
+                // delta since the previous step is the full cost of the
+                // previously executed instruction, extras included.
+                tr.step(addr, self.stats.cycles, self.icache.stats().1);
+            }
             self.stats.instructions += 1;
             self.stats.cycles += self.cfg.machine.base_cost(&insn) + self.icache.access(addr);
 
@@ -479,6 +531,9 @@ impl Vm {
                     self.stats.calls += 1;
                     let ra = addr + insn.len();
                     try_mem!(self.push_word(ra));
+                    if let Some(tr) = &mut self.tracer {
+                        tr.on_call(addr, target);
+                    }
                     jump_to!(target);
                 }
                 Insn::CallInd { target } => {
@@ -487,12 +542,18 @@ impl Vm {
                     let t = self.regs.get(target);
                     let ra = addr + insn.len();
                     try_mem!(self.push_word(ra));
+                    if let Some(tr) = &mut self.tracer {
+                        tr.on_call(addr, t);
+                    }
                     jump_to!(t);
                 }
                 Insn::CallNative { native } => {
                     self.stats.native_calls += 1;
                     if let Err(f) = self.do_native(native, addr) {
                         fault!(f);
+                    }
+                    if self.tracer.is_some() {
+                        self.trace_native(native);
                     }
                     if self.cfg.break_on_probe
                         && self.natives.get(native as usize) == Some(&NativeKind::StackProbe)
@@ -505,6 +566,9 @@ impl Vm {
                     self.charge_avx_transition();
                     self.stats.rets += 1;
                     let ra = try_mem!(self.pop_word());
+                    if let Some(tr) = &mut self.tracer {
+                        tr.on_ret(addr);
+                    }
                     if ra == EXIT_SENTINEL {
                         let rax = self.regs.get(Gpr::Rax);
                         return self.finish(ExitStatus::Exited(rax as i64));
@@ -583,7 +647,7 @@ impl Vm {
             }
             NativeKind::Free => {
                 let p = self.regs.get(Gpr::Rdi);
-                self.heap.free(p)?;
+                self.heap.free(&mut self.mem, p)?;
             }
             NativeKind::Memalign => {
                 let align = self.regs.get(Gpr::Rdi);
@@ -633,6 +697,43 @@ impl Vm {
             }
         }
         Ok(())
+    }
+
+    /// Records heap telemetry / trace events for a just-executed native
+    /// call. Reads only; guest state is untouched.
+    fn trace_native(&mut self, native: u16) {
+        let Some(&kind) = self.natives.get(native as usize) else {
+            return;
+        };
+        let live = self.heap.in_use();
+        let resident = self.mem.resident_pages() as u64;
+        let insns = self.stats.instructions;
+        let (rax, rdi, rsi, rdx) = (
+            self.regs.get(Gpr::Rax),
+            self.regs.get(Gpr::Rdi),
+            self.regs.get(Gpr::Rsi),
+            self.regs.get(Gpr::Rdx),
+        );
+        let Some(tr) = &mut self.tracer else { return };
+        match kind {
+            NativeKind::Malloc => tr.on_alloc(rax, rdi, live, resident, insns),
+            NativeKind::Memalign => tr.on_alloc(rax, rsi, live, resident, insns),
+            NativeKind::Free => tr.on_free(rdi, live, resident, insns),
+            NativeKind::Mprotect => {
+                let mut perms = Perms::NONE;
+                if rdx & 1 != 0 {
+                    perms = perms.union(Perms::R);
+                }
+                if rdx & 2 != 0 {
+                    perms = perms.union(Perms::W);
+                }
+                if rdx & 4 != 0 {
+                    perms = perms.union(Perms::X);
+                }
+                tr.on_protect(rdi, rsi, perms);
+            }
+            _ => {}
+        }
     }
 
     // --- Attacker primitives (threat model of paper §3) ---------------
@@ -700,6 +801,9 @@ impl Vm {
     /// `ret` pops the next entry, exactly like a real chain.
     pub fn hijack_chain(&mut self, gadgets: &[VAddr]) -> RunOutcome {
         assert!(!gadgets.is_empty());
+        if let Some(tr) = &mut self.tracer {
+            tr.on_activation();
+        }
         let mut rsp = self.regs.get(Gpr::Rsp) & !15;
         // Push sentinel first (bottom of chain), then the gadgets in
         // reverse so that gadgets[0] is on top.

@@ -7,9 +7,33 @@
 //! needed semantics: first-fit with splitting and coalescing over a
 //! dedicated heap region, page mapping on demand, and no page recycling
 //! for live allocations.
+//!
+//! ## Page lifetime
+//!
+//! `free` gives backing pages their lifetime back instead of leaving them
+//! resident and writable forever (which would make the `maxrss` analogue
+//! of §6.2.5 measure allocation churn rather than live memory, and would
+//! let use-after-free sail through the fault model):
+//!
+//! * a page **fully covered** by the coalesced free extent holds no live
+//!   bytes and is taken out of circulation — first re-protected to
+//!   [`Perms::NONE`] and parked on a small FIFO *quarantine*, so a
+//!   dangling access faults like a guard-page hit (the reactive R²C
+//!   detection path), then unmapped once the quarantine overflows, so
+//!   [`Memory::resident_pages`] actually drops after free churn;
+//! * pages **shared** with a live allocation keep their mapping and
+//!   permissions;
+//! * pages the guest already turned into guards (`mprotect` to no
+//!   access) are left untouched — a kept BTDP chunk's guard must survive
+//!   any neighbouring free.
+//!
+//! Allocation knows how to take a page back out of quarantine: reusing a
+//! quarantined page re-protects it to read-write, while an unmapped page
+//! is simply mapped fresh (and therefore reads as zeros).
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::collections::VecDeque;
 
 use crate::fault::Fault;
 use crate::mem::{Memory, Perms, PAGE_SIZE};
@@ -17,6 +41,11 @@ use crate::VAddr;
 
 /// Minimum allocation alignment, like glibc malloc.
 pub const MIN_ALIGN: u64 = 16;
+
+/// Default number of fully-freed pages held in the no-access quarantine
+/// before the oldest is unmapped for good. Small on purpose: it bounds
+/// how far resident memory may exceed live memory after free churn.
+pub const DEFAULT_QUARANTINE_PAGES: usize = 8;
 
 /// Guest heap state.
 ///
@@ -34,6 +63,13 @@ pub struct Heap {
     in_use: u64,
     /// Number of successful allocations, for stats.
     pub alloc_count: u64,
+    /// Number of successful frees, for stats.
+    pub free_count: u64,
+    /// Total pages unmapped after falling out of quarantine, for stats.
+    pub released_pages: u64,
+    /// Fully-freed pages currently mapped with no access, oldest first.
+    quarantine: VecDeque<u64>,
+    quarantine_cap: usize,
 }
 
 impl Heap {
@@ -49,6 +85,10 @@ impl Heap {
             live: HashMap::new(),
             in_use: 0,
             alloc_count: 0,
+            free_count: 0,
+            released_pages: 0,
+            quarantine: VecDeque::new(),
+            quarantine_cap: DEFAULT_QUARANTINE_PAGES,
         }
     }
 
@@ -67,6 +107,24 @@ impl Heap {
         self.in_use
     }
 
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of pages currently parked in the no-access quarantine.
+    pub fn quarantined_pages(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Resizes the quarantine, unmapping the oldest entries if the new
+    /// capacity is smaller than the current population. Capacity 0
+    /// unmaps fully-freed pages immediately.
+    pub fn set_quarantine_capacity(&mut self, mem: &mut Memory, cap: usize) {
+        self.quarantine_cap = cap;
+        self.evict_quarantine_overflow(mem);
+    }
+
     /// `malloc(size)`: returns a 16-byte-aligned allocation, mapping the
     /// backing pages read-write on demand.
     pub fn malloc(&mut self, mem: &mut Memory, size: u64) -> Option<VAddr> {
@@ -76,18 +134,25 @@ impl Heap {
     /// `memalign(align, size)`.
     ///
     /// `align` must be a power of two; it is raised to [`MIN_ALIGN`].
+    /// Requests the region cannot hold (including degenerate
+    /// guest-controlled values whose rounding would overflow) return
+    /// `None` without mutating any state — an exhausted `memalign` must
+    /// not leak its padding extent or map pages it cannot hand out.
     pub fn memalign(&mut self, mem: &mut Memory, align: u64, size: u64) -> Option<VAddr> {
         let align = align.max(MIN_ALIGN);
         if !align.is_power_of_two() {
             return None;
         }
-        let size = size.max(1).next_multiple_of(MIN_ALIGN);
-        // First fit over free extents.
+        let size = size.max(1).checked_next_multiple_of(MIN_ALIGN)?;
+        // First fit over free extents. All arithmetic is overflow-checked:
+        // `align` and `size` come straight from guest registers.
         let mut found: Option<(VAddr, u64, VAddr)> = None;
         for (&start, &len) in &self.free {
-            let aligned = start.next_multiple_of(align);
+            let Some(aligned) = start.checked_next_multiple_of(align) else {
+                continue;
+            };
             let pad = aligned - start;
-            if len >= pad + size {
+            if pad <= len && len - pad >= size {
                 found = Some((start, len, aligned));
                 break;
             }
@@ -107,15 +172,19 @@ impl Heap {
         self.alloc_count += 1;
         // Map backing pages read-write. Pages may already be mapped from
         // earlier allocations sharing them; `map` preserves contents but
-        // resets permissions, so skip pages that are already mapped
-        // (e.g. a neighbouring guard page must stay a guard).
+        // resets permissions, so already-mapped pages are skipped
+        // (e.g. a neighbouring guard page must stay a guard) — except
+        // quarantined ones, which are rescued back to read-write.
         let first = aligned / PAGE_SIZE;
         let last = (aligned + size - 1) / PAGE_SIZE;
         // Map contiguous runs of unmapped pages with one `map` call per
-        // run, not one per page; already-mapped pages are skipped so a
-        // neighbouring guard page keeps its permissions.
+        // run, not one per page.
         let mut run_start: Option<u64> = None;
         for p in first..=last + 1 {
+            if p <= last && self.unquarantine(p) {
+                mem.protect(p * PAGE_SIZE, PAGE_SIZE, Perms::RW)
+                    .expect("quarantined page is mapped");
+            }
             let unmapped = p <= last && !mem.is_mapped(p * PAGE_SIZE);
             match (run_start, unmapped) {
                 (None, true) => run_start = Some(p),
@@ -131,7 +200,10 @@ impl Heap {
 
     /// `free(ptr)`. Freeing a null pointer is a no-op; freeing an unknown
     /// pointer is reported as a fault (heap corruption).
-    pub fn free(&mut self, ptr: VAddr) -> Result<(), Fault> {
+    ///
+    /// Pages left without any live bytes are quarantined (no access) and
+    /// eventually unmapped — see the module docs on page lifetime.
+    pub fn free(&mut self, mem: &mut Memory, ptr: VAddr) -> Result<(), Fault> {
         if ptr == 0 {
             return Ok(());
         }
@@ -140,6 +212,7 @@ impl Heap {
             .remove(&ptr)
             .ok_or(Fault::Unmapped { addr: ptr })?;
         self.in_use -= size;
+        self.free_count += 1;
         // Insert and coalesce with neighbours.
         let mut start = ptr;
         let mut len = size;
@@ -157,7 +230,52 @@ impl Heap {
             }
         }
         self.free.insert(start, len);
+        // Retire pages that no longer back any live allocation. Only
+        // pages intersecting the freed chunk can have changed state: a
+        // page becomes fully free exactly when this free supplies its
+        // last live bytes, and the coalesced extent contains the chunk.
+        let first = ptr / PAGE_SIZE;
+        let last = (ptr + size - 1) / PAGE_SIZE;
+        for p in first..=last {
+            let page_lo = p * PAGE_SIZE;
+            // Fully covered by the coalesced free extent?
+            if page_lo < start || page_lo + PAGE_SIZE > start + len {
+                continue;
+            }
+            // Already retired by an earlier free of a neighbour.
+            if !mem.is_mapped(page_lo) || self.quarantine.contains(&p) {
+                continue;
+            }
+            // A page the guest itself turned into a guard stays exactly
+            // as it is (it already faults on access).
+            if mem.perms_at(page_lo) == Some(Perms::NONE) {
+                continue;
+            }
+            mem.protect(page_lo, PAGE_SIZE, Perms::NONE)
+                .expect("retiring a mapped page");
+            self.quarantine.push_back(p);
+            self.evict_quarantine_overflow(mem);
+        }
         Ok(())
+    }
+
+    /// Removes `page` from the quarantine if present, returning whether
+    /// it was there.
+    fn unquarantine(&mut self, page: u64) -> bool {
+        if let Some(i) = self.quarantine.iter().position(|&q| q == page) {
+            self.quarantine.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn evict_quarantine_overflow(&mut self, mem: &mut Memory) {
+        while self.quarantine.len() > self.quarantine_cap {
+            let q = self.quarantine.pop_front().expect("len checked");
+            mem.unmap(q * PAGE_SIZE, PAGE_SIZE);
+            self.released_pages += 1;
+        }
     }
 
     /// Size of a live allocation, if `ptr` is one.
@@ -168,6 +286,73 @@ impl Heap {
     /// Iterates over live allocations as `(addr, size)`.
     pub fn live_allocations(&self) -> impl Iterator<Item = (VAddr, u64)> + '_ {
         self.live.iter().map(|(&a, &s)| (a, s))
+    }
+
+    /// Verifies the allocator/memory bookkeeping invariants, returning a
+    /// description of the first violation. Diagnostic use (proptests and
+    /// debugging); cost is O(resident heap pages + live allocations).
+    ///
+    /// The invariants:
+    /// 1. every page backing a live allocation is mapped;
+    /// 2. `in_use` equals the sum of live allocation sizes;
+    /// 3. quarantined pages are mapped with no access and hold no live
+    ///    bytes;
+    /// 4. an accessible (non-`NONE`) mapped heap page backs at least one
+    ///    live allocation — nothing stays resident and writable without
+    ///    a live owner.
+    pub fn check_invariants(&self, mem: &Memory) -> Result<(), String> {
+        let mut live: Vec<(VAddr, u64)> = self.live.iter().map(|(&a, &s)| (a, s)).collect();
+        live.sort_unstable();
+        let mut total = 0u64;
+        for &(a, s) in &live {
+            total += s;
+            for p in a / PAGE_SIZE..=(a + s - 1) / PAGE_SIZE {
+                if !mem.is_mapped(p * PAGE_SIZE) {
+                    return Err(format!(
+                        "live allocation {a:#x}+{s:#x} has unmapped page {:#x}",
+                        p * PAGE_SIZE
+                    ));
+                }
+            }
+        }
+        if total != self.in_use {
+            return Err(format!(
+                "in_use {} != sum of live sizes {total}",
+                self.in_use
+            ));
+        }
+        // Live allocations never overlap, so sorting by start also sorts
+        // by end: the last allocation starting below the page's end is
+        // the only candidate overlap.
+        let overlaps_live = |p: u64| -> bool {
+            let (lo, hi) = (p * PAGE_SIZE, (p + 1) * PAGE_SIZE);
+            let i = live.partition_point(|&(a, _)| a < hi);
+            i > 0 && live[i - 1].0 + live[i - 1].1 > lo
+        };
+        for (p, perms) in mem.mapped_pages_in(self.base, self.size) {
+            let quarantined = self.quarantine.contains(&p);
+            let live_here = overlaps_live(p);
+            if quarantined {
+                if perms != Perms::NONE {
+                    return Err(format!(
+                        "quarantined page {:#x} is {perms}, not no-access",
+                        p * PAGE_SIZE
+                    ));
+                }
+                if live_here {
+                    return Err(format!(
+                        "quarantined page {:#x} overlaps a live allocation",
+                        p * PAGE_SIZE
+                    ));
+                }
+            } else if !live_here && perms != Perms::NONE {
+                return Err(format!(
+                    "page {:#x} is resident {perms} with no live owner",
+                    p * PAGE_SIZE
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -206,9 +391,11 @@ mod tests {
     fn free_and_reuse() {
         let (mut mem, mut heap) = setup();
         let a = heap.malloc(&mut mem, 64).unwrap();
-        heap.free(a).unwrap();
+        heap.free(&mut mem, a).unwrap();
         let b = heap.malloc(&mut mem, 64).unwrap();
         assert_eq!(a, b, "first-fit must reuse the freed block");
+        mem.write_u64(b, 7).unwrap();
+        assert_eq!(mem.read_u64(b).unwrap(), 7);
     }
 
     #[test]
@@ -218,8 +405,8 @@ mod tests {
         let b = heap.malloc(&mut mem, 4096).unwrap();
         // A sentinel allocation after b so the tail extent is separate.
         let _c = heap.malloc(&mut mem, 16).unwrap();
-        heap.free(a).unwrap();
-        heap.free(b).unwrap();
+        heap.free(&mut mem, a).unwrap();
+        heap.free(&mut mem, b).unwrap();
         let d = heap.malloc(&mut mem, 8192).unwrap();
         assert_eq!(d, a, "coalesced block must satisfy the large request");
     }
@@ -236,14 +423,14 @@ mod tests {
     fn double_free_detected() {
         let (mut mem, mut heap) = setup();
         let a = heap.malloc(&mut mem, 64).unwrap();
-        heap.free(a).unwrap();
-        assert!(heap.free(a).is_err());
+        heap.free(&mut mem, a).unwrap();
+        assert!(heap.free(&mut mem, a).is_err());
     }
 
     #[test]
     fn free_null_is_noop() {
-        let (_, mut heap) = setup();
-        assert!(heap.free(0).is_ok());
+        let (mut mem, mut heap) = setup();
+        assert!(heap.free(&mut mem, 0).is_ok());
     }
 
     #[test]
@@ -256,7 +443,7 @@ mod tests {
             .collect();
         for (i, &c) in chunks.iter().enumerate() {
             if i % 2 == 0 {
-                heap.free(c).unwrap();
+                heap.free(&mut mem, c).unwrap();
             }
         }
         for _ in 0..64 {
@@ -277,6 +464,22 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_requests_do_not_panic_or_leak() {
+        let (mut mem, mut heap) = setup();
+        // Guest-controlled values whose rounding would overflow u64.
+        assert!(heap.malloc(&mut mem, u64::MAX).is_none());
+        assert!(heap.memalign(&mut mem, 1 << 63, 16).is_none());
+        assert!(heap.memalign(&mut mem, u64::MAX, 16).is_none());
+        assert!(heap.memalign(&mut mem, 16, u64::MAX - 7).is_none());
+        // Nothing leaked: the whole region is still one free extent and
+        // a normal allocation still succeeds at the base.
+        assert_eq!(heap.in_use(), 0);
+        let p = heap.malloc(&mut mem, 64).unwrap();
+        assert_eq!(p, heap.base());
+        heap.check_invariants(&mem).unwrap();
+    }
+
+    #[test]
     fn guard_page_perms_survive_neighbour_allocation() {
         let (mut mem, mut heap) = setup();
         let g = heap.memalign(&mut mem, PAGE_SIZE, PAGE_SIZE).unwrap();
@@ -286,5 +489,92 @@ mod tests {
             heap.malloc(&mut mem, 4096).unwrap();
         }
         assert_eq!(mem.perms_at(g), Some(Perms::NONE));
+    }
+
+    #[test]
+    fn guard_page_survives_neighbour_free() {
+        // A kept BTDP chunk turned guard must stay a guard (mapped, no
+        // access) even when everything around it is freed and retired.
+        let (mut mem, mut heap) = setup();
+        let chunks: Vec<_> = (0..4)
+            .map(|_| heap.memalign(&mut mem, PAGE_SIZE, PAGE_SIZE).unwrap())
+            .collect();
+        mem.protect(chunks[1], PAGE_SIZE, Perms::NONE).unwrap();
+        for &c in &[chunks[0], chunks[2], chunks[3]] {
+            heap.free(&mut mem, c).unwrap();
+        }
+        assert_eq!(mem.perms_at(chunks[1]), Some(Perms::NONE));
+        assert!(mem.is_mapped(chunks[1]));
+        heap.check_invariants(&mem).unwrap();
+    }
+
+    #[test]
+    fn freed_pages_are_quarantined_then_released() {
+        let (mut mem, mut heap) = setup();
+        heap.set_quarantine_capacity(&mut mem, 2);
+        let chunk = 4 * PAGE_SIZE;
+        let p = heap.malloc(&mut mem, chunk).unwrap();
+        assert_eq!(mem.resident_pages(), 4);
+        heap.free(&mut mem, p).unwrap();
+        // Two newest pages quarantined (no access), two oldest unmapped.
+        assert_eq!(heap.quarantined_pages(), 2);
+        assert_eq!(mem.resident_pages(), 2);
+        assert_eq!(mem.perms_at(p + 3 * PAGE_SIZE), Some(Perms::NONE));
+        assert!(!mem.is_mapped(p));
+        assert_eq!(heap.released_pages, 2);
+        heap.check_invariants(&mem).unwrap();
+    }
+
+    #[test]
+    fn dangling_access_faults_after_free() {
+        let (mut mem, mut heap) = setup();
+        let p = heap.malloc(&mut mem, PAGE_SIZE).unwrap();
+        mem.write_u64(p, 0xdead).unwrap();
+        heap.free(&mut mem, p).unwrap();
+        // Classic use-after-free: the quarantined page denies everything.
+        assert!(matches!(
+            mem.read_u64(p),
+            Err(Fault::Protection { perms, .. }) if perms == Perms::NONE
+        ));
+        assert!(matches!(
+            mem.write_u64(p, 1),
+            Err(Fault::Protection { write: true, .. })
+        ));
+    }
+
+    #[test]
+    fn shared_page_stays_mapped_until_both_sides_free() {
+        let (mut mem, mut heap) = setup();
+        // Two small allocations share the first heap page.
+        let a = heap.malloc(&mut mem, 64).unwrap();
+        let b = heap.malloc(&mut mem, 64).unwrap();
+        assert_eq!(a / PAGE_SIZE, b / PAGE_SIZE, "test premise: same page");
+        heap.free(&mut mem, a).unwrap();
+        // b is still live on that page: it must stay readable/writable.
+        mem.write_u64(b, 5).unwrap();
+        assert_eq!(mem.read_u64(b).unwrap(), 5);
+        heap.free(&mut mem, b).unwrap();
+        // Now the page holds no live bytes and is retired.
+        assert!(mem.read_u64(b).is_err());
+        heap.check_invariants(&mem).unwrap();
+    }
+
+    #[test]
+    fn churn_does_not_grow_residency() {
+        let (mut mem, mut heap) = setup();
+        let chunk_pages = 16u64;
+        for _ in 0..200 {
+            let p = heap.malloc(&mut mem, chunk_pages * PAGE_SIZE).unwrap();
+            mem.write_u64(p, 1).unwrap();
+            heap.free(&mut mem, p).unwrap();
+        }
+        // Peak residency is bounded by peak live pages plus the
+        // quarantine, not by 200 × chunk (let alone the arena size).
+        assert!(
+            mem.max_resident_pages() <= chunk_pages as usize + DEFAULT_QUARANTINE_PAGES,
+            "max_resident_pages {} escaped the live-set bound",
+            mem.max_resident_pages()
+        );
+        heap.check_invariants(&mem).unwrap();
     }
 }

@@ -36,6 +36,7 @@ pub mod machine;
 pub mod mem;
 pub mod regs;
 pub mod stats;
+pub mod trace;
 pub mod unwind;
 
 mod exec;
@@ -48,6 +49,7 @@ pub use machine::{ICacheConfig, MachineConfig, MachineKind};
 pub use mem::{Memory, Perms, PAGE_SIZE};
 pub use regs::{Gpr, RegFile, Ymm};
 pub use stats::ExecStats;
+pub use trace::{ExecProfile, FuncProfile, HeapTelemetry, TraceConfig, TraceEvent, Tracer};
 
 /// A guest virtual address.
 pub type VAddr = u64;

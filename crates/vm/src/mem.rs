@@ -388,6 +388,30 @@ impl Memory {
         self.max_pages
     }
 
+    /// Mapped pages intersecting `[addr, addr + len)`, as sorted
+    /// `(page_number, perms)` pairs. Costs a scan of the whole page
+    /// table — diagnostic/reporting use, not a hot path.
+    pub fn mapped_pages_in(&self, addr: VAddr, len: u64) -> Vec<(u64, Perms)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let first = Self::page_index(addr);
+        let last = Self::page_index(addr + len - 1);
+        let mut pages: Vec<(u64, Perms)> = self
+            .table
+            .iter()
+            .filter(|(&p, _)| p >= first && p <= last)
+            .map(|(&p, e)| (p, e.perms))
+            .collect();
+        pages.sort_unstable_by_key(|&(p, _)| p);
+        pages
+    }
+
+    /// Number of mapped pages intersecting `[addr, addr + len)`.
+    pub fn resident_pages_in(&self, addr: VAddr, len: u64) -> usize {
+        self.mapped_pages_in(addr, len).len()
+    }
+
     /// Single-page access check returning the page entry, shared by the
     /// word fast paths. A TLB hit may serve cached permissions — every
     /// mutation of the table flushes the TLB, so a `protect` immediately

@@ -1,0 +1,691 @@
+//! Execution tracing: per-function cycle attribution, heap telemetry
+//! and a bounded event trace.
+//!
+//! The tracer is the VM half of the `r2c-trace` observability layer. It
+//! answers "where did the cycles of this run go, and what did the heap
+//! do while they went there" — per function, with flamegraph-ready
+//! folded stacks — without perturbing the run:
+//!
+//! * **Zero-overhead-when-off contract.** A [`Vm`](crate::Vm) without a
+//!   tracer executes exactly the code it executed before tracing
+//!   existed: every hook is behind an `Option` that is `None` by
+//!   default. With a tracer attached, the tracer *observes* the cost
+//!   model — it never feeds back into it. Cycle counts, instruction
+//!   counts, icache behaviour, heap layout and program output are
+//!   bit-identical between traced and untraced runs; the profiler smoke
+//!   in CI asserts this on every machine model.
+//! * **Attribution is exact, not sampled.** The interpreter calls
+//!   [`Tracer::step`] once per executed instruction with the cycle and
+//!   icache-miss counters *before* the instruction is charged; the delta
+//!   since the previous step is the full cost of the previous
+//!   instruction (base cost, icache miss, taken-branch extra, AVX
+//!   transition penalty — whatever the cost model added), attributed to
+//!   the function that executed it. Function identity comes from the
+//!   image's symbol table; a shadow call stack maintained from the
+//!   interpreter's own call/ret stream keys the folded-stack map.
+//! * **Bounded memory.** The event ring keeps the newest
+//!   [`TraceConfig::event_capacity`] events (dropping the oldest, and
+//!   counting drops); the heap timeline adaptively halves its sampling
+//!   rate when it reaches [`TraceConfig::heap_timeline_capacity`], so
+//!   arbitrarily long runs cannot grow the tracer without bound.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::fault::Fault;
+use crate::image::{Image, SymbolKind};
+use crate::mem::Perms;
+use crate::stats::ExecStats;
+use crate::VAddr;
+
+/// Tracer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Capacity of the bounded event ring; the newest events win and
+    /// evicted ones are counted in [`ExecProfile::dropped_events`].
+    pub event_capacity: usize,
+    /// Maximum retained heap-timeline samples. When full, every other
+    /// sample is dropped and the sampling stride doubles.
+    pub heap_timeline_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            event_capacity: 1024,
+            heap_timeline_capacity: 2048,
+        }
+    }
+}
+
+/// One entry of the bounded event trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum TraceEvent {
+    /// A `call`/`callind` executed at `at`, targeting `target`.
+    Call { at: VAddr, target: VAddr },
+    /// A `ret` executed at `at`.
+    Ret { at: VAddr },
+    /// A heap allocation returned `ptr` (0 on exhaustion).
+    Alloc { ptr: VAddr, size: u64 },
+    /// A heap free of `ptr`.
+    Free { ptr: VAddr },
+    /// A guest `mprotect` changed page permissions.
+    Protect { addr: VAddr, len: u64, perms: Perms },
+    /// The run ended with a fault (rendered via its `Display`).
+    Fault { desc: String },
+}
+
+/// One heap-telemetry sample, taken at allocator activity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeapSample {
+    /// Dynamic instruction count at the sample.
+    pub instructions: u64,
+    /// Bytes live in the allocator.
+    pub live_bytes: u64,
+    /// Pages resident in the whole address space.
+    pub resident_pages: u64,
+}
+
+/// Heap telemetry accumulated over a traced run.
+#[derive(Clone, Debug, Default)]
+pub struct HeapTelemetry {
+    /// Successful allocations observed (malloc + memalign).
+    pub allocs: u64,
+    /// Frees observed.
+    pub frees: u64,
+    /// High-water mark of live heap bytes at allocator events.
+    pub peak_live_bytes: u64,
+    /// High-water mark of resident pages at allocator events.
+    pub peak_resident_pages: u64,
+    /// Live heap bytes when the profile was taken.
+    pub end_live_bytes: u64,
+    /// Resident pages when the profile was taken.
+    pub end_resident_pages: u64,
+    /// Pages the heap unmapped after quarantine (cumulative).
+    pub released_pages: u64,
+    /// Pages sitting in the no-access quarantine at profile time.
+    pub quarantined_pages: u64,
+    /// High-water timeline (possibly thinned — see [`TraceConfig`]).
+    pub timeline: Vec<HeapSample>,
+}
+
+/// Per-function attribution row.
+#[derive(Clone, Debug)]
+pub struct FuncProfile {
+    /// Function (or booby-trap) symbol name; `"?"` for addresses
+    /// outside any known function span.
+    pub name: String,
+    /// Deci-cycles attributed to instructions of this function.
+    pub self_cycles: u64,
+    /// Instructions executed inside this function.
+    pub instructions: u64,
+    /// Icache misses charged while executing this function.
+    pub icache_misses: u64,
+    /// Calls issued from this function.
+    pub calls: u64,
+}
+
+/// Snapshot of everything a traced run learned.
+#[derive(Clone, Debug)]
+pub struct ExecProfile {
+    /// The run's execution statistics (identical to the untraced run).
+    pub totals: ExecStats,
+    /// Per-function rows, sorted by descending self cycles.
+    pub funcs: Vec<FuncProfile>,
+    /// Folded call stacks (`"main;f;g"`) → deci-cycles, sorted by
+    /// descending cycles. One line each in [`ExecProfile::folded_stacks`].
+    pub folded: Vec<(String, u64)>,
+    /// Heap telemetry.
+    pub heap: HeapTelemetry,
+    /// Newest events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the ring.
+    pub dropped_events: u64,
+}
+
+impl ExecProfile {
+    /// Renders the folded-stack map in the `stackcollapse` format
+    /// consumed by `flamegraph.pl` and compatible viewers: one
+    /// `frame;frame;frame count` line per stack.
+    pub fn folded_stacks(&self) -> String {
+        let mut out = String::new();
+        for (stack, cycles) in &self.folded {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&cycles.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the profile as JSON (hand-rolled; the workspace has no
+    /// serialization dependency by design).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n  \"totals\": {");
+        let t = &self.totals;
+        s.push_str(&format!(
+            "\"instructions\": {}, \"cycles_deci\": {}, \"calls\": {}, \
+             \"native_calls\": {}, \"rets\": {}, \"icache_misses\": {}, \
+             \"icache_hits\": {}, \"max_rss_pages\": {}, \"avx_transitions\": {}",
+            t.instructions,
+            t.cycles,
+            t.calls,
+            t.native_calls,
+            t.rets,
+            t.icache_misses,
+            t.icache_hits,
+            t.max_rss_pages,
+            t.avx_transitions
+        ));
+        s.push_str("},\n  \"functions\": [");
+        for (i, f) in self.funcs.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"self_cycles_deci\": {}, \
+                 \"instructions\": {}, \"icache_misses\": {}, \"calls\": {}}}",
+                json_escape(&f.name),
+                f.self_cycles,
+                f.instructions,
+                f.icache_misses,
+                f.calls
+            ));
+        }
+        s.push_str("\n  ],\n  \"folded\": [");
+        for (i, (stack, cycles)) in self.folded.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\n    {{\"stack\": \"{}\", \"cycles_deci\": {cycles}}}",
+                json_escape(stack)
+            ));
+        }
+        let h = &self.heap;
+        s.push_str("\n  ],\n  \"heap\": {");
+        s.push_str(&format!(
+            "\"allocs\": {}, \"frees\": {}, \"peak_live_bytes\": {}, \
+             \"peak_resident_pages\": {}, \"end_live_bytes\": {}, \
+             \"end_resident_pages\": {}, \"released_pages\": {}, \
+             \"quarantined_pages\": {}, \"timeline\": [",
+            h.allocs,
+            h.frees,
+            h.peak_live_bytes,
+            h.peak_resident_pages,
+            h.end_live_bytes,
+            h.end_resident_pages,
+            h.released_pages,
+            h.quarantined_pages
+        ));
+        for (i, sm) in h.timeline.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"instructions\": {}, \"live_bytes\": {}, \"resident_pages\": {}}}",
+                sm.instructions, sm.live_bytes, sm.resident_pages
+            ));
+        }
+        s.push_str("]},\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str("\n    ");
+            s.push_str(&event_json(e));
+        }
+        s.push_str(&format!(
+            "\n  ],\n  \"dropped_events\": {}\n}}\n",
+            self.dropped_events
+        ));
+        s
+    }
+}
+
+fn event_json(e: &TraceEvent) -> String {
+    match e {
+        TraceEvent::Call { at, target } => {
+            format!("{{\"kind\": \"call\", \"at\": {at}, \"target\": {target}}}")
+        }
+        TraceEvent::Ret { at } => format!("{{\"kind\": \"ret\", \"at\": {at}}}"),
+        TraceEvent::Alloc { ptr, size } => {
+            format!("{{\"kind\": \"alloc\", \"ptr\": {ptr}, \"size\": {size}}}")
+        }
+        TraceEvent::Free { ptr } => format!("{{\"kind\": \"free\", \"ptr\": {ptr}}}"),
+        TraceEvent::Protect { addr, len, perms } => format!(
+            "{{\"kind\": \"protect\", \"addr\": {addr}, \"len\": {len}, \"perms\": \"{perms}\"}}"
+        ),
+        TraceEvent::Fault { desc } => {
+            format!(
+                "{{\"kind\": \"fault\", \"desc\": \"{}\"}}",
+                json_escape(desc)
+            )
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Index of the pseudo-function covering addresses outside every known
+/// function span.
+const UNKNOWN: usize = usize::MAX;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PendingStack {
+    None,
+    Push,
+    Pop,
+}
+
+/// The live tracer state attached to a [`Vm`](crate::Vm).
+///
+/// All hooks are called *by* the interpreter and only ever read VM
+/// state — the tracer cannot change the execution it observes.
+pub struct Tracer {
+    cfg: TraceConfig,
+    /// Function span starts, sorted; span `i` covers
+    /// `[starts[i], starts[i+1])` (the last one ends at `text_end`).
+    /// Padding between functions is attributed to the preceding one.
+    starts: Vec<VAddr>,
+    names: Vec<String>,
+    text_end: VAddr,
+    // --- attribution state -------------------------------------------
+    cur: usize,
+    last_cycles: u64,
+    last_misses: u64,
+    /// Deci-cycles attributed to the current folded stack but not yet
+    /// flushed into `folded` (flushed on any stack/function change).
+    pending_fold: u64,
+    pending_stack: PendingStack,
+    stack: Vec<usize>,
+    folded: HashMap<String, u64>,
+    // Per-function accumulators, parallel to `starts`, plus one trailing
+    // slot for UNKNOWN.
+    self_cycles: Vec<u64>,
+    insns: Vec<u64>,
+    misses: Vec<u64>,
+    calls: Vec<u64>,
+    // --- heap telemetry ----------------------------------------------
+    allocs: u64,
+    frees: u64,
+    peak_live: u64,
+    peak_resident: u64,
+    timeline: Vec<HeapSample>,
+    timeline_stride: u64,
+    heap_events: u64,
+    // --- event ring --------------------------------------------------
+    events: VecDeque<TraceEvent>,
+    dropped_events: u64,
+}
+
+impl Tracer {
+    /// Builds a tracer for `image`, deriving function spans from its
+    /// symbol table (functions and booby traps).
+    pub fn new(image: &Image, cfg: TraceConfig) -> Tracer {
+        let mut funcs: Vec<(VAddr, String)> = image
+            .symbols
+            .iter()
+            .filter(|s| matches!(s.kind, SymbolKind::Function | SymbolKind::BoobyTrap))
+            .map(|s| (s.addr, s.name.clone()))
+            .collect();
+        funcs.sort_unstable_by_key(|&(a, _)| a);
+        funcs.dedup_by_key(|&mut (a, _)| a);
+        let (starts, names): (Vec<_>, Vec<_>) = funcs.into_iter().unzip();
+        let slots = starts.len() + 1;
+        Tracer {
+            cfg,
+            starts,
+            names,
+            text_end: image.layout.text_end,
+            cur: UNKNOWN,
+            last_cycles: 0,
+            last_misses: 0,
+            pending_fold: 0,
+            pending_stack: PendingStack::None,
+            stack: Vec::with_capacity(64),
+            folded: HashMap::new(),
+            self_cycles: vec![0; slots],
+            insns: vec![0; slots],
+            misses: vec![0; slots],
+            calls: vec![0; slots],
+            allocs: 0,
+            frees: 0,
+            peak_live: 0,
+            peak_resident: 0,
+            timeline: Vec::new(),
+            timeline_stride: 1,
+            heap_events: 0,
+            events: VecDeque::new(),
+            dropped_events: 0,
+        }
+    }
+
+    fn span_of(&self, addr: VAddr) -> usize {
+        if addr >= self.text_end {
+            return UNKNOWN;
+        }
+        match self.starts.partition_point(|&s| s <= addr) {
+            0 => UNKNOWN,
+            i => i - 1,
+        }
+    }
+
+    fn slot(&self, idx: usize) -> usize {
+        if idx == UNKNOWN {
+            self.names.len()
+        } else {
+            idx
+        }
+    }
+
+    fn name(&self, idx: usize) -> &str {
+        if idx == UNKNOWN {
+            "?"
+        } else {
+            &self.names[idx]
+        }
+    }
+
+    fn fold_key(&self) -> String {
+        let mut key = String::new();
+        for &f in &self.stack {
+            key.push_str(self.name(f));
+            key.push(';');
+        }
+        key.push_str(self.name(self.cur));
+        key
+    }
+
+    fn flush_fold(&mut self) {
+        if self.pending_fold > 0 {
+            let key = self.fold_key();
+            *self.folded.entry(key).or_insert(0) += self.pending_fold;
+            self.pending_fold = 0;
+        }
+    }
+
+    /// Per-instruction hook: called with the address of the instruction
+    /// about to execute and the cycle/miss counters *before* it is
+    /// charged, so the delta since the last call is the full cost of the
+    /// previously executed instruction.
+    #[inline]
+    pub fn step(&mut self, addr: VAddr, cycles: u64, icache_misses: u64) {
+        let dc = cycles - self.last_cycles;
+        let dm = icache_misses - self.last_misses;
+        self.last_cycles = cycles;
+        self.last_misses = icache_misses;
+        let slot = self.slot(self.cur);
+        self.self_cycles[slot] += dc;
+        self.misses[slot] += dm;
+        self.pending_fold += dc;
+        match self.pending_stack {
+            PendingStack::Push => {
+                self.flush_fold();
+                self.stack.push(self.cur);
+            }
+            PendingStack::Pop => {
+                self.flush_fold();
+                self.stack.pop();
+            }
+            PendingStack::None => {}
+        }
+        self.pending_stack = PendingStack::None;
+        let f = self.span_of(addr);
+        if f != self.cur {
+            self.flush_fold();
+            self.cur = f;
+        }
+        let fslot = self.slot(f);
+        self.insns[fslot] += 1;
+    }
+
+    /// Hook for an executed `call`/`callind` at `at` targeting `target`.
+    /// The shadow-stack push takes effect at the next [`Tracer::step`]
+    /// (the callee's first instruction), after the call instruction's
+    /// own cost lands on the caller.
+    pub fn on_call(&mut self, at: VAddr, target: VAddr) {
+        let slot = self.slot(self.cur);
+        self.calls[slot] += 1;
+        self.pending_stack = PendingStack::Push;
+        self.record_event(TraceEvent::Call { at, target });
+    }
+
+    /// Hook for an executed `ret` at `at`.
+    pub fn on_ret(&mut self, at: VAddr) {
+        self.pending_stack = PendingStack::Pop;
+        self.record_event(TraceEvent::Ret { at });
+    }
+
+    /// Hook for the start of an activation (entry call, constructor,
+    /// attacker-driven call): resets the shadow stack.
+    pub fn on_activation(&mut self) {
+        self.flush_fold();
+        self.stack.clear();
+        self.pending_stack = PendingStack::None;
+        self.cur = UNKNOWN;
+    }
+
+    /// Attributes all outstanding cost (called when a run finishes, so
+    /// the final instruction's cost is not lost).
+    pub fn sync(&mut self, cycles: u64, icache_misses: u64) {
+        let dc = cycles - self.last_cycles;
+        let dm = icache_misses - self.last_misses;
+        self.last_cycles = cycles;
+        self.last_misses = icache_misses;
+        let slot = self.slot(self.cur);
+        self.self_cycles[slot] += dc;
+        self.misses[slot] += dm;
+        self.pending_fold += dc;
+        self.flush_fold();
+    }
+
+    /// Hook for a successful allocation (`ptr` is 0 on exhaustion).
+    pub fn on_alloc(&mut self, ptr: VAddr, size: u64, live: u64, resident: u64, insns: u64) {
+        if ptr != 0 {
+            self.allocs += 1;
+        }
+        self.record_event(TraceEvent::Alloc { ptr, size });
+        self.heap_sample(live, resident, insns);
+    }
+
+    /// Hook for a free.
+    pub fn on_free(&mut self, ptr: VAddr, live: u64, resident: u64, insns: u64) {
+        self.frees += 1;
+        self.record_event(TraceEvent::Free { ptr });
+        self.heap_sample(live, resident, insns);
+    }
+
+    /// Hook for a guest `mprotect`.
+    pub fn on_protect(&mut self, addr: VAddr, len: u64, perms: Perms) {
+        self.record_event(TraceEvent::Protect { addr, len, perms });
+    }
+
+    /// Hook for a fault ending the run.
+    pub fn on_fault(&mut self, f: &Fault) {
+        self.record_event(TraceEvent::Fault {
+            desc: f.to_string(),
+        });
+    }
+
+    fn heap_sample(&mut self, live: u64, resident: u64, insns: u64) {
+        self.peak_live = self.peak_live.max(live);
+        self.peak_resident = self.peak_resident.max(resident);
+        self.heap_events += 1;
+        if !self.heap_events.is_multiple_of(self.timeline_stride) {
+            return;
+        }
+        self.timeline.push(HeapSample {
+            instructions: insns,
+            live_bytes: live,
+            resident_pages: resident,
+        });
+        if self.timeline.len() >= self.cfg.heap_timeline_capacity.max(2) {
+            // Thin: keep every other sample and sample half as often.
+            let mut i = 0;
+            self.timeline.retain(|_| {
+                i += 1;
+                i % 2 == 1
+            });
+            self.timeline_stride *= 2;
+        }
+    }
+
+    fn record_event(&mut self, e: TraceEvent) {
+        if self.cfg.event_capacity == 0 {
+            self.dropped_events += 1;
+            return;
+        }
+        if self.events.len() >= self.cfg.event_capacity {
+            self.events.pop_front();
+            self.dropped_events += 1;
+        }
+        self.events.push_back(e);
+    }
+
+    /// Builds the profile snapshot. `totals` are the run's statistics
+    /// (taken from the VM, identical to an untraced run).
+    pub fn profile(&self, totals: ExecStats) -> ExecProfile {
+        let mut funcs: Vec<FuncProfile> = Vec::new();
+        for slot in 0..self.self_cycles.len() {
+            if self.self_cycles[slot] == 0 && self.insns[slot] == 0 && self.calls[slot] == 0 {
+                continue;
+            }
+            let name = if slot == self.names.len() {
+                "?".to_string()
+            } else {
+                self.names[slot].clone()
+            };
+            funcs.push(FuncProfile {
+                name,
+                self_cycles: self.self_cycles[slot],
+                instructions: self.insns[slot],
+                icache_misses: self.misses[slot],
+                calls: self.calls[slot],
+            });
+        }
+        funcs.sort_by(|a, b| b.self_cycles.cmp(&a.self_cycles).then(a.name.cmp(&b.name)));
+        let mut folded: Vec<(String, u64)> =
+            self.folded.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        // Any cost not yet flushed belongs to the current stack.
+        if self.pending_fold > 0 {
+            let key = self.fold_key();
+            match folded.iter_mut().find(|(k, _)| *k == key) {
+                Some(row) => row.1 += self.pending_fold,
+                None => folded.push((key, self.pending_fold)),
+            }
+        }
+        folded.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ExecProfile {
+            totals,
+            funcs,
+            folded,
+            heap: HeapTelemetry {
+                allocs: self.allocs,
+                frees: self.frees,
+                peak_live_bytes: self.peak_live,
+                peak_resident_pages: self.peak_resident,
+                end_live_bytes: 0,
+                end_resident_pages: 0,
+                released_pages: 0,
+                quarantined_pages: 0,
+                timeline: self.timeline.clone(),
+            },
+            events: self.events.iter().cloned().collect(),
+            dropped_events: self.dropped_events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{Image, SectionLayout};
+    use crate::insn::Insn;
+
+    fn tiny_image() -> Image {
+        Image {
+            insns: vec![Insn::Ret],
+            insn_addrs: vec![0x40_0000],
+            layout: SectionLayout {
+                text_base: 0x40_0000,
+                text_end: 0x40_1000,
+                data_base: 0x60_0000,
+                data_end: 0x60_1000,
+                heap_base: 0x10_0000_0000,
+                heap_size: 1 << 20,
+                stack_top: 0x7fff_ffff_f000,
+                stack_size: 1 << 20,
+            },
+            entry: 0x40_0000,
+            constructors: vec![],
+            data_init: vec![],
+            xom: true,
+            symbols: vec![],
+            natives: vec![],
+            unwind: Default::default(),
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let mut t = Tracer::new(
+            &tiny_image(),
+            TraceConfig {
+                event_capacity: 4,
+                ..Default::default()
+            },
+        );
+        for i in 0..10 {
+            t.on_ret(i);
+        }
+        let p = t.profile(ExecStats::default());
+        assert_eq!(p.events.len(), 4);
+        assert_eq!(p.dropped_events, 6);
+        assert_eq!(p.events[0], TraceEvent::Ret { at: 6 });
+    }
+
+    #[test]
+    fn heap_timeline_thins_but_keeps_peaks() {
+        let mut t = Tracer::new(
+            &tiny_image(),
+            TraceConfig {
+                event_capacity: 0,
+                heap_timeline_capacity: 8,
+            },
+        );
+        for i in 0..1000u64 {
+            t.on_alloc(16, 16, i * 10, i, i);
+        }
+        assert!(
+            t.timeline.len() < 8,
+            "timeline kept {} samples",
+            t.timeline.len()
+        );
+        assert_eq!(t.peak_live, 999 * 10);
+        assert_eq!(t.peak_resident, 999);
+    }
+}

@@ -58,7 +58,7 @@ proptest! {
                         // Never free a guard-bearing allocation in this
                         // model (guards stay allocated, as in R²C).
                         if !guards.contains(&p) {
-                            heap.free(p).unwrap();
+                            heap.free(&mut mem, p).unwrap();
                         } else {
                             live.push((p, 0));
                         }
@@ -89,6 +89,13 @@ proptest! {
                     w[0],
                     w[1]
                 );
+            }
+            // Bookkeeping matches what is actually mapped: live pages
+            // mapped, in_use == Σ live sizes, quarantined pages are
+            // no-access, and nothing stays resident-writable without a
+            // live owner.
+            if let Err(e) = heap.check_invariants(&mem) {
+                prop_assert!(false, "heap invariant violated: {e}");
             }
         }
         // Guard pages still guarded at the end (no allocation un-guarded

@@ -1,0 +1,175 @@
+//! Regression suite for heap page lifetime: free churn must not grow
+//! the resident set beyond the live set (plus the small quarantine),
+//! use-after-free must fault instead of silently succeeding, and the
+//! VM monitor must classify a dangling dereference of a quarantined
+//! page as a guard-page detection.
+
+use r2c_vm::heap::{Heap, DEFAULT_QUARANTINE_PAGES};
+use r2c_vm::image::{Image, NativeKind, SectionLayout, Symbol, SymbolKind};
+use r2c_vm::machine::MachineKind;
+use r2c_vm::{Detection, Fault, Insn, Memory, Perms, Vm, VmConfig, PAGE_SIZE};
+
+const HEAP_BASE: u64 = 0x10_0000_0000;
+const HEAP_SIZE: u64 = 64 * 1024 * 1024;
+
+fn setup() -> (Memory, Heap) {
+    (Memory::new(), Heap::new(HEAP_BASE, HEAP_SIZE))
+}
+
+/// The headline regression: a malloc/free loop used to leave every
+/// touched page resident forever, driving `max_resident_pages` toward
+/// the arena size. Now the peak is bounded by the peak live set plus
+/// the quarantine.
+#[test]
+fn churn_loop_does_not_drive_maxrss_to_arena_size() {
+    let (mut mem, mut heap) = setup();
+    let sizes = [256u64, 4096, 64 * 1024, 1536, 8 * 4096];
+    for i in 0..500 {
+        let sz = sizes[i % sizes.len()];
+        let p = heap.malloc(&mut mem, sz).unwrap();
+        mem.write_u64(p, i as u64).unwrap();
+        heap.free(&mut mem, p).unwrap();
+    }
+    let peak_live_pages = (64 * 1024 / PAGE_SIZE) as usize + 1;
+    assert!(
+        mem.max_resident_pages() <= peak_live_pages + DEFAULT_QUARANTINE_PAGES,
+        "max_resident_pages = {} but peak live is only {} pages",
+        mem.max_resident_pages(),
+        peak_live_pages
+    );
+    heap.check_invariants(&mem).unwrap();
+}
+
+/// Interleaved churn with a few long-lived allocations: residency stays
+/// within live + quarantine, never accumulating freed pages.
+#[test]
+fn interleaved_churn_residency_tracks_live_bytes() {
+    let (mut mem, mut heap) = setup();
+    let keep: Vec<u64> = (0..4)
+        .map(|_| heap.malloc(&mut mem, 2 * PAGE_SIZE).unwrap())
+        .collect();
+    for round in 0..100u64 {
+        let a = heap.malloc(&mut mem, 16 * PAGE_SIZE).unwrap();
+        let b = heap.malloc(&mut mem, 3 * PAGE_SIZE + 24).unwrap();
+        mem.write_u64(a, round).unwrap();
+        mem.write_u64(b, round).unwrap();
+        heap.free(&mut mem, a).unwrap();
+        heap.free(&mut mem, b).unwrap();
+        // Steady state: live pages (the kept allocations) + quarantine.
+        let live_pages = heap
+            .live_allocations()
+            .map(|(a, s)| ((a + s).div_ceil(PAGE_SIZE) - a / PAGE_SIZE) as usize)
+            .sum::<usize>();
+        assert!(
+            mem.resident_pages() <= live_pages + DEFAULT_QUARANTINE_PAGES + 1,
+            "round {round}: resident {} pages for {live_pages} live pages",
+            mem.resident_pages()
+        );
+    }
+    for k in keep {
+        assert!(mem.read_u64(k).is_ok(), "long-lived allocation unreadable");
+    }
+    heap.check_invariants(&mem).unwrap();
+}
+
+/// Classic use-after-free: reads and writes through a dangling pointer
+/// fault (quarantined page → protection fault on the no-access page;
+/// after eviction → unmapped fault). Either way the access no longer
+/// silently succeeds.
+#[test]
+fn uaf_faults_instead_of_reading_stale_bytes() {
+    let (mut mem, mut heap) = setup();
+    let p = heap.malloc(&mut mem, PAGE_SIZE).unwrap();
+    mem.write_u64(p, 0x5ec2e7).unwrap();
+    heap.free(&mut mem, p).unwrap();
+    assert!(matches!(
+        mem.read_u64(p),
+        Err(Fault::Protection { perms, .. }) if perms == Perms::NONE
+    ));
+    assert!(mem.write_u64(p, 1).is_err());
+    // Push the page out of quarantine with more churn; the dangling
+    // pointer then hits unmapped memory.
+    for _ in 0..4 {
+        let q = heap
+            .malloc(&mut mem, (DEFAULT_QUARANTINE_PAGES as u64 + 2) * PAGE_SIZE)
+            .unwrap();
+        heap.free(&mut mem, q).unwrap();
+    }
+    assert!(matches!(mem.read_u64(p), Err(Fault::Unmapped { .. })));
+}
+
+/// `in_use`/`live_allocations` accounting stays aligned with what is
+/// actually mapped across an exhaustion-heavy memalign workload
+/// (the historical leak: padding extents around failed or page-aligned
+/// requests).
+#[test]
+fn memalign_exhaustion_accounting() {
+    let mut mem = Memory::new();
+    let mut heap = Heap::new(HEAP_BASE, 16 * PAGE_SIZE);
+    let mut live = Vec::new();
+    // Alternate page-aligned and tiny requests until exhaustion.
+    while let Some(p) = heap.memalign(&mut mem, PAGE_SIZE, PAGE_SIZE) {
+        live.push(p);
+        if heap.malloc(&mut mem, 24).is_none() {
+            break;
+        }
+    }
+    // Oversized and overflowing requests must fail cleanly.
+    assert!(heap.memalign(&mut mem, PAGE_SIZE, 32 * PAGE_SIZE).is_none());
+    assert!(heap.memalign(&mut mem, 1 << 62, PAGE_SIZE).is_none());
+    assert!(heap.malloc(&mut mem, u64::MAX - 8).is_none());
+    heap.check_invariants(&mem).unwrap();
+    let total: u64 = heap.live_allocations().map(|(_, s)| s).sum();
+    assert_eq!(heap.in_use(), total);
+    for p in live {
+        heap.free(&mut mem, p).unwrap();
+    }
+    heap.check_invariants(&mem).unwrap();
+}
+
+/// A hand-assembled guest whose dangling dereference is classified by
+/// the VM monitor as a guard-page detection — the reactive R²C path
+/// now covers use-after-free.
+#[test]
+fn vm_records_guard_page_detection_for_uaf() {
+    let text_base = 0x40_0000u64;
+    let insns = vec![Insn::Ret];
+    let image = Image {
+        insns: insns.clone(),
+        insn_addrs: vec![text_base],
+        layout: SectionLayout {
+            text_base,
+            text_end: text_base + PAGE_SIZE,
+            data_base: 0x60_0000,
+            data_end: 0x60_4000,
+            heap_base: HEAP_BASE,
+            heap_size: 16 * 1024 * 1024,
+            stack_top: 0x7fff_ffff_f000,
+            stack_size: 1024 * 1024,
+        },
+        entry: text_base,
+        constructors: vec![],
+        data_init: vec![],
+        xom: true,
+        symbols: vec![Symbol {
+            name: "main".into(),
+            addr: text_base,
+            size: 0,
+            kind: SymbolKind::Function,
+        }],
+        natives: vec![NativeKind::Malloc, NativeKind::Free],
+        unwind: Default::default(),
+    };
+    let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));
+    let p = vm.heap.malloc(&mut vm.mem, PAGE_SIZE).unwrap();
+    vm.mem.write_u64(p, 42).unwrap();
+    vm.heap.free(&mut vm.mem, p).unwrap();
+    // The attacker's dangling read hits the quarantined page and is
+    // recorded exactly like a BTDP guard-page hit.
+    assert!(vm.attacker_read_u64(p).is_err());
+    assert!(
+        matches!(vm.detections(), [Detection::GuardPage { addr }] if *addr == p),
+        "expected a guard-page detection, got {:?}",
+        vm.detections()
+    );
+}
