@@ -3,8 +3,12 @@
 //! Some servers (nginx, Apache, OpenSSH) restart crashed workers
 //! without re-randomizing the binary image, so an attacker can probe
 //! addresses one by one, treating each crash as information. We model
-//! the worker as a fresh [`Vm`] per probe *on the same image* — same
-//! layout every restart.
+//! the restart with [`Vm::reset_to_image`]: the same image every time,
+//! rolled back to its load state between probes. The reset is audited —
+//! no detections, [`ExecStats`](r2c_vm::ExecStats), heap state or
+//! output survive it (see the `worker_restart_leaks_nothing` test), so
+//! probing a reset worker is observationally identical to probing a
+//! freshly constructed one, only without the per-probe rebuild cost.
 //!
 //! The attacker scans for the `privileged` function by hijacking
 //! candidate addresses with the magic argument and watching for the
@@ -54,6 +58,18 @@ pub fn blind_rop(image: &Image, max_probes: u32) -> BlindRopResult {
         .unwrap_or(image.layout.text_base);
     drop(vm);
 
+    // The worker pool: one VM, reset to the image's load state per
+    // probe (restart without re-randomization). A small budget models
+    // the watchdog killing hung workers.
+    let mut worker = Vm::new(
+        image,
+        VmConfig {
+            machine: MachineKind::EpycRome.config(),
+            insn_budget: 200_000,
+            break_on_probe: false,
+        },
+    );
+
     // Scan outward from the leak at 16-byte granularity (function
     // entries are 16-aligned), alternating directions.
     let mut probes = 0;
@@ -64,17 +80,10 @@ pub fn blind_rop(image: &Image, max_probes: u32) -> BlindRopResult {
         if candidate < image.layout.text_base || candidate >= image.layout.text_end {
             continue;
         }
+        if probes > 0 {
+            worker.reset_to_image();
+        }
         probes += 1;
-        // Fresh worker (restart), same image: no re-randomization. A
-        // small budget models the watchdog killing hung workers.
-        let mut worker = Vm::new(
-            image,
-            VmConfig {
-                machine: MachineKind::EpycRome.config(),
-                insn_budget: 200_000,
-                break_on_probe: false,
-            },
-        );
         let out = worker.call(candidate, &[MAGIC_ARG as u64]);
         match out.status {
             r2c_vm::ExitStatus::Exited(_) if privileged_fired_with_magic(&worker) => {
@@ -114,6 +123,128 @@ mod tests {
     use super::*;
     use crate::victim::build_victim;
     use r2c_core::R2cConfig;
+    use r2c_vm::{ExitStatus, SymbolKind};
+
+    /// The audit behind the reset-based worker pool: after
+    /// `reset_to_image`, *nothing* from the previous probe survives —
+    /// not detections, not stats, not heap or output state — and a
+    /// rebooted worker behaves bit-identically to a fresh one. If a
+    /// future `Vm` field is forgotten in the reset, this test catches
+    /// the leak.
+    #[test]
+    fn worker_restart_leaks_nothing() {
+        let v = build_victim(R2cConfig::full(2));
+        let cfg = VmConfig::new(MachineKind::EpycRome.config());
+        let mut fresh = Vm::new(&v.image, cfg);
+        let fresh_out = fresh.run();
+
+        let mut worker = Vm::new(&v.image, cfg);
+        assert!(worker.run().status.is_exit());
+        // Dirty the output channel (the compromise oracle reads it) ...
+        let priv_addr = v.image.symbol("privileged").unwrap().addr;
+        assert!(worker.call(priv_addr, &[MAGIC_ARG as u64]).status.is_exit());
+        // ... then trip a booby trap so a detection is on record.
+        let trap = v
+            .image
+            .symbols
+            .iter()
+            .find(|s| s.kind == SymbolKind::BoobyTrap)
+            .expect("full config plants booby traps")
+            .addr;
+        let out = worker.call(trap, &[MAGIC_ARG as u64]);
+        assert!(matches!(out.status, ExitStatus::Faulted(f) if f.is_detection()));
+        assert!(!worker.detections().is_empty());
+        assert!(worker.heap.in_use() > 0, "victim leaves live heap objects");
+        assert!(
+            !worker.output.is_empty(),
+            "privileged call must emit output"
+        );
+        assert!(!worker.probes.is_empty(), "victim plants stack probes");
+
+        worker.reset_to_image();
+        assert!(
+            worker.detections().is_empty(),
+            "stale detection leaked across the restart"
+        );
+        assert_eq!(worker.stats().instructions, 0, "stale ExecStats leaked");
+        assert_eq!(worker.heap.in_use(), 0, "stale heap state leaked");
+        assert_eq!(worker.heap.alloc_count, 0);
+        assert!(worker.output.is_empty(), "stale output leaked");
+        assert!(worker.probes.is_empty(), "stale probe snapshots leaked");
+
+        let out2 = worker.run();
+        assert_eq!(out2.status, fresh_out.status);
+        assert_eq!(out2.stats, fresh_out.stats, "restarted worker diverged");
+        assert_eq!(worker.output, fresh.output);
+        assert_eq!(worker.detections(), fresh.detections());
+    }
+
+    /// The reset-based pool must be observationally identical to the
+    /// old (slow) fresh-`Vm`-per-probe model.
+    #[test]
+    fn reset_pool_matches_fresh_vm_per_probe() {
+        fn fresh_vm_reference(image: &Image, max_probes: u32) -> BlindRopResult {
+            let vm = run_victim(image);
+            let (_rsp, words) = probe_words(&vm);
+            let start = words
+                .iter()
+                .copied()
+                .find(|&w| image.layout.region_of(w) == Some(Region::Text))
+                .unwrap_or(image.layout.text_base);
+            drop(vm);
+            let mut probes = 0;
+            let mut step: i64 = 0;
+            while probes < max_probes {
+                let candidate = (start & !15).wrapping_add_signed(16 * step);
+                step = if step >= 0 { -(step + 1) } else { -step };
+                if candidate < image.layout.text_base || candidate >= image.layout.text_end {
+                    continue;
+                }
+                probes += 1;
+                let mut worker = Vm::new(
+                    image,
+                    VmConfig {
+                        machine: MachineKind::EpycRome.config(),
+                        insn_budget: 200_000,
+                        break_on_probe: false,
+                    },
+                );
+                let out = worker.call(candidate, &[MAGIC_ARG as u64]);
+                match out.status {
+                    r2c_vm::ExitStatus::Exited(_) if privileged_fired_with_magic(&worker) => {
+                        return BlindRopResult {
+                            outcome: BlindOutcome::Success,
+                            probes,
+                        };
+                    }
+                    r2c_vm::ExitStatus::Faulted(f) if f.is_detection() => {
+                        return BlindRopResult {
+                            outcome: BlindOutcome::Detected,
+                            probes,
+                        };
+                    }
+                    _ => {}
+                }
+            }
+            BlindRopResult {
+                outcome: BlindOutcome::Exhausted,
+                probes,
+            }
+        }
+
+        for (cfg, budget) in [
+            (R2cConfig::baseline(21), 2000),
+            (R2cConfig::full(4), 1500),
+            (R2cConfig::full(9), 1500),
+        ] {
+            let v = build_victim(cfg);
+            assert_eq!(
+                blind_rop(&v.image, budget),
+                fresh_vm_reference(&v.image, budget),
+                "reset-based pool diverged from fresh-VM pool under {cfg:?}"
+            );
+        }
+    }
 
     #[test]
     fn blind_rop_succeeds_on_unprotected() {

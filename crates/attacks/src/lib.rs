@@ -31,6 +31,7 @@ pub mod aocr;
 pub mod blindrop;
 pub mod jitrop;
 pub mod knowledge;
+pub mod matrix;
 pub mod outcome;
 pub mod pirop;
 pub mod rop;
@@ -38,5 +39,6 @@ pub mod victim;
 pub mod zeroing;
 
 pub use knowledge::AttackerKnowledge;
+pub use matrix::{blind_rop_stats, matrix_cell, matrix_cells, BlindRopStats, MatrixCell};
 pub use outcome::Outcome;
 pub use victim::{build_victim, victim_module, VictimBuild, MAGIC_ARG, PRIV_MARKER};

@@ -1,0 +1,183 @@
+//! The §7.2 attack matrix as a library.
+//!
+//! The `report_security` bench binary and the golden security-regression
+//! suite (`tests/security_golden.rs`) must agree on what "the attack
+//! matrix" *is*, so the cell definitions live here: the canonical attack
+//! list, a deterministic per-cell Monte-Carlo driver, and the Blind-ROP
+//! campaign tally. Every number is a pure function of its arguments —
+//! the attack RNG is seeded per cell ([`CELL_RNG_SEED`]), victims use
+//! seeds `0..trials`, and the attacker profiles a fixed out-of-band
+//! variant ([`PROFILE_SEED`]) — so two runs anywhere agree bit-for-bit.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use r2c_core::R2cConfig;
+
+use crate::blindrop::{blind_rop, BlindOutcome};
+use crate::knowledge::AttackerKnowledge;
+use crate::outcome::{Outcome, Tally};
+use crate::victim::{build_victim, run_victim};
+use crate::{aocr, jitrop, pirop, rop};
+
+/// Canonical row order of the §7.2 matrix.
+pub const MATRIX_ATTACKS: [&str; 5] = [
+    "ROP",
+    "JIT-ROP (direct)",
+    "JIT-ROP (indirect)",
+    "AOCR",
+    "PIROP",
+];
+
+/// Seed of the attacker-side profiling variant (outside `0..trials`, so
+/// the attacker never profiles the victim's own variant).
+pub const PROFILE_SEED: u64 = 0xA77AC0;
+
+/// Seed of each cell's attack RNG.
+pub const CELL_RNG_SEED: u64 = 0x5ec;
+
+/// One `(attack, configuration)` cell of the matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixCell {
+    /// Attack name (one of [`MATRIX_ATTACKS`]).
+    pub attack: &'static str,
+    /// `false` = unprotected baseline, `true` = full R²C.
+    pub protected: bool,
+    /// Aggregated outcomes over the cell's trials.
+    pub tally: Tally,
+}
+
+/// The 10 `(attack, protected)` pairs in canonical order — each attack
+/// against the unprotected baseline, then against full R²C. Callers can
+/// fan the pairs out across threads; each cell is independent.
+pub fn matrix_cells() -> Vec<(&'static str, bool)> {
+    MATRIX_ATTACKS
+        .iter()
+        .flat_map(|&a| [(a, false), (a, true)])
+        .collect()
+}
+
+/// Runs one matrix cell: `trials` attempts, one per independently
+/// diversified victim (seeds `0..trials`), against a shared attacker
+/// profile and a per-cell attack RNG.
+pub fn matrix_cell(attack: &'static str, protected: bool, trials: u64) -> MatrixCell {
+    let cfg = if protected {
+        R2cConfig::full(0)
+    } else {
+        R2cConfig::baseline(0)
+    };
+    let k = AttackerKnowledge::profile(&cfg, PROFILE_SEED);
+    let mut tally = Tally::default();
+    let mut rng = SmallRng::seed_from_u64(CELL_RNG_SEED);
+    for seed in 0..trials {
+        let v = build_victim(cfg.with_seed(seed));
+        let mut vm = run_victim(&v.image);
+        let out: Outcome = match attack {
+            "ROP" => rop::classic_rop(&mut vm, &v.image, &k, 4),
+            "JIT-ROP (direct)" => jitrop::direct_jitrop(&mut vm, &v.image),
+            "JIT-ROP (indirect)" => jitrop::indirect_jitrop(&mut vm, &v.image, &k, &mut rng),
+            "AOCR" => aocr::aocr_attack(&mut vm, &v.image, &k, &mut rng),
+            "PIROP" => pirop::pirop_attack(&mut vm, &v.image, &k),
+            other => panic!("unknown matrix attack {other:?}"),
+        };
+        tally.add(&out);
+    }
+    MatrixCell {
+        attack,
+        protected,
+        tally,
+    }
+}
+
+/// Aggregate of repeated Blind-ROP campaigns (§4.1/§7.3), one per
+/// independently diversified victim.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BlindRopStats {
+    /// Campaigns run.
+    pub campaigns: u32,
+    /// Campaigns that located and invoked `privileged` undetected.
+    pub successes: u32,
+    /// Campaigns stopped by a booby trap / guard page.
+    pub detected: u32,
+    /// Campaigns that exhausted the probe budget.
+    pub exhausted: u32,
+    /// Probes consumed by each successful campaign.
+    pub probes_to_success: Vec<u32>,
+    /// Probes consumed before each detection.
+    pub probes_to_detect: Vec<u32>,
+}
+
+impl BlindRopStats {
+    /// Mean probes across successful campaigns, if any succeeded.
+    pub fn avg_probes_to_success(&self) -> Option<f64> {
+        avg(&self.probes_to_success)
+    }
+
+    /// Mean probes across detected campaigns, if any were detected.
+    pub fn avg_probes_to_detect(&self) -> Option<f64> {
+        avg(&self.probes_to_detect)
+    }
+}
+
+fn avg(xs: &[u32]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Runs `campaigns` Blind-ROP campaigns (victim seeds `0..campaigns`)
+/// with at most `max_probes` worker restarts each.
+pub fn blind_rop_stats(protected: bool, campaigns: u64, max_probes: u32) -> BlindRopStats {
+    let cfg = if protected {
+        R2cConfig::full(0)
+    } else {
+        R2cConfig::baseline(0)
+    };
+    let mut stats = BlindRopStats {
+        campaigns: campaigns as u32,
+        ..BlindRopStats::default()
+    };
+    for seed in 0..campaigns {
+        let v = build_victim(cfg.with_seed(seed));
+        let r = blind_rop(&v.image, max_probes);
+        match r.outcome {
+            BlindOutcome::Success => {
+                stats.successes += 1;
+                stats.probes_to_success.push(r.probes);
+            }
+            BlindOutcome::Detected => {
+                stats.detected += 1;
+                stats.probes_to_detect.push(r.probes);
+            }
+            BlindOutcome::Exhausted => stats.exhausted += 1,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_are_deterministic() {
+        let a = matrix_cell("ROP", false, 3);
+        let b = matrix_cell("ROP", false, 3);
+        assert_eq!(a.tally, b.tally);
+        let s = blind_rop_stats(false, 2, 500);
+        assert_eq!(s, blind_rop_stats(false, 2, 500));
+        assert_eq!(s.campaigns, 2);
+        assert_eq!(s.successes + s.detected + s.exhausted, 2);
+    }
+
+    #[test]
+    fn cell_list_covers_every_attack_twice() {
+        let cells = matrix_cells();
+        assert_eq!(cells.len(), 2 * MATRIX_ATTACKS.len());
+        for &a in &MATRIX_ATTACKS {
+            assert!(cells.contains(&(a, false)) && cells.contains(&(a, true)));
+        }
+    }
+}

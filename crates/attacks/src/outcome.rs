@@ -44,7 +44,7 @@ impl Outcome {
 
 /// Aggregated Monte-Carlo statistics over repeated attack attempts
 /// against independently diversified variants.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Tally {
     /// Attempts that succeeded undetected.
     pub success: u32,

@@ -74,10 +74,14 @@ pub fn zeroing_attack(image: &Image) -> ZeroingResult {
         .map(|(i, _)| i)
         .collect();
 
+    // The restarting pool: the scout VM doubles as the worker, reset to
+    // the image's load state before every probe (same image, no
+    // re-randomization; the reset is audited to leak nothing between
+    // probes).
+    let mut worker = scout;
     for (attempt, &slot) in candidates.iter().enumerate() {
         let probes = attempt as u32 + 1;
-        // Fresh worker from the restarting pool, held at the block.
-        let mut worker = probe_vm(image);
+        worker.reset_to_image();
         if worker.run().status != ExitStatus::Probed {
             continue;
         }

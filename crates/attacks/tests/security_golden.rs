@@ -1,0 +1,265 @@
+//! Golden security-regression suite (ISSUE: PR 5, satellite 1).
+//!
+//! The §7.2 attack matrix and the §4.1 Blind-ROP campaign stats are
+//! recomputed from the shared [`r2c_attacks::matrix`] drivers and
+//! compared against a checked-in golden file. The comparison policy:
+//!
+//! * **success counts are exact** — an attack that starts (or stops)
+//!   succeeding against full R²C is a security regression, full stop;
+//! * detected/crashed/failed splits get a bounded tolerance (±30%, min
+//!   slack 2) — they shift when unrelated layout details move a wild
+//!   probe from "crash" to "booby trap";
+//! * Blind-ROP outcome counts are exact, probe counts get ±50% — the
+//!   probes-to-detection distance is the probabilistic quantity §7.3
+//!   reasons about.
+//!
+//! To re-record after an intentional change:
+//! `R2C_BLESS=1 cargo test -p r2c-attacks --test security_golden`
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use r2c_attacks::matrix::{blind_rop_stats, matrix_cell, matrix_cells, MATRIX_ATTACKS};
+
+/// Trials per matrix cell. Small compared to `report_security` (which
+/// uses 40/120) to keep the suite quick; the golden file pins the exact
+/// outcomes at this size.
+const TRIALS: u64 = 10;
+/// Blind-ROP campaigns per configuration and probe budget per campaign.
+const CAMPAIGNS: u64 = 4;
+const PROBE_BUDGET: u32 = 4000;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/security_golden.txt")
+}
+
+fn cfg_name(protected: bool) -> &'static str {
+    if protected {
+        "full"
+    } else {
+        "unprotected"
+    }
+}
+
+/// Renders the current measurements in the golden format: one
+/// whitespace-separated record per line, `key=value` fields.
+fn render() -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# r2c security golden v1 (trials={TRIALS} campaigns={CAMPAIGNS} budget={PROBE_BUDGET})"
+    );
+    // Fan the independent cells out across threads (the suite runs in
+    // debug CI too); results are collected back in canonical order.
+    let cells = matrix_cells();
+    let tallies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .iter()
+            .map(|&(attack, protected)| scope.spawn(move || matrix_cell(attack, protected, TRIALS)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for cell in &tallies {
+        let t = cell.tally;
+        let _ = writeln!(
+            s,
+            "matrix attack={} cfg={} success={} detected={} crashed={} failed={}",
+            cell.attack.replace(' ', "_"),
+            cfg_name(cell.protected),
+            t.success,
+            t.detected,
+            t.crashed,
+            t.failed
+        );
+    }
+    let (base, full) = std::thread::scope(|scope| {
+        let b = scope.spawn(|| blind_rop_stats(false, CAMPAIGNS, PROBE_BUDGET));
+        let f = scope.spawn(|| blind_rop_stats(true, CAMPAIGNS, PROBE_BUDGET));
+        (b.join().unwrap(), f.join().unwrap())
+    });
+    for (protected, stats) in [(false, base), (true, full)] {
+        let _ = writeln!(
+            s,
+            "blindrop cfg={} success={} detected={} exhausted={} probes_success={} probes_detect={}",
+            cfg_name(protected),
+            stats.successes,
+            stats.detected,
+            stats.exhausted,
+            join(&stats.probes_to_success),
+            join(&stats.probes_to_detect)
+        );
+    }
+    s
+}
+
+fn join(xs: &[u32]) -> String {
+    if xs.is_empty() {
+        "-".into()
+    } else {
+        xs.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Parses a golden/rendered blob into `record-key -> field map`.
+fn parse(blob: &str) -> BTreeMap<String, BTreeMap<String, String>> {
+    let mut out = BTreeMap::new();
+    for line in blob.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = BTreeMap::new();
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().unwrap().to_string();
+        for p in parts {
+            let (k, v) = p.split_once('=').unwrap_or_else(|| {
+                panic!("malformed golden field {p:?} in line {line:?}");
+            });
+            fields.insert(k.to_string(), v.to_string());
+        }
+        let key = match kind.as_str() {
+            "matrix" => format!("matrix/{}/{}", fields["attack"], fields["cfg"]),
+            "blindrop" => format!("blindrop/{}", fields["cfg"]),
+            other => panic!("unknown golden record kind {other:?}"),
+        };
+        out.insert(key, fields);
+    }
+    out
+}
+
+fn int(fields: &BTreeMap<String, String>, key: &str) -> i64 {
+    fields[key].parse().unwrap()
+}
+
+fn probe_list(fields: &BTreeMap<String, String>, key: &str) -> Vec<i64> {
+    let v = &fields[key];
+    if v == "-" {
+        Vec::new()
+    } else {
+        v.split(',').map(|x| x.parse().unwrap()).collect()
+    }
+}
+
+/// `got` within ±30% of `want`, with a minimum slack of 2 so tiny
+/// counts don't make the bound vacuous or impossible.
+fn within_tolerance(got: i64, want: i64) -> bool {
+    let slack = ((want as f64 * 0.3).ceil() as i64).max(2);
+    (got - want).abs() <= slack
+}
+
+#[test]
+fn security_matrix_matches_golden() {
+    let got_blob = render();
+    let path = golden_path();
+    if std::env::var_os("R2C_BLESS").is_some() {
+        std::fs::write(&path, &got_blob).unwrap();
+        return;
+    }
+    let want_blob = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run with R2C_BLESS=1 to record)",
+            path.display()
+        )
+    });
+    let got = parse(&got_blob);
+    let want = parse(&want_blob);
+    assert_eq!(
+        got.keys().collect::<Vec<_>>(),
+        want.keys().collect::<Vec<_>>(),
+        "record set changed — re-bless if intentional"
+    );
+
+    let mut errors = Vec::new();
+    for (key, w) in &want {
+        let g = &got[key];
+        if key.starts_with("matrix/") {
+            // Success counts are the security claim: exact.
+            if int(g, "success") != int(w, "success") {
+                errors.push(format!(
+                    "{key}: success {} != golden {}",
+                    int(g, "success"),
+                    int(w, "success")
+                ));
+            }
+            for field in ["detected", "crashed", "failed"] {
+                if !within_tolerance(int(g, field), int(w, field)) {
+                    errors.push(format!(
+                        "{key}: {field} {} outside tolerance of golden {}",
+                        int(g, field),
+                        int(w, field)
+                    ));
+                }
+            }
+        } else {
+            // Blind ROP: outcome counts exact; per-campaign probe
+            // counts within ±50% (and matching multiplicity).
+            for field in ["success", "detected", "exhausted"] {
+                if int(g, field) != int(w, field) {
+                    errors.push(format!(
+                        "{key}: {field} {} != golden {}",
+                        int(g, field),
+                        int(w, field)
+                    ));
+                }
+            }
+            for field in ["probes_success", "probes_detect"] {
+                let gp = probe_list(g, field);
+                let wp = probe_list(w, field);
+                if gp.len() != wp.len() {
+                    errors.push(format!(
+                        "{key}: {field} campaign count {} != golden {}",
+                        gp.len(),
+                        wp.len()
+                    ));
+                    continue;
+                }
+                for (i, (&a, &b)) in gp.iter().zip(&wp).enumerate() {
+                    let slack = ((b as f64 * 0.5).ceil() as i64).max(2);
+                    if (a - b).abs() > slack {
+                        errors.push(format!(
+                            "{key}: {field}[{i}] = {a} outside ±50% of golden {b}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        errors.is_empty(),
+        "security golden mismatch (R2C_BLESS=1 re-records after intentional changes):\n  {}",
+        errors.join("\n  ")
+    );
+}
+
+/// Independent of the golden numbers: the headline §7.2 claim. Full
+/// R²C must zero out every matrix attack at this trial count, and the
+/// unprotected baseline must fall to the classic ones.
+#[test]
+fn full_r2c_blocks_every_matrix_attack() {
+    let (rop_base, rop_full, direct_full) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| matrix_cell("ROP", false, TRIALS));
+        let b = scope.spawn(|| matrix_cell("ROP", true, TRIALS));
+        let c = scope.spawn(|| matrix_cell("JIT-ROP (direct)", true, TRIALS));
+        (a.join().unwrap(), b.join().unwrap(), c.join().unwrap())
+    });
+    assert!(
+        rop_base.tally.success == TRIALS as u32,
+        "classic ROP must reliably beat the unprotected baseline: {}",
+        rop_base.tally
+    );
+    assert_eq!(
+        rop_full.tally.success, 0,
+        "classic ROP must not beat full R2C: {}",
+        rop_full.tally
+    );
+    assert_eq!(
+        direct_full.tally.success, 0,
+        "XoM must stop direct code disclosure: {}",
+        direct_full.tally
+    );
+    assert_eq!(MATRIX_ATTACKS.len(), 5);
+}

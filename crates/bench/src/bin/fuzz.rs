@@ -68,6 +68,12 @@ fn matrix_for(preset: &str) -> OracleMatrix {
     match preset {
         "quick" => OracleMatrix::quick(),
         "full" => OracleMatrix::full(),
+        // Fleet determinism cell only (serial vs parallel r2c-serve).
+        "fleet-respawn" => OracleMatrix {
+            configs: vec![("fleet-respawn".to_string(), r2c_core::R2cConfig::full(0))],
+            machines: vec![MachineKind::EpycRome],
+            build_seeds: vec![1, 2],
+        },
         name => {
             let cfg = named_configs()
                 .into_iter()

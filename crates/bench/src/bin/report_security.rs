@@ -11,11 +11,10 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use r2c_attacks::blindrop::{blind_rop, BlindOutcome};
+use r2c_attacks::aocr;
 use r2c_attacks::knowledge::probe_words;
-use r2c_attacks::outcome::Tally;
+use r2c_attacks::matrix::{blind_rop_stats, matrix_cell, matrix_cells, MATRIX_ATTACKS};
 use r2c_attacks::victim::{build_victim, run_victim};
-use r2c_attacks::{aocr, jitrop, pirop, rop, AttackerKnowledge};
 use r2c_bench::{parallel_map, TablePrinter};
 use r2c_core::analysis::{p_guess_return_address, p_locate_chain, p_pick_benign_heap_pointer};
 use r2c_core::R2cConfig;
@@ -32,50 +31,17 @@ fn main() {
     t.row(&["attack".into(), "unprotected".into(), "full R2C".into()]);
     t.sep();
 
-    let base_cfg = R2cConfig::baseline(0);
     let full_cfg = R2cConfig::full(0);
-    let k_base = AttackerKnowledge::profile(&base_cfg, 0xA77AC0);
-    let k_full = AttackerKnowledge::profile(&full_cfg, 0xA77AC0);
 
-    // Each (attack, configuration) cell seeds its own attack RNG, so
-    // the cells are independent and fan out across threads; rows print
-    // in the original order afterwards.
-    type Attack = fn(
-        &mut r2c_vm::Vm,
-        &r2c_vm::Image,
-        &AttackerKnowledge,
-        &mut SmallRng,
-    ) -> r2c_attacks::Outcome;
-    let attacks: [(&str, Attack); 5] = [
-        ("ROP", |vm, img, k, _| rop::classic_rop(vm, img, k, 4)),
-        ("JIT-ROP (direct)", |vm, img, _, _| {
-            jitrop::direct_jitrop(vm, img)
-        }),
-        ("JIT-ROP (indirect)", |vm, img, k, rng| {
-            jitrop::indirect_jitrop(vm, img, k, rng)
-        }),
-        ("AOCR", |vm, img, k, rng| aocr::aocr_attack(vm, img, k, rng)),
-        ("PIROP", |vm, img, k, _| pirop::pirop_attack(vm, img, k)),
-    ];
-    let matrix_cells: Vec<(usize, bool)> = (0..attacks.len())
-        .flat_map(|a| [(a, false), (a, true)])
-        .collect();
-    let tallies = parallel_map(&matrix_cells, |&(a, protected)| {
-        let (cfg, k) = if protected {
-            (full_cfg, &k_full)
-        } else {
-            (base_cfg, &k_base)
-        };
-        let mut tally = Tally::default();
-        let mut rng = SmallRng::seed_from_u64(0x5ec);
-        for seed in 0..trials {
-            let v = build_victim(cfg.with_seed(seed));
-            let mut vm = run_victim(&v.image);
-            tally.add(&(attacks[a].1)(&mut vm, &v.image, k, &mut rng));
-        }
-        tally.to_string()
+    // The matrix itself lives in r2c-attacks (`matrix` module), shared
+    // with the golden security-regression suite; cells are independent
+    // (per-cell RNG), so they fan out across threads and the rows print
+    // in canonical order afterwards.
+    let cells = matrix_cells();
+    let tallies = parallel_map(&cells, |&(attack, protected)| {
+        matrix_cell(attack, protected, trials).tally.to_string()
     });
-    for (a, (name, _)) in attacks.iter().enumerate() {
+    for (a, name) in MATRIX_ATTACKS.iter().enumerate() {
         t.row(&[
             (*name).into(),
             tallies[2 * a].clone(),
@@ -85,30 +51,16 @@ fn main() {
 
     // Blind ROP: separate, because it consumes many worker restarts.
     {
-        let cfgs = [base_cfg, full_cfg];
-        let results = parallel_map(&cfgs, |&cfg| {
-            let mut successes = 0;
-            let mut detected = 0;
-            let mut probes_to_detect = Vec::new();
-            let n = (trials / 8).max(3);
-            for seed in 0..n {
-                let v = build_victim(cfg.with_seed(seed));
-                let r = blind_rop(&v.image, 4000);
-                match r.outcome {
-                    BlindOutcome::Success => successes += 1,
-                    BlindOutcome::Detected => {
-                        detected += 1;
-                        probes_to_detect.push(r.probes);
-                    }
-                    BlindOutcome::Exhausted => {}
-                }
-            }
-            if detected > 0 {
-                let avg: f64 =
-                    probes_to_detect.iter().map(|&p| p as f64).sum::<f64>() / detected as f64;
-                format!("success {successes}/{n}, detected {detected} (avg {avg:.0} probes)")
-            } else {
-                format!("success {successes}/{n}, detected 0")
+        let n = (trials / 8).max(3);
+        let protections = [false, true];
+        let results = parallel_map(&protections, |&protected| {
+            let s = blind_rop_stats(protected, n, 4000);
+            match s.avg_probes_to_detect() {
+                Some(avg) => format!(
+                    "success {}/{n}, detected {} (avg {avg:.0} probes)",
+                    s.successes, s.detected
+                ),
+                None => format!("success {}/{n}, detected 0", s.successes),
             }
         });
         let mut cells = vec!["Blind ROP".to_string()];

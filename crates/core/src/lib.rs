@@ -51,6 +51,7 @@ pub mod analysis;
 pub mod compiler;
 pub mod config;
 pub mod differential;
+pub mod pool;
 pub mod report;
 pub mod runtime;
 pub mod stats;
@@ -58,6 +59,7 @@ pub mod stats;
 pub use compiler::{BuildError, R2cCompiler, VariantInfo};
 pub use config::{Component, R2cConfig};
 pub use differential::{diff_against_reference, observe_variant, VariantObservation};
+pub use pool::{PoolStats, PooledVariant, TakeKind, VariantPool};
 pub use report::{CompileReport, FuncReport, PassTiming};
 
 // Re-export the names downstream users need most, so that `r2c-core`

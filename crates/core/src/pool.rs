@@ -1,0 +1,320 @@
+//! Warm variant pool: background pre-compilation of fresh-seed variants.
+//!
+//! Load-time re-randomization (paper §7.3) is only deployable if
+//! respawning a worker on a *fresh* variant is not much slower than
+//! restarting it on the same image. The pool makes respawn
+//! production-plausible: a small thread pool compiles variants for
+//! *announced* seeds in the background and parks the finished images in
+//! a bounded FIFO cache, so that when the monitor actually needs the
+//! variant, [`VariantPool::take`] usually returns a pre-built image (a
+//! **warm** take, map-lookup latency) instead of compiling inline (a
+//! **cold** take, full compile latency).
+//!
+//! Determinism contract: the image handed out for a seed is the one
+//! [`R2cCompiler`] deterministically produces for `(module, config,
+//! seed)` — *whether or not* the background thread won the race. Warm
+//! vs. cold only changes host-side latency, never guest-visible state,
+//! which is what lets the serving fleet keep its bit-identical
+//! parallel-vs-serial event logs while using the pool.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use r2c_ir::Module;
+use r2c_vm::Image;
+
+use crate::compiler::R2cCompiler;
+use crate::config::R2cConfig;
+
+/// How a [`VariantPool::take`] was served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TakeKind {
+    /// The variant was already compiled and cached: the take cost a map
+    /// lookup.
+    Warm,
+    /// A background thread was mid-compile; the take waited for it.
+    InFlight,
+    /// The seed was never prefetched (or was evicted): compiled inline.
+    Cold,
+}
+
+/// One delivered variant plus how long the caller waited for it.
+pub struct PooledVariant {
+    /// The deterministically compiled image for the requested seed.
+    pub image: Image,
+    /// Warm cache hit, in-flight wait, or inline cold compile.
+    pub kind: TakeKind,
+    /// Host wall-clock latency of the take as observed by the caller.
+    pub latency: Duration,
+}
+
+/// Aggregate pool counters (host-side observability only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Takes served from the ready cache.
+    pub warm: u64,
+    /// Takes that waited on an in-flight background compile.
+    pub in_flight: u64,
+    /// Takes compiled inline.
+    pub cold: u64,
+    /// Variants evicted from the bounded cache before being taken.
+    pub evicted: u64,
+    /// Background compiles completed.
+    pub prefetched: u64,
+}
+
+struct PoolState {
+    /// Seeds queued for background compilation, oldest first.
+    queue: VecDeque<u64>,
+    /// Finished variants awaiting a take.
+    ready: HashMap<u64, Image>,
+    /// FIFO order of `ready` keys, for bounded eviction.
+    ready_order: VecDeque<u64>,
+    /// Seeds a background thread is currently compiling.
+    in_flight: Vec<u64>,
+    stats: PoolStats,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signalled when work arrives (for workers) and when a compile
+    /// finishes (for takers waiting on an in-flight seed).
+    cv: Condvar,
+    module: Module,
+    cfg: R2cConfig,
+    capacity: usize,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn compile(&self, seed: u64) -> Image {
+        R2cCompiler::new(self.cfg.with_seed(seed))
+            .build(&self.module)
+            .expect("pool variant failed to build")
+    }
+}
+
+/// A bounded cache of pre-compiled diversified variants.
+///
+/// Dropping the pool shuts the background threads down and joins them.
+pub struct VariantPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl VariantPool {
+    /// Creates a pool compiling variants of `module` under `cfg` (the
+    /// seed is overridden per request). `capacity` bounds the ready
+    /// cache; `threads == 0` disables background compilation entirely,
+    /// making every take a measured cold compile.
+    pub fn new(module: &Module, cfg: R2cConfig, capacity: usize, threads: usize) -> VariantPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                ready: HashMap::new(),
+                ready_order: VecDeque::new(),
+                in_flight: Vec::new(),
+                stats: PoolStats::default(),
+            }),
+            cv: Condvar::new(),
+            module: module.clone(),
+            cfg,
+            capacity: capacity.max(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        VariantPool { shared, workers }
+    }
+
+    /// Announces that `seed`'s variant will be needed soon. A background
+    /// thread compiles it when one is free; duplicate announcements and
+    /// announcements with no background threads are ignored.
+    pub fn prefetch(&self, seed: u64) {
+        if self.workers.is_empty() {
+            return;
+        }
+        let mut st = self.shared.state.lock().unwrap();
+        if st.ready.contains_key(&seed) || st.in_flight.contains(&seed) || st.queue.contains(&seed)
+        {
+            return;
+        }
+        st.queue.push_back(seed);
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+
+    /// True if `seed`'s variant is compiled and parked in the cache.
+    pub fn is_ready(&self, seed: u64) -> bool {
+        self.shared.state.lock().unwrap().ready.contains_key(&seed)
+    }
+
+    /// Delivers the variant for `seed`, preferring the warm cache,
+    /// waiting for an in-flight background compile, and falling back to
+    /// an inline compile. The returned image is identical in all three
+    /// cases.
+    pub fn take(&self, seed: u64) -> PooledVariant {
+        let start = Instant::now();
+        let mut st = self.shared.state.lock().unwrap();
+        // Not yet picked up by a worker: claim it ourselves.
+        if let Some(pos) = st.queue.iter().position(|&s| s == seed) {
+            st.queue.remove(pos);
+        }
+        if let Some(image) = Self::pop_ready(&mut st, seed) {
+            st.stats.warm += 1;
+            return PooledVariant {
+                image,
+                kind: TakeKind::Warm,
+                latency: start.elapsed(),
+            };
+        }
+        if st.in_flight.contains(&seed) {
+            while st.in_flight.contains(&seed) {
+                st = self.shared.cv.wait(st).unwrap();
+            }
+            if let Some(image) = Self::pop_ready(&mut st, seed) {
+                st.stats.in_flight += 1;
+                return PooledVariant {
+                    image,
+                    kind: TakeKind::InFlight,
+                    latency: start.elapsed(),
+                };
+            }
+            // Evicted between finish and wake-up: fall through to cold.
+        }
+        st.stats.cold += 1;
+        drop(st);
+        let image = self.shared.compile(seed);
+        PooledVariant {
+            image,
+            kind: TakeKind::Cold,
+            latency: start.elapsed(),
+        }
+    }
+
+    fn pop_ready(st: &mut PoolState, seed: u64) -> Option<Image> {
+        let image = st.ready.remove(&seed)?;
+        st.ready_order.retain(|&s| s != seed);
+        Some(image)
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.shared.state.lock().unwrap().stats
+    }
+}
+
+impl Drop for VariantPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(sh: &Shared) {
+    loop {
+        let seed = {
+            let mut st = sh.state.lock().unwrap();
+            loop {
+                if sh.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(seed) = st.queue.pop_front() {
+                    st.in_flight.push(seed);
+                    break seed;
+                }
+                st = sh.cv.wait(st).unwrap();
+            }
+        };
+        let image = sh.compile(seed);
+        let mut st = sh.state.lock().unwrap();
+        st.in_flight.retain(|&s| s != seed);
+        st.stats.prefetched += 1;
+        if st.ready.len() >= sh.capacity {
+            if let Some(old) = st.ready_order.pop_front() {
+                st.ready.remove(&old);
+                st.stats.evicted += 1;
+            }
+        }
+        st.ready.insert(seed, image);
+        st.ready_order.push_back(seed);
+        drop(st);
+        sh.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_module() -> Module {
+        r2c_ir::parse_module(
+            "func @main(0) {\nentry:\n  %0 = const 11\n  %1 = extern print(%0)\n  ret %0\n}\n",
+        )
+        .unwrap()
+    }
+
+    fn image_fingerprint(image: &Image) -> (u64, usize) {
+        (image.entry, image.insns.len())
+    }
+
+    #[test]
+    fn warm_take_matches_cold_compile() {
+        let m = tiny_module();
+        let cfg = R2cConfig::full(0);
+        let pool = VariantPool::new(&m, cfg, 4, 1);
+        pool.prefetch(42);
+        while !pool.is_ready(42) {
+            std::thread::yield_now();
+        }
+        let warm = pool.take(42);
+        assert_eq!(warm.kind, TakeKind::Warm);
+
+        let cold_pool = VariantPool::new(&m, cfg, 4, 0);
+        let cold = cold_pool.take(42);
+        assert_eq!(cold.kind, TakeKind::Cold);
+        assert_eq!(
+            image_fingerprint(&warm.image),
+            image_fingerprint(&cold.image)
+        );
+        assert_eq!(warm.image.insn_addrs, cold.image.insn_addrs);
+    }
+
+    #[test]
+    fn unknown_seed_compiles_inline() {
+        let m = tiny_module();
+        let pool = VariantPool::new(&m, R2cConfig::full(0), 2, 1);
+        let v = pool.take(7);
+        assert_eq!(v.kind, TakeKind::Cold);
+        assert_eq!(pool.stats().cold, 1);
+    }
+
+    #[test]
+    fn cache_is_bounded_fifo() {
+        let m = tiny_module();
+        let pool = VariantPool::new(&m, R2cConfig::full(0), 2, 1);
+        for seed in 0..5 {
+            pool.prefetch(seed);
+        }
+        // Wait until all five background compiles have finished.
+        while pool.stats().prefetched < 5 {
+            std::thread::yield_now();
+        }
+        let st = pool.stats();
+        assert_eq!(st.evicted, 3);
+        // The two newest survive; an evicted seed falls back to cold.
+        assert!(pool.is_ready(3) && pool.is_ready(4));
+        assert_eq!(pool.take(0).kind, TakeKind::Cold);
+        assert_eq!(pool.take(4).kind, TakeKind::Warm);
+    }
+}

@@ -29,7 +29,9 @@ pub mod oracle;
 pub mod reduce;
 
 pub use gen::{generate, generate_with, GenConfig};
-pub use oracle::{named_configs, run_oracle, CaseVerdict, Divergence, MatrixCell, OracleMatrix};
+pub use oracle::{
+    named_configs, run_oracle, CaseVerdict, Divergence, MatrixCell, OracleMatrix, FLEET_CELL_PREFIX,
+};
 pub use reduce::{reduce, reproducer_source, Reduction, ReductionStats};
 
 use r2c_ir::Module;

@@ -11,6 +11,7 @@
 
 use r2c_core::{diff_against_reference, observe_variant, Component, R2cConfig};
 use r2c_ir::{interpret, InterpError, InterpResult, Module};
+use r2c_serve::{run_fleet, ExecMode, FleetConfig, ReactionPolicy, Schedule};
 use r2c_vm::MachineKind;
 
 /// Interpreter fuel per case. Generated programs are bounded by
@@ -79,7 +80,9 @@ pub fn named_configs() -> Vec<(String, R2cConfig)> {
 impl OracleMatrix {
     /// The smoke matrix: the presets most likely to disagree (none,
     /// everything, both BTRA modes, hardened) on one machine with two
-    /// variant seeds. ~12 builds per case.
+    /// variant seeds, plus a fleet cell ([`FLEET_CELL_PREFIX`]) that
+    /// checks serial/parallel fleet determinism on the generated
+    /// module. ~12 builds per case plus two small fleet runs.
     pub fn quick() -> OracleMatrix {
         let keep = [
             "baseline",
@@ -89,11 +92,13 @@ impl OracleMatrix {
             "comp-BTDP",
             "comp-Layout",
         ];
+        let mut configs: Vec<(String, R2cConfig)> = named_configs()
+            .into_iter()
+            .filter(|(n, _)| keep.contains(&n.as_str()))
+            .collect();
+        configs.push(("fleet-respawn".to_string(), R2cConfig::full(0)));
         OracleMatrix {
-            configs: named_configs()
-                .into_iter()
-                .filter(|(n, _)| keep.contains(&n.as_str()))
-                .collect(),
+            configs,
             machines: vec![MachineKind::EpycRome],
             build_seeds: vec![1, 2],
         }
@@ -196,6 +201,20 @@ pub fn run_oracle(module: &Module, matrix: &OracleMatrix) -> CaseVerdict {
     }
 }
 
+/// Config-name prefix marking a *fleet* cell. Such a cell does not diff
+/// one variant against the reference; it serves the module from a
+/// 2-worker `r2c-serve` fleet under `RespawnFreshVariant` and requires
+/// the parallel run to reproduce the serial monitor log and metrics
+/// bit-for-bit — the r2c-serve determinism contract, exercised on
+/// arbitrary generated modules instead of the hand-written victims. The
+/// prefix convention survives the reducer round-trip through
+/// [`OracleMatrix::single`], which rebuilds a cell from its name.
+pub const FLEET_CELL_PREFIX: &str = "fleet";
+
+/// Events per fleet-cell schedule (kept small: every event is a full
+/// guest run of the generated module).
+const FLEET_CELL_EVENTS: usize = 12;
+
 /// Checks one cell; `Some(details)` on divergence. A build failure —
 /// including an `r2c-check` finding, which fails the build because the
 /// oracle forces the checker on — counts as a divergence.
@@ -204,6 +223,9 @@ pub fn check_cell(
     reference: &InterpResult,
     cell: &MatrixCell,
 ) -> Option<Vec<String>> {
+    if cell.config_name.starts_with(FLEET_CELL_PREFIX) {
+        return check_fleet_cell(module, cell);
+    }
     let cfg = cell.config.with_seed(cell.build_seed);
     match observe_variant(module, cfg, cell.machine, VARIANT_INSN_BUDGET) {
         Ok(obs) => {
@@ -215,6 +237,42 @@ pub fn check_cell(
             }
         }
         Err(e) => Some(vec![format!("build failed: {e}")]),
+    }
+}
+
+fn check_fleet_cell(module: &Module, cell: &MatrixCell) -> Option<Vec<String>> {
+    let fc = FleetConfig {
+        fleet_seed: cell.build_seed,
+        machine: cell.machine,
+        event_budget: VARIANT_INSN_BUDGET,
+        ..FleetConfig::new(cell.config, ReactionPolicy::RespawnFreshVariant).entry_service()
+    };
+    let sched = Schedule::generate(0xF1EE7 ^ cell.build_seed, 2, FLEET_CELL_EVENTS, 250);
+    let serial = run_fleet(module, &fc, &sched, ExecMode::Serial);
+    let parallel = run_fleet(module, &fc, &sched, ExecMode::Parallel);
+    let mut details = Vec::new();
+    if serial.log != parallel.log {
+        let diff = serial
+            .log
+            .iter()
+            .zip(&parallel.log)
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| format!("serial {a:?} vs parallel {b:?}"))
+            .unwrap_or_else(|| {
+                format!("log lengths {} vs {}", serial.log.len(), parallel.log.len())
+            });
+        details.push(format!("fleet log diverged: {diff}"));
+    }
+    if serial.metrics != parallel.metrics {
+        details.push(format!(
+            "fleet metrics diverged: serial {:?} vs parallel {:?}",
+            serial.metrics, parallel.metrics
+        ));
+    }
+    if details.is_empty() {
+        None
+    } else {
+        Some(details)
     }
 }
 
@@ -251,7 +309,7 @@ mod tests {
 
     #[test]
     fn matrix_shapes() {
-        assert_eq!(OracleMatrix::quick().cells().len(), 6 * 2);
+        assert_eq!(OracleMatrix::quick().cells().len(), 7 * 2);
         assert_eq!(OracleMatrix::full().cells().len(), 10 * 2 * 3);
         assert_eq!(
             OracleMatrix::single("full", R2cConfig::full(0), MachineKind::EpycRome, 7)

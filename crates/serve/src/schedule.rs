@@ -1,0 +1,204 @@
+//! Seeded request/probe schedules with a record-replay text format.
+//!
+//! A [`Schedule`] is the complete, deterministic input of a fleet run:
+//! an ordered list of events, each targeting one worker with either a
+//! benign request or an attack probe. Schedules are generated from a
+//! seed, and can be serialized to a small line-oriented on-disk format
+//! so that interesting runs can be checked in and replayed bit-exactly
+//! (the replay tests under `tests/schedules/` pin the full monitor
+//! event log for two exemplar schedules).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What a scheduled event asks a worker to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// A benign service request with an opaque payload argument.
+    Request {
+        /// Argument passed to the service function.
+        payload: u64,
+    },
+    /// One attack-probe session step (a Blind-ROP-style hijack attempt
+    /// against the worker's current image).
+    Probe,
+}
+
+/// One scheduled event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Target worker index, `< Schedule::workers`.
+    pub worker: u32,
+    /// The operation.
+    pub op: Op,
+}
+
+/// A deterministic fleet input: the worker count plus the full event
+/// sequence. Event index in `events` is the schedule index used by the
+/// monitor log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Number of fleet workers the schedule addresses.
+    pub workers: u32,
+    /// The interleaved request/probe stream.
+    pub events: Vec<Event>,
+}
+
+impl Schedule {
+    /// Generates a schedule of `len` events over `workers` workers:
+    /// each event picks a uniform worker and is an attack probe with
+    /// probability `probe_per_mille`/1000, otherwise a benign request
+    /// with a small random payload.
+    pub fn generate(seed: u64, workers: u32, len: usize, probe_per_mille: u32) -> Schedule {
+        assert!(workers > 0, "schedule needs at least one worker");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let events = (0..len)
+            .map(|_| {
+                let worker = rng.gen_range(0..workers);
+                let op = if rng.gen_range(0..1000) < probe_per_mille {
+                    Op::Probe
+                } else {
+                    Op::Request {
+                        payload: rng.gen_range(0..997),
+                    }
+                };
+                Event { worker, op }
+            })
+            .collect();
+        Schedule { workers, events }
+    }
+
+    /// The same schedule with every probe removed (requests keep their
+    /// relative order): the probe-free baseline used to measure
+    /// throughput degradation under attack load.
+    pub fn requests_only(&self) -> Schedule {
+        Schedule {
+            workers: self.workers,
+            events: self
+                .events
+                .iter()
+                .copied()
+                .filter(|e| matches!(e.op, Op::Request { .. }))
+                .collect(),
+        }
+    }
+
+    /// Number of probe events.
+    pub fn probe_count(&self) -> u64 {
+        self.events.iter().filter(|e| e.op == Op::Probe).count() as u64
+    }
+
+    /// Serializes to the on-disk replay format:
+    ///
+    /// ```text
+    /// # r2c-serve schedule v1
+    /// workers 2
+    /// r 0 17      # request to worker 0, payload 17
+    /// p 1         # probe against worker 1
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# r2c-serve schedule v1\n");
+        out.push_str(&format!("workers {}\n", self.workers));
+        for e in &self.events {
+            match e.op {
+                Op::Request { payload } => out.push_str(&format!("r {} {}\n", e.worker, payload)),
+                Op::Probe => out.push_str(&format!("p {}\n", e.worker)),
+            }
+        }
+        out
+    }
+
+    /// Parses the format produced by [`Schedule::to_text`]. Blank lines
+    /// and `#` comments are ignored.
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        let mut workers: Option<u32> = None;
+        let mut events = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let kw = parts.next().unwrap();
+            let err = |msg: &str| format!("line {}: {msg}: {raw:?}", lineno + 1);
+            let mut field = |name: &str| -> Result<u64, String> {
+                parts
+                    .next()
+                    .ok_or_else(|| err(&format!("missing {name}")))?
+                    .parse::<u64>()
+                    .map_err(|_| err(&format!("bad {name}")))
+            };
+            match kw {
+                "workers" => workers = Some(field("count")? as u32),
+                "r" => {
+                    let worker = field("worker")? as u32;
+                    let payload = field("payload")?;
+                    events.push(Event {
+                        worker,
+                        op: Op::Request { payload },
+                    });
+                }
+                "p" => {
+                    let worker = field("worker")? as u32;
+                    events.push(Event {
+                        worker,
+                        op: Op::Probe,
+                    });
+                }
+                other => return Err(err(&format!("unknown keyword {other:?}"))),
+            }
+        }
+        let workers = workers.ok_or("missing `workers` line")?;
+        if workers == 0 {
+            return Err("workers must be > 0".into());
+        }
+        if let Some(e) = events.iter().find(|e| e.worker >= workers) {
+            return Err(format!(
+                "event targets worker {} but only {workers} exist",
+                e.worker
+            ));
+        }
+        Ok(Schedule { workers, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = Schedule::generate(7, 4, 100, 150);
+        let b = Schedule::generate(7, 4, 100, 150);
+        assert_eq!(a, b);
+        assert!(a.probe_count() > 0);
+        assert!(a.probe_count() < 100);
+        assert!(a.events.iter().all(|e| e.worker < 4));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let s = Schedule::generate(99, 3, 64, 300);
+        let parsed = Schedule::parse(&s.to_text()).unwrap();
+        assert_eq!(s, parsed);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Schedule::parse("r 0 1\n").is_err(), "missing workers");
+        assert!(Schedule::parse("workers 1\nr 3 1\n").is_err(), "bad worker");
+        assert!(Schedule::parse("workers 1\nq 0\n").is_err(), "bad keyword");
+        assert!(Schedule::parse("workers 0\n").is_err(), "zero workers");
+    }
+
+    #[test]
+    fn requests_only_strips_probes() {
+        let s = Schedule::generate(3, 2, 50, 500);
+        let r = s.requests_only();
+        assert_eq!(r.probe_count(), 0);
+        assert_eq!(
+            r.events.len() as u64,
+            s.events.len() as u64 - s.probe_count()
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Fleet determinism and policy-separation tests.
+//!
+//! The contract under test (DESIGN.md §10): a fleet run is a pure
+//! function of `(module, FleetConfig, Schedule)` — parallel execution,
+//! the warm variant pool, and host timing must not leak into the
+//! monitor event log or the metrics.
+
+use r2c_attacks::victim::victim_module;
+use r2c_core::R2cConfig;
+use r2c_serve::{run_fleet, ExecMode, FleetConfig, ReactionPolicy, Schedule};
+
+#[test]
+fn parallel_log_bit_identical_to_serial() {
+    let m = victim_module();
+    let sched = Schedule::generate(0xD5, 3, 120, 250);
+    for policy in [
+        ReactionPolicy::Ignore,
+        ReactionPolicy::RestartSameImage,
+        ReactionPolicy::RespawnFreshVariant,
+    ] {
+        let fc = FleetConfig {
+            fleet_seed: 7,
+            ..FleetConfig::new(R2cConfig::full(0), policy)
+        };
+        let serial = run_fleet(&m, &fc, &sched, ExecMode::Serial);
+        let parallel = run_fleet(&m, &fc, &sched, ExecMode::Parallel);
+        assert_eq!(
+            serial.log,
+            parallel.log,
+            "event log diverged under {}",
+            policy.name()
+        );
+        assert_eq!(
+            serial.metrics,
+            parallel.metrics,
+            "metrics diverged under {}",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn pool_size_does_not_change_guest_state() {
+    // Warm hits vs. cold compiles are host-side only: a pool-less fleet
+    // and a pooled fleet must produce the same log.
+    let m = victim_module();
+    let sched = Schedule::generate(0xE4, 2, 60, 500);
+    let base = FleetConfig::new(R2cConfig::full(3), ReactionPolicy::RespawnFreshVariant);
+    let pooled = FleetConfig {
+        pool_threads: 3,
+        pool_capacity: 2,
+        ..base.clone()
+    };
+    let unpooled = FleetConfig {
+        pool_threads: 0,
+        ..base
+    };
+    let a = run_fleet(&m, &pooled, &sched, ExecMode::Parallel);
+    let b = run_fleet(&m, &unpooled, &sched, ExecMode::Serial);
+    assert_eq!(a.log, b.log);
+    assert_eq!(a.metrics, b.metrics);
+}
+
+#[test]
+fn respawn_fresh_outlasts_restart_same() {
+    // The §7.3 claim at fleet level: under a pure probe load, the
+    // same-image pool is compromised after finitely many probes, while
+    // fresh-variant respawn survives at least as long.
+    let m = victim_module();
+    let probes = 400;
+    let sched = Schedule::generate(1, 2, probes, 1000);
+    let same = run_fleet(
+        &m,
+        &FleetConfig::new(R2cConfig::full(0), ReactionPolicy::RestartSameImage),
+        &sched,
+        ExecMode::Parallel,
+    );
+    let k = same
+        .metrics
+        .first_compromise_probe
+        .expect("a non-re-randomizing pool must eventually fall to Blind ROP");
+    assert!(k <= probes as u64);
+
+    let fresh = run_fleet(
+        &m,
+        &FleetConfig::new(R2cConfig::full(0), ReactionPolicy::RespawnFreshVariant),
+        &sched,
+        ExecMode::Parallel,
+    );
+    match fresh.metrics.first_compromise_probe {
+        None => {} // never compromised: strictly more probes than k
+        Some(k_fresh) => assert!(
+            k_fresh > k,
+            "fresh-variant respawn fell earlier ({k_fresh}) than the restarting pool ({k})"
+        ),
+    }
+    assert!(
+        fresh.metrics.respawns > 0,
+        "probes must have forced respawns"
+    );
+}
+
+#[test]
+fn availability_degrades_under_probe_load_but_not_to_zero() {
+    let m = victim_module();
+    let fc = FleetConfig::new(R2cConfig::full(0), ReactionPolicy::RespawnFreshVariant);
+    let quiet = Schedule::generate(9, 4, 200, 0);
+    let noisy = Schedule::generate(9, 4, 200, 200);
+    let a = run_fleet(&m, &fc, &quiet, ExecMode::Parallel);
+    let b = run_fleet(&m, &fc, &noisy, ExecMode::Parallel);
+    assert_eq!(a.metrics.availability(), 1.0, "no probes, no drops");
+    assert!(
+        b.metrics.availability() < 1.0,
+        "restart windows drop requests"
+    );
+    assert!(
+        b.metrics.availability() > 0.5,
+        "the fleet must keep serving"
+    );
+    assert_eq!(b.metrics.compromises, 0, "R2C should hold in a short run");
+}
+
+#[test]
+fn variant_seed_is_injective_enough() {
+    use std::collections::HashSet;
+    let mut seen = HashSet::new();
+    for fleet in 0..4u64 {
+        for w in 0..8u32 {
+            for g in 0..32u32 {
+                assert!(
+                    seen.insert(r2c_serve::variant_seed(fleet, w, g)),
+                    "seed collision at fleet={fleet} w={w} g={g}"
+                );
+            }
+        }
+    }
+}

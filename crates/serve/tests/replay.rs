@@ -1,0 +1,84 @@
+//! Record-replay regression tests: two exemplar schedules are checked
+//! in under `tests/schedules/` together with the full monitor event
+//! log each produced when recorded. Replaying must reproduce the log
+//! bit-exactly — any change to the compiler, the VM, the victim, or
+//! the fleet semantics that moves an address, a cycle count or a
+//! reaction shows up as a diff here.
+//!
+//! To re-record after an intentional change:
+//! `R2C_BLESS=1 cargo test -p r2c-serve --test replay`
+
+use std::fs;
+use std::path::PathBuf;
+
+use r2c_attacks::victim::victim_module;
+use r2c_core::R2cConfig;
+use r2c_serve::{run_fleet, ExecMode, FleetConfig, ReactionPolicy, Schedule};
+
+fn schedules_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/schedules")
+}
+
+fn replay(name: &str, policy: ReactionPolicy, fleet_seed: u64) {
+    let sched_path = schedules_dir().join(format!("{name}.sched"));
+    let golden_path = schedules_dir().join(format!("{name}.log.golden"));
+    let text = fs::read_to_string(&sched_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", sched_path.display()));
+    let sched = Schedule::parse(&text).expect("checked-in schedule must parse");
+
+    let fc = FleetConfig {
+        fleet_seed,
+        ..FleetConfig::new(R2cConfig::full(0), policy)
+    };
+    // Serial here; the determinism suite pins parallel == serial.
+    let run = run_fleet(&victim_module(), &fc, &sched, ExecMode::Serial);
+    let got = run.log.join("\n") + "\n";
+
+    if std::env::var_os("R2C_BLESS").is_some() {
+        fs::write(&golden_path, &got).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run with R2C_BLESS=1 to record)",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "replayed monitor log diverged from {} (R2C_BLESS=1 re-records after intentional changes)",
+        golden_path.display()
+    );
+}
+
+/// Exemplar A: a mixed request/probe load against the Blind-ROP
+/// vulnerable restart-same pool.
+#[test]
+fn replay_mixed_restart_same() {
+    replay("mixed_restart_same", ReactionPolicy::RestartSameImage, 11);
+}
+
+/// Exemplar B: a probe-heavy load against the re-randomizing pool,
+/// exercising fresh-variant respawns (and the variant pool) on replay.
+#[test]
+fn replay_probe_heavy_respawn_fresh() {
+    replay(
+        "probe_heavy_respawn_fresh",
+        ReactionPolicy::RespawnFreshVariant,
+        23,
+    );
+}
+
+/// The checked-in schedules themselves roundtrip through the text
+/// format (guards the parser against format drift).
+#[test]
+fn checked_in_schedules_roundtrip() {
+    for name in ["mixed_restart_same", "probe_heavy_respawn_fresh"] {
+        let path = schedules_dir().join(format!("{name}.sched"));
+        let text = fs::read_to_string(&path).unwrap();
+        let sched = Schedule::parse(&text).unwrap();
+        assert_eq!(Schedule::parse(&sched.to_text()).unwrap(), sched);
+        assert!(sched.probe_count() > 0, "{name} must exercise probes");
+    }
+}

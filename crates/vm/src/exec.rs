@@ -13,7 +13,7 @@ use crate::heap::Heap;
 use crate::image::{Image, NativeKind};
 use crate::insn::{AluOp, Cond, Insn, MemRef};
 use crate::machine::{ICache, MachineConfig};
-use crate::mem::{Memory, Perms};
+use crate::mem::{MemSnapshot, Memory, Perms};
 use crate::regs::{Gpr, RegFile, Ymm};
 use crate::stats::ExecStats;
 use crate::trace::{ExecProfile, TraceConfig, Tracer};
@@ -131,6 +131,12 @@ pub struct Vm {
     pending_resume: Option<u32>,
     image_entry: VAddr,
     image_ctors: Vec<VAddr>,
+    /// Memory as loaded (text + initialized data + stack mapping, before
+    /// any constructor ran), backing [`Vm::reset_to_image`].
+    init_mem: MemSnapshot,
+    heap_base: VAddr,
+    heap_size: u64,
+    stack_top: VAddr,
     /// Execution tracer (`None` by default). Every hook in the
     /// interpreter is behind this option, which is the whole of the
     /// zero-overhead-when-off contract: an untraced VM runs exactly the
@@ -178,6 +184,7 @@ impl Vm {
             dispatch[(a - l.text_base) as usize] = i as u32;
         }
 
+        let init_mem = mem.snapshot();
         Vm {
             cfg,
             insns: image.insns.clone(),
@@ -198,8 +205,41 @@ impl Vm {
             pending_resume: None,
             image_entry: image.entry,
             image_ctors: image.constructors.clone(),
+            init_mem,
+            heap_base: l.heap_base,
+            heap_size: l.heap_size,
+            stack_top: l.stack_top,
             tracer: None,
         }
+    }
+
+    /// Resets the VM to the state [`Vm::new`] left it in, without
+    /// rebuilding the image: memory is rolled back to the load-time
+    /// snapshot (constructors have *not* run again), the heap allocator
+    /// and register file are reinitialized, and every piece of observable
+    /// run state — [`ExecStats`], recorded [`Detection`]s, stack-probe
+    /// snapshots, guest output, the icache — is cleared.
+    ///
+    /// This is the fast worker-restart primitive for crash-restarting
+    /// server pools: restarting on the *same* image preserves the layout
+    /// an attacker has been probing (the Blind-ROP-vulnerable
+    /// configuration), while a re-randomizing pool builds a fresh image
+    /// and a fresh `Vm` instead. A reset VM is indistinguishable from a
+    /// newly constructed one; nothing leaks across the restart (an
+    /// attached tracer is dropped).
+    pub fn reset_to_image(&mut self) {
+        self.mem.restore(&self.init_mem);
+        self.heap = Heap::new(self.heap_base, self.heap_size);
+        self.regs = RegFile::new();
+        self.regs.set(Gpr::Rsp, self.stack_top - 64);
+        self.icache = ICache::new(self.cfg.machine.icache);
+        self.stats = ExecStats::default();
+        self.output.clear();
+        self.detections.clear();
+        self.probes.clear();
+        self.ymm_dirty = false;
+        self.pending_resume = None;
+        self.tracer = None;
     }
 
     /// Attaches an execution tracer built from `image`'s symbol table.
@@ -236,6 +276,15 @@ impl Vm {
             }
         }
         self.call(self.image_entry, &[])
+    }
+
+    /// Adjusts the instruction budget. The budget is cumulative over
+    /// the VM's lifetime (and reset together with [`ExecStats`] by
+    /// [`Vm::reset_to_image`]), so a long-lived server worker that
+    /// wants a *per-request* watchdog sets
+    /// `stats().instructions + per_request_budget` before each call.
+    pub fn set_insn_budget(&mut self, budget: u64) {
+        self.cfg.insn_budget = budget;
     }
 
     /// Resumes execution after an [`ExitStatus::Probed`] pause (the
@@ -1235,5 +1284,62 @@ mod tests {
         ];
         let mut v = vm(insns);
         assert_eq!(v.run().status, ExitStatus::Exited(-2));
+    }
+
+    #[test]
+    fn reset_to_image_matches_fresh_vm() {
+        let insns = vec![
+            Insn::MovImm {
+                dst: Gpr::Rax,
+                imm: 7,
+            },
+            Insn::Ret,
+        ];
+        let image = asm(insns, vec![NativeKind::Malloc, NativeKind::PrintI64]);
+        let cfg = VmConfig::new(MachineKind::EpycRome.config());
+        let mut fresh = Vm::new(&image, cfg);
+        let fresh_out = fresh.run();
+
+        let mut v = Vm::new(&image, cfg);
+        assert_eq!(v.run().status, ExitStatus::Exited(7));
+        // Dirty everything a restart must not leak: data writes, faults
+        // (an invalid hijack), output, probe snapshots.
+        v.mem.poke_u64(0x60_0008, 0xDEAD_BEEF);
+        assert!(matches!(
+            v.call(0x1234, &[]).status,
+            ExitStatus::Faulted(Fault::InvalidJump { .. })
+        ));
+        v.output.push(99);
+
+        v.reset_to_image();
+        assert_eq!(v.mem.peek_u64(0x60_0008), 0);
+        assert!(v.detections().is_empty());
+        assert!(v.output.is_empty());
+        assert!(v.probes.is_empty());
+        assert!(!v.paused_at_probe());
+        assert_eq!(v.stats().instructions, 0);
+        assert_eq!(v.stats().cycles, 0);
+        assert_eq!(v.heap.in_use(), 0);
+        assert_eq!(v.heap.alloc_count, 0);
+        let out = v.run();
+        assert_eq!(out.status, fresh_out.status);
+        assert_eq!(out.stats, fresh_out.stats);
+    }
+
+    #[test]
+    fn reset_to_image_restores_unmapped_and_reprotected_pages() {
+        let image = asm(vec![Insn::Ret], vec![NativeKind::Malloc]);
+        let cfg = VmConfig::new(MachineKind::EpycRome.config());
+        let mut v = Vm::new(&image, cfg);
+        // Unmap a data page and revoke the stack's write bit; a restart
+        // must undo both or the next request faults spuriously.
+        v.mem.unmap(0x60_0000, PAGE_SIZE);
+        let stack_page = image.layout.stack_top - PAGE_SIZE;
+        v.mem.protect(stack_page, PAGE_SIZE, Perms::R).unwrap();
+        assert_eq!(v.mem.perms_at(0x60_0000), None);
+        v.reset_to_image();
+        assert_eq!(v.mem.perms_at(0x60_0000), Some(Perms::RW));
+        assert_eq!(v.mem.perms_at(stack_page), Some(Perms::RW));
+        assert_eq!(v.run().status, ExitStatus::Exited(0));
     }
 }

@@ -46,7 +46,7 @@ pub use fault::{Detection, Fault};
 pub use image::{Image, NativeKind, SectionLayout, Symbol, SymbolKind};
 pub use insn::{Cond, Insn, MemRef};
 pub use machine::{ICacheConfig, MachineConfig, MachineKind};
-pub use mem::{Memory, Perms, PAGE_SIZE};
+pub use mem::{MemSnapshot, Memory, Perms, PAGE_SIZE};
 pub use regs::{Gpr, RegFile, Ymm};
 pub use stats::ExecStats;
 pub use trace::{ExecProfile, FuncProfile, HeapTelemetry, TraceConfig, TraceEvent, Tracer};

@@ -222,6 +222,25 @@ impl Default for Memory {
     }
 }
 
+/// A point-in-time copy of an address space, captured with
+/// [`Memory::snapshot`] and reinstated with [`Memory::restore`].
+///
+/// This backs fast worker resets ([`Vm::reset_to_image`]): a server
+/// fleet that restarts a crashed or booby-trapped worker does not
+/// rebuild the image from scratch, it rolls the address space back to
+/// the snapshot taken at load time. The snapshot owns its own copy of
+/// the page table and frame arena, so it stays valid however the live
+/// memory is mutated (including `unmap`).
+///
+/// [`Vm::reset_to_image`]: crate::Vm::reset_to_image
+#[derive(Clone)]
+pub struct MemSnapshot {
+    table: HashMap<u64, PageEntry, BuildFxHasher>,
+    frames: Vec<u8>,
+    free: Vec<u32>,
+    max_pages: usize,
+}
+
 impl Memory {
     /// Creates an empty address space.
     pub fn new() -> Memory {
@@ -232,6 +251,29 @@ impl Memory {
             tlb: [const { Cell::new(TLB_INVALID) }; 3],
             max_pages: 0,
         }
+    }
+
+    /// Captures the current address space (mappings, permissions, byte
+    /// contents, rss high-water mark) for a later [`Memory::restore`].
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            table: self.table.clone(),
+            frames: self.frames.clone(),
+            free: self.free.clone(),
+            max_pages: self.max_pages,
+        }
+    }
+
+    /// Rolls the address space back to `snap`, discarding every mapping,
+    /// protection change and write performed since the snapshot was
+    /// taken. Reuses the live table/arena allocations where possible, so
+    /// a restore is a memcpy-scale operation rather than a rebuild.
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        self.table.clone_from(&snap.table);
+        self.frames.clone_from(&snap.frames);
+        self.free.clone_from(&snap.free);
+        self.max_pages = snap.max_pages;
+        self.flush_tlb();
     }
 
     fn page_index(addr: VAddr) -> u64 {
