@@ -64,9 +64,8 @@ pub fn blind_rop(image: &Image, max_probes: u32) -> BlindRopResult {
     let mut worker = Vm::new(
         image,
         VmConfig {
-            machine: MachineKind::EpycRome.config(),
             insn_budget: 200_000,
-            break_on_probe: false,
+            ..VmConfig::new(MachineKind::EpycRome.config())
         },
     );
 
@@ -204,9 +203,8 @@ mod tests {
                 let mut worker = Vm::new(
                     image,
                     VmConfig {
-                        machine: MachineKind::EpycRome.config(),
                         insn_budget: 200_000,
-                        break_on_probe: false,
+                        ..VmConfig::new(MachineKind::EpycRome.config())
                     },
                 );
                 let out = worker.call(candidate, &[MAGIC_ARG as u64]);

@@ -45,9 +45,9 @@ pub enum ZeroingResult {
 
 fn probe_vm(image: &Image) -> Vm {
     let cfg = VmConfig {
-        machine: MachineKind::EpycRome.config(),
         insn_budget: 50_000_000,
         break_on_probe: true,
+        ..VmConfig::new(MachineKind::EpycRome.config())
     };
     Vm::new(image, cfg)
 }
@@ -150,9 +150,8 @@ pub fn blind_rop_rerandomizing(
         let mut worker = Vm::new(
             &image,
             VmConfig {
-                machine: MachineKind::EpycRome.config(),
                 insn_budget: 200_000,
-                break_on_probe: false,
+                ..VmConfig::new(MachineKind::EpycRome.config())
             },
         );
         let out = worker.call(candidate, &[MAGIC_ARG as u64]);

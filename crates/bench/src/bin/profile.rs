@@ -4,10 +4,13 @@
 //! with the per-pass compile report, per-function cycle attribution,
 //! heap telemetry and the bounded event trace.
 //!
-//! The traced run doubles as a self-check of the tracer's zero-overhead
-//! contract: if the traced [`ExecStats`] differ from the untraced run
-//! in *any* field the binary exits non-zero, so CI catches a tracer
-//! that perturbs the simulation. Folded stacks are additionally written
+//! Every profile run doubles as a three-way self-check of the
+//! execution engines: the decoded fast engine (fused superinstructions
+//! and block runs), the per-instruction engine (`no_fuse`), and the
+//! traced reference path must produce [`ExecStats`] that agree in
+//! *every* field, or the binary exits non-zero — so CI catches both a
+//! tracer that perturbs the simulation and a fused engine that drifts
+//! from the reference semantics. Folded stacks are additionally written
 //! to `PROFILE_<workload>_<machine>.folded`, ready for `flamegraph.pl`.
 //!
 //! ```text
@@ -162,6 +165,28 @@ fn main() {
             untraced.status
         );
 
+        // Second leg of the three-way engine check: the same image on
+        // per-instruction decoding (no superinstruction fusion, no
+        // block runs) must produce the same simulation bit-for-bit.
+        let mut unfused_vm = Vm::new(
+            &image,
+            VmConfig {
+                no_fuse: true,
+                ..vm_cfg
+            },
+        );
+        let unfused = unfused_vm.run();
+        assert_eq!(unfused.status, untraced.status, "exit status diverged");
+        if unfused.stats != untraced.stats {
+            eprintln!(
+                "FAIL: fused and unfused engines disagree on {} — the \
+                 decoded engine's bit-identical contract is broken:",
+                machine.name()
+            );
+            explain_divergence(&untraced.stats, &unfused.stats);
+            std::process::exit(1);
+        }
+
         let mut vm = Vm::new(&image, vm_cfg);
         vm.enable_trace(&image, TraceConfig::default());
         let traced = vm.run();
@@ -178,7 +203,7 @@ fn main() {
 
         let profile = vm.trace_profile().expect("tracer was enabled");
         println!(
-            "\n{} — {} cycles, {} insns (traced == untraced):",
+            "\n{} — {} cycles, {} insns (traced == untraced == unfused):",
             machine.name(),
             traced.stats.cycles,
             traced.stats.instructions

@@ -9,10 +9,10 @@
 //! presets, Table 1 component configs, machines, and build seeds a case
 //! is pushed through — and the verdict classification.
 
-use r2c_core::{diff_against_reference, observe_variant, Component, R2cConfig};
+use r2c_core::{diff_against_reference, observe_variant, Component, R2cCompiler, R2cConfig};
 use r2c_ir::{interpret, InterpError, InterpResult, Module};
 use r2c_serve::{run_fleet, ExecMode, FleetConfig, ReactionPolicy, Schedule};
-use r2c_vm::MachineKind;
+use r2c_vm::{MachineKind, Vm, VmConfig};
 
 /// Interpreter fuel per case. Generated programs are bounded by
 /// construction; hitting this means a generator bug, and the case is
@@ -97,6 +97,7 @@ impl OracleMatrix {
             .filter(|(n, _)| keep.contains(&n.as_str()))
             .collect();
         configs.push(("fleet-respawn".to_string(), R2cConfig::full(0)));
+        configs.push(("nofuse-full".to_string(), R2cConfig::full(0)));
         OracleMatrix {
             configs,
             machines: vec![MachineKind::EpycRome],
@@ -226,6 +227,9 @@ pub fn check_cell(
     if cell.config_name.starts_with(FLEET_CELL_PREFIX) {
         return check_fleet_cell(module, cell);
     }
+    if cell.config_name.starts_with(NOFUSE_CELL_PREFIX) {
+        return check_nofuse_cell(module, reference, cell);
+    }
     let cfg = cell.config.with_seed(cell.build_seed);
     match observe_variant(module, cfg, cell.machine, VARIANT_INSN_BUDGET) {
         Ok(obs) => {
@@ -237,6 +241,93 @@ pub fn check_cell(
             }
         }
         Err(e) => Some(vec![format!("build failed: {e}")]),
+    }
+}
+
+/// Config-name prefix marking a *fused-vs-unfused* cell. Such a cell
+/// builds one variant image and executes it twice — on the decoded
+/// engine with superinstruction fusion and block runs, and with
+/// `no_fuse` forcing per-instruction decoding — and requires identical
+/// [`r2c_vm::ExecStats`], exit status, and output, plus agreement of
+/// the fused run with the reference interpretation. This is the
+/// bit-identical contract of the decoded execution engine, exercised
+/// on arbitrary generated modules instead of the hand-written suites.
+pub const NOFUSE_CELL_PREFIX: &str = "nofuse";
+
+fn check_nofuse_cell(
+    module: &Module,
+    reference: &InterpResult,
+    cell: &MatrixCell,
+) -> Option<Vec<String>> {
+    let cfg = cell.config.with_seed(cell.build_seed);
+    let image = match R2cCompiler::new(cfg).build(module) {
+        Ok(image) => image,
+        Err(e) => return Some(vec![format!("build failed: {e}")]),
+    };
+    let mut vm_cfg = VmConfig::new(cell.machine.config());
+    vm_cfg.insn_budget = VARIANT_INSN_BUDGET;
+    let mut fused = Vm::new(
+        &image,
+        VmConfig {
+            no_fuse: false,
+            ..vm_cfg
+        },
+    );
+    let mut unfused = Vm::new(
+        &image,
+        VmConfig {
+            no_fuse: true,
+            ..vm_cfg
+        },
+    );
+    let a = fused.run();
+    let b = unfused.run();
+    let mut details = Vec::new();
+    if a.status != b.status {
+        details.push(format!(
+            "fused/unfused exit status diverged: {:?} vs {:?}",
+            a.status, b.status
+        ));
+    }
+    if a.stats != b.stats {
+        details.push(format!(
+            "fused/unfused ExecStats diverged: {:?} vs {:?}",
+            a.stats, b.stats
+        ));
+    }
+    if fused.output != unfused.output {
+        details.push(format!(
+            "fused/unfused output diverged ({} vs {} values)",
+            fused.output.len(),
+            unfused.output.len()
+        ));
+    }
+    if fused.mem.resident_pages() != unfused.mem.resident_pages() {
+        details.push(format!(
+            "fused/unfused resident pages diverged: {} vs {}",
+            fused.mem.resident_pages(),
+            unfused.mem.resident_pages()
+        ));
+    }
+    // The fused run must also mean what the reference says the module
+    // means (globals compared via the ordinary differential path).
+    if a.status != r2c_vm::ExitStatus::Exited(reference.ret) {
+        details.push(format!(
+            "fused exit status: {:?}, reference Exited({})",
+            a.status, reference.ret
+        ));
+    }
+    if fused.output != reference.output {
+        details.push(format!(
+            "fused output diverged from reference ({} vs {} values)",
+            fused.output.len(),
+            reference.output.len()
+        ));
+    }
+    if details.is_empty() {
+        None
+    } else {
+        Some(details)
     }
 }
 
@@ -309,7 +400,7 @@ mod tests {
 
     #[test]
     fn matrix_shapes() {
-        assert_eq!(OracleMatrix::quick().cells().len(), 7 * 2);
+        assert_eq!(OracleMatrix::quick().cells().len(), 8 * 2);
         assert_eq!(OracleMatrix::full().cells().len(), 10 * 2 * 3);
         assert_eq!(
             OracleMatrix::single("full", R2cConfig::full(0), MachineKind::EpycRome, 7)

@@ -7,13 +7,31 @@
 //! vulnerability), stack-frame leaks, and control-flow hijacking. Every
 //! booby-trap execution and guard-page access is recorded as a
 //! [`Detection`] event for the reactive-defense monitor.
+//!
+//! Execution has two engines sharing one semantic contract:
+//!
+//! * **the fast path** ([`Vm::exec_fast`]) runs the pre-decoded,
+//!   superinstruction-fused IR from [`crate::decode`] — this is what
+//!   untraced runs use;
+//! * **the slow path** ([`Vm::exec_slow`]) is the original per-[`Insn`]
+//!   interpreter, kept verbatim for trace-enabled runs (every tracer
+//!   hook lives here) and as the semantic reference the differential
+//!   suites compare the fast path against.
+//!
+//! Simulated [`ExecStats`] are bit-identical between the two, per seed,
+//! on every workload — the decoded engine re-checks the instruction
+//! budget and touches the simulated icache once per *original*
+//! instruction in original order, even inside fused pairs.
 
+use std::sync::Arc;
+
+use crate::decode::{self, DecodedProgram, Op, NO_INSN};
 use crate::fault::{Detection, Fault};
 use crate::heap::Heap;
 use crate::image::{Image, NativeKind};
 use crate::insn::{AluOp, Cond, Insn, MemRef};
 use crate::machine::{ICache, MachineConfig};
-use crate::mem::{MemSnapshot, Memory, Perms};
+use crate::mem::{Memory, Perms};
 use crate::regs::{Gpr, RegFile, Ymm};
 use crate::stats::ExecStats;
 use crate::trace::{ExecProfile, TraceConfig, Tracer};
@@ -79,35 +97,37 @@ pub struct VmConfig {
     /// `StackProbe` native, so a Malicious-Thread-Blocking attacker can
     /// act on the live frame before [`Vm::resume`] releases the thread.
     pub break_on_probe: bool,
+    /// Debug knob: disable superinstruction fusion in the decoded
+    /// engine. [`VmConfig::new`] defaults it from the `R2C_NO_FUSE`
+    /// environment variable; the fused-vs-unfused differential suites
+    /// flip it programmatically. Fusion is a pure host-side
+    /// optimization, so this must never change guest-visible behavior
+    /// or [`ExecStats`] — that is exactly what the suites assert.
+    pub no_fuse: bool,
 }
 
 impl VmConfig {
     /// Config with the given machine and a generous default budget.
+    /// Fusion is on unless the `R2C_NO_FUSE` environment variable is
+    /// set (to anything).
     pub fn new(machine: MachineConfig) -> VmConfig {
         VmConfig {
             machine,
             insn_budget: 2_000_000_000,
             break_on_probe: false,
+            no_fuse: std::env::var_os("R2C_NO_FUSE").is_some(),
         }
     }
 }
 
-/// Sentinel in the dense dispatch table marking a text offset that is
-/// not the start of an instruction.
-const NO_INSN: u32 = u32::MAX;
-
 /// The virtual machine.
 pub struct Vm {
     cfg: VmConfig,
-    insns: Vec<Insn>,
-    insn_addrs: Vec<VAddr>,
-    /// Dense jump table: `dispatch[addr - text_base]` is the index of
-    /// the instruction starting at `addr`, or [`NO_INSN`]. Replaces the
-    /// per-jump `HashMap<VAddr, u32>` lookup — every control transfer
-    /// resolves with one bounds check and one array load.
-    dispatch: Vec<u32>,
-    text_base: VAddr,
-    natives: Vec<NativeKind>,
+    /// The decoded program: instructions, pre-decoded ops, dispatch
+    /// table, native table, layout and the load-time memory image —
+    /// shared (via the decode cache) with every other VM running the
+    /// same image on the same machine model.
+    prog: Arc<DecodedProgram>,
     /// Guest memory. Public for tests and analysis tooling; attacks must
     /// use the permission-checked primitives instead.
     pub mem: Memory,
@@ -129,69 +149,33 @@ pub struct Vm {
     pub probes: Vec<StackSnapshot>,
     ymm_dirty: bool,
     pending_resume: Option<u32>,
-    image_entry: VAddr,
-    image_ctors: Vec<VAddr>,
-    /// Memory as loaded (text + initialized data + stack mapping, before
-    /// any constructor ran), backing [`Vm::reset_to_image`].
-    init_mem: MemSnapshot,
-    heap_base: VAddr,
-    heap_size: u64,
-    stack_top: VAddr,
-    /// Execution tracer (`None` by default). Every hook in the
-    /// interpreter is behind this option, which is the whole of the
-    /// zero-overhead-when-off contract: an untraced VM runs exactly the
-    /// pre-trace code paths, and a traced VM only *observes* state —
-    /// cycle counts stay bit-identical either way.
+    /// Execution tracer (`None` by default). A traced VM runs the slow
+    /// path, where every hook lives; an untraced VM runs the decoded
+    /// fast path. Tracing only *observes* state — cycle counts stay
+    /// bit-identical either way, which the `profile` binary enforces.
     tracer: Option<Box<Tracer>>,
 }
 
 impl Vm {
     /// Loads an image into a fresh address space.
     ///
+    /// Decoding is cached: constructing many VMs from the same image on
+    /// the same machine (bench repetitions, fleet workers, pool
+    /// variants) decodes once and clones the load-time memory snapshot.
+    ///
     /// # Panics
     ///
     /// Panics if the image fails [`Image::validate`].
     pub fn new(image: &Image, cfg: VmConfig) -> Vm {
-        image.validate().expect("invalid image");
-        let mut mem = Memory::new();
-        let l = image.layout;
-        // Text: execute-only when XoM is on, read-execute otherwise. The
-        // stored bytes are a 0xCC fill; disclosure-based attacks use
-        // `AttackerView`-style decoding gated on readability.
-        let text_len = l.text_end - l.text_base;
-        mem.map(
-            l.text_base,
-            text_len,
-            if image.xom { Perms::XO } else { Perms::RX },
-        );
-        mem.poke(l.text_base, &vec![0xCCu8; text_len as usize]);
-        // Data.
-        mem.map(l.data_base, l.data_end - l.data_base, Perms::RW);
-        for (addr, bytes) in &image.data_init {
-            mem.poke(*addr, bytes);
-        }
-        // Stack (leave the page below the reservation unmapped as guard).
-        mem.map(l.stack_top - l.stack_size, l.stack_size, Perms::RW);
-
+        let prog = decode::decoded(image, &cfg.machine, !cfg.no_fuse);
+        let mem = Memory::from_snapshot(&prog.init_mem);
+        let l = prog.layout;
         let heap = Heap::new(l.heap_base, l.heap_size);
         let mut regs = RegFile::new();
         regs.set(Gpr::Rsp, l.stack_top - 64);
-
-        // Dense offset → instruction-index table over the text section.
-        // Image::validate guarantees every instruction lies inside it.
-        let mut dispatch = vec![NO_INSN; text_len as usize];
-        for (i, &a) in image.insn_addrs.iter().enumerate() {
-            dispatch[(a - l.text_base) as usize] = i as u32;
-        }
-
-        let init_mem = mem.snapshot();
         Vm {
             cfg,
-            insns: image.insns.clone(),
-            insn_addrs: image.insn_addrs.clone(),
-            dispatch,
-            text_base: l.text_base,
-            natives: image.natives.clone(),
+            prog,
             mem,
             regs,
             heap,
@@ -203,14 +187,17 @@ impl Vm {
             probes: Vec::new(),
             ymm_dirty: false,
             pending_resume: None,
-            image_entry: image.entry,
-            image_ctors: image.constructors.clone(),
-            init_mem,
-            heap_base: l.heap_base,
-            heap_size: l.heap_size,
-            stack_top: l.stack_top,
             tracer: None,
         }
+    }
+
+    /// Replaces the loaded module: semantically identical to building a
+    /// fresh `Vm::new(image, cfg)` with this VM's config. The previous
+    /// program (and anything decoded from it) is unreachable afterwards
+    /// — a reused VM can never execute stale decoded blocks from the
+    /// module it ran before.
+    pub fn load_image(&mut self, image: &Image) {
+        *self = Vm::new(image, self.cfg);
     }
 
     /// Resets the VM to the state [`Vm::new`] left it in, without
@@ -218,7 +205,8 @@ impl Vm {
     /// snapshot (constructors have *not* run again), the heap allocator
     /// and register file are reinitialized, and every piece of observable
     /// run state — [`ExecStats`], recorded [`Detection`]s, stack-probe
-    /// snapshots, guest output, the icache — is cleared.
+    /// snapshots, guest output, the icache — is cleared. The decoded
+    /// program is untouched (it is a pure function of the image).
     ///
     /// This is the fast worker-restart primitive for crash-restarting
     /// server pools: restarting on the *same* image preserves the layout
@@ -228,10 +216,10 @@ impl Vm {
     /// newly constructed one; nothing leaks across the restart (an
     /// attached tracer is dropped).
     pub fn reset_to_image(&mut self) {
-        self.mem.restore(&self.init_mem);
-        self.heap = Heap::new(self.heap_base, self.heap_size);
+        self.mem.restore(&self.prog.init_mem);
+        self.heap = Heap::new(self.prog.layout.heap_base, self.prog.layout.heap_size);
         self.regs = RegFile::new();
-        self.regs.set(Gpr::Rsp, self.stack_top - 64);
+        self.regs.set(Gpr::Rsp, self.prog.layout.stack_top - 64);
         self.icache = ICache::new(self.cfg.machine.icache);
         self.stats = ExecStats::default();
         self.output.clear();
@@ -268,14 +256,14 @@ impl Vm {
 
     /// Runs constructors, then the entry point, to completion.
     pub fn run(&mut self) -> RunOutcome {
-        for i in 0..self.image_ctors.len() {
-            let ctor = self.image_ctors[i];
+        for i in 0..self.prog.constructors.len() {
+            let ctor = self.prog.constructors[i];
             let out = self.call(ctor, &[]);
             if let ExitStatus::Faulted(_) = out.status {
                 return out;
             }
         }
-        self.call(self.image_entry, &[])
+        self.call(self.prog.entry, &[])
     }
 
     /// Adjusts the instruction budget. The budget is cumulative over
@@ -340,9 +328,9 @@ impl Vm {
     /// missed: outside the text section or between instruction starts.
     #[inline]
     fn index_of(&self, target: VAddr) -> Option<u32> {
-        let off = target.wrapping_sub(self.text_base);
-        if off < self.dispatch.len() as u64 {
-            let idx = self.dispatch[off as usize];
+        let off = target.wrapping_sub(self.prog.text_base);
+        if off < self.prog.dispatch.len() as u64 {
+            let idx = self.prog.dispatch[off as usize];
             if idx != NO_INSN {
                 return Some(idx);
             }
@@ -397,6 +385,22 @@ impl Vm {
         s
     }
 
+    /// Whether the decoded program this VM executes was built with
+    /// superinstruction fusion. Test hook for the fused-vs-unfused
+    /// differential suites.
+    #[doc(hidden)]
+    pub fn fusion_enabled(&self) -> bool {
+        self.prog.fused
+    }
+
+    /// Identity of the decoded program (stable for its lifetime). Test
+    /// hook: two VMs share decode work iff this is equal, and a reload
+    /// with a mutated image must change it.
+    #[doc(hidden)]
+    pub fn decoded_program_id(&self) -> usize {
+        Arc::as_ptr(&self.prog) as usize
+    }
+
     #[inline]
     fn ea(&self, m: &MemRef) -> VAddr {
         let mut a = self.regs.get(m.base);
@@ -442,13 +446,934 @@ impl Vm {
 
     /// Executes starting at instruction index `idx` until the activation
     /// returns to the sentinel, the guest halts, or a fault occurs.
-    fn exec_from(&mut self, mut idx: u32) -> RunOutcome {
+    /// Trace-enabled runs take the slow path (all tracer hooks live
+    /// there); everything else runs the decoded engine.
+    fn exec_from(&mut self, idx: u32) -> RunOutcome {
+        if self.tracer.is_some() {
+            self.exec_slow(idx)
+        } else {
+            self.exec_fast(idx)
+        }
+    }
+
+    /// The decoded-IR engine: pre-baked costs, pre-resolved direct
+    /// branch targets, fused superinstructions.
+    ///
+    /// Exactness protocol (audited against [`Vm::exec_slow`], enforced
+    /// by the differential suites): per original instruction, in
+    /// original order — budget check, then `instructions += 1`, then
+    /// `cycles += base_cost + icache.access(insn_addr)`, then the
+    /// instruction's effect (which may fault, ending the run with
+    /// exactly the partial stats the slow path would report). Fused
+    /// pairs run this sequence twice under a single dispatch.
+    fn exec_fast(&mut self, mut idx: u32) -> RunOutcome {
+        let prog = Arc::clone(&self.prog);
+        let ops = &prog.ops[..];
         loop {
             if self.stats.instructions >= self.cfg.insn_budget {
                 return self.finish(ExitStatus::Faulted(Fault::BudgetExhausted));
             }
-            let insn = self.insns[idx as usize];
-            let addr = self.insn_addrs[idx as usize];
+            let dop = &ops[idx as usize];
+            self.stats.instructions += 1;
+            self.stats.cycles += dop.cost as u64 + self.icache.access(dop.addr);
+
+            macro_rules! fault {
+                ($f:expr) => {
+                    return self.finish(ExitStatus::Faulted($f))
+                };
+            }
+            macro_rules! try_mem {
+                ($e:expr) => {
+                    match $e {
+                        Ok(v) => v,
+                        Err(f) => fault!(f),
+                    }
+                };
+            }
+            // Indirect transfer: resolve through the dispatch table.
+            macro_rules! jump_to {
+                ($t:expr) => {{
+                    let t = $t;
+                    match self.index_of(t) {
+                        Some(i) => {
+                            idx = i;
+                            continue;
+                        }
+                        None => fault!(Fault::InvalidJump { target: t }),
+                    }
+                }};
+            }
+            // Direct transfer: the target index was resolved at decode
+            // time; NO_INSN recovers the faulting address from the
+            // undecoded instruction at `$src` (cold path).
+            macro_rules! direct_jump {
+                ($tgt:expr, $src:expr) => {{
+                    let t = $tgt;
+                    if t == NO_INSN {
+                        fault!(Fault::InvalidJump {
+                            target: prog.insns[$src as usize]
+                                .branch_target()
+                                .expect("unresolved target is a direct branch"),
+                        });
+                    }
+                    idx = t;
+                    continue;
+                }};
+            }
+            // Charges the second half of a fused pair, exactly as the
+            // slow path would at the top of its next iteration: budget
+            // check, instruction count, base cost + icache at the
+            // second instruction's own address.
+            macro_rules! second {
+                ($f2:expr) => {{
+                    if self.stats.instructions >= self.cfg.insn_budget {
+                        return self.finish(ExitStatus::Faulted(Fault::BudgetExhausted));
+                    }
+                    self.stats.instructions += 1;
+                    self.stats.cycles +=
+                        $f2.cost2 as u64 + self.icache.access(dop.addr + $f2.a2off as u64);
+                }};
+            }
+
+            match dop.op {
+                Op::MovImm { dst, imm } => self.regs.set(dst, imm),
+                Op::MovReg { dst, src } => {
+                    let v = self.regs.get(src);
+                    self.regs.set(dst, v);
+                }
+                Op::Load { dst, mem } => {
+                    let a = self.ea(&mem);
+                    let v = try_mem!(self.mem.read_u64(a));
+                    self.regs.set(dst, v);
+                }
+                Op::Store { mem, src } => {
+                    let a = self.ea(&mem);
+                    let v = self.regs.get(src);
+                    try_mem!(self.mem.write_u64(a, v));
+                }
+                Op::StoreImm { mem, imm } => {
+                    let a = self.ea(&mem);
+                    try_mem!(self.mem.write_u64(a, imm as i64 as u64));
+                }
+                Op::Lea { dst, mem } => {
+                    let a = self.ea(&mem);
+                    self.regs.set(dst, a);
+                }
+                Op::Push { src } => {
+                    let v = self.regs.get(src);
+                    try_mem!(self.push_word(v));
+                }
+                Op::PushImm { imm } => try_mem!(self.push_word(imm)),
+                Op::Pop { dst } => {
+                    let v = try_mem!(self.pop_word());
+                    self.regs.set(dst, v);
+                }
+                Op::AluReg { op, dst, src } => {
+                    let a = self.regs.get(dst);
+                    let b = self.regs.get(src);
+                    let r = alu(op, a, b);
+                    self.regs.set(dst, r);
+                    self.regs.flags.set_result(r);
+                }
+                Op::AluImm { op, dst, imm } => {
+                    let a = self.regs.get(dst);
+                    let r = alu(op, a, imm as i64 as u64);
+                    self.regs.set(dst, r);
+                    self.regs.flags.set_result(r);
+                }
+                Op::Div { dst, src } => {
+                    let b = self.regs.get(src) as i64;
+                    if b == 0 {
+                        fault!(Fault::DivideByZero { addr: dop.addr });
+                    }
+                    let a = self.regs.get(dst) as i64;
+                    self.regs.set(dst, a.wrapping_div(b) as u64);
+                }
+                Op::Rem { dst, src } => {
+                    let b = self.regs.get(src) as i64;
+                    if b == 0 {
+                        fault!(Fault::DivideByZero { addr: dop.addr });
+                    }
+                    let a = self.regs.get(dst) as i64;
+                    self.regs.set(dst, a.wrapping_rem(b) as u64);
+                }
+                Op::CmpReg { a, b } => {
+                    let (x, y) = (self.regs.get(a), self.regs.get(b));
+                    self.regs.flags.set_cmp(x, y);
+                }
+                Op::CmpImm { a, imm } => {
+                    let x = self.regs.get(a);
+                    self.regs.flags.set_cmp(x, imm as i64 as u64);
+                }
+                Op::Test { a } => {
+                    let x = self.regs.get(a);
+                    self.regs.flags.set_test(x, x);
+                }
+                Op::SetCc { cond, dst } => {
+                    let v = self.cond_holds(cond) as u64;
+                    self.regs.set(dst, v);
+                }
+                Op::LoadAbs { dst, addr: a } => {
+                    let v = try_mem!(self.mem.read_u64(a));
+                    self.regs.set(dst, v);
+                }
+                Op::VLoadAbs { dst, addr: a } => {
+                    if a % 32 != 0 {
+                        fault!(Fault::Misaligned { addr: a, align: 32 });
+                    }
+                    let mut buf = [0u8; 32];
+                    try_mem!(self.mem.read(a, &mut buf));
+                    self.regs.set_ymm(dst, buf);
+                    self.ymm_dirty = true;
+                }
+                Op::Call { tgt, ra } => {
+                    self.charge_avx_transition();
+                    self.stats.calls += 1;
+                    try_mem!(self.push_word(ra));
+                    direct_jump!(tgt, idx);
+                }
+                Op::CallInd { target, ra } => {
+                    self.charge_avx_transition();
+                    self.stats.calls += 1;
+                    let t = self.regs.get(target);
+                    try_mem!(self.push_word(ra));
+                    jump_to!(t);
+                }
+                Op::CallNative { native, is_probe } => {
+                    self.stats.native_calls += 1;
+                    if let Err(f) = self.do_native(native, dop.addr) {
+                        fault!(f);
+                    }
+                    if self.cfg.break_on_probe && is_probe {
+                        self.pending_resume = Some(idx + 1);
+                        return self.finish(ExitStatus::Probed);
+                    }
+                }
+                Op::Ret => {
+                    self.charge_avx_transition();
+                    self.stats.rets += 1;
+                    let ra = try_mem!(self.pop_word());
+                    if ra == EXIT_SENTINEL {
+                        let rax = self.regs.get(Gpr::Rax);
+                        return self.finish(ExitStatus::Exited(rax as i64));
+                    }
+                    jump_to!(ra);
+                }
+                Op::Jmp { tgt } => direct_jump!(tgt, idx),
+                Op::JmpInd { target } => {
+                    let t = self.regs.get(target);
+                    jump_to!(t);
+                }
+                Op::Jcc {
+                    cond,
+                    tgt,
+                    taken_extra,
+                } => {
+                    if self.cond_holds(cond) {
+                        self.stats.cycles += taken_extra as u64;
+                        direct_jump!(tgt, idx);
+                    }
+                }
+                Op::Nop => {}
+                Op::Trap => fault!(Fault::BoobyTrap { addr: dop.addr }),
+                Op::VLoad { dst, mem, aligned } => {
+                    let a = self.ea(&mem);
+                    if aligned && !a.is_multiple_of(32) {
+                        fault!(Fault::Misaligned { addr: a, align: 32 });
+                    }
+                    let mut buf = [0u8; 32];
+                    try_mem!(self.mem.read(a, &mut buf));
+                    self.regs.set_ymm(dst, buf);
+                    self.ymm_dirty = true;
+                }
+                Op::VStore { mem, src, aligned } => {
+                    let a = self.ea(&mem);
+                    if aligned && !a.is_multiple_of(32) {
+                        fault!(Fault::Misaligned { addr: a, align: 32 });
+                    }
+                    let buf = self.regs.get_ymm(src);
+                    try_mem!(self.mem.write(a, &buf));
+                    self.ymm_dirty = true;
+                }
+                Op::VZeroUpper => {
+                    self.regs.vzeroupper();
+                    self.ymm_dirty = false;
+                }
+                Op::Halt => {
+                    let code = self.regs.get(Gpr::Rdi);
+                    return self.finish(ExitStatus::Exited(code as i64));
+                }
+
+                // --- fused superinstructions -------------------------
+                Op::MovRegAluReg {
+                    dst1,
+                    src1,
+                    op,
+                    dst2,
+                    src2,
+                    f2,
+                } => {
+                    let v = self.regs.get(src1);
+                    self.regs.set(dst1, v);
+                    second!(f2);
+                    let a = self.regs.get(dst2);
+                    let b = self.regs.get(src2);
+                    let r = alu(op, a, b);
+                    self.regs.set(dst2, r);
+                    self.regs.flags.set_result(r);
+                    idx += 1;
+                }
+                Op::AluRegMovReg {
+                    op,
+                    dst1,
+                    src1,
+                    dst2,
+                    src2,
+                    f2,
+                } => {
+                    let a = self.regs.get(dst1);
+                    let b = self.regs.get(src1);
+                    let r = alu(op, a, b);
+                    self.regs.set(dst1, r);
+                    self.regs.flags.set_result(r);
+                    second!(f2);
+                    let v = self.regs.get(src2);
+                    self.regs.set(dst2, v);
+                    idx += 1;
+                }
+                Op::MovImmMovReg {
+                    dst1,
+                    imm,
+                    dst2,
+                    src2,
+                    f2,
+                } => {
+                    self.regs.set(dst1, imm);
+                    second!(f2);
+                    let v = self.regs.get(src2);
+                    self.regs.set(dst2, v);
+                    idx += 1;
+                }
+                Op::MovRegMovImm {
+                    dst1,
+                    src1,
+                    dst2,
+                    imm,
+                    f2,
+                } => {
+                    let v = self.regs.get(src1);
+                    self.regs.set(dst1, v);
+                    second!(f2);
+                    self.regs.set(dst2, imm);
+                    idx += 1;
+                }
+                Op::MovRegStore {
+                    dst1,
+                    src1,
+                    mem,
+                    src2,
+                    f2,
+                } => {
+                    let v = self.regs.get(src1);
+                    self.regs.set(dst1, v);
+                    second!(f2);
+                    let a = self.ea(&mem);
+                    let v = self.regs.get(src2);
+                    try_mem!(self.mem.write_u64(a, v));
+                    idx += 1;
+                }
+                Op::LoadMovReg {
+                    dst1,
+                    mem,
+                    dst2,
+                    src2,
+                    f2,
+                } => {
+                    let a = self.ea(&mem);
+                    let v = try_mem!(self.mem.read_u64(a));
+                    self.regs.set(dst1, v);
+                    second!(f2);
+                    let v = self.regs.get(src2);
+                    self.regs.set(dst2, v);
+                    idx += 1;
+                }
+                Op::StoreLoad {
+                    smem,
+                    src,
+                    dst,
+                    lmem,
+                    f2,
+                } => {
+                    let a = self.ea(&smem);
+                    let v = self.regs.get(src);
+                    try_mem!(self.mem.write_u64(a, v));
+                    second!(f2);
+                    let a = self.ea(&lmem);
+                    let v = try_mem!(self.mem.read_u64(a));
+                    self.regs.set(dst, v);
+                    idx += 1;
+                }
+                Op::LeaMovReg {
+                    dst1,
+                    mem,
+                    dst2,
+                    src2,
+                    f2,
+                } => {
+                    let a = self.ea(&mem);
+                    self.regs.set(dst1, a);
+                    second!(f2);
+                    let v = self.regs.get(src2);
+                    self.regs.set(dst2, v);
+                    idx += 1;
+                }
+                Op::CmpRegJcc {
+                    a,
+                    b,
+                    cond,
+                    tgt,
+                    taken_extra,
+                    f2,
+                } => {
+                    let (x, y) = (self.regs.get(a), self.regs.get(b));
+                    self.regs.flags.set_cmp(x, y);
+                    second!(f2);
+                    if self.cond_holds(cond) {
+                        self.stats.cycles += taken_extra as u64;
+                        direct_jump!(tgt, idx + 1);
+                    }
+                    idx += 1;
+                }
+                Op::CmpImmJcc {
+                    a,
+                    imm,
+                    cond,
+                    tgt,
+                    taken_extra,
+                    f2,
+                } => {
+                    let x = self.regs.get(a);
+                    self.regs.flags.set_cmp(x, imm as i64 as u64);
+                    second!(f2);
+                    if self.cond_holds(cond) {
+                        self.stats.cycles += taken_extra as u64;
+                        direct_jump!(tgt, idx + 1);
+                    }
+                    idx += 1;
+                }
+                Op::TestJcc {
+                    a,
+                    cond,
+                    tgt,
+                    taken_extra,
+                    f2,
+                } => {
+                    let x = self.regs.get(a);
+                    self.regs.flags.set_test(x, x);
+                    second!(f2);
+                    if self.cond_holds(cond) {
+                        self.stats.cycles += taken_extra as u64;
+                        direct_jump!(tgt, idx + 1);
+                    }
+                    idx += 1;
+                }
+                Op::CmpRegSetCc {
+                    a,
+                    b,
+                    cond,
+                    dst,
+                    f2,
+                } => {
+                    let (x, y) = (self.regs.get(a), self.regs.get(b));
+                    self.regs.flags.set_cmp(x, y);
+                    second!(f2);
+                    let v = self.cond_holds(cond) as u64;
+                    self.regs.set(dst, v);
+                    idx += 1;
+                }
+                Op::PushPush { s1, s2, f2 } => {
+                    let v = self.regs.get(s1);
+                    try_mem!(self.push_word(v));
+                    second!(f2);
+                    let v = self.regs.get(s2);
+                    try_mem!(self.push_word(v));
+                    idx += 1;
+                }
+                Op::PopPop { d1, d2, f2 } => {
+                    let v = try_mem!(self.pop_word());
+                    self.regs.set(d1, v);
+                    second!(f2);
+                    let v = try_mem!(self.pop_word());
+                    self.regs.set(d2, v);
+                    idx += 1;
+                }
+                Op::PopRet { d1, f2 } => {
+                    let v = try_mem!(self.pop_word());
+                    self.regs.set(d1, v);
+                    second!(f2);
+                    self.charge_avx_transition();
+                    self.stats.rets += 1;
+                    let ra = try_mem!(self.pop_word());
+                    if ra == EXIT_SENTINEL {
+                        let rax = self.regs.get(Gpr::Rax);
+                        return self.finish(ExitStatus::Exited(rax as i64));
+                    }
+                    jump_to!(ra);
+                }
+
+                // --- block run: the straight-line tail of a basic
+                // block under one dispatch ---------------------------
+                Op::MovImmAluQuad { .. }
+                | Op::MovImmAluQuadPair { .. }
+                | Op::AluImmQuad { .. }
+                | Op::AluImmQuadPair { .. } => {
+                    unreachable!("quad entries exist only in run effect streams")
+                }
+                Op::Run { run } => {
+                    let ri = &prog.runs[run as usize];
+                    // The loop preamble charged the leader like any
+                    // other op; execute its (standalone) effect.
+                    if let Err((f, _)) = self.exec_member(&ri.leader, dop.addr) {
+                        fault!(f);
+                    }
+                    let m = ri.n as u64 - 1;
+                    // Budget edge: the members would cross the budget
+                    // mark mid-run. Let the reference engine finish the
+                    // block instruction by instruction (cold — reached
+                    // at most once per execution).
+                    if self.stats.instructions + m > self.cfg.insn_budget {
+                        return self.exec_slow(idx + 1);
+                    }
+                    // Batch-charge every member up front, and touch the
+                    // icache once per same-line segment as that segment
+                    // is reached. Both are exact: intermediate stamp
+                    // values inside a same-line span are dead, and the
+                    // (rare) fault path below un-books precisely the
+                    // charges of members that were never reached.
+                    self.stats.instructions += m;
+                    self.stats.cycles += ri.members_cost;
+                    let base = idx as usize + 1;
+                    let segs = &prog.run_segs
+                        [ri.seg_start as usize..ri.seg_start as usize + ri.seg_count as usize];
+                    let line_size = self.icache.line_size();
+                    let mut done = 0u64;
+                    for seg in segs {
+                        self.stats.cycles += self.icache.access_span(seg.line, seg.count as u64);
+                        let seg_base = seg.line * line_size;
+                        let entries = &prog.run_ops
+                            [seg.first as usize..seg.first as usize + seg.n_ops as usize];
+                        let mut rest = entries;
+                        while let [e, tail @ ..] = rest {
+                            match e.op {
+                                // Pair head: this quad plus the next
+                                // entry's quad, one dispatch. Neither
+                                // can fault. A pair head always has its
+                                // partner entry behind it.
+                                Op::AluImmQuadPair { .. } => {
+                                    self.alu_imm_quad_effects(&e.op);
+                                    self.quad_effects(&tail[0].op);
+                                    rest = &tail[1..];
+                                    continue;
+                                }
+                                Op::MovImmAluQuadPair { .. } => {
+                                    self.quad_effects(&e.op);
+                                    self.quad_effects(&tail[0].op);
+                                    rest = &tail[1..];
+                                    continue;
+                                }
+                                _ => {}
+                            }
+                            rest = tail;
+                            if let Err((f, half)) = self.exec_member(&e.op, seg_base + e.off as u64)
+                            {
+                                // Un-book the members past the faulting
+                                // one — they never ran. Its own charges
+                                // stay: the reference engine charges
+                                // count/cost/icache before the effect.
+                                let k = e.k as u64 + half;
+                                self.stats.instructions -= m - (k + 1);
+                                for u in &ops[base + k as usize + 1..base + m as usize] {
+                                    self.stats.cycles -= u.cost as u64;
+                                }
+                                self.icache
+                                    .rollback_pending(seg.count as u64 - 1 - (k - done));
+                                fault!(f);
+                            }
+                        }
+                        done += seg.count as u64;
+                    }
+                    idx += ri.n as u32 - 1;
+                }
+            }
+            idx += 1;
+            if idx as usize >= ops.len() {
+                // Fell off the end of text: the faulting "target" is one
+                // past the last *executed* instruction (the second half
+                // for fused ops, since they advanced `idx` once already).
+                let last = (idx - 1) as usize;
+                return self.finish(ExitStatus::Faulted(Fault::InvalidJump {
+                    target: prog.insn_addrs[last] + prog.insns[last].len(),
+                }));
+            }
+        }
+    }
+
+    /// Register/flag effects of a [`Op::MovImmAluQuad`] (or a pair
+    /// head, whose own fields are an identical quad). Cannot fault.
+    #[inline(always)]
+    fn quad_effects(&mut self, op: &Op) {
+        let (Op::MovImmAluQuad {
+            imm,
+            a,
+            bd,
+            bs,
+            op,
+            cd,
+            cs,
+            dd,
+            ds,
+        }
+        | Op::MovImmAluQuadPair {
+            imm,
+            a,
+            bd,
+            bs,
+            op,
+            cd,
+            cs,
+            dd,
+            ds,
+        }) = *op
+        else {
+            return self.alu_imm_quad_effects(op);
+        };
+        self.regs.set(a, imm);
+        let v = self.regs.get(bs);
+        self.regs.set(bd, v);
+        let x = self.regs.get(cd);
+        let y = self.regs.get(cs);
+        let r = alu(op, x, y);
+        self.regs.set(cd, r);
+        self.regs.flags.set_result(r);
+        let v = self.regs.get(ds);
+        self.regs.set(dd, v);
+    }
+
+    /// Effects of the operand-chained quad: same final register, flag,
+    /// and write-order-visible state as the four-instruction original
+    /// (`a` then `scratch` then `dst`), with the dead intermediate
+    /// moves folded away. Cannot fault.
+    #[inline(always)]
+    fn alu_imm_quad_effects(&mut self, op: &Op) {
+        let (Op::AluImmQuad {
+            imm,
+            a,
+            scratch,
+            op,
+            src,
+            dst,
+        }
+        | Op::AluImmQuadPair {
+            imm,
+            a,
+            scratch,
+            op,
+            src,
+            dst,
+        }) = *op
+        else {
+            unreachable!("quad_effects on a non-quad entry")
+        };
+        let r = alu(op, self.regs.get(src), imm);
+        self.regs.set(a, imm);
+        self.regs.set(scratch, r);
+        self.regs.flags.set_result(r);
+        self.regs.set(dst, r);
+    }
+
+    /// Executes the effect of one entry of a block run: a straight-line
+    /// single or a non-control fused pair. No budget, instruction-count,
+    /// cycle, or icache accounting happens here — the `Op::Run` arm
+    /// batch-charges those — so this is exactly the effect half of the
+    /// corresponding `exec_fast` arm(s). On a fault, the second tuple
+    /// element is the number of the entry's instructions that completed
+    /// before it (0, or 1 when the second half of a pair faulted), so
+    /// the caller can attribute rollback to the exact member.
+    #[inline(always)]
+    fn exec_member(&mut self, op: &Op, addr: VAddr) -> Result<(), (Fault, u64)> {
+        macro_rules! try_at {
+            ($e:expr, $half:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(f) => return Err((f, $half)),
+                }
+            };
+        }
+        match *op {
+            Op::MovImm { dst, imm } => self.regs.set(dst, imm),
+            Op::MovReg { dst, src } => {
+                let v = self.regs.get(src);
+                self.regs.set(dst, v);
+            }
+            Op::Load { dst, mem } => {
+                let a = self.ea(&mem);
+                let v = try_at!(self.mem.read_u64(a), 0);
+                self.regs.set(dst, v);
+            }
+            Op::Store { mem, src } => {
+                let a = self.ea(&mem);
+                let v = self.regs.get(src);
+                try_at!(self.mem.write_u64(a, v), 0);
+            }
+            Op::StoreImm { mem, imm } => {
+                let a = self.ea(&mem);
+                try_at!(self.mem.write_u64(a, imm as i64 as u64), 0);
+            }
+            Op::Lea { dst, mem } => {
+                let a = self.ea(&mem);
+                self.regs.set(dst, a);
+            }
+            Op::Push { src } => {
+                let v = self.regs.get(src);
+                try_at!(self.push_word(v), 0);
+            }
+            Op::PushImm { imm } => try_at!(self.push_word(imm), 0),
+            Op::Pop { dst } => {
+                let v = try_at!(self.pop_word(), 0);
+                self.regs.set(dst, v);
+            }
+            Op::AluReg { op, dst, src } => {
+                let a = self.regs.get(dst);
+                let b = self.regs.get(src);
+                let r = alu(op, a, b);
+                self.regs.set(dst, r);
+                self.regs.flags.set_result(r);
+            }
+            Op::AluImm { op, dst, imm } => {
+                let a = self.regs.get(dst);
+                let r = alu(op, a, imm as i64 as u64);
+                self.regs.set(dst, r);
+                self.regs.flags.set_result(r);
+            }
+            Op::Div { dst, src } => {
+                let b = self.regs.get(src) as i64;
+                if b == 0 {
+                    return Err((Fault::DivideByZero { addr }, 0));
+                }
+                let a = self.regs.get(dst) as i64;
+                self.regs.set(dst, a.wrapping_div(b) as u64);
+            }
+            Op::Rem { dst, src } => {
+                let b = self.regs.get(src) as i64;
+                if b == 0 {
+                    return Err((Fault::DivideByZero { addr }, 0));
+                }
+                let a = self.regs.get(dst) as i64;
+                self.regs.set(dst, a.wrapping_rem(b) as u64);
+            }
+            Op::CmpReg { a, b } => {
+                let (x, y) = (self.regs.get(a), self.regs.get(b));
+                self.regs.flags.set_cmp(x, y);
+            }
+            Op::CmpImm { a, imm } => {
+                let x = self.regs.get(a);
+                self.regs.flags.set_cmp(x, imm as i64 as u64);
+            }
+            Op::Test { a } => {
+                let x = self.regs.get(a);
+                self.regs.flags.set_test(x, x);
+            }
+            Op::SetCc { cond, dst } => {
+                let v = self.cond_holds(cond) as u64;
+                self.regs.set(dst, v);
+            }
+            Op::LoadAbs { dst, addr: a } => {
+                let v = try_at!(self.mem.read_u64(a), 0);
+                self.regs.set(dst, v);
+            }
+            Op::VLoadAbs { dst, addr: a } => {
+                if a % 32 != 0 {
+                    return Err((Fault::Misaligned { addr: a, align: 32 }, 0));
+                }
+                let mut buf = [0u8; 32];
+                try_at!(self.mem.read(a, &mut buf), 0);
+                self.regs.set_ymm(dst, buf);
+                self.ymm_dirty = true;
+            }
+            Op::VLoad { dst, mem, aligned } => {
+                let a = self.ea(&mem);
+                if aligned && !a.is_multiple_of(32) {
+                    return Err((Fault::Misaligned { addr: a, align: 32 }, 0));
+                }
+                let mut buf = [0u8; 32];
+                try_at!(self.mem.read(a, &mut buf), 0);
+                self.regs.set_ymm(dst, buf);
+                self.ymm_dirty = true;
+            }
+            Op::VStore { mem, src, aligned } => {
+                let a = self.ea(&mem);
+                if aligned && !a.is_multiple_of(32) {
+                    return Err((Fault::Misaligned { addr: a, align: 32 }, 0));
+                }
+                let buf = self.regs.get_ymm(src);
+                try_at!(self.mem.write(a, &buf), 0);
+                self.ymm_dirty = true;
+            }
+            Op::VZeroUpper => {
+                self.regs.vzeroupper();
+                self.ymm_dirty = false;
+            }
+            Op::Nop => {}
+            // --- effect-only pair/quad entries (run streams fuse
+            // adjacent members with no accounting between halves) ---
+            Op::MovImmAluQuad { .. } | Op::AluImmQuad { .. } => self.quad_effects(op),
+            Op::MovImmAluQuadPair { .. } | Op::AluImmQuadPair { .. } => {
+                unreachable!("quad pair heads are handled by the run entry loop")
+            }
+            // --- effect-only pair entries (run streams pair adjacent
+            // members with no accounting between halves) ---
+            Op::MovRegAluReg {
+                dst1,
+                src1,
+                op,
+                dst2,
+                src2,
+                ..
+            } => {
+                let v = self.regs.get(src1);
+                self.regs.set(dst1, v);
+                let a = self.regs.get(dst2);
+                let b = self.regs.get(src2);
+                let r = alu(op, a, b);
+                self.regs.set(dst2, r);
+                self.regs.flags.set_result(r);
+            }
+            Op::AluRegMovReg {
+                op,
+                dst1,
+                src1,
+                dst2,
+                src2,
+                ..
+            } => {
+                let a = self.regs.get(dst1);
+                let b = self.regs.get(src1);
+                let r = alu(op, a, b);
+                self.regs.set(dst1, r);
+                self.regs.flags.set_result(r);
+                let v = self.regs.get(src2);
+                self.regs.set(dst2, v);
+            }
+            Op::MovImmMovReg {
+                dst1,
+                imm,
+                dst2,
+                src2,
+                ..
+            } => {
+                self.regs.set(dst1, imm);
+                let v = self.regs.get(src2);
+                self.regs.set(dst2, v);
+            }
+            Op::MovRegMovImm {
+                dst1,
+                src1,
+                dst2,
+                imm,
+                ..
+            } => {
+                let v = self.regs.get(src1);
+                self.regs.set(dst1, v);
+                self.regs.set(dst2, imm);
+            }
+            Op::MovRegStore {
+                dst1,
+                src1,
+                mem,
+                src2,
+                ..
+            } => {
+                let v = self.regs.get(src1);
+                self.regs.set(dst1, v);
+                let a = self.ea(&mem);
+                let v = self.regs.get(src2);
+                try_at!(self.mem.write_u64(a, v), 1);
+            }
+            Op::LoadMovReg {
+                dst1,
+                mem,
+                dst2,
+                src2,
+                ..
+            } => {
+                let a = self.ea(&mem);
+                let v = try_at!(self.mem.read_u64(a), 0);
+                self.regs.set(dst1, v);
+                let v = self.regs.get(src2);
+                self.regs.set(dst2, v);
+            }
+            Op::StoreLoad {
+                smem,
+                src,
+                dst,
+                lmem,
+                ..
+            } => {
+                let a = self.ea(&smem);
+                let v = self.regs.get(src);
+                try_at!(self.mem.write_u64(a, v), 0);
+                let a = self.ea(&lmem);
+                let v = try_at!(self.mem.read_u64(a), 1);
+                self.regs.set(dst, v);
+            }
+            Op::LeaMovReg {
+                dst1,
+                mem,
+                dst2,
+                src2,
+                ..
+            } => {
+                let a = self.ea(&mem);
+                self.regs.set(dst1, a);
+                let v = self.regs.get(src2);
+                self.regs.set(dst2, v);
+            }
+            Op::CmpRegSetCc {
+                a, b, cond, dst, ..
+            } => {
+                let (x, y) = (self.regs.get(a), self.regs.get(b));
+                self.regs.flags.set_cmp(x, y);
+                let v = self.cond_holds(cond) as u64;
+                self.regs.set(dst, v);
+            }
+            Op::PushPush { s1, s2, .. } => {
+                let v = self.regs.get(s1);
+                try_at!(self.push_word(v), 0);
+                let v = self.regs.get(s2);
+                try_at!(self.push_word(v), 1);
+            }
+            Op::PopPop { d1, d2, .. } => {
+                let v = try_at!(self.pop_word(), 0);
+                self.regs.set(d1, v);
+                let v = try_at!(self.pop_word(), 1);
+                self.regs.set(d2, v);
+            }
+            _ => unreachable!("control op inside a block run"),
+        }
+        Ok(())
+    }
+
+    /// The reference engine: the original per-[`Insn`] interpreter,
+    /// unchanged. Runs trace-enabled VMs (all tracer hooks are here)
+    /// and serves as the semantic baseline for the fast path.
+    fn exec_slow(&mut self, mut idx: u32) -> RunOutcome {
+        let prog = Arc::clone(&self.prog);
+        loop {
+            if self.stats.instructions >= self.cfg.insn_budget {
+                return self.finish(ExitStatus::Faulted(Fault::BudgetExhausted));
+            }
+            let insn = prog.insns[idx as usize];
+            let addr = prog.insn_addrs[idx as usize];
             if let Some(tr) = &mut self.tracer {
                 // Counters *before* this instruction is charged: the
                 // delta since the previous step is the full cost of the
@@ -605,7 +1530,7 @@ impl Vm {
                         self.trace_native(native);
                     }
                     if self.cfg.break_on_probe
-                        && self.natives.get(native as usize) == Some(&NativeKind::StackProbe)
+                        && prog.natives.get(native as usize) == Some(&NativeKind::StackProbe)
                     {
                         self.pending_resume = Some(idx + 1);
                         return self.finish(ExitStatus::Probed);
@@ -667,7 +1592,7 @@ impl Vm {
                 }
             }
             idx += 1;
-            if idx as usize >= self.insns.len() {
+            if idx as usize >= prog.insns.len() {
                 return self.finish(ExitStatus::Faulted(Fault::InvalidJump {
                     target: addr + insn.len(),
                 }));
@@ -685,6 +1610,7 @@ impl Vm {
 
     fn do_native(&mut self, native: u16, probe_pc: VAddr) -> Result<(), Fault> {
         let kind = *self
+            .prog
             .natives
             .get(native as usize)
             .ok_or(Fault::NativeError { native })?;
@@ -751,7 +1677,7 @@ impl Vm {
     /// Records heap telemetry / trace events for a just-executed native
     /// call. Reads only; guest state is untouched.
     fn trace_native(&mut self, native: u16) {
-        let Some(&kind) = self.natives.get(native as usize) else {
+        let Some(&kind) = self.prog.natives.get(native as usize) else {
             return;
         };
         let live = self.heap.in_use();
@@ -893,7 +1819,7 @@ impl Vm {
         // Reading one byte is enough to trigger the permission check.
         self.attacker_read(addr, 1)?;
         match self.index_of(addr) {
-            Some(i) => Ok(self.insns[i as usize]),
+            Some(i) => Ok(self.prog.insns[i as usize]),
             None => Err(Fault::InvalidJump { target: addr }),
         }
     }
@@ -1136,9 +2062,8 @@ mod tests {
         let mut v = Vm::new(
             &asm(vec![Insn::Jmp { target: base }], vec![]),
             VmConfig {
-                machine: MachineKind::EpycRome.config(),
                 insn_budget: 1000,
-                break_on_probe: false,
+                ..VmConfig::new(MachineKind::EpycRome.config())
             },
         );
         assert!(matches!(
@@ -1341,5 +2266,76 @@ mod tests {
         assert_eq!(v.mem.perms_at(0x60_0000), Some(Perms::RW));
         assert_eq!(v.mem.perms_at(stack_page), Some(Perms::RW));
         assert_eq!(v.run().status, ExitStatus::Exited(0));
+    }
+
+    #[test]
+    fn fused_and_unfused_vms_share_nothing_but_agree() {
+        // Same image, fusion on vs off: different decoded programs,
+        // identical observable execution.
+        let base = 0x40_0000u64;
+        let insns = vec![
+            Insn::MovImm {
+                dst: Gpr::Rax,
+                imm: 0,
+            },
+            Insn::MovImm {
+                dst: Gpr::Rcx,
+                imm: 1,
+            },
+            Insn::AluReg {
+                op: AluOp::Add,
+                dst: Gpr::Rax,
+                src: Gpr::Rcx,
+            },
+            Insn::AluImm {
+                op: AluOp::Add,
+                dst: Gpr::Rcx,
+                imm: 1,
+            },
+            Insn::CmpImm {
+                a: Gpr::Rcx,
+                imm: 100,
+            },
+            Insn::Jcc {
+                cond: Cond::Le,
+                target: base + 10,
+            },
+            Insn::Ret,
+        ];
+        let image = asm(insns, vec![]);
+        let cfg = VmConfig::new(MachineKind::EpycRome.config());
+        let mut fused = Vm::new(
+            &image,
+            VmConfig {
+                no_fuse: false,
+                ..cfg
+            },
+        );
+        let mut unfused = Vm::new(
+            &image,
+            VmConfig {
+                no_fuse: true,
+                ..cfg
+            },
+        );
+        assert!(fused.fusion_enabled());
+        assert!(!unfused.fusion_enabled());
+        assert_ne!(fused.decoded_program_id(), unfused.decoded_program_id());
+        let a = fused.run();
+        let b = unfused.run();
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn decode_is_shared_across_vms_on_same_image() {
+        let image = asm(vec![Insn::Ret], vec![]);
+        let cfg = VmConfig {
+            no_fuse: false,
+            ..VmConfig::new(MachineKind::EpycRome.config())
+        };
+        let a = Vm::new(&image, cfg);
+        let b = Vm::new(&image, cfg);
+        assert_eq!(a.decoded_program_id(), b.decoded_program_id());
     }
 }

@@ -171,30 +171,26 @@ impl Heap {
         self.in_use += size;
         self.alloc_count += 1;
         // Map backing pages read-write. Pages may already be mapped from
-        // earlier allocations sharing them; `map` preserves contents but
-        // resets permissions, so already-mapped pages are skipped
-        // (e.g. a neighbouring guard page must stay a guard) — except
-        // quarantined ones, which are rescued back to read-write.
+        // earlier allocations sharing them; those keep their contents
+        // *and* permissions (a neighbouring guard page must stay a
+        // guard) — except quarantined ones, which are rescued back to
+        // read-write. The rescue scans the (small, bounded) quarantine,
+        // and `map_missing` fills the holes in bulk, so a huge malloc
+        // never pays per-page probes here.
         let first = aligned / PAGE_SIZE;
         let last = (aligned + size - 1) / PAGE_SIZE;
-        // Map contiguous runs of unmapped pages with one `map` call per
-        // run, not one per page.
-        let mut run_start: Option<u64> = None;
-        for p in first..=last + 1 {
-            if p <= last && self.unquarantine(p) {
-                mem.protect(p * PAGE_SIZE, PAGE_SIZE, Perms::RW)
+        let mut qi = 0;
+        while qi < self.quarantine.len() {
+            let q = self.quarantine[qi];
+            if (first..=last).contains(&q) {
+                self.quarantine.remove(qi);
+                mem.protect(q * PAGE_SIZE, PAGE_SIZE, Perms::RW)
                     .expect("quarantined page is mapped");
-            }
-            let unmapped = p <= last && !mem.is_mapped(p * PAGE_SIZE);
-            match (run_start, unmapped) {
-                (None, true) => run_start = Some(p),
-                (Some(s), false) => {
-                    mem.map(s * PAGE_SIZE, (p - s) * PAGE_SIZE, Perms::RW);
-                    run_start = None;
-                }
-                _ => {}
+            } else {
+                qi += 1;
             }
         }
+        mem.map_missing(aligned, size, Perms::RW);
         Some(aligned)
     }
 
@@ -234,40 +230,23 @@ impl Heap {
         // pages intersecting the freed chunk can have changed state: a
         // page becomes fully free exactly when this free supplies its
         // last live bytes, and the coalesced extent contains the chunk.
+        // The candidates are the chunk's pages fully covered by the
+        // coalesced extent — a contiguous range, retired in bulk.
+        // `retire_accessible` skips exactly what the old per-page walk
+        // skipped: unmapped pages (already released), no-access pages
+        // (quarantined earlier, or guest-made guards — both must stay
+        // exactly as they are).
         let first = ptr / PAGE_SIZE;
-        let last = (ptr + size - 1) / PAGE_SIZE;
-        for p in first..=last {
-            let page_lo = p * PAGE_SIZE;
-            // Fully covered by the coalesced free extent?
-            if page_lo < start || page_lo + PAGE_SIZE > start + len {
-                continue;
-            }
-            // Already retired by an earlier free of a neighbour.
-            if !mem.is_mapped(page_lo) || self.quarantine.contains(&p) {
-                continue;
-            }
-            // A page the guest itself turned into a guard stays exactly
-            // as it is (it already faults on access).
-            if mem.perms_at(page_lo) == Some(Perms::NONE) {
-                continue;
-            }
-            mem.protect(page_lo, PAGE_SIZE, Perms::NONE)
-                .expect("retiring a mapped page");
-            self.quarantine.push_back(p);
+        let lo = first.max(start.div_ceil(PAGE_SIZE));
+        let hi = ((ptr + size - 1) / PAGE_SIZE + 1).min((start + len) / PAGE_SIZE);
+        if lo < hi {
+            let quarantine = &mut self.quarantine;
+            mem.retire_accessible(lo * PAGE_SIZE, (hi - lo) * PAGE_SIZE, |p| {
+                quarantine.push_back(p)
+            });
             self.evict_quarantine_overflow(mem);
         }
         Ok(())
-    }
-
-    /// Removes `page` from the quarantine if present, returning whether
-    /// it was there.
-    fn unquarantine(&mut self, page: u64) -> bool {
-        if let Some(i) = self.quarantine.iter().position(|&q| q == page) {
-            self.quarantine.remove(i);
-            true
-        } else {
-            false
-        }
     }
 
     fn evict_quarantine_overflow(&mut self, mem: &mut Memory) {

@@ -16,7 +16,7 @@ use crate::VAddr;
 /// The bases are chosen by the linker's ASLR pass; the attacker does not
 /// get this structure (it is ground truth for evaluation, e.g. to score a
 /// value-range clustering as "correctly identified a heap pointer").
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SectionLayout {
     /// Start of the text section.
     pub text_base: VAddr,
@@ -91,7 +91,7 @@ pub struct Symbol {
 ///
 /// These stand in for the pieces of glibc the paper links against
 /// unprotected (§6.2): the allocator and minimal I/O.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum NativeKind {
     /// `rax = malloc(rdi)`
     Malloc,

@@ -10,7 +10,7 @@ pub use crate::regs::{Gpr, Ymm};
 use crate::VAddr;
 
 /// A memory operand: `[base + index*scale + disp]`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct MemRef {
     /// Base register.
     pub base: Gpr,
@@ -85,7 +85,7 @@ impl std::fmt::Display for MemRef {
 }
 
 /// ALU operation selector for [`Insn::AluReg`] / [`Insn::AluImm`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 #[allow(missing_docs)]
 pub enum AluOp {
     Add,
@@ -100,7 +100,7 @@ pub enum AluOp {
 }
 
 /// Branch condition (after a `cmp a, b`).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 #[allow(missing_docs)]
 pub enum Cond {
     Eq,
@@ -142,7 +142,7 @@ impl Cond {
 /// branches) plus the AVX2 subset the optimized BTRA setup sequence of
 /// paper §5.1.2 needs (`vmovdqa`/`vmovdqu`/`vzeroupper`) and the trap
 /// instruction that implements booby-trap functions.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum Insn {
     /// `mov dst, imm64`
     MovImm {

@@ -39,8 +39,11 @@ pub mod stats;
 pub mod trace;
 pub mod unwind;
 
+mod decode;
 mod exec;
 
+#[doc(hidden)]
+pub use decode::decode_cache_live_entries;
 pub use exec::{ExitStatus, RunOutcome, StackSnapshot, Vm, VmConfig, EXIT_SENTINEL};
 pub use fault::{Detection, Fault};
 pub use image::{Image, NativeKind, SectionLayout, Symbol, SymbolKind};

@@ -13,7 +13,7 @@ use crate::insn::{AluOp, Insn};
 use crate::VAddr;
 
 /// Instruction-cache geometry and penalty.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ICacheConfig {
     /// Total size in bytes.
     pub size: u32,
@@ -195,7 +195,11 @@ impl MachineKind {
 
 /// Per-instruction-class cycle costs (scaled ×10 to allow sub-cycle
 /// resolution in integer arithmetic) plus cache geometry.
-#[derive(Clone, Copy, Debug)]
+///
+/// `PartialEq`/`Hash` cover every cost field: the decoded-program cache
+/// (`crate::Vm` bakes these costs into its pre-decoded ops) keys and
+/// verifies entries by the full cost model, not just [`MachineKind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// Which machine this models.
     pub kind: MachineKind,
@@ -289,10 +293,58 @@ impl MachineConfig {
 }
 
 /// A set-associative instruction cache with LRU replacement.
+///
+/// Host-side fast paths (the simulated hit/miss sequence, LRU order and
+/// counters are untouched by all of them):
+///
+/// * tags store the full *line number* instead of `line / sets` — the
+///   (set, tag) pair is bijective with the line either way, so hits and
+///   evictions are identical, but lookups no longer divide;
+/// * power-of-two line sizes and set counts (every built-in machine's
+///   line; all but the Xeon's 96 sets) resolve with shift/mask instead
+///   of division;
+/// * consecutive accesses to the same line — the overwhelmingly common
+///   case for straight-line code — short-circuit the set scan: the
+///   previous access touched that very slot, so nothing can have
+///   evicted it in between. Their bookkeeping is *batched*: a run of
+///   `n` same-line hits is recorded as `pending = n` and folded into
+///   `clock`/`hits`/the slot's LRU stamp only when the line changes
+///   (or counters are read). Each hit in the run would have set the
+///   stamp to its own clock value and immediately overwritten it, so
+///   folding the run at its final clock value leaves every subsequent
+///   LRU decision — and the hit/miss counts — bit-identical;
+/// * a tiny direct-mapped side table remembers recently hit
+///   `line → slot` translations beyond the last line, so loop bodies
+///   spanning a handful of lines resolve without rescanning the set.
+///   An entry is a *proof of residency* — a line's slot binding can
+///   only break when a miss fills a slot, and every fill clears the
+///   whole side table — so serving a hit from it (stamp refresh at the
+///   current clock, `hits += 1`) is indistinguishable from the scan
+///   finding the same slot.
 pub struct ICache {
     cfg: ICacheConfig,
     sets: u32,
-    /// `tags[set * ways + way]`; `u64::MAX` means invalid.
+    /// `line >> line_shift` when the line size is a power of two.
+    line_shift: Option<u32>,
+    /// `line & set_mask` when the set count is a power of two.
+    set_mask: Option<u64>,
+    /// Line number of the most recent access (`u64::MAX` = none).
+    last_line: u64,
+    /// Slot index (into `tags`/`stamps`) of the most recent access.
+    last_slot: u32,
+    /// Same-line hits accumulated since the last fold (see the batching
+    /// note above): each owes `clock += 1`, `hits += 1` and a final
+    /// stamp refresh of `last_slot`.
+    pending: u64,
+    /// Direct-mapped `line → slot` side table (`AUX_LINES` entries,
+    /// indexed by the line's low bits). `u64::MAX` = empty; cleared on
+    /// every fill.
+    aux_line: [u64; AUX_LINES],
+    /// Slots paired with `aux_line`.
+    aux_slot: [u32; AUX_LINES],
+    /// `tags[set * ways + way]` holds the full line number; `u64::MAX`
+    /// means invalid (no valid access has line `u64::MAX`: addresses
+    /// are below `2^64 - line`).
     tags: Vec<u64>,
     /// LRU stamps parallel to `tags`.
     stamps: Vec<u64>,
@@ -300,6 +352,10 @@ pub struct ICache {
     hits: u64,
     misses: u64,
 }
+
+/// Entries in the [`ICache`] line → slot side table. Eight 64-byte
+/// lines cover a 512-byte loop body, enough for the hot kernels.
+const AUX_LINES: usize = 8;
 
 impl ICache {
     /// Creates an empty cache with the given geometry.
@@ -309,6 +365,16 @@ impl ICache {
         ICache {
             cfg,
             sets,
+            line_shift: cfg
+                .line
+                .is_power_of_two()
+                .then(|| cfg.line.trailing_zeros()),
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
+            last_line: u64::MAX,
+            last_slot: 0,
+            pending: 0,
+            aux_line: [u64::MAX; AUX_LINES],
+            aux_slot: [0; AUX_LINES],
             tags: vec![u64::MAX; (sets * cfg.ways) as usize],
             stamps: vec![0; (sets * cfg.ways) as usize],
             clock: 0,
@@ -317,38 +383,138 @@ impl ICache {
         }
     }
 
+    /// Line size in bytes.
+    #[inline]
+    pub fn line_size(&self) -> u64 {
+        self.cfg.line as u64
+    }
+
+    /// Folds the pending same-line run into the real counters and the
+    /// slot's LRU stamp. Must run before any set scan or counter read.
+    #[inline]
+    fn fold_pending(&mut self) {
+        if self.pending > 0 {
+            self.clock += self.pending;
+            self.hits += self.pending;
+            self.stamps[self.last_slot as usize] = self.clock;
+            self.pending = 0;
+        }
+    }
+
     /// Touches the line containing `addr`; returns the miss penalty in
     /// deci-cycles (0 on a hit).
     #[inline]
     pub fn access(&mut self, addr: VAddr) -> u64 {
-        let line = addr / self.cfg.line as u64;
-        let set = (line % self.sets as u64) as u32;
-        let tag = line / self.sets as u64;
+        let line = match self.line_shift {
+            Some(s) => addr >> s,
+            None => addr / self.cfg.line as u64,
+        };
+        if line == self.last_line {
+            self.pending += 1;
+            return 0;
+        }
+        self.line_change(line)
+    }
+
+    /// `count` consecutive accesses all falling on `line` (a run
+    /// segment from the decoded engine): exactly equivalent to `count`
+    /// [`ICache::access`] calls with addresses on that line — the first
+    /// access resolves the line, the rest are batched same-line hits.
+    /// Returns the summed miss penalty.
+    #[inline]
+    pub fn access_span(&mut self, line: u64, count: u64) -> u64 {
+        debug_assert!(count > 0);
+        if line == self.last_line {
+            self.pending += count;
+            return 0;
+        }
+        let p = self.line_change(line);
+        self.pending += count - 1;
+        p
+    }
+
+    /// Un-books `count` batched same-line hits that were charged ahead
+    /// of instructions that never executed (a fault mid-run). Sound
+    /// because pending hits are pure arithmetic — nothing else about
+    /// the cache state has observed them yet.
+    #[inline]
+    pub fn rollback_pending(&mut self, count: u64) {
+        debug_assert!(self.pending >= count);
+        self.pending -= count;
+    }
+
+    /// Line-change path of [`ICache::access`]: side table, then set
+    /// scan, then fill.
+    fn line_change(&mut self, line: u64) -> u64 {
+        // Side-table hit: the binding is proven resident, so this is
+        // a plain hit at the known slot — stamp it at this access's
+        // clock and make it the new batched line.
+        let h = line as usize & (AUX_LINES - 1);
+        if self.aux_line[h] == line {
+            let slot = self.aux_slot[h];
+            self.fold_pending();
+            self.clock += 1;
+            self.stamps[slot as usize] = self.clock;
+            self.hits += 1;
+            self.remember_last();
+            self.last_line = line;
+            self.last_slot = slot;
+            return 0;
+        }
+        self.fold_pending();
+        let set = match self.set_mask {
+            Some(m) => (line & m) as u32,
+            None => (line % self.sets as u64) as u32,
+        };
         let base = (set * self.cfg.ways) as usize;
         self.clock += 1;
         let ways = self.cfg.ways as usize;
-        let mut victim = base;
-        let mut victim_stamp = u64::MAX;
+        // Hit scan first: no LRU bookkeeping needed unless we miss.
         for i in base..base + ways {
-            if self.tags[i] == tag {
+            if self.tags[i] == line {
                 self.stamps[i] = self.clock;
                 self.hits += 1;
+                self.remember_last();
+                self.last_line = line;
+                self.last_slot = i as u32;
                 return 0;
             }
+        }
+        let mut victim = base;
+        let mut victim_stamp = self.stamps[base];
+        for i in base + 1..base + ways {
             if self.stamps[i] < victim_stamp {
                 victim_stamp = self.stamps[i];
                 victim = i;
             }
         }
-        self.tags[victim] = tag;
+        self.tags[victim] = line;
         self.stamps[victim] = self.clock;
         self.misses += 1;
+        // The fill may have evicted any remembered line (the victim
+        // slot could back any entry): drop every residency proof.
+        self.aux_line = [u64::MAX; AUX_LINES];
+        self.last_line = line;
+        self.last_slot = victim as u32;
         self.cfg.miss_penalty as u64 * 10
     }
 
-    /// (hits, misses) counters.
+    /// Demotes the current batched line into the side table (its
+    /// residency is proven: `tags[last_slot]` still holds it, since
+    /// every fill clears the table and resets `last_*`).
+    #[inline]
+    fn remember_last(&mut self) {
+        if self.last_line != u64::MAX {
+            let h = self.last_line as usize & (AUX_LINES - 1);
+            self.aux_line[h] = self.last_line;
+            self.aux_slot[h] = self.last_slot;
+        }
+    }
+
+    /// (hits, misses) counters. Same-line hits still pending fold are
+    /// included — reading the counters never loses them.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (self.hits + self.pending, self.misses)
     }
 }
 

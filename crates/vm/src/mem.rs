@@ -14,12 +14,15 @@
 //! the hot paths are free to be aggressive:
 //!
 //! * page frames live in one contiguous arena (a single [`Vec<u8>`]), so
-//!   materializing a page never heap-allocates on its own; the
-//!   page-number → entry map is a [`HashMap`] keyed with an
-//!   FxHash-style multiplicative hasher instead of the DoS-resistant
-//!   SipHash default (guest page numbers are not attacker-controlled
-//!   hash inputs — the *simulated* attacker operates on simulated
-//!   memory, never on host data structures);
+//!   materializing a page never heap-allocates on its own; the page
+//!   table is two-level — a [`HashMap`] of 2 MiB *regions* (keyed with
+//!   an FxHash-style multiplicative hasher instead of the
+//!   DoS-resistant SipHash default; guest page numbers are not
+//!   attacker-controlled hash inputs — the *simulated* attacker
+//!   operates on simulated memory, never on host data structures),
+//!   each a dense 512-entry array — so a bulk `map`/`unmap`/`protect`
+//!   of a multi-megabyte `malloc` costs one hash probe per region and
+//!   an array store per page, not a hash insert per page;
 //! * page frames are **lazily materialized**: `map` records only the
 //!   table entry, and the backing frame is allocated (zeroed) on first
 //!   write — reads of never-written pages return zeros without
@@ -165,13 +168,46 @@ enum AccessClass {
 /// not been materialized yet, so its contents are all-zero.
 const NO_FRAME: u32 = u32::MAX;
 
-/// Table entry for one mapped page.
+/// Table entry for one page.
 #[derive(Clone, Copy)]
 struct PageEntry {
     perms: Perms,
+    /// False for the dense-array slots of a region whose page was never
+    /// mapped (or was unmapped): the entry is a hole, not a mapping.
+    mapped: bool,
     /// Frame arena slot, or [`NO_FRAME`] while the page has never been
     /// written.
     slot: u32,
+}
+
+const UNMAPPED_ENTRY: PageEntry = PageEntry {
+    perms: Perms::NONE,
+    mapped: false,
+    slot: NO_FRAME,
+};
+
+/// Pages per second-level table: 512 pages = 2 MiB of guest address
+/// space per region.
+const REGION_BITS: u64 = 9;
+const REGION_PAGES: usize = 1 << REGION_BITS;
+const REGION_MASK: u64 = REGION_PAGES as u64 - 1;
+
+/// Second-level page table: a dense entry array covering one 2 MiB
+/// aligned slice of the guest address space, plus a population count
+/// so a fully-unmapped region can be dropped from the top-level map.
+#[derive(Clone)]
+struct Region {
+    entries: Box<[PageEntry; REGION_PAGES]>,
+    mapped: u32,
+}
+
+impl Region {
+    fn empty() -> Region {
+        Region {
+            entries: Box::new([UNMAPPED_ENTRY; REGION_PAGES]),
+            mapped: 0,
+        }
+    }
 }
 
 /// One cached page-number → page-entry translation. `page` is
@@ -197,8 +233,10 @@ const TLB_INVALID: TlbEntry = TlbEntry {
 /// Tracks the number of resident pages and the high-water mark, which is
 /// how the reproduction measures the `maxrss` metric of paper §6.2.5.
 pub struct Memory {
-    /// Page number → permissions + frame slot.
-    table: HashMap<u64, PageEntry, BuildFxHasher>,
+    /// Region number (page >> [`REGION_BITS`]) → dense page entries.
+    table: HashMap<u64, Region, BuildFxHasher>,
+    /// Number of mapped pages across all regions.
+    resident: usize,
     /// Contiguous frame arena holding the *materialized* pages only;
     /// slot `i`'s backing bytes are `frames[i * PAGE_SIZE..][..PAGE_SIZE]`.
     /// Mapping allocates nothing here — a frame appears on first write,
@@ -235,7 +273,8 @@ impl Default for Memory {
 /// [`Vm::reset_to_image`]: crate::Vm::reset_to_image
 #[derive(Clone)]
 pub struct MemSnapshot {
-    table: HashMap<u64, PageEntry, BuildFxHasher>,
+    table: HashMap<u64, Region, BuildFxHasher>,
+    resident: usize,
     frames: Vec<u8>,
     free: Vec<u32>,
     max_pages: usize,
@@ -246,10 +285,26 @@ impl Memory {
     pub fn new() -> Memory {
         Memory {
             table: HashMap::default(),
+            resident: 0,
             frames: Vec::new(),
             free: Vec::new(),
             tlb: [const { Cell::new(TLB_INVALID) }; 3],
             max_pages: 0,
+        }
+    }
+
+    /// Creates an address space directly from a snapshot — the moral
+    /// equivalent of `Memory::new()` + [`Memory::restore`], used to spin
+    /// up a VM from a shared load-time image without re-running the
+    /// map-and-poke sequence that produced it.
+    pub fn from_snapshot(snap: &MemSnapshot) -> Memory {
+        Memory {
+            table: snap.table.clone(),
+            resident: snap.resident,
+            frames: snap.frames.clone(),
+            free: snap.free.clone(),
+            tlb: [const { Cell::new(TLB_INVALID) }; 3],
+            max_pages: snap.max_pages,
         }
     }
 
@@ -258,6 +313,7 @@ impl Memory {
     pub fn snapshot(&self) -> MemSnapshot {
         MemSnapshot {
             table: self.table.clone(),
+            resident: self.resident,
             frames: self.frames.clone(),
             free: self.free.clone(),
             max_pages: self.max_pages,
@@ -270,6 +326,7 @@ impl Memory {
     /// a restore is a memcpy-scale operation rather than a rebuild.
     pub fn restore(&mut self, snap: &MemSnapshot) {
         self.table.clone_from(&snap.table);
+        self.resident = snap.resident;
         self.frames.clone_from(&snap.frames);
         self.free.clone_from(&snap.free);
         self.max_pages = snap.max_pages;
@@ -295,16 +352,33 @@ impl Memory {
         if e.page == page {
             return Some(PageEntry {
                 perms: e.perms,
+                mapped: true,
                 slot: e.slot,
             });
         }
-        let pe = *self.table.get(&page)?;
+        let r = self.table.get(&(page >> REGION_BITS))?;
+        let pe = r.entries[(page & REGION_MASK) as usize];
+        if !pe.mapped {
+            return None;
+        }
         self.tlb[class as usize].set(TlbEntry {
             page,
             slot: pe.slot,
             perms: pe.perms,
         });
         Some(pe)
+    }
+
+    /// Mutable entry of a mapped page, or `None` if unmapped.
+    #[inline]
+    fn entry_mut(&mut self, page: u64) -> Option<&mut PageEntry> {
+        let r = self.table.get_mut(&(page >> REGION_BITS))?;
+        let e = &mut r.entries[(page & REGION_MASK) as usize];
+        if e.mapped {
+            Some(e)
+        } else {
+            None
+        }
     }
 
     /// Backing bytes of an arena slot.
@@ -336,8 +410,7 @@ impl Memory {
                 s
             }
         };
-        self.table
-            .get_mut(&page)
+        self.entry_mut(page)
             .expect("materialize of unmapped page")
             .slot = slot;
         self.flush_tlb();
@@ -354,16 +427,99 @@ impl Memory {
         self.flush_tlb();
         let first = Self::page_index(addr);
         let last = Self::page_index(addr + len - 1);
-        for p in first..=last {
-            self.table
-                .entry(p)
-                .and_modify(|e| e.perms = perms)
-                .or_insert(PageEntry {
-                    perms,
-                    slot: NO_FRAME,
-                });
+        let mut p = first;
+        while p <= last {
+            let r = self
+                .table
+                .entry(p >> REGION_BITS)
+                .or_insert_with(Region::empty);
+            let stop = last.min(p | REGION_MASK);
+            while p <= stop {
+                let e = &mut r.entries[(p & REGION_MASK) as usize];
+                if e.mapped {
+                    e.perms = perms;
+                } else {
+                    *e = PageEntry {
+                        perms,
+                        mapped: true,
+                        slot: NO_FRAME,
+                    };
+                    r.mapped += 1;
+                    self.resident += 1;
+                }
+                p += 1;
+            }
         }
-        self.max_pages = self.max_pages.max(self.table.len());
+        self.max_pages = self.max_pages.max(self.resident);
+    }
+
+    /// Maps only the currently-unmapped pages in `[addr, addr + len)`
+    /// with `perms`, leaving already-mapped pages — contents *and*
+    /// permissions — untouched. The heap uses this to back fresh
+    /// allocations: a neighbouring page the guest already turned into a
+    /// guard must stay a guard, and a bulk `malloc` must not pay a
+    /// per-page `is_mapped` probe to find that out.
+    pub fn map_missing(&mut self, addr: VAddr, len: u64, perms: Perms) {
+        if len == 0 {
+            return;
+        }
+        self.flush_tlb();
+        let first = Self::page_index(addr);
+        let last = Self::page_index(addr + len - 1);
+        let mut p = first;
+        while p <= last {
+            let r = self
+                .table
+                .entry(p >> REGION_BITS)
+                .or_insert_with(Region::empty);
+            let stop = last.min(p | REGION_MASK);
+            while p <= stop {
+                let e = &mut r.entries[(p & REGION_MASK) as usize];
+                if !e.mapped {
+                    *e = PageEntry {
+                        perms,
+                        mapped: true,
+                        slot: NO_FRAME,
+                    };
+                    r.mapped += 1;
+                    self.resident += 1;
+                }
+                p += 1;
+            }
+        }
+        self.max_pages = self.max_pages.max(self.resident);
+    }
+
+    /// Sets every mapped, accessible (non-`NONE`) page in
+    /// `[addr, addr + len)` to no-access, invoking `f` with each such
+    /// page number in ascending order. Unmapped holes and pages that
+    /// already deny everything (guards, quarantined pages) are skipped.
+    /// This is the heap's bulk page-retirement primitive: one TLB flush
+    /// and one region probe per 2 MiB, instead of an `is_mapped` +
+    /// `perms_at` + `protect` round-trip per page.
+    pub fn retire_accessible(&mut self, addr: VAddr, len: u64, mut f: impl FnMut(u64)) {
+        if len == 0 {
+            return;
+        }
+        self.flush_tlb();
+        let first = Self::page_index(addr);
+        let last = Self::page_index(addr + len - 1);
+        let mut p = first;
+        while p <= last {
+            let stop = last.min(p | REGION_MASK);
+            if let Some(r) = self.table.get_mut(&(p >> REGION_BITS)) {
+                while p <= stop {
+                    let e = &mut r.entries[(p & REGION_MASK) as usize];
+                    if e.mapped && e.perms != Perms::NONE {
+                        e.perms = Perms::NONE;
+                        f(p);
+                    }
+                    p += 1;
+                }
+            } else {
+                p = stop + 1;
+            }
+        }
     }
 
     /// Unmaps every page intersecting `[addr, addr+len)`.
@@ -374,11 +530,28 @@ impl Memory {
         self.flush_tlb();
         let first = Self::page_index(addr);
         let last = Self::page_index(addr + len - 1);
-        for p in first..=last {
-            if let Some(e) = self.table.remove(&p) {
-                if e.slot != NO_FRAME {
-                    self.free.push(e.slot);
+        let mut p = first;
+        while p <= last {
+            let rkey = p >> REGION_BITS;
+            let stop = last.min(p | REGION_MASK);
+            if let Some(r) = self.table.get_mut(&rkey) {
+                while p <= stop {
+                    let e = &mut r.entries[(p & REGION_MASK) as usize];
+                    if e.mapped {
+                        if e.slot != NO_FRAME {
+                            self.free.push(e.slot);
+                        }
+                        *e = UNMAPPED_ENTRY;
+                        r.mapped -= 1;
+                        self.resident -= 1;
+                    }
+                    p += 1;
                 }
+                if r.mapped == 0 {
+                    self.table.remove(&rkey);
+                }
+            } else {
+                p = stop + 1;
             }
         }
     }
@@ -394,7 +567,7 @@ impl Memory {
         let first = Self::page_index(addr);
         let last = Self::page_index(addr + len - 1);
         for p in first..=last {
-            match self.table.get_mut(&p) {
+            match self.entry_mut(p) {
                 Some(e) => e.perms = perms,
                 None => {
                     return Err(Fault::Unmapped {
@@ -416,12 +589,15 @@ impl Memory {
 
     /// True if the page containing `addr` is mapped.
     pub fn is_mapped(&self, addr: VAddr) -> bool {
-        self.table.contains_key(&Self::page_index(addr))
+        let page = Self::page_index(addr);
+        self.table
+            .get(&(page >> REGION_BITS))
+            .is_some_and(|r| r.entries[(page & REGION_MASK) as usize].mapped)
     }
 
     /// Number of currently resident pages.
     pub fn resident_pages(&self) -> usize {
-        self.table.len()
+        self.resident
     }
 
     /// High-water mark of resident pages over the lifetime of this
@@ -439,12 +615,19 @@ impl Memory {
         }
         let first = Self::page_index(addr);
         let last = Self::page_index(addr + len - 1);
-        let mut pages: Vec<(u64, Perms)> = self
-            .table
-            .iter()
-            .filter(|(&p, _)| p >= first && p <= last)
-            .map(|(&p, e)| (p, e.perms))
-            .collect();
+        let mut pages: Vec<(u64, Perms)> = Vec::new();
+        for (&rkey, r) in &self.table {
+            let base = rkey << REGION_BITS;
+            if base > last || base + REGION_MASK < first {
+                continue;
+            }
+            for (i, e) in r.entries.iter().enumerate() {
+                let p = base + i as u64;
+                if e.mapped && p >= first && p <= last {
+                    pages.push((p, e.perms));
+                }
+            }
+        }
         pages.sort_unstable_by_key(|&(p, _)| p);
         pages
     }
@@ -647,14 +830,18 @@ impl Memory {
                 // Demand-map, as the old implementation did for
                 // permissionless pokes into fresh pages.
                 self.flush_tlb();
-                self.table.insert(
-                    page,
-                    PageEntry {
-                        perms: Perms::NONE,
-                        slot: NO_FRAME,
-                    },
-                );
-                self.max_pages = self.max_pages.max(self.table.len());
+                let r = self
+                    .table
+                    .entry(page >> REGION_BITS)
+                    .or_insert_with(Region::empty);
+                r.entries[(page & REGION_MASK) as usize] = PageEntry {
+                    perms: Perms::NONE,
+                    mapped: true,
+                    slot: NO_FRAME,
+                };
+                r.mapped += 1;
+                self.resident += 1;
+                self.max_pages = self.max_pages.max(self.resident);
             }
             let slot = match entry {
                 Some(e) if e.slot != NO_FRAME => Some(e.slot),

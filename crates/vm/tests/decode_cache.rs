@@ -1,0 +1,160 @@
+//! Regression tests for the decoded-program cache: VMs built from the
+//! same image share one decoded program, while any change to the image
+//! — a mutated instruction, a different module loaded into a reused VM
+//! — must produce a fresh decode. Stale decoded blocks executing after
+//! an image change is the classic predecoded-interpreter bug this file
+//! pins.
+
+use r2c_vm::unwind::UnwindTable;
+use r2c_vm::{
+    decode_cache_live_entries, ExitStatus, Gpr, Image, Insn, MachineKind, NativeKind,
+    SectionLayout, Symbol, SymbolKind, Vm, VmConfig, PAGE_SIZE,
+};
+
+const TEXT_BASE: u64 = 0x40_0000;
+
+fn asm(insns: Vec<Insn>, natives: Vec<NativeKind>) -> Image {
+    let mut addrs = Vec::new();
+    let mut a = TEXT_BASE;
+    for i in &insns {
+        addrs.push(a);
+        a += i.len();
+    }
+    let text_end = a.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+    Image {
+        insns,
+        insn_addrs: addrs,
+        layout: SectionLayout {
+            text_base: TEXT_BASE,
+            text_end,
+            data_base: 0x60_0000,
+            data_end: 0x60_4000,
+            heap_base: 0x10_0000_0000,
+            heap_size: 16 * 1024 * 1024,
+            stack_top: 0x7fff_ffff_f000,
+            stack_size: 1024 * 1024,
+        },
+        entry: TEXT_BASE,
+        constructors: vec![],
+        data_init: vec![],
+        xom: true,
+        symbols: vec![Symbol {
+            name: "main".into(),
+            addr: TEXT_BASE,
+            size: 0,
+            kind: SymbolKind::Function,
+        }],
+        natives,
+        unwind: UnwindTable::default(),
+    }
+}
+
+fn exits_with(insns: Vec<Insn>) -> Image {
+    asm(insns, vec![])
+}
+
+fn cfg() -> VmConfig {
+    VmConfig {
+        no_fuse: false,
+        ..VmConfig::new(MachineKind::EpycRome.config())
+    }
+}
+
+/// A straight-line body long enough to form a block run, returning
+/// `tag` so the executed program version is observable in the exit
+/// code.
+fn tagged_program(tag: u64) -> Vec<Insn> {
+    let mut insns = Vec::new();
+    for i in 0..8 {
+        insns.push(Insn::MovImm {
+            dst: Gpr::ALL[(i % 8) + 8],
+            imm: i as u64,
+        });
+    }
+    insns.push(Insn::MovImm {
+        dst: Gpr::Rax,
+        imm: tag,
+    });
+    insns.push(Insn::Ret);
+    insns
+}
+
+#[test]
+fn same_image_shares_one_decode() {
+    let image = exits_with(tagged_program(1));
+    let a = Vm::new(&image, cfg());
+    let b = Vm::new(&image, cfg());
+    assert_eq!(a.decoded_program_id(), b.decoded_program_id());
+}
+
+/// Mutating an [`Image`] after a VM was built from it must give the
+/// next VM a fresh decode — the cache verifies field-by-field instead
+/// of trusting its hash key, so even a colliding fingerprint cannot
+/// resurrect stale decoded blocks.
+#[test]
+fn mutated_image_gets_fresh_decode_and_fresh_semantics() {
+    let mut image = exits_with(tagged_program(1));
+    let mut a = Vm::new(&image, cfg());
+    assert_eq!(a.run().status, ExitStatus::Exited(1));
+
+    // Change the tag instruction in place; `a` keeps running the old
+    // program (its decode is pinned), a new VM must see the new one.
+    let n = image.insns.len();
+    image.insns[n - 2] = Insn::MovImm {
+        dst: Gpr::Rax,
+        imm: 2,
+    };
+    let mut b = Vm::new(&image, cfg());
+    assert_ne!(
+        a.decoded_program_id(),
+        b.decoded_program_id(),
+        "mutated image must not reuse the stale decoded program"
+    );
+    assert_eq!(b.run().status, ExitStatus::Exited(2));
+    a.reset_to_image();
+    assert_eq!(
+        a.run().status,
+        ExitStatus::Exited(1),
+        "existing VM keeps its own (pinned) decode"
+    );
+}
+
+/// Loading a different module into a reused VM replaces the decoded
+/// program wholesale; no block decoded from the first module can run.
+#[test]
+fn reused_vm_never_executes_stale_blocks() {
+    let first = exits_with(tagged_program(10));
+    let second = exits_with(tagged_program(20));
+    let mut vm = Vm::new(&first, cfg());
+    let id_first = vm.decoded_program_id();
+    assert_eq!(vm.run().status, ExitStatus::Exited(10));
+
+    vm.load_image(&second);
+    assert_ne!(vm.decoded_program_id(), id_first);
+    assert_eq!(vm.run().status, ExitStatus::Exited(20));
+
+    // And back: the original image decodes to the original program
+    // semantics (possibly the cached object, if still alive).
+    vm.load_image(&first);
+    assert_eq!(vm.run().status, ExitStatus::Exited(10));
+}
+
+/// Cache entries are weak: dropping every VM on an image releases its
+/// decoded program instead of accumulating one entry per image ever
+/// seen (the serve fleet builds thousands of variant images per hour).
+#[test]
+fn dropped_vms_release_cache_entries() {
+    let before = decode_cache_live_entries();
+    let images: Vec<Image> = (100..108).map(|t| exits_with(tagged_program(t))).collect();
+    let vms: Vec<Vm> = images.iter().map(|im| Vm::new(im, cfg())).collect();
+    assert!(
+        decode_cache_live_entries() >= before + images.len(),
+        "each distinct image holds one live entry"
+    );
+    let during = decode_cache_live_entries();
+    drop(vms);
+    assert!(
+        decode_cache_live_entries() <= during - images.len(),
+        "dropping the VMs must release their decoded programs"
+    );
+}
