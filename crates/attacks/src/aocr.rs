@@ -249,6 +249,7 @@ mod tests {
             },
             seed: 0,
             check: cfg!(debug_assertions),
+            check_decode: cfg!(debug_assertions),
         };
         let k = AttackerKnowledge::profile(&cfg, 42);
         let mut ok = 0;

@@ -140,6 +140,7 @@ mod tests {
             },
             seed: 3,
             check: cfg!(debug_assertions),
+            check_decode: cfg!(debug_assertions),
         };
         let v = build_victim(cfg);
         let mut vm = run_victim(&v.image);

@@ -217,6 +217,7 @@ mod tests {
                 diversify: DiversifyConfig::hardened(3),
                 seed,
                 check: cfg!(debug_assertions),
+                check_decode: cfg!(debug_assertions),
             };
             let image = build(cfg);
             match zeroing_attack(&image) {
@@ -242,6 +243,7 @@ mod tests {
                 diversify: DiversifyConfig::hardened(2),
                 seed,
                 check: cfg!(debug_assertions),
+                check_decode: cfg!(debug_assertions),
             };
             let image = R2cCompiler::new(cfg).build(&module).unwrap();
             let mut vm = Vm::new(&image, VmConfig::new(MachineKind::EpycRome.config()));

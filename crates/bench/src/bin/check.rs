@@ -8,11 +8,18 @@
 //! (`R2cConfig::check` is on in debug builds): CI runs this binary so
 //! the checker also validates the exact artifacts the performance
 //! reports measure. Exits non-zero on any finding.
+//!
+//! With `--decode`, the sweep instead runs the decode translation
+//! validator ([`r2c_check::check_decode`]) over every linked image:
+//! each cell symbolically proves the pre-decoded execution-engine
+//! program equivalent to the image's reference semantics under **all
+//! four machine models, fusion on and off** (the release-mode
+//! counterpart of `R2cConfig::check_decode`).
 
 use std::process::ExitCode;
 
 use r2c_bench::{parallel_map, TablePrinter};
-use r2c_check::{check_image, check_program};
+use r2c_check::{check_decode, check_image, check_program};
 use r2c_codegen::{link, LinkOptions};
 use r2c_core::{Component, DiversifyConfig, R2cCompiler, R2cConfig};
 use r2c_ir::Module;
@@ -29,6 +36,7 @@ fn configs(seed: u64) -> Vec<(String, R2cConfig)> {
                 diversify: DiversifyConfig::hardened(2),
                 seed,
                 check: false,
+                check_decode: false,
             },
         ),
     ];
@@ -39,21 +47,29 @@ fn configs(seed: u64) -> Vec<(String, R2cConfig)> {
 }
 
 /// Checks one (module, config) cell; returns the findings rendered as
-/// strings (empty = clean).
-fn check_cell(module: &Module, cfg: R2cConfig) -> Vec<String> {
+/// strings (empty = clean). In decode mode the cell runs the decode
+/// translation validator over the linked image (all machines, fusion
+/// on and off) instead of the program/image structural passes.
+fn check_cell(module: &Module, cfg: R2cConfig, decode: bool) -> Vec<String> {
     let compiler = R2cCompiler::new(cfg.with_check(false));
     let (program, opts, _) = match compiler.compile_program(module) {
         Ok(r) => r,
         Err(e) => return vec![format!("compile error: {e}")],
     };
-    let mut findings: Vec<String> = check_program(&program, &opts.diversify)
-        .into_iter()
-        .map(|e| format!("program: {e}"))
-        .collect();
     let image = link(
         &program,
         &LinkOptions::from_config(&opts.diversify, opts.seed),
     );
+    if decode {
+        return check_decode(&image)
+            .into_iter()
+            .map(|e| format!("decode: {e}"))
+            .collect();
+    }
+    let mut findings: Vec<String> = check_program(&program, &opts.diversify)
+        .into_iter()
+        .map(|e| format!("program: {e}"))
+        .collect();
     findings.extend(
         check_image(&image, &opts.diversify)
             .into_iter()
@@ -63,6 +79,7 @@ fn check_cell(module: &Module, cfg: R2cConfig) -> Vec<String> {
 }
 
 fn main() -> ExitCode {
+    let decode = std::env::args().any(|a| a == "--decode");
     let seeds: &[u64] = if std::env::args().any(|a| a == "--large") {
         &[0, 1, 2, 3, 4, 5, 6, 7]
     } else {
@@ -79,7 +96,12 @@ fn main() -> ExitCode {
 
     let cfg_names: Vec<String> = configs(0).iter().map(|(n, _)| n.clone()).collect();
     println!(
-        "Static checker sweep: {} workloads x {} configs x {} seeds\n",
+        "{}: {} workloads x {} configs x {} seeds\n",
+        if decode {
+            "Decode translation-validation sweep (all machines, fusion on/off)"
+        } else {
+            "Static checker sweep"
+        },
         modules.len(),
         cfg_names.len(),
         seeds.len()
@@ -94,7 +116,7 @@ fn main() -> ExitCode {
         for &seed in seeds {
             let (name, cfg) = configs(seed).swap_remove(ci);
             debug_assert_eq!(name, cfg_names[ci]);
-            for f in check_cell(&modules[wi].1, cfg) {
+            for f in check_cell(&modules[wi].1, cfg, decode) {
                 findings.push(format!("seed {seed}: {f}"));
             }
         }

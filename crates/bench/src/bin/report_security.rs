@@ -162,6 +162,7 @@ fn main() {
             diversify: r2c_core::DiversifyConfig::hardened(3),
             seed,
             check: cfg!(debug_assertions),
+            check_decode: cfg!(debug_assertions),
         };
         let img = r2c_core::R2cCompiler::new(hardened).build(&module).unwrap();
         let hard = matches!(

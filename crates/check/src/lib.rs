@@ -32,11 +32,14 @@ use r2c_vm::{Gpr, Image};
 
 mod camo;
 mod cfgpass;
+mod decode_tv;
 mod image;
 mod regs;
 mod stack;
+mod sym;
 
 pub use cfgpass::FnInfo;
+pub use decode_tv::{check_decode, check_decoded_program, DecodeTvClass};
 
 /// One checker finding, located as precisely as the pass allows.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -215,6 +218,20 @@ pub enum CheckKind {
         /// Human-readable description.
         detail: String,
     },
+
+    // --- Decode translation validation ---
+    /// The decoded execution engine's pre-decoded program diverges from
+    /// the reference semantics of the image it was built from.
+    DecodeTv {
+        /// Machine model the program was decoded for.
+        machine: &'static str,
+        /// Whether superinstruction fusion was enabled for the decode.
+        fused: bool,
+        /// Which proof obligation failed.
+        class: DecodeTvClass,
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CheckKind {
@@ -291,6 +308,15 @@ impl std::fmt::Display for CheckKind {
                 )
             }
             CheckKind::ImageError { detail } => write!(f, "image: {detail}"),
+            CheckKind::DecodeTv {
+                machine,
+                fused,
+                class,
+                detail,
+            } => {
+                let mode = if *fused { "fused" } else { "nofuse" };
+                write!(f, "decode-tv[{machine}, {mode}] {class}: {detail}")
+            }
         }
     }
 }

@@ -1,0 +1,617 @@
+//! Translation-validation suite for the decoded execution engine.
+//!
+//! Two halves:
+//!
+//! * **Soundness on real decodes** — a hand-assembled program that
+//!   exercises every pattern in the fusion catalogue (all fifteen
+//!   fused pairs, both quad forms, block runs with multi-segment
+//!   icache coverage) validates cleanly under every machine model,
+//!   fusion on and off. A companion coverage assertion proves the
+//!   program really does decode to every pattern, so "clean" is not
+//!   vacuous.
+//! * **Teeth (mutation tests)** — distinct surgical corruptions of a
+//!   decoded program (operand chaining, rollback slots, batched run
+//!   costs, branch targets, second-half fusion metadata, dispatch
+//!   entries, fault-attribution addresses, per-op costs) must each be
+//!   caught, with the right [`DecodeTvClass`].
+
+use std::collections::BTreeSet;
+
+use r2c_check::{check_decode, check_decoded_program, CheckKind, DecodeTvClass};
+use r2c_vm::decode_inspect::{decode_program, DecodedProgram, Op};
+use r2c_vm::insn::AluOp;
+use r2c_vm::unwind::UnwindTable;
+use r2c_vm::{
+    Cond, Gpr, Image, Insn, MachineKind, MemRef, NativeKind, SectionLayout, Symbol, SymbolKind,
+    PAGE_SIZE,
+};
+
+const TEXT_BASE: u64 = 0x40_0000;
+const DATA_BASE: u64 = 0x60_0000;
+
+/// Hand-assembles an image from instructions laid out contiguously,
+/// mirroring the compiler's section layout.
+fn asm(insns: Vec<Insn>, natives: Vec<NativeKind>) -> Image {
+    let mut addrs = Vec::new();
+    let mut a = TEXT_BASE;
+    for i in &insns {
+        addrs.push(a);
+        a += i.len();
+    }
+    let text_end = a.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+    Image {
+        insns,
+        insn_addrs: addrs,
+        layout: SectionLayout {
+            text_base: TEXT_BASE,
+            text_end,
+            data_base: DATA_BASE,
+            data_end: DATA_BASE + 0x4000,
+            heap_base: 0x10_0000_0000,
+            heap_size: 16 * 1024 * 1024,
+            stack_top: 0x7fff_ffff_f000,
+            stack_size: 1024 * 1024,
+        },
+        entry: TEXT_BASE,
+        constructors: vec![],
+        data_init: vec![],
+        xom: true,
+        symbols: vec![Symbol {
+            name: "main".into(),
+            addr: TEXT_BASE,
+            size: 0,
+            kind: SymbolKind::Function,
+        }],
+        natives,
+        unwind: UnwindTable::default(),
+    }
+}
+
+/// Address of instruction `i` under the contiguous layout `asm` uses.
+fn addr_of(insns: &[Insn], i: usize) -> u64 {
+    TEXT_BASE + insns[..i].iter().map(|x| x.len()).sum::<u64>()
+}
+
+/// A program whose decode contains every fused-pair pattern, both quad
+/// forms (and their pair-head variants), and block runs spanning more
+/// than one icache line.
+fn all_patterns_program() -> Image {
+    let data = MemRef::base(Gpr::Rsi);
+    let data8 = MemRef {
+        base: Gpr::Rsi,
+        index: None,
+        disp: 8,
+    };
+    let mut insns = vec![
+        Insn::MovAbs {
+            dst: Gpr::Rsi,
+            imm: DATA_BASE,
+        },
+        Insn::MovImm {
+            dst: Gpr::Rax,
+            imm: 0,
+        },
+        Insn::MovImm {
+            dst: Gpr::Rcx,
+            imm: 7,
+        },
+        Insn::MovImm {
+            dst: Gpr::Rdx,
+            imm: 9,
+        },
+        Insn::MovImm {
+            dst: Gpr::Rdi,
+            imm: 5,
+        },
+    ];
+    // AluImm pairs with nothing in the catalogue, so it stops greedy
+    // pairing from consuming a cluster's first instruction into a
+    // cross-cluster pair.
+    let sep = Insn::AluImm {
+        op: AluOp::Or,
+        dst: Gpr::Rbp,
+        imm: 0,
+    };
+    // Every straight-line pair pattern, emitted at three byte
+    // alignments (the Nop spacers shift the stream mod the icache
+    // line), so each pair forms in at least one copy even when another
+    // copy straddles a line boundary (in-run pairs are segment-local).
+    for spacer in [1u8, 2, 3] {
+        insns.push(Insn::Nop { len: spacer });
+        for cluster in [
+            // MovReg+AluReg.
+            vec![
+                Insn::MovReg {
+                    dst: Gpr::Rbx,
+                    src: Gpr::Rcx,
+                },
+                Insn::AluReg {
+                    op: AluOp::Add,
+                    dst: Gpr::Rax,
+                    src: Gpr::Rbx,
+                },
+            ],
+            // AluReg+MovReg.
+            vec![
+                Insn::AluReg {
+                    op: AluOp::Add,
+                    dst: Gpr::Rax,
+                    src: Gpr::Rdx,
+                },
+                Insn::MovReg {
+                    dst: Gpr::R8,
+                    src: Gpr::Rax,
+                },
+            ],
+            // MovImm+MovReg.
+            vec![
+                Insn::MovImm {
+                    dst: Gpr::R9,
+                    imm: 0x1234,
+                },
+                Insn::MovReg {
+                    dst: Gpr::R10,
+                    src: Gpr::R9,
+                },
+            ],
+            // MovReg+MovImm.
+            vec![
+                Insn::MovReg {
+                    dst: Gpr::R11,
+                    src: Gpr::Rax,
+                },
+                Insn::MovImm {
+                    dst: Gpr::R12,
+                    imm: 42,
+                },
+            ],
+            // MovReg+Store.
+            vec![
+                Insn::MovReg {
+                    dst: Gpr::R13,
+                    src: Gpr::Rdx,
+                },
+                Insn::Store {
+                    mem: data,
+                    src: Gpr::R13,
+                },
+            ],
+            // Load+MovReg.
+            vec![
+                Insn::Load {
+                    dst: Gpr::R14,
+                    mem: data,
+                },
+                Insn::MovReg {
+                    dst: Gpr::R15,
+                    src: Gpr::R14,
+                },
+            ],
+            // Store+Load.
+            vec![
+                Insn::Store {
+                    mem: data8,
+                    src: Gpr::Rax,
+                },
+                Insn::Load {
+                    dst: Gpr::Rbx,
+                    mem: data8,
+                },
+            ],
+            // Lea+MovReg.
+            vec![
+                Insn::Lea {
+                    dst: Gpr::Rcx,
+                    mem: MemRef {
+                        base: Gpr::Rsi,
+                        index: Some((Gpr::Rdi, 1)),
+                        disp: 16,
+                    },
+                },
+                Insn::MovReg {
+                    dst: Gpr::Rdx,
+                    src: Gpr::Rcx,
+                },
+            ],
+            // CmpReg+SetCc.
+            vec![
+                Insn::CmpReg {
+                    a: Gpr::Rax,
+                    b: Gpr::R8,
+                },
+                Insn::SetCc {
+                    cond: Cond::Le,
+                    dst: Gpr::R9,
+                },
+            ],
+            // Push+Push, Pop+Pop (balanced within the cluster).
+            vec![
+                Insn::Push { src: Gpr::Rax },
+                Insn::Push { src: Gpr::Rcx },
+                Insn::Pop { dst: Gpr::Rax },
+                Insn::Pop { dst: Gpr::Rcx },
+            ],
+        ] {
+            insns.push(sep);
+            insns.extend(cluster);
+        }
+    }
+    // Quad templates: the operand-chained shape (collapses to
+    // AluImmQuad) back-to-back with the generic shape (stays
+    // MovImmAluQuad), inside a long straight-line stretch so both land
+    // in a run and chain into the *QuadPair heads. Also at three
+    // alignments, so adjacent quads share a segment in at least one
+    // copy and both pair-head forms appear.
+    for spacer in [1u8, 2, 3] {
+        insns.push(Insn::Nop { len: spacer });
+        for (op, imm) in [(AluOp::Add, 3u64), (AluOp::Xor, 0x5a)] {
+            insns.push(Insn::MovImm { dst: Gpr::R8, imm });
+            insns.push(Insn::MovReg {
+                dst: Gpr::R9,
+                src: Gpr::R10,
+            });
+            insns.push(Insn::AluReg {
+                op,
+                dst: Gpr::R9,
+                src: Gpr::R8,
+            });
+            insns.push(Insn::MovReg {
+                dst: Gpr::R11,
+                src: Gpr::R9,
+            });
+            insns.push(Insn::MovImm {
+                dst: Gpr::Rax,
+                imm: 7,
+            });
+            insns.push(Insn::MovReg {
+                dst: Gpr::Rbx,
+                src: Gpr::Rdx,
+            });
+            insns.push(Insn::AluReg {
+                op,
+                dst: Gpr::R12,
+                src: Gpr::R13,
+            });
+            insns.push(Insn::MovReg {
+                dst: Gpr::R14,
+                src: Gpr::Rsi,
+            });
+        }
+    }
+    // Pad the stretch well past one 64-byte icache line so the run
+    // spans multiple segments.
+    for i in 0..24 {
+        insns.push(Insn::MovImm {
+            dst: Gpr::ALL[(i % 8) + 8],
+            imm: i as u64,
+        });
+    }
+    // The three compare-and-branch pairs, each skipping one poison op.
+    for (cmp, cond) in [
+        (
+            Insn::CmpReg {
+                a: Gpr::R14,
+                b: Gpr::R15,
+            },
+            Cond::Le,
+        ),
+        (
+            Insn::CmpImm {
+                a: Gpr::Rdi,
+                imm: 5,
+            },
+            Cond::Eq,
+        ),
+        (Insn::Test { a: Gpr::Rdi }, Cond::Ne),
+    ] {
+        let here = insns.len();
+        let skip_to = {
+            let mut probe = insns.clone();
+            probe.push(cmp);
+            probe.push(Insn::Jcc { cond, target: 0 });
+            probe.push(Insn::AluImm {
+                op: AluOp::Add,
+                dst: Gpr::Rax,
+                imm: 1000,
+            });
+            addr_of(&probe, here + 3)
+        };
+        insns.push(cmp);
+        insns.push(Insn::Jcc {
+            cond,
+            target: skip_to,
+        });
+        insns.push(Insn::AluImm {
+            op: AluOp::Add,
+            dst: Gpr::Rax,
+            imm: 1000,
+        });
+    }
+    // Call a callee whose epilogue is the Pop+Ret pair.
+    let call_at = insns.len();
+    let f_addr = {
+        let mut probe = insns.clone();
+        probe.push(Insn::Call { target: 0 });
+        probe.push(Insn::Ret);
+        addr_of(&probe, call_at + 2)
+    };
+    insns.push(Insn::Call { target: f_addr });
+    insns.push(Insn::Ret);
+    insns.push(Insn::Push { src: Gpr::Rbp });
+    insns.push(Insn::MovImm {
+        dst: Gpr::Rbp,
+        imm: 0x77,
+    });
+    insns.push(Insn::Pop { dst: Gpr::Rbp });
+    insns.push(Insn::Ret);
+    asm(insns, vec![])
+}
+
+/// Catalogue name of a decoded op, for the coverage assertion.
+fn pattern_name(op: &Op) -> Option<&'static str> {
+    Some(match op {
+        Op::MovRegAluReg { .. } => "MovRegAluReg",
+        Op::AluRegMovReg { .. } => "AluRegMovReg",
+        Op::MovImmMovReg { .. } => "MovImmMovReg",
+        Op::MovRegMovImm { .. } => "MovRegMovImm",
+        Op::MovRegStore { .. } => "MovRegStore",
+        Op::LoadMovReg { .. } => "LoadMovReg",
+        Op::StoreLoad { .. } => "StoreLoad",
+        Op::LeaMovReg { .. } => "LeaMovReg",
+        Op::CmpRegJcc { .. } => "CmpRegJcc",
+        Op::CmpImmJcc { .. } => "CmpImmJcc",
+        Op::TestJcc { .. } => "TestJcc",
+        Op::CmpRegSetCc { .. } => "CmpRegSetCc",
+        Op::PushPush { .. } => "PushPush",
+        Op::PopPop { .. } => "PopPop",
+        Op::PopRet { .. } => "PopRet",
+        Op::MovImmAluQuad { .. } => "MovImmAluQuad",
+        Op::MovImmAluQuadPair { .. } => "MovImmAluQuadPair",
+        Op::AluImmQuad { .. } => "AluImmQuad",
+        Op::AluImmQuadPair { .. } => "AluImmQuadPair",
+        Op::Run { .. } => "Run",
+        _ => return None,
+    })
+}
+
+/// Every fused/derived pattern the decoder can emit.
+const ALL_PATTERNS: [&str; 20] = [
+    "MovRegAluReg",
+    "AluRegMovReg",
+    "MovImmMovReg",
+    "MovRegMovImm",
+    "MovRegStore",
+    "LoadMovReg",
+    "StoreLoad",
+    "LeaMovReg",
+    "CmpRegJcc",
+    "CmpImmJcc",
+    "TestJcc",
+    "CmpRegSetCc",
+    "PushPush",
+    "PopPop",
+    "PopRet",
+    "MovImmAluQuad",
+    "MovImmAluQuadPair",
+    "AluImmQuad",
+    "AluImmQuadPair",
+    "Run",
+];
+
+fn classes_of(errs: &[r2c_check::CheckError]) -> Vec<DecodeTvClass> {
+    errs.iter()
+        .map(|e| match &e.kind {
+            CheckKind::DecodeTv { class, .. } => *class,
+            other => panic!("non-decode-tv finding: {other}"),
+        })
+        .collect()
+}
+
+/// Decode the all-patterns program (EPYC Rome, fused), corrupt it with
+/// `mutate`, and return the validator's finding classes. Asserts the
+/// pristine decode validates cleanly first, so a catch is attributable
+/// to the mutation alone.
+fn corrupt(mutate: impl FnOnce(&mut DecodedProgram)) -> Vec<DecodeTvClass> {
+    let image = all_patterns_program();
+    let mut prog = decode_program(&image, &MachineKind::EpycRome.config(), true);
+    assert_eq!(
+        check_decoded_program(&prog, &image),
+        vec![],
+        "pristine decode must validate cleanly"
+    );
+    mutate(&mut prog);
+    let errs = check_decoded_program(&prog, &image);
+    assert!(!errs.is_empty(), "corruption escaped the validator");
+    classes_of(&errs)
+}
+
+/// The all-patterns program validates cleanly under every machine
+/// model, fusion on and off — and its decode really does contain every
+/// pattern in the catalogue, so the clean verdict covers all of them.
+#[test]
+fn all_patterns_validate_cleanly_on_every_machine() {
+    let image = all_patterns_program();
+    let errs = check_decode(&image);
+    assert_eq!(errs, vec![], "clean decode must produce no findings");
+
+    let prog = decode_program(&image, &MachineKind::EpycRome.config(), true);
+    let mut seen = BTreeSet::new();
+    for dop in &prog.ops {
+        seen.extend(pattern_name(&dop.op));
+    }
+    for ri in &prog.runs {
+        seen.extend(pattern_name(&ri.leader));
+    }
+    for e in &prog.run_ops {
+        seen.extend(pattern_name(&e.op));
+    }
+    for p in ALL_PATTERNS {
+        assert!(seen.contains(p), "decode never produced pattern {p}");
+    }
+}
+
+/// Unfused decodes of the same program validate as pure
+/// single-instruction streams.
+#[test]
+fn unfused_decode_validates_cleanly() {
+    let image = all_patterns_program();
+    for kind in MachineKind::ALL {
+        let prog = decode_program(&image, &kind.config(), false);
+        assert!(prog.runs.is_empty(), "unfused decode must have no runs");
+        assert_eq!(check_decoded_program(&prog, &image), vec![]);
+    }
+}
+
+// --- Mutation tests: each corruption must be caught, with the right
+// --- obligation class.
+
+/// Corrupt the operand chaining of a fused pair inside a run: the
+/// second half's source register no longer matches the instruction
+/// stream, so the symbolic final states diverge.
+#[test]
+fn catches_corrupted_pair_operand_chaining() {
+    let classes = corrupt(|prog| {
+        let e = prog
+            .run_ops
+            .iter_mut()
+            .find_map(|e| match &mut e.op {
+                Op::MovRegAluReg { src2, .. } => Some(src2),
+                _ => None,
+            })
+            .expect("no MovRegAluReg in any run");
+        *e = if *e == Gpr::Rbp { Gpr::Rdi } else { Gpr::Rbp };
+    });
+    assert!(classes.contains(&DecodeTvClass::State), "{classes:?}");
+}
+
+/// Skip a rollback slot: bump one run entry's `k`. A mid-run fault in
+/// that entry would now unwind the wrong number of members.
+#[test]
+fn catches_skipped_rollback_slot() {
+    let classes = corrupt(|prog| {
+        prog.run_ops[0].k += 1;
+    });
+    assert!(classes.contains(&DecodeTvClass::State), "{classes:?}");
+}
+
+/// Off-by-one a run's batched cycle charge.
+#[test]
+fn catches_off_by_one_members_cost() {
+    let classes = corrupt(|prog| {
+        prog.runs[0].members_cost += 1;
+    });
+    assert_eq!(classes, vec![DecodeTvClass::Cost]);
+}
+
+/// Mis-resolve one pre-resolved direct branch: the decoded successor
+/// index no longer maps back to the source target address.
+#[test]
+fn catches_misresolved_branch_target() {
+    let classes = corrupt(|prog| {
+        let tgt = prog
+            .ops
+            .iter_mut()
+            .find_map(|dop| match &mut dop.op {
+                Op::CmpImmJcc { tgt, .. } => Some(tgt),
+                _ => None,
+            })
+            .expect("no CmpImmJcc at top level");
+        *tgt += 1;
+    });
+    assert_eq!(classes, vec![DecodeTvClass::Target]);
+}
+
+/// Corrupt a top-level pair's pre-baked second-half cost: `second!`
+/// would charge the wrong cycles for the second instruction.
+#[test]
+fn catches_wrong_second_half_cost() {
+    let classes = corrupt(|prog| {
+        let f2 = prog
+            .ops
+            .iter_mut()
+            .find_map(|dop| match &mut dop.op {
+                Op::CmpRegJcc { f2, .. } => Some(f2),
+                _ => None,
+            })
+            .expect("no top-level CmpRegJcc");
+        f2.cost2 += 1;
+    });
+    assert_eq!(classes, vec![DecodeTvClass::Cost]);
+}
+
+/// Corrupt one dense dispatch-table entry: an indirect transfer to
+/// that text offset would land on the wrong instruction.
+#[test]
+fn catches_corrupted_dispatch_entry() {
+    let classes = corrupt(|prog| {
+        let off = prog
+            .dispatch
+            .iter()
+            .position(|&x| x == 3)
+            .expect("instruction 3 not in dispatch table");
+        prog.dispatch[off] = 7;
+    });
+    assert_eq!(classes, vec![DecodeTvClass::Target]);
+}
+
+/// Corrupt a run entry's fault-attribution offset: a fault in that
+/// member would be reported at the wrong address.
+#[test]
+fn catches_wrong_fault_attribution_address() {
+    let classes = corrupt(|prog| {
+        prog.run_ops[0].off += 1;
+    });
+    assert!(classes.contains(&DecodeTvClass::State), "{classes:?}");
+}
+
+/// Off-by-one a single op's pre-baked base cost.
+#[test]
+fn catches_wrong_prebaked_cost() {
+    let classes = corrupt(|prog| {
+        prog.ops[0].cost += 1;
+    });
+    assert_eq!(classes, vec![DecodeTvClass::Cost]);
+}
+
+/// Corrupt the collapsed ALU-immediate quad's immediate: the collapsed
+/// form must stay algebraically equal to its 4-instruction expansion.
+#[test]
+fn catches_corrupted_quad_immediate() {
+    let classes = corrupt(|prog| {
+        let imm = prog
+            .run_ops
+            .iter_mut()
+            .find_map(|e| match &mut e.op {
+                Op::AluImmQuad { imm, .. } | Op::AluImmQuadPair { imm, .. } => Some(imm),
+                _ => None,
+            })
+            .expect("no collapsed quad in any run");
+        *imm ^= 1;
+    });
+    assert!(classes.contains(&DecodeTvClass::State), "{classes:?}");
+}
+
+/// Swap a `Jcc` condition inside a fused compare-and-branch: the
+/// successor shape matches but the guard diverges.
+#[test]
+fn catches_swapped_jcc_condition() {
+    let classes = corrupt(|prog| {
+        let cond = prog
+            .ops
+            .iter_mut()
+            .find_map(|dop| match &mut dop.op {
+                Op::TestJcc { cond, .. } => Some(cond),
+                _ => None,
+            })
+            .expect("no top-level TestJcc");
+        *cond = if *cond == Cond::Eq {
+            Cond::Ne
+        } else {
+            Cond::Eq
+        };
+    });
+    assert!(
+        classes.contains(&DecodeTvClass::State),
+        "condition swap must be a state divergence: {classes:?}"
+    );
+}

@@ -185,6 +185,15 @@ impl R2cCompiler {
         } else {
             Vec::new()
         };
+        // Decode translation validation only makes sense on an image
+        // that already passed the structural checks.
+        let check_decode_errors = if self.config.check_decode && check_image_errors.is_empty() {
+            timed(&mut tref, "check-decode", || {
+                r2c_check::check_decode(&image)
+            })
+        } else {
+            Vec::new()
+        };
         if let Some(r) = report.as_deref_mut() {
             r.passes = timings.unwrap_or_default();
             r.record_program(&program);
@@ -193,6 +202,12 @@ impl R2cCompiler {
             return Err(BuildError::Check {
                 stage: "image",
                 errors: check_image_errors,
+            });
+        }
+        if !check_decode_errors.is_empty() {
+            return Err(BuildError::Check {
+                stage: "decode",
+                errors: check_decode_errors,
             });
         }
         let mut info = VariantInfo {
@@ -333,9 +348,9 @@ entry:
     #[test]
     fn report_captures_passes_and_instrumentation() {
         let m = parse_module(SRC).unwrap();
-        // Force the checker on: `check` defaults off in release builds,
+        // Force the checkers on: they default off in release builds,
         // and the test pins the full pass list.
-        let cfg = R2cConfig::full(5).with_check(true);
+        let cfg = R2cConfig::full(5).with_check(true).with_check_decode(true);
         let (image, info, report) = R2cCompiler::new(cfg).build_with_report(&m).unwrap();
         // Telemetry must not change the build product.
         let plain = R2cCompiler::new(cfg).build(&m).unwrap();
@@ -351,7 +366,8 @@ entry:
                 "lower",
                 "check-program",
                 "link",
-                "check-image"
+                "check-image",
+                "check-decode"
             ]
         );
         // Per-function counts agree with the aggregate VariantInfo.

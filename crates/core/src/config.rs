@@ -63,6 +63,13 @@ pub struct R2cConfig {
     /// default in debug builds (so every test exercises it), off in
     /// release builds (benchmarks measure codegen, not validation).
     pub check: bool,
+    /// Run the decode translation validator over the linked image
+    /// during the build: symbolically prove every decoded program the
+    /// VM could build (all machine models, fusion on and off)
+    /// equivalent to the image's reference semantics. Same debug/release
+    /// default as `check` (the validator stays out of the release hot
+    /// path); the fuzz matrix forces it on.
+    pub check_decode: bool,
 }
 
 impl R2cConfig {
@@ -72,6 +79,7 @@ impl R2cConfig {
             diversify: DiversifyConfig::none(),
             seed,
             check: cfg!(debug_assertions),
+            check_decode: cfg!(debug_assertions),
         }
     }
 
@@ -81,6 +89,7 @@ impl R2cConfig {
             diversify: DiversifyConfig::full(),
             seed,
             check: cfg!(debug_assertions),
+            check_decode: cfg!(debug_assertions),
         }
     }
 
@@ -142,6 +151,7 @@ impl R2cConfig {
             diversify,
             seed,
             check: cfg!(debug_assertions),
+            check_decode: cfg!(debug_assertions),
         }
     }
 
@@ -154,6 +164,13 @@ impl R2cConfig {
     /// Same configuration, static checker forced on or off.
     pub fn with_check(mut self, check: bool) -> R2cConfig {
         self.check = check;
+        self
+    }
+
+    /// Same configuration, decode translation validator forced on or
+    /// off.
+    pub fn with_check_decode(mut self, check_decode: bool) -> R2cConfig {
+        self.check_decode = check_decode;
         self
     }
 }

@@ -64,6 +64,7 @@ pub fn named_configs() -> Vec<(String, R2cConfig)> {
                 diversify: r2c_core::DiversifyConfig::hardened(2),
                 seed: 0,
                 check: cfg!(debug_assertions),
+                check_decode: cfg!(debug_assertions),
             },
         ),
     ];
@@ -98,6 +99,7 @@ impl OracleMatrix {
             .collect();
         configs.push(("fleet-respawn".to_string(), R2cConfig::full(0)));
         configs.push(("nofuse-full".to_string(), R2cConfig::full(0)));
+        configs.push(("tv-full".to_string(), R2cConfig::full(0)));
         OracleMatrix {
             configs,
             machines: vec![MachineKind::EpycRome],
@@ -230,6 +232,9 @@ pub fn check_cell(
     if cell.config_name.starts_with(NOFUSE_CELL_PREFIX) {
         return check_nofuse_cell(module, reference, cell);
     }
+    if cell.config_name.starts_with(TV_CELL_PREFIX) {
+        return check_tv_cell(module, cell);
+    }
     let cfg = cell.config.with_seed(cell.build_seed);
     match observe_variant(module, cfg, cell.machine, VARIANT_INSN_BUDGET) {
         Ok(obs) => {
@@ -331,6 +336,38 @@ fn check_nofuse_cell(
     }
 }
 
+/// Config-name prefix marking a *translation-validation* cell. Such a
+/// cell builds one variant image and runs the decode translation
+/// validator ([`r2c_check::check_decode`]) over it: the pre-decoded
+/// execution-engine program must be symbolically provable equivalent to
+/// the image's reference semantics under every machine model, with
+/// fusion on and off (`no_fuse` included). No execution happens — any
+/// finding is a decoder bug by construction.
+pub const TV_CELL_PREFIX: &str = "tv";
+
+fn check_tv_cell(module: &Module, cell: &MatrixCell) -> Option<Vec<String>> {
+    // The build itself may already run the validator (debug default);
+    // force it off here so a finding is reported as a TV detail rather
+    // than an opaque build failure, then validate explicitly.
+    let cfg = cell
+        .config
+        .with_seed(cell.build_seed)
+        .with_check_decode(false);
+    let image = match R2cCompiler::new(cfg).build(module) {
+        Ok(image) => image,
+        Err(e) => return Some(vec![format!("build failed: {e}")]),
+    };
+    let findings: Vec<String> = r2c_check::check_decode(&image)
+        .into_iter()
+        .map(|e| format!("decode-tv: {e}"))
+        .collect();
+    if findings.is_empty() {
+        None
+    } else {
+        Some(findings)
+    }
+}
+
 fn check_fleet_cell(module: &Module, cell: &MatrixCell) -> Option<Vec<String>> {
     let fc = FleetConfig {
         fleet_seed: cell.build_seed,
@@ -400,7 +437,7 @@ mod tests {
 
     #[test]
     fn matrix_shapes() {
-        assert_eq!(OracleMatrix::quick().cells().len(), 8 * 2);
+        assert_eq!(OracleMatrix::quick().cells().len(), 9 * 2);
         assert_eq!(OracleMatrix::full().cells().len(), 10 * 2 * 3);
         assert_eq!(
             OracleMatrix::single("full", R2cConfig::full(0), MachineKind::EpycRome, 7)

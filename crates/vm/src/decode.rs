@@ -74,13 +74,13 @@ use crate::VAddr;
 /// target (outside the text section or between instruction starts);
 /// jumping through it raises `Fault::InvalidJump` with the original
 /// target address, recovered from the undecoded instruction.
-pub(crate) const NO_INSN: u32 = u32::MAX;
+pub const NO_INSN: u32 = u32::MAX;
 
 /// Second-half metadata of a fused superinstruction: the pre-baked base
 /// cost of the second instruction and its address offset from the
 /// first (the pair is only fused when laid out contiguously).
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct F2 {
+pub struct F2 {
     /// Base cost of instruction #2 in deci-cycles.
     pub cost2: u16,
     /// `addr2 - addr1` (the encoded length of instruction #1).
@@ -93,7 +93,7 @@ pub(crate) struct F2 {
 /// second half of a fused pair simply lands on that instruction's own
 /// standalone op; fusion never constrains the control-flow graph.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct DOp {
+pub struct DOp {
     /// Pre-baked base cost of the (first) instruction, deci-cycles.
     pub cost: u32,
     /// Address of the (first) instruction — simulated icache key and
@@ -108,7 +108,7 @@ pub(crate) struct DOp {
 /// addresses precomputed, native probe-ness pre-checked); fused
 /// variants execute two adjacent instructions under one dispatch.
 #[derive(Clone, Copy, Debug)]
-pub(crate) enum Op {
+pub enum Op {
     MovImm {
         dst: Gpr,
         imm: u64,
@@ -411,7 +411,7 @@ pub(crate) enum Op {
 /// with a single [`crate::machine::ICache::access_span`] call and
 /// executed from the effect stream `run_ops[first .. first + n_ops]`.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct RunSeg {
+pub struct RunSeg {
     /// Icache line number — the same `addr / line_size` arithmetic the
     /// simulator's tag computation uses.
     pub line: u64,
@@ -432,7 +432,7 @@ pub(crate) struct RunSeg {
 /// contiguity nor an icache touch between halves — any adjacent member
 /// pair in the fusion catalogue qualifies.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct ROp {
+pub struct ROp {
     /// The effect: a straight-line single or a non-control fused pair.
     pub op: Op,
     /// Byte offset of the (first) instruction from the start of its
@@ -448,7 +448,7 @@ pub(crate) struct ROp {
 /// A block run: the straight-line tail of a basic block, from its
 /// leader to the last instruction before the block's control transfer.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct RunInfo {
+pub struct RunInfo {
     /// Original instructions covered (leader + members).
     pub n: u16,
     /// Sum of the members' pre-baked base costs (deci-cycles); the
@@ -467,7 +467,7 @@ pub(crate) struct RunInfo {
 /// function of `(Image, MachineConfig, fuse)` and therefore shareable
 /// between VMs (bench repetitions, `reset_to_image` workers, fleet
 /// members on the same variant).
-pub(crate) struct DecodedProgram {
+pub struct DecodedProgram {
     /// Machine model the costs were baked for.
     pub machine: MachineConfig,
     /// Whether superinstruction fusion was applied.
@@ -507,6 +507,43 @@ pub(crate) struct DecodedProgram {
     pub init_mem: MemSnapshot,
 }
 
+/// The first field on which a decoded program diverged from the image
+/// it is being verified against: the field name plus, for per-element
+/// fields, the index of the first diverging element (for length
+/// mismatches, the length of the shorter side). Produced by
+/// [`DecodedProgram::mismatch`] so cache-verification failures and test
+/// assertions can say *what* went stale instead of a bare `false`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeMismatch {
+    /// Name of the diverging field.
+    pub field: &'static str,
+    /// Index of the first diverging element for sequence fields.
+    pub index: Option<usize>,
+}
+
+impl std::fmt::Display for DecodeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "{}[{}]", self.field, i),
+            None => write!(f, "{}", self.field),
+        }
+    }
+}
+
+/// First diverging index between two sequences, treating a length
+/// mismatch as a divergence at the shorter length.
+fn seq_mismatch<T: PartialEq>(field: &'static str, a: &[T], b: &[T]) -> Option<DecodeMismatch> {
+    let i = a
+        .iter()
+        .zip(b)
+        .position(|(x, y)| x != y)
+        .or_else(|| (a.len() != b.len()).then_some(a.len().min(b.len())))?;
+    Some(DecodeMismatch {
+        field,
+        index: Some(i),
+    })
+}
+
 impl DecodedProgram {
     /// Field-by-field verification that this decoded program was built
     /// from an image identical to `image` under the same machine model
@@ -514,16 +551,38 @@ impl DecodedProgram {
     /// both hash collisions and callers mutating an `Image` after a VM
     /// was built from it: stale decoded blocks can never run.
     pub fn matches(&self, image: &Image, machine: &MachineConfig, fuse: bool) -> bool {
-        self.fused == fuse
-            && self.machine == *machine
-            && self.entry == image.entry
-            && self.xom == image.xom
-            && self.layout == image.layout
-            && self.insns == image.insns
-            && self.insn_addrs == image.insn_addrs
-            && self.natives == image.natives
-            && self.constructors == image.constructors
-            && self.data_init == image.data_init
+        self.mismatch(image, machine, fuse).is_none()
+    }
+
+    /// Like [`DecodedProgram::matches`], but reports *which* field
+    /// diverged first (and at which element, for sequence fields).
+    pub fn mismatch(
+        &self,
+        image: &Image,
+        machine: &MachineConfig,
+        fuse: bool,
+    ) -> Option<DecodeMismatch> {
+        let scalar = |field| Some(DecodeMismatch { field, index: None });
+        if self.fused != fuse {
+            return scalar("fused");
+        }
+        if self.machine != *machine {
+            return scalar("machine");
+        }
+        if self.entry != image.entry {
+            return scalar("entry");
+        }
+        if self.xom != image.xom {
+            return scalar("xom");
+        }
+        if self.layout != image.layout {
+            return scalar("layout");
+        }
+        seq_mismatch("insns", &self.insns, &image.insns)
+            .or_else(|| seq_mismatch("insn_addrs", &self.insn_addrs, &image.insn_addrs))
+            .or_else(|| seq_mismatch("natives", &self.natives, &image.natives))
+            .or_else(|| seq_mismatch("constructors", &self.constructors, &image.constructors))
+            .or_else(|| seq_mismatch("data_init", &self.data_init, &image.data_init))
     }
 }
 
@@ -575,6 +634,15 @@ pub(crate) fn decoded(image: &Image, machine: &MachineConfig, fuse: bool) -> Arc
     map.retain(|_, w| w.strong_count() > 0);
     map.insert(fp, Arc::downgrade(&built));
     built
+}
+
+/// Decodes `image` for `(machine, fuse)` from scratch, bypassing the
+/// cache. This is the entry point for the translation validator in
+/// `r2c-check` (via `crate::decode_inspect`): a fresh, uncached build
+/// whose every table can be inspected without perturbing — or being
+/// perturbed by — programs other VMs are executing.
+pub fn decode_program(image: &Image, machine: &MachineConfig, fuse: bool) -> DecodedProgram {
+    build(image, machine, fuse)
 }
 
 /// Exposed for tests: number of live entries in the decode cache.

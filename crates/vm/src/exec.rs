@@ -168,6 +168,17 @@ impl Vm {
     /// Panics if the image fails [`Image::validate`].
     pub fn new(image: &Image, cfg: VmConfig) -> Vm {
         let prog = decode::decoded(image, &cfg.machine, !cfg.no_fuse);
+        Vm::from_decoded(prog, cfg)
+    }
+
+    /// Builds a VM directly on an already-decoded program, bypassing
+    /// the decode cache. Test hook for the translation validator's
+    /// mutation corpus: a deliberately corrupted [`DecodedProgram`] can
+    /// be executed to demonstrate the dynamic divergence the static
+    /// verdict predicts (a corrupted program could never come out of
+    /// the cache, which verifies field-by-field against the image).
+    #[doc(hidden)]
+    pub fn from_decoded(prog: Arc<DecodedProgram>, cfg: VmConfig) -> Vm {
         let mem = Memory::from_snapshot(&prog.init_mem);
         let l = prog.layout;
         let heap = Heap::new(l.heap_base, l.heap_size);

@@ -44,6 +44,18 @@ mod exec;
 
 #[doc(hidden)]
 pub use decode::decode_cache_live_entries;
+
+/// Inspection surface for the decoded execution engine, consumed by the
+/// translation validator in `r2c-check` and by white-box tests. Not a
+/// stable API: the decoded representation changes whenever the fusion
+/// catalogue or the dispatch scheme does, and the validator is expected
+/// to change with it.
+#[doc(hidden)]
+pub mod decode_inspect {
+    pub use crate::decode::{
+        decode_program, DOp, DecodeMismatch, DecodedProgram, Op, ROp, RunInfo, RunSeg, F2, NO_INSN,
+    };
+}
 pub use exec::{ExitStatus, RunOutcome, StackSnapshot, Vm, VmConfig, EXIT_SENTINEL};
 pub use fault::{Detection, Fault};
 pub use image::{Image, NativeKind, SectionLayout, Symbol, SymbolKind};

@@ -5,6 +5,7 @@
 //! an image change is the classic predecoded-interpreter bug this file
 //! pins.
 
+use r2c_vm::decode_inspect::{decode_program, DecodeMismatch};
 use r2c_vm::unwind::UnwindTable;
 use r2c_vm::{
     decode_cache_live_entries, ExitStatus, Gpr, Image, Insn, MachineKind, NativeKind,
@@ -99,11 +100,22 @@ fn mutated_image_gets_fresh_decode_and_fresh_semantics() {
 
     // Change the tag instruction in place; `a` keeps running the old
     // program (its decode is pinned), a new VM must see the new one.
+    let stale = decode_program(&image, &MachineKind::EpycRome.config(), true);
     let n = image.insns.len();
     image.insns[n - 2] = Insn::MovImm {
         dst: Gpr::Rax,
         imm: 2,
     };
+    // The cache's verification sees not just *that* the old decode went
+    // stale but *which* field diverged — the mutated instruction slot.
+    assert_eq!(
+        stale.mismatch(&image, &MachineKind::EpycRome.config(), true),
+        Some(DecodeMismatch {
+            field: "insns",
+            index: Some(n - 2),
+        })
+    );
+    assert!(!stale.matches(&image, &MachineKind::EpycRome.config(), true));
     let mut b = Vm::new(&image, cfg());
     assert_ne!(
         a.decoded_program_id(),

@@ -85,6 +85,7 @@ fn config_of(args: &Args) -> R2cConfig {
             diversify: r2c_repro::core::DiversifyConfig::hardened(2),
             seed: args.seed,
             check: cfg!(debug_assertions),
+            check_decode: cfg!(debug_assertions),
         },
         _ => R2cConfig::full(args.seed),
     }

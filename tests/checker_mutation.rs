@@ -76,6 +76,7 @@ fn clean_compiles_pass_every_preset() {
             diversify: DiversifyConfig::hardened(2),
             seed,
             check: true,
+            check_decode: true,
         });
         for cfg in presets {
             // `with_check(true)` routes through both `check_program`

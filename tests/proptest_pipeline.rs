@@ -184,6 +184,7 @@ proptest! {
             diversify: r2c_core::DiversifyConfig::hardened(2),
             seed,
             check: true,
+            check_decode: true,
         };
         for cfg in [
             R2cConfig::baseline(seed),
