@@ -234,6 +234,53 @@ pub enum CheckKind {
     },
 }
 
+impl CheckKind {
+    /// Stable, payload-free name of this finding kind. The
+    /// coverage-guided fuzzer hashes these into its coverage map, so a
+    /// case that trips a *new class* of checker finding counts as new
+    /// coverage regardless of the payload details; `DecodeTv` findings
+    /// are additionally bucketed by their [`DecodeTvClass`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            CheckKind::EmptyFunction => "empty-function",
+            CheckKind::FallthroughOffEnd => "fallthrough-off-end",
+            CheckKind::IndirectJump => "indirect-jump",
+            CheckKind::MissingReloc => "missing-reloc",
+            CheckKind::DuplicateReloc => "duplicate-reloc",
+            CheckKind::RelocOutOfRange => "reloc-out-of-range",
+            CheckKind::UnpatchableReloc => "unpatchable-reloc",
+            CheckKind::BadRelocRef { .. } => "bad-reloc-ref",
+            CheckKind::CrossFunctionBranch { .. } => "cross-function-branch",
+            CheckKind::DepthJoinMismatch { .. } => "depth-join-mismatch",
+            CheckKind::StackUnderflow { .. } => "stack-underflow",
+            CheckKind::NonzeroDepthAtRet { .. } => "nonzero-depth-at-ret",
+            CheckKind::MisalignedCall { .. } => "misaligned-call",
+            CheckKind::UnwindMismatch { .. } => "unwind-mismatch",
+            CheckKind::BadUnwindTable { .. } => "bad-unwind-table",
+            CheckKind::UndefinedRegRead { .. } => "undefined-reg-read",
+            CheckKind::UndefinedFlagsRead => "undefined-flags-read",
+            CheckKind::UndefinedYmmRead { .. } => "undefined-ymm-read",
+            CheckKind::CalleeSavedClobbered { .. } => "callee-saved-clobbered",
+            CheckKind::EpilogueMismatch { .. } => "epilogue-mismatch",
+            CheckKind::RetAddrNotAtCall { .. } => "ret-addr-not-at-call",
+            CheckKind::DuplicateRetAddr { .. } => "duplicate-ret-addr",
+            CheckKind::BtraSiteCountMismatch { .. } => "btra-site-count-mismatch",
+            CheckKind::MalformedWindow { .. } => "malformed-window",
+            CheckKind::StrayPushImm => "stray-push-imm",
+            CheckKind::MissingBtdpPointer => "missing-btdp-pointer",
+            CheckKind::MissingBtdpStore { .. } => "missing-btdp-store",
+            CheckKind::CodeAddrInData { .. } => "code-addr-in-data",
+            CheckKind::ImageError { .. } => "image-error",
+            CheckKind::DecodeTv { class, .. } => match class {
+                DecodeTvClass::Shape => "decode-tv-shape",
+                DecodeTvClass::Cost => "decode-tv-cost",
+                DecodeTvClass::Target => "decode-tv-target",
+                DecodeTvClass::State => "decode-tv-state",
+            },
+        }
+    }
+}
+
 impl std::fmt::Display for CheckKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -21,12 +21,19 @@
 //! oracle actually catches miscompiles).
 
 use r2c_ir::{GlobalInit, InterpResult, Module};
-use r2c_vm::{ExitStatus, MachineKind, Vm, VmConfig};
+use r2c_vm::{Detection, EdgeStats, ExecStats, ExitStatus, MachineKind, Vm, VmConfig};
 
 use crate::compiler::{BuildError, R2cCompiler};
 use crate::config::R2cConfig;
+use crate::report::CompileReport;
 
 /// Everything the oracle observes about one compiled execution.
+///
+/// Beyond the semantic surface the differential comparison uses
+/// (status, output, globals), an observation carries the telemetry the
+/// coverage-guided fuzzer feeds on: the compile report, the full
+/// [`ExecStats`], the engine-edge counters, the decoded-op (fusion
+/// pattern / lowering template) histogram, and any detection events.
 #[derive(Clone, Debug)]
 pub struct VariantObservation {
     /// How the run ended.
@@ -38,6 +45,17 @@ pub struct VariantObservation {
     pub globals: Vec<(String, Vec<u8>)>,
     /// Dynamically executed machine instructions.
     pub insns: u64,
+    /// Full execution statistics of the run.
+    pub stats: ExecStats,
+    /// Engine-path edge counters (block runs, rollbacks, budget
+    /// handoffs).
+    pub edges: EdgeStats,
+    /// Decoded-op kind histogram of the variant's program.
+    pub op_kinds: Vec<(&'static str, u64)>,
+    /// Reactive-defense detection events recorded during the run.
+    pub detections: Vec<Detection>,
+    /// Compile telemetry of the build that produced the variant.
+    pub report: CompileReport,
 }
 
 /// Compiles `module` under `cfg` (static checker forced on) and runs it
@@ -52,7 +70,8 @@ pub fn observe_variant(
     machine: MachineKind,
     insn_budget: u64,
 ) -> Result<VariantObservation, BuildError> {
-    let image = R2cCompiler::new(cfg.with_check(true)).build(module)?;
+    let (image, _info, report) =
+        R2cCompiler::new(cfg.with_check(true)).build_with_report(module)?;
     let mut vm_cfg = VmConfig::new(machine.config());
     vm_cfg.insn_budget = insn_budget;
     let mut vm = Vm::new(&image, vm_cfg);
@@ -74,6 +93,11 @@ pub fn observe_variant(
         output: vm.output.clone(),
         globals,
         insns: out.stats.instructions,
+        stats: vm.stats(),
+        edges: vm.edge_stats(),
+        op_kinds: vm.op_kind_counts(),
+        detections: vm.detections().to_vec(),
+        report,
     })
 }
 

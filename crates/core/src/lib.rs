@@ -60,7 +60,7 @@ pub use compiler::{BuildError, R2cCompiler, VariantInfo};
 pub use config::{Component, R2cConfig};
 pub use differential::{diff_against_reference, observe_variant, VariantObservation};
 pub use pool::{PoolStats, PooledVariant, TakeKind, VariantPool};
-pub use report::{CompileReport, FuncReport, PassTiming};
+pub use report::{coverage_bucket, CompileReport, FuncReport, PassTiming};
 
 // Re-export the names downstream users need most, so that `r2c-core`
 // works as the single entry point the README advertises.

@@ -114,6 +114,40 @@ impl CompileReport {
             .saturating_sub(self.prelink_text_bytes)
     }
 
+    /// Compile-side coverage features for the fuzzer's coverage map:
+    /// which passes ran, and order-of-magnitude buckets of every
+    /// instrumentation counter the pipeline emitted. Counters are
+    /// bucketed (log2) so the feature space stays small and a case only
+    /// counts as *new* coverage when it moves a counter into a new
+    /// magnitude class, not on every ±1 wobble.
+    pub fn coverage_features(&self) -> Vec<String> {
+        let mut f: Vec<String> = self
+            .passes
+            .iter()
+            .map(|p| format!("pass:{}", p.pass))
+            .collect();
+        let (mut nops, mut traps, mut stores, mut sites) = (0u64, 0u64, 0u64, 0u64);
+        for fr in &self.funcs {
+            nops += fr.nops as u64;
+            traps += fr.traps as u64;
+            stores += fr.btdp_stores as u64;
+            sites += fr.btra_sites as u64;
+        }
+        for (name, v) in [
+            ("nops", nops),
+            ("traps", traps),
+            ("btdp-stores", stores),
+            ("btra-sites", sites),
+            ("booby-traps", self.booby_traps as u64),
+            ("link-growth", self.link_growth_bytes()),
+            ("image-insns", self.image_insns),
+            ("funcs", self.funcs.len() as u64),
+        ] {
+            f.push(format!("compile:{name}:{}", coverage_bucket(v)));
+        }
+        f
+    }
+
     /// Serializes the report as minimal JSON (no JSON crate in the
     /// offline build; consumers are our own scripts and tests).
     pub fn to_json(&self) -> String {
@@ -165,9 +199,30 @@ impl CompileReport {
     }
 }
 
+/// Log2 magnitude bucket used by every coverage feature that wraps a
+/// counter: 0 stays 0, otherwise `1 + floor(log2(v))` — so 1, 2-3,
+/// 4-7, 8-15, … each form one bucket.
+pub fn coverage_bucket(v: u64) -> u32 {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn coverage_bucket_is_log2() {
+        assert_eq!(coverage_bucket(0), 0);
+        assert_eq!(coverage_bucket(1), 1);
+        assert_eq!(coverage_bucket(2), 2);
+        assert_eq!(coverage_bucket(3), 2);
+        assert_eq!(coverage_bucket(4), 3);
+        assert_eq!(coverage_bucket(1023), 10);
+    }
 
     #[test]
     fn json_shape_is_stable() {

@@ -1,0 +1,212 @@
+//! The evolving on-disk corpus and its energy-weighted scheduler.
+//!
+//! Corpus entries are *coverage keepers*: modules that lit new bits in
+//! the campaign's [`crate::coverage::CoverageMap`] and replay cleanly
+//! (they are admitted only from passing cases — divergence reproducers
+//! live separately, written by the fuzz binary). Entries persist as
+//! plain `.r2cir` text under a directory that is checked into the
+//! repository, so every campaign — and the corpus-replay regression
+//! test — starts from the accumulated interesting shapes instead of
+//! from scratch.
+//!
+//! Scheduling is energy-weighted: an entry's energy is the number of
+//! new bits it contributed at admission, decayed by how often it has
+//! already been picked, so fresh high-yield entries get mutated most
+//! and exhausted ones fade without ever reaching zero.
+
+use std::path::{Path, PathBuf};
+
+use r2c_ir::{parse_module, print_module, Module};
+use rand::{rngs::SmallRng, Rng};
+
+use crate::coverage::{case_coverage, CoverageMap};
+
+/// One corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// File stem (unique within the corpus).
+    pub name: String,
+    /// The module.
+    pub module: Module,
+    /// New coverage bits contributed at admission (≥ 1).
+    pub energy: u64,
+    /// Times the scheduler has picked this entry for mutation.
+    pub picks: u64,
+}
+
+/// An in-memory corpus, optionally mirrored to a directory.
+#[derive(Clone, Debug, Default)]
+pub struct Corpus {
+    /// Entries in admission order.
+    pub entries: Vec<CorpusEntry>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Corpus {
+        Corpus::default()
+    }
+
+    /// Loads every `*.r2cir` file under `dir` (sorted by name for
+    /// determinism). Unparsable files are skipped with a warning —
+    /// a corpus must never brick the fuzzer. Energy is taken from the
+    /// `# energy: N` header when present, else 1.
+    pub fn load(dir: &Path) -> Corpus {
+        let mut corpus = Corpus::new();
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return corpus;
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "r2cir"))
+            .collect();
+        paths.sort();
+        for p in &paths {
+            let Ok(src) = std::fs::read_to_string(p) else {
+                continue;
+            };
+            let module = match parse_module(&src) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("corpus {p:?}: unparsable ({e:?}); skipping");
+                    continue;
+                }
+            };
+            let energy = src
+                .lines()
+                .find_map(|l| l.strip_prefix("# energy: "))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(1)
+                .max(1);
+            let name = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            corpus.entries.push(CorpusEntry {
+                name,
+                module,
+                energy,
+                picks: 0,
+            });
+        }
+        corpus
+    }
+
+    /// Admits a module that contributed `energy` new bits; returns the
+    /// entry index. If `dir` is given the entry is written as
+    /// `<name>.r2cir` with a small header.
+    pub fn admit(
+        &mut self,
+        module: Module,
+        energy: u64,
+        name: String,
+        dir: Option<&Path>,
+    ) -> std::io::Result<usize> {
+        if let Some(dir) = dir {
+            std::fs::create_dir_all(dir)?;
+            let mut text = String::new();
+            text.push_str("# r2c-fuzz corpus entry\n");
+            text.push_str(&format!("# energy: {}\n", energy.max(1)));
+            text.push_str(&print_module(&module));
+            std::fs::write(dir.join(format!("{name}.r2cir")), text)?;
+        }
+        self.entries.push(CorpusEntry {
+            name,
+            module,
+            energy: energy.max(1),
+            picks: 0,
+        });
+        Ok(self.entries.len() - 1)
+    }
+
+    /// Energy-weighted pick: entry `i` is drawn with weight
+    /// `energy_i / (1 + picks_i)` (scaled to integers). Increments the
+    /// winner's pick count. `None` on an empty corpus.
+    pub fn pick(&mut self, rng: &mut SmallRng) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let weights: Vec<u64> = self
+            .entries
+            .iter()
+            .map(|e| (e.energy * 64 / (1 + e.picks)).max(1))
+            .collect();
+        let total: u64 = weights.iter().sum();
+        let mut draw = rng.gen_range(0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if draw < *w {
+                self.entries[i].picks += 1;
+                return Some(i);
+            }
+            draw -= w;
+        }
+        unreachable!("weighted draw ran past the total");
+    }
+
+    /// Corpus hygiene: replays every entry (in admission order) against
+    /// a fresh coverage map and drops entries that no longer add any
+    /// bits — duplicates and entries whose coverage later admissions
+    /// subsume from the front. Returns the names of dropped entries;
+    /// when `dir` is given, their files are deleted too.
+    pub fn refresh(
+        &mut self,
+        coverage_build_seed: u64,
+        dir: Option<&Path>,
+    ) -> std::io::Result<Vec<String>> {
+        let mut map = CoverageMap::new();
+        let mut dropped = Vec::new();
+        let mut kept = Vec::new();
+        for mut e in self.entries.drain(..) {
+            let cov = case_coverage(&e.module, coverage_build_seed);
+            let fresh = map.merge(&cov) as u64;
+            if fresh == 0 {
+                if let Some(dir) = dir {
+                    let _ = std::fs::remove_file(dir.join(format!("{}.r2cir", e.name)));
+                }
+                dropped.push(e.name);
+            } else {
+                e.energy = fresh;
+                kept.push(e);
+            }
+        }
+        self.entries = kept;
+        Ok(dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use rand::SeedableRng;
+
+    #[test]
+    fn admit_pick_and_energy_decay() {
+        let mut c = Corpus::new();
+        c.admit(generate(1), 30, "a".into(), None).unwrap();
+        c.admit(generate(2), 1, "b".into(), None).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 2];
+        for _ in 0..200 {
+            counts[c.pick(&mut rng).unwrap()] += 1;
+        }
+        // High-energy entry dominates, but decays with picks so the
+        // low-energy one is still drawn sometimes.
+        assert!(counts[0] > counts[1], "{counts:?}");
+        assert!(counts[1] > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn roundtrips_through_directory() {
+        let dir = std::env::temp_dir().join(format!("r2c-corpus-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Corpus::new();
+        let m = generate(4);
+        c.admit(m.clone(), 17, "case4".into(), Some(&dir)).unwrap();
+        let back = Corpus::load(&dir);
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].module, m);
+        assert_eq!(back.entries[0].energy, 17);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

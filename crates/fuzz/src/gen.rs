@@ -74,6 +74,24 @@ pub struct GenConfig {
     /// `main` with this depth — deep enough to push the compiled stack
     /// toward the guard page without overflowing it.
     pub deep_recursion: Option<i64>,
+    /// Emit setjmp/longjmp-style unwinding: a module-level unwind flag
+    /// that helpers raise data-dependently and check mid-function,
+    /// early-returning through multiple diversified frames when set.
+    pub use_unwind: bool,
+    /// Emit an attacker-writable function-pointer slot: a mutable
+    /// funcptr global that is *overwritten at runtime* with a freshly
+    /// taken function address and then called through — the
+    /// code-pointer-in-writable-data shape AOCR corrupts.
+    pub use_fptr_slot: bool,
+    /// Length of heap aliasing chains (0 = off): `malloc`ed blocks
+    /// linked through stored pointers, walked back through loads so two
+    /// pointer names alias one block, freed in shuffled order.
+    pub heap_chain: usize,
+    /// Probability that a function (helpers *and* `main`) is emitted
+    /// with `no_instrument` — compiled but left undiversified. 1.0
+    /// produces fully plain modules, exercising the protected/plain
+    /// call boundary and the §5.2 skip paths.
+    pub plain_fns: f64,
 }
 
 impl GenConfig {
@@ -96,6 +114,14 @@ impl GenConfig {
             } else {
                 None
             },
+            use_unwind: rng.gen_bool(0.4),
+            use_fptr_slot: rng.gen_bool(0.4),
+            heap_chain: if rng.gen_bool(0.35) {
+                rng.gen_range(2..=5usize)
+            } else {
+                0
+            },
+            plain_fns: if rng.gen_bool(0.1) { 0.5 } else { 0.06 },
         }
     }
 }
@@ -135,6 +161,19 @@ const CMP_OPS: [CmpOp; 6] = [
     CmpOp::Ge,
 ];
 
+/// The module-level data globals every body emitter addresses.
+#[derive(Clone, Copy)]
+struct DataGlobals {
+    /// Initialized read-only word table.
+    tab: GlobalId,
+    /// Zero-initialized read-write word array.
+    arr: GlobalId,
+    /// Unwind-flag word (`use_unwind` only).
+    uw: Option<GlobalId>,
+    /// Attacker-writable function-pointer slot (`use_fptr_slot` only).
+    fpslot: Option<GlobalId>,
+}
+
 /// Everything a body emitter may reference from any block: values
 /// defined in the entry block (which dominates everything) plus the
 /// module-level addresses. Integers and pointers are kept apart — see
@@ -149,6 +188,10 @@ struct BodyCtx {
     tab: Val,
     /// Address of the zero-initialized `arr` global.
     arr: Val,
+    /// Address of the unwind-flag global, if the module has one.
+    uw: Option<Val>,
+    /// Address of the writable funcptr slot, if the module has one.
+    fpslot: Option<Val>,
     /// Entry-defined integer values (params, constants).
     ints: Vec<Val>,
     /// The runtime depth-budget value (param 1, or a constant in
@@ -156,6 +199,9 @@ struct BodyCtx {
     depth: Val,
     /// Loop nesting level, selecting the counter-slot offset.
     loop_level: u32,
+    /// Whether this body is `main` (no early unwind returns there —
+    /// `main` raises and re-arms the flag instead).
+    in_main: bool,
 }
 
 struct Gen<'a> {
@@ -190,6 +236,11 @@ impl Gen<'_> {
             GlobalInit::Zero((self.cfg.arr_words * 8) as u32),
             if self.rng.gen_bool(0.5) { 8 } else { 16 },
         );
+        let uw = if self.cfg.use_unwind {
+            Some(mb.global("uw", GlobalInit::Zero(8), 8))
+        } else {
+            None
+        };
 
         let helpers: Vec<FuncId> = (0..self.cfg.helpers)
             .map(|i| mb.declare_function(&format!("f{i}"), 2))
@@ -204,15 +255,35 @@ impl Gen<'_> {
         } else {
             None
         };
+        let fpslot = if self.cfg.use_fptr_slot {
+            let target = self.pick(&helpers);
+            Some(mb.global("fpslot", GlobalInit::FuncPtr(target), 8))
+        } else {
+            None
+        };
+        let globals = DataGlobals {
+            tab,
+            arr,
+            uw,
+            fpslot,
+        };
 
         for (i, &id) in helpers.iter().enumerate() {
             let mut fb = mb.function(&format!("f{i}"), 2);
             debug_assert_eq!(fb.id(), id);
-            if self.rng.gen_bool(0.06) {
+            if self.rng.gen_bool(self.cfg.plain_fns) {
                 fb.no_instrument();
             }
-            let ctx = self.body_entry(&mut fb, tab, arr, false);
-            self.emit_constructs(&mut fb, &ctx, &helpers, fp_global);
+            let ctx = self.body_entry(&mut fb, globals, false);
+            // Rotate the callee pool so index 0 is the ring-next helper;
+            // `guarded_call` biases toward it, making mutual-recursion
+            // cycles (f0→f1→…→f0) common instead of coincidental.
+            let mut ring = helpers.clone();
+            ring.rotate_left((i + 1) % helpers.len());
+            self.emit_constructs(&mut fb, &ctx, &ring, fp_global);
+            if helpers.len() > 1 && self.rng.gen_bool(0.6) {
+                self.ring_call(&mut fb, &ctx, ring[0]);
+            }
             let ret = fb.load(ctx.acc, 0);
             fb.ret(Some(ret));
             self.maybe_limbo(&mut fb);
@@ -223,7 +294,7 @@ impl Gen<'_> {
             self.emit_deep(&mut mb, id, depth);
         }
 
-        self.emit_main(&mut mb, tab, arr, &helpers, deep, fp_global);
+        self.emit_main(&mut mb, globals, &helpers, deep, fp_global);
         mb.finish()
     }
 
@@ -233,8 +304,7 @@ impl Gen<'_> {
     fn body_entry(
         &mut self,
         fb: &mut FunctionBuilder<'_>,
-        tab: GlobalId,
-        arr: GlobalId,
+        globals: DataGlobals,
         is_main: bool,
     ) -> BodyCtx {
         let (x, depth) = if is_main {
@@ -249,8 +319,10 @@ impl Gen<'_> {
         fb.store(acc, 0, x);
         let scratch0 = fb.iconst(self.salt());
         fb.store(acc, 8, scratch0);
-        let tab = fb.global_addr(tab);
-        let arr = fb.global_addr(arr);
+        let tab = fb.global_addr(globals.tab);
+        let arr = fb.global_addr(globals.arr);
+        let uw = globals.uw.map(|g| fb.global_addr(g));
+        let fpslot = globals.fpslot.map(|g| fb.global_addr(g));
         let mut ints = vec![x, depth];
         for _ in 0..self.rng.gen_range(2..=5usize) {
             let c = self.salt();
@@ -261,9 +333,12 @@ impl Gen<'_> {
             cnt,
             tab,
             arr,
+            uw,
+            fpslot,
             ints,
             depth,
             loop_level: 0,
+            in_main: is_main,
         }
     }
 
@@ -276,7 +351,7 @@ impl Gen<'_> {
     ) {
         let mut calls_left = 3u32;
         for _ in 0..self.cfg.constructs_per_fn {
-            match self.rng.gen_range(0..10u32) {
+            match self.rng.gen_range(0..13u32) {
                 0..=2 => self.straight(fb, ctx),
                 3..=4 => self.diamond(fb, ctx),
                 5..=6 => {
@@ -287,7 +362,13 @@ impl Gen<'_> {
                     calls_left -= 1;
                     self.guarded_call(fb, ctx, helpers, fp_global);
                 }
-                _ if self.cfg.use_extern => self.extern_burst(fb, ctx),
+                9 if self.cfg.use_extern => self.extern_burst(fb, ctx),
+                10 if ctx.uw.is_some() => self.unwind_construct(fb, ctx),
+                11 if ctx.fpslot.is_some() && calls_left > 0 => {
+                    calls_left -= 1;
+                    self.fptr_slot_call(fb, ctx, helpers);
+                }
+                12 if self.cfg.heap_chain > 0 => self.heap_chain_construct(fb, ctx),
                 _ => self.straight(fb, ctx),
             }
         }
@@ -452,6 +533,27 @@ impl Gen<'_> {
         fb.switch_to(exit);
     }
 
+    /// Depth-guarded *direct* call to the ring-next helper, emitted at
+    /// the tail of most helper bodies: together these close a
+    /// call-graph cycle through every helper, so mutual recursion is a
+    /// common generated shape rather than a lucky draw.
+    fn ring_call(&mut self, fb: &mut FunctionBuilder<'_>, ctx: &BodyCtx, callee: FuncId) {
+        let zero = fb.iconst(0);
+        let c = fb.cmp(CmpOp::Gt, ctx.depth, zero);
+        let docall = fb.new_block("ringcall");
+        let join = fb.new_block("ringjoin");
+        fb.cond_br(c, docall, join);
+        fb.switch_to(docall);
+        let a = fb.load(ctx.acc, 0);
+        let one = fb.iconst(1);
+        let d1 = fb.bin(BinOp::Sub, ctx.depth, one);
+        let r = fb.call(callee, &[a, d1]);
+        let mixed = fb.bin(BinOp::Xor, r, a);
+        fb.store(ctx.acc, 0, mixed);
+        fb.br(join);
+        fb.switch_to(join);
+    }
+
     /// Depth-guarded call: `if depth > 0 { acc ^= callee(acc, depth-1) }`.
     /// The callee may be any helper — including the caller itself —
     /// so direct and mutual recursion arise naturally, terminated by
@@ -472,7 +574,13 @@ impl Gen<'_> {
         let a = fb.load(ctx.acc, 0);
         let one = fb.iconst(1);
         let d1 = fb.bin(BinOp::Sub, ctx.depth, one);
-        let callee = self.pick(helpers);
+        // Helpers pass a rotated pool (ring-next first); biasing toward
+        // it closes call-graph cycles across functions.
+        let callee = if helpers.len() > 1 && self.rng.gen_bool(0.4) {
+            helpers[0]
+        } else {
+            self.pick(helpers)
+        };
         let r = match self.rng.gen_range(0..4u32) {
             0 if self.cfg.use_indirect => {
                 let p = fb.func_addr(callee);
@@ -530,6 +638,118 @@ impl Gen<'_> {
         }
     }
 
+    /// Setjmp/longjmp-style unwinding over the module's `uw` flag
+    /// global. Every body may *raise* the flag data-dependently
+    /// (`uw |= ((acc ^ salt) & 7) == 3`); helpers additionally *check*
+    /// it and early-return the accumulator when set, so a flag raised
+    /// deep in the call tree cuts straight back up through several
+    /// diversified frames — the epilogue-heavy control path a longjmp
+    /// takes through BTRA-instrumented functions. `main` never
+    /// early-returns; instead it sometimes clears the flag so later
+    /// call trees run re-armed.
+    fn unwind_construct(&mut self, fb: &mut FunctionBuilder<'_>, ctx: &BodyCtx) {
+        let uw = ctx.uw.expect("unwind construct needs the uw global");
+        let a = fb.load(ctx.acc, 0);
+        let s = fb.iconst(self.salt());
+        let x = fb.bin(BinOp::Xor, a, s);
+        let seven = fb.iconst(7);
+        let m = fb.bin(BinOp::And, x, seven);
+        let three = fb.iconst(3);
+        let raised = fb.cmp(CmpOp::Eq, m, three);
+        let old = fb.load(uw, 0);
+        let nu = fb.bin(BinOp::Or, old, raised);
+        fb.store(uw, 0, nu);
+        if ctx.in_main {
+            if self.rng.gen_bool(0.5) {
+                let zero = fb.iconst(0);
+                fb.store(uw, 0, zero);
+            }
+            return;
+        }
+        let flag = fb.load(uw, 0);
+        let zero = fb.iconst(0);
+        let c = fb.cmp(CmpOp::Ne, flag, zero);
+        let unwind = fb.new_block("unwind");
+        let cont = fb.new_block("cont");
+        fb.cond_br(c, unwind, cont);
+        fb.switch_to(unwind);
+        let rv = fb.load(ctx.acc, 0);
+        fb.ret(Some(rv));
+        fb.switch_to(cont);
+    }
+
+    /// Attacker-writable code-pointer slot: overwrite the mutable
+    /// `fpslot` global with a freshly taken function address at
+    /// runtime, then make a depth-guarded indirect call through it.
+    /// This is exactly the code-pointer-in-writable-data shape an AOCR
+    /// write primitive corrupts, so the fuzzer must prove diversified
+    /// variants keep it working.
+    fn fptr_slot_call(&mut self, fb: &mut FunctionBuilder<'_>, ctx: &BodyCtx, helpers: &[FuncId]) {
+        let slot = ctx.fpslot.expect("fptr-slot construct needs the slot");
+        let target = self.pick(helpers);
+        let t = fb.func_addr(target);
+        fb.store(slot, 0, t);
+        let zero = fb.iconst(0);
+        let c = fb.cmp(CmpOp::Gt, ctx.depth, zero);
+        let docall = fb.new_block("slotcall");
+        let join = fb.new_block("noslot");
+        fb.cond_br(c, docall, join);
+        fb.switch_to(docall);
+        let a = fb.load(ctx.acc, 0);
+        let one = fb.iconst(1);
+        let d1 = fb.bin(BinOp::Sub, ctx.depth, one);
+        let p = fb.load(slot, 0);
+        let r = fb.call_ind(p, &[a, d1]);
+        let mixed = fb.bin(BinOp::Add, r, a);
+        fb.store(ctx.acc, 0, mixed);
+        fb.br(join);
+        fb.switch_to(join);
+    }
+
+    /// Heap aliasing chain: `heap_chain` malloc'd blocks linked through
+    /// *stored pointers*, walked back through loads so the walk result
+    /// aliases the last block under a different SSA name. A value is
+    /// written through one name and read through the other, then the
+    /// blocks are freed in a shuffled order. Pointers only ever live in
+    /// heap memory here, which the oracle never compares — the
+    /// pointer-class discipline holds.
+    fn heap_chain_construct(&mut self, fb: &mut FunctionBuilder<'_>, ctx: &BodyCtx) {
+        let n = self.cfg.heap_chain;
+        debug_assert!(n >= 2);
+        let blocks: Vec<Val> = (0..n)
+            .map(|_| {
+                let sz = fb.iconst(24);
+                fb.call_extern(ExternFn::Malloc, &[sz])
+            })
+            .collect();
+        for i in 0..n - 1 {
+            fb.store(blocks[i], 0, blocks[i + 1]);
+        }
+        let v = fb.load(ctx.acc, 0);
+        fb.store(blocks[n - 1], 8, v);
+        // Walk the chain from the head: `q` ends up aliasing the tail.
+        let mut q = blocks[0];
+        for _ in 0..n - 1 {
+            q = fb.load(q, 0);
+        }
+        let w = fb.load(q, 8);
+        let s = self.pick(&ctx.ints);
+        fb.store(q, 16, s);
+        let r = fb.load(blocks[n - 1], 16);
+        let m1 = fb.bin(BinOp::Xor, w, r);
+        let old = fb.load(ctx.acc, 0);
+        let mixed = fb.bin(BinOp::Add, old, m1);
+        fb.store(ctx.acc, 0, mixed);
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for i in order {
+            fb.call_extern(ExternFn::Free, &[blocks[i]]);
+        }
+    }
+
     /// Occasionally appends an unreachable, empty, self-looping block —
     /// legal IR the verifier accepts and codegen must compile without
     /// hanging or emitting garbage.
@@ -576,14 +796,16 @@ impl Gen<'_> {
     fn emit_main(
         &mut self,
         mb: &mut ModuleBuilder,
-        tab: GlobalId,
-        arr: GlobalId,
+        globals: DataGlobals,
         helpers: &[FuncId],
         deep: Option<FuncId>,
         fp_global: Option<GlobalId>,
     ) {
         let mut fb = mb.function("main", 0);
-        let ctx = self.body_entry(&mut fb, tab, arr, true);
+        if self.rng.gen_bool(self.cfg.plain_fns) {
+            fb.no_instrument();
+        }
+        let ctx = self.body_entry(&mut fb, globals, true);
         self.emit_constructs(&mut fb, &ctx, helpers, fp_global);
 
         // Root calls with the full depth budget.
@@ -675,12 +897,33 @@ mod tests {
         let mut saw_deep = false;
         let mut saw_limbo = false;
         let mut saw_no_instrument = false;
+        let mut saw_unwind = false;
+        let mut saw_slot_call = false;
+        let mut saw_heap_chain = false;
         for seed in 0..150u64 {
             let m = generate(seed);
             saw_deep |= m.funcs.iter().any(|f| f.name == "deep");
             saw_no_instrument |= m.funcs.iter().any(|f| f.no_instrument);
             for (fi, f) in m.funcs.iter().enumerate() {
+                // A heap aliasing chain stores one malloc result into
+                // another malloc'd block — a pointer stored to heap.
+                let mut mallocs = std::collections::HashSet::new();
                 for b in &f.blocks {
+                    for (v, i) in &b.insts {
+                        if let (
+                            Some(v),
+                            r2c_ir::Inst::CallExtern {
+                                ext: ExternFn::Malloc,
+                                ..
+                            },
+                        ) = (v, i)
+                        {
+                            mallocs.insert(*v);
+                        }
+                        if let r2c_ir::Inst::Store { val, .. } = i {
+                            saw_heap_chain |= mallocs.contains(val);
+                        }
+                    }
                     let self_call = b.insts.iter().any(|(_, i)| {
                         matches!(i, r2c_ir::Inst::Call { callee, .. } if callee.0 as usize == fi)
                     });
@@ -690,6 +933,8 @@ mod tests {
                         .iter()
                         .any(|(_, i)| matches!(i, r2c_ir::Inst::CallInd { .. }));
                     saw_limbo |= b.name == "limbo";
+                    saw_unwind |= b.name == "unwind";
+                    saw_slot_call |= b.name == "slotcall";
                 }
             }
         }
@@ -698,5 +943,8 @@ mod tests {
         assert!(saw_deep, "no deep-recursion function generated");
         assert!(saw_limbo, "no unreachable self-loop generated");
         assert!(saw_no_instrument, "no no_instrument function generated");
+        assert!(saw_unwind, "no unwind early-return generated");
+        assert!(saw_slot_call, "no writable-slot indirect call generated");
+        assert!(saw_heap_chain, "no heap aliasing chain generated");
     }
 }

@@ -19,18 +19,36 @@
 //! * [`reduce`] — a delta-debugging reducer that shrinks a diverging
 //!   module while re-running the diverging cell, emitting a minimized
 //!   `.r2cir` reproducer.
+//! * [`coverage`] — a cheap AFL-style coverage map fed from compiler
+//!   reports, VM execution edges, and IR-shape features.
+//! * [`mutate`] — verify-gated structural mutations over corpus
+//!   entries (operand/immediate flips, block splices, CFG rewires,
+//!   call-target swaps).
+//! * [`corpus`] — the checked-in, energy-scheduled corpus of coverage
+//!   keepers.
+//! * [`campaign`] — the deterministic coverage-guided campaign driver
+//!   tying all of the above together, with a blind mode for A/B runs.
 //!
 //! The `fuzz` binary in `r2c-bench` drives campaigns from the command
 //! line; `tests/fuzz_regressions.rs` at the workspace root pins
 //! previously-found shapes as named regression tests.
 
+pub mod campaign;
+pub mod corpus;
+pub mod coverage;
 pub mod gen;
+pub mod mutate;
 pub mod oracle;
 pub mod reduce;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CoveragePoint, DivergenceRecord};
+pub use corpus::{Corpus, CorpusEntry};
+pub use coverage::{case_coverage, fault_name, CaseCoverage, CoverageMap, MAP_BITS};
 pub use gen::{generate, generate_with, GenConfig};
+pub use mutate::{gate, mutate, MutationKind};
 pub use oracle::{
-    named_configs, run_oracle, CaseVerdict, Divergence, MatrixCell, OracleMatrix, FLEET_CELL_PREFIX,
+    named_configs, run_oracle, summarize_divergences, CaseVerdict, Divergence, MatrixCell,
+    OracleMatrix, FLEET_CELL_PREFIX,
 };
 pub use reduce::{reduce, reproducer_source, Reduction, ReductionStats};
 

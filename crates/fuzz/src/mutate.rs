@@ -1,0 +1,435 @@
+//! Verify-gated corpus mutations.
+//!
+//! Each mutator takes a well-formed module and produces a structural
+//! variant: operand and immediate flips, block splices, CFG edge
+//! rewires, call-target swaps, funcptr-global retargets. Raw mutants
+//! may be arbitrarily broken — the public entry point [`mutate`] gates
+//! every candidate exactly like the reducer gates its candidates:
+//!
+//! 1. `verify_module` accepts it (legal IR),
+//! 2. it survives a printer → parser roundtrip unchanged (corpus
+//!    entries are persisted as `.r2cir` text), and
+//! 3. the reference interpreter runs it to completion within
+//!    [`GATE_FUEL`] (well-defined, and strictly cheaper than the
+//!    oracle's [`crate::oracle::REFERENCE_FUEL`], so an admitted mutant
+//!    always replays under the oracle).
+//!
+//! Operand flips draw replacements only from entry-block `const`/
+//! `param` values: the entry block dominates every use site, and those
+//! values are integer-class by construction, so a flip can never leak a
+//! pointer into compared data (the pointer-class discipline of
+//! [`crate::gen`]). Everything else that could go wrong — out-of-bounds
+//! masks, unbounded recursion from a flipped depth argument, dominance
+//! breaks from a rewired edge — is caught by the gate and discarded.
+
+use r2c_ir::{
+    interpret, parse_module, print_module, verify_module, FuncId, GlobalInit, Inst, Module, Term,
+    Val,
+};
+use rand::{rngs::SmallRng, Rng};
+
+/// Interpreter fuel for the mutant gate. Below the oracle's
+/// `REFERENCE_FUEL`, so gate-accepted modules always terminate under
+/// the oracle too.
+pub const GATE_FUEL: u64 = 10_000_000;
+
+/// Which structural mutation was applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationKind {
+    /// An integer operand replaced by another entry-defined integer.
+    OperandFlip,
+    /// A `const` immediate flipped (bit flip, ±delta, negate, mask).
+    ImmediateFlip,
+    /// A block's instruction run duplicated (fresh value ids) onto the
+    /// end of another block of the same function.
+    BlockSplice,
+    /// A branch edge retargeted to a different block.
+    EdgeRewire,
+    /// A conditional branch's arms swapped.
+    ArmSwap,
+    /// A direct call retargeted to another same-arity function.
+    CallTargetSwap,
+    /// A funcptr global retargeted to another same-arity function.
+    FuncPtrRetarget,
+}
+
+const ALL_KINDS: [MutationKind; 7] = [
+    MutationKind::OperandFlip,
+    MutationKind::ImmediateFlip,
+    MutationKind::BlockSplice,
+    MutationKind::EdgeRewire,
+    MutationKind::ArmSwap,
+    MutationKind::CallTargetSwap,
+    MutationKind::FuncPtrRetarget,
+];
+
+/// The mutant gate: legality, roundtrip fidelity, bounded well-defined
+/// execution. Public so tests can assert what [`mutate`] promises.
+pub fn gate(module: &Module) -> bool {
+    if verify_module(module).is_err() {
+        return false;
+    }
+    match parse_module(&print_module(module)) {
+        Ok(rt) if &rt == module => {}
+        _ => return false,
+    }
+    interpret(module, "main", GATE_FUEL).is_ok()
+}
+
+/// Applies one random mutation *without* gating; returns the mutant and
+/// what was done, or `None` if the drawn mutator had no applicable site
+/// (e.g. `FuncPtrRetarget` on a module without funcptr globals).
+///
+/// Exposed for tests; fuzzing goes through [`mutate`].
+pub fn apply_random(module: &Module, rng: &mut SmallRng) -> Option<(Module, MutationKind)> {
+    let kind = ALL_KINDS[rng.gen_range(0..ALL_KINDS.len())];
+    let mut cand = module.clone();
+    let applied = match kind {
+        MutationKind::OperandFlip => operand_flip(&mut cand, rng),
+        MutationKind::ImmediateFlip => immediate_flip(&mut cand, rng),
+        MutationKind::BlockSplice => block_splice(&mut cand, rng),
+        MutationKind::EdgeRewire => edge_rewire(&mut cand, rng),
+        MutationKind::ArmSwap => arm_swap(&mut cand, rng),
+        MutationKind::CallTargetSwap => call_target_swap(&mut cand, rng),
+        MutationKind::FuncPtrRetarget => funcptr_retarget(&mut cand, rng),
+    };
+    applied.then_some((cand, kind))
+}
+
+/// Draws mutants until one passes the gate and actually differs from
+/// the input, for at most `max_tries` attempts.
+pub fn mutate(
+    module: &Module,
+    rng: &mut SmallRng,
+    max_tries: usize,
+) -> Option<(Module, MutationKind)> {
+    for _ in 0..max_tries {
+        if let Some((cand, kind)) = apply_random(module, rng) {
+            if &cand != module && gate(&cand) {
+                return Some((cand, kind));
+            }
+        }
+    }
+    None
+}
+
+/// Entry-block values that are integer-class by construction.
+fn entry_int_vals(f: &r2c_ir::Function) -> Vec<Val> {
+    f.blocks[0]
+        .insts
+        .iter()
+        .filter_map(|(v, i)| match (v, i) {
+            (Some(v), Inst::Const(_) | Inst::Param(_)) => Some(*v),
+            _ => None,
+        })
+        .collect()
+}
+
+fn pick_func(m: &Module, rng: &mut SmallRng) -> usize {
+    rng.gen_range(0..m.funcs.len())
+}
+
+fn operand_flip(m: &mut Module, rng: &mut SmallRng) -> bool {
+    let fi = pick_func(m, rng);
+    let pool = entry_int_vals(&m.funcs[fi]);
+    if pool.is_empty() {
+        return false;
+    }
+    // Collect the flippable integer-position operand slots.
+    let mut sites: Vec<(usize, usize, u8)> = Vec::new();
+    for (bi, b) in m.funcs[fi].blocks.iter().enumerate() {
+        for (ii, (_, inst)) in b.insts.iter().enumerate() {
+            match inst {
+                Inst::Bin { .. } | Inst::Cmp { .. } => {
+                    sites.push((bi, ii, 0));
+                    sites.push((bi, ii, 1));
+                }
+                Inst::Store { .. } => sites.push((bi, ii, 0)),
+                Inst::Call { args, .. }
+                | Inst::CallInd { args, .. }
+                | Inst::CallExtern { args, .. } => {
+                    for k in 0..args.len().min(250) {
+                        sites.push((bi, ii, 2 + k as u8));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if sites.is_empty() {
+        return false;
+    }
+    let (bi, ii, slot) = sites[rng.gen_range(0..sites.len())];
+    let repl = pool[rng.gen_range(0..pool.len())];
+    let inst = &mut m.funcs[fi].blocks[bi].insts[ii].1;
+    match (inst, slot) {
+        (Inst::Bin { a, .. }, 0) | (Inst::Cmp { a, .. }, 0) => *a = repl,
+        (Inst::Bin { b, .. }, 1) | (Inst::Cmp { b, .. }, 1) => *b = repl,
+        (Inst::Store { val, .. }, 0) => *val = repl,
+        (
+            Inst::Call { args, .. } | Inst::CallInd { args, .. } | Inst::CallExtern { args, .. },
+            k,
+        ) => args[(k - 2) as usize] = repl,
+        _ => return false,
+    }
+    true
+}
+
+fn immediate_flip(m: &mut Module, rng: &mut SmallRng) -> bool {
+    let fi = pick_func(m, rng);
+    let mut sites: Vec<(usize, usize)> = Vec::new();
+    for (bi, b) in m.funcs[fi].blocks.iter().enumerate() {
+        for (ii, (_, inst)) in b.insts.iter().enumerate() {
+            if matches!(inst, Inst::Const(_)) {
+                sites.push((bi, ii));
+            }
+        }
+    }
+    if sites.is_empty() {
+        return false;
+    }
+    let (bi, ii) = sites[rng.gen_range(0..sites.len())];
+    let Inst::Const(c) = &mut m.funcs[fi].blocks[bi].insts[ii].1 else {
+        return false;
+    };
+    *c = match rng.gen_range(0..5u32) {
+        0 => *c ^ (1i64 << rng.gen_range(0..64u32)),
+        1 => c.wrapping_add(rng.gen_range(-16..=16i64)),
+        2 => c.wrapping_neg(),
+        3 => *c | ((1i64 << rng.gen_range(0..8u32)) - 1), // widen a mask
+        _ => [0i64, 1, -1, 7, 255, i64::MAX, i64::MIN][rng.gen_range(0..7usize)],
+    };
+    true
+}
+
+fn block_splice(m: &mut Module, rng: &mut SmallRng) -> bool {
+    let fi = pick_func(m, rng);
+    let f = &mut m.funcs[fi];
+    let src = rng.gen_range(0..f.blocks.len());
+    let dst = rng.gen_range(0..f.blocks.len());
+    if f.blocks[src].insts.is_empty() {
+        return false;
+    }
+    let src_insts = f.blocks[src].insts.clone();
+    // Re-number the spliced run's results; operands defined inside the
+    // run follow, operands defined outside keep their original ids
+    // (legal iff their definitions dominate `dst` — the gate decides).
+    let mut map = std::collections::HashMap::new();
+    let mut next = f.num_vals;
+    let mut spliced = Vec::with_capacity(src_insts.len());
+    for (v, inst) in src_insts {
+        let mut inst = inst.clone();
+        remap_operands(&mut inst, &map);
+        let nv = v.map(|old| {
+            let n = Val(next);
+            next += 1;
+            map.insert(old, n);
+            n
+        });
+        spliced.push((nv, inst));
+    }
+    f.num_vals = next;
+    f.blocks[dst].insts.extend(spliced);
+    true
+}
+
+fn remap_operands(inst: &mut Inst, map: &std::collections::HashMap<Val, Val>) {
+    let r = |v: &mut Val| {
+        if let Some(n) = map.get(v) {
+            *v = *n;
+        }
+    };
+    match inst {
+        Inst::Load { ptr, .. } => r(ptr),
+        Inst::Store { ptr, val, .. } => {
+            r(ptr);
+            r(val);
+        }
+        Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+            r(a);
+            r(b);
+        }
+        Inst::PtrAdd { base, idx, .. } => {
+            r(base);
+            if let Some(i) = idx {
+                r(i);
+            }
+        }
+        Inst::Call { args, .. } | Inst::CallExtern { args, .. } => args.iter_mut().for_each(r),
+        Inst::CallInd { ptr, args } => {
+            r(ptr);
+            args.iter_mut().for_each(r);
+        }
+        Inst::Const(_) | Inst::Param(_) | Inst::Alloca { .. } => {}
+        Inst::GlobalAddr(_) | Inst::FuncAddr(_) => {}
+    }
+}
+
+fn edge_rewire(m: &mut Module, rng: &mut SmallRng) -> bool {
+    let fi = pick_func(m, rng);
+    let f = &mut m.funcs[fi];
+    if f.blocks.len() < 2 {
+        return false;
+    }
+    let bi = rng.gen_range(0..f.blocks.len());
+    let new_target = r2c_ir::BlockId(rng.gen_range(0..f.blocks.len()) as u32);
+    match &mut f.blocks[bi].term {
+        Term::Br(t) => {
+            if *t == new_target {
+                return false;
+            }
+            *t = new_target;
+        }
+        Term::CondBr {
+            then_bb, else_bb, ..
+        } => {
+            let arm = if rng.gen_bool(0.5) { then_bb } else { else_bb };
+            if *arm == new_target {
+                return false;
+            }
+            *arm = new_target;
+        }
+        Term::Ret(_) => return false,
+    }
+    true
+}
+
+fn arm_swap(m: &mut Module, rng: &mut SmallRng) -> bool {
+    let fi = pick_func(m, rng);
+    let f = &mut m.funcs[fi];
+    let mut sites: Vec<usize> = (0..f.blocks.len())
+        .filter(|&bi| matches!(f.blocks[bi].term, Term::CondBr { .. }))
+        .collect();
+    if sites.is_empty() {
+        return false;
+    }
+    let bi = sites.remove(rng.gen_range(0..sites.len()));
+    if let Term::CondBr {
+        then_bb, else_bb, ..
+    } = &mut f.blocks[bi].term
+    {
+        if then_bb == else_bb {
+            return false;
+        }
+        std::mem::swap(then_bb, else_bb);
+    }
+    true
+}
+
+fn call_target_swap(m: &mut Module, rng: &mut SmallRng) -> bool {
+    let mut sites: Vec<(usize, usize, usize)> = Vec::new();
+    for (fi, f) in m.funcs.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ii, (_, inst)) in b.insts.iter().enumerate() {
+                if matches!(inst, Inst::Call { .. }) {
+                    sites.push((fi, bi, ii));
+                }
+            }
+        }
+    }
+    if sites.is_empty() {
+        return false;
+    }
+    let (fi, bi, ii) = sites[rng.gen_range(0..sites.len())];
+    let Inst::Call { callee, .. } = &m.funcs[fi].blocks[bi].insts[ii].1 else {
+        return false;
+    };
+    let arity = m.funcs[callee.0 as usize].params;
+    let alternatives: Vec<FuncId> = m
+        .funcs
+        .iter()
+        .enumerate()
+        .filter(|(i, f)| f.params == arity && FuncId(*i as u32) != *callee)
+        .map(|(i, _)| FuncId(i as u32))
+        .collect();
+    if alternatives.is_empty() {
+        return false;
+    }
+    let new = alternatives[rng.gen_range(0..alternatives.len())];
+    if let Inst::Call { callee, .. } = &mut m.funcs[fi].blocks[bi].insts[ii].1 {
+        *callee = new;
+    }
+    true
+}
+
+fn funcptr_retarget(m: &mut Module, rng: &mut SmallRng) -> bool {
+    let mut sites: Vec<usize> = (0..m.globals.len())
+        .filter(|&gi| matches!(m.globals[gi].init, GlobalInit::FuncPtr(_)))
+        .collect();
+    if sites.is_empty() {
+        return false;
+    }
+    let gi = sites.remove(rng.gen_range(0..sites.len()));
+    let GlobalInit::FuncPtr(cur) = m.globals[gi].init else {
+        return false;
+    };
+    let arity = m.funcs[cur.0 as usize].params;
+    let alternatives: Vec<FuncId> = m
+        .funcs
+        .iter()
+        .enumerate()
+        .filter(|(i, f)| f.params == arity && FuncId(*i as u32) != cur)
+        .map(|(i, _)| FuncId(i as u32))
+        .collect();
+    if alternatives.is_empty() {
+        return false;
+    }
+    m.globals[gi].init = GlobalInit::FuncPtr(alternatives[rng.gen_range(0..alternatives.len())]);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gated_mutants_stay_well_formed() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut produced = 0;
+        for seed in 0..12u64 {
+            let m = generate(seed);
+            if let Some((mutant, _kind)) = mutate(&m, &mut rng, 16) {
+                assert!(gate(&mutant));
+                assert_ne!(mutant, m);
+                produced += 1;
+            }
+        }
+        assert!(produced >= 6, "only {produced}/12 modules yielded mutants");
+    }
+
+    #[test]
+    fn ungated_mutants_exist_that_the_gate_rejects() {
+        // The gate must actually be load-bearing: raw mutation output
+        // contains ill-formed candidates.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rejected = 0;
+        for seed in 0..8u64 {
+            let m = generate(seed);
+            for _ in 0..40 {
+                if let Some((cand, _)) = apply_random(&m, &mut rng) {
+                    if cand != m && !gate(&cand) {
+                        rejected += 1;
+                    }
+                }
+            }
+        }
+        assert!(rejected > 0, "gate never rejected a raw mutant");
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let m = generate(5);
+        let a = mutate(&m, &mut SmallRng::seed_from_u64(9), 16);
+        let b = mutate(&m, &mut SmallRng::seed_from_u64(9), 16);
+        match (a, b) {
+            (Some((ma, ka)), Some((mb, kb))) => {
+                assert_eq!(ma, mb);
+                assert_eq!(ka, kb);
+            }
+            (None, None) => {}
+            other => panic!("nondeterministic mutate: {other:?}"),
+        }
+    }
+}

@@ -178,13 +178,19 @@ pub enum CaseVerdict {
         /// The interpreter error.
         reason: String,
     },
-    /// At least one cell disagreed. Only the first divergence is
-    /// reported; the reducer re-checks exactly this cell.
-    Diverged(Box<Divergence>),
+    /// At least one cell disagreed. *Every* divergent cell of the
+    /// matrix is collected (the whole matrix is run to completion, not
+    /// stopped at the first disagreement), so matrix-wide patterns —
+    /// e.g. a fusion-only divergence that hits every `nofuse` cell but
+    /// no plain cell — are visible in a single report. The reducer
+    /// re-checks exactly one cell (callers conventionally pick the
+    /// first).
+    Diverged(Vec<Divergence>),
 }
 
 /// Runs `module` through every cell of `matrix`, comparing against the
-/// reference interpretation.
+/// reference interpretation. All cells are always checked; a diverged
+/// verdict carries every disagreeing cell.
 pub fn run_oracle(module: &Module, matrix: &OracleMatrix) -> CaseVerdict {
     let reference = match interpret(module, "main", REFERENCE_FUEL) {
         Ok(r) => r,
@@ -194,14 +200,49 @@ pub fn run_oracle(module: &Module, matrix: &OracleMatrix) -> CaseVerdict {
             }
         }
     };
+    let mut diverged = Vec::new();
     for cell in matrix.cells() {
         if let Some(details) = check_cell(module, &reference, &cell) {
-            return CaseVerdict::Diverged(Box::new(Divergence { cell, details }));
+            diverged.push(Divergence { cell, details });
         }
+    }
+    if !diverged.is_empty() {
+        return CaseVerdict::Diverged(diverged);
     }
     CaseVerdict::Pass {
         cells: matrix.cells().len(),
     }
+}
+
+/// One-line matrix-wide pattern summary of a case's divergent cells:
+/// how many cells disagreed and how the disagreement distributes over
+/// configs and machines. This is what makes e.g. "fusion-only
+/// divergence" (every `nofuse` cell, nothing else) readable at a
+/// glance.
+pub fn summarize_divergences(divs: &[Divergence]) -> String {
+    let mut by_config: Vec<(String, usize)> = Vec::new();
+    let mut machines: Vec<String> = Vec::new();
+    for d in divs {
+        match by_config.iter_mut().find(|(n, _)| *n == d.cell.config_name) {
+            Some((_, c)) => *c += 1,
+            None => by_config.push((d.cell.config_name.clone(), 1)),
+        }
+        let m = format!("{:?}", d.cell.machine);
+        if !machines.contains(&m) {
+            machines.push(m);
+        }
+    }
+    let configs = by_config
+        .iter()
+        .map(|(n, c)| format!("{n}\u{d7}{c}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{} divergent cell(s) [{}] on {}",
+        divs.len(),
+        configs,
+        machines.join("/")
+    )
 }
 
 /// Config-name prefix marking a *fleet* cell. Such a cell does not diff

@@ -1,0 +1,48 @@
+//! Replays the entire checked-in coverage corpus through the full
+//! quick oracle matrix — including the `tv` (translation-validated)
+//! and `nofuse` cells and the fleet-determinism cell. Corpus entries
+//! are admitted only from passing cases, so any divergence here means
+//! the pipeline regressed against a shape the corpus pinned down.
+//!
+//! This is a standalone test target so CI can run it (and nothing
+//! else) against a freshly evolved corpus.
+
+use std::path::Path;
+
+use r2c_fuzz::{run_oracle, summarize_divergences, CaseVerdict, Corpus, OracleMatrix};
+
+#[test]
+fn checked_in_corpus_replays_clean_across_quick_matrix() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let corpus = Corpus::load(&dir);
+    assert!(
+        !corpus.entries.is_empty(),
+        "checked-in corpus at {dir:?} is empty — campaigns cannot start from it"
+    );
+    let matrix = OracleMatrix::quick();
+    // The quick matrix must still carry the special cells the corpus
+    // is meant to exercise.
+    let names: Vec<&str> = matrix.configs.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(
+        names.iter().any(|n| n.starts_with("tv")),
+        "quick matrix lost its tv cell: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("nofuse")),
+        "quick matrix lost its nofuse cell: {names:?}"
+    );
+    for e in &corpus.entries {
+        match run_oracle(&e.module, &matrix) {
+            CaseVerdict::Pass { cells } => assert!(cells > 0),
+            CaseVerdict::Skipped { reason } => {
+                panic!("corpus entry {}: reference rejected it: {reason}", e.name)
+            }
+            CaseVerdict::Diverged(divs) => panic!(
+                "corpus entry {}: {}; first cell details: {:?}",
+                e.name,
+                summarize_divergences(&divs),
+                divs[0].details
+            ),
+        }
+    }
+}

@@ -40,6 +40,10 @@ fn pressure_module(seed: u64) -> Module {
         use_extern: true,
         use_indirect: false,
         deep_recursion: None,
+        use_unwind: false,
+        use_fptr_slot: false,
+        heap_chain: 0,
+        plain_fns: 0.0,
     };
     let mut rng = SmallRng::seed_from_u64(seed);
     generate_with(&cfg, &mut rng)
@@ -49,11 +53,12 @@ fn catch_and_reduce(fault: InjectedFault, name: &str) {
     let matrix = OracleMatrix::single(name, injected(fault), MachineKind::EpycRome, 1);
     for seed in 0..10u64 {
         let module = pressure_module(seed);
-        let CaseVerdict::Diverged(div) = run_oracle(&module, &matrix) else {
+        let CaseVerdict::Diverged(divs) = run_oracle(&module, &matrix) else {
             continue;
         };
+        let div = &divs[0];
         assert!(!div.details.is_empty());
-        let reduced = reduce_divergence(&module, &div, 6);
+        let reduced = reduce_divergence(&module, div, 6);
         assert!(
             reduced.module.funcs.len() <= 3,
             "{name}: reducer kept {} functions",
@@ -64,7 +69,7 @@ fn catch_and_reduce(fault: InjectedFault, name: &str) {
             "{name}: reducer made no progress"
         );
         // The reproducer must reparse (checked inside) and name the cell.
-        let report = divergence_report(seed, &div, &reduced.module);
+        let report = divergence_report(seed, div, &reduced.module);
         assert!(report.contains(name), "{report}");
         return;
     }

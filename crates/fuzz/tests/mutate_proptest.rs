@@ -1,0 +1,53 @@
+//! Property-based contract of the corpus mutator: every mutant that
+//! survives the gate round-trips through the textual IR format and is
+//! accepted by the verifier, and no candidate that the verifier would
+//! reject ever slips past the gate. Together these keep the checked-in
+//! corpus well-formed no matter how campaigns evolve it.
+
+use proptest::prelude::*;
+
+use r2c_fuzz::mutate::apply_random;
+use r2c_fuzz::{gate, generate, mutate};
+use r2c_ir::{parse_module, print_module, verify_module};
+use rand::{rngs::SmallRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: if cfg!(debug_assertions) { 24 } else { 96 } })]
+
+    /// `mutate` output always reparses to itself and verifies — the
+    /// corpus on-disk format and the verifier contract both hold for
+    /// every admitted mutant.
+    #[test]
+    fn gated_mutants_roundtrip_and_verify((mod_seed, rng_seed) in (0u64..32, any::<u64>())) {
+        let m = generate(mod_seed);
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        if let Some((mutant, kind)) = mutate(&m, &mut rng, 8) {
+            prop_assert!(
+                verify_module(&mutant).is_ok(),
+                "verifier rejected a gated {kind:?} mutant (module {mod_seed}, rng {rng_seed})"
+            );
+            let text = print_module(&mutant);
+            let back = parse_module(&text).expect("gated mutant must reparse");
+            prop_assert_eq!(back, mutant);
+        }
+    }
+
+    /// A raw candidate the verifier rejects is always discarded by the
+    /// gate — a verifier-accepted module can never mutate into a
+    /// rejected one without the mutant being thrown away.
+    #[test]
+    fn ill_formed_candidates_never_pass_the_gate((mod_seed, rng_seed) in (0u64..32, any::<u64>())) {
+        let m = generate(mod_seed);
+        prop_assert!(verify_module(&m).is_ok());
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        if let Some((cand, kind)) = apply_random(&m, &mut rng) {
+            if verify_module(&cand).is_err() {
+                prop_assert!(
+                    !gate(&cand),
+                    "gate admitted a verifier-rejected {kind:?} candidate \
+                     (module {mod_seed}, rng {rng_seed})"
+                );
+            }
+        }
+    }
+}

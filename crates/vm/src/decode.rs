@@ -406,6 +406,70 @@ pub enum Op {
     },
 }
 
+impl Op {
+    /// Stable name of the decoded-op kind (the fusion pattern or
+    /// lowering template this op came from). Consumed by the
+    /// coverage-guided fuzzer as a compile-side coverage feature:
+    /// which fusion patterns and lowering shapes a case actually
+    /// exercises.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Op::MovImm { .. } => "MovImm",
+            Op::MovReg { .. } => "MovReg",
+            Op::Load { .. } => "Load",
+            Op::Store { .. } => "Store",
+            Op::StoreImm { .. } => "StoreImm",
+            Op::Lea { .. } => "Lea",
+            Op::Push { .. } => "Push",
+            Op::PushImm { .. } => "PushImm",
+            Op::Pop { .. } => "Pop",
+            Op::AluReg { .. } => "AluReg",
+            Op::AluImm { .. } => "AluImm",
+            Op::Div { .. } => "Div",
+            Op::Rem { .. } => "Rem",
+            Op::CmpReg { .. } => "CmpReg",
+            Op::CmpImm { .. } => "CmpImm",
+            Op::Test { .. } => "Test",
+            Op::SetCc { .. } => "SetCc",
+            Op::LoadAbs { .. } => "LoadAbs",
+            Op::VLoadAbs { .. } => "VLoadAbs",
+            Op::Call { .. } => "Call",
+            Op::CallInd { .. } => "CallInd",
+            Op::CallNative { .. } => "CallNative",
+            Op::Ret => "Ret",
+            Op::Jmp { .. } => "Jmp",
+            Op::JmpInd { .. } => "JmpInd",
+            Op::Jcc { .. } => "Jcc",
+            Op::Nop => "Nop",
+            Op::Trap => "Trap",
+            Op::VLoad { .. } => "VLoad",
+            Op::VStore { .. } => "VStore",
+            Op::VZeroUpper => "VZeroUpper",
+            Op::Halt => "Halt",
+            Op::MovRegAluReg { .. } => "MovRegAluReg",
+            Op::AluRegMovReg { .. } => "AluRegMovReg",
+            Op::MovImmMovReg { .. } => "MovImmMovReg",
+            Op::MovRegMovImm { .. } => "MovRegMovImm",
+            Op::MovRegStore { .. } => "MovRegStore",
+            Op::LoadMovReg { .. } => "LoadMovReg",
+            Op::StoreLoad { .. } => "StoreLoad",
+            Op::LeaMovReg { .. } => "LeaMovReg",
+            Op::CmpRegJcc { .. } => "CmpRegJcc",
+            Op::CmpImmJcc { .. } => "CmpImmJcc",
+            Op::TestJcc { .. } => "TestJcc",
+            Op::CmpRegSetCc { .. } => "CmpRegSetCc",
+            Op::PushPush { .. } => "PushPush",
+            Op::PopPop { .. } => "PopPop",
+            Op::PopRet { .. } => "PopRet",
+            Op::MovImmAluQuad { .. } => "MovImmAluQuad",
+            Op::MovImmAluQuadPair { .. } => "MovImmAluQuadPair",
+            Op::AluImmQuad { .. } => "AluImmQuad",
+            Op::AluImmQuadPair { .. } => "AluImmQuadPair",
+            Op::Run { .. } => "Run",
+        }
+    }
+}
+
 /// One icache segment of a block run: `count` consecutive member
 /// instructions whose addresses fall on the same icache line, charged
 /// with a single [`crate::machine::ICache::access_span`] call and
@@ -545,6 +609,24 @@ fn seq_mismatch<T: PartialEq>(field: &'static str, a: &[T], b: &[T]) -> Option<D
 }
 
 impl DecodedProgram {
+    /// Histogram of decoded-op kinds over the whole program, including
+    /// the effect-stream entries inside block runs (where the quad
+    /// superinstructions live). This is the lowering-template /
+    /// fusion-pattern coverage surface the fuzzer's coverage map feeds
+    /// on: a case "covers" a pattern when the decoder emitted it for
+    /// the case's image.
+    pub fn op_kind_counts(&self) -> Vec<(&'static str, u64)> {
+        let mut counts: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        for dop in &self.ops {
+            *counts.entry(dop.op.kind_name()).or_insert(0) += 1;
+        }
+        for rop in &self.run_ops {
+            *counts.entry(rop.op.kind_name()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
     /// Field-by-field verification that this decoded program was built
     /// from an image identical to `image` under the same machine model
     /// and fusion setting. This is what makes the cache safe against

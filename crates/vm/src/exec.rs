@@ -137,6 +137,7 @@ pub struct Vm {
     pub heap: Heap,
     icache: ICache,
     stats: ExecStats,
+    edges: crate::stats::EdgeStats,
     stack_limit: VAddr,
     /// Values printed by the guest (`PrintI64` / `PutChar` natives), the
     /// "program output" used for differential correctness checks.
@@ -192,6 +193,7 @@ impl Vm {
             heap,
             icache: ICache::new(cfg.machine.icache),
             stats: ExecStats::default(),
+            edges: crate::stats::EdgeStats::default(),
             stack_limit: l.stack_top - l.stack_size,
             output: Vec::new(),
             detections: Vec::new(),
@@ -233,6 +235,7 @@ impl Vm {
         self.regs.set(Gpr::Rsp, self.prog.layout.stack_top - 64);
         self.icache = ICache::new(self.cfg.machine.icache);
         self.stats = ExecStats::default();
+        self.edges = crate::stats::EdgeStats::default();
         self.output.clear();
         self.detections.clear();
         self.probes.clear();
@@ -394,6 +397,20 @@ impl Vm {
         s.icache_misses = m;
         s.max_rss_pages = self.mem.max_resident_pages();
         s
+    }
+
+    /// Execution-edge telemetry snapshot (engine-path counters for the
+    /// coverage-guided fuzzer; see [`crate::stats::EdgeStats`] for why
+    /// these live outside [`ExecStats`]).
+    pub fn edge_stats(&self) -> crate::stats::EdgeStats {
+        self.edges
+    }
+
+    /// Decoded-op kind histogram of the program this VM executes —
+    /// the fusion-pattern / lowering-template coverage surface. See
+    /// [`DecodedProgram::op_kind_counts`].
+    pub fn op_kind_counts(&self) -> Vec<(&'static str, u64)> {
+        self.prog.op_kind_counts()
     }
 
     /// Whether the decoded program this VM executes was built with
@@ -941,6 +958,7 @@ impl Vm {
                     unreachable!("quad entries exist only in run effect streams")
                 }
                 Op::Run { run } => {
+                    self.edges.runs_entered += 1;
                     let ri = &prog.runs[run as usize];
                     // The loop preamble charged the leader like any
                     // other op; execute its (standalone) effect.
@@ -953,6 +971,7 @@ impl Vm {
                     // block instruction by instruction (cold — reached
                     // at most once per execution).
                     if self.stats.instructions + m > self.cfg.insn_budget {
+                        self.edges.slow_path_handoffs += 1;
                         return self.exec_slow(idx + 1);
                     }
                     // Batch-charge every member up front, and touch the
@@ -1002,6 +1021,7 @@ impl Vm {
                                 // stay: the reference engine charges
                                 // count/cost/icache before the effect.
                                 let k = e.k as u64 + half;
+                                self.edges.run_rollbacks += 1;
                                 self.stats.instructions -= m - (k + 1);
                                 for u in &ops[base + k as usize + 1..base + m as usize] {
                                     self.stats.cycles -= u.cost as u64;

@@ -63,7 +63,7 @@ pub use insn::{Cond, Insn, MemRef};
 pub use machine::{ICacheConfig, MachineConfig, MachineKind};
 pub use mem::{MemSnapshot, Memory, Perms, PAGE_SIZE};
 pub use regs::{Gpr, RegFile, Ymm};
-pub use stats::ExecStats;
+pub use stats::{EdgeStats, ExecStats};
 pub use trace::{ExecProfile, FuncProfile, HeapTelemetry, TraceConfig, TraceEvent, Tracer};
 
 /// A guest virtual address.

@@ -53,6 +53,29 @@ impl ExecStats {
     }
 }
 
+/// Execution-*edge* telemetry: which engine paths a run took, exported
+/// for the coverage-guided fuzzer.
+///
+/// Deliberately **not** part of [`ExecStats`]: `ExecStats` is the
+/// bit-identical semantic contract (fused == unfused == traced,
+/// enforced by the differential suites), whereas edge counters describe
+/// which *implementation* paths ran — a fused run legitimately takes
+/// block runs and rollbacks an unfused run never sees. Keeping them
+/// separate preserves the equality contracts while still letting the
+/// fuzzer observe rare engine edges (mid-run fault rollback, budget
+/// handoff to the reference engine) as coverage features.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Block runs entered by the decoded engine (`Op::Run` dispatches).
+    pub runs_entered: u64,
+    /// Mid-run faults that took the positional rollback path (member
+    /// charges un-booked, icache pending rolled back).
+    pub run_rollbacks: u64,
+    /// Budget-edge handoffs from the decoded engine to the reference
+    /// per-instruction engine (`exec_slow`).
+    pub slow_path_handoffs: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

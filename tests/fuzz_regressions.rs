@@ -8,7 +8,7 @@
 //! These run in the default workspace suite; the fuzz binary
 //! (`cargo run -p r2c-bench --bin fuzz`) explores beyond them.
 
-use r2c_fuzz::{run_oracle, CaseVerdict, OracleMatrix};
+use r2c_fuzz::{run_oracle, summarize_divergences, CaseVerdict, OracleMatrix};
 use r2c_ir::parse_module;
 
 fn assert_all_cells_agree(src: &str, what: &str) {
@@ -17,9 +17,10 @@ fn assert_all_cells_agree(src: &str, what: &str) {
     match run_oracle(&m, &OracleMatrix::quick()) {
         CaseVerdict::Pass { cells } => assert!(cells > 0),
         CaseVerdict::Skipped { reason } => panic!("{what}: reference rejected module: {reason}"),
-        CaseVerdict::Diverged(div) => panic!(
-            "{what}: diverged in {} (build seed {}, {:?}): {:?}",
-            div.cell.config_name, div.cell.build_seed, div.cell.machine, div.details
+        CaseVerdict::Diverged(divs) => panic!(
+            "{what}: {}; first cell details: {:?}",
+            summarize_divergences(&divs),
+            divs[0].details
         ),
     }
 }
