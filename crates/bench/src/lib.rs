@@ -77,9 +77,22 @@ pub fn median_cycles(
     seed_base: u64,
 ) -> f64 {
     let mut cycles: Vec<f64> = (0..runs)
-        .map(|i| measure_once(module, cfg, machine, seed_base + 1 + i as u64).cycles)
+        .map(|i| {
+            let seed = seed_base + 1 + i as u64;
+            let c = measure_once(module, cfg, machine, seed).cycles;
+            // A NaN would previously surface as a bare unwrap panic deep
+            // inside sort; name the offending cell instead.
+            assert!(
+                c.is_finite(),
+                "non-finite cycle measurement {c} for (module {:?}, machine {machine:?}, seed {seed})",
+                module.name
+            );
+            c
+        })
         .collect();
-    cycles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp is a total order, so the sort itself can never panic
+    // even if the finiteness net above is ever loosened.
+    cycles.sort_by(f64::total_cmp);
     median_of_sorted(&cycles)
 }
 

@@ -62,6 +62,12 @@ pub struct PoolStats {
     pub cold: u64,
     /// Variants evicted from the bounded cache before being taken.
     pub evicted: u64,
+    /// Cached variants the FIFO evictor *skipped* because a
+    /// [`VariantPool::take`] waiter was registered on them — evicting
+    /// those would force the waiter to recompile inline the very image
+    /// a background thread just finished (the respawn-storm
+    /// double-compile bug).
+    pub evicted_while_waited: u64,
     /// Background compiles completed.
     pub prefetched: u64,
 }
@@ -75,8 +81,17 @@ struct PoolState {
     ready_order: VecDeque<u64>,
     /// Seeds a background thread is currently compiling.
     in_flight: Vec<u64>,
+    /// Seeds with a blocked [`VariantPool::take`] waiter → waiter count.
+    /// A waited seed is immune to FIFO eviction: between the compile
+    /// finishing and the waiter waking up, the cache entry is the only
+    /// thing standing between the waiter and a duplicate inline
+    /// compile.
+    waiters: HashMap<u64, u32>,
     stats: PoolStats,
 }
+
+/// Test-only callback run at the start of every background compile.
+type CompileHook = Arc<dyn Fn(u64) + Send + Sync>;
 
 struct Shared {
     state: Mutex<PoolState>,
@@ -87,6 +102,10 @@ struct Shared {
     cfg: R2cConfig,
     capacity: usize,
     shutdown: AtomicBool,
+    /// Test hook invoked (outside the state lock) at the start of every
+    /// background compile; lets concurrency tests hold compiles at a
+    /// barrier to pin down an interleaving. `None` in production.
+    compile_hook: Mutex<Option<CompileHook>>,
 }
 
 impl Shared {
@@ -117,6 +136,7 @@ impl VariantPool {
                 ready: HashMap::new(),
                 ready_order: VecDeque::new(),
                 in_flight: Vec::new(),
+                waiters: HashMap::new(),
                 stats: PoolStats::default(),
             }),
             cv: Condvar::new(),
@@ -124,6 +144,7 @@ impl VariantPool {
             cfg,
             capacity: capacity.max(1),
             shutdown: AtomicBool::new(false),
+            compile_hook: Mutex::new(None),
         });
         let workers = (0..threads)
             .map(|_| {
@@ -176,8 +197,19 @@ impl VariantPool {
             };
         }
         if st.in_flight.contains(&seed) {
+            // Register as a waiter *before* releasing the lock to wait:
+            // from this point on the evictor must not drop `seed`'s
+            // finished image, or the wake-up below would find the cache
+            // empty and recompile inline what was just compiled.
+            *st.waiters.entry(seed).or_insert(0) += 1;
             while st.in_flight.contains(&seed) {
                 st = self.shared.cv.wait(st).unwrap();
+            }
+            match st.waiters.get_mut(&seed) {
+                Some(n) if *n > 1 => *n -= 1,
+                _ => {
+                    st.waiters.remove(&seed);
+                }
             }
             if let Some(image) = Self::pop_ready(&mut st, seed) {
                 st.stats.in_flight += 1;
@@ -187,7 +219,9 @@ impl VariantPool {
                     latency: start.elapsed(),
                 };
             }
-            // Evicted between finish and wake-up: fall through to cold.
+            // Only reachable when several takers waited on the same
+            // seed and an earlier waiter consumed the single cached
+            // image: fall through to cold.
         }
         st.stats.cold += 1;
         drop(st);
@@ -208,6 +242,33 @@ impl VariantPool {
     /// Snapshot of the pool counters.
     pub fn stats(&self) -> PoolStats {
         self.shared.state.lock().unwrap().stats
+    }
+
+    /// Installs a hook run at the start of every *background* compile.
+    /// Test-only: lets a concurrency test park the background threads
+    /// at a barrier while takers register as waiters.
+    #[doc(hidden)]
+    pub fn set_compile_hook(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        *self.shared.compile_hook.lock().unwrap() = Some(Arc::new(hook));
+    }
+
+    /// Total registered `take` waiters across all seeds. Test-only.
+    #[doc(hidden)]
+    pub fn debug_waiter_count(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap()
+            .waiters
+            .values()
+            .map(|&n| n as usize)
+            .sum()
+    }
+
+    /// Number of variants parked in the ready cache. Test-only.
+    #[doc(hidden)]
+    pub fn debug_ready_len(&self) -> usize {
+        self.shared.state.lock().unwrap().ready.len()
     }
 }
 
@@ -236,21 +297,46 @@ fn worker_loop(sh: &Shared) {
                 st = sh.cv.wait(st).unwrap();
             }
         };
+        let hook = sh.compile_hook.lock().unwrap().clone();
+        if let Some(h) = hook {
+            h(seed);
+        }
         let image = sh.compile(seed);
         let mut st = sh.state.lock().unwrap();
         st.in_flight.retain(|&s| s != seed);
         st.stats.prefetched += 1;
-        if st.ready.len() >= sh.capacity {
-            if let Some(old) = st.ready_order.pop_front() {
-                st.ready.remove(&old);
-                st.stats.evicted += 1;
-            }
-        }
-        st.ready.insert(seed, image);
-        st.ready_order.push_back(seed);
+        insert_ready(&mut st, sh.capacity, seed, image);
         drop(st);
         sh.cv.notify_all();
     }
+}
+
+/// Parks a finished variant in the bounded ready cache, evicting the
+/// oldest *unwaited* entry when full. Entries with a registered
+/// [`VariantPool::take`] waiter are skipped (each pass over one counts
+/// toward `evicted_while_waited`); when every cached seed has a waiter
+/// the cache transiently exceeds capacity rather than throwing away an
+/// image a blocked taker is about to pop.
+fn insert_ready(st: &mut PoolState, capacity: usize, seed: u64, image: Image) {
+    if st.ready.len() >= capacity {
+        match st
+            .ready_order
+            .iter()
+            .position(|s| !st.waiters.contains_key(s))
+        {
+            Some(pos) => {
+                st.stats.evicted_while_waited += pos as u64;
+                let old = st.ready_order.remove(pos).expect("position in bounds");
+                st.ready.remove(&old);
+                st.stats.evicted += 1;
+            }
+            None => {
+                st.stats.evicted_while_waited += st.ready_order.len() as u64;
+            }
+        }
+    }
+    st.ready.insert(seed, image);
+    st.ready_order.push_back(seed);
 }
 
 #[cfg(test)]
@@ -297,6 +383,93 @@ mod tests {
         let v = pool.take(7);
         assert_eq!(v.kind, TakeKind::Cold);
         assert_eq!(pool.stats().cold, 1);
+    }
+
+    #[test]
+    fn evictor_skips_waited_seeds() {
+        // White-box determinism: drive insert_ready on a hand-built
+        // state, no threads involved.
+        let m = tiny_module();
+        let build = |seed| {
+            R2cCompiler::new(R2cConfig::full(seed))
+                .build(&m)
+                .expect("tiny module compiles")
+        };
+        let mut st = PoolState {
+            queue: VecDeque::new(),
+            ready: HashMap::new(),
+            ready_order: VecDeque::new(),
+            in_flight: Vec::new(),
+            waiters: HashMap::new(),
+            stats: PoolStats::default(),
+        };
+        // Capacity 1 with seed 10 cached and a registered waiter:
+        // inserting seed 11 must not evict 10.
+        insert_ready(&mut st, 1, 10, build(10));
+        st.waiters.insert(10, 1);
+        insert_ready(&mut st, 1, 11, build(11));
+        assert!(st.ready.contains_key(&10), "waited seed was evicted");
+        assert!(st.ready.contains_key(&11));
+        assert_eq!(st.stats.evicted, 0);
+        assert_eq!(st.stats.evicted_while_waited, 1);
+        // Once the waiter deregisters, 10 is the next FIFO victim.
+        st.waiters.clear();
+        insert_ready(&mut st, 1, 12, build(12));
+        assert!(!st.ready.contains_key(&10));
+        assert_eq!(st.stats.evicted, 1);
+    }
+
+    #[test]
+    fn waited_variant_survives_capacity_one_storm() {
+        use std::sync::atomic::AtomicUsize;
+
+        // The respawn-storm regression: capacity-1 pool, two seeds
+        // compiling concurrently, two takers blocked on them. The
+        // second compile to finish overflows the cache; before the fix
+        // it FIFO-evicted the first image while its taker was between
+        // finish and wake-up, silently recompiling it inline as cold.
+        let m = tiny_module();
+        let pool = VariantPool::new(&m, R2cConfig::full(0), 1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let parked = Arc::new(AtomicUsize::new(0));
+        {
+            let gate = Arc::clone(&gate);
+            let parked = Arc::clone(&parked);
+            pool.set_compile_hook(move |_| {
+                parked.fetch_add(1, Ordering::SeqCst);
+                let (m, cv) = &*gate;
+                let mut open = m.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        pool.prefetch(1);
+        pool.prefetch(2);
+        // Both background threads must be mid-compile (seeds in flight)
+        // before the takers look, or a take would claim its seed off
+        // the queue and compile cold by design.
+        while parked.load(Ordering::SeqCst) < 2 {
+            std::thread::yield_now();
+        }
+        std::thread::scope(|s| {
+            let t1 = s.spawn(|| pool.take(1));
+            let t2 = s.spawn(|| pool.take(2));
+            while pool.debug_waiter_count() < 2 {
+                std::thread::yield_now();
+            }
+            let (m, cv) = &*gate;
+            *m.lock().unwrap() = true;
+            cv.notify_all();
+            let a = t1.join().unwrap();
+            let b = t2.join().unwrap();
+            assert_eq!(a.kind, TakeKind::InFlight);
+            assert_eq!(b.kind, TakeKind::InFlight);
+        });
+        let st = pool.stats();
+        assert_eq!(st.cold, 0, "a waiter was forced into a duplicate compile");
+        assert_eq!(st.prefetched, 2);
+        assert_eq!(pool.debug_waiter_count(), 0, "waiter leak");
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl ReactionPolicy {
 pub enum ExecMode {
     /// Workers run one after another on the calling thread.
     Serial,
-    /// One host thread per worker.
+    /// A fixed pool of host threads work-steals shards of
+    /// [`FleetConfig::shard_size`] workers each. Scales to 1000+
+    /// workers where the previous thread-per-worker design exhausted
+    /// host threads.
     Parallel,
 }
 
@@ -99,6 +102,15 @@ pub struct FleetConfig {
     pub pool_threads: usize,
     /// Bounded capacity of the variant pool's ready cache.
     pub pool_capacity: usize,
+    /// Workers per work-stealing shard in [`ExecMode::Parallel`]. Small
+    /// enough to balance load, large enough to amortize the steal.
+    pub shard_size: usize,
+    /// Debug knob: boot and reset workers with copy-on-write page
+    /// sharing disabled (the pre-CoW deep-copy path). Guest-visible
+    /// behavior and monitor logs must be bit-identical either way —
+    /// `report_fleet` proves it per seed. Defaults from `R2C_NO_COW`
+    /// like [`VmConfig::new`].
+    pub no_cow: bool,
 }
 
 impl FleetConfig {
@@ -118,7 +130,21 @@ impl FleetConfig {
             boot_budget: 2_000_000_000,
             pool_threads: 2,
             pool_capacity: 8,
+            shard_size: 8,
+            no_cow: std::env::var_os("R2C_NO_COW").is_some(),
         }
+    }
+
+    /// Scales the variant pool for a fleet of `workers` workers: under
+    /// a respawn storm every worker can have a respawn in flight, so
+    /// the ready cache grows to hold one variant per 8 workers (at
+    /// least the default 8) and the background compile pool gains a
+    /// thread per 256 workers. Latency only — determinism is
+    /// unaffected by pool sizing.
+    pub fn sized_for(mut self, workers: u32) -> FleetConfig {
+        self.pool_capacity = self.pool_capacity.max((workers as usize).div_ceil(8));
+        self.pool_threads = self.pool_threads.max((workers as usize).div_ceil(256));
+        self
     }
 
     /// Serve via the image entry point instead of a named function
@@ -199,6 +225,14 @@ pub struct FleetRun {
     pub log: Vec<String>,
     /// Deterministic counters.
     pub metrics: FleetMetrics,
+    /// Per-served-request latency in simulated cycles (queueing behind
+    /// the worker's backlog + service), in schedule order. Deterministic
+    /// — a pure function of guest cycles and arrival times, so serial
+    /// and parallel runs produce identical vectors. All-zero queueing
+    /// for closed-loop schedules (`at == 0` means latency equals the
+    /// worker-clock completion time and only relative comparisons are
+    /// meaningful); percentile reporting targets open-loop schedules.
+    pub request_latencies: Vec<u64>,
     /// Host-side: image-acquisition latency of every fresh-variant
     /// respawn (warm and cold).
     pub respawn_latencies: Vec<RespawnLatency>,
@@ -249,6 +283,21 @@ struct Worker<'a> {
     first_compromise_idx: Option<u64>,
     respawn_latencies: Vec<RespawnLatency>,
     boot_compile: Duration,
+    /// Simulated-cycle clock: when this worker finishes its current
+    /// backlog. Advanced by boots, restarts, requests and probes; an
+    /// event arriving at `at > clock` idles the worker forward.
+    clock: u64,
+    /// `(event idx, latency)` of every served request, in simulated
+    /// cycles from arrival to completion.
+    latencies: Vec<(u64, u64)>,
+}
+
+/// Worker VM config: the fleet's machine model plus the CoW toggle.
+fn vm_config(fc: &FleetConfig) -> VmConfig {
+    VmConfig {
+        no_cow: fc.no_cow,
+        ..VmConfig::new(fc.machine.config())
+    }
 }
 
 impl<'a> Worker<'a> {
@@ -270,7 +319,7 @@ impl<'a> Worker<'a> {
             fc,
             module,
             pool,
-            vm: Vm::new(&image, VmConfig::new(fc.machine.config())),
+            vm: Vm::new(&image, vm_config(fc)),
             image,
             generation: 0,
             dead: None,
@@ -284,6 +333,8 @@ impl<'a> Worker<'a> {
             first_compromise_idx: None,
             respawn_latencies: Vec::new(),
             boot_compile,
+            clock: 0,
+            latencies: Vec::new(),
         };
         let status = w.boot();
         w.boot_line = format!("boot w{id} g0 seed={seed} status={status}");
@@ -299,7 +350,11 @@ impl<'a> Worker<'a> {
         };
         self.checked_output = 0;
         self.vm.set_insn_budget(self.fc.boot_budget);
+        let before = self.vm.stats().cycles;
         let out = self.vm.run();
+        // Booting occupies the worker: requests arriving meanwhile
+        // queue behind it (restart windows show up in tail latency).
+        self.clock += out.stats.cycles - before;
         // Boot output is not request output; skip it when scanning for
         // compromise markers.
         self.checked_output = self.vm.output.len();
@@ -357,7 +412,7 @@ impl<'a> Worker<'a> {
                     kind,
                     latency,
                 });
-                self.vm = Vm::new(&image, VmConfig::new(self.fc.machine.config()));
+                self.vm = Vm::new(&image, vm_config(self.fc));
                 self.image = image;
                 self.metrics.respawns += 1;
                 let status = self.boot();
@@ -421,6 +476,9 @@ impl<'a> Worker<'a> {
         }
         let g = self.generation;
         let id = self.id;
+        // Open-loop clock: the event starts when the worker drains its
+        // backlog or when it arrives, whichever is later.
+        let begin = self.clock.max(ev.at);
         self.vm
             .set_insn_budget(self.vm.stats().instructions + self.fc.event_budget);
         match ev.op {
@@ -429,11 +487,13 @@ impl<'a> Worker<'a> {
                 let target = self.service_addr.unwrap_or(self.image.entry);
                 let before = self.vm.stats().cycles;
                 let out = self.vm.call(target, &[payload]);
+                let cycles = out.stats.cycles - before;
+                self.clock = begin + cycles;
                 match out.status {
                     ExitStatus::Exited(_) => {
-                        let cycles = out.stats.cycles - before;
                         self.metrics.served += 1;
                         self.metrics.request_cycles += cycles;
+                        self.latencies.push((idx, self.clock - ev.at));
                         self.entries.push((
                             idx,
                             format!("#{idx} w{id} g{g} request served cycles={cycles}"),
@@ -464,7 +524,11 @@ impl<'a> Worker<'a> {
                 } else {
                     -self.attack_step
                 };
+                let before = self.vm.stats().cycles;
                 let out = self.vm.call(candidate, &[self.fc.probe_arg]);
+                // Probes occupy the worker too — requests queued behind
+                // an attack session pay for it in the tail.
+                self.clock = begin + (out.stats.cycles - before);
                 let outcome = match out.status {
                     ExitStatus::Exited(_) if self.compromised_since() => {
                         self.metrics.compromises += 1;
@@ -536,17 +600,48 @@ pub fn run_fleet(
             .enumerate()
             .map(|(id, evs)| run_one(id as u32, evs))
             .collect(),
-        ExecMode::Parallel => std::thread::scope(|s| {
-            let handles: Vec<_> = per_worker
-                .iter()
-                .enumerate()
-                .map(|(id, evs)| s.spawn(move || run_one(id as u32, evs)))
-                .collect();
-            handles
+        ExecMode::Parallel => {
+            // Work stealing over shards: a 1000-worker fleet cannot
+            // afford a host thread per worker, so a fixed pool of
+            // threads claims `shard_size`-worker shards off a shared
+            // cursor. Workers share nothing, so any thread may run any
+            // shard; results land in per-shard slots and are
+            // reassembled in worker order, keeping the merged log
+            // bit-identical to the serial run.
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let shard = fc.shard_size.max(1);
+            let nshards = per_worker.len().div_ceil(shard);
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Option<Vec<Worker<'_>>>>> =
+                (0..nshards).map(|_| std::sync::Mutex::new(None)).collect();
+            let nthreads = std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(nshards.max(1));
+            std::thread::scope(|s| {
+                for _ in 0..nthreads {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= nshards {
+                            break;
+                        }
+                        let lo = i * shard;
+                        let hi = (lo + shard).min(per_worker.len());
+                        let ws: Vec<Worker<'_>> = (lo..hi)
+                            .map(|id| run_one(id as u32, &per_worker[id]))
+                            .collect();
+                        *slots[i].lock().unwrap() = Some(ws);
+                    });
+                }
+            });
+            slots
                 .into_iter()
-                .map(|h| h.join().expect("fleet worker panicked"))
+                .flat_map(|slot| {
+                    slot.into_inner()
+                        .unwrap()
+                        .expect("every shard claimed and completed")
+                })
                 .collect()
-        }),
+        }
     };
 
     // Merge: boot header in worker order, then event lines in schedule
@@ -557,8 +652,10 @@ pub fn run_fleet(
     let mut first_idx: Option<u64> = None;
     let mut respawn_latencies = Vec::new();
     let mut boot_compiles = Vec::new();
+    let mut latencies: Vec<(u64, u64)> = Vec::new();
     for w in workers {
         entries.extend(w.entries);
+        latencies.extend(w.latencies);
         metrics.requests += w.metrics.requests;
         metrics.served += w.metrics.served;
         metrics.dropped += w.metrics.dropped;
@@ -578,6 +675,7 @@ pub fn run_fleet(
     }
     entries.sort_by_key(|(i, _)| *i);
     log.extend(entries.into_iter().map(|(_, line)| line));
+    latencies.sort_by_key(|(i, _)| *i);
 
     // Probes-to-compromise: the ordinal of the compromising probe among
     // all probe events, counted in schedule order.
@@ -591,6 +689,7 @@ pub fn run_fleet(
     FleetRun {
         log,
         metrics,
+        request_latencies: latencies.into_iter().map(|(_, l)| l).collect(),
         respawn_latencies,
         boot_compiles,
     }

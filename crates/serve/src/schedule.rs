@@ -31,6 +31,13 @@ pub struct Event {
     pub worker: u32,
     /// The operation.
     pub op: Op,
+    /// Arrival time in simulated guest cycles since run start. `0` for
+    /// closed-loop schedules ([`Schedule::generate`] and pre-open-loop
+    /// replay files), where events run back-to-back; open-loop
+    /// schedules ([`Schedule::generate_open_loop`]) draw Poisson
+    /// arrivals, and a worker whose simulated clock lags an arrival
+    /// charges the difference as queueing latency.
+    pub at: u64,
 }
 
 /// A deterministic fleet input: the worker count plus the full event
@@ -62,7 +69,48 @@ impl Schedule {
                         payload: rng.gen_range(0..997),
                     }
                 };
-                Event { worker, op }
+                Event { worker, op, at: 0 }
+            })
+            .collect();
+        Schedule { workers, events }
+    }
+
+    /// Generates an *open-loop* schedule: arrivals form a Poisson
+    /// process with mean inter-arrival `mean_gap_cycles` (exponential
+    /// gaps, accumulated in simulated guest cycles), each event picks a
+    /// uniform worker, and probes arrive with probability
+    /// `probe_per_mille`/1000 like [`Schedule::generate`]. Unlike the
+    /// closed-loop generator, requests do not wait for the previous
+    /// response: a slow or restarting worker accumulates a backlog, and
+    /// the per-request latency percentiles measure exactly that
+    /// queueing.
+    pub fn generate_open_loop(
+        seed: u64,
+        workers: u32,
+        len: usize,
+        probe_per_mille: u32,
+        mean_gap_cycles: u64,
+    ) -> Schedule {
+        assert!(workers > 0, "schedule needs at least one worker");
+        assert!(mean_gap_cycles > 0, "open-loop schedule needs a mean gap");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t: u64 = 0;
+        let events = (0..len)
+            .map(|_| {
+                // Exponential inter-arrival via inversion sampling;
+                // `1.0 - u` keeps the argument of ln strictly positive.
+                let u: f64 = rng.gen::<f64>();
+                let gap = -(1.0 - u).ln() * mean_gap_cycles as f64;
+                t = t.saturating_add(gap as u64);
+                let worker = rng.gen_range(0..workers);
+                let op = if rng.gen_range(0..1000) < probe_per_mille {
+                    Op::Probe
+                } else {
+                    Op::Request {
+                        payload: rng.gen_range(0..997),
+                    }
+                };
+                Event { worker, op, at: t }
             })
             .collect();
         Schedule { workers, events }
@@ -95,15 +143,25 @@ impl Schedule {
     /// workers 2
     /// r 0 17      # request to worker 0, payload 17
     /// p 1         # probe against worker 1
+    /// r 1 3 9000  # open-loop: arrival at simulated cycle 9000
     /// ```
+    ///
+    /// The trailing arrival-time field is omitted when zero, so
+    /// closed-loop schedules serialize exactly as they did before the
+    /// open-loop generator existed (the checked-in replay goldens keep
+    /// parsing and re-serializing byte-identically).
     pub fn to_text(&self) -> String {
         let mut out = String::from("# r2c-serve schedule v1\n");
         out.push_str(&format!("workers {}\n", self.workers));
         for e in &self.events {
             match e.op {
-                Op::Request { payload } => out.push_str(&format!("r {} {}\n", e.worker, payload)),
-                Op::Probe => out.push_str(&format!("p {}\n", e.worker)),
+                Op::Request { payload } => out.push_str(&format!("r {} {}", e.worker, payload)),
+                Op::Probe => out.push_str(&format!("p {}", e.worker)),
             }
+            if e.at != 0 {
+                out.push_str(&format!(" {}", e.at));
+            }
+            out.push('\n');
         }
         out
     }
@@ -133,16 +191,20 @@ impl Schedule {
                 "r" => {
                     let worker = field("worker")? as u32;
                     let payload = field("payload")?;
+                    let at = opt_field(&mut parts, &err, "arrival")?;
                     events.push(Event {
                         worker,
                         op: Op::Request { payload },
+                        at,
                     });
                 }
                 "p" => {
                     let worker = field("worker")? as u32;
+                    let at = opt_field(&mut parts, &err, "arrival")?;
                     events.push(Event {
                         worker,
                         op: Op::Probe,
+                        at,
                     });
                 }
                 other => return Err(err(&format!("unknown keyword {other:?}"))),
@@ -159,6 +221,19 @@ impl Schedule {
             ));
         }
         Ok(Schedule { workers, events })
+    }
+}
+
+/// Parses the optional trailing arrival-time field of an `r`/`p` line;
+/// absent means 0 (a pre-open-loop closed-loop line).
+fn opt_field(
+    parts: &mut std::str::SplitWhitespace<'_>,
+    err: &impl Fn(&str) -> String,
+    name: &str,
+) -> Result<u64, String> {
+    match parts.next() {
+        None => Ok(0),
+        Some(s) => s.parse::<u64>().map_err(|_| err(&format!("bad {name}"))),
     }
 }
 
@@ -189,6 +264,48 @@ mod tests {
         assert!(Schedule::parse("workers 1\nr 3 1\n").is_err(), "bad worker");
         assert!(Schedule::parse("workers 1\nq 0\n").is_err(), "bad keyword");
         assert!(Schedule::parse("workers 0\n").is_err(), "zero workers");
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_monotone_and_deterministic() {
+        let a = Schedule::generate_open_loop(11, 8, 200, 100, 50_000);
+        let b = Schedule::generate_open_loop(11, 8, 200, 100, 50_000);
+        assert_eq!(a, b);
+        assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.events.last().unwrap().at > 0);
+        // The empirical mean gap should land near the configured mean
+        // (exponential with n=200: a loose 2x window avoids flakes).
+        let span = a.events.last().unwrap().at - a.events[0].at;
+        let mean = span / (a.events.len() as u64 - 1);
+        assert!(
+            (25_000..100_000).contains(&mean),
+            "empirical mean gap {mean} implausible for 50k target"
+        );
+    }
+
+    #[test]
+    fn open_loop_text_roundtrip() {
+        let s = Schedule::generate_open_loop(5, 4, 64, 250, 10_000);
+        let parsed = Schedule::parse(&s.to_text()).unwrap();
+        assert_eq!(s, parsed);
+    }
+
+    #[test]
+    fn closed_loop_text_has_no_arrival_field() {
+        let s = Schedule::generate(99, 3, 64, 300);
+        for line in s.to_text().lines().skip(2) {
+            let n = line.split_whitespace().count();
+            assert!(n == 2 || n == 3, "unexpected field count in {line:?}");
+        }
+        // And an explicit zero parses back to the same closed-loop text.
+        let roundtrip = Schedule::parse(&s.to_text()).unwrap();
+        assert_eq!(roundtrip.to_text(), s.to_text());
+    }
+
+    #[test]
+    fn parse_rejects_bad_arrival() {
+        assert!(Schedule::parse("workers 1\nr 0 1 xyz\n").is_err());
+        assert!(Schedule::parse("workers 1\np 0 xyz\n").is_err());
     }
 
     #[test]

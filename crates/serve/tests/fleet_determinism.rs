@@ -39,6 +39,62 @@ fn parallel_log_bit_identical_to_serial() {
     }
 }
 
+/// The 1000-worker scaling work must not cost determinism: at fleet
+/// sizes well past the per-thread shard granularity, an open-loop
+/// schedule must produce bit-identical logs, metrics and per-request
+/// latencies whether the shards run serially, stolen by a thread pool,
+/// or stolen with a different shard size.
+///
+/// Booting 256 debug-profile VMs three times takes tens of minutes, so
+/// the debug suite skips this test; CI runs it in the release test job,
+/// and `report_fleet --smoke --verify-determinism` (release, every CI
+/// run) enforces the same serial==parallel contract at 256 workers.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "256-worker boots are too slow unoptimized; covered by the release CI job"
+)]
+fn open_loop_256_worker_fleet_is_deterministic() {
+    let m = victim_module();
+    let sched = Schedule::generate_open_loop(0xF00D, 256, 640, 150, 40_000);
+    let fc = FleetConfig {
+        fleet_seed: 11,
+        shard_size: 8,
+        ..FleetConfig::new(R2cConfig::full(0), ReactionPolicy::RespawnFreshVariant).sized_for(256)
+    };
+    let serial = run_fleet(&m, &fc, &sched, ExecMode::Serial);
+    let parallel = run_fleet(&m, &fc, &sched, ExecMode::Parallel);
+    assert_eq!(
+        serial.log, parallel.log,
+        "event log diverged at 256 workers"
+    );
+    assert_eq!(serial.metrics, parallel.metrics, "metrics diverged");
+    assert_eq!(
+        serial.request_latencies, parallel.request_latencies,
+        "request latencies diverged"
+    );
+    assert!(
+        !serial.request_latencies.is_empty(),
+        "open-loop schedule produced no served requests"
+    );
+    // Shard geometry is a host-side tuning knob; an odd shard size that
+    // splits workers unevenly across stealing threads must be invisible.
+    let odd = run_fleet(
+        &m,
+        &FleetConfig {
+            shard_size: 3,
+            ..fc.clone()
+        },
+        &sched,
+        ExecMode::Parallel,
+    );
+    assert_eq!(serial.log, odd.log, "shard size leaked into the log");
+    assert_eq!(
+        serial.request_latencies, odd.request_latencies,
+        "shard size leaked into latencies"
+    );
+}
+
 #[test]
 fn pool_size_does_not_change_guest_state() {
     // Warm hits vs. cold compiles are host-side only: a pool-less fleet

@@ -104,6 +104,15 @@ pub struct VmConfig {
     /// optimization, so this must never change guest-visible behavior
     /// or [`ExecStats`] — that is exactly what the suites assert.
     pub no_fuse: bool,
+    /// Debug knob: disable copy-on-write page sharing, so building or
+    /// resetting a VM deep-copies the load-time image
+    /// ([`Memory::from_snapshot_deep`] / [`Memory::restore_deep`]) the
+    /// way the pre-CoW implementation did. [`VmConfig::new`] defaults
+    /// it from the `R2C_NO_COW` environment variable. CoW is a pure
+    /// host-side optimization — guest-visible behavior, [`ExecStats`]
+    /// and monitor logs must be bit-identical either way, which the
+    /// CoW differential suites and `report_fleet` assert.
+    pub no_cow: bool,
 }
 
 impl VmConfig {
@@ -116,6 +125,7 @@ impl VmConfig {
             insn_budget: 2_000_000_000,
             break_on_probe: false,
             no_fuse: std::env::var_os("R2C_NO_FUSE").is_some(),
+            no_cow: std::env::var_os("R2C_NO_COW").is_some(),
         }
     }
 }
@@ -180,7 +190,11 @@ impl Vm {
     /// the cache, which verifies field-by-field against the image).
     #[doc(hidden)]
     pub fn from_decoded(prog: Arc<DecodedProgram>, cfg: VmConfig) -> Vm {
-        let mem = Memory::from_snapshot(&prog.init_mem);
+        let mem = if cfg.no_cow {
+            Memory::from_snapshot_deep(&prog.init_mem)
+        } else {
+            Memory::from_snapshot(&prog.init_mem)
+        };
         let l = prog.layout;
         let heap = Heap::new(l.heap_base, l.heap_size);
         let mut regs = RegFile::new();
@@ -229,7 +243,11 @@ impl Vm {
     /// newly constructed one; nothing leaks across the restart (an
     /// attached tracer is dropped).
     pub fn reset_to_image(&mut self) {
-        self.mem.restore(&self.prog.init_mem);
+        if self.cfg.no_cow {
+            self.mem.restore_deep(&self.prog.init_mem);
+        } else {
+            self.mem.restore(&self.prog.init_mem);
+        }
         self.heap = Heap::new(self.prog.layout.heap_base, self.prog.layout.heap_size);
         self.regs = RegFile::new();
         self.regs.set(Gpr::Rsp, self.prog.layout.stack_top - 64);
@@ -242,6 +260,18 @@ impl Vm {
         self.ymm_dirty = false;
         self.pending_resume = None;
         self.tracer = None;
+    }
+
+    /// Forks a fresh worker off this VM's load-time image: a new VM in
+    /// the exact state [`Vm::new`] would produce for the same image and
+    /// config, sharing the decoded program and — copy-on-write — every
+    /// untouched page of the image with its parent. O(regions), not
+    /// O(image): a fleet spinning up 1000 workers from one loaded
+    /// template VM copies no page bytes at all. Nothing of the parent's
+    /// *run* state (registers, heap, stats, output, probes) carries
+    /// over.
+    pub fn fork_from_image(&self) -> Vm {
+        Vm::from_decoded(Arc::clone(&self.prog), self.cfg)
     }
 
     /// Attaches an execution tracer built from `image`'s symbol table.

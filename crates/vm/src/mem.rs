@@ -41,6 +41,7 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 use crate::fault::Fault;
 use crate::VAddr;
@@ -168,6 +169,17 @@ enum AccessClass {
 /// not been materialized yet, so its contents are all-zero.
 const NO_FRAME: u32 = u32::MAX;
 
+/// Frame-slot flag: the frame lives in the *shared* snapshot arena
+/// ([`Memory::base`]) rather than this address space's private arena.
+/// Shared frames are read-only; the first write to such a page breaks
+/// the sharing by copying the frame into a private slot
+/// ([`Memory::cow_break`]). Note [`NO_FRAME`] (all ones) also carries
+/// this bit, so every slot inspection checks `NO_FRAME` first.
+const SHARED_BIT: u32 = 1 << 31;
+
+/// Mask extracting the arena index from a slot (strips [`SHARED_BIT`]).
+const SLOT_MASK: u32 = SHARED_BIT - 1;
+
 /// Table entry for one page.
 #[derive(Clone, Copy)]
 struct PageEntry {
@@ -232,19 +244,50 @@ const TLB_INVALID: TlbEntry = TlbEntry {
 ///
 /// Tracks the number of resident pages and the high-water mark, which is
 /// how the reproduction measures the `maxrss` metric of paper §6.2.5.
+///
+/// ## Copy-on-write sharing
+///
+/// An address space built from a [`MemSnapshot`] shares both layers of
+/// state with it instead of deep-copying:
+///
+/// * **regions** are refcounted (`Arc<Region>`): [`Memory::from_snapshot`]
+///   and [`Memory::restore`] clone the top-level map only, bumping one
+///   refcount per 2 MiB region, and any mutation of a shared region
+///   (`map`, `protect`, `unmap`, materialization) un-shares just that
+///   region via `Arc::make_mut`;
+/// * **frames** stay in the snapshot's immutable arena ([`Memory::base`]),
+///   marked with [`SHARED_BIT`] in their slots. Reads serve straight
+///   from the shared arena; the first *write* to a shared page copies
+///   its 4 KiB into the private arena ([`Memory::cow_break`]) and
+///   repoints the entry.
+///
+/// Forking or resetting a worker is therefore O(dirty pages), not
+/// O(image) — a 1000-worker fleet shares one copy of every untouched
+/// text/data/stack page. The software TLB stays coherent across CoW
+/// breaks because every table mutation (including a break) flushes it.
+/// None of this is guest-visible: fault semantics, byte contents and
+/// rss accounting are identical to a deep copy, which
+/// [`Memory::from_snapshot_deep`] exists to prove differentially.
 pub struct Memory {
     /// Region number (page >> [`REGION_BITS`]) → dense page entries.
-    table: HashMap<u64, Region, BuildFxHasher>,
+    /// Regions are refcounted so a snapshot restore shares them until
+    /// first mutation.
+    table: HashMap<u64, Arc<Region>, BuildFxHasher>,
     /// Number of mapped pages across all regions.
     resident: usize,
-    /// Contiguous frame arena holding the *materialized* pages only;
-    /// slot `i`'s backing bytes are `frames[i * PAGE_SIZE..][..PAGE_SIZE]`.
+    /// Contiguous *private* frame arena holding pages this address space
+    /// owns (freshly materialized or un-shared by a CoW break); slot
+    /// `i`'s backing bytes are `frames[i * PAGE_SIZE..][..PAGE_SIZE]`.
     /// Mapping allocates nothing here — a frame appears on first write,
     /// so a multi-megabyte guest `malloc` whose pages are never touched
     /// costs only its table entries. Unmapped slots are parked on `free`
     /// and re-zeroed on reuse.
     frames: Vec<u8>,
     free: Vec<u32>,
+    /// The shared, immutable frame arena of the snapshot this address
+    /// space was built from (empty for a fresh [`Memory::new`]). Slots
+    /// carrying [`SHARED_BIT`] index into it.
+    base: Arc<Vec<u8>>,
     /// Per-access-class software TLB. `Cell` so read-only accesses
     /// (`&self`) can refill it; `Memory` stays `Send` (each VM owns its
     /// address space exclusively — the parallel harness never shares
@@ -263,21 +306,41 @@ impl Default for Memory {
 /// A point-in-time copy of an address space, captured with
 /// [`Memory::snapshot`] and reinstated with [`Memory::restore`].
 ///
-/// This backs fast worker resets ([`Vm::reset_to_image`]): a server
-/// fleet that restarts a crashed or booby-trapped worker does not
-/// rebuild the image from scratch, it rolls the address space back to
-/// the snapshot taken at load time. The snapshot owns its own copy of
-/// the page table and frame arena, so it stays valid however the live
-/// memory is mutated (including `unmap`).
+/// This backs fast worker resets ([`Vm::reset_to_image`]) and forks
+/// ([`Vm::fork_from_image`]): a server fleet that restarts a crashed or
+/// booby-trapped worker does not rebuild the image from scratch, it
+/// rolls the address space back to the snapshot taken at load time.
+/// The snapshot owns an immutable, compacted copy of the page table
+/// and frame arena, so it stays valid however the live memory is
+/// mutated (including `unmap`) — and because both layers are
+/// refcounted, reinstating it is O(dirty pages discarded), not
+/// O(image): restored memories *share* the snapshot's regions and
+/// frames copy-on-write.
 ///
 /// [`Vm::reset_to_image`]: crate::Vm::reset_to_image
+/// [`Vm::fork_from_image`]: crate::Vm::fork_from_image
 #[derive(Clone)]
 pub struct MemSnapshot {
-    table: HashMap<u64, Region, BuildFxHasher>,
+    /// Shared regions; every materialized slot carries [`SHARED_BIT`]
+    /// and indexes `arena`.
+    table: HashMap<u64, Arc<Region>, BuildFxHasher>,
     resident: usize,
-    frames: Vec<u8>,
-    free: Vec<u32>,
+    /// Compacted frame arena holding every materialized page's bytes.
+    arena: Arc<Vec<u8>>,
     max_pages: usize,
+}
+
+impl MemSnapshot {
+    /// Number of mapped pages in the snapshot.
+    pub fn resident_pages(&self) -> usize {
+        self.resident
+    }
+
+    /// Number of *materialized* pages (pages with actual backing bytes;
+    /// the rest read as zero) — the size a deep copy would pay for.
+    pub fn materialized_pages(&self) -> usize {
+        self.arena.len() / PAGE_SIZE as usize
+    }
 }
 
 impl Memory {
@@ -288,6 +351,7 @@ impl Memory {
             resident: 0,
             frames: Vec::new(),
             free: Vec::new(),
+            base: Arc::new(Vec::new()),
             tlb: [const { Cell::new(TLB_INVALID) }; 3],
             max_pages: 0,
         }
@@ -297,40 +361,140 @@ impl Memory {
     /// equivalent of `Memory::new()` + [`Memory::restore`], used to spin
     /// up a VM from a shared load-time image without re-running the
     /// map-and-poke sequence that produced it.
+    ///
+    /// O(regions), not O(image): the new address space shares the
+    /// snapshot's regions (refcount bumps) and frame arena (CoW), so a
+    /// fleet forking 1000 workers off one image copies no page bytes at
+    /// all — each worker pays only for the pages it subsequently
+    /// dirties.
     pub fn from_snapshot(snap: &MemSnapshot) -> Memory {
         Memory {
             table: snap.table.clone(),
             resident: snap.resident,
-            frames: snap.frames.clone(),
-            free: snap.free.clone(),
+            frames: Vec::new(),
+            free: Vec::new(),
+            base: Arc::clone(&snap.arena),
             tlb: [const { Cell::new(TLB_INVALID) }; 3],
             max_pages: snap.max_pages,
         }
     }
 
+    /// [`Memory::from_snapshot`] with sharing disabled: every
+    /// materialized frame is copied into the private arena up front,
+    /// exactly as the pre-CoW implementation did. Kept as the O(image)
+    /// reference the differential suites (and the `report_fleet`
+    /// fork-cost table) compare the CoW path against — guest-visible
+    /// behaviour must be identical.
+    pub fn from_snapshot_deep(snap: &MemSnapshot) -> Memory {
+        let mut m = Memory::from_snapshot(snap);
+        m.unshare_all();
+        m
+    }
+
     /// Captures the current address space (mappings, permissions, byte
     /// contents, rss high-water mark) for a later [`Memory::restore`].
+    ///
+    /// The snapshot compacts every materialized frame — private or
+    /// itself shared with an earlier snapshot — into one immutable
+    /// arena. O(resident); taken once per image at load time.
     pub fn snapshot(&self) -> MemSnapshot {
+        let mut arena: Vec<u8> = Vec::with_capacity(self.frames.len());
+        let mut table: HashMap<u64, Arc<Region>, BuildFxHasher> = HashMap::default();
+        let mut rkeys: Vec<u64> = self.table.keys().copied().collect();
+        rkeys.sort_unstable();
+        for rkey in rkeys {
+            let r = &self.table[&rkey];
+            let mut nr = Region::empty();
+            nr.mapped = r.mapped;
+            for (i, e) in r.entries.iter().enumerate() {
+                if !e.mapped {
+                    continue;
+                }
+                let mut ne = *e;
+                if e.slot != NO_FRAME {
+                    let idx = (arena.len() / PAGE_SIZE as usize) as u32;
+                    arena.extend_from_slice(self.frame(e.slot));
+                    ne.slot = idx | SHARED_BIT;
+                }
+                nr.entries[i] = ne;
+            }
+            table.insert(rkey, Arc::new(nr));
+        }
         MemSnapshot {
-            table: self.table.clone(),
+            table,
             resident: self.resident,
-            frames: self.frames.clone(),
-            free: self.free.clone(),
+            arena: Arc::new(arena),
             max_pages: self.max_pages,
         }
     }
 
     /// Rolls the address space back to `snap`, discarding every mapping,
     /// protection change and write performed since the snapshot was
-    /// taken. Reuses the live table/arena allocations where possible, so
-    /// a restore is a memcpy-scale operation rather than a rebuild.
+    /// taken. O(dirty pages): the snapshot's regions and frames are
+    /// re-shared (the private arena is kept, emptied, for later CoW
+    /// breaks to reuse), so resetting a worker costs what the previous
+    /// generation dirtied — independent of image size.
+    ///
+    /// The rss high-water mark is the one lifetime statistic that
+    /// survives: `maxrss` measures the peak over the address space's
+    /// whole life, so a long-lived restart-same worker keeps
+    /// `max(self, snap)` rather than having its history erased by the
+    /// rollback.
     pub fn restore(&mut self, snap: &MemSnapshot) {
         self.table.clone_from(&snap.table);
         self.resident = snap.resident;
-        self.frames.clone_from(&snap.frames);
-        self.free.clone_from(&snap.free);
-        self.max_pages = snap.max_pages;
+        self.frames.clear();
+        self.free.clear();
+        self.base = Arc::clone(&snap.arena);
+        self.max_pages = self.max_pages.max(snap.max_pages);
         self.flush_tlb();
+    }
+
+    /// [`Memory::restore`] with sharing disabled (see
+    /// [`Memory::from_snapshot_deep`]): the O(image) deep-copy
+    /// reference path.
+    pub fn restore_deep(&mut self, snap: &MemSnapshot) {
+        self.restore(snap);
+        self.unshare_all();
+    }
+
+    /// Copies every still-shared frame into the private arena and drops
+    /// the shared base, turning a CoW address space into a deep copy.
+    fn unshare_all(&mut self) {
+        let rkeys: Vec<u64> = self.table.keys().copied().collect();
+        for rkey in rkeys {
+            for i in 0..REGION_PAGES {
+                let e = self.table[&rkey].entries[i];
+                if e.mapped && e.slot != NO_FRAME && e.slot & SHARED_BIT != 0 {
+                    self.cow_break((rkey << REGION_BITS) + i as u64, e.slot);
+                }
+            }
+        }
+        self.base = Arc::new(Vec::new());
+        self.flush_tlb();
+    }
+
+    /// Pages whose backing frame this address space privately owns —
+    /// freshly materialized or un-shared by a CoW break since the last
+    /// restore. This is the "dirty pages" a CoW fork or reset has
+    /// actually paid for, the quantity the O(dirty) claim is measured
+    /// on.
+    pub fn private_frames(&self) -> usize {
+        self.frames.len() / PAGE_SIZE as usize - self.free.len()
+    }
+
+    /// Mapped pages whose frame is still shared with the snapshot arena
+    /// (reads are served from the shared copy; a write would CoW-break).
+    pub fn shared_frames(&self) -> usize {
+        self.table
+            .values()
+            .map(|r| {
+                r.entries
+                    .iter()
+                    .filter(|e| e.mapped && e.slot != NO_FRAME && e.slot & SHARED_BIT != 0)
+                    .count()
+            })
+            .sum()
     }
 
     fn page_index(addr: VAddr) -> u64 {
@@ -369,10 +533,13 @@ impl Memory {
         Some(pe)
     }
 
-    /// Mutable entry of a mapped page, or `None` if unmapped.
+    /// Mutable entry of a mapped page, or `None` if unmapped. Un-shares
+    /// the containing region (`Arc::make_mut`) — any caller is about to
+    /// mutate the entry, so the region cannot stay shared with a
+    /// snapshot.
     #[inline]
     fn entry_mut(&mut self, page: u64) -> Option<&mut PageEntry> {
-        let r = self.table.get_mut(&(page >> REGION_BITS))?;
+        let r = Arc::make_mut(self.table.get_mut(&(page >> REGION_BITS))?);
         let e = &mut r.entries[(page & REGION_MASK) as usize];
         if e.mapped {
             Some(e)
@@ -381,24 +548,31 @@ impl Memory {
         }
     }
 
-    /// Backing bytes of an arena slot.
+    /// Backing bytes of an arena slot — private or shared, dispatched on
+    /// [`SHARED_BIT`].
     #[inline]
     fn frame(&self, slot: u32) -> &[u8] {
-        let base = slot as usize * PAGE_SIZE as usize;
-        &self.frames[base..base + PAGE_SIZE as usize]
+        let idx = (slot & SLOT_MASK) as usize * PAGE_SIZE as usize;
+        if slot & SHARED_BIT != 0 {
+            &self.base[idx..idx + PAGE_SIZE as usize]
+        } else {
+            &self.frames[idx..idx + PAGE_SIZE as usize]
+        }
     }
 
+    /// Mutable backing bytes of a *private* arena slot. Shared slots are
+    /// immutable; writes route through [`Memory::frame_for_write`],
+    /// which breaks the sharing first.
     #[inline]
     fn frame_mut(&mut self, slot: u32) -> &mut [u8] {
-        let base = slot as usize * PAGE_SIZE as usize;
-        &mut self.frames[base..base + PAGE_SIZE as usize]
+        debug_assert!(slot & SHARED_BIT == 0, "frame_mut on shared slot");
+        let idx = slot as usize * PAGE_SIZE as usize;
+        &mut self.frames[idx..idx + PAGE_SIZE as usize]
     }
 
-    /// Allocates (or reuses) a zeroed frame and attaches it to `page`'s
-    /// entry. Flushes the TLB: cached entries still carrying
-    /// [`NO_FRAME`] for this page would otherwise go stale.
-    fn materialize(&mut self, page: u64) -> u32 {
-        let slot = match self.free.pop() {
+    /// Allocates (or reuses) a zeroed slot in the private arena.
+    fn alloc_private_slot(&mut self) -> u32 {
+        match self.free.pop() {
             Some(s) => {
                 self.frame_mut(s).fill(0);
                 s
@@ -409,12 +583,53 @@ impl Memory {
                     .resize(self.frames.len() + PAGE_SIZE as usize, 0);
                 s
             }
-        };
+        }
+    }
+
+    /// Allocates (or reuses) a zeroed frame and attaches it to `page`'s
+    /// entry. Flushes the TLB: cached entries still carrying
+    /// [`NO_FRAME`] for this page would otherwise go stale.
+    fn materialize(&mut self, page: u64) -> u32 {
+        let slot = self.alloc_private_slot();
         self.entry_mut(page)
             .expect("materialize of unmapped page")
             .slot = slot;
         self.flush_tlb();
         slot
+    }
+
+    /// Breaks copy-on-write sharing for `page`: copies its 4 KiB out of
+    /// the shared arena into a private slot and repoints the entry.
+    /// Flushes the TLB so no access class keeps serving the (read-only)
+    /// shared translation after the break.
+    fn cow_break(&mut self, page: u64, shared_slot: u32) -> u32 {
+        debug_assert!(
+            shared_slot != NO_FRAME && shared_slot & SHARED_BIT != 0,
+            "cow break of non-shared slot"
+        );
+        let slot = self.alloc_private_slot();
+        let base = Arc::clone(&self.base);
+        let idx = (shared_slot & SLOT_MASK) as usize * PAGE_SIZE as usize;
+        self.frame_mut(slot)
+            .copy_from_slice(&base[idx..idx + PAGE_SIZE as usize]);
+        self.entry_mut(page)
+            .expect("cow break of unmapped page")
+            .slot = slot;
+        self.flush_tlb();
+        slot
+    }
+
+    /// Resolves a page's slot for writing: materializes a never-written
+    /// page, CoW-breaks a shared one. Always returns a private slot.
+    #[inline]
+    fn frame_for_write(&mut self, page: u64, slot: u32) -> u32 {
+        if slot == NO_FRAME {
+            self.materialize(page)
+        } else if slot & SHARED_BIT != 0 {
+            self.cow_break(page, slot)
+        } else {
+            slot
+        }
     }
 
     /// Maps `len` bytes starting at `addr` with permissions `perms`,
@@ -429,10 +644,11 @@ impl Memory {
         let last = Self::page_index(addr + len - 1);
         let mut p = first;
         while p <= last {
-            let r = self
-                .table
-                .entry(p >> REGION_BITS)
-                .or_insert_with(Region::empty);
+            let r = Arc::make_mut(
+                self.table
+                    .entry(p >> REGION_BITS)
+                    .or_insert_with(|| Arc::new(Region::empty())),
+            );
             let stop = last.min(p | REGION_MASK);
             while p <= stop {
                 let e = &mut r.entries[(p & REGION_MASK) as usize];
@@ -468,10 +684,11 @@ impl Memory {
         let last = Self::page_index(addr + len - 1);
         let mut p = first;
         while p <= last {
-            let r = self
-                .table
-                .entry(p >> REGION_BITS)
-                .or_insert_with(Region::empty);
+            let r = Arc::make_mut(
+                self.table
+                    .entry(p >> REGION_BITS)
+                    .or_insert_with(|| Arc::new(Region::empty())),
+            );
             let stop = last.min(p | REGION_MASK);
             while p <= stop {
                 let e = &mut r.entries[(p & REGION_MASK) as usize];
@@ -508,6 +725,7 @@ impl Memory {
         while p <= last {
             let stop = last.min(p | REGION_MASK);
             if let Some(r) = self.table.get_mut(&(p >> REGION_BITS)) {
+                let r = Arc::make_mut(r);
                 while p <= stop {
                     let e = &mut r.entries[(p & REGION_MASK) as usize];
                     if e.mapped && e.perms != Perms::NONE {
@@ -535,10 +753,14 @@ impl Memory {
             let rkey = p >> REGION_BITS;
             let stop = last.min(p | REGION_MASK);
             if let Some(r) = self.table.get_mut(&rkey) {
+                let r = Arc::make_mut(r);
                 while p <= stop {
                     let e = &mut r.entries[(p & REGION_MASK) as usize];
                     if e.mapped {
-                        if e.slot != NO_FRAME {
+                        // Only privately-owned frames return to the free
+                        // list; a shared frame stays in the snapshot
+                        // arena (other address spaces may map it).
+                        if e.slot != NO_FRAME && e.slot & SHARED_BIT == 0 {
                             self.free.push(e.slot);
                         }
                         *e = UNMAPPED_ENTRY;
@@ -744,11 +966,7 @@ impl Memory {
         let in_page = (addr % PAGE_SIZE) as usize;
         if in_page <= PAGE_SIZE as usize - 8 {
             let e = self.check_page(addr, Perms::W, true, AccessClass::Write)?;
-            let slot = if e.slot == NO_FRAME {
-                self.materialize(Self::page_index(addr))
-            } else {
-                e.slot
-            };
+            let slot = self.frame_for_write(Self::page_index(addr), e.slot);
             self.frame_mut(slot)[in_page..in_page + 8].copy_from_slice(&val.to_le_bytes());
             Ok(())
         } else {
@@ -830,10 +1048,11 @@ impl Memory {
                 // Demand-map, as the old implementation did for
                 // permissionless pokes into fresh pages.
                 self.flush_tlb();
-                let r = self
-                    .table
-                    .entry(page >> REGION_BITS)
-                    .or_insert_with(Region::empty);
+                let r = Arc::make_mut(
+                    self.table
+                        .entry(page >> REGION_BITS)
+                        .or_insert_with(|| Arc::new(Region::empty())),
+                );
                 r.entries[(page & REGION_MASK) as usize] = PageEntry {
                     perms: Perms::NONE,
                     mapped: true,
@@ -844,7 +1063,10 @@ impl Memory {
                 self.max_pages = self.max_pages.max(self.resident);
             }
             let slot = match entry {
-                Some(e) if e.slot != NO_FRAME => Some(e.slot),
+                Some(e) if e.slot != NO_FRAME && e.slot & SHARED_BIT == 0 => Some(e.slot),
+                // Shared frame: even an all-zero store must break the
+                // sharing — the shared copy may hold nonzero bytes.
+                Some(e) if e.slot != NO_FRAME => Some(self.cow_break(page, e.slot)),
                 // Never-written page: writing zeros into it is a no-op
                 // (it already reads as zero), so loader pokes of
                 // zero-initialized data sections materialize nothing.
@@ -992,6 +1214,125 @@ mod tests {
             m.read(addr, &mut buf).unwrap();
             assert_eq!(u64::from_le_bytes(buf), val, "byte path at {addr:#x}");
         }
+    }
+
+    /// Builds a small image-like address space: XO text, RW data with
+    /// contents, a never-written RW page, and a guard page.
+    fn image() -> Memory {
+        let mut m = Memory::new();
+        m.map(0x1000, 2 * PAGE_SIZE, Perms::XO);
+        m.poke_u64(0x1000, 0x1111);
+        m.map(0x10000, 4 * PAGE_SIZE, Perms::RW);
+        m.write_u64(0x10000, 0x2222).unwrap();
+        m.write_u64(0x11000, 0x3333).unwrap();
+        m.map(0x20000, PAGE_SIZE, Perms::NONE);
+        m
+    }
+
+    #[test]
+    fn cow_fork_copies_no_frames_until_written() {
+        let snap = image().snapshot();
+        let mut f = Memory::from_snapshot(&snap);
+        assert_eq!(f.private_frames(), 0, "fork must not copy any frame");
+        assert_eq!(f.shared_frames(), 3);
+        assert_eq!(f.read_u64(0x10000).unwrap(), 0x2222);
+        assert_eq!(f.private_frames(), 0, "reads must not break sharing");
+        f.write_u64(0x10000, 0x9999).unwrap();
+        assert_eq!(f.private_frames(), 1, "one write breaks one page");
+        assert_eq!(f.shared_frames(), 2);
+        assert_eq!(f.read_u64(0x10000).unwrap(), 0x9999);
+        // The sibling frame and the snapshot are untouched.
+        assert_eq!(f.read_u64(0x11000).unwrap(), 0x3333);
+        let g = Memory::from_snapshot(&snap);
+        assert_eq!(g.read_u64(0x10000).unwrap(), 0x2222);
+    }
+
+    #[test]
+    fn cow_write_after_warm_read_tlb_stays_coherent() {
+        let snap = image().snapshot();
+        let mut f = Memory::from_snapshot(&snap);
+        // Warm the read TLB with the shared translation, then write the
+        // same page: the cached shared slot must not serve the next read.
+        assert_eq!(f.read_u64(0x11000).unwrap(), 0x3333);
+        f.write_u64(0x11008, 0x7777).unwrap();
+        assert_eq!(f.read_u64(0x11000).unwrap(), 0x3333);
+        assert_eq!(f.read_u64(0x11008).unwrap(), 0x7777);
+    }
+
+    #[test]
+    fn cow_restore_discards_dirty_pages() {
+        let mut m = image();
+        let snap = m.snapshot();
+        m.write_u64(0x10000, 0xdead).unwrap();
+        m.unmap(0x11000, PAGE_SIZE);
+        m.protect(0x1000, PAGE_SIZE, Perms::RW).unwrap();
+        m.restore(&snap);
+        assert_eq!(m.private_frames(), 0);
+        assert_eq!(m.read_u64(0x10000).unwrap(), 0x2222);
+        assert_eq!(m.read_u64(0x11000).unwrap(), 0x3333);
+        assert_eq!(m.perms_at(0x1000), Some(Perms::XO));
+        assert_eq!(m.resident_pages(), snap.resident_pages());
+    }
+
+    #[test]
+    fn restore_keeps_lifetime_rss_high_water_mark() {
+        let mut m = image();
+        let snap = m.snapshot();
+        let at_snap = m.max_resident_pages();
+        // Map (and touch) well past the snapshot's footprint…
+        m.map(0x100000, 32 * PAGE_SIZE, Perms::RW);
+        let peak = m.max_resident_pages();
+        assert!(peak >= at_snap + 32);
+        // …then reset: the lifetime maxrss must survive the rollback.
+        m.restore(&snap);
+        assert_eq!(m.max_resident_pages(), peak);
+        assert_eq!(m.resident_pages(), snap.resident_pages());
+    }
+
+    #[test]
+    fn deep_copy_matches_cow_per_page() {
+        let snap = image().snapshot();
+        let cow = Memory::from_snapshot(&snap);
+        let deep = Memory::from_snapshot_deep(&snap);
+        assert_eq!(deep.private_frames(), 3);
+        assert_eq!(deep.shared_frames(), 0);
+        for addr in [0x1000u64, 0x10000, 0x11000, 0x12000, 0x20000] {
+            assert_eq!(cow.perms_at(addr), deep.perms_at(addr), "{addr:#x}");
+            assert_eq!(cow.peek_u64(addr), deep.peek_u64(addr), "{addr:#x}");
+        }
+        assert_eq!(cow.resident_pages(), deep.resident_pages());
+        assert_eq!(cow.max_resident_pages(), deep.max_resident_pages());
+    }
+
+    #[test]
+    fn unmap_of_shared_page_frees_nothing_private() {
+        let snap = image().snapshot();
+        let mut f = Memory::from_snapshot(&snap);
+        f.unmap(0x10000, PAGE_SIZE);
+        assert!(matches!(f.read_u64(0x10000), Err(Fault::Unmapped { .. })));
+        assert_eq!(f.free.len(), 0, "shared slot must not enter free list");
+        // Remapping the same page hands back zeros, not the image bytes.
+        f.map(0x10000, PAGE_SIZE, Perms::RW);
+        assert_eq!(f.read_u64(0x10000).unwrap(), 0);
+        // The snapshot still serves the original contents.
+        assert_eq!(
+            Memory::from_snapshot(&snap).read_u64(0x10000).unwrap(),
+            0x2222
+        );
+    }
+
+    #[test]
+    fn snapshot_of_cow_memory_compacts_shared_and_private_frames() {
+        let snap = image().snapshot();
+        let mut f = Memory::from_snapshot(&snap);
+        f.write_u64(0x10000, 0x4444).unwrap();
+        // Re-snapshot: one private frame, two still-shared frames.
+        let snap2 = f.snapshot();
+        assert_eq!(snap2.materialized_pages(), 3);
+        let g = Memory::from_snapshot(&snap2);
+        assert_eq!(g.read_u64(0x10000).unwrap(), 0x4444);
+        assert_eq!(g.read_u64(0x11000).unwrap(), 0x3333);
+        assert_eq!(g.peek_u64(0x1000), 0x1111);
     }
 
     #[test]

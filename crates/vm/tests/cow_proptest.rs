@@ -1,0 +1,196 @@
+//! Differential property test for copy-on-write snapshot sharing.
+//!
+//! CoW must be invisible: a memory built from a snapshot with
+//! [`Memory::from_snapshot`] (shared regions + shared frames, pages
+//! un-shared lazily on write) and one built with
+//! [`Memory::from_snapshot_deep`] (the pre-CoW eager deep copy) must
+//! be indistinguishable under *any* op sequence — same results, same
+//! fault kinds, same per-page permissions and bytes, same rss
+//! accounting. Afterwards, rolling the mutated CoW memory back with
+//! [`Memory::restore`] must reproduce exactly the state a fresh
+//! `from_snapshot` yields (perms, bytes, resident count; the rss
+//! high-water mark deliberately differs — it ratchets over the
+//! address space's lifetime and survives resets).
+//!
+//! The op universe spans two 2 MiB regions so region-level `Arc`
+//! sharing and frame-level `SHARED_BIT` sharing both get broken and
+//! re-established, and addresses cluster near page boundaries so the
+//! word fast paths cross pages while the TLB is warm with shared
+//! translations.
+
+use proptest::prelude::*;
+
+use r2c_vm::{Memory, Perms, PAGE_SIZE};
+
+/// Two clusters of pages in different 2 MiB regions.
+const REGION_PAGES: u64 = 512;
+const NPAGES: u64 = 8;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Map { addr: u64, len: u64, perms: Perms },
+    Unmap { addr: u64, len: u64 },
+    Protect { addr: u64, len: u64, perms: Perms },
+    Read { addr: u64, len: u64 },
+    Write { addr: u64, data: Vec<u8> },
+    ReadU64 { addr: u64 },
+    WriteU64 { addr: u64, val: u64 },
+}
+
+fn perms_strategy() -> impl Strategy<Value = Perms> {
+    prop_oneof![
+        Just(Perms::NONE),
+        Just(Perms::R),
+        Just(Perms::RW),
+        Just(Perms::RX),
+        Just(Perms::XO),
+    ]
+}
+
+/// Addresses near page boundaries, alternating between the two regions.
+fn addr_strategy() -> impl Strategy<Value = u64> {
+    (
+        prop_oneof![0u64..NPAGES, REGION_PAGES..REGION_PAGES + NPAGES],
+        prop_oneof![0u64..16, PAGE_SIZE - 16..PAGE_SIZE, 0u64..PAGE_SIZE],
+    )
+        .prop_map(|(p, off)| p * PAGE_SIZE + off)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (addr_strategy(), 1u64..3 * PAGE_SIZE, perms_strategy())
+            .prop_map(|(addr, len, perms)| Op::Map { addr, len, perms }),
+        (addr_strategy(), 1u64..3 * PAGE_SIZE).prop_map(|(addr, len)| Op::Unmap { addr, len }),
+        (addr_strategy(), 1u64..3 * PAGE_SIZE, perms_strategy())
+            .prop_map(|(addr, len, perms)| Op::Protect { addr, len, perms }),
+        (addr_strategy(), 1u64..64).prop_map(|(addr, len)| Op::Read { addr, len }),
+        (
+            addr_strategy(),
+            proptest::collection::vec(any::<u8>(), 1..64)
+        )
+            .prop_map(|(addr, data)| Op::Write { addr, data }),
+        addr_strategy().prop_map(|addr| Op::ReadU64 { addr }),
+        (addr_strategy(), any::<u64>()).prop_map(|(addr, val)| Op::WriteU64 { addr, val }),
+    ]
+}
+
+/// Applies one op to a memory, returning a comparable result digest.
+fn apply(mem: &mut Memory, op: &Op) -> Result<Vec<u8>, String> {
+    match op.clone() {
+        Op::Map { addr, len, perms } => {
+            mem.map(addr, len, perms);
+            Ok(Vec::new())
+        }
+        Op::Unmap { addr, len } => {
+            mem.unmap(addr, len);
+            Ok(Vec::new())
+        }
+        Op::Protect { addr, len, perms } => mem
+            .protect(addr, len, perms)
+            .map(|()| Vec::new())
+            .map_err(|f| format!("{f:?}")),
+        Op::Read { addr, len } => {
+            let mut buf = vec![0u8; len as usize];
+            mem.read(addr, &mut buf)
+                .map(|()| buf)
+                .map_err(|f| format!("{f:?}"))
+        }
+        Op::Write { addr, data } => mem
+            .write(addr, &data)
+            .map(|()| Vec::new())
+            .map_err(|f| format!("{f:?}")),
+        Op::ReadU64 { addr } => mem
+            .read_u64(addr)
+            .map(|v| v.to_le_bytes().to_vec())
+            .map_err(|f| format!("{f:?}")),
+        Op::WriteU64 { addr, val } => mem
+            .write_u64(addr, val)
+            .map(|()| Vec::new())
+            .map_err(|f| format!("{f:?}")),
+    }
+}
+
+/// Every page of the two-region universe.
+fn universe() -> impl Iterator<Item = u64> {
+    (0..NPAGES).chain(REGION_PAGES..REGION_PAGES + NPAGES)
+}
+
+/// Per-page equality: perms and full byte contents, plus the resident
+/// count. `check_max` additionally compares the rss high-water mark
+/// (valid for the CoW-vs-deep pair, not across a restore).
+fn assert_pages_equal(a: &Memory, b: &Memory, check_max: bool, ctx: &str) {
+    for p in universe() {
+        let addr = p * PAGE_SIZE;
+        prop_assert_eq!(
+            a.perms_at(addr),
+            b.perms_at(addr),
+            "perms diverged at page {:#x} ({})",
+            p,
+            ctx
+        );
+        let mut ba = vec![0u8; PAGE_SIZE as usize];
+        let mut bb = vec![0u8; PAGE_SIZE as usize];
+        a.peek(addr, &mut ba);
+        b.peek(addr, &mut bb);
+        prop_assert_eq!(ba, bb, "bytes diverged at page {:#x} ({})", p, ctx);
+    }
+    prop_assert_eq!(
+        a.resident_pages(),
+        b.resident_pages(),
+        "resident count diverged ({})",
+        ctx
+    );
+    if check_max {
+        prop_assert_eq!(
+            a.max_resident_pages(),
+            b.max_resident_pages(),
+            "rss high-water diverged ({})",
+            ctx
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: if cfg!(debug_assertions) { 24 } else { 96 } })]
+
+    #[test]
+    fn cow_is_indistinguishable_from_deep_copy(
+        setup in proptest::collection::vec(op_strategy(), 1..40),
+        suffix in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        // Build an arbitrary image and snapshot it.
+        let mut base = Memory::new();
+        for op in &setup {
+            let _ = apply(&mut base, op);
+        }
+        let snap = base.snapshot();
+
+        // Run the same suffix on a CoW build and a deep-copy build.
+        let mut cow = Memory::from_snapshot(&snap);
+        let mut deep = Memory::from_snapshot_deep(&snap);
+        for (i, op) in suffix.iter().enumerate() {
+            let ra = apply(&mut cow, op);
+            let rb = apply(&mut deep, op);
+            prop_assert_eq!(ra, rb, "op {} result diverged: {:?}", i, op);
+        }
+        assert_pages_equal(&cow, &deep, true, "cow vs deep after suffix");
+
+        // Rolling the dirty CoW memory back must reproduce exactly what
+        // a fresh from_snapshot yields — restore is the fork path's
+        // worker-reset twin. (The high-water mark is excluded: restore
+        // deliberately keeps the lifetime peak.)
+        cow.restore(&snap);
+        let fresh = Memory::from_snapshot(&snap);
+        assert_pages_equal(&cow, &fresh, false, "restore vs fresh");
+        prop_assert!(
+            cow.max_resident_pages() >= fresh.max_resident_pages(),
+            "restore may only ratchet the high-water mark upward"
+        );
+
+        // And the snapshot itself must have been left untouched by all
+        // of the above: a third build still matches the pristine deep
+        // copy of the original.
+        let again = Memory::from_snapshot_deep(&snap);
+        assert_pages_equal(&fresh, &again, true, "snapshot immutability");
+    }
+}

@@ -72,6 +72,38 @@ fn interleaved_churn_residency_tracks_live_bytes() {
     heap.check_invariants(&mem).unwrap();
 }
 
+/// `Memory::restore` used to clobber the lifetime rss high-water mark
+/// with the snapshot's value, so a long-lived restart-same worker
+/// under-reported the §6.2.5 maxrss metric after every
+/// `reset_to_image`. The mark must ratchet monotonically over the
+/// address space's whole life, surviving resets.
+#[test]
+fn restore_preserves_lifetime_maxrss_high_water_mark() {
+    let (mut mem, mut heap) = setup();
+    let p = heap.malloc(&mut mem, 4 * PAGE_SIZE).unwrap();
+    mem.write_u64(p, 1).unwrap();
+    let snap = mem.snapshot();
+    let at_snap = mem.max_resident_pages();
+    // A later generation touches far more memory than the image…
+    let big = heap.malloc(&mut mem, 512 * PAGE_SIZE).unwrap();
+    for i in 0..512 {
+        mem.write_u64(big + i * PAGE_SIZE, i).unwrap();
+    }
+    let peak = mem.max_resident_pages();
+    assert!(peak > at_snap + 400, "workload failed to push the peak");
+    // …and the worker reset must keep the lifetime peak, not rewind it.
+    mem.restore(&snap);
+    assert_eq!(
+        mem.max_resident_pages(),
+        peak,
+        "restore clobbered the maxrss high-water mark"
+    );
+    assert_eq!(mem.resident_pages(), snap.resident_pages());
+    // The ratchet keeps working after the reset.
+    mem.map(0x9000_0000, 4 * PAGE_SIZE, Perms::RW);
+    assert_eq!(mem.max_resident_pages(), peak);
+}
+
 /// Classic use-after-free: reads and writes through a dangling pointer
 /// fault (quarantined page → protection fault on the no-access page;
 /// after eviction → unmapped fault). Either way the access no longer

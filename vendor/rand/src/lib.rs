@@ -92,6 +92,15 @@ impl Standard for bool {
     }
 }
 
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` from the top 53 bits, matching upstream
+    /// `rand`'s `Standard` construction (multiply-based, so every value
+    /// is a multiple of 2⁻⁵³).
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
 /// Ranges samplable by [`Rng::gen_range`].
 ///
 /// Mirrors upstream's structure — a single blanket impl per range shape
