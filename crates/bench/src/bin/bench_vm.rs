@@ -35,7 +35,7 @@ use std::time::Instant;
 use r2c_core::{R2cCompiler, R2cConfig};
 use r2c_ir::Module;
 use r2c_vm::{ExitStatus, MachineKind, Vm, VmConfig};
-use r2c_workloads::{spec_workloads, Scale};
+use r2c_workloads::{captured_workloads, spec_workloads, Scale};
 
 /// Repetitions per (workload, config) cell — Scale::Test programs run
 /// in milliseconds, so repetition is needed for a stable wall-clock.
@@ -123,7 +123,10 @@ fn main() {
     let prior = std::fs::read_to_string("BENCH_vm.json").ok();
 
     let machine = MachineKind::EpycRome;
-    let workloads = spec_workloads(Scale::Test);
+    let mut workloads = spec_workloads(Scale::Test);
+    // The replay-captured workloads (`cap-*`) ride along: standalone
+    // programs minted by `capture --bless` from recorded traces.
+    workloads.extend(captured_workloads());
     let mut cells = Vec::new();
     for w in &workloads {
         cells.push(run_cell(

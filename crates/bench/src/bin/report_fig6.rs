@@ -9,7 +9,7 @@
 use r2c_bench::{baseline_cycles, geomean, median_cycles, parallel_map, pct, TablePrinter};
 use r2c_core::R2cConfig;
 use r2c_vm::MachineKind;
-use r2c_workloads::{spec_workloads, Scale};
+use r2c_workloads::{captured_workloads, spec_workloads, Scale};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--large") {
@@ -18,7 +18,10 @@ fn main() {
         Scale::Bench
     };
     let runs = 3;
-    let workloads = spec_workloads(scale);
+    let mut workloads = spec_workloads(scale);
+    // The replay-captured workloads (`cap-*`) ride along: standalone
+    // programs minted by `capture --bless` from recorded traces.
+    workloads.extend(captured_workloads());
     println!(
         "Figure 6: full R2C performance impact per benchmark (median of {runs} seeds per cell)\n"
     );

@@ -10,7 +10,9 @@
 use r2c_bench::{measure_once, parallel_map, TablePrinter};
 use r2c_core::{R2cCompiler, R2cConfig};
 use r2c_vm::{ExitStatus, MachineKind, Vm, VmConfig, PAGE_SIZE};
-use r2c_workloads::{spec_workloads, webserver::run_webserver, Scale, ServerKind};
+use r2c_workloads::{
+    captured_workloads, spec_workloads, webserver::run_webserver, Scale, ServerKind,
+};
 
 /// End-of-run residency of one server build: (total resident pages,
 /// resident pages within the heap region). Distinct from maxrss: freed
@@ -45,7 +47,10 @@ fn main() {
         "overhead".into(),
     ]);
     t.sep();
-    let workloads = spec_workloads(scale);
+    let mut workloads = spec_workloads(scale);
+    // The replay-captured workloads (`cap-*`) ride along: standalone
+    // programs minted by `capture --bless` from recorded traces.
+    workloads.extend(captured_workloads());
     let rss_pairs = parallel_map(&workloads, |w| {
         let base = measure_once(&w.module, R2cConfig::baseline(0), machine, 1);
         let prot = measure_once(&w.module, R2cConfig::full(0), machine, 1);

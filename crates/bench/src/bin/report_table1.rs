@@ -16,7 +16,7 @@
 use r2c_bench::{baseline_cycles, geomean, median_cycles, parallel_map, TablePrinter};
 use r2c_core::{Component, R2cConfig};
 use r2c_vm::MachineKind;
-use r2c_workloads::{spec_workloads, Scale};
+use r2c_workloads::{captured_workloads, spec_workloads, Scale};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--large") {
@@ -26,7 +26,10 @@ fn main() {
     };
     let runs = 3;
     let machine = MachineKind::EpycRome; // the paper's component-analysis machine
-    let workloads = spec_workloads(scale);
+    let mut workloads = spec_workloads(scale);
+    // The replay-captured workloads (`cap-*`) ride along: standalone
+    // programs minted by `capture --bless` from recorded traces.
+    workloads.extend(captured_workloads());
 
     println!(
         "Table 1: component overheads (machine: {}, {} workloads, median of {} seeds)\n",

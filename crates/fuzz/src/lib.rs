@@ -48,7 +48,7 @@ pub use gen::{generate, generate_with, GenConfig};
 pub use mutate::{gate, mutate, MutationKind};
 pub use oracle::{
     named_configs, run_oracle, summarize_divergences, CaseVerdict, Divergence, MatrixCell,
-    OracleMatrix, FLEET_CELL_PREFIX,
+    OracleMatrix, FLEET_CELL_PREFIX, REPLAY_CELL_PREFIX,
 };
 pub use reduce::{reduce, reproducer_source, Reduction, ReductionStats};
 

@@ -100,6 +100,7 @@ impl OracleMatrix {
         configs.push(("fleet-respawn".to_string(), R2cConfig::full(0)));
         configs.push(("nofuse-full".to_string(), R2cConfig::full(0)));
         configs.push(("tv-full".to_string(), R2cConfig::full(0)));
+        configs.push(("replay-full".to_string(), R2cConfig::full(0)));
         OracleMatrix {
             configs,
             machines: vec![MachineKind::EpycRome],
@@ -276,6 +277,9 @@ pub fn check_cell(
     if cell.config_name.starts_with(TV_CELL_PREFIX) {
         return check_tv_cell(module, cell);
     }
+    if cell.config_name.starts_with(REPLAY_CELL_PREFIX) {
+        return check_replay_cell(module, reference, cell);
+    }
     let cfg = cell.config.with_seed(cell.build_seed);
     match observe_variant(module, cfg, cell.machine, VARIANT_INSN_BUDGET) {
         Ok(obs) => {
@@ -445,6 +449,122 @@ fn check_fleet_cell(module: &Module, cell: &MatrixCell) -> Option<Vec<String>> {
     }
 }
 
+/// Config-name prefix marking a *capture-replay* cell. Such a cell
+/// exercises the record half of the `r2c-replay` pipeline on an
+/// arbitrary generated module: it builds one variant image and runs it
+/// three times — untraced, and twice under the capture tracer
+/// ([`r2c_vm::trace::TraceConfig::capture`]) with the module's
+/// `no_instrument` boundary spans armed. It diverges when capture
+/// tracing perturbs execution (untraced vs traced `ExecStats`), when
+/// two identical capture runs log different boundary events (a
+/// nondeterministic environment boundary would make replay impossible),
+/// when the lossless-capture contract is violated (`dropped_events !=
+/// 0`), or when the traced run disagrees with the reference
+/// interpretation.
+pub const REPLAY_CELL_PREFIX: &str = "replay";
+
+fn check_replay_cell(
+    module: &Module,
+    reference: &InterpResult,
+    cell: &MatrixCell,
+) -> Option<Vec<String>> {
+    use r2c_vm::trace::TraceConfig;
+    let cfg = cell.config.with_seed(cell.build_seed);
+    let image = match R2cCompiler::new(cfg).build(module) {
+        Ok(image) => image,
+        Err(e) => return Some(vec![format!("build failed: {e}")]),
+    };
+    // Inline boundary-span computation (the dependency direction is
+    // r2c-replay → r2c-fuzz, so `r2c_replay::boundary_spans` is not
+    // available here).
+    let spans: Vec<(u64, u64)> = module
+        .funcs
+        .iter()
+        .filter(|f| f.no_instrument)
+        .filter_map(|f| image.symbol(&f.name))
+        .map(|sym| (sym.addr, sym.addr + sym.size))
+        .collect();
+    let mut vm_cfg = VmConfig::new(cell.machine.config());
+    vm_cfg.insn_budget = VARIANT_INSN_BUDGET;
+    let run = |capture: bool| {
+        let mut vm = Vm::new(&image, vm_cfg);
+        if capture {
+            vm.enable_trace(
+                &image,
+                TraceConfig {
+                    capture: true,
+                    ..TraceConfig::default()
+                },
+            );
+            vm.tracer_mut()
+                .expect("trace just enabled")
+                .set_capture_boundaries(spans.clone());
+        }
+        let out = vm.run();
+        let log = vm.capture_log().cloned();
+        let dropped = vm.trace_profile().map_or(0, |p| p.dropped_events);
+        (out.status, out.stats, vm.output.clone(), log, dropped)
+    };
+    let plain = run(false);
+    let cap_a = run(true);
+    let cap_b = run(true);
+    let mut details = Vec::new();
+    if plain.0 != cap_a.0 {
+        details.push(format!(
+            "capture tracing changed exit status: {:?} vs {:?}",
+            plain.0, cap_a.0
+        ));
+    }
+    if plain.1 != cap_a.1 {
+        details.push(format!(
+            "capture tracing perturbed ExecStats: {:?} vs {:?}",
+            plain.1, cap_a.1
+        ));
+    }
+    if plain.2 != cap_a.2 {
+        details.push(format!(
+            "capture tracing changed output ({} vs {} values)",
+            plain.2.len(),
+            cap_a.2.len()
+        ));
+    }
+    if cap_a.3 != cap_b.3 {
+        let (a, b) = (&cap_a.3, &cap_b.3);
+        let (la, lb) = (
+            a.as_ref().map_or(0, |l| l.boundary.len()),
+            b.as_ref().map_or(0, |l| l.boundary.len()),
+        );
+        details.push(format!(
+            "capture log nondeterministic across identical runs ({la} vs {lb} events)"
+        ));
+    }
+    if cap_a.4 != 0 {
+        details.push(format!(
+            "capture mode dropped {} events — lossless capture violated",
+            cap_a.4
+        ));
+    }
+    // The traced run must also mean what the reference says.
+    if cap_a.0 != r2c_vm::ExitStatus::Exited(reference.ret) {
+        details.push(format!(
+            "traced exit status: {:?}, reference Exited({})",
+            cap_a.0, reference.ret
+        ));
+    }
+    if cap_a.2 != reference.output {
+        details.push(format!(
+            "traced output diverged from reference ({} vs {} values)",
+            cap_a.2.len(),
+            reference.output.len()
+        ));
+    }
+    if details.is_empty() {
+        None
+    } else {
+        Some(details)
+    }
+}
+
 /// Convenience for reducer predicates: does `module` still diverge in
 /// `cell` (for any reason other than being interpreter-rejected)?
 ///
@@ -478,7 +598,7 @@ mod tests {
 
     #[test]
     fn matrix_shapes() {
-        assert_eq!(OracleMatrix::quick().cells().len(), 9 * 2);
+        assert_eq!(OracleMatrix::quick().cells().len(), 10 * 2);
         assert_eq!(OracleMatrix::full().cells().len(), 10 * 2 * 3);
         assert_eq!(
             OracleMatrix::single("full", R2cConfig::full(0), MachineKind::EpycRome, 7)

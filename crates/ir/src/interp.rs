@@ -365,8 +365,16 @@ impl<'m> Interp<'m> {
     }
 
     fn bump_alloc(&mut self, size: u64, align: u64) -> Result<u64, InterpError> {
-        let off = self.hp.next_multiple_of(align.max(16));
-        let new_hp = off + size.max(1);
+        // Sizes and alignments are guest-controlled (fuzz mutants
+        // request absurd ones); checked arithmetic keeps that an
+        // OutOfMemory error instead of a debug-build overflow panic.
+        let off = self
+            .hp
+            .checked_next_multiple_of(align.max(16))
+            .ok_or(InterpError::OutOfMemory)?;
+        let new_hp = off
+            .checked_add(size.max(1))
+            .ok_or(InterpError::OutOfMemory)?;
         if new_hp > HEAP_SIZE {
             return Err(InterpError::OutOfMemory);
         }
@@ -404,10 +412,34 @@ fn bin(op: BinOp, x: u64, y: u64) -> Result<u64, InterpError> {
     })
 }
 
+/// Stack size for the dedicated interpreter thread. The interpreter
+/// recurses one native frame per guest call up to its 4000-frame
+/// recursion limit; debug-build frames are large enough that the
+/// default 2 MiB test-thread stack overflows before the limit trips.
+/// Running on a dedicated thread makes `InterpError::RecursionLimit`
+/// the outcome regardless of the caller's stack.
+const INTERP_STACK_BYTES: usize = 64 << 20;
+
 /// Interprets `entry` (by name) with no arguments.
 ///
 /// `fuel` bounds the number of executed IR instructions.
 pub fn interpret(m: &Module, entry: &str, fuel: u64) -> Result<InterpResult, InterpError> {
+    std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .name("r2c-interp".into())
+            .stack_size(INTERP_STACK_BYTES)
+            .spawn_scoped(s, || interpret_on_this_stack(m, entry, fuel))
+            .expect("spawn interpreter thread")
+            .join()
+            .expect("interpreter thread panicked")
+    })
+}
+
+fn interpret_on_this_stack(
+    m: &Module,
+    entry: &str,
+    fuel: u64,
+) -> Result<InterpResult, InterpError> {
     let id = m
         .func_by_name(entry)
         .ok_or_else(|| InterpError::NoSuchFunction(entry.to_string()))?;

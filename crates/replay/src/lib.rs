@@ -1,0 +1,185 @@
+//! # r2c-replay — record-reduce-replay workload capture
+//!
+//! The pipeline that turns traced executions into standalone,
+//! replayable benchmark workloads (ROADMAP item 3, modeled on
+//! Wasm-R3's record-reduce-replay loop):
+//!
+//! 1. **Record** ([`record`]): run a program under the VM's lossless
+//!    capture tracer and log every environment-boundary event — extern
+//!    calls with their answers, resolved indirect-call targets,
+//!    `no_instrument` boundary crossings, request arrivals — into a
+//!    compact versioned binary trace ([`format::CapturedTrace`],
+//!    `.r2ct`).
+//! 2. **Reduce** ([`reduce`]): collapse repeated op windows into
+//!    parameterized [`format::ReplayOp::Rep`] ops and delta-debug the
+//!    captured program against the trace oracle, reusing the fuzz
+//!    reducer.
+//! 3. **Replay** ([`stub`]): re-run the reduced module and check every
+//!    boundary answer and the summary against the recorded table; the
+//!    result is checked into `crates/replay/workloads/` and registered
+//!    with `r2c-workloads` as a first-class benchmark.
+//!
+//! The `capture` binary in `r2c-bench` drives this end to end
+//! (`--bless` to regenerate artifacts, `--verify` as the CI gate).
+
+pub mod format;
+pub mod record;
+pub mod reduce;
+pub mod sources;
+pub mod stub;
+
+pub use format::{CapturedTrace, ReplayOp, TraceSummary};
+pub use record::{record, record_with_arrivals, RecordConfig, Recording};
+pub use reduce::{collapse, expand, reduce_captured, ReduceOracle};
+pub use sources::{default_env, env_from_schedule, source, Archetype};
+pub use stub::{verify_trace, ReplayStub};
+
+use r2c_ir::{print_module, Module};
+
+/// A finished capture: the reduced module, its collapsed trace, and
+/// the provenance the workload file header records.
+#[derive(Clone, Debug)]
+pub struct Captured {
+    /// Workload name.
+    pub name: String,
+    /// The reduced, replay-verified module.
+    pub module: Module,
+    /// The collapsed trace (its summary is the replay oracle).
+    pub trace: CapturedTrace,
+    /// Dynamic call count of the recorded run, guest calls plus native
+    /// (extern) calls — the boundary-crossing rate that drives the
+    /// workload's Table 2 call-frequency scaling.
+    pub calls: u64,
+    /// Functions + globals removed by the reduction.
+    pub reduced_away: usize,
+}
+
+/// Runs the full pipeline on one source module.
+///
+/// `reduce_rounds == 0` skips the delta-debugging step (used for the
+/// webserver capture, whose handler-table globals hold code pointers
+/// and therefore fall outside the interpreter-globals oracle).
+pub fn capture_pipeline(
+    name: &str,
+    source: &Module,
+    rc: &RecordConfig,
+    reduce_rounds: usize,
+) -> Result<Captured, String> {
+    capture_pipeline_with_arrivals(name, source, rc, reduce_rounds, &[])
+}
+
+/// [`capture_pipeline`] with request-arrival cycles merged into the
+/// trace (the webserver path).
+pub fn capture_pipeline_with_arrivals(
+    name: &str,
+    source: &Module,
+    rc: &RecordConfig,
+    reduce_rounds: usize,
+    arrivals: &[u64],
+) -> Result<Captured, String> {
+    let original = record::record_with_arrivals(source, name, rc, arrivals)?;
+    let (module, reduced_away) = if reduce_rounds > 0 {
+        let (reduction, _oracle) = reduce::reduce_captured(source, rc, reduce_rounds)?;
+        let away = (source.funcs.len() - reduction.module.funcs.len())
+            + (source.globals.len() - reduction.module.globals.len());
+        (reduction.module, away)
+    } else {
+        (source.clone(), 0)
+    };
+    // Re-record the reduced module; its trace (not the original's) is
+    // what ships, since reduction may legitimately drop boundary
+    // events along dead paths.
+    let reduced_rec = record::record_with_arrivals(&module, name, rc, arrivals)?;
+    if reduced_rec.exit != original.exit || reduced_rec.output != original.output {
+        return Err(format!(
+            "reduction changed observable behavior of {name}: exit {} -> {}, {} -> {} outputs",
+            original.exit,
+            reduced_rec.exit,
+            original.output.len(),
+            reduced_rec.output.len()
+        ));
+    }
+    let mut trace = reduced_rec.trace.clone();
+    trace.ops = reduce::collapse(&trace.ops);
+    // Final gate: the collapsed trace must replay bit-exactly.
+    stub::verify_trace(&trace, &module, rc)
+        .map_err(|errs| format!("replay verification of {name} failed: {}", errs.join("; ")))?;
+    Ok(Captured {
+        name: name.to_string(),
+        module,
+        trace,
+        calls: reduced_rec.stats.calls + reduced_rec.stats.native_calls,
+        reduced_away,
+    })
+}
+
+/// Renders a captured workload as a checked-in `.r2cir` file: a header
+/// the registration side parses, followed by the module text.
+pub fn workload_file(c: &Captured, archetype: &str) -> String {
+    let s = &c.trace.summary;
+    format!(
+        "# r2c-replay captured workload v1\n\
+         # archetype: {archetype}\n\
+         # calls: {}\n\
+         # instructions: {}\n\
+         # externs: {}\n\
+         # exit: {}\n\
+         # reduced-away: {}\n\
+         {}",
+        c.calls,
+        s.instructions,
+        s.allocs + s.frees,
+        s.exit,
+        c.reduced_away,
+        print_module(&c.module)
+    )
+}
+
+/// Parses a `# key: value` header line out of a workload file.
+pub fn header_field(text: &str, key: &str) -> Option<String> {
+    let prefix = format!("# {key}: ");
+    text.lines()
+        .take_while(|l| l.starts_with('#'))
+        .find_map(|l| l.strip_prefix(&prefix).map(|v| v.trim().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_end_to_end_on_churn() {
+        let a = Archetype::Churn;
+        let m = sources::source(a, &sources::default_env(a));
+        let rc = RecordConfig::default();
+        let cap = capture_pipeline(a.name(), &m, &rc, 3).unwrap();
+        assert!(
+            cap.reduced_away >= 2,
+            "expected the dead helper + unused global to be stripped, got {}",
+            cap.reduced_away
+        );
+        assert!(cap.calls > 0);
+        // The workload file roundtrips through the parser.
+        let text = workload_file(&cap, a.name());
+        assert_eq!(
+            header_field(&text, "archetype").as_deref(),
+            Some("cap-churn")
+        );
+        let calls: u64 = header_field(&text, "calls").unwrap().parse().unwrap();
+        assert_eq!(calls, cap.calls);
+        let back = r2c_ir::parse_module(&text).unwrap();
+        assert_eq!(back, cap.module);
+    }
+
+    #[test]
+    fn pipeline_without_reduction_still_verifies() {
+        let a = Archetype::Interp;
+        let m = sources::source(a, &sources::default_env(a));
+        let rc = RecordConfig::default();
+        let cap = capture_pipeline(a.name(), &m, &rc, 0).unwrap();
+        assert_eq!(cap.reduced_away, 0);
+        // Trace encodes and decodes losslessly.
+        let bytes = cap.trace.encode();
+        assert_eq!(CapturedTrace::decode(&bytes).unwrap(), cap.trace);
+    }
+}

@@ -1,0 +1,227 @@
+//! The *record* half of the pipeline: run a module under the capture
+//! tracer and turn the resulting [`CaptureLog`] into a
+//! [`CapturedTrace`].
+//!
+//! Recording pins a single configuration — build config, machine,
+//! instruction budget — because the summary fields (`instructions`,
+//! `cycles_deci`) are only meaningful relative to one cost model. The
+//! replay determinism suite then re-runs the *captured program* across
+//! all machines; the *trace summary* stays tied to the record machine.
+
+use crate::format::{summary_of, CapturedTrace, ReplayOp};
+use r2c_core::{R2cCompiler, R2cConfig};
+use r2c_ir::Module;
+use r2c_serve::Schedule;
+use r2c_vm::trace::{BoundaryEvent, TraceConfig};
+use r2c_vm::{ExecStats, ExitStatus, Image, MachineKind, Vm, VmConfig};
+
+/// Configuration a trace is recorded under.
+#[derive(Clone, Debug)]
+pub struct RecordConfig {
+    /// Build configuration for the recorded image.
+    pub config: R2cConfig,
+    /// Cost model the summary's cycle counts are pinned to.
+    pub machine: MachineKind,
+    /// Instruction budget for the recorded run.
+    pub budget: u64,
+}
+
+impl Default for RecordConfig {
+    fn default() -> RecordConfig {
+        RecordConfig {
+            // Capture against the undiversified baseline: the recorded
+            // answers must be those of the *program*, not of one R²C
+            // variant's layout.
+            config: R2cConfig::baseline(0),
+            machine: MachineKind::EpycRome,
+            budget: 400_000_000,
+        }
+    }
+}
+
+/// A completed recording: the trace plus the raw run results the
+/// reducer's oracle compares against.
+#[derive(Clone, Debug)]
+pub struct Recording {
+    /// The captured (uncollapsed) trace.
+    pub trace: CapturedTrace,
+    /// Stats of the recorded run.
+    pub stats: ExecStats,
+    /// Guest output of the recorded run.
+    pub output: Vec<i64>,
+    /// Exit code.
+    pub exit: i64,
+}
+
+/// Computes the `no_instrument` boundary spans of `module` inside
+/// `image`: one `(start, end)` address range per boundary function.
+pub fn boundary_spans(module: &Module, image: &Image) -> Vec<(u64, u64)> {
+    let mut spans = Vec::new();
+    for f in &module.funcs {
+        if !f.no_instrument {
+            continue;
+        }
+        if let Some(sym) = image.symbol(&f.name) {
+            spans.push((sym.addr, sym.addr + sym.size));
+        }
+    }
+    spans
+}
+
+fn convert(log: &[BoundaryEvent]) -> Vec<ReplayOp> {
+    log.iter()
+        .map(|ev| match *ev {
+            BoundaryEvent::Extern { kind, args, ret } => ReplayOp::Extern { kind, args, ret },
+            BoundaryEvent::Indirect { at, target } => ReplayOp::Indirect { at, target },
+            BoundaryEvent::BoundaryCall { at, target } => ReplayOp::BoundaryCall { at, target },
+            BoundaryEvent::BoundaryRet { at } => ReplayOp::BoundaryRet { at },
+        })
+        .collect()
+}
+
+/// Records one execution of `module` under `rc`, failing loudly if the
+/// run faults or the tracer dropped any event (capture mode guarantees
+/// it never does — this is the belt to that suspender).
+pub fn record(module: &Module, name: &str, rc: &RecordConfig) -> Result<Recording, String> {
+    record_with_arrivals(module, name, rc, &[])
+}
+
+/// [`record`], additionally interleaving request-arrival ops (in
+/// simulated guest cycles) from an `r2c-serve` schedule into the trace.
+/// Arrivals are merged up front (sorted by cycle) since the guest
+/// program consumes the whole request batch; they parameterize the
+/// replay's open-loop timing, not its control flow.
+pub fn record_with_arrivals(
+    module: &Module,
+    name: &str,
+    rc: &RecordConfig,
+    arrival_cycles: &[u64],
+) -> Result<Recording, String> {
+    let image = R2cCompiler::new(rc.config)
+        .build(module)
+        .map_err(|e| format!("build failed for {name}: {e:?}"))?;
+    let mut vm = Vm::new(&image, VmConfig::new(rc.machine.config()));
+    vm.set_insn_budget(rc.budget);
+    vm.enable_trace(
+        &image,
+        TraceConfig {
+            capture: true,
+            ..TraceConfig::default()
+        },
+    );
+    let spans = boundary_spans(module, &image);
+    vm.tracer_mut()
+        .expect("trace just enabled")
+        .set_capture_boundaries(spans);
+    let outcome = vm.run();
+    let exit = match outcome.status {
+        ExitStatus::Exited(code) => code,
+        other => return Err(format!("record of {name} did not exit cleanly: {other:?}")),
+    };
+    let profile = vm.trace_profile().expect("trace enabled");
+    if profile.dropped_events != 0 {
+        return Err(format!(
+            "capture of {name} dropped {} events — lossless capture violated",
+            profile.dropped_events
+        ));
+    }
+    let mut ops: Vec<ReplayOp> = arrival_cycles
+        .iter()
+        .map(|&at| ReplayOp::Arrival { at })
+        .collect();
+    ops.sort_by_key(|op| match op {
+        ReplayOp::Arrival { at } => *at,
+        _ => 0,
+    });
+    let log = vm.capture_log().expect("capture mode on");
+    ops.extend(convert(&log.boundary));
+    let output = vm.output.clone();
+    let stats = outcome.stats;
+    let summary = summary_of(
+        exit,
+        &stats,
+        &output,
+        profile.heap.allocs,
+        profile.heap.frees,
+    );
+    Ok(Recording {
+        trace: CapturedTrace {
+            name: name.to_string(),
+            ops,
+            summary,
+        },
+        stats,
+        output,
+        exit,
+    })
+}
+
+/// Arrival cycles of a serve schedule (the record-side source for
+/// [`ReplayOp::Arrival`] ops).
+pub fn schedule_arrivals(schedule: &Schedule) -> Vec<u64> {
+    let mut at: Vec<u64> = schedule.events.iter().map(|e| e.at).collect();
+    at.sort_unstable();
+    at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_ir::parse_module;
+
+    fn tiny() -> Module {
+        parse_module(
+            "func @main(0) {\nentry:\n  %0 = const 8\n  %1 = extern malloc(%0)\n  \
+             %2 = const 41\n  store %1 + 0, %2\n  %3 = load %1 + 0\n  %4 = const 1\n  \
+             %5 = add %3, %4\n  %6 = extern print(%5)\n  \
+             %7 = extern free(%1)\n  ret %5\n}\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn record_captures_externs_and_summary() {
+        let m = tiny();
+        let rec = record(&m, "tiny", &RecordConfig::default()).unwrap();
+        assert_eq!(rec.exit, 42);
+        assert_eq!(rec.output, vec![42]);
+        assert_eq!(rec.trace.summary.allocs, 1);
+        assert_eq!(rec.trace.summary.frees, 1);
+        assert_eq!(rec.trace.summary.output_len, 1);
+        let externs: Vec<_> = rec
+            .trace
+            .ops
+            .iter()
+            .filter(|op| matches!(op, ReplayOp::Extern { .. }))
+            .collect();
+        // malloc + print + free at minimum.
+        assert!(externs.len() >= 3, "externs: {externs:?}");
+    }
+
+    #[test]
+    fn record_is_deterministic() {
+        let m = tiny();
+        let rc = RecordConfig::default();
+        let a = record(&m, "tiny", &rc).unwrap();
+        let b = record(&m, "tiny", &rc).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_into_trace() {
+        let m = tiny();
+        let rec =
+            record_with_arrivals(&m, "tiny", &RecordConfig::default(), &[30, 10, 20]).unwrap();
+        let arrivals: Vec<u64> = rec
+            .trace
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                ReplayOp::Arrival { at } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(arrivals, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,299 @@
+//! The *reduce* half of the pipeline.
+//!
+//! Two independent reductions happen here:
+//!
+//! 1. **Op-stream collapse** ([`collapse`]): greedy run-length
+//!    encoding over the boundary-event stream, turning repeated
+//!    windows (loop iterations, request-handling rounds) into
+//!    parameterized [`ReplayOp::Rep`] ops. Lossless by construction —
+//!    [`expand`] inverts it exactly.
+//!
+//! 2. **Program delta-debugging** ([`reduce_captured`]): shrink the
+//!    captured *module* with the fuzz reducer, using the trace as the
+//!    oracle — a candidate survives only if re-recording it reproduces
+//!    the original exit code, output, heap-op counts, and the
+//!    reference interpreter's observable globals. The result is a
+//!    standalone program that exercises the same environment boundary
+//!    with less dead weight.
+
+use crate::format::ReplayOp;
+use crate::record::{record, RecordConfig, Recording};
+use r2c_core::R2cConfig;
+use r2c_fuzz::oracle::REFERENCE_FUEL;
+use r2c_fuzz::{reduce, Reduction};
+use r2c_ir::{interpret, Module};
+
+/// Maximum window length the RLE collapse considers.
+const MAX_WINDOW: usize = 8;
+
+/// Collapses repeated windows (length 1..=8) of the op stream into
+/// [`ReplayOp::Rep`] ops. Input must be flat (no pre-existing reps);
+/// greedy, longest-saving window first at each position.
+pub fn collapse(ops: &[ReplayOp]) -> Vec<ReplayOp> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        let mut best: Option<(usize, usize)> = None; // (window, count)
+        for w in 1..=MAX_WINDOW.min(ops.len() - i) {
+            let window = &ops[i..i + w];
+            let mut count = 1;
+            while i + (count + 1) * w <= ops.len()
+                && ops[i + count * w..i + (count + 1) * w] == *window
+            {
+                count += 1;
+            }
+            // A rep replaces count*w ops with w ops plus a header; only
+            // worth it when it strictly shrinks the stream.
+            if count >= 2 && count * w > w + 1 {
+                let saving = count * w - (w + 1);
+                let best_saving = best.map_or(0, |(bw, bc)| bc * bw - (bw + 1));
+                if saving > best_saving {
+                    best = Some((w, count));
+                }
+            }
+        }
+        match best {
+            Some((w, count)) => {
+                out.push(ReplayOp::Rep {
+                    count: count as u32,
+                    body: ops[i..i + w].to_vec(),
+                });
+                i += count * w;
+            }
+            None => {
+                out.push(ops[i].clone());
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Expands every [`ReplayOp::Rep`] back to the flat stream; inverse of
+/// [`collapse`].
+pub fn expand(ops: &[ReplayOp]) -> Vec<ReplayOp> {
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            ReplayOp::Rep { count, body } => {
+                for _ in 0..*count {
+                    out.extend(body.iter().cloned());
+                }
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// The oracle fields the program reducer must preserve, derived from
+/// one recording plus a reference-interpreter run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReduceOracle {
+    exit: i64,
+    output: Vec<i64>,
+    allocs: u64,
+    frees: u64,
+    /// Final observable bytes per global, keyed by name: a candidate
+    /// may *drop* an (unreferenced) global, but every global it keeps
+    /// must end with the recorded contents.
+    globals: Vec<(String, Vec<u8>)>,
+}
+
+impl ReduceOracle {
+    /// The diversified cross-check config: reductions are accepted only
+    /// if the candidate behaves identically under a fully diversified
+    /// build as well. The record config is the undiversified baseline,
+    /// where the reference interpreter's address space happens to
+    /// coincide with the VM's — a reduction that makes an address leak
+    /// into the program's answer would pass the baseline comparison and
+    /// only betray itself once the layout moves.
+    fn diversified(rc: &RecordConfig) -> RecordConfig {
+        RecordConfig {
+            config: R2cConfig::full(1),
+            ..rc.clone()
+        }
+    }
+
+    /// Builds the oracle for `module` from its recording under `rc`.
+    pub fn of(module: &Module, rec: &Recording, rc: &RecordConfig) -> Result<ReduceOracle, String> {
+        let interp = interpret(module, "main", REFERENCE_FUEL)
+            .map_err(|e| format!("reference interpreter rejected module: {e:?}"))?;
+        if interp.ret != rec.exit {
+            return Err(format!(
+                "interpreter/VM disagree before reduction: {} vs {}",
+                interp.ret, rec.exit
+            ));
+        }
+        let div = record(module, "diversified", &ReduceOracle::diversified(rc))?;
+        if div.exit != rec.exit || div.output != rec.output {
+            return Err(format!(
+                "module is layout-dependent before reduction: diversified exit {} vs {}",
+                div.exit, rec.exit
+            ));
+        }
+        let globals = module
+            .globals
+            .iter()
+            .map(|g| g.name.clone())
+            .zip(interp.globals)
+            .collect();
+        Ok(ReduceOracle {
+            exit: rec.exit,
+            output: rec.output.clone(),
+            allocs: rec.trace.summary.allocs,
+            frees: rec.trace.summary.frees,
+            globals,
+        })
+    }
+
+    /// True if `candidate` still reproduces the oracle.
+    pub fn holds(&self, candidate: &Module, rc: &RecordConfig) -> bool {
+        let Ok(interp) = interpret(candidate, "main", REFERENCE_FUEL) else {
+            return false;
+        };
+        if interp.ret != self.exit {
+            return false;
+        }
+        for (g, bytes) in candidate.globals.iter().zip(&interp.globals) {
+            match self.globals.iter().find(|(name, _)| *name == g.name) {
+                Some((_, orig)) if orig == bytes => {}
+                _ => return false,
+            }
+        }
+        let Ok(rec) = record(candidate, "candidate", rc) else {
+            return false;
+        };
+        if rec.exit != self.exit
+            || rec.output != self.output
+            || rec.trace.summary.allocs != self.allocs
+            || rec.trace.summary.frees != self.frees
+        {
+            return false;
+        }
+        // Layout-variance cross-check (see [`ReduceOracle::diversified`]).
+        let Ok(div) = record(candidate, "candidate-div", &ReduceOracle::diversified(rc)) else {
+            return false;
+        };
+        div.exit == self.exit && div.output == self.output
+    }
+}
+
+/// Delta-debugs `module` against its own trace oracle: the reduced
+/// module records to the same exit code, output, and heap-op counts
+/// (under the record config *and* a fully diversified build — see
+/// [`ReduceOracle::diversified`]), and agrees with the reference
+/// interpreter on observable globals.
+pub fn reduce_captured(
+    module: &Module,
+    rc: &RecordConfig,
+    max_rounds: usize,
+) -> Result<(Reduction, ReduceOracle), String> {
+    let rec = record(module, "original", rc)?;
+    let oracle = ReduceOracle::of(module, &rec, rc)?;
+    let reduction = reduce(module, &|m| oracle.holds(m, rc), max_rounds);
+    Ok((reduction, oracle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2c_ir::parse_module;
+    use r2c_vm::NativeKind;
+
+    fn e(v: u64) -> ReplayOp {
+        ReplayOp::Extern {
+            kind: NativeKind::PrintI64,
+            args: [v, 0, 0],
+            ret: 0,
+        }
+    }
+
+    fn ind(at: u64) -> ReplayOp {
+        ReplayOp::Indirect { at, target: at + 1 }
+    }
+
+    #[test]
+    fn collapse_finds_single_op_runs() {
+        let ops: Vec<ReplayOp> = std::iter::repeat_n(e(7), 10).collect();
+        let c = collapse(&ops);
+        assert_eq!(
+            c,
+            vec![ReplayOp::Rep {
+                count: 10,
+                body: vec![e(7)]
+            }]
+        );
+        assert_eq!(expand(&c), ops);
+    }
+
+    #[test]
+    fn collapse_finds_multi_op_windows() {
+        // (ind, e) * 5 with a prefix and suffix.
+        let mut ops = vec![e(1)];
+        for _ in 0..5 {
+            ops.push(ind(0x40));
+            ops.push(e(2));
+        }
+        ops.push(e(3));
+        let c = collapse(&ops);
+        assert_eq!(
+            c,
+            vec![
+                e(1),
+                ReplayOp::Rep {
+                    count: 5,
+                    body: vec![ind(0x40), e(2)]
+                },
+                e(3),
+            ]
+        );
+        assert_eq!(expand(&c), ops);
+    }
+
+    #[test]
+    fn collapse_leaves_aperiodic_streams_alone() {
+        let ops = vec![e(1), e(2), e(3), ind(9), e(1)];
+        assert_eq!(collapse(&ops), ops);
+    }
+
+    #[test]
+    fn collapse_roundtrips_pseudorandom_streams() {
+        // Deterministic LCG stream with enough structure to trigger
+        // both collapsed and raw segments.
+        let mut x: u64 = 42;
+        let mut ops = Vec::new();
+        for _ in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ops.push(e(x >> 61)); // values 0..8 — plenty of short runs
+        }
+        let c = collapse(&ops);
+        assert!(
+            c.len() < ops.len(),
+            "expected some collapse on a skewed stream"
+        );
+        assert_eq!(expand(&c), ops);
+    }
+
+    #[test]
+    fn reduce_strips_dead_weight_but_keeps_oracle() {
+        // Dead helper + unused global ride along; the oracle answer
+        // depends only on the live path.
+        let src = "global @junk zero 64 align 8\n\
+             func @dead(1) {\nentry:\n  %0 = param 0\n  %1 = const 3\n  %2 = mul %0, %1\n  ret %2\n}\n\
+             func @main(0) {\nentry:\n  %0 = const 8\n  %1 = extern malloc(%0)\n  \
+             %2 = const 41\n  store %1 + 0, %2\n  %3 = load %1 + 0\n  %4 = const 1\n  \
+             %5 = add %3, %4\n  %6 = extern print(%5)\n  %7 = extern free(%1)\n  ret %5\n}\n";
+        let m = parse_module(src).unwrap();
+        let rc = RecordConfig::default();
+        let (reduction, oracle) = reduce_captured(&m, &rc, 4).unwrap();
+        assert!(oracle.holds(&reduction.module, &rc));
+        assert!(
+            reduction.stats.accepted > 0,
+            "reducer should strip the dead function or global: {:?}",
+            reduction.stats
+        );
+    }
+}

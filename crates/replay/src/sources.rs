@@ -1,0 +1,994 @@
+//! Source programs for the captured-workload archetypes.
+//!
+//! Each builder produces a deterministic module that exercises an
+//! environment-boundary pattern the SPEC-profiled synthetic suite does
+//! not cover: indirect-dispatch interpretation, recursive-descent
+//! parsing, page-chain storage management, and allocator churn. The
+//! builders take an *environment* — a vector of opaque payloads,
+//! normally harvested from an `r2c-serve` request schedule — so the
+//! capture binary can mint fresh workload instances from fresh
+//! schedules.
+//!
+//! Ground rules shared by every source (they are what make the
+//! record-reduce oracle sound):
+//!
+//! * fully deterministic — no reads of anything but the baked-in
+//!   environment;
+//! * no pointer-valued data in globals or output (pointer values
+//!   legitimately differ between the reference interpreter and the
+//!   VM); code pointers live only in heap memory;
+//! * one `no_instrument` helper on a hot-ish path, so boundary
+//!   call/return events appear in every capture;
+//! * deliberate dead weight (an unused helper and an unused global),
+//!   so the delta-debugging reduction provably earns its keep.
+
+use r2c_ir::{BinOp, CmpOp, ExternFn, GlobalInit, Module, ModuleBuilder};
+use r2c_serve::{Op, Schedule};
+
+/// The captured workload archetypes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Archetype {
+    /// Bytecode interpreter-in-interpreter: handler table dispatched
+    /// through indirect calls, accumulator state on the heap.
+    Interp,
+    /// JSON-like token-stream parsing by recursive descent with depth
+    /// tracking.
+    Json,
+    /// Database-page engine: hash-bucketed chains of fixed-capacity
+    /// heap pages with inserts, lookups and teardown.
+    DbPage,
+    /// Allocator churn: a slot table of interleaved `malloc`,
+    /// `memalign` and `free` with size classes from the environment.
+    Churn,
+}
+
+/// All archetypes, in registration order.
+pub const ALL: &[Archetype] = &[
+    Archetype::Interp,
+    Archetype::Json,
+    Archetype::DbPage,
+    Archetype::Churn,
+];
+
+impl Archetype {
+    /// Stable name (workload name, file stem).
+    pub fn name(self) -> &'static str {
+        match self {
+            Archetype::Interp => "cap-interp",
+            Archetype::Json => "cap-json",
+            Archetype::DbPage => "cap-dbpage",
+            Archetype::Churn => "cap-churn",
+        }
+    }
+}
+
+/// Extracts the request payloads of a schedule (probe events carry no
+/// payload and are skipped) — the environment a source is built from.
+pub fn env_from_schedule(schedule: &Schedule) -> Vec<u64> {
+    schedule
+        .events
+        .iter()
+        .filter_map(|e| match e.op {
+            Op::Request { payload } => Some(payload),
+            Op::Probe => None,
+        })
+        .collect()
+}
+
+/// The default environment of an archetype: payloads of a fixed-seed
+/// request-only schedule, one distinct seed per archetype.
+pub fn default_env(a: Archetype) -> Vec<u64> {
+    let seed = match a {
+        Archetype::Interp => 11,
+        Archetype::Json => 23,
+        Archetype::DbPage => 37,
+        Archetype::Churn => 53,
+    };
+    env_from_schedule(&Schedule::generate(seed, 4, 48, 0))
+}
+
+/// Builds the source module of `a` for environment `env`.
+pub fn source(a: Archetype, env: &[u64]) -> Module {
+    assert!(!env.is_empty(), "source needs a non-empty environment");
+    match a {
+        Archetype::Interp => interp_source(env),
+        Archetype::Json => json_source(env),
+        Archetype::DbPage => dbpage_source(env),
+        Archetype::Churn => churn_source(env),
+    }
+}
+
+/// Adds the shared `mix` helper (a `no_instrument` 64-bit mixer, so
+/// captures see boundary call/return traffic) and the dead weight the
+/// reducer is expected to strip.
+fn add_common(mb: &mut ModuleBuilder, tag: &str) -> r2c_ir::FuncId {
+    mb.global(&format!("{tag}_scratch_unused"), GlobalInit::Zero(64), 8);
+    let mut f = mb.function(&format!("{tag}_unused"), 1);
+    let p = f.param(0);
+    let k = f.iconst(3);
+    let m = f.bin(BinOp::Mul, p, k);
+    f.ret(Some(m));
+    f.finish();
+
+    let mut f = mb.function("mix", 2);
+    let id = f.id();
+    f.no_instrument();
+    let a = f.param(0);
+    let b = f.param(1);
+    let k = f.iconst(0x9E37_79B9_7F4A_7C15_u64 as i64);
+    let x = f.bin(BinOp::Xor, a, b);
+    let m = f.bin(BinOp::Mul, x, k);
+    let s = f.iconst(29);
+    let r = f.bin(BinOp::Shr, m, s);
+    let out = f.bin(BinOp::Xor, m, r);
+    f.ret(Some(out));
+    f.finish();
+    id
+}
+
+// ---------------------------------------------------------------------
+// cap-interp: interpreter-in-interpreter
+// ---------------------------------------------------------------------
+
+/// Outer rounds the guest interpreter re-runs its bytecode.
+const INTERP_ROUNDS: i64 = 6;
+
+fn interp_source(env: &[u64]) -> Module {
+    let mut mb = ModuleBuilder::new("cap-interp");
+
+    // Bytecode: [op, imm] pairs; op 0=add 1=mul 2=xor 3=print 4=halt.
+    let mut code: Vec<i64> = Vec::new();
+    for (i, &e) in env.iter().enumerate() {
+        code.push((e % 3) as i64);
+        code.push(((e % 251) + 1) as i64);
+        if i % 8 == 7 {
+            code.push(3);
+            code.push(0);
+        }
+    }
+    code.push(4);
+    code.push(0);
+    let prog = mb.global("prog", GlobalInit::Words(code), 8);
+    let acc_out = mb.global("acc_out", GlobalInit::Zero(8), 8);
+    let mix = add_common(&mut mb, "interp");
+
+    // Handlers: fn(state, imm) -> nonzero to halt.
+    let mut handler = |name: &str, op: Option<BinOp>, print: bool, halt: i64| {
+        let mut f = mb.function(name, 2);
+        let id = f.id();
+        let st = f.param(0);
+        let imm = f.param(1);
+        let acc = f.load(st, 0);
+        if let Some(op) = op {
+            let n = f.bin(op, acc, imm);
+            f.store(st, 0, n);
+        }
+        if print {
+            f.call_extern(ExternFn::PrintI64, &[acc]);
+        }
+        let r = f.iconst(halt);
+        f.ret(Some(r));
+        f.finish();
+        id
+    };
+    let h_add = handler("op_add", Some(BinOp::Add), false, 0);
+    let h_mul = handler("op_mul", Some(BinOp::Mul), false, 0);
+    let h_xor = handler("op_xor", Some(BinOp::Xor), false, 0);
+    let h_print = handler("op_print", None, true, 0);
+    let h_halt = handler("op_halt", None, false, 1);
+
+    let mut f = mb.function("main", 0);
+    let r_slot = f.alloca(8, 8);
+    let pc_slot = f.alloca(8, 8);
+    let tsize = f.iconst(40);
+    let table = f.call_extern(ExternFn::Malloc, &[tsize]);
+    for (i, h) in [h_add, h_mul, h_xor, h_print, h_halt]
+        .into_iter()
+        .enumerate()
+    {
+        let fa = f.func_addr(h);
+        f.store(table, (i * 8) as i32, fa);
+    }
+    let ssz = f.iconst(8);
+    let state = f.call_extern(ExternFn::Malloc, &[ssz]);
+    let zero = f.iconst(0);
+    f.store(state, 0, zero);
+    f.store(r_slot, 0, zero);
+
+    let outer = f.new_block("outer");
+    let inner = f.new_block("inner");
+    let inner_done = f.new_block("inner_done");
+    let done = f.new_block("done");
+    f.br(outer);
+
+    f.switch_to(outer);
+    let z = f.iconst(0);
+    f.store(pc_slot, 0, z);
+    f.br(inner);
+
+    f.switch_to(inner);
+    let pc = f.load(pc_slot, 0);
+    let pbase = f.global_addr(prog);
+    let cell = f.ptr_add(pbase, Some(pc), 8, 0);
+    let op = f.load(cell, 0);
+    let imm = f.load(cell, 8);
+    let hcell = f.ptr_add(table, Some(op), 8, 0);
+    let h = f.load(hcell, 0);
+    let halt = f.call_ind(h, &[state, imm]);
+    let two = f.iconst(2);
+    let npc = f.bin(BinOp::Add, pc, two);
+    f.store(pc_slot, 0, npc);
+    let z2 = f.iconst(0);
+    let stop = f.cmp(CmpOp::Ne, halt, z2);
+    f.cond_br(stop, inner_done, inner);
+
+    f.switch_to(inner_done);
+    let r = f.load(r_slot, 0);
+    let acc = f.load(state, 0);
+    let mixed = f.call(mix, &[acc, r]);
+    let mask = f.iconst(0xff);
+    let mm = f.bin(BinOp::And, mixed, mask);
+    let na = f.bin(BinOp::Xor, acc, mm);
+    f.store(state, 0, na);
+    let one = f.iconst(1);
+    let nr = f.bin(BinOp::Add, r, one);
+    f.store(r_slot, 0, nr);
+    let rounds = f.iconst(INTERP_ROUNDS);
+    let again = f.cmp(CmpOp::Lt, nr, rounds);
+    f.cond_br(again, outer, done);
+
+    f.switch_to(done);
+    let fin = f.load(state, 0);
+    let go = f.global_addr(acc_out);
+    f.store(go, 0, fin);
+    f.call_extern(ExternFn::PrintI64, &[fin]);
+    f.call_extern(ExternFn::Free, &[state]);
+    f.call_extern(ExternFn::Free, &[table]);
+    let emask = f.iconst(0xffff);
+    let exitv = f.bin(BinOp::And, fin, emask);
+    f.ret(Some(exitv));
+    f.finish();
+
+    mb.finish()
+}
+
+// ---------------------------------------------------------------------
+// cap-json: recursive-descent token-stream parsing
+// ---------------------------------------------------------------------
+
+/// Parse rounds over the document.
+const JSON_ROUNDS: i64 = 4;
+
+const TOK_OBJ_OPEN: i64 = 1;
+const TOK_OBJ_CLOSE: i64 = 2;
+const TOK_ARR_OPEN: i64 = 3;
+const TOK_ARR_CLOSE: i64 = 4;
+const TOK_NUM: i64 = 10; // TOK_NUM + v encodes the number v
+
+fn json_tokens(env: &[u64]) -> Vec<i64> {
+    let mut t = vec![TOK_OBJ_OPEN];
+    for &e in env {
+        match e % 4 {
+            0 => t.push(TOK_NUM + (e % 90) as i64),
+            1 => t.extend([
+                TOK_ARR_OPEN,
+                TOK_NUM + (e % 50) as i64,
+                TOK_NUM + ((e / 7) % 50) as i64,
+                TOK_ARR_CLOSE,
+            ]),
+            2 => t.extend([TOK_OBJ_OPEN, TOK_NUM + (e % 30) as i64, TOK_OBJ_CLOSE]),
+            _ => t.extend([
+                TOK_ARR_OPEN,
+                TOK_OBJ_OPEN,
+                TOK_NUM + (e % 20) as i64,
+                TOK_OBJ_CLOSE,
+                TOK_ARR_CLOSE,
+            ]),
+        }
+    }
+    t.push(TOK_OBJ_CLOSE);
+    t
+}
+
+fn json_source(env: &[u64]) -> Module {
+    let mut mb = ModuleBuilder::new("cap-json");
+    let doc = mb.global("doc", GlobalInit::Words(json_tokens(env)), 8);
+    // stats[0] = values parsed, stats[8] = max depth seen.
+    let stats = mb.global("stats", GlobalInit::Zero(16), 8);
+    let mix = add_common(&mut mb, "json");
+    let parse = mb.declare_function("parse_value", 2);
+
+    // parse_value(pos_ptr, depth) -> subtree checksum.
+    let mut f = mb.function("parse_value", 2);
+    let sum_slot = f.alloca(8, 8);
+    let pos_ptr = f.param(0);
+    let depth = f.param(1);
+    let zero = f.iconst(0);
+    f.store(sum_slot, 0, zero);
+    // tok = doc[*pos]; *pos += 1
+    let pos = f.load(pos_ptr, 0);
+    let dbase = f.global_addr(doc);
+    let cell = f.ptr_add(dbase, Some(pos), 8, 0);
+    let tok = f.load(cell, 0);
+    let one = f.iconst(1);
+    let npos = f.bin(BinOp::Add, pos, one);
+    f.store(pos_ptr, 0, npos);
+
+    let num = f.new_block("num");
+    let composite = f.new_block("composite");
+    let obj = f.new_block("obj");
+    let arr = f.new_block("arr");
+    let obj_loop = f.new_block("obj_loop");
+    let obj_member = f.new_block("obj_member");
+    let arr_loop = f.new_block("arr_loop");
+    let arr_elem = f.new_block("arr_elem");
+    let close = f.new_block("close");
+    let sbase = f.global_addr(stats);
+    let tnum = f.iconst(TOK_NUM);
+    let is_num = f.cmp(CmpOp::Ge, tok, tnum);
+    f.cond_br(is_num, num, composite);
+
+    f.switch_to(num);
+    let c = f.load(sbase, 0);
+    let c1 = f.bin(BinOp::Add, c, one);
+    f.store(sbase, 0, c1);
+    let v = f.bin(BinOp::Sub, tok, tnum);
+    f.ret(Some(v));
+
+    f.switch_to(composite);
+    // new depth = depth + 1; stats[8] = max(stats[8], new depth)
+    let nd = f.bin(BinOp::Add, depth, one);
+    let cur = f.load(sbase, 8);
+    let deeper = f.cmp(CmpOp::Gt, nd, cur);
+    let bump = f.new_block("bump");
+    let dispatch = f.new_block("dispatch");
+    f.cond_br(deeper, bump, dispatch);
+    f.switch_to(bump);
+    f.store(sbase, 8, nd);
+    f.br(dispatch);
+    f.switch_to(dispatch);
+    let tobj = f.iconst(TOK_OBJ_OPEN);
+    let is_obj = f.cmp(CmpOp::Eq, tok, tobj);
+    f.cond_br(is_obj, obj, arr);
+
+    // Object: sum member checksums until the close token.
+    f.switch_to(obj);
+    f.br(obj_loop);
+    f.switch_to(obj_loop);
+    let p = f.load(pos_ptr, 0);
+    let pc = f.ptr_add(dbase, Some(p), 8, 0);
+    let peek = f.load(pc, 0);
+    let tclose = f.iconst(TOK_OBJ_CLOSE);
+    let at_close = f.cmp(CmpOp::Eq, peek, tclose);
+    f.cond_br(at_close, close, obj_member);
+    f.switch_to(obj_member);
+    let sub = f.call(parse, &[pos_ptr, nd]);
+    let s = f.load(sum_slot, 0);
+    let ns = f.bin(BinOp::Add, s, sub);
+    f.store(sum_slot, 0, ns);
+    f.br(obj_loop);
+
+    // Array: like object, but weight elements by position parity
+    // (distinct fold so reduced traces can't confuse the two).
+    f.switch_to(arr);
+    f.br(arr_loop);
+    f.switch_to(arr_loop);
+    let p2 = f.load(pos_ptr, 0);
+    let pc2 = f.ptr_add(dbase, Some(p2), 8, 0);
+    let peek2 = f.load(pc2, 0);
+    let taclose = f.iconst(TOK_ARR_CLOSE);
+    let at_aclose = f.cmp(CmpOp::Eq, peek2, taclose);
+    f.cond_br(at_aclose, close, arr_elem);
+    f.switch_to(arr_elem);
+    let sub2 = f.call(parse, &[pos_ptr, nd]);
+    let s2 = f.load(sum_slot, 0);
+    let three = f.iconst(3);
+    let w = f.bin(BinOp::Mul, s2, three);
+    let ns2 = f.bin(BinOp::Add, w, sub2);
+    f.store(sum_slot, 0, ns2);
+    f.br(arr_loop);
+
+    // Shared close: consume the close token, fold in the depth.
+    f.switch_to(close);
+    let p3 = f.load(pos_ptr, 0);
+    let p3n = f.bin(BinOp::Add, p3, one);
+    f.store(pos_ptr, 0, p3n);
+    let s3 = f.load(sum_slot, 0);
+    let folded = f.call(mix, &[s3, nd]);
+    let fmask = f.iconst(0xffff_ffff);
+    let out = f.bin(BinOp::And, folded, fmask);
+    f.ret(Some(out));
+    f.finish();
+
+    let mut f = mb.function("main", 0);
+    let pos_slot = f.alloca(8, 8);
+    let total_slot = f.alloca(8, 8);
+    let r_slot = f.alloca(8, 8);
+    let zero = f.iconst(0);
+    f.store(total_slot, 0, zero);
+    f.store(r_slot, 0, zero);
+    let round = f.new_block("round");
+    let done = f.new_block("done");
+    f.br(round);
+    f.switch_to(round);
+    let z = f.iconst(0);
+    f.store(pos_slot, 0, z);
+    let cs = f.call(parse, &[pos_slot, z]);
+    let t = f.load(total_slot, 0);
+    let r = f.load(r_slot, 0);
+    let rcs = f.bin(BinOp::Add, cs, r);
+    // t*3 + cs + r: deliberately not an xor fold — identical per-round
+    // checksums must not cancel, or the exit degenerates to 0 and the
+    // reducer is free to strip the checksum path entirely.
+    let three = f.iconst(3);
+    let t3 = f.bin(BinOp::Mul, t, three);
+    let nt = f.bin(BinOp::Add, t3, rcs);
+    f.store(total_slot, 0, nt);
+    let one = f.iconst(1);
+    let nr = f.bin(BinOp::Add, r, one);
+    f.store(r_slot, 0, nr);
+    let rounds = f.iconst(JSON_ROUNDS);
+    let again = f.cmp(CmpOp::Lt, nr, rounds);
+    f.cond_br(again, round, done);
+    f.switch_to(done);
+    let total = f.load(total_slot, 0);
+    f.call_extern(ExternFn::PrintI64, &[total]);
+    let sbase = f.global_addr(stats);
+    let nvals = f.load(sbase, 0);
+    f.call_extern(ExternFn::PrintI64, &[nvals]);
+    let maxd = f.load(sbase, 8);
+    f.call_extern(ExternFn::PrintI64, &[maxd]);
+    let emask = f.iconst(0xffff);
+    let exitv = f.bin(BinOp::And, total, emask);
+    f.ret(Some(exitv));
+    f.finish();
+
+    mb.finish()
+}
+
+// ---------------------------------------------------------------------
+// cap-dbpage: hash-bucketed page-chain storage engine
+// ---------------------------------------------------------------------
+
+const DB_BUCKETS: i64 = 8;
+/// Keys per page; page layout: [next, count, key0..key5] = 64 bytes.
+const DB_PAGE_CAP: i64 = 6;
+
+fn db_keys(env: &[u64]) -> Vec<i64> {
+    let mut keys = Vec::with_capacity(env.len() * 4);
+    for &e in env {
+        for i in 0..4u64 {
+            keys.push(((e * 7 + i * 13) % 10_007) as i64);
+        }
+    }
+    keys
+}
+
+fn dbpage_source(env: &[u64]) -> Module {
+    let mut mb = ModuleBuilder::new("cap-dbpage");
+    let keys = db_keys(env);
+    let nkeys = keys.len() as i64;
+    let keys_g = mb.global("keys", GlobalInit::Words(keys), 8);
+    let mix = add_common(&mut mb, "db");
+
+    // alloc_page() -> zeroed page.
+    let mut f = mb.function("alloc_page", 0);
+    let alloc_page = f.id();
+    let sz = f.iconst(64);
+    let pg = f.call_extern(ExternFn::Malloc, &[sz]);
+    let zero = f.iconst(0);
+    f.store(pg, 0, zero); // next
+    f.store(pg, 8, zero); // count
+    f.ret(Some(pg));
+    f.finish();
+
+    // page_insert(dir, key): append into the key's bucket chain,
+    // growing the chain by one page when the tail is full.
+    let mut f = mb.function("page_insert", 2);
+    let page_insert = f.id();
+    let p_slot = f.alloca(8, 8);
+    let dir = f.param(0);
+    let key = f.param(1);
+    let bmask = f.iconst(DB_BUCKETS - 1);
+    let bucket = f.bin(BinOp::And, key, bmask);
+    let bcell = f.ptr_add(dir, Some(bucket), 8, 0);
+    let head = f.load(bcell, 0);
+    let zero = f.iconst(0);
+    let empty = f.cmp(CmpOp::Eq, head, zero);
+    let new_head = f.new_block("new_head");
+    let walk_init = f.new_block("walk_init");
+    let walk = f.new_block("walk");
+    let advance = f.new_block("advance");
+    let at_tail = f.new_block("at_tail");
+    let append = f.new_block("append");
+    let grow = f.new_block("grow");
+    f.cond_br(empty, new_head, walk_init);
+
+    f.switch_to(new_head);
+    let pg = f.call(alloc_page, &[]);
+    f.store(bcell, 0, pg);
+    f.store(p_slot, 0, pg);
+    f.br(at_tail);
+
+    f.switch_to(walk_init);
+    f.store(p_slot, 0, head);
+    f.br(walk);
+    f.switch_to(walk);
+    let p = f.load(p_slot, 0);
+    let next = f.load(p, 0);
+    let tail = f.cmp(CmpOp::Eq, next, zero);
+    f.cond_br(tail, at_tail, advance);
+    f.switch_to(advance);
+    f.store(p_slot, 0, next);
+    f.br(walk);
+
+    f.switch_to(at_tail);
+    let tp = f.load(p_slot, 0);
+    let n = f.load(tp, 8);
+    let cap = f.iconst(DB_PAGE_CAP);
+    let full = f.cmp(CmpOp::Ge, n, cap);
+    f.cond_br(full, grow, append);
+
+    f.switch_to(grow);
+    let fresh = f.call(alloc_page, &[]);
+    let tp2 = f.load(p_slot, 0);
+    f.store(tp2, 0, fresh);
+    f.store(p_slot, 0, fresh);
+    f.br(append);
+
+    f.switch_to(append);
+    let ap = f.load(p_slot, 0);
+    let an = f.load(ap, 8);
+    let kcell = f.ptr_add(ap, Some(an), 8, 16);
+    f.store(kcell, 0, key);
+    let one = f.iconst(1);
+    let an1 = f.bin(BinOp::Add, an, one);
+    f.store(ap, 8, an1);
+    f.ret(None);
+    f.finish();
+
+    // page_lookup(dir, key) -> 1 if present.
+    let mut f = mb.function("page_lookup", 2);
+    let page_lookup = f.id();
+    let p_slot = f.alloca(8, 8);
+    let i_slot = f.alloca(8, 8);
+    let dir = f.param(0);
+    let key = f.param(1);
+    let bmask = f.iconst(DB_BUCKETS - 1);
+    let bucket = f.bin(BinOp::And, key, bmask);
+    let bcell = f.ptr_add(dir, Some(bucket), 8, 0);
+    let head = f.load(bcell, 0);
+    f.store(p_slot, 0, head);
+    let chain = f.new_block("chain");
+    let scan_init = f.new_block("scan_init");
+    let scan = f.new_block("scan");
+    let check = f.new_block("check");
+    let scan_next = f.new_block("scan_next");
+    let next_page = f.new_block("next_page");
+    let hit = f.new_block("hit");
+    let miss = f.new_block("miss");
+    f.br(chain);
+
+    f.switch_to(chain);
+    let p = f.load(p_slot, 0);
+    let zero = f.iconst(0);
+    let end = f.cmp(CmpOp::Eq, p, zero);
+    f.cond_br(end, miss, scan_init);
+    f.switch_to(scan_init);
+    let z = f.iconst(0);
+    f.store(i_slot, 0, z);
+    f.br(scan);
+    f.switch_to(scan);
+    let i = f.load(i_slot, 0);
+    let p2 = f.load(p_slot, 0);
+    let n = f.load(p2, 8);
+    let in_page = f.cmp(CmpOp::Lt, i, n);
+    f.cond_br(in_page, check, next_page);
+    f.switch_to(check);
+    let kcell = f.ptr_add(p2, Some(i), 8, 16);
+    let k = f.load(kcell, 0);
+    let eq = f.cmp(CmpOp::Eq, k, key);
+    f.cond_br(eq, hit, scan_next);
+    f.switch_to(scan_next);
+    let one = f.iconst(1);
+    let i1 = f.bin(BinOp::Add, i, one);
+    f.store(i_slot, 0, i1);
+    f.br(scan);
+    f.switch_to(next_page);
+    let nx = f.load(p2, 0);
+    f.store(p_slot, 0, nx);
+    f.br(chain);
+    f.switch_to(hit);
+    let one2 = f.iconst(1);
+    f.ret(Some(one2));
+    f.switch_to(miss);
+    let z2 = f.iconst(0);
+    f.ret(Some(z2));
+    f.finish();
+
+    // free_chain(head) -> pages freed.
+    let mut f = mb.function("free_chain", 1);
+    let free_chain = f.id();
+    let p_slot = f.alloca(8, 8);
+    let c_slot = f.alloca(8, 8);
+    let head = f.param(0);
+    let zero = f.iconst(0);
+    f.store(p_slot, 0, head);
+    f.store(c_slot, 0, zero);
+    let step = f.new_block("step");
+    let body = f.new_block("body");
+    let done = f.new_block("done");
+    f.br(step);
+    f.switch_to(step);
+    let p = f.load(p_slot, 0);
+    let end = f.cmp(CmpOp::Eq, p, zero);
+    f.cond_br(end, done, body);
+    f.switch_to(body);
+    let nx = f.load(p, 0);
+    f.call_extern(ExternFn::Free, &[p]);
+    let c = f.load(c_slot, 0);
+    let one = f.iconst(1);
+    let c1 = f.bin(BinOp::Add, c, one);
+    f.store(c_slot, 0, c1);
+    f.store(p_slot, 0, nx);
+    f.br(step);
+    f.switch_to(done);
+    let c2 = f.load(c_slot, 0);
+    f.ret(Some(c2));
+    f.finish();
+
+    let mut f = mb.function("main", 0);
+    let i_slot = f.alloca(8, 8);
+    let hits_slot = f.alloca(8, 8);
+    let ghost_slot = f.alloca(8, 8);
+    let freed_slot = f.alloca(8, 8);
+    let align = f.iconst(64);
+    let dsz = f.iconst(DB_BUCKETS * 8);
+    let dir = f.call_extern(ExternFn::Memalign, &[align, dsz]);
+    let zero = f.iconst(0);
+    // Zero the bucket heads.
+    f.store(i_slot, 0, zero);
+    let zinit = f.new_block("zinit");
+    let zdone = f.new_block("zdone");
+    f.br(zinit);
+    f.switch_to(zinit);
+    let i = f.load(i_slot, 0);
+    let cell = f.ptr_add(dir, Some(i), 8, 0);
+    let z = f.iconst(0);
+    f.store(cell, 0, z);
+    let one = f.iconst(1);
+    let i1 = f.bin(BinOp::Add, i, one);
+    f.store(i_slot, 0, i1);
+    let nb = f.iconst(DB_BUCKETS);
+    let more = f.cmp(CmpOp::Lt, i1, nb);
+    f.cond_br(more, zinit, zdone);
+
+    f.switch_to(zdone);
+    f.store(i_slot, 0, zero);
+    f.store(hits_slot, 0, zero);
+    f.store(ghost_slot, 0, zero);
+    let ins = f.new_block("ins");
+    let ins_done = f.new_block("ins_done");
+    f.br(ins);
+    f.switch_to(ins);
+    let i2 = f.load(i_slot, 0);
+    let kb = f.global_addr(keys_g);
+    let kc = f.ptr_add(kb, Some(i2), 8, 0);
+    let k = f.load(kc, 0);
+    f.call(page_insert, &[dir, k]);
+    let one2 = f.iconst(1);
+    let i3 = f.bin(BinOp::Add, i2, one2);
+    f.store(i_slot, 0, i3);
+    let nk = f.iconst(nkeys);
+    let more2 = f.cmp(CmpOp::Lt, i3, nk);
+    f.cond_br(more2, ins, ins_done);
+
+    f.switch_to(ins_done);
+    f.store(i_slot, 0, zero);
+    let look = f.new_block("look");
+    let look_done = f.new_block("look_done");
+    f.br(look);
+    f.switch_to(look);
+    let i4 = f.load(i_slot, 0);
+    let kb2 = f.global_addr(keys_g);
+    let kc2 = f.ptr_add(kb2, Some(i4), 8, 0);
+    let k2 = f.load(kc2, 0);
+    let h = f.call(page_lookup, &[dir, k2]);
+    let hs = f.load(hits_slot, 0);
+    let hs1 = f.bin(BinOp::Add, hs, h);
+    f.store(hits_slot, 0, hs1);
+    // A guaranteed miss: keys are < 10_007, ghosts start at 1_000_003.
+    let ghost_base = f.iconst(1_000_003);
+    let gk = f.bin(BinOp::Add, k2, ghost_base);
+    let g = f.call(page_lookup, &[dir, gk]);
+    let gs = f.load(ghost_slot, 0);
+    let gs1 = f.bin(BinOp::Add, gs, g);
+    f.store(ghost_slot, 0, gs1);
+    let one3 = f.iconst(1);
+    let i5 = f.bin(BinOp::Add, i4, one3);
+    f.store(i_slot, 0, i5);
+    let nk2 = f.iconst(nkeys);
+    let more3 = f.cmp(CmpOp::Lt, i5, nk2);
+    f.cond_br(more3, look, look_done);
+
+    f.switch_to(look_done);
+    f.store(i_slot, 0, zero);
+    f.store(freed_slot, 0, zero);
+    let teardown = f.new_block("teardown");
+    let report = f.new_block("report");
+    f.br(teardown);
+    f.switch_to(teardown);
+    let b = f.load(i_slot, 0);
+    let bc = f.ptr_add(dir, Some(b), 8, 0);
+    let headp = f.load(bc, 0);
+    let fr = f.call(free_chain, &[headp]);
+    let ft = f.load(freed_slot, 0);
+    let ft1 = f.bin(BinOp::Add, ft, fr);
+    f.store(freed_slot, 0, ft1);
+    let one4 = f.iconst(1);
+    let b1 = f.bin(BinOp::Add, b, one4);
+    f.store(i_slot, 0, b1);
+    let nb2 = f.iconst(DB_BUCKETS);
+    let more4 = f.cmp(CmpOp::Lt, b1, nb2);
+    f.cond_br(more4, teardown, report);
+
+    f.switch_to(report);
+    f.call_extern(ExternFn::Free, &[dir]);
+    let hits = f.load(hits_slot, 0);
+    let ghosts = f.load(ghost_slot, 0);
+    let freed = f.load(freed_slot, 0);
+    f.call_extern(ExternFn::PrintI64, &[hits]);
+    f.call_extern(ExternFn::PrintI64, &[ghosts]);
+    f.call_extern(ExternFn::PrintI64, &[freed]);
+    let sig = f.call(mix, &[hits, freed]);
+    let emask = f.iconst(0xffff);
+    let exitv = f.bin(BinOp::And, sig, emask);
+    f.ret(Some(exitv));
+    f.finish();
+
+    mb.finish()
+}
+
+// ---------------------------------------------------------------------
+// cap-churn: allocator churn over a slot table
+// ---------------------------------------------------------------------
+
+const CHURN_SLOTS: i64 = 16;
+/// Churn steps per environment entry.
+const CHURN_STEPS_PER_ENTRY: usize = 6;
+
+fn churn_source(env: &[u64]) -> Module {
+    let mut mb = ModuleBuilder::new("cap-churn");
+    let iters = (env.len() * CHURN_STEPS_PER_ENTRY) as i64;
+    let sizes: Vec<i64> = env.iter().map(|&e| (e % 97) as i64).collect();
+    let nsizes = sizes.len() as i64;
+    let sizes_g = mb.global("sizes", GlobalInit::Words(sizes), 8);
+    let mix = add_common(&mut mb, "churn");
+
+    let mut f = mb.function("main", 0);
+    let i_slot = f.alloca(8, 8);
+    let alloc_slot = f.alloca(8, 8);
+    let free_slot = f.alloca(8, 8);
+    let tsz = f.iconst(CHURN_SLOTS * 8);
+    let slots = f.call_extern(ExternFn::Malloc, &[tsz]);
+    let zero = f.iconst(0);
+    f.store(i_slot, 0, zero);
+    f.store(alloc_slot, 0, zero);
+    f.store(free_slot, 0, zero);
+
+    // Zero the slot table.
+    let zinit = f.new_block("zinit");
+    let churn = f.new_block("churn");
+    f.br(zinit);
+    f.switch_to(zinit);
+    let i = f.load(i_slot, 0);
+    let cell = f.ptr_add(slots, Some(i), 8, 0);
+    let z = f.iconst(0);
+    f.store(cell, 0, z);
+    let one = f.iconst(1);
+    let i1 = f.bin(BinOp::Add, i, one);
+    f.store(i_slot, 0, i1);
+    let ns = f.iconst(CHURN_SLOTS);
+    let more = f.cmp(CmpOp::Lt, i1, ns);
+    let reset = f.new_block("reset");
+    f.cond_br(more, zinit, reset);
+    f.switch_to(reset);
+    f.store(i_slot, 0, zero);
+    f.br(churn);
+
+    // Main churn loop.
+    f.switch_to(churn);
+    let step_free = f.new_block("step_free");
+    let step_alloc = f.new_block("step_alloc");
+    let use_memalign = f.new_block("use_memalign");
+    let use_malloc = f.new_block("use_malloc");
+    let step_store = f.new_block("step_store");
+    let step_next = f.new_block("step_next");
+    let drain_setup = f.new_block("drain_setup");
+    let i2 = f.load(i_slot, 0);
+    let nsz = f.iconst(nsizes);
+    let ei = f.bin(BinOp::Rem, i2, nsz);
+    let sb = f.global_addr(sizes_g);
+    let sc = f.ptr_add(sb, Some(ei), 8, 0);
+    let e = f.load(sc, 0);
+    let seven = f.iconst(7);
+    let i7 = f.bin(BinOp::Mul, i2, seven);
+    let ie = f.bin(BinOp::Add, i7, e);
+    let smask = f.iconst(CHURN_SLOTS - 1);
+    let idx = f.bin(BinOp::And, ie, smask);
+    let scell = f.ptr_add(slots, Some(idx), 8, 0);
+    let p = f.load(scell, 0);
+    let z2 = f.iconst(0);
+    let occupied = f.cmp(CmpOp::Ne, p, z2);
+    f.cond_br(occupied, step_free, step_alloc);
+
+    f.switch_to(step_free);
+    f.call_extern(ExternFn::Free, &[p]);
+    f.store(scell, 0, z2);
+    let fc = f.load(free_slot, 0);
+    let one2 = f.iconst(1);
+    let fc1 = f.bin(BinOp::Add, fc, one2);
+    f.store(free_slot, 0, fc1);
+    f.br(step_next);
+
+    f.switch_to(step_alloc);
+    // size class: 16 + (e % 7) * 24
+    let sevenb = f.iconst(7);
+    let cls = f.bin(BinOp::Rem, e, sevenb);
+    let stride = f.iconst(24);
+    let spread = f.bin(BinOp::Mul, cls, stride);
+    let base = f.iconst(16);
+    let size = f.bin(BinOp::Add, base, spread);
+    let five = f.iconst(5);
+    let phase = f.bin(BinOp::Rem, i2, five);
+    let aligned = f.cmp(CmpOp::Eq, phase, z2);
+    f.cond_br(aligned, use_memalign, use_malloc);
+    f.switch_to(use_memalign);
+    let al = f.iconst(64);
+    let q1 = f.call_extern(ExternFn::Memalign, &[al, size]);
+    f.store(scell, 0, q1);
+    f.br(step_store);
+    f.switch_to(use_malloc);
+    let q2 = f.call_extern(ExternFn::Malloc, &[size]);
+    f.store(scell, 0, q2);
+    f.br(step_store);
+    f.switch_to(step_store);
+    let q = f.load(scell, 0);
+    f.store(q, 0, i2); // touch the block
+    let ac = f.load(alloc_slot, 0);
+    let one3 = f.iconst(1);
+    let ac1 = f.bin(BinOp::Add, ac, one3);
+    f.store(alloc_slot, 0, ac1);
+    f.br(step_next);
+
+    f.switch_to(step_next);
+    let i3 = f.load(i_slot, 0);
+    let one4 = f.iconst(1);
+    let i4 = f.bin(BinOp::Add, i3, one4);
+    f.store(i_slot, 0, i4);
+    let lim = f.iconst(iters);
+    let more2 = f.cmp(CmpOp::Lt, i4, lim);
+    f.cond_br(more2, churn, drain_setup);
+
+    // Drain: free everything still live.
+    f.switch_to(drain_setup);
+    let drain = f.new_block("drain");
+    let drain_free = f.new_block("drain_free");
+    let drain_next = f.new_block("drain_next");
+    let report = f.new_block("report");
+    f.store(i_slot, 0, zero);
+    f.br(drain);
+    f.switch_to(drain);
+    let d = f.load(i_slot, 0);
+    let dc = f.ptr_add(slots, Some(d), 8, 0);
+    let dp = f.load(dc, 0);
+    let z3 = f.iconst(0);
+    let live = f.cmp(CmpOp::Ne, dp, z3);
+    f.cond_br(live, drain_free, drain_next);
+    f.switch_to(drain_free);
+    f.call_extern(ExternFn::Free, &[dp]);
+    let fc2 = f.load(free_slot, 0);
+    let one5 = f.iconst(1);
+    let fc3 = f.bin(BinOp::Add, fc2, one5);
+    f.store(free_slot, 0, fc3);
+    f.br(drain_next);
+    f.switch_to(drain_next);
+    let one6 = f.iconst(1);
+    let d1 = f.bin(BinOp::Add, d, one6);
+    f.store(i_slot, 0, d1);
+    let ns2 = f.iconst(CHURN_SLOTS);
+    let more3 = f.cmp(CmpOp::Lt, d1, ns2);
+    f.cond_br(more3, drain, report);
+
+    f.switch_to(report);
+    f.call_extern(ExternFn::Free, &[slots]);
+    let allocs = f.load(alloc_slot, 0);
+    let frees = f.load(free_slot, 0);
+    f.call_extern(ExternFn::PrintI64, &[allocs]);
+    f.call_extern(ExternFn::PrintI64, &[frees]);
+    let balanced = f.cmp(CmpOp::Eq, allocs, frees);
+    f.call_extern(ExternFn::PrintI64, &[balanced]);
+    // allocs == frees when the drain is correct, and mix(x, x) == 0 —
+    // skew one argument so the exit signature stays non-degenerate.
+    let skew = f.iconst(7);
+    let af = f.bin(BinOp::Mul, allocs, skew);
+    let one7 = f.iconst(1);
+    let af1 = f.bin(BinOp::Add, af, one7);
+    let sig = f.call(mix, &[af1, frees]);
+    let emask = f.iconst(0xffff);
+    let exitv = f.bin(BinOp::And, sig, emask);
+    f.ret(Some(exitv));
+    f.finish();
+
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{record, RecordConfig};
+    use r2c_ir::{interpret, verify_module};
+
+    #[test]
+    fn all_sources_verify_and_interpret() {
+        for &a in ALL {
+            let m = source(a, &default_env(a));
+            verify_module(&m).unwrap_or_else(|e| panic!("{}: {e:?}", a.name()));
+            let r =
+                interpret(&m, "main", 50_000_000).unwrap_or_else(|e| panic!("{}: {e:?}", a.name()));
+            assert!(r.executed > 1_000, "{} too small: {}", a.name(), r.executed);
+            assert!(
+                r.executed < 2_000_000,
+                "{} too large for the debug-mode suites: {}",
+                a.name(),
+                r.executed
+            );
+            assert!(!r.output.is_empty(), "{} prints nothing", a.name());
+        }
+    }
+
+    #[test]
+    fn sources_agree_with_vm_and_record_cleanly() {
+        let rc = RecordConfig::default();
+        for &a in ALL {
+            let m = source(a, &default_env(a));
+            let interp = interpret(&m, "main", 50_000_000).unwrap();
+            let rec = record(&m, a.name(), &rc).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(rec.exit, interp.ret, "{}", a.name());
+            assert_eq!(rec.output, interp.output, "{}", a.name());
+            assert!(
+                rec.trace.ops.len() > 10,
+                "{}: trace suspiciously small",
+                a.name()
+            );
+        }
+    }
+
+    #[test]
+    fn churn_is_balanced_and_dbpage_has_no_ghost_hits() {
+        let churn = source(Archetype::Churn, &default_env(Archetype::Churn));
+        let r = interpret(&churn, "main", 50_000_000).unwrap();
+        assert_eq!(*r.output.last().unwrap(), 1, "allocs != frees");
+
+        let db = source(Archetype::DbPage, &default_env(Archetype::DbPage));
+        let r = interpret(&db, "main", 50_000_000).unwrap();
+        // Output: [hits, ghost hits, pages freed].
+        assert_eq!(r.output[1], 0, "ghost lookups must all miss");
+        assert!(r.output[0] > 0 && r.output[2] > 0);
+    }
+
+    #[test]
+    fn env_from_schedule_takes_request_payloads() {
+        let s = Schedule::generate(9, 2, 40, 250);
+        let env = env_from_schedule(&s);
+        assert!(!env.is_empty());
+        assert!(env.len() < 40, "probes should have been skipped");
+    }
+
+    #[test]
+    fn distinct_envs_give_distinct_programs() {
+        let a = source(Archetype::Interp, &default_env(Archetype::Interp));
+        let b = source(Archetype::Interp, &default_env(Archetype::Json));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,184 @@
+//! The *replay* half: verify that a captured program, re-run from
+//! scratch, reproduces its trace.
+//!
+//! In Wasm-R3 the replay stub is generated code that answers each
+//! import call with the recorded value. Here the guest's externs are
+//! VM hypercalls with deterministic semantics, so the stub does not
+//! need to *substitute* answers — it needs to *check* them: a replay
+//! stub is the recorded answer table, and replaying means re-recording
+//! the module under the same pinned configuration and comparing every
+//! boundary event (and the summary) against the table. Any drift — a
+//! different allocator answer, a different indirect-call target, a
+//! missing output value — is reported with its op index.
+
+use crate::format::{CapturedTrace, ReplayOp};
+use crate::record::RecordConfig;
+use r2c_ir::Module;
+
+/// A replay stub: the expanded recorded answer stream plus the
+/// summary it must reproduce.
+#[derive(Clone, Debug)]
+pub struct ReplayStub {
+    trace: CapturedTrace,
+    expanded: Vec<ReplayOp>,
+}
+
+impl ReplayStub {
+    /// Builds the stub from a captured trace (collapsed or flat).
+    pub fn from_trace(trace: &CapturedTrace) -> ReplayStub {
+        ReplayStub {
+            expanded: trace.expanded_ops(),
+            trace: trace.clone(),
+        }
+    }
+
+    /// The recorded answer for expanded op index `i`.
+    pub fn answer(&self, i: usize) -> Option<&ReplayOp> {
+        self.expanded.get(i)
+    }
+
+    /// Number of expanded ops the stub serves.
+    pub fn len(&self) -> usize {
+        self.expanded.len()
+    }
+
+    /// True if the stub serves no ops.
+    pub fn is_empty(&self) -> bool {
+        self.expanded.is_empty()
+    }
+
+    /// Replays `module` under `rc` and checks every boundary event and
+    /// the summary against the recorded answers. Returns the full list
+    /// of mismatches (empty ⇒ ok).
+    pub fn verify(&self, module: &Module, rc: &RecordConfig) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+        let arrivals: Vec<u64> = self
+            .expanded
+            .iter()
+            .filter_map(|op| match op {
+                ReplayOp::Arrival { at } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        let rec = match crate::record::record_with_arrivals(module, &self.trace.name, rc, &arrivals)
+        {
+            Ok(r) => r,
+            Err(e) => return Err(vec![format!("replay failed to record: {e}")]),
+        };
+        let got = rec.trace.expanded_ops();
+        if got.len() != self.expanded.len() {
+            errors.push(format!(
+                "op count mismatch: recorded {} ops, replay produced {}",
+                self.expanded.len(),
+                got.len()
+            ));
+        }
+        for (i, (want, have)) in self.expanded.iter().zip(got.iter()).enumerate() {
+            if want != have {
+                errors.push(format!(
+                    "op {i}: recorded {want:?}, replay produced {have:?}"
+                ));
+                if errors.len() >= 8 {
+                    errors.push("… further op mismatches suppressed".into());
+                    break;
+                }
+            }
+        }
+        if rec.trace.summary != self.trace.summary {
+            errors.push(format!(
+                "summary mismatch: recorded {:?}, replay produced {:?}",
+                self.trace.summary, rec.trace.summary
+            ));
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// Convenience: record `module`, build a stub from the fresh trace,
+/// and verify the *given* trace replays against it. Used by the
+/// pipeline's final gate and the CI smoke path.
+pub fn verify_trace(
+    trace: &CapturedTrace,
+    module: &Module,
+    rc: &RecordConfig,
+) -> Result<(), Vec<String>> {
+    ReplayStub::from_trace(trace).verify(module, rc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::record;
+    use r2c_ir::parse_module;
+    use r2c_vm::NativeKind;
+
+    fn module() -> Module {
+        parse_module(
+            "func @main(0) {\nentry:\n  %0 = const 16\n  %1 = extern malloc(%0)\n  \
+             %2 = const 5\n  %3 = extern print(%2)\n  %4 = extern free(%1)\n  \
+             ret %2\n}\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn faithful_replay_verifies() {
+        let m = module();
+        let rc = RecordConfig::default();
+        let rec = record(&m, "stub-test", &rc).unwrap();
+        let stub = ReplayStub::from_trace(&rec.trace);
+        assert!(!stub.is_empty());
+        stub.verify(&m, &rc).unwrap();
+    }
+
+    #[test]
+    fn tampered_answer_is_detected() {
+        let m = module();
+        let rc = RecordConfig::default();
+        let mut rec = record(&m, "stub-test", &rc).unwrap();
+        // Corrupt one recorded extern answer.
+        let pos = rec
+            .trace
+            .ops
+            .iter()
+            .position(|op| {
+                matches!(
+                    op,
+                    ReplayOp::Extern {
+                        kind: NativeKind::PrintI64,
+                        ..
+                    }
+                )
+            })
+            .expect("print op recorded");
+        if let ReplayOp::Extern { args, .. } = &mut rec.trace.ops[pos] {
+            args[0] ^= 1;
+        }
+        let errs = ReplayStub::from_trace(&rec.trace)
+            .verify(&m, &rc)
+            .unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("recorded Extern")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_summary_is_detected() {
+        let m = module();
+        let rc = RecordConfig::default();
+        let mut rec = record(&m, "stub-test", &rc).unwrap();
+        rec.trace.summary.instructions += 1;
+        let errs = ReplayStub::from_trace(&rec.trace)
+            .verify(&m, &rc)
+            .unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("summary mismatch")),
+            "{errs:?}"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Satellite suite 2: **record→reduce fidelity goldens**. The binary
+//! traces under `tests/traces/*.r2ct` are the recorded ground truth for
+//! every checked-in captured workload; re-recording the workload's
+//! module must reproduce them byte-for-byte, and the reduction must
+//! never move an oracle field (exit, output, heap-op counts).
+//!
+//! To re-record after an intentional change to the tracer, the trace
+//! format, or a workload source:
+//! `R2C_BLESS=1 cargo test -p r2c-replay --test fidelity`
+//! (equivalently `capture --bless`, which also rewrites the workload
+//! files and the fuzz-corpus entry).
+
+use std::fs;
+use std::path::PathBuf;
+
+use r2c_replay::{
+    capture_pipeline, collapse, default_env, record::record_with_arrivals, source, workload_file,
+    Archetype, CapturedTrace, RecordConfig, ReplayOp,
+};
+use r2c_workloads::captured_workloads;
+
+fn traces_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/traces")
+}
+
+fn workloads_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("workloads")
+}
+
+/// Arrival cycles baked into a golden trace (the webserver capture has
+/// them; re-recording must replay the same open-loop timing).
+fn golden_arrivals(trace: &CapturedTrace) -> Vec<u64> {
+    trace
+        .expanded_ops()
+        .iter()
+        .filter_map(|op| match op {
+            ReplayOp::Arrival { at } => Some(*at),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn golden_traces_rerecord_byte_identically() {
+    let rc = RecordConfig::default();
+    for w in captured_workloads() {
+        let path = traces_dir().join(format!("{}.r2ct", w.name));
+        let arrivals = match fs::read(&path) {
+            Ok(bytes) => golden_arrivals(
+                &CapturedTrace::decode(&bytes).expect("checked-in golden trace decodes"),
+            ),
+            Err(_) if std::env::var_os("R2C_BLESS").is_some() => Vec::new(),
+            Err(e) => panic!(
+                "read {}: {e} (run with R2C_BLESS=1 to record)",
+                path.display()
+            ),
+        };
+        let rec = record_with_arrivals(&w.module, w.name, &rc, &arrivals)
+            .expect("checked-in workload records");
+        let mut trace = rec.trace;
+        trace.ops = collapse(&trace.ops);
+        let got = trace.encode();
+        if std::env::var_os("R2C_BLESS").is_some() {
+            fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = fs::read(&path).unwrap();
+        assert_eq!(
+            got,
+            want,
+            "{}: re-recorded trace diverged from {} (R2C_BLESS=1 re-records after intentional changes)",
+            w.name,
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_traces_decode_losslessly_and_match_workload_headers() {
+    for w in captured_workloads() {
+        let bytes = fs::read(traces_dir().join(format!("{}.r2ct", w.name))).unwrap();
+        let trace = CapturedTrace::decode(&bytes).expect("golden decodes");
+        // Lossless: decode → encode is the identity on golden bytes.
+        assert_eq!(trace.encode(), bytes, "{}: encode(decode(x)) != x", w.name);
+        assert_eq!(trace.name, w.name);
+        // The workload file's provenance header quotes the same
+        // recording the golden trace holds.
+        let text = fs::read_to_string(workloads_dir().join(format!("{}.r2cir", w.name))).unwrap();
+        let field = |k: &str| {
+            r2c_replay::header_field(&text, k)
+                .unwrap_or_else(|| panic!("{}: missing header {k}", w.name))
+                .parse::<u64>()
+                .unwrap()
+        };
+        assert_eq!(
+            trace.summary.instructions,
+            field("instructions"),
+            "{}",
+            w.name
+        );
+        assert_eq!(
+            trace.summary.allocs + trace.summary.frees,
+            field("externs"),
+            "{}",
+            w.name
+        );
+        assert_eq!(trace.summary.exit, field("exit") as i64, "{}", w.name);
+        // Collapse is worthwhile on every checked-in trace (the RLE
+        // half of "reduce" actually fires).
+        assert!(
+            trace.ops.len() as u64 <= trace.expanded_len(),
+            "{}: collapsed stream longer than expansion",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn end_to_end_rereduction_matches_checked_in_churn() {
+    // The full record→reduce→replay pipeline is deterministic: re-run
+    // it from the archetype source and compare against both checked-in
+    // artifacts. (The `capture --verify` CI gate does the same for
+    // cap-interp; covering a second archetype here keeps the gate
+    // honest about reduction, not just recording.)
+    let a = Archetype::Churn;
+    let rc = RecordConfig::default();
+    let m = source(a, &default_env(a));
+    let cap = capture_pipeline(a.name(), &m, &rc, 3).expect("pipeline runs");
+    let file = workload_file(&cap, a.name());
+    let workload_path = workloads_dir().join(format!("{}.r2cir", a.name()));
+    let trace_path = traces_dir().join(format!("{}.r2ct", a.name()));
+    if std::env::var_os("R2C_BLESS").is_some() {
+        fs::write(&workload_path, &file).unwrap();
+        fs::write(&trace_path, cap.trace.encode()).unwrap();
+        return;
+    }
+    assert_eq!(
+        file,
+        fs::read_to_string(&workload_path).unwrap(),
+        "cap-churn re-reduction drifted from the checked-in workload (R2C_BLESS=1 or `capture --bless` re-records)"
+    );
+    assert_eq!(
+        cap.trace.encode(),
+        fs::read(&trace_path).unwrap(),
+        "cap-churn re-reduction drifted from the golden trace"
+    );
+}
+
+#[test]
+fn reduction_preserves_every_oracle_field() {
+    // Record the original and the checked-in reduced module for each
+    // reduced archetype; exit, output, and heap-op counts must agree —
+    // the reducer is allowed to delete dead weight, never to move the
+    // answer.
+    let rc = RecordConfig::default();
+    let workloads = captured_workloads();
+    for a in [
+        Archetype::Interp,
+        Archetype::Json,
+        Archetype::DbPage,
+        Archetype::Churn,
+    ] {
+        let original = source(a, &default_env(a));
+        let orig_rec = record_with_arrivals(&original, a.name(), &rc, &[]).unwrap();
+        let reduced = &workloads
+            .iter()
+            .find(|w| w.name == a.name())
+            .expect("archetype is checked in")
+            .module;
+        let red_rec = record_with_arrivals(reduced, a.name(), &rc, &[]).unwrap();
+        assert_eq!(orig_rec.exit, red_rec.exit, "{}: exit moved", a.name());
+        assert_eq!(
+            orig_rec.output,
+            red_rec.output,
+            "{}: output moved",
+            a.name()
+        );
+        assert_eq!(
+            orig_rec.trace.summary.allocs,
+            red_rec.trace.summary.allocs,
+            "{}: alloc count moved",
+            a.name()
+        );
+        assert_eq!(
+            orig_rec.trace.summary.frees,
+            red_rec.trace.summary.frees,
+            "{}: free count moved",
+            a.name()
+        );
+        assert!(
+            reduced.funcs.len() <= original.funcs.len()
+                && reduced.globals.len() <= original.globals.len(),
+            "{}: reduction grew the module",
+            a.name()
+        );
+    }
+}

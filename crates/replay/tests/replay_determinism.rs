@@ -1,0 +1,107 @@
+//! Satellite suite 1: **replay determinism**. Every checked-in
+//! captured workload must replay with bit-identical [`ExecStats`],
+//! exit status, and output across all four machine cost models, with
+//! superinstruction fusion on and off, and with the tracer on and off.
+//!
+//! This is the product of two contracts: the decoded execution
+//! engine's fused/unfused identity and the tracer's zero-perturbation
+//! guarantee, both applied to the replay corpus instead of the
+//! hand-written suites. A workload that fails here is not a benchmark
+//! — its numbers would depend on which lane of the VM ran it.
+
+use r2c_core::{R2cCompiler, R2cConfig};
+use r2c_ir::Module;
+use r2c_vm::{ExecStats, ExitStatus, MachineKind, TraceConfig, Vm, VmConfig};
+use r2c_workloads::captured_workloads;
+
+/// Runs `module` once on `machine`; one lane of the determinism cube.
+fn run_lane(
+    module: &Module,
+    machine: MachineKind,
+    no_fuse: bool,
+    traced: bool,
+) -> (ExecStats, i64, Vec<i64>) {
+    let image = R2cCompiler::new(R2cConfig::baseline(0))
+        .build(module)
+        .expect("captured workload must build");
+    let mut cfg = VmConfig::new(machine.config());
+    cfg.no_fuse = no_fuse;
+    let mut vm = Vm::new(&image, cfg);
+    if traced {
+        vm.enable_trace(&image, TraceConfig::default());
+    }
+    let out = vm.run();
+    let ExitStatus::Exited(code) = out.status else {
+        panic!("captured workload did not exit cleanly: {:?}", out.status);
+    };
+    (out.stats, code, vm.output.clone())
+}
+
+#[test]
+fn captured_workloads_replay_bit_identically_across_the_cube() {
+    let workloads = captured_workloads();
+    assert!(
+        workloads.len() >= 5,
+        "expected at least 5 captured workloads, found {}",
+        workloads.len()
+    );
+    for w in &workloads {
+        for &machine in &MachineKind::ALL {
+            let fused = run_lane(&w.module, machine, false, false);
+            for (no_fuse, traced) in [(true, false), (false, true), (true, true)] {
+                let lane = run_lane(&w.module, machine, no_fuse, traced);
+                assert_eq!(
+                    fused, lane,
+                    "{} on {machine:?}: no_fuse={no_fuse} traced={traced} lane diverged",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn captured_workloads_are_machine_sensitive_but_insn_stable() {
+    // The *cycle* model may differ per machine (that is what the cost
+    // models are for), but the executed instruction stream must not:
+    // replay is an architectural recording, not a microarchitectural
+    // one.
+    for w in captured_workloads() {
+        let mut insns = Vec::new();
+        for &machine in &MachineKind::ALL {
+            let (stats, _, _) = run_lane(&w.module, machine, false, false);
+            insns.push(stats.instructions);
+        }
+        assert!(
+            insns.windows(2).all(|p| p[0] == p[1]),
+            "{}: instruction counts differ across machines: {insns:?}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn captured_workloads_exit_codes_match_their_headers() {
+    // The `# exit:` header in each workload file is the recorded
+    // answer; replaying must reproduce it on every machine.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("workloads");
+    for w in captured_workloads() {
+        let text = std::fs::read_to_string(dir.join(format!("{}.r2cir", w.name)))
+            .expect("workload file readable");
+        let want: i64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("# exit: "))
+            .expect("workload header has exit")
+            .trim()
+            .parse()
+            .expect("exit header parses");
+        for &machine in &MachineKind::ALL {
+            let (_, code, _) = run_lane(&w.module, machine, false, false);
+            assert_eq!(
+                code, want,
+                "{} on {machine:?}: exit drifted from header",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Satellite suite 3: the captured workloads meet the fuzz oracle.
+//!
+//! * Every interpreter-checkable captured workload passes the matrix's
+//!   `replay` cell (capture tracing is transparent, the boundary log is
+//!   deterministic, nothing is dropped).
+//! * The corpus-admitted capture (`captured-churn`) passes the *whole*
+//!   quick matrix — the admission bar every corpus entry clears.
+//! * The mutation engine produces verifier-gated mutants of the
+//!   captured program, so the corpus entry actually evolves instead of
+//!   sitting inert.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use r2c_core::R2cConfig;
+use r2c_fuzz::{gate, mutate, run_oracle, CaseVerdict, OracleMatrix, REPLAY_CELL_PREFIX};
+use r2c_vm::MachineKind;
+use r2c_workloads::captured_workloads;
+
+/// The archetype captures; `cap-websrv` is excluded because its
+/// handler-table globals hold code pointers, which the reference
+/// interpreter models with its own function addressing — the replay
+/// determinism suite covers it instead.
+fn interpretable_captures() -> Vec<r2c_workloads::Workload> {
+    captured_workloads()
+        .into_iter()
+        .filter(|w| w.name != "cap-websrv")
+        .collect()
+}
+
+#[test]
+fn captured_workloads_pass_the_replay_cell() {
+    for w in interpretable_captures() {
+        for build_seed in [1, 2] {
+            let matrix = OracleMatrix::single(
+                &format!("{REPLAY_CELL_PREFIX}-full"),
+                R2cConfig::full(0),
+                MachineKind::EpycRome,
+                build_seed,
+            );
+            match run_oracle(&w.module, &matrix) {
+                CaseVerdict::Pass { cells } => assert_eq!(cells, 1),
+                other => panic!("{} seed {build_seed}: {other:?}", w.name),
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_admitted_capture_passes_the_quick_matrix() {
+    let workloads = captured_workloads();
+    let churn = workloads
+        .iter()
+        .find(|w| w.name == "cap-churn")
+        .expect("cap-churn is checked in");
+    match run_oracle(&churn.module, &OracleMatrix::quick()) {
+        CaseVerdict::Pass { cells } => {
+            assert_eq!(cells, OracleMatrix::quick().cells().len());
+        }
+        other => panic!("cap-churn failed the corpus admission bar: {other:?}"),
+    }
+}
+
+#[test]
+fn corpus_entry_matches_checked_in_workload() {
+    // The fuzz-corpus entry is the same module as the checked-in
+    // workload — blessing keeps them in lockstep.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../fuzz/corpus/captured-churn.r2cir");
+    let text = std::fs::read_to_string(&path).expect("corpus entry readable");
+    let entry = r2c_ir::parse_module(&text).expect("corpus entry parses");
+    let workloads = captured_workloads();
+    let churn = workloads.iter().find(|w| w.name == "cap-churn").unwrap();
+    assert_eq!(
+        entry, churn.module,
+        "corpus entry drifted from the workload file"
+    );
+}
+
+#[test]
+fn mutation_engine_evolves_the_captured_program() {
+    let workloads = captured_workloads();
+    let churn = workloads
+        .iter()
+        .find(|w| w.name == "cap-churn")
+        .expect("cap-churn is checked in");
+    let mut rng = SmallRng::seed_from_u64(0xCAFE);
+    let mut gated = 0;
+    let mut kinds = std::collections::BTreeSet::new();
+    for _ in 0..24 {
+        if let Some((mutant, kind)) = mutate(&churn.module, &mut rng, 16) {
+            assert!(gate(&mutant), "mutate() must return gated mutants only");
+            assert_ne!(mutant, churn.module);
+            gated += 1;
+            kinds.insert(format!("{kind:?}"));
+        }
+    }
+    assert!(
+        gated >= 8,
+        "mutation mostly fails on the captured program: {gated}/24 gated"
+    );
+    assert!(
+        kinds.len() >= 2,
+        "only one mutation kind ever applies: {kinds:?}"
+    );
+}

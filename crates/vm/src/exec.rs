@@ -34,7 +34,7 @@ use crate::machine::{ICache, MachineConfig};
 use crate::mem::{Memory, Perms};
 use crate::regs::{Gpr, RegFile, Ymm};
 use crate::stats::ExecStats;
-use crate::trace::{ExecProfile, TraceConfig, Tracer};
+use crate::trace::{CaptureLog, ExecProfile, TraceConfig, Tracer};
 use crate::VAddr;
 
 /// Sentinel return address: `ret`ing to it ends the current activation
@@ -279,6 +279,25 @@ impl Vm {
     /// changing it (cycle counts stay bit-identical to untraced runs).
     pub fn enable_trace(&mut self, image: &Image, cfg: TraceConfig) {
         self.tracer = Some(Box::new(Tracer::new(image, cfg)));
+    }
+
+    /// Mutable access to the attached tracer (for capture-mode setup:
+    /// boundary spans, the dynamic-pair census), or `None` if tracing is
+    /// off.
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// The capture-mode boundary log, or `None` when tracing is off or
+    /// [`TraceConfig::capture`] was not set.
+    pub fn capture_log(&self) -> Option<&CaptureLog> {
+        self.tracer.as_deref()?.capture_log()
+    }
+
+    /// The dynamic-pair census accumulated by a traced run, if one was
+    /// enabled via [`Tracer::enable_pair_census`].
+    pub fn pair_census(&self) -> Option<&crate::census::PairCensus> {
+        self.tracer.as_deref()?.pair_census()
     }
 
     /// Snapshot of the traced run, or `None` if tracing is off.
@@ -1579,6 +1598,7 @@ impl Vm {
                     try_mem!(self.push_word(ra));
                     if let Some(tr) = &mut self.tracer {
                         tr.on_call(addr, t);
+                        tr.on_indirect(addr, t);
                     }
                     jump_to!(t);
                 }
@@ -1751,6 +1771,10 @@ impl Vm {
             self.regs.get(Gpr::Rdx),
         );
         let Some(tr) = &mut self.tracer else { return };
+        // Capture mode records every native with its argument registers
+        // and answer (the replay stub serves these back); the heap/
+        // protect hooks below additionally feed the telemetry.
+        tr.on_extern(kind, [rdi, rsi, rdx], rax);
         match kind {
             NativeKind::Malloc => tr.on_alloc(rax, rdi, live, resident, insns),
             NativeKind::Memalign => tr.on_alloc(rax, rsi, live, resident, insns),

@@ -27,6 +27,7 @@
 //!   the stack-pointer adjustments performed by the BTRA setup so that
 //!   stack unwinding keeps working under R²C (paper §7.2.4).
 
+pub mod census;
 pub mod disasm;
 pub mod fault;
 pub mod heap;
@@ -56,6 +57,7 @@ pub mod decode_inspect {
         decode_program, DOp, DecodeMismatch, DecodedProgram, Op, ROp, RunInfo, RunSeg, F2, NO_INSN,
     };
 }
+pub use census::PairCensus;
 pub use exec::{ExitStatus, RunOutcome, StackSnapshot, Vm, VmConfig, EXIT_SENTINEL};
 pub use fault::{Detection, Fault};
 pub use image::{Image, NativeKind, SectionLayout, Symbol, SymbolKind};
@@ -64,7 +66,10 @@ pub use machine::{ICacheConfig, MachineConfig, MachineKind};
 pub use mem::{MemSnapshot, Memory, Perms, PAGE_SIZE};
 pub use regs::{Gpr, RegFile, Ymm};
 pub use stats::{EdgeStats, ExecStats};
-pub use trace::{ExecProfile, FuncProfile, HeapTelemetry, TraceConfig, TraceEvent, Tracer};
+pub use trace::{
+    BoundaryEvent, CaptureLog, ExecProfile, FuncProfile, HeapTelemetry, TraceConfig, TraceEvent,
+    Tracer,
+};
 
 /// A guest virtual address.
 pub type VAddr = u64;

@@ -28,12 +28,22 @@
 //!   counting drops); the heap timeline adaptively halves its sampling
 //!   rate when it reaches [`TraceConfig::heap_timeline_capacity`], so
 //!   arbitrarily long runs cannot grow the tracer without bound.
+//! * **Capture mode is lossless.** With [`TraceConfig::capture`] set,
+//!   the tracer is the *record* half of the record-reduce-replay
+//!   pipeline (`r2c-replay`): the event ring grows instead of evicting
+//!   (a silently thinned trace cannot be replayed), and a
+//!   [`CaptureLog`] additionally records every environment-boundary
+//!   event a replay needs — extern (native) calls with their argument
+//!   registers and results, resolved indirect-call targets, and
+//!   call/return crossings of caller-declared boundary functions
+//!   (`no_instrument` spans).
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
+use crate::census::PairCensus;
 use crate::fault::Fault;
-use crate::image::{Image, SymbolKind};
+use crate::image::{Image, NativeKind, SymbolKind};
 use crate::mem::Perms;
 use crate::stats::ExecStats;
 use crate::VAddr;
@@ -43,10 +53,18 @@ use crate::VAddr;
 pub struct TraceConfig {
     /// Capacity of the bounded event ring; the newest events win and
     /// evicted ones are counted in [`ExecProfile::dropped_events`].
+    ///
+    /// Ignored in capture mode: a replayable trace must be complete, so
+    /// [`TraceConfig::capture`] makes the ring grow without bound and
+    /// guarantees `dropped_events == 0`.
     pub event_capacity: usize,
     /// Maximum retained heap-timeline samples. When full, every other
     /// sample is dropped and the sampling stride doubles.
     pub heap_timeline_capacity: usize,
+    /// Record mode for `r2c-replay`: keep *every* event (the ring grows
+    /// instead of evicting) and additionally log environment-boundary
+    /// events into a [`CaptureLog`].
+    pub capture: bool,
 }
 
 impl Default for TraceConfig {
@@ -54,8 +72,58 @@ impl Default for TraceConfig {
         TraceConfig {
             event_capacity: 1024,
             heap_timeline_capacity: 2048,
+            capture: false,
         }
     }
+}
+
+/// One environment-boundary event recorded in capture mode: exactly the
+/// information a standalone replay needs to stub the environment with
+/// recorded answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundaryEvent {
+    /// A native (extern) call completed. `args` are the System V
+    /// argument registers the native reads (`rdi`, `rsi`, `rdx`; unused
+    /// ones carry whatever the register held) and `ret` is `rax` after
+    /// the call — the recorded answer a replay stub serves back.
+    Extern {
+        /// Which native ran.
+        kind: NativeKind,
+        /// `[rdi, rsi, rdx]` at the call.
+        args: [u64; 3],
+        /// `rax` after the call.
+        ret: u64,
+    },
+    /// An indirect call at `at` resolved to `target`.
+    Indirect {
+        /// Address of the `callind` instruction.
+        at: VAddr,
+        /// The runtime-resolved callee address.
+        target: VAddr,
+    },
+    /// A direct or indirect call crossed into a declared boundary
+    /// function (a `no_instrument` span — code the diversifier leaves
+    /// alone, the moral equivalent of an uninstrumented library).
+    BoundaryCall {
+        /// Address of the call instruction.
+        at: VAddr,
+        /// Entry address of the boundary function.
+        target: VAddr,
+    },
+    /// A `ret` executed inside a declared boundary function.
+    BoundaryRet {
+        /// Address of the `ret` instruction.
+        at: VAddr,
+    },
+}
+
+/// The environment-boundary log a capture-mode run accumulates
+/// ([`TraceConfig::capture`]); consumed by `r2c-replay` to build its
+/// versioned on-disk trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CaptureLog {
+    /// Boundary events in execution order.
+    pub boundary: Vec<BoundaryEvent>,
 }
 
 /// One entry of the bounded event trace.
@@ -334,6 +402,13 @@ pub struct Tracer {
     // --- event ring --------------------------------------------------
     events: VecDeque<TraceEvent>,
     dropped_events: u64,
+    // --- capture mode ------------------------------------------------
+    capture: Option<CaptureLog>,
+    /// Sorted `(start, end)` spans of declared boundary functions
+    /// (capture mode only; empty otherwise).
+    boundary_spans: Vec<(VAddr, VAddr)>,
+    // --- dynamic-pair census -----------------------------------------
+    census: Option<Box<PairCensus>>,
 }
 
 impl Tracer {
@@ -375,6 +450,48 @@ impl Tracer {
             heap_events: 0,
             events: VecDeque::new(),
             dropped_events: 0,
+            capture: if cfg.capture {
+                Some(CaptureLog::default())
+            } else {
+                None
+            },
+            boundary_spans: Vec::new(),
+            census: None,
+        }
+    }
+
+    /// Declares the boundary-function spans capture mode reports
+    /// call/return crossings for (sorted by start address). `r2c-replay`
+    /// derives these from the module's `no_instrument` functions and the
+    /// image symbol table. No effect outside capture mode.
+    pub fn set_capture_boundaries(&mut self, mut spans: Vec<(VAddr, VAddr)>) {
+        spans.sort_unstable_by_key(|&(s, _)| s);
+        self.boundary_spans = spans;
+    }
+
+    /// The capture-mode boundary log, if capture is on.
+    pub fn capture_log(&self) -> Option<&CaptureLog> {
+        self.capture.as_ref()
+    }
+
+    /// Attaches a dynamic-pair census (DESIGN.md §11/§14) counting
+    /// executed fall-through-adjacent instruction-class pairs against
+    /// the fusion catalogue. The census observes [`Tracer::step`], so it
+    /// shares the tracer's exactness and zero-feedback properties.
+    pub fn enable_pair_census(&mut self, image: &Image) {
+        self.census = Some(Box::new(PairCensus::new(image)));
+    }
+
+    /// The attached dynamic-pair census, if any.
+    pub fn pair_census(&self) -> Option<&PairCensus> {
+        self.census.as_deref()
+    }
+
+    /// True when a boundary span contains `addr`.
+    fn in_boundary(&self, addr: VAddr) -> bool {
+        match self.boundary_spans.partition_point(|&(s, _)| s <= addr) {
+            0 => false,
+            i => addr < self.boundary_spans[i - 1].1,
         }
     }
 
@@ -428,6 +545,9 @@ impl Tracer {
     /// previously executed instruction.
     #[inline]
     pub fn step(&mut self, addr: VAddr, cycles: u64, icache_misses: u64) {
+        if let Some(c) = &mut self.census {
+            c.note(addr);
+        }
         let dc = cycles - self.last_cycles;
         let dm = icache_misses - self.last_misses;
         self.last_cycles = cycles;
@@ -466,12 +586,44 @@ impl Tracer {
         self.calls[slot] += 1;
         self.pending_stack = PendingStack::Push;
         self.record_event(TraceEvent::Call { at, target });
+        if self.capture.is_some()
+            && self
+                .boundary_spans
+                .binary_search_by_key(&target, |&(s, _)| s)
+                .is_ok()
+        {
+            if let Some(c) = &mut self.capture {
+                c.boundary.push(BoundaryEvent::BoundaryCall { at, target });
+            }
+        }
     }
 
     /// Hook for an executed `ret` at `at`.
     pub fn on_ret(&mut self, at: VAddr) {
         self.pending_stack = PendingStack::Pop;
         self.record_event(TraceEvent::Ret { at });
+        if self.capture.is_some() && self.in_boundary(at) {
+            if let Some(c) = &mut self.capture {
+                c.boundary.push(BoundaryEvent::BoundaryRet { at });
+            }
+        }
+    }
+
+    /// Capture hook for a resolved indirect call (called alongside
+    /// [`Tracer::on_call`] for `callind`). No-op outside capture mode.
+    pub fn on_indirect(&mut self, at: VAddr, target: VAddr) {
+        if let Some(c) = &mut self.capture {
+            c.boundary.push(BoundaryEvent::Indirect { at, target });
+        }
+    }
+
+    /// Capture hook for a completed native (extern) call: the argument
+    /// registers it could have read and its `rax` answer. No-op outside
+    /// capture mode.
+    pub fn on_extern(&mut self, kind: NativeKind, args: [u64; 3], ret: u64) {
+        if let Some(c) = &mut self.capture {
+            c.boundary.push(BoundaryEvent::Extern { kind, args, ret });
+        }
     }
 
     /// Hook for the start of an activation (entry call, constructor,
@@ -549,6 +701,14 @@ impl Tracer {
     }
 
     fn record_event(&mut self, e: TraceEvent) {
+        // Capture mode is lossless: the ring grows past `event_capacity`
+        // instead of silently evicting (a thinned trace cannot be
+        // replayed), and `dropped_events` provably stays 0 — the replay
+        // recorder fails loudly on any nonzero count.
+        if self.capture.is_some() {
+            self.events.push_back(e);
+            return;
+        }
         if self.cfg.event_capacity == 0 {
             self.dropped_events += 1;
             return;
@@ -669,12 +829,100 @@ mod tests {
     }
 
     #[test]
+    fn capture_mode_ring_grows_instead_of_dropping() {
+        // Regression: before capture mode existed, a full ring silently
+        // evicted the oldest events. A capture-mode trace must keep all
+        // of them — overflow the configured capacity by 25x and assert
+        // nothing was lost.
+        let mut t = Tracer::new(
+            &tiny_image(),
+            TraceConfig {
+                event_capacity: 4,
+                capture: true,
+                ..Default::default()
+            },
+        );
+        for i in 0..100 {
+            t.on_ret(i);
+        }
+        let p = t.profile(ExecStats::default());
+        assert_eq!(p.events.len(), 100, "capture ring must not evict");
+        assert_eq!(p.dropped_events, 0, "capture mode must not drop");
+        assert_eq!(p.events[0], TraceEvent::Ret { at: 0 });
+        assert_eq!(p.events[99], TraceEvent::Ret { at: 99 });
+    }
+
+    #[test]
+    fn capture_mode_overrides_zero_capacity() {
+        // Even the "events off" configuration keeps everything once
+        // capture is requested: replay correctness beats ring tuning.
+        let mut t = Tracer::new(
+            &tiny_image(),
+            TraceConfig {
+                event_capacity: 0,
+                capture: true,
+                ..Default::default()
+            },
+        );
+        for i in 0..10 {
+            t.on_ret(i);
+        }
+        let p = t.profile(ExecStats::default());
+        assert_eq!(p.events.len(), 10);
+        assert_eq!(p.dropped_events, 0);
+    }
+
+    #[test]
+    fn capture_log_records_boundary_events() {
+        let mut t = Tracer::new(
+            &tiny_image(),
+            TraceConfig {
+                capture: true,
+                ..Default::default()
+            },
+        );
+        t.set_capture_boundaries(vec![(0x40_0100, 0x40_0200)]);
+        t.on_call(0x40_0000, 0x40_0100); // into a boundary span
+        t.on_call(0x40_0010, 0x40_0300); // ordinary call: ring only
+        t.on_indirect(0x40_0020, 0x40_0300);
+        t.on_ret(0x40_0150); // inside the boundary span
+        t.on_ret(0x40_0030); // outside
+        t.on_extern(NativeKind::Malloc, [64, 0, 0], 0x10_0000_0000);
+        let log = t.capture_log().unwrap();
+        assert_eq!(
+            log.boundary,
+            vec![
+                BoundaryEvent::BoundaryCall {
+                    at: 0x40_0000,
+                    target: 0x40_0100
+                },
+                BoundaryEvent::Indirect {
+                    at: 0x40_0020,
+                    target: 0x40_0300
+                },
+                BoundaryEvent::BoundaryRet { at: 0x40_0150 },
+                BoundaryEvent::Extern {
+                    kind: NativeKind::Malloc,
+                    args: [64, 0, 0],
+                    ret: 0x10_0000_0000
+                },
+            ]
+        );
+        // Outside capture mode the same hooks log nothing.
+        let mut off = Tracer::new(&tiny_image(), TraceConfig::default());
+        off.on_extern(NativeKind::Malloc, [64, 0, 0], 1);
+        off.on_indirect(1, 2);
+        assert!(off.capture_log().is_none());
+    }
+
+    #[test]
     fn heap_timeline_thins_but_keeps_peaks() {
         let mut t = Tracer::new(
             &tiny_image(),
             TraceConfig {
                 event_capacity: 0,
                 heap_timeline_capacity: 8,
+                capture: false,
             },
         );
         for i in 0..1000u64 {

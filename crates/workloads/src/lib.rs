@@ -17,10 +17,12 @@
 //! diversification configuration is caught by comparing against the IR
 //! reference interpreter.
 
+pub mod captured;
 pub mod engine;
 pub mod spec;
 pub mod webserver;
 
+pub use captured::captured_workloads;
 pub use engine::{build_workload, Profile};
 pub use spec::{spec_profiles, spec_workloads, Scale, Workload};
 pub use webserver::{webserver_module, ServerKind, WebserverRun};

@@ -17,8 +17,11 @@
 //! * [`attacks`] — ROP, JIT-ROP, AOCR, Blind ROP and PIROP, run against
 //!   real images under the paper's threat model.
 //! * [`baselines`] — executable models of the Table 3 defenses.
-//! * [`workloads`] — SPEC-CPU-2017-profiled synthetic benchmarks and
-//!   the web-server workload.
+//! * [`workloads`] — SPEC-CPU-2017-profiled synthetic benchmarks, the
+//!   web-server workload, and the checked-in captured workloads.
+//! * [`replay`] — the record-reduce-replay pipeline that captures
+//!   traced executions and re-emits them as standalone benchmark
+//!   workloads.
 //!
 //! ## Quick start
 //!
@@ -38,5 +41,6 @@ pub use r2c_baselines as baselines;
 pub use r2c_codegen as codegen;
 pub use r2c_core as core;
 pub use r2c_ir as ir;
+pub use r2c_replay as replay;
 pub use r2c_vm as vm;
 pub use r2c_workloads as workloads;
